@@ -1,0 +1,106 @@
+// F9 — The C&C (Consensus & Commitment) framework: the paper's claim that
+// leader-based agreement protocols decompose into
+//   Leader Election -> Value Discovery -> Fault-tolerant Agreement ->
+//   Decision.
+// We run Basic Paxos and 3PC through the same tracer with their message
+// types tagged by phase and print the annotated flows + phase sequences.
+
+#include <cstdio>
+
+#include "commit/three_phase_commit.h"
+#include "core/cnc.h"
+#include "paxos/paxos.h"
+#include "sim/simulation.h"
+
+using namespace consensus40;
+using core::CncPhase;
+using core::CncPhaseMap;
+using core::CncTracer;
+
+namespace {
+
+void PrintPhases(const CncTracer& tracer) {
+  std::printf("phase sequence: ");
+  for (CncPhase p : tracer.PhaseSequence()) {
+    std::printf("[%s] ", core::ToString(p));
+  }
+  std::printf("\n\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== F9: the C&C framework ====\n\n");
+
+  std::printf("-- Basic Paxos through the C&C lens --\n");
+  {
+    CncPhaseMap map;
+    // Phase 1 doubles as leader election and value discovery: the prepare
+    // elects, the acks discover previously accepted values.
+    map.Tag("prepare", CncPhase::kLeaderElection);
+    map.Tag("prepare-ack", CncPhase::kValueDiscovery);
+    map.Tag("accept", CncPhase::kFaultTolerantAgreement);
+    map.Tag("accepted", CncPhase::kFaultTolerantAgreement);
+    map.Tag("decide", CncPhase::kDecision);
+    CncTracer tracer(map);
+
+    sim::NetworkOptions net;
+    net.min_delay = net.max_delay = 1 * sim::kMillisecond;
+    sim::Simulation sim(1, net);
+    tracer.Attach(&sim);
+    paxos::PaxosOptions opts;
+    opts.n = 3;
+    std::vector<paxos::PaxosNode*> nodes;
+    for (int i = 0; i < 3; ++i) nodes.push_back(sim.Spawn<paxos::PaxosNode>(opts));
+    sim.Start();
+    nodes[0]->Propose("v");
+    sim.RunUntil([&] { return nodes[2]->decided().has_value(); },
+                 5 * sim::kSecond);
+    std::printf("%s", tracer.ToString().c_str());
+    PrintPhases(tracer);
+  }
+
+  std::printf("-- 3PC through the C&C lens --\n");
+  {
+    CncPhaseMap map;
+    // The 3PC coordinator is pre-elected (leader election implicit); the
+    // can-commit/vote round discovers the value (the commit/abort verdict),
+    // pre-commit replicates it fault-tolerantly, do-commit decides.
+    map.Tag("3pc-can-commit", CncPhase::kValueDiscovery);
+    map.Tag("3pc-vote", CncPhase::kValueDiscovery);
+    map.Tag("3pc-pre-commit", CncPhase::kFaultTolerantAgreement);
+    map.Tag("3pc-pre-commit-ack", CncPhase::kFaultTolerantAgreement);
+    map.Tag("3pc-do-commit", CncPhase::kDecision);
+    map.Tag("3pc-state-req", CncPhase::kLeaderElection);
+    CncTracer tracer(map);
+
+    sim::NetworkOptions net;
+    net.min_delay = net.max_delay = 1 * sim::kMillisecond;
+    sim::Simulation sim(2, net);
+    tracer.Attach(&sim);
+    std::vector<commit::ThreePcParticipant*> cohorts;
+    for (int i = 0; i < 3; ++i) {
+      cohorts.push_back(sim.Spawn<commit::ThreePcParticipant>());
+    }
+    auto* coord = sim.Spawn<commit::ThreePcCoordinator>();
+    sim.Start();
+    commit::Transaction tx;
+    tx.tx_id = 1;
+    tx.ops = {{0, "PUT a 1"}, {1, "PUT b 1"}, {2, "PUT c 1"}};
+    coord->Begin(tx);
+    sim.RunUntil(
+        [&] {
+          return cohorts[0]->state(1) == commit::TxState::kCommitted;
+        },
+        10 * sim::kSecond);
+    std::printf("%s", tracer.ToString().c_str());
+    PrintPhases(tracer);
+  }
+
+  std::printf(
+      "Both protocols traverse Value Discovery -> Fault-tolerant Agreement\n"
+      "-> Decision; Paxos runs Leader Election explicitly up front while\n"
+      "3PC's coordinator is pre-designated (and re-elected only by the\n"
+      "termination protocol after a failure) — the deck's C&C point.\n");
+  return 0;
+}

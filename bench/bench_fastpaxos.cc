@@ -1,0 +1,86 @@
+// F5 — Fast Paxos: 2 message delays instead of 3, fast quorums of 2f+1
+// out of 3f+1, and collision recovery through a classic round.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "paxos/fast_paxos.h"
+#include "sim/simulation.h"
+
+using namespace consensus40;
+
+namespace {
+
+struct FpRun {
+  sim::Time leader_learned = -1;
+  int classic_rounds = 0;
+  bool decided = false;
+};
+
+FpRun Run(int n, int clients, sim::Duration spread, uint64_t seed) {
+  sim::NetworkOptions net;
+  net.min_delay = 1 * sim::kMillisecond;
+  net.max_delay = 1 * sim::kMillisecond + spread;
+  sim::Simulation sim(seed, net);
+  paxos::FastPaxosOptions opts;
+  opts.n = n;
+  std::vector<paxos::FastPaxosAcceptor*> acceptors;
+  for (int i = 0; i < n; ++i) {
+    acceptors.push_back(sim.Spawn<paxos::FastPaxosAcceptor>(opts));
+  }
+  for (int c = 0; c < clients; ++c) {
+    sim.Spawn<paxos::FastPaxosClient>(n, "value-" + std::to_string(c),
+                                      10 * sim::kMillisecond);
+  }
+  sim.Start();
+  FpRun out;
+  out.decided = sim.RunUntil(
+      [&] { return acceptors[0]->chosen().has_value(); }, 10 * sim::kSecond);
+  out.leader_learned = acceptors[0]->chosen_at();
+  out.classic_rounds = acceptors[0]->classic_rounds();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== F5: Fast Paxos (n = 3f+1, fast quorum = 2f+1) ====\n\n");
+
+  std::printf("-- fast round: client -> acceptors -> leader (2 delays) --\n");
+  TextTable t({"n", "f", "clients", "leader learned after", "classic rounds"});
+  for (int n : {4, 7, 10}) {
+    FpRun r = Run(n, 1, 0, 1);
+    t.AddRow({TextTable::Int(n), TextTable::Int((n - 1) / 3), "1",
+              TextTable::Num((r.leader_learned - 10000) / 1000.0, 0) +
+                  "ms (= 2 hops)",
+              TextTable::Int(r.classic_rounds)});
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf("Basic Paxos needs 3 hops for the same journey (client ->\n"
+              "leader -> acceptors -> leader). Fast Paxos trades f extra\n"
+              "replicas (3f+1, not 2f+1) for the saved delay.\n\n");
+
+  std::printf("-- collisions: concurrent clients force classic recovery --\n");
+  TextTable c({"concurrent clients", "runs", "collision rate",
+               "avg classic rounds", "all decided"});
+  for (int clients : {1, 2, 3, 4}) {
+    int collisions = 0, total_classic = 0, decided = 0;
+    const int kRuns = 20;
+    for (uint64_t seed = 1; seed <= kRuns; ++seed) {
+      FpRun r = Run(4, clients, 2 * sim::kMillisecond, seed);
+      collisions += (r.classic_rounds > 0);
+      total_classic += r.classic_rounds;
+      decided += r.decided;
+    }
+    c.AddRow({TextTable::Int(clients), TextTable::Int(kRuns),
+              TextTable::Num(100.0 * collisions / kRuns, 0) + "%",
+              TextTable::Num(static_cast<double>(total_classic) / kRuns, 2),
+              decided == kRuns ? "yes" : "NO"});
+  }
+  std::printf("%s\n", c.ToString().c_str());
+  std::printf("With one client the fast round always succeeds; concurrent\n"
+              "writers split the acceptors ('Collision happens!') and the\n"
+              "coordinator picks the majority value — if any — in a classic\n"
+              "round, exactly the deck's recovery figure.\n");
+  return 0;
+}

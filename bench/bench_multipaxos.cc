@@ -1,0 +1,90 @@
+// F4 — Multi-Paxos steady state and the deck's optimization: "run Phase 1
+// only when the leader changes".
+//
+// The ablation re-runs phase 1 before EVERY command (full Basic Paxos per
+// log entry) and shows what the optimization buys: ~2 fewer message delays
+// and many fewer messages per command.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "paxos/multi_paxos.h"
+#include "sim/simulation.h"
+
+using namespace consensus40;
+
+namespace {
+
+struct RunResult {
+  double ms_per_cmd;
+  double msgs_per_cmd;
+  int phase1_rounds;
+};
+
+RunResult Run(bool skip_phase1, int n, int ops) {
+  sim::NetworkOptions net;
+  net.min_delay = net.max_delay = 1 * sim::kMillisecond;
+  sim::Simulation sim(7, net);
+  paxos::MultiPaxosOptions opts;
+  opts.n = n;
+  opts.skip_phase1_when_stable = skip_phase1;
+  std::vector<paxos::MultiPaxosReplica*> replicas;
+  for (int i = 0; i < n; ++i) {
+    replicas.push_back(sim.Spawn<paxos::MultiPaxosReplica>(opts));
+  }
+  auto* client = sim.Spawn<paxos::MultiPaxosClient>(n, ops);
+  sim.Start();
+  // Warm up leadership on the first 20% of ops, measure the rest.
+  int warmup = ops / 5;
+  sim.RunUntil([&] { return client->completed() >= warmup; },
+               120 * sim::kSecond);
+  sim.stats().Reset();
+  sim::Time t0 = sim.now();
+  sim.RunUntil([&] { return client->done(); }, 600 * sim::kSecond);
+  double cmds = ops - warmup;
+  int phase1 = 0;
+  for (auto* r : replicas) phase1 += r->phase1_rounds();
+  const auto& types = sim.stats().sent_by_type;
+  uint64_t useful = 0;
+  for (const char* type :
+       {"request", "prepare", "promise", "accept", "accepted", "commit",
+        "reply"}) {
+    auto it = types.find(type);
+    if (it != types.end()) useful += it->second;
+  }
+  return {static_cast<double>(sim.now() - t0) / sim::kMillisecond / cmds,
+          useful / cmds, phase1};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== F4: Multi-Paxos phase-1-skip optimization (n=5) ====\n\n");
+  TextTable t({"variant", "latency/cmd (ms)", "msgs/cmd",
+               "phase-1 rounds (50 cmds)"});
+  RunResult fast = Run(true, 5, 50);
+  RunResult slow = Run(false, 5, 50);
+  t.AddRow({"phase 1 on leader change only", TextTable::Num(fast.ms_per_cmd, 1),
+            TextTable::Num(fast.msgs_per_cmd, 1),
+            TextTable::Int(fast.phase1_rounds)});
+  t.AddRow({"phase 1 before every command", TextTable::Num(slow.ms_per_cmd, 1),
+            TextTable::Num(slow.msgs_per_cmd, 1),
+            TextTable::Int(slow.phase1_rounds)});
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf("The stable-leader fast path runs pure phase 2 (accept +\n"
+              "accepted + commit); the ablation pays a fresh prepare/promise\n"
+              "round per entry — the deck's motivation for calling phase 1\n"
+              "the 'view change / recovery mode'.\n\n");
+
+  std::printf("==== F4b: steady-state scaling with cluster size ====\n\n");
+  TextTable scale({"n", "latency/cmd (ms)", "msgs/cmd"});
+  for (int n : {3, 5, 7, 9}) {
+    RunResult r = Run(true, n, 40);
+    scale.AddRow({TextTable::Int(n), TextTable::Num(r.ms_per_cmd, 1),
+                  TextTable::Num(r.msgs_per_cmd, 1)});
+  }
+  std::printf("%s\n", scale.ToString().c_str());
+  std::printf("Messages grow linearly with n (accept/accepted/commit fan-out)\n"
+              "while latency stays flat — the deck's O(N), 2-phase card.\n");
+  return 0;
+}

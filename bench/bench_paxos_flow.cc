@@ -1,0 +1,95 @@
+// F1 + F2 — Basic Paxos message-flow figures.
+//
+// Scenario 1 re-draws the deck's prepare/ack/accept/accepted/decide flow
+// as a trace. Scenario 2 reproduces the leader-crash figure: the value is
+// chosen, the leader dies, and the new leader *must* recover v through
+// AcceptNum/AcceptVal.
+
+#include <cstdio>
+#include <string>
+
+#include "paxos/paxos.h"
+#include "sim/simulation.h"
+
+using namespace consensus40;
+
+namespace {
+
+void TraceRun(sim::Simulation* sim, const char* label) {
+  std::printf("---- %s ----\n", label);
+  sim->SetTraceFn([](const sim::Envelope& e, sim::Time t) {
+    std::printf("  t=%2lldms  %d -> %d  %s\n",
+                static_cast<long long>(t / sim::kMillisecond), e.from, e.to,
+                e.msg->TypeName());
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== F1: Basic Paxos flow (n = 3, fixed 1ms hops) ====\n\n");
+  {
+    sim::NetworkOptions net;
+    net.min_delay = net.max_delay = 1 * sim::kMillisecond;
+    sim::Simulation sim(1, net);
+    paxos::PaxosOptions opts;
+    opts.n = 3;
+    std::vector<paxos::PaxosNode*> nodes;
+    for (int i = 0; i < 3; ++i) nodes.push_back(sim.Spawn<paxos::PaxosNode>(opts));
+    sim.Start();
+    TraceRun(&sim, "node 0 proposes \"v\"");
+    nodes[0]->Propose("v");
+    sim.RunUntil(
+        [&] {
+          for (auto* n : nodes) {
+            if (!n->decided()) return false;
+          }
+          return true;
+        },
+        5 * sim::kSecond);
+    std::printf("  => all decided '%s' after %lldms (2 phases + decide)\n\n",
+                nodes[2]->decided()->c_str(),
+                static_cast<long long>(sim.now() / sim::kMillisecond));
+  }
+
+  std::printf("==== F2: leader crash, new leader recovers the chosen value ====\n\n");
+  {
+    sim::NetworkOptions net;
+    net.min_delay = net.max_delay = 1 * sim::kMillisecond;
+    sim::Simulation sim(2, net);
+    paxos::PaxosOptions opts;
+    opts.n = 5;
+    std::vector<paxos::PaxosNode*> nodes;
+    for (int i = 0; i < 5; ++i) nodes.push_back(sim.Spawn<paxos::PaxosNode>(opts));
+    sim.Start();
+    nodes[0]->Propose("v-chosen");
+    // Run until a majority accepted, then kill the leader before it can
+    // broadcast the decision everywhere.
+    sim.RunUntil(
+        [&] {
+          int acc = 0;
+          for (auto* n : nodes) acc += (n->accept_val() ? 1 : 0);
+          return acc >= 3;
+        },
+        5 * sim::kSecond);
+    std::printf("majority accepted 'v-chosen'; crashing leader 0\n");
+    sim.Crash(0);
+
+    std::printf("acceptor state after crash:\n");
+    for (auto* n : nodes) {
+      std::printf("  node %d: AcceptNum=%s AcceptVal=%s\n", n->id(),
+                  n->accept_num().ToString().c_str(),
+                  n->accept_val() ? n->accept_val()->c_str() : "^");
+    }
+
+    TraceRun(&sim, "node 1 proposes a DIFFERENT value \"usurper\"");
+    nodes[1]->Propose("usurper");
+    sim.RunUntil([&] { return nodes[1]->decided().has_value(); },
+                 10 * sim::kSecond);
+    std::printf(
+        "  => node 1 decided '%s' — phase 1 returned the accepted value "
+        "with the highest AcceptNum, exactly the deck's recovery rule\n",
+        nodes[1]->decided()->c_str());
+  }
+  return 0;
+}

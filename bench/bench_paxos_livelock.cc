@@ -1,0 +1,87 @@
+// F3 — The dueling-proposers liveness figure (S1..S5, P3.1 vs P3.5) and
+// the deck's fix: randomized delay before restarting.
+//
+// Under an adversarial delay schedule (control messages fast, accepts
+// slow), two proposers with deterministic zero backoff preempt each other
+// forever; the same schedule with randomized backoff decides quickly.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "paxos/paxos.h"
+#include "sim/simulation.h"
+
+using namespace consensus40;
+
+namespace {
+
+struct Outcome {
+  bool decided;
+  int attempts0;
+  int attempts4;
+  sim::Time decide_time;
+};
+
+Outcome Run(bool randomized_backoff, uint64_t seed) {
+  paxos::PaxosOptions opts;
+  opts.n = 5;
+  opts.randomized_backoff = randomized_backoff;
+  opts.retry_delay = randomized_backoff ? 5 * sim::kMillisecond : 0;
+  sim::Simulation sim(seed);
+  std::vector<paxos::PaxosNode*> nodes;
+  for (int i = 0; i < 5; ++i) nodes.push_back(sim.Spawn<paxos::PaxosNode>(opts));
+  sim.Start();
+  // Adversarial schedule: every proposer's re-prepare lands between the
+  // other's promise and accept.
+  sim.SetDelayFn([](const sim::Envelope& e) -> sim::Duration {
+    if (e.from == e.to) return 0;
+    if (std::string(e.msg->TypeName()) == "accept") {
+      return 3 * sim::kMillisecond;
+    }
+    return 1 * sim::kMillisecond;
+  });
+  nodes[0]->Propose("x");
+  sim.ScheduleAfter(2500, [&] { nodes[4]->Propose("y"); });
+  bool decided = sim.RunUntil(
+      [&] {
+        for (auto* n : nodes) {
+          if (!n->decided()) return false;
+        }
+        return true;
+      },
+      3 * sim::kSecond);
+  return {decided, nodes[0]->prepare_attempts(), nodes[4]->prepare_attempts(),
+          sim.now()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== F3: dueling proposers (adversarial delays, 3s budget) ====\n\n");
+  TextTable t({"backoff", "seed", "decided?", "prepares by S1",
+               "prepares by S5", "time to decide"});
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Outcome o = Run(false, seed);
+    t.AddRow({"none (deterministic)", TextTable::Int(seed),
+              o.decided ? "yes" : "LIVELOCK", TextTable::Int(o.attempts0),
+              TextTable::Int(o.attempts4),
+              o.decided ? TextTable::Num(o.decide_time / 1000.0, 1) + "ms"
+                        : "-"});
+  }
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Outcome o = Run(true, seed);
+    t.AddRow({"randomized", TextTable::Int(seed),
+              o.decided ? "yes" : "LIVELOCK", TextTable::Int(o.attempts0),
+              TextTable::Int(o.attempts4),
+              o.decided ? TextTable::Num(o.decide_time / 1000.0, 1) + "ms"
+                        : "-"});
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf("The deterministic rows re-create the deck's P3.1/P3.5/P4.1/\n"
+              "P5.5 escalation: hundreds of ballots, zero decisions. The\n"
+              "randomized rows decide within a few backoff periods — the\n"
+              "deck's 'randomized delay before restarting' fix. Livelock is\n"
+              "a liveness failure only: safety held in every run (FLP says\n"
+              "we cannot have both, deterministically, under asynchrony).\n");
+  return 0;
+}

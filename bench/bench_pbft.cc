@@ -1,0 +1,141 @@
+// F11 — PBFT: the 3-phase flow, the O(N^2) agreement bill, the O(N^3)
+// view change, and checkpoint garbage collection.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "crypto/signatures.h"
+#include "pbft/pbft.h"
+#include "sim/simulation.h"
+
+using namespace consensus40;
+
+namespace {
+
+struct PbftRun {
+  double msgs_per_cmd = 0;
+  double ms_per_cmd = 0;
+  uint64_t vc_messages = 0;
+  uint64_t vc_bytes = 0;
+};
+
+PbftRun Measure(int n, int ops, bool crash_primary, uint64_t seed) {
+  sim::NetworkOptions net;
+  net.min_delay = net.max_delay = 1 * sim::kMillisecond;
+  sim::Simulation sim(seed, net);
+  uint64_t vc_bytes = 0;
+  sim.SetTraceFn([&vc_bytes](const sim::Envelope& e, sim::Time) {
+    std::string type = e.msg->TypeName();
+    if (type == "view-change" || type == "new-view") {
+      vc_bytes += e.msg->ByteSize();
+    }
+  });
+  crypto::KeyRegistry registry(seed, n + 8);
+  pbft::PbftOptions opts;
+  opts.n = n;
+  opts.registry = &registry;
+  std::vector<pbft::PbftReplica*> replicas;
+  for (int i = 0; i < n; ++i) {
+    replicas.push_back(sim.Spawn<pbft::PbftReplica>(opts));
+  }
+  auto* client = sim.Spawn<pbft::PbftClient>(n, &registry, ops);
+  sim.Start();
+  int warmup = ops / 4;
+  sim.RunUntil([&] { return client->completed() >= warmup; },
+               240 * sim::kSecond);
+  sim.stats().Reset();
+  sim::Time t0 = sim.now();
+  if (crash_primary) sim.Crash(0);
+  sim.RunUntil([&] { return client->done(); }, 600 * sim::kSecond);
+  PbftRun out;
+  double cmds = ops - warmup;
+  const auto& types = sim.stats().sent_by_type;
+  uint64_t agreement = 0;
+  for (const char* type :
+       {"pbft-request", "pre-prepare", "prepare", "commit", "pbft-reply"}) {
+    auto it = types.find(type);
+    if (it != types.end()) agreement += it->second;
+  }
+  out.msgs_per_cmd = agreement / cmds;
+  out.ms_per_cmd = static_cast<double>(sim.now() - t0) / 1000.0 / cmds;
+  for (const char* type : {"view-change", "new-view"}) {
+    auto it = types.find(type);
+    if (it != types.end()) out.vc_messages += it->second;
+  }
+  out.vc_bytes = vc_bytes;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== F11: PBFT ====\n\n");
+
+  std::printf("-- agreement cost vs cluster size (fault-free) --\n");
+  TextTable t({"n", "f", "msgs/cmd", "vs n=4", "(n/4)^2", "ms/cmd"});
+  double base = 0;
+  for (int n : {4, 7, 10, 13}) {
+    PbftRun r = Measure(n, 20, false, 1);
+    if (n == 4) base = r.msgs_per_cmd;
+    t.AddRow({TextTable::Int(n), TextTable::Int((n - 1) / 3),
+              TextTable::Num(r.msgs_per_cmd, 1),
+              TextTable::Num(r.msgs_per_cmd / base, 2) + "x",
+              TextTable::Num(n * n / 16.0, 2) + "x",
+              TextTable::Num(r.ms_per_cmd, 1)});
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf("msgs/cmd tracks (n/4)^2: the all-to-all prepare and commit\n"
+              "phases are the deck's O(N^2).\n\n");
+
+  std::printf("-- view change cost vs cluster size (primary crash) --\n");
+  TextTable vc({"n", "view-change msgs", "msg growth", "view-change bytes",
+                "byte growth", "(n/4)^3"});
+  double vc_base = 0, byte_base = 0;
+  for (int n : {4, 7, 10}) {
+    PbftRun r = Measure(n, 16, true, 2);
+    if (n == 4) {
+      vc_base = static_cast<double>(r.vc_messages);
+      byte_base = static_cast<double>(r.vc_bytes);
+    }
+    vc.AddRow({TextTable::Int(n), TextTable::Int(r.vc_messages),
+               TextTable::Num(r.vc_messages / vc_base, 1) + "x",
+               TextTable::Int(static_cast<int64_t>(r.vc_bytes)),
+               TextTable::Num(r.vc_bytes / byte_base, 1) + "x",
+               TextTable::Num(n * n * n / 64.0, 1) + "x"});
+  }
+  std::printf("%s\n", vc.ToString().c_str());
+  std::printf("~n^2 view-change messages, each carrying prepared\n"
+              "certificates of O(n) signatures: bytes grow strictly faster\n"
+              "than the message count (8.1x vs 6.2x at n=10 here). With a\n"
+              "full window of in-flight requests every message carries O(n)\n"
+              "certificates and the total reaches the deck's O(N^3).\n\n");
+
+  std::printf("-- checkpoint garbage collection --\n");
+  {
+    sim::Simulation sim(3);
+    crypto::KeyRegistry registry(3, 12);
+    pbft::PbftOptions opts;
+    opts.n = 4;
+    opts.registry = &registry;
+    opts.checkpoint_interval = 8;
+    std::vector<pbft::PbftReplica*> replicas;
+    for (int i = 0; i < 4; ++i) {
+      replicas.push_back(sim.Spawn<pbft::PbftReplica>(opts));
+    }
+    auto* client = sim.Spawn<pbft::PbftClient>(4, &registry, 40);
+    sim.Start();
+    sim.RunUntil([&] { return client->done(); }, 600 * sim::kSecond);
+    sim.RunFor(2 * sim::kSecond);
+    TextTable gc({"replica", "executed", "stable checkpoint", "slots in log"});
+    for (auto* r : replicas) {
+      gc.AddRow({TextTable::Int(r->id()), TextTable::Int(r->last_executed()),
+                 TextTable::Int(r->stable_checkpoint()),
+                 TextTable::Int(static_cast<int64_t>(r->LogSizeForTest()))});
+    }
+    std::printf("%s\n", gc.ToString().c_str());
+    std::printf("40 requests executed but only the tail since the last\n"
+                "stable checkpoint (every 8 requests, proven by 2f+1\n"
+                "checkpoint signatures) stays in the log.\n");
+  }
+  return 0;
+}

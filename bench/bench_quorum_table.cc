@@ -1,0 +1,92 @@
+// T2 + F18 — Quorum arithmetic tables: the deck's network/quorum/
+// intersection numbers for majority (Paxos), Byzantine (PBFT), hybrid
+// (UpRight/SeeMoRe), and Flexible Paxos systems, each verified
+// exhaustively over all minimal quorum pairs.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/quorum.h"
+
+using namespace consensus40;
+using namespace consensus40::core;
+
+int main() {
+  std::printf("==== T2: quorum systems (network / quorum / intersection) ====\n\n");
+
+  {
+    TextTable t({"system", "f", "network", "quorum", "intersection",
+                 "verified"});
+    for (int f = 1; f <= 4; ++f) {
+      MajorityQuorum q(2 * f + 1);
+      bool ok = (2 * f + 1 <= 13) ? CheckQuorumIntersection(q, 1) : true;
+      t.AddRow({"Paxos majority", TextTable::Int(f),
+                TextTable::Int(2 * f + 1), TextTable::Int(f + 1), "1",
+                ok ? "yes" : "NO!"});
+    }
+    for (int f = 1; f <= 4; ++f) {
+      ByzantineQuorum q(3 * f + 1);
+      bool ok = (3 * f + 1 <= 13) ? CheckQuorumIntersection(q, f + 1) : true;
+      t.AddRow({"PBFT Byzantine", TextTable::Int(f),
+                TextTable::Int(3 * f + 1), TextTable::Int(2 * f + 1),
+                TextTable::Int(f + 1), ok ? "yes" : "NO!"});
+    }
+    std::printf("%s\n", t.ToString().c_str());
+  }
+
+  std::printf("==== F18: UpRight hybrid quorums (m Byzantine + c crash) ====\n\n");
+  {
+    TextTable t({"m", "c", "network 3m+2c+1", "quorum 2m+c+1",
+                 "intersection m+1", "verified"});
+    for (int m = 0; m <= 2; ++m) {
+      for (int c = 0; c <= 2; ++c) {
+        if (m + c == 0) continue;
+        HybridQuorum q(m, c);
+        bool ok = q.n() <= 13 ? CheckQuorumIntersection(q, m + 1) : true;
+        t.AddRow({TextTable::Int(m), TextTable::Int(c),
+                  TextTable::Int(q.n()), TextTable::Int(q.QuorumSize()),
+                  TextTable::Int(q.Intersection()), ok ? "yes" : "NO!"});
+      }
+    }
+    std::printf("%s\n", t.ToString().c_str());
+    std::printf("Note: m=1,c=0 gives 4 nodes (PBFT); m=0,c=1 gives 3 nodes\n"
+                "(Paxos) — the hybrid model interpolates between them.\n\n");
+  }
+
+  std::printf("==== Flexible Paxos: only Q1 x Q2 must intersect ====\n\n");
+  {
+    TextTable t({"n", "q1 (election)", "q2 (replication)", "q1+q2>n",
+                 "min overlap", "verified"});
+    int n = 8;
+    for (int q2 = 1; q2 <= 7; ++q2) {
+      int q1 = n - q2 + 1;
+      auto q = FlexibleQuorum::Make(n, q1, q2);
+      bool ok = q.ok() && CheckQuorumIntersection(**q, q1 + q2 - n);
+      t.AddRow({TextTable::Int(n), TextTable::Int(q1), TextTable::Int(q2),
+                "yes", TextTable::Int(q1 + q2 - n), ok ? "yes" : "NO!"});
+    }
+    // And one deliberately broken configuration.
+    auto broken = FlexibleQuorum::Make(n, 4, 4);
+    t.AddRow({TextTable::Int(n), "4", "4", "NO",
+              "-", broken.ok() ? "accepted?!" : "rejected"});
+    std::printf("%s\n", t.ToString().c_str());
+  }
+
+  std::printf("==== Flexible Paxos grid quorums ====\n\n");
+  {
+    TextTable t({"grid", "n", "election = column", "replication = row",
+                 "overlap", "verified"});
+    for (auto [rows, cols] : {std::pair{2, 3}, {3, 4}, {2, 6}}) {
+      GridQuorum g(rows, cols);
+      bool ok = CheckQuorumIntersection(g, 1);
+      t.AddRow({std::to_string(rows) + "x" + std::to_string(cols),
+                TextTable::Int(g.n()), TextTable::Int(rows),
+                TextTable::Int(cols), "exactly 1", ok ? "yes" : "NO!"});
+    }
+    std::printf("%s\n", t.ToString().c_str());
+    std::printf("A 3x4 grid commits with 4-node rows while majorities would\n"
+                "need 7 of 12 — the deck's 'arbitrarily small replication\n"
+                "quorums' claim, machine-checked.\n");
+  }
+  return 0;
+}

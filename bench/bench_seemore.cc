@@ -1,0 +1,110 @@
+// F17 — SeeMoRe's three hybrid-cloud modes: message bills, quorums,
+// private-cloud load, and latency under an inter-cloud delay gap.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "crypto/signatures.h"
+#include "seemore/seemore.h"
+#include "sim/simulation.h"
+
+using namespace consensus40;
+using namespace consensus40::seemore;
+
+namespace {
+
+struct ModeRun {
+  double msgs_per_cmd = 0;
+  double ms_per_cmd = 0;
+  uint64_t private_load = 0;
+  int quorum = 0;
+  bool done = false;
+};
+
+ModeRun Run(SeeMoReMode mode, sim::Duration cross_cloud_delay, uint64_t seed) {
+  SeeMoReOptions opts;
+  opts.m = 1;
+  opts.c = 1;
+  opts.mode = mode;
+  sim::Simulation sim(seed);
+  crypto::KeyRegistry registry(seed, opts.n() + 8);
+  opts.registry = &registry;
+  std::vector<SeeMoReReplica*> replicas;
+  for (int i = 0; i < opts.n(); ++i) {
+    replicas.push_back(sim.Spawn<SeeMoReReplica>(opts));
+  }
+  auto* client = sim.Spawn<SeeMoReClient>(opts, 20);
+  // Delay model: 1ms inside a cloud, `cross_cloud_delay` across clouds.
+  int private_n = opts.private_n();
+  int n = opts.n();
+  sim.SetDelayFn([private_n, n, cross_cloud_delay](
+                     const sim::Envelope& e) -> sim::Duration {
+    if (e.from == e.to) return 0;
+    auto side = [private_n, n](sim::NodeId id) {
+      if (id >= n) return 2;  // Clients sit outside both clouds.
+      return id < private_n ? 0 : 1;
+    };
+    if (side(e.from) != side(e.to)) return cross_cloud_delay;
+    return 1 * sim::kMillisecond;
+  });
+  sim.Start();
+  sim::Time t0 = sim.now();
+  ModeRun out;
+  out.done = sim.RunUntil([&] { return client->done(); }, 600 * sim::kSecond);
+  out.msgs_per_cmd = sim.stats().messages_sent / 20.0;
+  out.ms_per_cmd = static_cast<double>(sim.now() - t0) / 1000.0 / 20.0;
+  for (auto* r : replicas) {
+    if (r->IsPrivate()) out.private_load += r->messages_sent();
+  }
+  out.quorum = replicas[0]->DecisionQuorum();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== F17: SeeMoRe (m = 1 Byzantine public, c = 1 crash "
+              "private, n = 6) ====\n\n");
+
+  std::printf("-- mode comparison, uniform 1ms network --\n");
+  TextTable t({"mode", "phases", "quorum", "msgs/cmd", "private-cloud msgs",
+               "ms/cmd"});
+  const char* phase_desc[] = {"2 (propose, accept)",
+                              "2 (propose, proxy accept)",
+                              "3 (propose, validate, accept)"};
+  SeeMoReMode modes[] = {SeeMoReMode::kMode1, SeeMoReMode::kMode2,
+                         SeeMoReMode::kMode3};
+  for (int i = 0; i < 3; ++i) {
+    ModeRun r = Run(modes[i], 1 * sim::kMillisecond, 1);
+    t.AddRow({ToString(modes[i]), phase_desc[i],
+              i == 0 ? "2m+c+1 = 4" : "2m+1 = 3",
+              TextTable::Num(r.msgs_per_cmd, 1),
+              TextTable::Int(r.private_load),
+              TextTable::Num(r.ms_per_cmd, 1)});
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf("Mode 1 is centralized O(n) through the trusted primary;\n"
+              "modes 2/3 move decisions to the 3m+1 public proxies (O(n^2)\n"
+              "gossip) and slash the private cloud's message load — the\n"
+              "deck's 'reduce the load on the private cloud' goal.\n\n");
+
+  std::printf("-- latency under a growing inter-cloud delay gap --\n");
+  TextTable gap({"cross-cloud delay", "mode 1 ms/cmd", "mode 2 ms/cmd",
+                 "mode 3 ms/cmd"});
+  for (sim::Duration d :
+       {1 * sim::kMillisecond, 10 * sim::kMillisecond, 40 * sim::kMillisecond}) {
+    ModeRun r1 = Run(SeeMoReMode::kMode1, d, 2);
+    ModeRun r2 = Run(SeeMoReMode::kMode2, d, 2);
+    ModeRun r3 = Run(SeeMoReMode::kMode3, d, 2);
+    gap.AddRow({TextTable::Num(d / 1000.0, 0) + "ms",
+                TextTable::Num(r1.ms_per_cmd, 1),
+                TextTable::Num(r2.ms_per_cmd, 1),
+                TextTable::Num(r3.ms_per_cmd, 1)});
+  }
+  std::printf("%s\n", gap.ToString().c_str());
+  std::printf("As the clouds drift apart, mode 3 (everything inside the\n"
+              "public cloud, private learns asynchronously) keeps the\n"
+              "lowest decision latency — the deck's motivation for the\n"
+              "untrusted-primary mode despite its extra validation phase.\n");
+  return 0;
+}

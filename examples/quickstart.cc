@@ -1,0 +1,79 @@
+// Quickstart: a replicated key-value store on Multi-Paxos.
+//
+// Builds a 5-replica cluster inside the deterministic simulator, runs a
+// client workload against it, crashes the leader mid-stream, and shows the
+// cluster failing over without losing or duplicating a single command.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+
+#include "paxos/multi_paxos.h"
+#include "sim/simulation.h"
+#include "smr/state_machine.h"
+
+using namespace consensus40;
+
+int main() {
+  std::printf("== consensus40 quickstart: replicated KV over Multi-Paxos ==\n\n");
+
+  sim::Simulation sim(/*seed=*/2026);
+
+  // 1. Spawn five replicas. Replicas must be the first processes so their
+  //    ids are 0..4.
+  paxos::MultiPaxosOptions options;
+  options.n = 5;
+  std::vector<paxos::MultiPaxosReplica*> replicas;
+  for (int i = 0; i < options.n; ++i) {
+    replicas.push_back(sim.Spawn<paxos::MultiPaxosReplica>(options));
+  }
+
+  // 2. A closed-loop client that increments a counter 30 times.
+  auto* client = sim.Spawn<paxos::MultiPaxosClient>(options.n, /*ops=*/30);
+
+  sim.Start();
+
+  // 3. Let the first few commands commit.
+  sim.RunUntil([&] { return client->completed() >= 10; },
+               30 * sim::kSecond);
+  std::printf("after %2d ops  : virtual time %lldms\n", client->completed(),
+              static_cast<long long>(sim.now() / sim::kMillisecond));
+
+  // 4. Kill the leader. The survivors elect a new one; the client retries
+  //    transparently.
+  for (const auto* r : replicas) {
+    if (r->IsLeader()) {
+      std::printf("crashing leader: replica %d\n", r->id());
+      sim.Crash(r->id());
+      break;
+    }
+  }
+
+  sim.RunUntil([&] { return client->done(); }, 120 * sim::kSecond);
+  std::printf("after %2d ops  : virtual time %lldms\n", client->completed(),
+              static_cast<long long>(sim.now() / sim::kMillisecond));
+
+  // 5. Every result is the strictly increasing counter: nothing lost,
+  //    nothing executed twice, even across the crash.
+  std::printf("\nresults: ");
+  for (const std::string& r : client->results()) std::printf("%s ", r.c_str());
+  std::printf("\n\n");
+
+  // 6. Replica state machines agree.
+  sim.RunFor(2 * sim::kSecond);
+  for (const auto* r : replicas) {
+    if (sim.IsCrashed(r->id())) continue;
+    auto v = r->kv().Get("x");
+    std::printf("replica %d: x = %s, commit frontier = %llu\n", r->id(),
+                v ? v->c_str() : "?",
+                static_cast<unsigned long long>(r->log().commit_frontier()));
+  }
+
+  std::vector<const smr::ReplicatedLog*> logs;
+  for (const auto* r : replicas) logs.push_back(&r->log());
+  std::string divergence = smr::CheckPrefixConsistency(logs);
+  std::printf("\nsafety check: %s\n",
+              divergence.empty() ? "all committed prefixes agree"
+                                 : divergence.c_str());
+  return divergence.empty() ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+#include "agreement/floodset.h"
+
+#include <algorithm>
+
+namespace consensus40::agreement {
+
+FloodSetResult RunFloodSet(const std::vector<std::string>& values,
+                           const CrashPlan& plan, int rounds) {
+  int n = static_cast<int>(values.size());
+  std::vector<std::set<std::string>> sets(n);
+  for (int i = 0; i < n; ++i) sets[i] = {values[i]};
+
+  for (int round = 1; round <= rounds; ++round) {
+    // Gather all broadcasts of this round first (synchronous semantics: no
+    // message of round r depends on another round-r message).
+    std::vector<std::set<std::string>> incoming(n);
+    for (int sender = 0; sender < n; ++sender) {
+      if (plan.crash_round[sender] < round) continue;  // Already dead.
+      bool crashing_now = plan.crash_round[sender] == round;
+      for (int receiver = 0; receiver < n; ++receiver) {
+        if (receiver == sender) continue;
+        if (plan.crash_round[receiver] < round) continue;
+        if (crashing_now && receiver >= plan.reach[sender]) continue;
+        incoming[receiver].insert(sets[sender].begin(), sets[sender].end());
+      }
+    }
+    for (int receiver = 0; receiver < n; ++receiver) {
+      if (plan.crash_round[receiver] <= round) continue;
+      sets[receiver].insert(incoming[receiver].begin(),
+                            incoming[receiver].end());
+    }
+  }
+
+  FloodSetResult result;
+  result.sets = sets;
+  result.decisions.resize(n);
+  for (int i = 0; i < n; ++i) {
+    if (plan.crash_round[i] <= rounds) continue;  // Crashed: no decision.
+    // Deterministic rule: decide the minimum value seen.
+    result.decisions[i] = *std::min_element(sets[i].begin(), sets[i].end());
+  }
+  return result;
+}
+
+bool FloodSetAgreement(const FloodSetResult& result, const CrashPlan& plan,
+                       int rounds) {
+  std::string decided;
+  for (size_t i = 0; i < result.decisions.size(); ++i) {
+    if (plan.crash_round[i] <= rounds) continue;
+    if (decided.empty()) {
+      decided = result.decisions[i];
+    } else if (result.decisions[i] != decided) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace consensus40::agreement

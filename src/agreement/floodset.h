@@ -1,0 +1,52 @@
+#ifndef CONSENSUS40_AGREEMENT_FLOODSET_H_
+#define CONSENSUS40_AGREEMENT_FLOODSET_H_
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace consensus40::agreement {
+
+/// FloodSet: the classic synchronous crash-fault consensus algorithm and
+/// the deck's "synchronous system" aspect made executable. In each of
+/// f+1 rounds every live process broadcasts the set of values it has seen;
+/// after f+1 rounds all correct processes hold the same set and decide
+/// deterministically (minimum value here).
+///
+/// Why f+1 rounds: a crashing process may deliver its value to only some
+/// peers, but it can disrupt at most one round; with f faults there is at
+/// least one "clean" round in any f+1, after which the sets are equal.
+struct FloodSetResult {
+  /// Decision of each process (empty string = crashed before deciding).
+  std::vector<std::string> decisions;
+  /// Value sets after the final round, for inspection.
+  std::vector<std::set<std::string>> sets;
+};
+
+/// Crash schedule: CrashPlan(process, round) returns the set of receivers
+/// that still get this process's round broadcast before it dies; a process
+/// is considered crashed from round r onward if it was scheduled to crash
+/// in round r. Return std::nullopt-like behaviour is modelled by
+/// `crash_round[i] > rounds` (never crashes) and `partial_delivery`.
+struct CrashPlan {
+  /// crash_round[i] = round in which process i crashes (1-based); a value
+  /// greater than the number of rounds means it never crashes.
+  std::vector<int> crash_round;
+  /// During its crash round the process reaches only receivers with index
+  /// < reach[i] (models "crash mid-broadcast").
+  std::vector<int> reach;
+};
+
+/// Runs FloodSet for `rounds` rounds over `values`. Correct processes are
+/// those whose crash_round exceeds `rounds`.
+FloodSetResult RunFloodSet(const std::vector<std::string>& values,
+                           const CrashPlan& plan, int rounds);
+
+/// True iff every surviving process decided the same value.
+bool FloodSetAgreement(const FloodSetResult& result, const CrashPlan& plan,
+                       int rounds);
+
+}  // namespace consensus40::agreement
+
+#endif  // CONSENSUS40_AGREEMENT_FLOODSET_H_

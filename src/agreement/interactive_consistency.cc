@@ -1,0 +1,119 @@
+#include "agreement/interactive_consistency.h"
+
+#include <map>
+
+namespace consensus40::agreement {
+
+ByzantineBehavior DefaultLiar() {
+  return [](int faulty, int receiver, int round, int element) {
+    return "garble-f" + std::to_string(faulty) + "-r" +
+           std::to_string(receiver) + "-" + std::to_string(round) + "." +
+           std::to_string(element);
+  };
+}
+
+ByzantineBehavior Silent() {
+  return [](int, int, int, int) { return std::string(); };
+}
+
+std::vector<ResultVector> RunInteractiveConsistency(
+    int n, const std::vector<std::string>& values,
+    const std::set<int>& faulty, const ByzantineBehavior& behavior) {
+  // Round 1: everyone sends its value; got[p][i] = what p received as i's
+  // value (p's own slot holds its own value).
+  std::vector<std::vector<std::string>> got(n, std::vector<std::string>(n));
+  for (int p = 0; p < n; ++p) {
+    for (int i = 0; i < n; ++i) {
+      if (i == p) {
+        got[p][i] = values[p];
+      } else if (faulty.count(i) > 0) {
+        got[p][i] = behavior(i, p, /*round=*/1, /*element=*/i);
+      } else {
+        got[p][i] = values[i];
+      }
+    }
+  }
+
+  // Round 2: everyone relays its vector; relayed[p][q][i] = element i of
+  // the vector p received from q.
+  std::vector<std::vector<std::vector<std::string>>> relayed(
+      n, std::vector<std::vector<std::string>>(n));
+  for (int p = 0; p < n; ++p) {
+    for (int q = 0; q < n; ++q) {
+      if (q == p) continue;
+      relayed[p][q].resize(n);
+      for (int i = 0; i < n; ++i) {
+        if (faulty.count(q) > 0) {
+          relayed[p][q][i] = behavior(q, p, /*round=*/2, i);
+        } else {
+          relayed[p][q][i] = got[q][i];
+        }
+      }
+    }
+  }
+
+  // Step 4: majority vote per element over the n-1 relayed vectors.
+  std::vector<ResultVector> results(n);
+  for (int p = 0; p < n; ++p) {
+    results[p].resize(n);
+    for (int i = 0; i < n; ++i) {
+      if (i == p) {
+        results[p][i] = values[p];
+        continue;
+      }
+      std::map<std::string, int> counts;
+      int voters = 0;
+      for (int q = 0; q < n; ++q) {
+        if (q == p || q == i) continue;  // i's own relay of itself is direct.
+        ++counts[relayed[p][q][i]];
+        ++voters;
+      }
+      // Include what i itself claimed directly in round 1.
+      ++counts[got[p][i]];
+      ++voters;
+      std::string winner = kUnknown;
+      for (const auto& [value, count] : counts) {
+        if (2 * count > voters) winner = value;
+      }
+      results[p][i] = winner;
+    }
+  }
+  return results;
+}
+
+bool VectorsAgree(const std::vector<ResultVector>& results,
+                  const std::set<int>& faulty) {
+  const ResultVector* reference = nullptr;
+  for (size_t p = 0; p < results.size(); ++p) {
+    if (faulty.count(static_cast<int>(p)) > 0) continue;
+    if (reference == nullptr) {
+      reference = &results[p];
+      continue;
+    }
+    // Correct processes must agree on every element belonging to another
+    // process (element p of each vector is that process's own value, which
+    // trivially differs across processes — compare all i not owned by
+    // either vector's holder).
+    for (size_t i = 0; i < results[p].size(); ++i) {
+      size_t ref_owner = reference - results.data();
+      if (i == p || i == ref_owner) continue;
+      if (results[p][i] != (*reference)[i]) return false;
+    }
+  }
+  return true;
+}
+
+bool CorrectValuesRecovered(const std::vector<ResultVector>& results,
+                            const std::vector<std::string>& values,
+                            const std::set<int>& faulty) {
+  for (size_t p = 0; p < results.size(); ++p) {
+    if (faulty.count(static_cast<int>(p)) > 0) continue;
+    for (size_t i = 0; i < results[p].size(); ++i) {
+      if (faulty.count(static_cast<int>(i)) > 0) continue;
+      if (results[p][i] != values[i]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace consensus40::agreement

@@ -1,0 +1,64 @@
+#ifndef CONSENSUS40_AGREEMENT_INTERACTIVE_CONSISTENCY_H_
+#define CONSENSUS40_AGREEMENT_INTERACTIVE_CONSISTENCY_H_
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace consensus40::agreement {
+
+/// The UNKNOWN marker from the deck's result vectors.
+inline constexpr const char* kUnknown = "\x01UNKNOWN";
+
+/// Result vector computed by one correct process: element i is process i's
+/// value, or kUnknown when no majority emerged.
+using ResultVector = std::vector<std::string>;
+
+/// How a faulty process lies. Called once per (receiver, element) when the
+/// faulty process relays data; the return value is what the receiver gets.
+/// round 1 = own-value broadcast, round 2 = vector relay.
+using ByzantineBehavior = std::function<std::string(
+    int faulty, int receiver, int round, int element)>;
+
+/// Default adversary: sends a distinct garbage value to every receiver —
+/// the x/y/z and (a,b,c,d) pattern in the deck's figures.
+ByzantineBehavior DefaultLiar();
+
+/// A crash-style adversary: sends nothing (modelled as empty strings).
+ByzantineBehavior Silent();
+
+/// Runs the Pease–Shostak–Lamport interactive-consistency exchange for one
+/// round of value broadcast plus one round of vector relay (the deck's
+/// 4-step construction, sufficient for f = 1):
+///
+///   1. every process sends its value to the others;
+///   2. each collects the received values in a vector;
+///   3. every process passes its vector to every other process;
+///   4. element i of the result is the majority over the relayed vectors,
+///      or UNKNOWN if no value has a majority.
+///
+/// Returns one ResultVector per process (entries for faulty processes are
+/// computed but meaningless). `values[i]` is process i's private value.
+///
+/// The deck's theorem: with n >= 3f+1 the correct processes' result vectors
+/// (a) agree with each other and (b) contain every correct process's true
+/// value; with n = 3 and f = 1 they degrade to UNKNOWN.
+std::vector<ResultVector> RunInteractiveConsistency(
+    int n, const std::vector<std::string>& values,
+    const std::set<int>& faulty, const ByzantineBehavior& behavior);
+
+/// Checks property (a): all correct processes computed identical vectors.
+bool VectorsAgree(const std::vector<ResultVector>& results,
+                  const std::set<int>& faulty);
+
+/// Checks property (b): every correct process's value is correctly present
+/// in every correct process's vector.
+bool CorrectValuesRecovered(const std::vector<ResultVector>& results,
+                            const std::vector<std::string>& values,
+                            const std::set<int>& faulty);
+
+}  // namespace consensus40::agreement
+
+#endif  // CONSENSUS40_AGREEMENT_INTERACTIVE_CONSISTENCY_H_

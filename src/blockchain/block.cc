@@ -1,0 +1,136 @@
+#include "blockchain/block.h"
+
+#include <cstring>
+
+namespace consensus40::blockchain {
+
+Target Target::Max() {
+  Target t;
+  t.value.fill(0xff);
+  return t;
+}
+
+Target Target::FromLeadingZeroBits(int bits) {
+  Target t;
+  t.value.fill(0);
+  if (bits >= 256) return t;
+  // Set the bit at position `bits` (counting from the most significant).
+  int byte = bits / 8;
+  int bit = 7 - (bits % 8);
+  t.value[byte] = static_cast<uint8_t>(1u << bit);
+  // Fill everything below with 0xff so the target is the full range under
+  // the leading bit.
+  for (size_t i = byte + 1; i < t.value.size(); ++i) t.value[i] = 0xff;
+  return t;
+}
+
+Target Target::Scaled(uint64_t num, uint64_t den) const {
+  // Big-endian multiply by num, then divide by den, byte at a time.
+  // Intermediate uses 16-bit per byte with carries in 128-bit.
+  Target out;
+  if (num == 0 || den == 0) return out;
+
+  // Multiply: process from least significant byte.
+  unsigned __int128 carry = 0;
+  uint8_t mul[40] = {0};  // Allow 8 bytes of overflow headroom.
+  for (int i = 31; i >= 0; --i) {
+    unsigned __int128 v =
+        static_cast<unsigned __int128>(value[i]) * num + carry;
+    mul[i + 8] = static_cast<uint8_t>(v & 0xff);
+    carry = v >> 8;
+  }
+  for (int i = 7; i >= 0 && carry > 0; --i) {
+    mul[i] = static_cast<uint8_t>(carry & 0xff);
+    carry >>= 8;
+  }
+
+  // Divide the 40-byte big-endian number by den.
+  unsigned __int128 rem = 0;
+  uint8_t div[40] = {0};
+  for (int i = 0; i < 40; ++i) {
+    unsigned __int128 cur = (rem << 8) | mul[i];
+    div[i] = static_cast<uint8_t>(cur / den);
+    rem = cur % den;
+  }
+
+  // Saturate if anything remains in the overflow headroom.
+  for (int i = 0; i < 8; ++i) {
+    if (div[i] != 0) return Max();
+  }
+  std::memcpy(out.value.data(), div + 8, 32);
+  // A zero target would make mining impossible; clamp to 1.
+  bool zero = true;
+  for (uint8_t b : out.value) zero &= (b == 0);
+  if (zero) out.value[31] = 1;
+  return out;
+}
+
+double Target::Difficulty() const {
+  // max_target / target using long doubles over the leading 8 bytes.
+  long double target_val = 0;
+  long double max_val = 0;
+  for (int i = 0; i < 32; ++i) {
+    target_val = target_val * 256 + value[i];
+    max_val = max_val * 256 + 0xff;
+  }
+  if (target_val <= 0) return 1e300;
+  return static_cast<double>(max_val / target_val);
+}
+
+crypto::Digest Transaction::Hash() const {
+  crypto::Sha256 h;
+  h.Update(payload);
+  h.Update(&amount, sizeof(amount));
+  h.Update(&fee, sizeof(fee));
+  return h.Finish();
+}
+
+crypto::Digest BlockHeader::Hash() const {
+  uint8_t buf[4 + 32 + 32 + 4 + 32 + 8];
+  size_t off = 0;
+  std::memcpy(buf + off, &version, 4);
+  off += 4;
+  std::memcpy(buf + off, prev_hash.data(), 32);
+  off += 32;
+  std::memcpy(buf + off, merkle_root.data(), 32);
+  off += 32;
+  std::memcpy(buf + off, &timestamp, 4);
+  off += 4;
+  std::memcpy(buf + off, target.value.data(), 32);
+  off += 32;
+  std::memcpy(buf + off, &nonce, 8);
+  off += 8;
+  return crypto::Sha256::DoubleHash(buf, off);
+}
+
+std::vector<crypto::Digest> Block::MerkleLeaves() const {
+  std::vector<crypto::Digest> leaves;
+  // The coinbase (reward) transaction leads, as in Bitcoin.
+  crypto::Sha256 coinbase;
+  coinbase.Update(&miner, sizeof(miner));
+  coinbase.Update(&reward, sizeof(reward));
+  leaves.push_back(coinbase.Finish());
+  for (const Transaction& tx : txs) leaves.push_back(tx.Hash());
+  return leaves;
+}
+
+crypto::Digest Block::ComputeMerkleRoot() const {
+  return crypto::MerkleRoot(MerkleLeaves());
+}
+
+std::optional<uint64_t> MineNonce(BlockHeader* header, uint64_t max_tries) {
+  for (uint64_t nonce = 0; nonce < max_tries; ++nonce) {
+    header->nonce = nonce;
+    if (header->target.IsMetBy(header->Hash())) return nonce;
+  }
+  return std::nullopt;
+}
+
+int64_t BlockReward(uint64_t height, int64_t initial,
+                    uint64_t halving_interval) {
+  uint64_t halvings = height / halving_interval;
+  if (halvings >= 63) return 0;
+  return initial >> halvings;
+}
+
+}  // namespace consensus40::blockchain

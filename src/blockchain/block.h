@@ -1,0 +1,91 @@
+#ifndef CONSENSUS40_BLOCKCHAIN_BLOCK_H_
+#define CONSENSUS40_BLOCKCHAIN_BLOCK_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+
+namespace consensus40::blockchain {
+
+/// A 256-bit proof-of-work target, big-endian. A block hash must compare
+/// strictly below the target. Difficulty = max_target / target.
+struct Target {
+  crypto::Digest value{};
+
+  /// The easiest target (all 0xff).
+  static Target Max();
+
+  /// A target requiring ~`bits` leading zero bits.
+  static Target FromLeadingZeroBits(int bits);
+
+  bool IsMetBy(const crypto::Digest& hash) const {
+    return crypto::DigestLess(hash, value);
+  }
+
+  /// Multiplies the target by num/den (saturating at Max), the retarget
+  /// operation: new_target = old_target * actual_span / expected_span.
+  Target Scaled(uint64_t num, uint64_t den) const;
+
+  /// Approximate difficulty as a double (max_target / target).
+  double Difficulty() const;
+
+  bool operator==(const Target& o) const { return value == o.value; }
+};
+
+/// A transaction. The payload is opaque to consensus; `fee` and `amount`
+/// feed the reward accounting in the mining simulation.
+struct Transaction {
+  std::string payload;
+  int64_t amount = 0;
+  int64_t fee = 0;
+
+  crypto::Digest Hash() const;
+};
+
+/// The Bitcoin-style 80-byte block header.
+struct BlockHeader {
+  uint32_t version = 2;
+  crypto::Digest prev_hash{};
+  crypto::Digest merkle_root{};
+  uint32_t timestamp = 0;  ///< Seconds (virtual time).
+  Target target;           ///< "Bits", expanded.
+  uint64_t nonce = 0;
+
+  /// Serializes and double-SHA256 hashes the header (Bitcoin's rule).
+  crypto::Digest Hash() const;
+};
+
+/// A full block: header + coinbase (reward) + transactions.
+struct Block {
+  BlockHeader header;
+  int32_t miner = -1;       ///< Who gets the reward.
+  int64_t reward = 0;       ///< Coinbase value (halving applies).
+  std::vector<Transaction> txs;
+
+  /// Merkle leaves in canonical order: coinbase digest, then transaction
+  /// digests.
+  std::vector<crypto::Digest> MerkleLeaves() const;
+
+  /// Recomputes the merkle root from the miner/reward + transactions.
+  crypto::Digest ComputeMerkleRoot() const;
+
+  crypto::Digest Hash() const { return header.Hash(); }
+};
+
+/// Grinds nonces until header.Hash() meets the target or max_tries is
+/// exhausted. Returns the successful nonce. This is the real thing: each
+/// try is a double SHA-256 of the serialized header.
+std::optional<uint64_t> MineNonce(BlockHeader* header, uint64_t max_tries);
+
+/// The Bitcoin reward schedule: `initial` coins halved every
+/// `halving_interval` blocks (50 BTC / 210,000 in mainnet).
+int64_t BlockReward(uint64_t height, int64_t initial,
+                    uint64_t halving_interval);
+
+}  // namespace consensus40::blockchain
+
+#endif  // CONSENSUS40_BLOCKCHAIN_BLOCK_H_

@@ -1,0 +1,178 @@
+#include "blockchain/chain.h"
+
+#include <algorithm>
+
+namespace consensus40::blockchain {
+
+BlockTree::BlockTree(ChainOptions options) : options_(options) {
+  // Implicit genesis entry under the zero digest.
+  Entry genesis;
+  genesis.height = 0;
+  genesis.work = 0;
+  genesis.timestamp = 0;
+  genesis.block.header.target = options_.initial_target;
+  entries_[crypto::Digest{}] = genesis;
+}
+
+const BlockTree::Entry* BlockTree::GetEntry(const crypto::Digest& hash) const {
+  auto it = entries_.find(hash);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const Block* BlockTree::GetBlock(const crypto::Digest& hash) const {
+  const Entry* e = GetEntry(hash);
+  return e == nullptr ? nullptr : &e->block;
+}
+
+uint64_t BlockTree::HeightOf(const crypto::Digest& hash) const {
+  const Entry* e = GetEntry(hash);
+  return e == nullptr ? 0 : e->height;
+}
+
+uint64_t BlockTree::BestHeight() const { return HeightOf(best_tip_); }
+
+double BlockTree::BestWork() const {
+  const Entry* e = GetEntry(best_tip_);
+  return e == nullptr ? 0 : e->work;
+}
+
+Target BlockTree::NextTarget(const crypto::Digest& parent_hash) const {
+  const Entry* parent = GetEntry(parent_hash);
+  if (parent == nullptr) return options_.initial_target;
+  uint64_t next_height = parent->height + 1;
+  Target parent_target = parent->height == 0 ? options_.initial_target
+                                             : parent->block.header.target;
+  if (next_height % options_.retarget_interval != 0 || parent->height == 0) {
+    return parent_target;
+  }
+  // Retarget: compare the actual time of the last interval against the
+  // expected time, clamped to [1/4, 4] as in Bitcoin.
+  const Entry* span_start = parent;
+  for (uint64_t i = 0; i + 1 < options_.retarget_interval; ++i) {
+    const Entry* prev = GetEntry(span_start->block.header.prev_hash);
+    if (prev == nullptr || prev->height == 0) break;
+    span_start = prev;
+  }
+  uint64_t actual = parent->timestamp > span_start->timestamp
+                        ? parent->timestamp - span_start->timestamp
+                        : 1;
+  uint64_t expected =
+      options_.block_interval_secs * (options_.retarget_interval - 1);
+  if (expected == 0) expected = 1;
+  uint64_t lo = expected / 4, hi = expected * 4;
+  actual = std::clamp<uint64_t>(actual, std::max<uint64_t>(lo, 1), hi);
+  return parent_target.Scaled(actual, expected);
+}
+
+int64_t BlockTree::RewardAt(uint64_t height) const {
+  return BlockReward(height, options_.initial_reward,
+                     options_.halving_interval);
+}
+
+Status BlockTree::AddBlock(const Block& block) {
+  crypto::Digest hash = block.Hash();
+  if (entries_.count(hash) > 0) {
+    return Status::AlreadyExists("duplicate block");
+  }
+  const Entry* parent = GetEntry(block.header.prev_hash);
+  if (parent == nullptr) {
+    return Status::NotFound("orphan block: unknown parent");
+  }
+  if (!(block.header.merkle_root == block.ComputeMerkleRoot())) {
+    return Status::Corruption("merkle root mismatch");
+  }
+  Target expected = NextTarget(block.header.prev_hash);
+  if (!(block.header.target == expected)) {
+    return Status::InvalidArgument("wrong difficulty target");
+  }
+  if (options_.verify_pow && !block.header.target.IsMetBy(hash)) {
+    return Status::InvalidArgument("insufficient proof of work");
+  }
+  if (block.reward != RewardAt(parent->height + 1)) {
+    return Status::InvalidArgument("wrong block reward");
+  }
+
+  Entry entry;
+  entry.block = block;
+  entry.height = parent->height + 1;
+  entry.work = parent->work + block.header.target.Difficulty();
+  entry.timestamp = block.header.timestamp;
+  entries_[hash] = entry;
+
+  const Entry* best = GetEntry(best_tip_);
+  if (best == nullptr || entry.work > best->work) {
+    // Longest(-work) chain rule; count branch switches as reorgs.
+    if (best != nullptr && best_tip_ != block.header.prev_hash &&
+        !(best_tip_ == crypto::Digest{})) {
+      ++reorgs_;
+    }
+    best_tip_ = hash;
+  }
+  return Status::Ok();
+}
+
+std::vector<crypto::Digest> BlockTree::BestChain() const {
+  std::vector<crypto::Digest> chain;
+  crypto::Digest cursor = best_tip_;
+  while (!(cursor == crypto::Digest{})) {
+    chain.push_back(cursor);
+    const Entry* e = GetEntry(cursor);
+    if (e == nullptr) break;
+    cursor = e->block.header.prev_hash;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+bool BlockTree::OnBestChain(const crypto::Digest& hash) const {
+  const Entry* target = GetEntry(hash);
+  if (target == nullptr) return false;
+  crypto::Digest cursor = best_tip_;
+  while (!(cursor == crypto::Digest{})) {
+    if (cursor == hash) return true;
+    const Entry* e = GetEntry(cursor);
+    if (e == nullptr || e->height < target->height) return false;
+    cursor = e->block.header.prev_hash;
+  }
+  return hash == crypto::Digest{};
+}
+
+int BlockTree::StaleBlocks() const {
+  int stale = 0;
+  for (const auto& [hash, entry] : entries_) {
+    if (entry.height == 0) continue;  // Genesis.
+    if (!OnBestChain(hash)) ++stale;
+  }
+  return stale;
+}
+
+int BlockTree::Confirmations(const crypto::Digest& hash) const {
+  if (!OnBestChain(hash)) return 0;
+  const Entry* e = GetEntry(hash);
+  return static_cast<int>(BestHeight() - e->height) + 1;
+}
+
+Result<crypto::MerkleProof> BlockTree::ProveInclusion(
+    const crypto::Digest& block_hash, const crypto::Digest& tx_hash) const {
+  const Block* block = GetBlock(block_hash);
+  if (block == nullptr) return Status::NotFound("unknown block");
+  std::vector<crypto::Digest> leaves = block->MerkleLeaves();
+  for (size_t i = 0; i < block->txs.size(); ++i) {
+    if (block->txs[i].Hash() == tx_hash) {
+      // Leaf index i+1: the coinbase occupies leaf 0.
+      return crypto::BuildMerkleProof(leaves, i + 1);
+    }
+  }
+  return Status::NotFound("transaction not in block");
+}
+
+std::map<int32_t, int64_t> BlockTree::RewardsByMiner() const {
+  std::map<int32_t, int64_t> rewards;
+  for (const crypto::Digest& hash : BestChain()) {
+    const Entry* e = GetEntry(hash);
+    rewards[e->block.miner] += e->block.reward;
+  }
+  return rewards;
+}
+
+}  // namespace consensus40::blockchain

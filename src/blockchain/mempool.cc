@@ -1,0 +1,55 @@
+#include "blockchain/mempool.h"
+
+#include <algorithm>
+
+namespace consensus40::blockchain {
+
+bool Mempool::Add(const Transaction& tx) {
+  crypto::Digest hash = tx.Hash();
+  if (known_.count(hash) > 0) return false;
+  known_[hash] = tx;
+  if (confirmed_.count(hash) == 0) pending_[hash] = tx;
+  return true;
+}
+
+std::vector<Transaction> Mempool::Select(size_t max) const {
+  std::vector<Transaction> picked;
+  picked.reserve(std::min(max, pending_.size()));
+  for (const auto& [hash, tx] : pending_) picked.push_back(tx);
+  std::sort(picked.begin(), picked.end(),
+            [](const Transaction& a, const Transaction& b) {
+              return a.fee > b.fee;
+            });
+  if (picked.size() > max) picked.resize(max);
+  return picked;
+}
+
+void Mempool::SyncWithChain(const BlockTree& tree) {
+  std::set<crypto::Digest> on_chain;
+  for (const crypto::Digest& block_hash : tree.BestChain()) {
+    const Block* block = tree.GetBlock(block_hash);
+    for (const Transaction& tx : block->txs) {
+      crypto::Digest hash = tx.Hash();
+      on_chain.insert(hash);
+      known_.emplace(hash, tx);
+    }
+  }
+  // Newly confirmed leave the pool.
+  for (const crypto::Digest& hash : on_chain) {
+    confirmed_.insert(hash);
+    pending_.erase(hash);
+  }
+  // Confirmed transactions that fell off the best chain (reorg) are
+  // aborted and resubmitted: back to pending.
+  for (auto it = confirmed_.begin(); it != confirmed_.end();) {
+    if (on_chain.count(*it) == 0) {
+      pending_[*it] = known_[*it];
+      ++resubmissions_;
+      it = confirmed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace consensus40::blockchain

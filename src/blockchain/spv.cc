@@ -1,0 +1,69 @@
+#include "blockchain/spv.h"
+
+namespace consensus40::blockchain {
+
+Status SpvClient::AddHeader(const BlockHeader& header) {
+  crypto::Digest hash = header.Hash();
+  if (headers_.count(hash) > 0) return Status::AlreadyExists("duplicate");
+  uint64_t height;
+  double parent_work;
+  if (header.prev_hash == crypto::Digest{}) {
+    height = 1;
+    parent_work = 0;
+  } else {
+    auto parent = headers_.find(header.prev_hash);
+    if (parent == headers_.end()) {
+      return Status::NotFound("orphan header: unknown parent");
+    }
+    height = parent->second.height + 1;
+    parent_work = parent->second.work;
+  }
+  if (options_.verify_pow && !header.target.IsMetBy(hash)) {
+    return Status::InvalidArgument("insufficient proof of work");
+  }
+  Entry entry{header, height, parent_work + header.target.Difficulty()};
+  double best_work =
+      headers_.count(best_tip_) > 0 ? headers_[best_tip_].work : 0;
+  headers_[hash] = entry;
+  if (entry.work > best_work) best_tip_ = hash;
+  return Status::Ok();
+}
+
+uint64_t SpvClient::BestHeight() const {
+  auto it = headers_.find(best_tip_);
+  return it == headers_.end() ? 0 : it->second.height;
+}
+
+bool SpvClient::OnBestChain(const crypto::Digest& hash) const {
+  crypto::Digest cursor = best_tip_;
+  while (!(cursor == crypto::Digest{})) {
+    if (cursor == hash) return true;
+    auto it = headers_.find(cursor);
+    if (it == headers_.end()) return false;
+    cursor = it->second.header.prev_hash;
+  }
+  return false;
+}
+
+Status SpvClient::VerifyPayment(const crypto::Digest& tx_hash,
+                                const crypto::MerkleProof& proof,
+                                const crypto::Digest& block_hash) const {
+  auto it = headers_.find(block_hash);
+  if (it == headers_.end()) return Status::NotFound("unknown header");
+  if (!OnBestChain(block_hash)) {
+    return Status::FailedPrecondition("header not on the best chain");
+  }
+  int confirmations =
+      static_cast<int>(BestHeight() - it->second.height) + 1;
+  if (confirmations < options_.min_confirmations) {
+    return Status::FailedPrecondition(
+        "only " + std::to_string(confirmations) + " confirmations");
+  }
+  if (!crypto::VerifyMerkleProof(tx_hash, proof,
+                                 it->second.header.merkle_root)) {
+    return Status::InvalidArgument("merkle proof does not verify");
+  }
+  return Status::Ok();
+}
+
+}  // namespace consensus40::blockchain

@@ -1,0 +1,66 @@
+#ifndef CONSENSUS40_BLOCKCHAIN_SPV_H_
+#define CONSENSUS40_BLOCKCHAIN_SPV_H_
+
+#include <map>
+
+#include "blockchain/block.h"
+#include "common/status.h"
+#include "crypto/merkle.h"
+
+namespace consensus40::blockchain {
+
+/// A simplified-payment-verification (SPV) light client: stores ONLY the
+/// 80-byte block headers, follows the most-work header chain, and verifies
+/// transaction payments via merkle proofs served by full nodes — the deck's
+/// "suboptimal light client support" bullet, implemented so its trade-offs
+/// can be measured (header storage vs full blocks; proof trust model).
+class SpvClient {
+ public:
+  struct Options {
+    /// If true, each header's hash must actually meet its target (real
+    /// micro-mined chains); macro simulations turn this off.
+    bool verify_pow = true;
+    /// Confirmations required before a payment is accepted.
+    int min_confirmations = 6;
+  };
+
+  explicit SpvClient(Options options) : options_(options) {}
+  SpvClient() : SpvClient(Options{}) {}
+
+  /// Ingests a header whose parent is known (genesis = zero digest).
+  /// Errors: orphan header, failed PoW.
+  Status AddHeader(const BlockHeader& header);
+
+  uint64_t BestHeight() const;
+  const crypto::Digest& BestTip() const { return best_tip_; }
+  /// Number of headers stored (the light client's entire footprint).
+  size_t HeaderCount() const { return headers_.size(); }
+
+  /// Verifies a payment: the transaction digest must prove into the merkle
+  /// root of a known header that sits on the best header chain with at
+  /// least min_confirmations headers on top.
+  ///
+  /// Returns Ok, or: NotFound (unknown header), FailedPrecondition (header
+  /// off the best chain / insufficient confirmations), InvalidArgument
+  /// (merkle proof does not verify).
+  Status VerifyPayment(const crypto::Digest& tx_hash,
+                       const crypto::MerkleProof& proof,
+                       const crypto::Digest& block_hash) const;
+
+ private:
+  struct Entry {
+    BlockHeader header;
+    uint64_t height = 0;
+    double work = 0;
+  };
+
+  bool OnBestChain(const crypto::Digest& hash) const;
+
+  Options options_;
+  std::map<crypto::Digest, Entry> headers_;
+  crypto::Digest best_tip_{};
+};
+
+}  // namespace consensus40::blockchain
+
+#endif  // CONSENSUS40_BLOCKCHAIN_SPV_H_

@@ -1,0 +1,410 @@
+#include "cheapbft/cheapbft.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "pbft/pbft.h"
+
+namespace consensus40::cheapbft {
+
+namespace {
+
+bool ValidRequest(const smr::Command& cmd, const crypto::Signature& sig,
+                  const crypto::KeyRegistry& registry) {
+  return pbft::PbftReplica::ValidRequest(cmd, sig, registry);
+}
+
+}  // namespace
+
+CheapBftReplica::CheapBftReplica(CheapBftOptions options) : options_(options) {
+  assert(options_.f >= 1);
+  assert(options_.registry != nullptr && options_.usig != nullptr);
+}
+
+std::vector<sim::NodeId> CheapBftReplica::ActiveSet() const {
+  std::vector<sim::NodeId> active;
+  if (mode_ == CheapMode::kCheapTiny) {
+    for (int i = 0; i <= options_.f; ++i) active.push_back(i);
+  } else {
+    for (int i = 0; i < n(); ++i) active.push_back(i);
+  }
+  return active;
+}
+
+std::vector<sim::NodeId> CheapBftReplica::PassiveSet() const {
+  std::vector<sim::NodeId> passive;
+  if (mode_ == CheapMode::kCheapTiny) {
+    for (int i = options_.f + 1; i < n(); ++i) passive.push_back(i);
+  }
+  return passive;
+}
+
+std::vector<sim::NodeId> CheapBftReplica::Everyone() const {
+  std::vector<sim::NodeId> all;
+  for (int i = 0; i < n(); ++i) all.push_back(i);
+  return all;
+}
+
+crypto::Digest CheapBftReplica::BindingDigest(const smr::Command& cmd) const {
+  crypto::Sha256 h;
+  h.Update(&mode_epoch_, sizeof(mode_epoch_));
+  crypto::Digest d = cmd.Hash();
+  h.Update(d.data(), d.size());
+  return h.Finish();
+}
+
+crypto::Digest CheapBftReplica::HistoryDigest(
+    const std::vector<smr::Command>& cmds) const {
+  crypto::Sha256 h;
+  for (const smr::Command& cmd : cmds) {
+    crypto::Digest d = cmd.Hash();
+    h.Update(d.data(), d.size());
+  }
+  return h.Finish();
+}
+
+void CheapBftReplica::Execute(Slot& slot) {
+  if (slot.executed) return;
+  slot.executed = true;
+  auto key = std::make_pair(slot.cmd.client, slot.cmd.client_seq);
+  std::string result;
+  if (results_.count(key) > 0) {
+    result = results_[key];
+  } else {
+    result = dedup_.Apply(&kv_, slot.cmd);
+    results_[key] = result;
+    executed_commands_.push_back(slot.cmd);
+  }
+  auto it = request_timers_.find(key);
+  if (it != request_timers_.end()) {
+    CancelTimer(it->second);
+    request_timers_.erase(it);
+  }
+  auto reply = std::make_shared<ReplyMsg>();
+  reply->client_seq = slot.cmd.client_seq;
+  reply->replica = id();
+  reply->result = result;
+  Send(slot.cmd.client, reply);
+
+  // CheapTiny: propagate state to the passive replicas.
+  if (mode_ == CheapMode::kCheapTiny) {
+    auto update = std::make_shared<UpdateMsg>();
+    update->seq = executed_commands_.size();
+    update->cmd = slot.cmd;
+    Multicast(PassiveSet(), update);
+  }
+}
+
+void CheapBftReplica::MaybeExecuteTiny() {
+  // Slots below the expected cursor are re-deliveries of commands this
+  // replica already adopted through the switch history: answer from cache.
+  for (auto& [seq, slot] : slots_) {
+    if (seq < expected_counter_ && slot.prepared && !slot.executed &&
+        static_cast<int>(slot.commits.size()) >= RequiredCommits()) {
+      Execute(slot);
+    }
+  }
+  while (true) {
+    auto it = slots_.find(expected_counter_);
+    if (it == slots_.end() || !it->second.prepared) break;
+    if (static_cast<int>(it->second.commits.size()) < RequiredCommits()) break;
+    Execute(it->second);
+    ++expected_counter_;
+  }
+}
+
+void CheapBftReplica::Panic() {
+  if (mode_ != CheapMode::kCheapTiny || panicked_) return;
+  panicked_ = true;
+  mode_ = CheapMode::kSwitching;
+  Multicast(Everyone(), std::make_shared<PanicMsg>());
+
+  // Every (formerly) active replica publishes its history; in CheapTiny the
+  // all-active commit rule keeps the histories identical prefixes.
+  if (id() <= options_.f) {
+    auto history = std::make_shared<HistoryMsg>();
+    history->cmds = executed_commands_;
+    history->ui = options_.usig->CreateUi(id(), HistoryDigest(history->cmds));
+    Multicast(Everyone(), history);
+  }
+  proposed_history_ = executed_commands_;
+
+  // Close the switch window after a beat: adopt the longest valid history
+  // and hand over to MinBFT mode.
+  SetTimer(100 * sim::kMillisecond, [this] { FinishSwitch(); });
+}
+
+void CheapBftReplica::AdoptHistory(const std::vector<smr::Command>& cmds) {
+  // Valid histories extend our executed prefix; apply the missing suffix.
+  for (size_t i = executed_commands_.size(); i < cmds.size(); ++i) {
+    const smr::Command& cmd = cmds[i];
+    auto key = std::make_pair(cmd.client, cmd.client_seq);
+    if (results_.count(key) == 0) {
+      results_[key] = dedup_.Apply(&kv_, cmd);
+      executed_commands_.push_back(cmd);
+    }
+  }
+}
+
+void CheapBftReplica::FinishSwitch() {
+  if (mode_ != CheapMode::kSwitching) return;
+  AdoptHistory(proposed_history_);
+  auto sw = std::make_shared<SwitchMsg>();
+  sw->history_digest = HistoryDigest(executed_commands_);
+  sw->ui = options_.usig->CreateUi(id(), sw->history_digest);
+  Multicast(Everyone(), sw);
+
+  mode_ = CheapMode::kMinBft;
+  mode_epoch_ = 1;
+  slots_.clear();
+  expected_counter_ = executed_commands_.size() + 1;
+  next_fallback_seq_ = executed_commands_.size() + 1;
+
+  // Replay requests that arrived during the switch.
+  if (id() == Primary()) {
+    auto deferred = std::move(deferred_requests_);
+    deferred_requests_.clear();
+    for (const auto& [cmd, sig] : deferred) {
+      OnMessage(id(), RequestMsg(cmd, sig));
+    }
+  }
+}
+
+void CheapBftReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
+  if (const auto* m = dynamic_cast<const RequestMsg*>(&msg)) {
+    if (!ValidRequest(m->cmd, m->client_sig, *options_.registry)) return;
+    auto key = std::make_pair(m->cmd.client, m->cmd.client_seq);
+    auto done = results_.find(key);
+    if (done != results_.end()) {
+      auto reply = std::make_shared<ReplyMsg>();
+      reply->client_seq = m->cmd.client_seq;
+      reply->replica = id();
+      reply->result = done->second;
+      Send(m->cmd.client, reply);
+      return;
+    }
+    if (mode_ == CheapMode::kSwitching) {
+      deferred_requests_.push_back({m->cmd, m->client_sig});
+      return;
+    }
+    if (id() == Primary()) {
+      for (const auto& [seq, slot] : slots_) {
+        if (slot.cmd.client == m->cmd.client &&
+            slot.cmd.client_seq == m->cmd.client_seq) {
+          // In flight: retransmit the prepare (a recipient may have dropped
+          // it while mid-switch).
+          if (slot.prepare_msg != nullptr) {
+            Multicast(ActiveSet(), slot.prepare_msg);
+          }
+          return;
+        }
+      }
+      auto prepare = std::make_shared<PrepareMsg>();
+      prepare->mode_epoch = mode_epoch_;
+      prepare->cmd = m->cmd;
+      prepare->client_sig = m->client_sig;
+      prepare->ui = options_.usig->CreateUi(id(), BindingDigest(m->cmd));
+      prepare->seq = mode_ == CheapMode::kCheapTiny ? prepare->ui.counter
+                                                    : next_fallback_seq_++;
+      slots_[prepare->seq].prepare_msg = prepare;
+      Multicast(ActiveSet(), prepare);
+    } else {
+      Send(Primary(), std::make_shared<RequestMsg>(m->cmd, m->client_sig));
+      if (request_timers_.count(key) == 0) {
+        request_timers_[key] = SetTimer(options_.request_timeout,
+                                        [this, key] {
+                                          request_timers_.erase(key);
+                                          Panic();
+                                        });
+      }
+    }
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const PrepareMsg*>(&msg)) {
+    if (m->mode_epoch != mode_epoch_ || mode_ == CheapMode::kSwitching) return;
+    if (from != Primary()) return;
+    if (!ValidRequest(m->cmd, m->client_sig, *options_.registry)) return;
+    if (!options_.usig->VerifyUi(m->ui, BindingDigest(m->cmd))) return;
+    if (mode_ == CheapMode::kCheapTiny && m->seq != m->ui.counter) return;
+    Slot& slot = slots_[m->seq];
+    if (slot.prepared) return;
+    slot.prepared = true;
+    slot.cmd = m->cmd;
+    slot.client_sig = m->client_sig;
+    slot.primary_ui = m->ui;
+    slot.commits.insert(from);
+    if (!slot.sent_commit && id() != from) {
+      slot.sent_commit = true;
+      auto commit = std::make_shared<CommitMsg>();
+      commit->mode_epoch = mode_epoch_;
+      commit->seq = m->seq;
+      commit->cmd = m->cmd;
+      commit->client_sig = m->client_sig;
+      commit->primary_ui = m->ui;
+      commit->replica_ui =
+          options_.usig->CreateUi(id(), BindingDigest(m->cmd));
+      Multicast(ActiveSet(), commit);
+      slot.commits.insert(id());
+    }
+    // Arm panic watchdog: if the slot never commits, someone is faulty.
+    if (mode_ == CheapMode::kCheapTiny) {
+      auto key = std::make_pair(m->cmd.client, m->cmd.client_seq);
+      if (request_timers_.count(key) == 0) {
+        request_timers_[key] = SetTimer(options_.request_timeout,
+                                        [this, key] {
+                                          request_timers_.erase(key);
+                                          Panic();
+                                        });
+      }
+    }
+    MaybeExecuteTiny();
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const CommitMsg*>(&msg)) {
+    if (m->mode_epoch != mode_epoch_ || mode_ == CheapMode::kSwitching) return;
+    if (!options_.usig->VerifyUi(m->primary_ui, BindingDigest(m->cmd)) ||
+        !options_.usig->VerifyUi(m->replica_ui, BindingDigest(m->cmd))) {
+      return;
+    }
+    if (m->replica_ui.signer != from) return;
+    Slot& slot = slots_[m->seq];
+    slot.commits.insert(from);
+    if (!slot.prepared) {
+      slot.prepared = true;
+      slot.cmd = m->cmd;
+      slot.client_sig = m->client_sig;
+      slot.primary_ui = m->primary_ui;
+      slot.commits.insert(m->primary_ui.signer);
+      if (!slot.sent_commit && id() != Primary()) {
+        slot.sent_commit = true;
+        auto commit = std::make_shared<CommitMsg>();
+        commit->mode_epoch = mode_epoch_;
+        commit->seq = m->seq;
+        commit->cmd = m->cmd;
+        commit->client_sig = m->client_sig;
+        commit->primary_ui = m->primary_ui;
+        commit->replica_ui =
+            options_.usig->CreateUi(id(), BindingDigest(m->cmd));
+        Multicast(ActiveSet(), commit);
+        slot.commits.insert(id());
+      }
+    }
+    MaybeExecuteTiny();
+    return;
+  }
+
+  if (dynamic_cast<const UpdateMsg*>(&msg) != nullptr) {
+    const auto& m = static_cast<const UpdateMsg&>(msg);
+    if (mode_ != CheapMode::kCheapTiny || id() <= options_.f) return;
+    update_votes_[m.seq][m.cmd.Hash()].insert(from);
+    update_cmds_[m.seq] = m.cmd;
+    // Apply once all f+1 active replicas confirm, in order.
+    while (true) {
+      auto votes = update_votes_.find(next_update_to_apply_);
+      if (votes == update_votes_.end()) break;
+      const smr::Command& cmd = update_cmds_[next_update_to_apply_];
+      auto per_digest = votes->second.find(cmd.Hash());
+      if (per_digest == votes->second.end() ||
+          static_cast<int>(per_digest->second.size()) < options_.f + 1) {
+        break;
+      }
+      auto key = std::make_pair(cmd.client, cmd.client_seq);
+      if (results_.count(key) == 0) {
+        results_[key] = dedup_.Apply(&kv_, cmd);
+        executed_commands_.push_back(cmd);
+      }
+      ++next_update_to_apply_;
+    }
+    return;
+  }
+
+  if (dynamic_cast<const PanicMsg*>(&msg) != nullptr) {
+    Panic();
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const HistoryMsg*>(&msg)) {
+    if (mode_ != CheapMode::kSwitching) return;
+    if (!options_.usig->VerifyUi(m->ui, HistoryDigest(m->cmds))) return;
+    // Longest valid extension of our prefix wins.
+    if (m->cmds.size() > proposed_history_.size()) {
+      bool extends = true;
+      for (size_t i = 0;
+           i < std::min(proposed_history_.size(), m->cmds.size()); ++i) {
+        if (!(m->cmds[i] == proposed_history_[i])) {
+          extends = false;
+          break;
+        }
+      }
+      if (extends) proposed_history_ = m->cmds;
+    }
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const SwitchMsg*>(&msg)) {
+    if (!options_.usig->VerifyUi(m->ui, m->history_digest)) return;
+    switch_votes_.insert(from);
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+CheapBftClient::CheapBftClient(int f, const crypto::KeyRegistry* registry,
+                               int ops, std::string key, sim::Duration retry)
+    : f_(f),
+      n_(2 * f + 1),
+      registry_(registry),
+      ops_(ops),
+      key_(std::move(key)),
+      retry_(retry) {}
+
+void CheapBftClient::OnStart() {
+  seq_ = 1;
+  SendCurrent(false);
+}
+
+void CheapBftClient::SendCurrent(bool broadcast) {
+  if (done()) return;
+  smr::Command cmd{id(), seq_, "INC " + key_};
+  crypto::Signature sig = registry_->Sign(id(), cmd.Hash());
+  if (broadcast) {
+    for (int i = 0; i < n_; ++i) {
+      Send(i, std::make_shared<CheapBftReplica::RequestMsg>(cmd, sig));
+    }
+  } else {
+    Send(0, std::make_shared<CheapBftReplica::RequestMsg>(cmd, sig));
+  }
+  CancelTimer(retry_timer_);
+  retry_timer_ = SetTimer(retry_, [this] {
+    ++timeouts_;
+    // A timed-out client panics the cluster: CheapTiny cannot mask faults.
+    for (int i = 0; i < n_; ++i) {
+      Send(i, std::make_shared<CheapBftReplica::PanicMsg>());
+    }
+    SendCurrent(true);
+  });
+}
+
+void CheapBftClient::OnMessage(sim::NodeId from, const sim::Message& msg) {
+  const auto* m = dynamic_cast<const CheapBftReplica::ReplyMsg*>(&msg);
+  if (m == nullptr || m->client_seq != seq_ || done()) return;
+  reply_votes_[m->result].insert(from);
+  if (static_cast<int>(reply_votes_[m->result].size()) >= f_ + 1) {
+    results_.push_back(m->result);
+    reply_votes_.clear();
+    ++completed_;
+    ++seq_;
+    if (done()) {
+      CancelTimer(retry_timer_);
+    } else {
+      SendCurrent(false);
+    }
+  }
+}
+
+}  // namespace consensus40::cheapbft

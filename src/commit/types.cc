@@ -1,0 +1,21 @@
+#include "commit/types.h"
+
+namespace consensus40::commit {
+
+const char* ToString(TxState s) {
+  switch (s) {
+    case TxState::kUnknown:
+      return "unknown";
+    case TxState::kPrepared:
+      return "prepared";
+    case TxState::kPreCommitted:
+      return "pre-committed";
+    case TxState::kCommitted:
+      return "committed";
+    case TxState::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+}  // namespace consensus40::commit

@@ -1,0 +1,48 @@
+#ifndef CONSENSUS40_COMMIT_TYPES_H_
+#define CONSENSUS40_COMMIT_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace consensus40::commit {
+
+/// One participant's share of a distributed transaction: the operation it
+/// must apply if the transaction commits. An op equal to "FAIL" makes the
+/// participant vote No (models a local integrity violation).
+struct TxOp {
+  int32_t participant = -1;
+  std::string op;  ///< KvStore operation, e.g. "PUT x 1".
+};
+
+/// A distributed transaction spanning multiple participants. 2PC/3PC decide
+/// commit-or-abort atomically across all of them.
+struct Transaction {
+  uint64_t tx_id = 0;
+  std::vector<TxOp> ops;
+
+  std::vector<int32_t> Participants() const {
+    std::vector<int32_t> out;
+    for (const TxOp& op : ops) {
+      bool seen = false;
+      for (int32_t p : out) seen |= (p == op.participant);
+      if (!seen) out.push_back(op.participant);
+    }
+    return out;
+  }
+};
+
+/// Participant-visible transaction outcome / progress states.
+enum class TxState {
+  kUnknown,      ///< Never heard of the transaction.
+  kPrepared,     ///< Voted Yes; in the uncertainty window (2PC blocking zone).
+  kPreCommitted, ///< 3PC only: decision is commit, not yet applied.
+  kCommitted,
+  kAborted,
+};
+
+const char* ToString(TxState s);
+
+}  // namespace consensus40::commit
+
+#endif  // CONSENSUS40_COMMIT_TYPES_H_

@@ -1,0 +1,126 @@
+#ifndef CONSENSUS40_COMMON_STATUS_H_
+#define CONSENSUS40_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace consensus40 {
+
+/// RocksDB-style status object used for error propagation throughout the
+/// library. The library never throws exceptions across API boundaries.
+class Status {
+ public:
+  /// Error categories. Kept deliberately small; the message string carries
+  /// the detail.
+  enum class Code : uint8_t {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kFailedPrecondition,
+    kAborted,
+    kTimedOut,
+    kCorruption,
+    kUnavailable,
+    kInternal,
+  };
+
+  /// Default-constructed status is OK.
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory functions, one per error category.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(Code::kTimedOut, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: f must be >= 0".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// A value-or-error holder in the spirit of absl::StatusOr. The library
+/// returns Result<T> from any operation that can fail but also produces a
+/// value on success.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success) or a non-OK status
+  /// (failure) keeps call sites terse: `return value;` / `return status;`.
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Callers must check ok() first; accessing the value of
+  /// a failed Result is a programming error (the value is default-
+  /// constructed, never uninitialized, so the failure mode is deterministic).
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  const T& operator*() const& { return value_; }
+  T& operator*() & { return value_; }
+  const T* operator->() const { return &value_; }
+  T* operator->() { return &value_; }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace consensus40
+
+#endif  // CONSENSUS40_COMMON_STATUS_H_

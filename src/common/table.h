@@ -1,0 +1,35 @@
+#ifndef CONSENSUS40_COMMON_TABLE_H_
+#define CONSENSUS40_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace consensus40 {
+
+/// Aligned plain-text table builder. The benchmark harness regenerates the
+/// paper's comparison tables as text; this class does the formatting.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row. Rows shorter than the header are right-padded with
+  /// empty cells; longer rows are truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(int64_t v);
+
+  /// Renders the table with a header underline and column alignment.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace consensus40
+
+#endif  // CONSENSUS40_COMMON_TABLE_H_

@@ -1,0 +1,66 @@
+#include "core/cnc.h"
+
+namespace consensus40::core {
+
+const char* ToString(CncPhase p) {
+  switch (p) {
+    case CncPhase::kLeaderElection:
+      return "LeaderElection";
+    case CncPhase::kValueDiscovery:
+      return "ValueDiscovery";
+    case CncPhase::kFaultTolerantAgreement:
+      return "FaultTolerantAgreement";
+    case CncPhase::kDecision:
+      return "Decision";
+    case CncPhase::kOther:
+      return "Other";
+  }
+  return "?";
+}
+
+void CncPhaseMap::Tag(const std::string& type_name, CncPhase phase) {
+  map_[type_name] = phase;
+}
+
+CncPhase CncPhaseMap::PhaseOf(const std::string& type_name) const {
+  auto it = map_.find(type_name);
+  return it == map_.end() ? CncPhase::kOther : it->second;
+}
+
+void CncTracer::Attach(sim::Simulation* sim) {
+  sim->SetTraceFn([this](const sim::Envelope& env, sim::Time deliver_time) {
+    entries_.push_back(CncTraceEntry{deliver_time, env.from, env.to,
+                                     env.msg->TypeName(),
+                                     map_.PhaseOf(env.msg->TypeName())});
+  });
+}
+
+std::vector<CncPhase> CncTracer::PhaseSequence() const {
+  std::vector<CncPhase> seq;
+  for (const CncTraceEntry& e : entries_) {
+    if (e.phase == CncPhase::kOther) continue;
+    if (seq.empty() || seq.back() != e.phase) {
+      bool seen = false;
+      for (CncPhase p : seq) {
+        if (p == e.phase) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) seq.push_back(e.phase);
+    }
+  }
+  return seq;
+}
+
+std::string CncTracer::ToString() const {
+  std::string out;
+  for (const CncTraceEntry& e : entries_) {
+    out += "t=" + std::to_string(e.time) + "us  " + std::to_string(e.from) +
+           " -> " + std::to_string(e.to) + "  " + e.type + "  [" +
+           consensus40::core::ToString(e.phase) + "]\n";
+  }
+  return out;
+}
+
+}  // namespace consensus40::core

@@ -1,0 +1,74 @@
+#ifndef CONSENSUS40_CORE_CNC_H_
+#define CONSENSUS40_CORE_CNC_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace consensus40::core {
+
+/// The Consensus & Commitment (C&C) framework: the paper's observation that
+/// leader-based agreement protocols decompose into four phases. Protocols
+/// in this library tag their message types with the phase they implement;
+/// the framework turns executions into phase-annotated traces (figure F9)
+/// and lets tests assert that the expected phases occur in order.
+enum class CncPhase {
+  kLeaderElection,
+  kValueDiscovery,
+  kFaultTolerantAgreement,
+  kDecision,
+  kOther,
+};
+
+const char* ToString(CncPhase p);
+
+/// Maps a protocol's message type names to C&C phases.
+class CncPhaseMap {
+ public:
+  /// Registers `type_name` (Message::TypeName()) as belonging to `phase`.
+  void Tag(const std::string& type_name, CncPhase phase);
+
+  /// Phase for a message type; kOther when untagged.
+  CncPhase PhaseOf(const std::string& type_name) const;
+
+ private:
+  std::map<std::string, CncPhase> map_;
+};
+
+/// One delivered message, annotated.
+struct CncTraceEntry {
+  sim::Time time = 0;
+  sim::NodeId from = sim::kInvalidNode;
+  sim::NodeId to = sim::kInvalidNode;
+  std::string type;
+  CncPhase phase = CncPhase::kOther;
+};
+
+/// Records every delivery in a simulation, annotated with C&C phases.
+/// Install with Attach() before running; read `entries()` afterwards.
+class CncTracer {
+ public:
+  explicit CncTracer(CncPhaseMap map) : map_(std::move(map)) {}
+
+  /// Registers this tracer as the simulation's trace hook.
+  void Attach(sim::Simulation* sim);
+
+  const std::vector<CncTraceEntry>& entries() const { return entries_; }
+
+  /// Distinct phases in first-occurrence order — the deck's phase arrow
+  /// "Leader Election -> Value Discovery -> FT Agreement -> Decision".
+  std::vector<CncPhase> PhaseSequence() const;
+
+  /// Multi-line rendering of the annotated flow.
+  std::string ToString() const;
+
+ private:
+  CncPhaseMap map_;
+  std::vector<CncTraceEntry> entries_;
+};
+
+}  // namespace consensus40::core
+
+#endif  // CONSENSUS40_CORE_CNC_H_

@@ -1,0 +1,171 @@
+#include "core/quorum.h"
+
+#include <cassert>
+
+namespace consensus40::core {
+
+namespace {
+
+int CountInRange(const NodeSet& nodes, int n) {
+  int count = 0;
+  for (int id : nodes) {
+    if (id >= 0 && id < n) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+MajorityQuorum::MajorityQuorum(int n) : n_(n) { assert(n > 0); }
+
+bool MajorityQuorum::IsElectionQuorum(const NodeSet& nodes) const {
+  return CountInRange(nodes, n_) >= ElectionQuorumSize();
+}
+
+bool MajorityQuorum::IsReplicationQuorum(const NodeSet& nodes) const {
+  return CountInRange(nodes, n_) >= ReplicationQuorumSize();
+}
+
+std::string MajorityQuorum::Describe() const {
+  return "majority(n=" + std::to_string(n_) +
+         ", q=" + std::to_string(ElectionQuorumSize()) + ")";
+}
+
+ByzantineQuorum::ByzantineQuorum(int n) : n_(n) { assert(n >= 4); }
+
+bool ByzantineQuorum::IsElectionQuorum(const NodeSet& nodes) const {
+  return CountInRange(nodes, n_) >= QuorumSize();
+}
+
+bool ByzantineQuorum::IsReplicationQuorum(const NodeSet& nodes) const {
+  return CountInRange(nodes, n_) >= QuorumSize();
+}
+
+std::string ByzantineQuorum::Describe() const {
+  return "byzantine(n=" + std::to_string(n_) + ", f=" +
+         std::to_string(MaxFaults()) + ", q=" + std::to_string(QuorumSize()) +
+         ")";
+}
+
+Result<std::unique_ptr<FlexibleQuorum>> FlexibleQuorum::Make(int n, int q1,
+                                                             int q2) {
+  if (n <= 0 || q1 <= 0 || q2 <= 0 || q1 > n || q2 > n) {
+    return Status::InvalidArgument("quorum sizes must be in (0, n]");
+  }
+  if (q1 + q2 <= n) {
+    return Status::InvalidArgument(
+        "flexible paxos requires q1 + q2 > n (quorums must intersect)");
+  }
+  return std::unique_ptr<FlexibleQuorum>(new FlexibleQuorum(n, q1, q2));
+}
+
+bool FlexibleQuorum::IsElectionQuorum(const NodeSet& nodes) const {
+  return CountInRange(nodes, n_) >= q1_;
+}
+
+bool FlexibleQuorum::IsReplicationQuorum(const NodeSet& nodes) const {
+  return CountInRange(nodes, n_) >= q2_;
+}
+
+std::string FlexibleQuorum::Describe() const {
+  return "flexible(n=" + std::to_string(n_) + ", q1=" + std::to_string(q1_) +
+         ", q2=" + std::to_string(q2_) + ")";
+}
+
+GridQuorum::GridQuorum(int rows, int cols) : rows_(rows), cols_(cols) {
+  assert(rows > 0 && cols > 0);
+}
+
+// Node id layout: row-major, id = r * cols + c.
+bool GridQuorum::IsElectionQuorum(const NodeSet& nodes) const {
+  // One full column: for some c, all r in [0, rows) with id r*cols+c present.
+  for (int c = 0; c < cols_; ++c) {
+    bool full = true;
+    for (int r = 0; r < rows_; ++r) {
+      if (nodes.count(r * cols_ + c) == 0) {
+        full = false;
+        break;
+      }
+    }
+    if (full) return true;
+  }
+  return false;
+}
+
+bool GridQuorum::IsReplicationQuorum(const NodeSet& nodes) const {
+  // One full row.
+  for (int r = 0; r < rows_; ++r) {
+    bool full = true;
+    for (int c = 0; c < cols_; ++c) {
+      if (nodes.count(r * cols_ + c) == 0) {
+        full = false;
+        break;
+      }
+    }
+    if (full) return true;
+  }
+  return false;
+}
+
+std::string GridQuorum::Describe() const {
+  return "grid(" + std::to_string(rows_) + "x" + std::to_string(cols_) + ")";
+}
+
+HybridQuorum::HybridQuorum(int m, int c) : m_(m), c_(c) {
+  assert(m >= 0 && c >= 0 && m + c > 0);
+}
+
+bool HybridQuorum::IsElectionQuorum(const NodeSet& nodes) const {
+  return CountInRange(nodes, n()) >= QuorumSize();
+}
+
+bool HybridQuorum::IsReplicationQuorum(const NodeSet& nodes) const {
+  return CountInRange(nodes, n()) >= QuorumSize();
+}
+
+std::string HybridQuorum::Describe() const {
+  return "hybrid(m=" + std::to_string(m_) + ", c=" + std::to_string(c_) +
+         ", n=" + std::to_string(n()) + ", q=" + std::to_string(QuorumSize()) +
+         ")";
+}
+
+bool CheckQuorumIntersection(const QuorumSystem& qs, int min_overlap) {
+  int n = qs.n();
+  assert(n <= 14);
+  uint32_t limit = 1u << n;
+
+  auto to_set = [n](uint32_t mask) {
+    NodeSet s;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) s.insert(i);
+    }
+    return s;
+  };
+
+  // It suffices to check *minimal* quorums: shrinking either side can only
+  // shrink the intersection, so the minimum over all quorum pairs is
+  // attained at a pair of minimal quorums.
+  auto is_minimal = [&](uint32_t mask, auto&& pred) {
+    if (!pred(to_set(mask))) return false;
+    for (int i = 0; i < n; ++i) {
+      if ((mask & (1u << i)) && pred(to_set(mask & ~(1u << i)))) return false;
+    }
+    return true;
+  };
+
+  std::vector<uint32_t> election, replication;
+  auto e_pred = [&qs](const NodeSet& s) { return qs.IsElectionQuorum(s); };
+  auto r_pred = [&qs](const NodeSet& s) { return qs.IsReplicationQuorum(s); };
+  for (uint32_t mask = 0; mask < limit; ++mask) {
+    if (is_minimal(mask, e_pred)) election.push_back(mask);
+    if (is_minimal(mask, r_pred)) replication.push_back(mask);
+  }
+  for (uint32_t e : election) {
+    for (uint32_t r : replication) {
+      if (__builtin_popcount(e & r) < min_overlap) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace consensus40::core

@@ -1,0 +1,157 @@
+#ifndef CONSENSUS40_CORE_QUORUM_H_
+#define CONSENSUS40_CORE_QUORUM_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace consensus40::core {
+
+using NodeSet = std::set<int>;
+
+/// A quorum system over nodes {0..n-1}: decides which response sets suffice
+/// for each of the two roles the paper distinguishes — leader election
+/// (Paxos phase 1) and replication (phase 2). For classic systems the two
+/// coincide; Flexible Paxos decouples them.
+class QuorumSystem {
+ public:
+  virtual ~QuorumSystem() = default;
+
+  /// Total number of nodes.
+  virtual int n() const = 0;
+
+  /// True iff `nodes` contains a leader-election (phase-1) quorum.
+  virtual bool IsElectionQuorum(const NodeSet& nodes) const = 0;
+
+  /// True iff `nodes` contains a replication (phase-2) quorum.
+  virtual bool IsReplicationQuorum(const NodeSet& nodes) const = 0;
+
+  /// Count-based shortcuts for threshold systems (the common case). For
+  /// set-structured systems (grids) these return the minimum cardinality
+  /// that could possibly be a quorum; protocols built on such systems must
+  /// use the set-based predicates.
+  virtual int ElectionQuorumSize() const = 0;
+  virtual int ReplicationQuorumSize() const = 0;
+
+  /// Human-readable description for tables.
+  virtual std::string Describe() const = 0;
+};
+
+/// Classic majority quorums (Paxos/Raft): n = 2f+1, quorum = f+1 ... i.e.
+/// strictly more than half; any two quorums intersect in >= 1 node.
+class MajorityQuorum : public QuorumSystem {
+ public:
+  explicit MajorityQuorum(int n);
+  int n() const override { return n_; }
+  bool IsElectionQuorum(const NodeSet& nodes) const override;
+  bool IsReplicationQuorum(const NodeSet& nodes) const override;
+  int ElectionQuorumSize() const override { return n_ / 2 + 1; }
+  int ReplicationQuorumSize() const override { return n_ / 2 + 1; }
+  std::string Describe() const override;
+
+  /// Max crash faults tolerated.
+  int MaxFaults() const { return (n_ - 1) / 2; }
+
+ private:
+  int n_;
+};
+
+/// Byzantine quorums (PBFT/HotStuff): n = 3f+1, quorum = 2f+1; any two
+/// quorums intersect in >= f+1 nodes, at least one of which is correct.
+class ByzantineQuorum : public QuorumSystem {
+ public:
+  explicit ByzantineQuorum(int n);
+  int n() const override { return n_; }
+  bool IsElectionQuorum(const NodeSet& nodes) const override;
+  bool IsReplicationQuorum(const NodeSet& nodes) const override;
+  int ElectionQuorumSize() const override { return QuorumSize(); }
+  int ReplicationQuorumSize() const override { return QuorumSize(); }
+  std::string Describe() const override;
+
+  /// Max Byzantine faults tolerated: f = (n-1)/3.
+  int MaxFaults() const { return (n_ - 1) / 3; }
+  /// 2f+1 given this n.
+  int QuorumSize() const { return n_ - MaxFaults(); }
+  /// Guaranteed intersection of two quorums: f+1.
+  int Intersection() const { return 2 * QuorumSize() - n_; }
+
+ private:
+  int n_;
+};
+
+/// Flexible Paxos threshold quorums: election quorums of size q1 and
+/// replication quorums of size q2 with q1 + q2 > n. Majority quorums are
+/// the special case q1 = q2 = floor(n/2)+1.
+class FlexibleQuorum : public QuorumSystem {
+ public:
+  /// Returns InvalidArgument unless 0 < q1,q2 <= n and q1 + q2 > n.
+  static Result<std::unique_ptr<FlexibleQuorum>> Make(int n, int q1, int q2);
+
+  int n() const override { return n_; }
+  bool IsElectionQuorum(const NodeSet& nodes) const override;
+  bool IsReplicationQuorum(const NodeSet& nodes) const override;
+  int ElectionQuorumSize() const override { return q1_; }
+  int ReplicationQuorumSize() const override { return q2_; }
+  std::string Describe() const override;
+
+ private:
+  FlexibleQuorum(int n, int q1, int q2) : n_(n), q1_(q1), q2_(q2) {}
+  int n_, q1_, q2_;
+};
+
+/// Flexible Paxos grid quorums over a rows x cols grid: a replication
+/// quorum is one full row; an election quorum is one full column. Every
+/// column intersects every row in exactly one node, and |row| + |col| can be
+/// far below a majority pair.
+class GridQuorum : public QuorumSystem {
+ public:
+  GridQuorum(int rows, int cols);
+  int n() const override { return rows_ * cols_; }
+  bool IsElectionQuorum(const NodeSet& nodes) const override;
+  bool IsReplicationQuorum(const NodeSet& nodes) const override;
+  int ElectionQuorumSize() const override { return rows_; }
+  int ReplicationQuorumSize() const override { return cols_; }
+  std::string Describe() const override;
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+ private:
+  int rows_, cols_;
+};
+
+/// Hybrid (UpRight / SeeMoRe) quorums tolerating at most m Byzantine and
+/// c crash faults: network 3m+2c+1, quorum 2m+c+1, intersection m+1.
+class HybridQuorum : public QuorumSystem {
+ public:
+  HybridQuorum(int m, int c);
+  int n() const override { return 3 * m_ + 2 * c_ + 1; }
+  bool IsElectionQuorum(const NodeSet& nodes) const override;
+  bool IsReplicationQuorum(const NodeSet& nodes) const override;
+  int ElectionQuorumSize() const override { return QuorumSize(); }
+  int ReplicationQuorumSize() const override { return QuorumSize(); }
+  std::string Describe() const override;
+
+  int m() const { return m_; }
+  int c() const { return c_; }
+  /// 2m+c+1.
+  int QuorumSize() const { return 2 * m_ + c_ + 1; }
+  /// Guaranteed overlap of two quorums: m+1 (>= 1 correct node).
+  int Intersection() const { return 2 * QuorumSize() - n(); }
+
+ private:
+  int m_, c_;
+};
+
+/// Exhaustively verifies the defining intersection property of a quorum
+/// system for all subsets of {0..n-1} (n <= ~16): every election quorum
+/// intersects every replication quorum in at least `min_overlap` nodes.
+/// Used by the property-test suite.
+bool CheckQuorumIntersection(const QuorumSystem& qs, int min_overlap);
+
+}  // namespace consensus40::core
+
+#endif  // CONSENSUS40_CORE_QUORUM_H_

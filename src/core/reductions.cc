@@ -1,0 +1,70 @@
+#include "core/reductions.h"
+
+#include <algorithm>
+#include <set>
+
+namespace consensus40::core {
+
+std::string ConsensusFromAtomicBroadcast::Decide(uint64_t /*instance*/,
+                                                 const std::string& proposal) {
+  ab_->Broadcast(proposal);
+  // Decide the first delivered message. In an asynchronous deployment the
+  // caller would block on delivery; our service interface is pull-based,
+  // so callers invoke Decide after running the underlying system.
+  std::vector<std::string> delivered = ab_->Delivered();
+  return delivered.empty() ? std::string() : delivered.front();
+}
+
+void AtomicBroadcastFromConsensus::Broadcast(const std::string& message) {
+  pending_.push_back(message);
+}
+
+std::string AtomicBroadcastFromConsensus::EncodeBatch(
+    const std::vector<std::string>& batch) {
+  // Length-prefixed concatenation: "<len>:<msg>" repeated.
+  std::string out;
+  for (const std::string& message : batch) {
+    out += std::to_string(message.size());
+    out += ':';
+    out += message;
+  }
+  return out;
+}
+
+std::vector<std::string> AtomicBroadcastFromConsensus::DecodeBatch(
+    const std::string& value) {
+  std::vector<std::string> batch;
+  size_t pos = 0;
+  while (pos < value.size()) {
+    size_t colon = value.find(':', pos);
+    if (colon == std::string::npos) break;
+    size_t len = std::strtoull(value.substr(pos, colon - pos).c_str(),
+                               nullptr, 10);
+    batch.push_back(value.substr(colon + 1, len));
+    pos = colon + 1 + len;
+  }
+  return batch;
+}
+
+std::vector<std::string> AtomicBroadcastFromConsensus::Delivered() {
+  // Drive consensus instances while we hold undelivered messages.
+  std::set<std::string> already(delivered_.begin(), delivered_.end());
+  while (true) {
+    std::vector<std::string> fresh;
+    for (const std::string& message : pending_) {
+      if (already.count(message) == 0) fresh.push_back(message);
+    }
+    if (fresh.empty()) break;
+    // Propose the fresh batch in deterministic order; the DECIDED batch
+    // (possibly another node's) is what gets delivered.
+    std::sort(fresh.begin(), fresh.end());
+    std::string decided =
+        consensus_->Decide(next_instance_++, EncodeBatch(fresh));
+    for (const std::string& message : DecodeBatch(decided)) {
+      if (already.insert(message).second) delivered_.push_back(message);
+    }
+  }
+  return delivered_;
+}
+
+}  // namespace consensus40::core

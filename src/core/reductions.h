@@ -1,0 +1,81 @@
+#ifndef CONSENSUS40_CORE_REDUCTIONS_H_
+#define CONSENSUS40_CORE_REDUCTIONS_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace consensus40::core {
+
+/// The deck's "equivalent problems" slide made executable: atomic
+/// broadcast and consensus are mutually reducible (Chandra & Toueg 1996).
+/// These adapters express each reduction against abstract service
+/// interfaces so the equivalences can be tested with any implementation
+/// from this library plugged in.
+
+/// Abstract consensus box: each call decides one value among proposals.
+/// Implementations are expected to be one-shot per instance id.
+class ConsensusService {
+ public:
+  virtual ~ConsensusService() = default;
+
+  /// Runs instance `instance` with `proposal` as this caller's input and
+  /// returns the decided value (the same for every caller of the
+  /// instance).
+  virtual std::string Decide(uint64_t instance, const std::string& proposal) = 0;
+};
+
+/// Abstract atomic broadcast box: messages go in, a totally-ordered
+/// delivery sequence comes out (identical at every node).
+class AtomicBroadcastService {
+ public:
+  virtual ~AtomicBroadcastService() = default;
+
+  virtual void Broadcast(const std::string& message) = 0;
+
+  /// The delivery sequence so far (a prefix of the eventual total order).
+  virtual std::vector<std::string> Delivered() = 0;
+};
+
+/// Reduction 1 — consensus FROM atomic broadcast: broadcast your proposal
+/// and decide the first delivered message. Trivially satisfies agreement
+/// (identical delivery order) and validity (only broadcast messages are
+/// delivered).
+class ConsensusFromAtomicBroadcast : public ConsensusService {
+ public:
+  explicit ConsensusFromAtomicBroadcast(AtomicBroadcastService* ab)
+      : ab_(ab) {}
+
+  std::string Decide(uint64_t instance, const std::string& proposal) override;
+
+ private:
+  AtomicBroadcastService* ab_;
+};
+
+/// Reduction 2 — atomic broadcast FROM consensus: collect pending
+/// messages, and for k = 1, 2, ... run consensus instance k on the
+/// pending batch; deliver the decided batch in a deterministic order.
+/// Agreement of consensus gives identical delivery sequences everywhere.
+class AtomicBroadcastFromConsensus : public AtomicBroadcastService {
+ public:
+  explicit AtomicBroadcastFromConsensus(ConsensusService* consensus)
+      : consensus_(consensus) {}
+
+  void Broadcast(const std::string& message) override;
+  std::vector<std::string> Delivered() override;
+
+ private:
+  /// Serializes a batch of messages into one consensus value and back.
+  static std::string EncodeBatch(const std::vector<std::string>& batch);
+  static std::vector<std::string> DecodeBatch(const std::string& value);
+
+  ConsensusService* consensus_;
+  std::vector<std::string> pending_;
+  std::vector<std::string> delivered_;
+  uint64_t next_instance_ = 1;
+};
+
+}  // namespace consensus40::core
+
+#endif  // CONSENSUS40_CORE_REDUCTIONS_H_

@@ -1,0 +1,122 @@
+#include "core/traits.h"
+
+namespace consensus40::core {
+
+const char* ToString(Synchrony s) {
+  switch (s) {
+    case Synchrony::kSynchronous:
+      return "synchronous";
+    case Synchrony::kAsynchronous:
+      return "asynchronous";
+    case Synchrony::kPartiallySynchronous:
+      return "partially-synchronous";
+  }
+  return "?";
+}
+
+const char* ToString(FailureModel f) {
+  switch (f) {
+    case FailureModel::kCrash:
+      return "crash";
+    case FailureModel::kByzantine:
+      return "Byzantine";
+    case FailureModel::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+const char* ToString(Strategy s) {
+  switch (s) {
+    case Strategy::kPessimistic:
+      return "pessimistic";
+    case Strategy::kOptimistic:
+      return "optimistic";
+  }
+  return "?";
+}
+
+const char* ToString(Awareness a) {
+  switch (a) {
+    case Awareness::kKnown:
+      return "known";
+    case Awareness::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+int TwoFPlusOne(int f, int /*c*/) { return 2 * f + 1; }
+int ThreeFPlusOne(int f, int /*c*/) { return 3 * f + 1; }
+int FPlusOneActive(int f, int /*c*/) { return f + 1; }
+int HybridNodes(int m, int c) { return 3 * m + 2 * c + 1; }
+int Unbounded(int /*f*/, int /*c*/) { return -1; }
+
+const std::vector<ProtocolTraits>& BuildTable() {
+  static const std::vector<ProtocolTraits>* kTable =
+      new std::vector<ProtocolTraits>{
+          {"Paxos", Synchrony::kPartiallySynchronous, FailureModel::kCrash,
+           Strategy::kPessimistic, Awareness::kKnown, "2f+1", &TwoFPlusOne,
+           "2", "O(N)", "Lamport 98; leader-based, majority quorums"},
+          {"Raft", Synchrony::kPartiallySynchronous, FailureModel::kCrash,
+           Strategy::kPessimistic, Awareness::kKnown, "2f+1", &TwoFPlusOne,
+           "2", "O(N)", "Ongaro & Ousterhout 14; log-integrated Paxos twin"},
+          {"Fast Paxos", Synchrony::kPartiallySynchronous,
+           FailureModel::kCrash, Strategy::kPessimistic, Awareness::kKnown,
+           "3f+1", &ThreeFPlusOne, "1 or 3", "O(N)",
+           "Lamport 06; 2 message delays, fast quorums, collision recovery"},
+          {"Flexible Paxos", Synchrony::kPartiallySynchronous,
+           FailureModel::kCrash, Strategy::kPessimistic, Awareness::kKnown,
+           "2f+1", &TwoFPlusOne, "2", "O(N)",
+           "Howard et al. 17; only Q1 x Q2 must intersect"},
+          {"PBFT", Synchrony::kPartiallySynchronous, FailureModel::kByzantine,
+           Strategy::kPessimistic, Awareness::kKnown, "3f+1", &ThreeFPlusOne,
+           "3", "O(N^2)", "Castro & Liskov 99; O(N^3) view change"},
+          {"Zyzzyva", Synchrony::kPartiallySynchronous,
+           FailureModel::kByzantine, Strategy::kOptimistic, Awareness::kKnown,
+           "3f+1", &ThreeFPlusOne, "1 or 2", "O(N)",
+           "Kotla et al. 07; speculative execution, client commits"},
+          {"HotStuff", Synchrony::kPartiallySynchronous,
+           FailureModel::kByzantine, Strategy::kPessimistic, Awareness::kKnown,
+           "3f+1", &ThreeFPlusOne, "7", "O(N)",
+           "Yin et al. 19; threshold sigs, leader rotation, pipelining"},
+          {"MinBFT", Synchrony::kPartiallySynchronous,
+           FailureModel::kByzantine, Strategy::kPessimistic, Awareness::kKnown,
+           "2f+1", &TwoFPlusOne, "2", "O(N)",
+           "Veronese et al. 13; USIG trusted counter"},
+          {"CheapBFT", Synchrony::kPartiallySynchronous,
+           FailureModel::kByzantine, Strategy::kOptimistic, Awareness::kKnown,
+           "f+1 (2f+1)", &FPlusOneActive, "2", "O(N)",
+           "Kapitza et al. 12; f+1 active, CheapSwitch to MinBFT"},
+          {"UpRight", Synchrony::kPartiallySynchronous, FailureModel::kHybrid,
+           Strategy::kOptimistic, Awareness::kKnown, "3m+2c+1", &HybridNodes,
+           "2 or 3", "O(N^2)",
+           "Clement et al. 09; m malicious + c crash faults"},
+          {"SeeMoRe", Synchrony::kPartiallySynchronous, FailureModel::kHybrid,
+           Strategy::kPessimistic, Awareness::kKnown, "3m+2c+1", &HybridNodes,
+           "2 or 3", "O(N)/O(N^2)",
+           "Amiri et al. 19; hybrid private/public cloud, 3 modes"},
+          {"XFT", Synchrony::kPartiallySynchronous, FailureModel::kHybrid,
+           Strategy::kOptimistic, Awareness::kKnown, "2f+1", &TwoFPlusOne,
+           "2", "O(N)", "Liu et al. 16; safe outside anarchy"},
+          {"PoW (Bitcoin)", Synchrony::kSynchronous, FailureModel::kByzantine,
+           Strategy::kOptimistic, Awareness::kUnknown, "?", &Unbounded, "1",
+           "O(N)", "Nakamoto 08; replace communication with computation"},
+      };
+  return *kTable;
+}
+
+}  // namespace
+
+const std::vector<ProtocolTraits>& AllProtocolTraits() { return BuildTable(); }
+
+const ProtocolTraits* FindProtocolTraits(const std::string& name) {
+  for (const ProtocolTraits& t : AllProtocolTraits()) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace consensus40::core

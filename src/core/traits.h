@@ -1,0 +1,71 @@
+#ifndef CONSENSUS40_CORE_TRAITS_H_
+#define CONSENSUS40_CORE_TRAITS_H_
+
+#include <string>
+#include <vector>
+
+namespace consensus40::core {
+
+/// First aspect: synchrony mode.
+enum class Synchrony {
+  kSynchronous,
+  kAsynchronous,
+  kPartiallySynchronous,
+};
+
+/// Second aspect: failure model.
+enum class FailureModel {
+  kCrash,
+  kByzantine,
+  kHybrid,
+};
+
+/// Third aspect: processing strategy.
+enum class Strategy {
+  kPessimistic,
+  kOptimistic,
+};
+
+/// Fourth aspect: participant awareness.
+enum class Awareness {
+  kKnown,
+  kUnknown,
+};
+
+const char* ToString(Synchrony s);
+const char* ToString(FailureModel f);
+const char* ToString(Strategy s);
+const char* ToString(Awareness a);
+
+/// The taxonomy card the tutorial attaches to every protocol: the five
+/// aspects (complexity metrics split into nodes / phases / messages).
+struct ProtocolTraits {
+  std::string name;
+  Synchrony synchrony;
+  FailureModel failure_model;
+  Strategy strategy;
+  Awareness awareness;
+  /// Node-count formula as printed in the deck, e.g. "2f+1", "3m+2c+1".
+  std::string nodes_formula;
+  /// Number of nodes required to tolerate f (or m Byzantine + c crash)
+  /// faults. For hybrid protocols c is meaningful; otherwise pass c = 0.
+  int (*nodes_required)(int f, int c);
+  /// Common-case communication phases as printed, e.g. "2", "1 or 3", "7".
+  std::string phases;
+  /// Message complexity as printed, e.g. "O(N)", "O(N^2)".
+  std::string complexity;
+  /// Deck slide reference / note.
+  std::string note;
+};
+
+/// All taxonomy cards the tutorial presents, in presentation order:
+/// Paxos, Raft, Fast Paxos, Flexible Paxos, PBFT, Zyzzyva, HotStuff,
+/// MinBFT, CheapBFT, UpRight, SeeMoRe, XFT, PoW.
+const std::vector<ProtocolTraits>& AllProtocolTraits();
+
+/// Looks up a card by name; returns nullptr if absent.
+const ProtocolTraits* FindProtocolTraits(const std::string& name);
+
+}  // namespace consensus40::core
+
+#endif  // CONSENSUS40_CORE_TRAITS_H_

@@ -1,0 +1,66 @@
+#include "crypto/merkle.h"
+
+namespace consensus40::crypto {
+
+namespace {
+
+Digest HashPair(const Digest& left, const Digest& right) {
+  Sha256 h;
+  h.Update(left.data(), left.size());
+  h.Update(right.data(), right.size());
+  return h.Finish();
+}
+
+}  // namespace
+
+Digest MerkleRoot(const std::vector<Digest>& leaves) {
+  if (leaves.empty()) return Digest{};
+  std::vector<Digest> level = leaves;
+  while (level.size() > 1) {
+    std::vector<Digest> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i < level.size(); i += 2) {
+      const Digest& left = level[i];
+      const Digest& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+      next.push_back(HashPair(left, right));
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+MerkleProof BuildMerkleProof(const std::vector<Digest>& leaves, size_t index) {
+  MerkleProof proof;
+  std::vector<Digest> level = leaves;
+  size_t pos = index;
+  while (level.size() > 1) {
+    size_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    if (sibling >= level.size()) sibling = pos;  // Odd tail pairs with itself.
+    proof.siblings.push_back(level[sibling]);
+    proof.sibling_on_left.push_back(pos % 2 == 1);
+
+    std::vector<Digest> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i < level.size(); i += 2) {
+      const Digest& left = level[i];
+      const Digest& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+      next.push_back(HashPair(left, right));
+    }
+    level = std::move(next);
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool VerifyMerkleProof(const Digest& leaf, const MerkleProof& proof,
+                       const Digest& root) {
+  if (proof.siblings.size() != proof.sibling_on_left.size()) return false;
+  Digest acc = leaf;
+  for (size_t i = 0; i < proof.siblings.size(); ++i) {
+    acc = proof.sibling_on_left[i] ? HashPair(proof.siblings[i], acc)
+                                   : HashPair(acc, proof.siblings[i]);
+  }
+  return acc == root;
+}
+
+}  // namespace consensus40::crypto

@@ -1,0 +1,31 @@
+#ifndef CONSENSUS40_CRYPTO_MERKLE_H_
+#define CONSENSUS40_CRYPTO_MERKLE_H_
+
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace consensus40::crypto {
+
+/// Computes the Merkle root of a list of leaf digests using the Bitcoin
+/// convention: the last element of an odd-sized level is paired with itself;
+/// the root of an empty tree is the all-zero digest.
+Digest MerkleRoot(const std::vector<Digest>& leaves);
+
+/// An inclusion proof for one leaf: sibling digests from leaf to root plus
+/// the position bits (false = sibling on the right).
+struct MerkleProof {
+  std::vector<Digest> siblings;
+  std::vector<bool> sibling_on_left;
+};
+
+/// Builds the inclusion proof for leaves[index]. index must be in range.
+MerkleProof BuildMerkleProof(const std::vector<Digest>& leaves, size_t index);
+
+/// Verifies that `leaf` is included under `root` via `proof`.
+bool VerifyMerkleProof(const Digest& leaf, const MerkleProof& proof,
+                       const Digest& root);
+
+}  // namespace consensus40::crypto
+
+#endif  // CONSENSUS40_CRYPTO_MERKLE_H_

@@ -1,0 +1,100 @@
+#include "crypto/signatures.h"
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace consensus40::crypto {
+
+KeyRegistry::KeyRegistry(uint64_t seed, int num_nodes) {
+  secrets_.resize(num_nodes);
+  uint64_t state = seed ^ 0xc0ffee1234567890ULL;
+  for (int i = 0; i < num_nodes; ++i) {
+    uint64_t a = SplitMix64(&state);
+    uint64_t b = SplitMix64(&state);
+    Sha256 h;
+    h.Update(&a, sizeof(a));
+    h.Update(&b, sizeof(b));
+    h.Update(&i, sizeof(i));
+    secrets_[i] = h.Finish();
+  }
+}
+
+Digest KeyRegistry::TagFor(int signer, const Digest& digest) const {
+  Sha256 h;
+  h.Update(secrets_[signer].data(), secrets_[signer].size());
+  h.Update(digest.data(), digest.size());
+  return h.Finish();
+}
+
+Signature KeyRegistry::Sign(int signer, const Digest& digest) const {
+  return Signature{signer, TagFor(signer, digest)};
+}
+
+Signature KeyRegistry::Sign(int signer, std::string_view data) const {
+  return Sign(signer, Sha256::Hash(data));
+}
+
+bool KeyRegistry::Verify(const Signature& sig, const Digest& digest) const {
+  if (sig.signer < 0 || sig.signer >= num_nodes()) return false;
+  return TagFor(sig.signer, digest) == sig.tag;
+}
+
+bool KeyRegistry::Verify(const Signature& sig, std::string_view data) const {
+  return Verify(sig, Sha256::Hash(data));
+}
+
+Digest KeyRegistry::Mac(int from, int to, const Digest& digest) const {
+  Sha256 h;
+  h.Update(secrets_[from].data(), secrets_[from].size());
+  h.Update(secrets_[to].data(), secrets_[to].size());
+  h.Update(digest.data(), digest.size());
+  return h.Finish();
+}
+
+bool KeyRegistry::VerifyMac(int from, int to, const Digest& digest,
+                            const Digest& mac) const {
+  if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes()) {
+    return false;
+  }
+  return Mac(from, to, digest) == mac;
+}
+
+bool AggregateCertificate::Verify(const KeyRegistry& registry,
+                                  int threshold) const {
+  std::set<int32_t> distinct;
+  for (const Signature& share : shares) {
+    if (!registry.Verify(share, value)) return false;
+    distinct.insert(share.signer);
+  }
+  return static_cast<int>(distinct.size()) >= threshold;
+}
+
+Digest Usig::UiTag(int signer, uint64_t counter, const Digest& digest) const {
+  Sha256 h;
+  Digest base = digest;
+  h.Update(&signer, sizeof(signer));
+  h.Update(&counter, sizeof(counter));
+  h.Update(base.data(), base.size());
+  Digest inner = h.Finish();
+  // Bind to the signer's secret via the registry's signing primitive.
+  return registry_->Sign(signer, inner).tag;
+}
+
+Usig::UI Usig::CreateUi(int signer, const Digest& digest) {
+  uint64_t next = ++counters_[signer];
+  return UI{signer, next, UiTag(signer, next, digest)};
+}
+
+bool Usig::VerifyUi(const UI& ui, const Digest& digest) const {
+  if (ui.signer < 0 || ui.signer >= registry_->num_nodes()) return false;
+  if (ui.counter == 0) return false;
+  return UiTag(ui.signer, ui.counter, digest) == ui.tag;
+}
+
+uint64_t Usig::LastCounter(int signer) const {
+  auto it = counters_.find(signer);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+}  // namespace consensus40::crypto

@@ -1,0 +1,192 @@
+#ifndef CONSENSUS40_HOTSTUFF_HOTSTUFF_H_
+#define CONSENSUS40_HOTSTUFF_HOTSTUFF_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "crypto/signatures.h"
+#include "sim/simulation.h"
+#include "smr/command.h"
+#include "smr/state_machine.h"
+
+namespace consensus40::hotstuff {
+
+/// A quorum certificate: 2f+1 vote shares over one block, modelled as a
+/// combined threshold signature (O(1) bytes on the wire).
+struct QuorumCert {
+  crypto::Digest block_hash{};
+  uint64_t view = 0;
+  crypto::AggregateCertificate cert;
+
+  /// Genesis QC (view 0, zero hash) verifies trivially.
+  bool Verify(const crypto::KeyRegistry& registry, int quorum) const;
+};
+
+/// A block in the HotStuff chain. height == the view that proposed it.
+struct Block {
+  uint64_t height = 0;
+  crypto::Digest parent{};
+  std::vector<smr::Command> cmds;
+  std::vector<crypto::Signature> cmd_sigs;
+  QuorumCert justify;
+
+  crypto::Digest Hash() const;
+  int ByteSize() const;
+};
+
+/// Configuration shared by all replicas of a HotStuff cluster.
+struct HotStuffOptions {
+  /// Cluster size; must be 3f+1. Leader of view v is v % n — the deck's
+  /// "leader rotation: a leader is rotated after a single attempt".
+  int n = 4;
+  const crypto::KeyRegistry* registry = nullptr;
+
+  /// Pacemaker timeout: view change is part of normal operation.
+  sim::Duration view_timeout = 300 * sim::kMillisecond;
+
+  /// Max commands batched into one block.
+  int batch_size = 8;
+};
+
+/// A chained HotStuff replica (Yin et al. 2019): one generic phase per
+/// view; each phase of the 4-phase basic protocol is carried by a
+/// different block of the pipeline (the deck's pipeline figure). Linear
+/// message complexity: leader -> all proposals, all -> next-leader votes,
+/// vote aggregation via threshold certificates.
+class HotStuffReplica : public sim::Process {
+ public:
+  explicit HotStuffReplica(HotStuffOptions options);
+
+  struct RequestMsg : sim::Message {
+    RequestMsg(smr::Command c, crypto::Signature s)
+        : cmd(std::move(c)), client_sig(s) {}
+    const char* TypeName() const override { return "hs-request"; }
+    int ByteSize() const override { return 48 + cmd.ByteSize(); }
+    smr::Command cmd;
+    crypto::Signature client_sig;
+  };
+  struct ReplyMsg : sim::Message {
+    const char* TypeName() const override { return "hs-reply"; }
+    int ByteSize() const override {
+      return 24 + static_cast<int>(result.size());
+    }
+    uint64_t client_seq = 0;
+    int32_t replica = -1;
+    std::string result;
+  };
+  struct ProposalMsg : sim::Message {
+    const char* TypeName() const override { return "hs-proposal"; }
+    int ByteSize() const override { return block.ByteSize(); }
+    Block block;
+  };
+  struct VoteMsg : sim::Message {
+    const char* TypeName() const override { return "hs-vote"; }
+    int ByteSize() const override { return 88; }
+    crypto::Digest block_hash{};
+    uint64_t view = 0;
+    crypto::Signature share;
+  };
+  struct NewViewMsg : sim::Message {
+    const char* TypeName() const override { return "hs-new-view"; }
+    int ByteSize() const override {
+      return 24 + crypto::AggregateCertificate::kCombinedByteSize;
+    }
+    uint64_t view = 0;  ///< The view the sender is entering.
+    QuorumCert high_qc;
+  };
+
+  uint64_t current_view() const { return cur_view_; }
+  sim::NodeId LeaderOf(uint64_t view) const { return view % options_.n; }
+  uint64_t last_committed_height() const { return last_committed_height_; }
+  const smr::KvStore& kv() const { return kv_; }
+  const std::vector<smr::Command>& executed_commands() const {
+    return executed_commands_;
+  }
+  const std::vector<std::string>& violations() const { return violations_; }
+  int blocks_proposed() const { return blocks_proposed_; }
+
+  void OnStart() override;
+  void OnMessage(sim::NodeId from, const sim::Message& msg) override;
+
+ private:
+  bool SafeNode(const Block& block) const;
+  void TryPropose();
+  void ProcessBlock(const Block& block);
+  void CommitChainUpTo(const crypto::Digest& hash);
+  void AdvanceView(uint64_t view);
+  void ResetViewTimer();
+  const Block* GetBlock(const crypto::Digest& hash) const;
+  std::vector<sim::NodeId> Everyone() const;
+
+  HotStuffOptions options_;
+  int f_;
+  int quorum_;
+
+  uint64_t cur_view_ = 1;
+  uint64_t last_voted_height_ = 0;
+  QuorumCert high_qc_;    ///< Highest known QC (one-chain head).
+  QuorumCert locked_qc_;  ///< Two-chain head: the lock.
+  std::map<crypto::Digest, Block> blocks_;
+  crypto::Digest last_committed_hash_{};  ///< Genesis initially.
+  uint64_t last_committed_height_ = 0;
+
+  /// Leader-side vote collection: (view, block hash) -> shares.
+  std::map<std::pair<uint64_t, crypto::Digest>,
+           std::map<sim::NodeId, crypto::Signature>>
+      votes_;
+  /// New-view collection per view.
+  std::map<uint64_t, std::map<sim::NodeId, QuorumCert>> new_views_;
+  std::set<uint64_t> proposed_views_;
+
+  std::deque<std::pair<smr::Command, crypto::Signature>> pending_;
+  std::set<std::pair<int32_t, uint64_t>> pending_keys_;
+  smr::KvStore kv_;
+  smr::DedupingExecutor dedup_;
+  std::vector<smr::Command> executed_commands_;
+  std::map<std::pair<int32_t, uint64_t>, std::string> results_;
+
+  uint64_t view_timer_ = 0;
+  int blocks_proposed_ = 0;
+  std::vector<std::string> violations_;
+};
+
+/// HotStuff client: broadcasts requests (the leader rotates constantly),
+/// accepts f+1 matching replies.
+class HotStuffClient : public sim::Process {
+ public:
+  HotStuffClient(int n, const crypto::KeyRegistry* registry, int ops,
+                 std::string key = "x",
+                 sim::Duration retry = 800 * sim::kMillisecond);
+
+  int completed() const { return completed_; }
+  bool done() const { return completed_ >= ops_; }
+  const std::vector<std::string>& results() const { return results_; }
+
+  void OnStart() override;
+  void OnMessage(sim::NodeId from, const sim::Message& msg) override;
+
+ private:
+  void SendCurrent();
+
+  int n_;
+  const crypto::KeyRegistry* registry_;
+  int f_;
+  int ops_;
+  std::string key_;
+  sim::Duration retry_;
+  int completed_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t retry_timer_ = 0;
+  std::map<std::string, std::set<sim::NodeId>> reply_votes_;
+  std::vector<std::string> results_;
+};
+
+}  // namespace consensus40::hotstuff
+
+#endif  // CONSENSUS40_HOTSTUFF_HOTSTUFF_H_

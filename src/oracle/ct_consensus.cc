@@ -1,0 +1,215 @@
+#include "oracle/ct_consensus.h"
+
+#include <cassert>
+
+namespace consensus40::oracle {
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+struct CtNode::HeartbeatMsg : sim::Message {
+  const char* TypeName() const override { return "ct-heartbeat"; }
+  int ByteSize() const override { return 8; }
+};
+
+struct CtNode::EstimateMsg : sim::Message {
+  const char* TypeName() const override { return "ct-estimate"; }
+  int ByteSize() const override {
+    return 24 + static_cast<int>(estimate.size());
+  }
+  int round = 0;
+  int ts = 0;
+  std::string estimate;
+};
+
+struct CtNode::ProposalMsg : sim::Message {
+  const char* TypeName() const override { return "ct-proposal"; }
+  int ByteSize() const override { return 16 + static_cast<int>(value.size()); }
+  int round = 0;
+  std::string value;
+};
+
+struct CtNode::AckMsg : sim::Message {
+  const char* TypeName() const override { return "ct-ack"; }
+  int ByteSize() const override { return 12; }
+  int round = 0;
+};
+
+struct CtNode::NackMsg : sim::Message {
+  const char* TypeName() const override { return "ct-nack"; }
+  int ByteSize() const override { return 12; }
+  int round = 0;
+};
+
+struct CtNode::DecideMsg : sim::Message {
+  const char* TypeName() const override { return "ct-decide"; }
+  int ByteSize() const override { return 16 + static_cast<int>(value.size()); }
+  std::string value;
+};
+
+// ---------------------------------------------------------------------------
+// Node
+// ---------------------------------------------------------------------------
+
+CtNode::CtNode(CtOptions options, std::string initial_value)
+    : options_(options),
+      detector_(options.detector),
+      estimate_(std::move(initial_value)) {
+  assert(options_.n > 0);
+  majority_ = options_.n / 2 + 1;
+}
+
+std::vector<sim::NodeId> CtNode::Everyone() const {
+  std::vector<sim::NodeId> all;
+  for (int i = 0; i < options_.n; ++i) all.push_back(i);
+  return all;
+}
+
+void CtNode::OnStart() {
+  // Baseline the detector at our own start time so that a peer that never
+  // speaks at all is eventually suspected too.
+  for (sim::NodeId peer : Everyone()) detector_.Touch(peer, Now());
+  HeartbeatTick();
+  StartRound(0);
+}
+
+void CtNode::HeartbeatTick() {
+  if (decided_) return;
+  // Heartbeats feed every peer's failure detector; the same tick polls our
+  // own detector for coordinator suspicion.
+  Multicast(Everyone(), std::make_shared<HeartbeatMsg>());
+  CheckCoordinator();
+  poll_timer_ = SetTimer(options_.heartbeat_interval,
+                         [this] { HeartbeatTick(); });
+}
+
+void CtNode::StartRound(int round) {
+  if (decided_ || round < round_) return;
+  round_ = round;
+  replied_this_round_ = false;
+  auto est = std::make_shared<EstimateMsg>();
+  est->round = round_;
+  est->ts = ts_;
+  est->estimate = estimate_;
+  Send(CoordinatorOf(round_), est);
+  // A proposal for this round may have arrived while we lagged behind.
+  auto pending = pending_proposals_.find(round_);
+  if (pending != pending_proposals_.end()) {
+    std::string value = pending->second.second;
+    sim::NodeId coord = pending->second.first;
+    pending_proposals_.erase(pending);
+    HandleProposal(round_, value, coord);
+  }
+}
+
+void CtNode::HandleProposal(int round, const std::string& value,
+                            sim::NodeId from) {
+  if (decided_ || round != round_ || replied_this_round_) return;
+  estimate_ = value;
+  ts_ = round;
+  replied_this_round_ = true;
+  auto ack = std::make_shared<AckMsg>();
+  ack->round = round;
+  Send(from, ack);
+  StartRound(round + 1);
+}
+
+void CtNode::CheckCoordinator() {
+  if (decided_ || replied_this_round_) return;
+  sim::NodeId coord = CoordinatorOf(round_);
+  if (coord == id()) return;  // We answer ourselves instantly.
+  if (detector_.Suspects(coord, Now())) {
+    replied_this_round_ = true;
+    auto nack = std::make_shared<NackMsg>();
+    nack->round = round_;
+    Send(coord, nack);
+    StartRound(round_ + 1);
+  }
+}
+
+void CtNode::Decide(const std::string& value) {
+  if (decided_) return;
+  decided_ = value;
+  auto decide = std::make_shared<DecideMsg>();
+  decide->value = value;
+  Multicast(Everyone(), decide);
+}
+
+void CtNode::OnMessage(sim::NodeId from, const sim::Message& msg) {
+  detector_.Touch(from, Now());
+
+  if (dynamic_cast<const HeartbeatMsg*>(&msg) != nullptr) return;
+
+  if (const auto* m = dynamic_cast<const DecideMsg*>(&msg)) {
+    Decide(m->value);
+    return;
+  }
+  if (decided_) {
+    // Help laggards.
+    auto decide = std::make_shared<DecideMsg>();
+    decide->value = *decided_;
+    Send(from, decide);
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const EstimateMsg*>(&msg)) {
+    if (CoordinatorOf(m->round) != id()) return;
+    auto& ests = estimates_[m->round];
+    ests[from] = {m->ts, m->estimate};
+    if (static_cast<int>(ests.size()) >= majority_ &&
+        proposed_rounds_.insert(m->round).second) {
+      // Adopt the estimate with the highest ts: any value locked by an
+      // earlier majority-ack survives (Paxos-style safety).
+      int best_ts = -1;
+      std::string best;
+      for (const auto& [node, est] : ests) {
+        if (est.first > best_ts) {
+          best_ts = est.first;
+          best = est.second;
+        }
+      }
+      proposals_sent_[m->round] = best;
+      auto proposal = std::make_shared<ProposalMsg>();
+      proposal->round = m->round;
+      proposal->value = best;
+      Multicast(Everyone(), proposal);
+    }
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const ProposalMsg*>(&msg)) {
+    if (m->round < round_ || (replied_this_round_ && m->round == round_)) {
+      // A proposal from a round we already nacked/left: the coordinator
+      // was alive after all — teach the detector patience.
+      if (m->round < round_) detector_.OnFalseSuspicion(from);
+      return;
+    }
+    if (m->round > round_) {
+      // We lag; rounds are processed strictly in order, so buffer it.
+      pending_proposals_[m->round] = {from, m->value};
+      return;
+    }
+    HandleProposal(m->round, m->value, from);
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const AckMsg*>(&msg)) {
+    if (CoordinatorOf(m->round) != id()) return;
+    acks_[m->round].insert(from);
+    auto proposed = proposals_sent_.find(m->round);
+    if (proposed != proposals_sent_.end() &&
+        static_cast<int>(acks_[m->round].size()) >= majority_) {
+      // A majority adopted (locked) the proposal: decide exactly it.
+      Decide(proposed->second);
+    }
+    return;
+  }
+
+  if (dynamic_cast<const NackMsg*>(&msg) != nullptr) {
+    // Round failed for someone; nothing to do — they moved on already.
+    return;
+  }
+}
+
+}  // namespace consensus40::oracle

@@ -1,0 +1,91 @@
+#ifndef CONSENSUS40_ORACLE_CT_CONSENSUS_H_
+#define CONSENSUS40_ORACLE_CT_CONSENSUS_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "oracle/failure_detector.h"
+#include "sim/simulation.h"
+
+namespace consensus40::oracle {
+
+/// Configuration for a Chandra–Toueg-style node.
+struct CtOptions {
+  /// Cluster size; tolerates f < n/2 crash faults given a Diamond-S
+  /// failure detector.
+  int n = 0;
+  HeartbeatDetector::Options detector;
+  sim::Duration heartbeat_interval = 20 * sim::kMillisecond;
+};
+
+/// Rotating-coordinator consensus with an unreliable failure detector
+/// (Chandra & Toueg 1996) — the deck's third way around FLP: keep the
+/// system asynchronous and deterministic, but add an oracle.
+///
+/// Round r (coordinator = r mod n):
+///   1. everyone sends its (estimate, ts) to the coordinator;
+///   2. the coordinator takes a majority of estimates, adopts the one with
+///      the highest ts, and proposes it;
+///   3. a participant either receives the proposal (adopt, ack) or comes
+///      to suspect the coordinator via the detector (nack); either way it
+///      then moves to round r+1;
+///   4. a coordinator with a majority of acks decides and reliably
+///      broadcasts the decision.
+///
+/// Safety never depends on the detector (majority-ack locking, as in
+/// Paxos); only termination does.
+class CtNode : public sim::Process {
+ public:
+  CtNode(CtOptions options, std::string initial_value);
+
+  const std::optional<std::string>& decided() const { return decided_; }
+  int round() const { return round_; }
+  int false_suspicions() const { return detector_.false_suspicions(); }
+
+  void OnStart() override;
+  void OnMessage(sim::NodeId from, const sim::Message& msg) override;
+
+ private:
+  struct HeartbeatMsg;
+  struct EstimateMsg;
+  struct ProposalMsg;
+  struct AckMsg;
+  struct NackMsg;
+  struct DecideMsg;
+
+  sim::NodeId CoordinatorOf(int round) const { return round % options_.n; }
+  void StartRound(int round);
+  void HandleProposal(int round, const std::string& value, sim::NodeId from);
+  void HeartbeatTick();     ///< Recurring heartbeat + suspicion poll.
+  void CheckCoordinator();  ///< Suspicion check against the detector.
+  void Decide(const std::string& value);
+  std::vector<sim::NodeId> Everyone() const;
+
+  CtOptions options_;
+  int majority_;
+  HeartbeatDetector detector_;
+
+  std::string estimate_;
+  int ts_ = 0;  ///< Round in which estimate_ was last adopted.
+  int round_ = 0;
+  bool replied_this_round_ = false;
+
+  /// Coordinator state, per round: estimates and acks.
+  std::map<int, std::map<sim::NodeId, std::pair<int, std::string>>>
+      estimates_;
+  std::map<int, std::set<sim::NodeId>> acks_;
+  std::set<int> proposed_rounds_;
+  std::map<int, std::string> proposals_sent_;  ///< Round -> proposed value.
+  /// Buffered proposals for rounds we have not reached yet.
+  std::map<int, std::pair<sim::NodeId, std::string>> pending_proposals_;
+
+  std::optional<std::string> decided_;
+  uint64_t poll_timer_ = 0;
+};
+
+}  // namespace consensus40::oracle
+
+#endif  // CONSENSUS40_ORACLE_CT_CONSENSUS_H_

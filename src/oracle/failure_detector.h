@@ -1,0 +1,60 @@
+#ifndef CONSENSUS40_ORACLE_FAILURE_DETECTOR_H_
+#define CONSENSUS40_ORACLE_FAILURE_DETECTOR_H_
+
+#include <map>
+
+#include "sim/simulation.h"
+
+namespace consensus40::oracle {
+
+/// An eventually-accurate (Diamond-S-style) failure detector built from
+/// heartbeats with adaptive timeouts: a process is suspected if its last
+/// heartbeat is older than its current timeout; every false suspicion
+/// raises that process's timeout, so in any run with eventually-bounded
+/// delays each correct process is eventually never suspected — the oracle
+/// the deck lists as FLP circumvention #3.
+class HeartbeatDetector {
+ public:
+  struct Options {
+    sim::Duration initial_timeout = 50 * sim::kMillisecond;
+    sim::Duration timeout_increment = 25 * sim::kMillisecond;
+  };
+
+  explicit HeartbeatDetector(Options options) : options_(options) {}
+  HeartbeatDetector() : HeartbeatDetector(Options{}) {}
+
+  /// Records a heartbeat (or any message) from `node` at time `now`.
+  void Touch(sim::NodeId node, sim::Time now) { last_seen_[node] = now; }
+
+  /// True iff `node` is currently suspected.
+  bool Suspects(sim::NodeId node, sim::Time now) const {
+    auto seen = last_seen_.find(node);
+    if (seen == last_seen_.end()) return false;  // Never heard: be patient.
+    return now - seen->second > TimeoutFor(node);
+  }
+
+  /// Call when a suspicion proved wrong (the "dead" node spoke again):
+  /// permanently raises the node's timeout — the adaptation that makes
+  /// accuracy *eventual*.
+  void OnFalseSuspicion(sim::NodeId node) {
+    timeouts_[node] = TimeoutFor(node) + options_.timeout_increment;
+    ++false_suspicions_;
+  }
+
+  sim::Duration TimeoutFor(sim::NodeId node) const {
+    auto it = timeouts_.find(node);
+    return it == timeouts_.end() ? options_.initial_timeout : it->second;
+  }
+
+  int false_suspicions() const { return false_suspicions_; }
+
+ private:
+  Options options_;
+  std::map<sim::NodeId, sim::Time> last_seen_;
+  std::map<sim::NodeId, sim::Duration> timeouts_;
+  int false_suspicions_ = 0;
+};
+
+}  // namespace consensus40::oracle
+
+#endif  // CONSENSUS40_ORACLE_FAILURE_DETECTOR_H_

@@ -1,0 +1,41 @@
+#ifndef CONSENSUS40_PAXOS_BALLOT_H_
+#define CONSENSUS40_PAXOS_BALLOT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace consensus40::paxos {
+
+/// A Paxos ballot: the pair <num, process id> from the deck, totally ordered
+/// by (num, pid). Ballot {0,0} is the initial "no ballot" value.
+struct Ballot {
+  int64_t num = 0;
+  int32_t pid = 0;
+
+  bool operator==(const Ballot& o) const {
+    return num == o.num && pid == o.pid;
+  }
+  bool operator!=(const Ballot& o) const { return !(*this == o); }
+  bool operator<(const Ballot& o) const {
+    if (num != o.num) return num < o.num;
+    return pid < o.pid;
+  }
+  bool operator<=(const Ballot& o) const { return *this < o || *this == o; }
+  bool operator>(const Ballot& o) const { return o < *this; }
+  bool operator>=(const Ballot& o) const { return o <= *this; }
+
+  bool IsZero() const { return num == 0 && pid == 0; }
+
+  /// The ballot a process p picks after seeing ballot b: <b.num+1, p>.
+  static Ballot Successor(const Ballot& seen, int32_t pid) {
+    return Ballot{seen.num + 1, pid};
+  }
+
+  std::string ToString() const {
+    return "<" + std::to_string(num) + "," + std::to_string(pid) + ">";
+  }
+};
+
+}  // namespace consensus40::paxos
+
+#endif  // CONSENSUS40_PAXOS_BALLOT_H_

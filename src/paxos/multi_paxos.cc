@@ -1,0 +1,411 @@
+#include "paxos/multi_paxos.h"
+
+#include <cassert>
+
+namespace consensus40::paxos {
+
+namespace {
+/// Sentinel result telling a client to retry against the hinted leader.
+const char kRedirect[] = "\x01REDIRECT";
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+struct MultiPaxosReplica::PrepareMsg : sim::Message {
+  explicit PrepareMsg(Ballot b) : ballot(b) {}
+  const char* TypeName() const override { return "prepare"; }
+  int ByteSize() const override { return 24; }
+  Ballot ballot;
+};
+
+struct MultiPaxosReplica::PromiseMsg : sim::Message {
+  const char* TypeName() const override { return "promise"; }
+  int ByteSize() const override {
+    return 32 + static_cast<int>(accepted.size()) * 48;
+  }
+  Ballot ballot;
+  /// index -> (AcceptNum, AcceptVal) for every unchosen accepted slot.
+  std::map<uint64_t, std::pair<Ballot, smr::Command>> accepted;
+};
+
+struct MultiPaxosReplica::AcceptMsg : sim::Message {
+  AcceptMsg(Ballot b, uint64_t i, smr::Command c)
+      : ballot(b), index(i), cmd(std::move(c)) {}
+  const char* TypeName() const override { return "accept"; }
+  int ByteSize() const override { return 32 + cmd.ByteSize(); }
+  Ballot ballot;
+  uint64_t index;
+  smr::Command cmd;
+};
+
+struct MultiPaxosReplica::AcceptedMsg : sim::Message {
+  AcceptedMsg(Ballot b, uint64_t i) : ballot(b), index(i) {}
+  const char* TypeName() const override { return "accepted"; }
+  int ByteSize() const override { return 32; }
+  Ballot ballot;
+  uint64_t index;
+};
+
+struct MultiPaxosReplica::CommitMsg : sim::Message {
+  const char* TypeName() const override { return "commit"; }
+  int ByteSize() const override {
+    return 32 + (has_entry ? cmd.ByteSize() + 8 : 0);
+  }
+  Ballot ballot;
+  bool has_entry = false;  ///< False = pure heartbeat.
+  uint64_t index = 0;
+  smr::Command cmd;
+};
+
+// ---------------------------------------------------------------------------
+// Replica
+// ---------------------------------------------------------------------------
+
+MultiPaxosReplica::MultiPaxosReplica(MultiPaxosOptions options)
+    : options_(options) {
+  if (options_.members.empty()) {
+    assert(options_.n > 0);
+    for (int i = 0; i < options_.n; ++i) options_.members.push_back(i);
+  }
+  int n = static_cast<int>(options_.members.size());
+  q1_ = options_.q1 > 0 ? options_.q1 : n / 2 + 1;
+  q2_ = options_.q2 > 0 ? options_.q2 : n / 2 + 1;
+}
+
+std::vector<sim::NodeId> MultiPaxosReplica::Everyone() const {
+  return options_.members;
+}
+
+MultiPaxosReplica::SlotState& MultiPaxosReplica::Slot(uint64_t index) {
+  return slots_[index];
+}
+
+void MultiPaxosReplica::OnStart() {
+  if (id() == options_.members.front()) {
+    // Bootstrap: node 0 volunteers; any later failure goes through the
+    // regular timeout path.
+    StartPhase1();
+  } else {
+    ResetLeaderTimer();
+  }
+}
+
+void MultiPaxosReplica::ResetLeaderTimer() {
+  CancelTimer(leader_timer_);
+  sim::Duration t =
+      options_.leader_timeout +
+      static_cast<sim::Duration>(rng().NextBounded(options_.leader_timeout));
+  leader_timer_ = SetTimer(t, [this] {
+    if (!leader_active_) StartPhase1();
+  });
+}
+
+void MultiPaxosReplica::StartPhase1() {
+  my_ballot_ = Ballot::Successor(ballot_num_, id());
+  phase1_pending_ = true;
+  leader_active_ = false;
+  promisers_.clear();
+  recovered_.clear();
+  ++phase1_rounds_;
+  Multicast(Everyone(), std::make_shared<PrepareMsg>(my_ballot_));
+  ResetLeaderTimer();  // Retry if this attempt stalls.
+}
+
+void MultiPaxosReplica::OnLeadershipAcquired() {
+  phase1_pending_ = false;
+  leader_active_ = true;
+  CancelTimer(leader_timer_);
+
+  // Re-propose every value learned during phase 1 ("learn outcome of all
+  // smaller ballots"): the value accepted in the highest ballot might have
+  // been decided.
+  uint64_t max_idx = next_index_;
+  for (const auto& [index, entry] : recovered_) {
+    if (!Slot(index).chosen) AcceptSlot(index, entry.second);
+    if (index + 1 > max_idx) max_idx = index + 1;
+  }
+  next_index_ = std::max(next_index_, max_idx);
+  next_index_ = std::max(next_index_, log_.commit_frontier());
+
+  SendHeartbeat();  // Also self-reschedules while leader.
+
+  if (!options_.skip_phase1_when_stable && slot_in_flight_ &&
+      !pending_.empty()) {
+    // Per-command phase-1 mode: this phase 1 was run for the head command;
+    // now send its accept.
+    smr::Command cmd = std::move(pending_.front());
+    pending_.pop_front();
+    uint64_t index = next_index_++;
+    assigned_[{cmd.client, cmd.client_seq}] = index;
+    AcceptSlot(index, cmd);
+    return;
+  }
+  slot_in_flight_ = false;
+  ProposeNext();
+}
+
+void MultiPaxosReplica::SendHeartbeat() {
+  auto hb = std::make_shared<CommitMsg>();
+  hb->ballot = my_ballot_;
+  Multicast(Everyone(), hb);
+  if (leader_active_) {
+    CancelTimer(heartbeat_timer_);
+    heartbeat_timer_ =
+        SetTimer(options_.heartbeat_interval, [this] { SendHeartbeat(); });
+  }
+}
+
+void MultiPaxosReplica::ProposeNext() {
+  if (!leader_active_) return;
+  if (options_.skip_phase1_when_stable) {
+    // Steady state: assign every pending command its own slot, pipelined.
+    while (!pending_.empty()) {
+      smr::Command cmd = std::move(pending_.front());
+      pending_.pop_front();
+      uint64_t index = next_index_++;
+      assigned_[{cmd.client, cmd.client_seq}] = index;
+      AcceptSlot(index, cmd);
+    }
+  } else {
+    // Ablation: full Basic Paxos per entry — re-run phase 1 first; the
+    // accept for the head command is sent from OnLeadershipAcquired.
+    if (slot_in_flight_ || pending_.empty()) return;
+    slot_in_flight_ = true;
+    StartPhase1();
+  }
+}
+
+void MultiPaxosReplica::AcceptSlot(uint64_t index, const smr::Command& cmd) {
+  Multicast(Everyone(), std::make_shared<AcceptMsg>(my_ballot_, index, cmd));
+}
+
+void MultiPaxosReplica::Chosen(uint64_t index, const smr::Command& cmd) {
+  SlotState& slot = Slot(index);
+  if (slot.chosen) {
+    if (slot.has_value && !(slot.value == cmd)) {
+      violations_.push_back("slot " + std::to_string(index) +
+                            " chosen twice with different values");
+    }
+    return;
+  }
+  slot.chosen = true;
+  slot.has_value = true;
+  slot.value = cmd;
+  log_.Set(index, cmd);
+
+  // Advance the commit frontier over the contiguous chosen prefix.
+  uint64_t frontier = log_.commit_frontier();
+  while (true) {
+    auto it = slots_.find(frontier);
+    if (it == slots_.end() || !it->second.chosen) break;
+    log_.CommitThrough(frontier);
+    ++frontier;
+  }
+  ApplyAndReply();
+}
+
+void MultiPaxosReplica::ApplyAndReply() {
+  uint64_t first = log_.applied_frontier();
+  std::vector<std::string> outputs = log_.ApplyCommitted(&kv_, &dedup_);
+  for (size_t k = 0; k < outputs.size(); ++k) {
+    uint64_t index = first + k;
+    results_by_index_[index] = outputs[k];
+    const smr::Command* cmd = log_.Get(index);
+    auto it = awaiting_client_.find({cmd->client, cmd->client_seq});
+    if (it != awaiting_client_.end()) {
+      Send(it->second,
+           std::make_shared<ReplyMsg>(cmd->client_seq, outputs[k], id()));
+      awaiting_client_.erase(it);
+    }
+  }
+}
+
+void MultiPaxosReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
+  if (const auto* m = dynamic_cast<const RequestMsg*>(&msg)) {
+    if (!leader_active_ && !phase1_pending_) {
+      Send(from, std::make_shared<ReplyMsg>(m->cmd.client_seq, kRedirect,
+                                            LeaderHint()));
+      return;
+    }
+    auto key = std::make_pair(m->cmd.client, m->cmd.client_seq);
+    awaiting_client_[key] = from;
+    auto it = assigned_.find(key);
+    if (it != assigned_.end()) {
+      // Duplicate: re-reply if already executed, else the apply path will.
+      auto done = results_by_index_.find(it->second);
+      if (done != results_by_index_.end()) {
+        Send(from, std::make_shared<ReplyMsg>(m->cmd.client_seq, done->second,
+                                              id()));
+        awaiting_client_.erase(key);
+      }
+      return;
+    }
+    pending_.push_back(m->cmd);
+    ProposeNext();
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const PrepareMsg*>(&msg)) {
+    if (m->ballot >= ballot_num_) {
+      ballot_num_ = m->ballot;
+      if (m->ballot.pid != id() && leader_active_) {
+        leader_active_ = false;  // Deposed by a higher ballot.
+        CancelTimer(heartbeat_timer_);
+      }
+      auto promise = std::make_shared<PromiseMsg>();
+      promise->ballot = m->ballot;
+      for (const auto& [index, slot] : slots_) {
+        if (slot.has_value && !slot.chosen) {
+          promise->accepted[index] = {slot.accept_num, slot.value};
+        }
+      }
+      Send(from, promise);
+      if (m->ballot.pid != id()) ResetLeaderTimer();
+    }
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const PromiseMsg*>(&msg)) {
+    if (!phase1_pending_ || m->ballot != my_ballot_) return;
+    promisers_.insert(from);
+    for (const auto& [index, entry] : m->accepted) {
+      auto it = recovered_.find(index);
+      if (it == recovered_.end() || entry.first > it->second.first) {
+        recovered_[index] = entry;
+      }
+    }
+    if (static_cast<int>(promisers_.size()) >= q1_) OnLeadershipAcquired();
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const AcceptMsg*>(&msg)) {
+    if (m->ballot >= ballot_num_) {
+      ballot_num_ = m->ballot;
+      SlotState& slot = Slot(m->index);
+      if (!slot.chosen) {
+        slot.accept_num = m->ballot;
+        slot.value = m->cmd;
+        slot.has_value = true;
+      }
+      Send(from, std::make_shared<AcceptedMsg>(m->ballot, m->index));
+      if (m->ballot.pid != id()) ResetLeaderTimer();
+    }
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const AcceptedMsg*>(&msg)) {
+    if (!leader_active_ || m->ballot != my_ballot_) return;
+    SlotState& slot = Slot(m->index);
+    slot.accepts.insert(from);
+    if (!slot.chosen && static_cast<int>(slot.accepts.size()) >= q2_ &&
+        slot.has_value) {
+      smr::Command cmd = slot.value;
+      // Propagate the decision to all, asynchronously.
+      auto commit = std::make_shared<CommitMsg>();
+      commit->ballot = my_ballot_;
+      commit->has_entry = true;
+      commit->index = m->index;
+      commit->cmd = cmd;
+      Multicast(Everyone(), commit);
+      Chosen(m->index, cmd);
+      if (!options_.skip_phase1_when_stable) {
+        // Per-command phase-1 mode: prepare again for the next command.
+        slot_in_flight_ = false;
+        ProposeNext();
+      }
+    }
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const CommitMsg*>(&msg)) {
+    if (m->ballot >= ballot_num_) {
+      ballot_num_ = m->ballot;
+      if (m->ballot.pid != id()) {
+        if (leader_active_) {
+          leader_active_ = false;
+          CancelTimer(heartbeat_timer_);
+        }
+        ResetLeaderTimer();
+      }
+      if (m->has_entry) Chosen(m->index, m->cmd);
+    }
+    return;
+  }
+}
+
+void MultiPaxosReplica::OnRestart() {
+  // Volatile leader/proposer state is lost; acceptor + log state is stable.
+  leader_active_ = false;
+  phase1_pending_ = false;
+  promisers_.clear();
+  recovered_.clear();
+  pending_.clear();
+  awaiting_client_.clear();
+  slot_in_flight_ = false;
+  ResetLeaderTimer();
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+MultiPaxosClient::MultiPaxosClient(int n, int ops, std::string key,
+                                   sim::Duration retry)
+    : ops_(ops), key_(std::move(key)), retry_(retry) {
+  for (int i = 0; i < n; ++i) members_.push_back(i);
+}
+
+MultiPaxosClient::MultiPaxosClient(std::vector<sim::NodeId> members, int ops,
+                                   std::string key, sim::Duration retry)
+    : members_(std::move(members)),
+      ops_(ops),
+      key_(std::move(key)),
+      retry_(retry) {}
+
+void MultiPaxosClient::OnStart() {
+  seq_ = 1;
+  SendCurrent();
+}
+
+void MultiPaxosClient::SendCurrent() {
+  if (done()) return;
+  smr::Command cmd{id(), seq_, "INC " + key_};
+  Send(members_[target_idx_],
+       std::make_shared<MultiPaxosReplica::RequestMsg>(cmd));
+  CancelTimer(retry_timer_);
+  retry_timer_ = SetTimer(retry_, [this] {
+    target_idx_ = (target_idx_ + 1) % members_.size();  // Try another.
+    SendCurrent();
+  });
+}
+
+void MultiPaxosClient::OnMessage(sim::NodeId from,
+                                 const sim::Message& msg) {
+  const auto* m = dynamic_cast<const MultiPaxosReplica::ReplyMsg*>(&msg);
+  if (m == nullptr || m->client_seq != seq_ || done()) return;
+  if (m->result == kRedirect) {
+    for (size_t i = 0; i < members_.size(); ++i) {
+      if (members_[i] == m->leader_hint && m->leader_hint != from) {
+        target_idx_ = i;
+        SendCurrent();
+        break;
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == from) target_idx_ = i;
+  }
+  results_.push_back(m->result);
+  ++completed_;
+  ++seq_;
+  if (done()) {
+    CancelTimer(retry_timer_);
+  } else {
+    SendCurrent();
+  }
+}
+
+}  // namespace consensus40::paxos

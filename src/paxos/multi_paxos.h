@@ -1,0 +1,186 @@
+#ifndef CONSENSUS40_PAXOS_MULTI_PAXOS_H_
+#define CONSENSUS40_PAXOS_MULTI_PAXOS_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "paxos/ballot.h"
+#include "sim/simulation.h"
+#include "smr/command.h"
+#include "smr/state_machine.h"
+
+namespace consensus40::paxos {
+
+/// Configuration for a Multi-Paxos replica.
+struct MultiPaxosOptions {
+  /// Cluster size; replicas are processes 0..n-1 unless `members` is set.
+  int n = 0;
+
+  /// Explicit member ids (e.g. one replication group of a sharded system,
+  /// as in the Spanner architecture). When non-empty it overrides `n`; the
+  /// first member bootstraps leadership.
+  std::vector<sim::NodeId> members;
+
+  /// Phase-1 / phase-2 quorum sizes; -1 = majority. Unequal values give
+  /// Flexible (Multi-)Paxos.
+  int q1 = -1;
+  int q2 = -1;
+
+  /// Leader heartbeat period (piggybacked commit-frontier broadcasts).
+  sim::Duration heartbeat_interval = 20 * sim::kMillisecond;
+
+  /// Follower patience before it suspects the leader and runs phase 1.
+  /// Actual timeout is uniform in [leader_timeout, 2*leader_timeout].
+  sim::Duration leader_timeout = 150 * sim::kMillisecond;
+
+  /// The deck's optimization: "Run Phase 1 only when the leader changes."
+  /// When false (the ablation), the leader re-runs phase 1 before every
+  /// single command, i.e. full Basic Paxos per log entry.
+  bool skip_phase1_when_stable = true;
+};
+
+/// A Multi-Paxos replica: a separate Basic Paxos instance per log entry
+/// (Prepare/Accept carry an index), a stable leader elected via phase 1,
+/// and a replicated KvStore applied in log order.
+class MultiPaxosReplica : public sim::Process {
+ public:
+  explicit MultiPaxosReplica(MultiPaxosOptions options);
+
+  // --- Client-facing messages (public so clients can construct them) ---
+  struct RequestMsg : sim::Message {
+    explicit RequestMsg(smr::Command c) : cmd(std::move(c)) {}
+    const char* TypeName() const override { return "request"; }
+    int ByteSize() const override { return 8 + cmd.ByteSize(); }
+    smr::Command cmd;
+  };
+  struct ReplyMsg : sim::Message {
+    ReplyMsg(uint64_t s, std::string r, sim::NodeId l)
+        : client_seq(s), result(std::move(r)), leader_hint(l) {}
+    const char* TypeName() const override { return "reply"; }
+    int ByteSize() const override {
+      return 16 + static_cast<int>(result.size());
+    }
+    uint64_t client_seq;
+    std::string result;
+    sim::NodeId leader_hint;
+  };
+
+  /// True if this replica currently believes it is the leader.
+  bool IsLeader() const { return leader_active_; }
+
+  /// Who this replica believes leads (pid of the highest promised ballot).
+  sim::NodeId LeaderHint() const { return ballot_num_.pid; }
+
+  const smr::ReplicatedLog& log() const { return log_; }
+  const smr::KvStore& kv() const { return kv_; }
+  const std::vector<std::string>& violations() const { return violations_; }
+  int phase1_rounds() const { return phase1_rounds_; }
+
+  void OnStart() override;
+  void OnMessage(sim::NodeId from, const sim::Message& msg) override;
+  void OnRestart() override;
+
+ private:
+  struct PrepareMsg;
+  struct PromiseMsg;
+  struct AcceptMsg;
+  struct AcceptedMsg;
+  struct CommitMsg;
+
+  struct SlotState {
+    Ballot accept_num;
+    smr::Command value;
+    bool has_value = false;
+    bool chosen = false;
+    std::set<sim::NodeId> accepts;  ///< Leader-side accepted counters.
+  };
+
+  void StartPhase1();
+  void OnLeadershipAcquired();
+  void ProposeNext();
+  void AcceptSlot(uint64_t index, const smr::Command& cmd);
+  void Chosen(uint64_t index, const smr::Command& cmd);
+  void ApplyAndReply();
+  void ResetLeaderTimer();
+  void SendHeartbeat();
+  std::vector<sim::NodeId> Everyone() const;
+  SlotState& Slot(uint64_t index);
+
+  MultiPaxosOptions options_;
+  int q1_, q2_;
+
+  // Acceptor state.
+  Ballot ballot_num_;  ///< Promised leadership ballot.
+  std::map<uint64_t, SlotState> slots_;
+
+  // Leader state.
+  bool leader_active_ = false;
+  bool phase1_pending_ = false;
+  std::set<sim::NodeId> promisers_;
+  /// Highest-ballot accepted value per index, merged from promises.
+  std::map<uint64_t, std::pair<Ballot, smr::Command>> recovered_;
+  Ballot my_ballot_;
+  uint64_t next_index_ = 0;
+  std::deque<smr::Command> pending_;
+  /// (client, client_seq) -> index, for duplicate suppression.
+  std::map<std::pair<int32_t, uint64_t>, uint64_t> assigned_;
+  /// (client, client_seq) -> client node awaiting a reply.
+  std::map<std::pair<int32_t, uint64_t>, sim::NodeId> awaiting_client_;
+  /// index -> execution result (kept for duplicate re-replies).
+  std::map<uint64_t, std::string> results_by_index_;
+  bool slot_in_flight_ = false;  ///< Used when re-preparing per command.
+
+  // Learner / execution state.
+  smr::ReplicatedLog log_;
+  smr::KvStore kv_;
+  smr::DedupingExecutor dedup_;
+
+  uint64_t leader_timer_ = 0;
+  uint64_t heartbeat_timer_ = 0;
+  int phase1_rounds_ = 0;
+  std::vector<std::string> violations_;
+};
+
+/// A closed-loop client: sends the next command after the previous reply,
+/// retrying (and following leader hints) on timeout.
+class MultiPaxosClient : public sim::Process {
+ public:
+  /// Issues `ops` commands of the form "INC key". n = cluster size
+  /// (replicas at process ids 0..n-1).
+  MultiPaxosClient(int n, int ops, std::string key = "x",
+                   sim::Duration retry = 200 * sim::kMillisecond);
+
+  /// Same, against an explicit replication group.
+  MultiPaxosClient(std::vector<sim::NodeId> members, int ops,
+                   std::string key = "x",
+                   sim::Duration retry = 200 * sim::kMillisecond);
+
+  int completed() const { return completed_; }
+  bool done() const { return completed_ >= ops_; }
+  const std::vector<std::string>& results() const { return results_; }
+
+  void OnStart() override;
+  void OnMessage(sim::NodeId from, const sim::Message& msg) override;
+
+ private:
+  void SendCurrent();
+
+  std::vector<sim::NodeId> members_;
+  int ops_;
+  std::string key_;
+  sim::Duration retry_;
+  int completed_ = 0;
+  uint64_t seq_ = 0;
+  size_t target_idx_ = 0;
+  uint64_t retry_timer_ = 0;
+  std::vector<std::string> results_;
+};
+
+}  // namespace consensus40::paxos
+
+#endif  // CONSENSUS40_PAXOS_MULTI_PAXOS_H_

@@ -1,0 +1,567 @@
+#include "raft/raft.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace consensus40::raft {
+
+namespace {
+const char kRedirect[] = "\x01REDIRECT";
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+struct RaftReplica::RequestVoteMsg : sim::Message {
+  const char* TypeName() const override { return "request-vote"; }
+  int ByteSize() const override { return 32; }
+  int64_t term = 0;
+  sim::NodeId candidate = sim::kInvalidNode;
+  uint64_t last_log_index = 0;  ///< Number of entries (0 = empty log).
+  int64_t last_log_term = 0;
+};
+
+struct RaftReplica::VoteReplyMsg : sim::Message {
+  const char* TypeName() const override { return "vote-reply"; }
+  int ByteSize() const override { return 24; }
+  int64_t term = 0;
+  bool granted = false;
+};
+
+struct RaftReplica::AppendEntriesMsg : sim::Message {
+  const char* TypeName() const override { return "append-entries"; }
+  int ByteSize() const override {
+    int size = 48;
+    for (const LogEntry& e : entries) size += 8 + e.cmd.ByteSize();
+    return size;
+  }
+  int64_t term = 0;
+  sim::NodeId leader = sim::kInvalidNode;
+  uint64_t prev_log_index = 0;  ///< Entries before this index must match.
+  int64_t prev_log_term = 0;
+  std::vector<LogEntry> entries;
+  uint64_t leader_commit = 0;
+};
+
+struct RaftReplica::AppendReplyMsg : sim::Message {
+  const char* TypeName() const override { return "append-reply"; }
+  int ByteSize() const override { return 32; }
+  int64_t term = 0;
+  bool success = false;
+  uint64_t match_index = 0;  ///< On success: entries now known replicated.
+};
+
+struct RaftReplica::InstallSnapshotMsg : sim::Message {
+  const char* TypeName() const override { return "install-snapshot"; }
+  int ByteSize() const override {
+    return 64 + static_cast<int>(data.size()) * 32 +
+           static_cast<int>(sessions.size()) * 24;
+  }
+  int64_t term = 0;
+  sim::NodeId leader = sim::kInvalidNode;
+  uint64_t last_index = 0;  ///< Global index the snapshot covers through.
+  int64_t last_term = 0;
+  std::map<std::string, std::string> data;  ///< KV state.
+  smr::DedupingExecutor::Sessions sessions;
+  std::vector<sim::NodeId> config;  ///< Configuration at last_index.
+};
+
+// ---------------------------------------------------------------------------
+// Replica
+// ---------------------------------------------------------------------------
+
+RaftReplica::RaftReplica(RaftOptions options) : options_(options) {
+  if (options_.initial_config.empty()) {
+    assert(options_.n > 0);
+    for (int i = 0; i < options_.n; ++i) {
+      options_.initial_config.push_back(i);
+    }
+  }
+  config_ = options_.initial_config;
+  snapshot_config_ = options_.initial_config;
+}
+
+std::vector<sim::NodeId> RaftReplica::Peers() const {
+  std::vector<sim::NodeId> peers;
+  for (sim::NodeId member : config_) {
+    if (member != id()) peers.push_back(member);
+  }
+  return peers;
+}
+
+bool RaftReplica::IsVoter(sim::NodeId node) const {
+  for (sim::NodeId member : config_) {
+    if (member == node) return true;
+  }
+  return false;
+}
+
+smr::Command RaftReplica::MakeConfigCommand(
+    const std::vector<sim::NodeId>& config) {
+  std::string op = "CONFIG";
+  for (sim::NodeId member : config) op += " " + std::to_string(member);
+  return smr::Command{-2, 0, op};
+}
+
+std::optional<std::vector<sim::NodeId>> RaftReplica::ParseConfig(
+    const smr::Command& cmd) {
+  if (cmd.client != -2 || cmd.op.rfind("CONFIG", 0) != 0) return std::nullopt;
+  std::vector<sim::NodeId> config;
+  size_t pos = 6;
+  while (pos < cmd.op.size()) {
+    config.push_back(
+        static_cast<sim::NodeId>(std::strtol(cmd.op.c_str() + pos, nullptr, 10)));
+    pos = cmd.op.find(' ', pos + 1);
+    if (pos == std::string::npos) break;
+    ++pos;
+  }
+  return config;
+}
+
+void RaftReplica::RecomputeConfig() {
+  config_ = snapshot_config_;
+  for (const LogEntry& entry : log_) {
+    auto parsed = ParseConfig(entry.cmd);
+    if (parsed) config_ = *parsed;
+  }
+}
+
+Status RaftReplica::ChangeConfig(std::vector<sim::NodeId> new_config) {
+  if (role_ != Role::kLeader) {
+    return Status::FailedPrecondition("not the leader");
+  }
+  if (new_config.empty()) {
+    return Status::InvalidArgument("empty configuration");
+  }
+  // One change at a time: any uncommitted config entry blocks the next.
+  for (uint64_t i = commit_index_; i < LogEnd(); ++i) {
+    if (ParseConfig(EntryAt(i + 1).cmd)) {
+      return Status::FailedPrecondition("a config change is in flight");
+    }
+  }
+  log_.push_back(LogEntry{current_term_, MakeConfigCommand(new_config)});
+  config_ = std::move(new_config);  // Effective when appended.
+  BroadcastAppendEntries();
+  return Status::Ok();
+}
+
+int64_t RaftReplica::LastLogTerm() const {
+  return log_.empty() ? snapshot_term_ : log_.back().term;
+}
+
+int64_t RaftReplica::TermOfEntry(uint64_t index) const {
+  if (index == 0) return 0;
+  if (index == log_start_) return snapshot_term_;
+  return EntryAt(index).term;
+}
+
+void RaftReplica::OnStart() { ResetElectionTimer(); }
+
+void RaftReplica::OnRestart() {
+  // current_term_, voted_for_, log_, snapshot state are persistent.
+  role_ = Role::kFollower;
+  leader_hint_ = sim::kInvalidNode;
+  votes_.clear();
+  next_index_.clear();
+  match_index_.clear();
+  awaiting_client_.clear();
+  ResetElectionTimer();
+}
+
+void RaftReplica::ResetElectionTimer() {
+  CancelTimer(election_timer_);
+  sim::Duration t = options_.election_timeout +
+                    static_cast<sim::Duration>(
+                        rng().NextBounded(options_.election_timeout));
+  election_timer_ = SetTimer(t, [this] { StartElection(); });
+}
+
+void RaftReplica::BecomeFollower(int64_t term) {
+  if (term > current_term_) {
+    current_term_ = term;
+    voted_for_ = sim::kInvalidNode;
+  }
+  if (role_ == Role::kLeader) CancelTimer(heartbeat_timer_);
+  role_ = Role::kFollower;
+  votes_.clear();
+  ResetElectionTimer();
+}
+
+void RaftReplica::StartElection() {
+  if (role_ == Role::kLeader) return;
+  if (!IsVoter(id()) || (options_.join_passive && !heard_from_leader_)) {
+    // Not (yet) a voting member: stay quiet rather than disrupt the
+    // incumbents with doomed candidacies.
+    ResetElectionTimer();
+    return;
+  }
+  role_ = Role::kCandidate;
+  ++current_term_;
+  ++elections_started_;
+  voted_for_ = id();
+  votes_ = {id()};
+  leader_hint_ = sim::kInvalidNode;
+  auto rv = std::make_shared<RequestVoteMsg>();
+  rv->term = current_term_;
+  rv->candidate = id();
+  rv->last_log_index = LogEnd();
+  rv->last_log_term = LastLogTerm();
+  Multicast(Peers(), rv);
+  ResetElectionTimer();  // Retry with a new term if this election splits.
+  if (static_cast<int>(votes_.size()) >= Majority()) BecomeLeader();
+}
+
+void RaftReplica::BecomeLeader() {
+  role_ = Role::kLeader;
+  leader_hint_ = id();
+  CancelTimer(election_timer_);
+  for (sim::NodeId peer : Peers()) {
+    next_index_[peer] = LogEnd();
+    match_index_[peer] = 0;
+  }
+  BroadcastAppendEntries();  // Immediate heartbeat asserts leadership.
+}
+
+void RaftReplica::SendAppendEntries(sim::NodeId peer) {
+  uint64_t next = next_index_[peer];
+  if (next < log_start_) {
+    // The follower needs entries we have compacted away: ship the
+    // snapshot instead (Raft's InstallSnapshot RPC).
+    auto snap = std::make_shared<InstallSnapshotMsg>();
+    snap->term = current_term_;
+    snap->leader = id();
+    snap->last_index = log_start_;
+    snap->last_term = snapshot_term_;
+    snap->data = kv_.Snapshot();
+    snap->sessions = dedup_.sessions();
+    snap->config = snapshot_config_;
+    Send(peer, snap);
+    return;
+  }
+  auto ae = std::make_shared<AppendEntriesMsg>();
+  ae->term = current_term_;
+  ae->leader = id();
+  ae->prev_log_index = next;
+  ae->prev_log_term = TermOfEntry(next);
+  for (uint64_t i = next; i < LogEnd(); ++i) {
+    ae->entries.push_back(EntryAt(i + 1));
+  }
+  ae->leader_commit = commit_index_;
+  Send(peer, ae);
+}
+
+void RaftReplica::BroadcastAppendEntries() {
+  if (role_ != Role::kLeader) return;
+  for (sim::NodeId peer : Peers()) SendAppendEntries(peer);
+  CancelTimer(heartbeat_timer_);
+  heartbeat_timer_ = SetTimer(options_.heartbeat_interval,
+                              [this] { BroadcastAppendEntries(); });
+}
+
+void RaftReplica::AdvanceCommitIndex() {
+  // Find the highest N > commit_index_ replicated on a majority with
+  // TermOfEntry(N) == current_term_ (the Raft commit rule).
+  for (uint64_t n = LogEnd(); n > commit_index_ && n > log_start_; --n) {
+    if (TermOfEntry(n) != current_term_) break;
+    // Count only the votes of the CURRENT configuration.
+    int count = IsVoter(id()) ? 1 : 0;
+    for (sim::NodeId member : config_) {
+      if (member == id()) continue;
+      auto it = match_index_.find(member);
+      count += (it != match_index_.end() && it->second >= n);
+    }
+    if (count >= Majority()) {
+      commit_index_ = n;
+      break;
+    }
+  }
+  ApplyCommitted();
+}
+
+void RaftReplica::ApplyCommitted() {
+  while (last_applied_ < commit_index_) {
+    const LogEntry& entry = EntryAt(last_applied_ + 1);
+    ++last_applied_;
+    auto config = ParseConfig(entry.cmd);
+    if (config) {
+      // A committed configuration that no longer contains us (leader
+      // removed itself) means we must step down.
+      if (role_ == Role::kLeader && !IsVoter(id())) {
+        BecomeFollower(current_term_);
+      }
+      continue;  // Config entries do not touch the state machine.
+    }
+    std::string result = dedup_.Apply(&kv_, entry.cmd);
+    executed_commands_.push_back(entry.cmd);
+    auto it =
+        awaiting_client_.find({entry.cmd.client, entry.cmd.client_seq});
+    if (it != awaiting_client_.end()) {
+      Send(it->second,
+           std::make_shared<ReplyMsg>(entry.cmd.client_seq, result, id()));
+      awaiting_client_.erase(it);
+    }
+  }
+  MaybeTakeSnapshot();
+}
+
+void RaftReplica::MaybeTakeSnapshot() {
+  if (options_.snapshot_threshold == 0) return;
+  if (last_applied_ - log_start_ < options_.snapshot_threshold) return;
+  // The applied state machine IS the snapshot: record the boundary term
+  // and the configuration in effect at the boundary, drop the prefix.
+  snapshot_term_ = TermOfEntry(last_applied_);
+  for (uint64_t i = log_start_; i < last_applied_; ++i) {
+    auto config = ParseConfig(EntryAt(i + 1).cmd);
+    if (config) snapshot_config_ = *config;
+  }
+  log_.erase(log_.begin(),
+             log_.begin() + static_cast<long>(last_applied_ - log_start_));
+  log_start_ = last_applied_;
+  ++snapshots_taken_;
+}
+
+void RaftReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
+  if (const auto* m = dynamic_cast<const RequestMsg*>(&msg)) {
+    if (role_ != Role::kLeader) {
+      Send(from, std::make_shared<ReplyMsg>(m->cmd.client_seq, kRedirect,
+                                            leader_hint_));
+      return;
+    }
+    awaiting_client_[{m->cmd.client, m->cmd.client_seq}] = from;
+    // Append unless this exact command is already in the live log or was
+    // already executed (client retry).
+    auto key = std::make_pair(m->cmd.client, m->cmd.client_seq);
+    bool present = false;
+    for (const LogEntry& e : log_) {
+      if (e.cmd.client == m->cmd.client &&
+          e.cmd.client_seq == m->cmd.client_seq) {
+        present = true;
+        break;
+      }
+    }
+    const auto& sessions = dedup_.sessions();
+    auto session = sessions.find(m->cmd.client);
+    if (session != sessions.end() &&
+        session->second.first >= m->cmd.client_seq) {
+      // Already executed (possibly compacted away): answer from cache.
+      Send(from, std::make_shared<ReplyMsg>(
+                     m->cmd.client_seq, dedup_.Apply(&kv_, m->cmd), id()));
+      awaiting_client_.erase(key);
+      return;
+    }
+    if (!present) {
+      log_.push_back(LogEntry{current_term_, m->cmd});
+      BroadcastAppendEntries();
+    }
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const RequestVoteMsg*>(&msg)) {
+    if (m->term > current_term_) BecomeFollower(m->term);
+    bool granted = false;
+    if (m->term == current_term_ &&
+        (voted_for_ == sim::kInvalidNode || voted_for_ == m->candidate)) {
+      // Election restriction: candidate's log must be at least as
+      // up-to-date as ours.
+      bool up_to_date =
+          m->last_log_term > LastLogTerm() ||
+          (m->last_log_term == LastLogTerm() &&
+           m->last_log_index >= LogEnd());
+      if (up_to_date) {
+        granted = true;
+        voted_for_ = m->candidate;
+        ResetElectionTimer();
+      }
+    }
+    auto reply = std::make_shared<VoteReplyMsg>();
+    reply->term = current_term_;
+    reply->granted = granted;
+    Send(from, reply);
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const VoteReplyMsg*>(&msg)) {
+    if (m->term > current_term_) {
+      BecomeFollower(m->term);
+      return;
+    }
+    if (role_ != Role::kCandidate || m->term != current_term_ || !m->granted) {
+      return;
+    }
+    votes_.insert(from);
+    if (static_cast<int>(votes_.size()) >= Majority()) BecomeLeader();
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const AppendEntriesMsg*>(&msg)) {
+    auto reply = std::make_shared<AppendReplyMsg>();
+    if (m->term < current_term_) {
+      reply->term = current_term_;
+      reply->success = false;
+      Send(from, reply);
+      return;
+    }
+    BecomeFollower(m->term);
+    leader_hint_ = m->leader;
+    heard_from_leader_ = true;
+    reply->term = current_term_;
+
+    uint64_t prev = m->prev_log_index;
+    size_t skip = 0;
+    if (prev < log_start_) {
+      // Our snapshot already covers (prev, log_start_]; those entries are
+      // committed, hence identical — skip them.
+      skip = std::min<size_t>(log_start_ - prev, m->entries.size());
+      prev += skip;
+    }
+    if (prev > LogEnd() ||
+        (prev > log_start_ && TermOfEntry(prev) != m->prev_log_term &&
+         skip == 0)) {
+      // Log mismatch: leader will back up nextIndex.
+      reply->success = false;
+      reply->match_index = 0;
+      Send(from, reply);
+      return;
+    }
+    // Append, truncating any conflicting suffix.
+    uint64_t index = prev;  // Global index of the entry about to land.
+    bool log_changed = false;
+    for (size_t k = skip; k < m->entries.size(); ++k) {
+      const LogEntry& entry = m->entries[k];
+      if (index < LogEnd()) {
+        if (TermOfEntry(index + 1) != entry.term) {
+          if (index < commit_index_) {
+            violations_.push_back("truncating committed entry " +
+                                  std::to_string(index));
+          }
+          log_.resize(index - log_start_);
+          log_.push_back(entry);
+          log_changed = true;
+        }
+      } else {
+        log_.push_back(entry);
+        log_changed = true;
+      }
+      ++index;
+    }
+    if (log_changed) RecomputeConfig();
+    if (m->leader_commit > commit_index_) {
+      commit_index_ = std::min<uint64_t>(m->leader_commit, LogEnd());
+      ApplyCommitted();
+    }
+    reply->success = true;
+    reply->match_index = m->prev_log_index + m->entries.size();
+    Send(from, reply);
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const InstallSnapshotMsg*>(&msg)) {
+    auto reply = std::make_shared<AppendReplyMsg>();
+    if (m->term < current_term_) {
+      reply->term = current_term_;
+      reply->success = false;
+      Send(from, reply);
+      return;
+    }
+    BecomeFollower(m->term);
+    leader_hint_ = m->leader;
+    heard_from_leader_ = true;
+    reply->term = current_term_;
+    if (m->last_index <= last_applied_) {
+      // Our state is already at least as fresh.
+      reply->success = true;
+      reply->match_index = last_applied_;
+      Send(from, reply);
+      return;
+    }
+    kv_.Restore(m->data);
+    dedup_.Restore(m->sessions);
+    if (m->last_index >= LogEnd()) {
+      log_.clear();
+    } else {
+      log_.erase(log_.begin(),
+                 log_.begin() + static_cast<long>(m->last_index - log_start_));
+    }
+    log_start_ = m->last_index;
+    snapshot_term_ = m->last_term;
+    if (!m->config.empty()) snapshot_config_ = m->config;
+    RecomputeConfig();
+    commit_index_ = std::max(commit_index_, m->last_index);
+    last_applied_ = m->last_index;
+    ++snapshots_installed_;
+    reply->success = true;
+    reply->match_index = m->last_index;
+    Send(from, reply);
+    ApplyCommitted();
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const AppendReplyMsg*>(&msg)) {
+    if (m->term > current_term_) {
+      BecomeFollower(m->term);
+      return;
+    }
+    if (role_ != Role::kLeader || m->term != current_term_) return;
+    if (m->success) {
+      match_index_[from] = std::max(match_index_[from], m->match_index);
+      next_index_[from] = std::max(next_index_[from], m->match_index);
+      AdvanceCommitIndex();
+    } else {
+      // Back up and retry immediately.
+      if (next_index_[from] > 0) --next_index_[from];
+      SendAppendEntries(from);
+    }
+    return;
+  }
+}
+
+std::vector<smr::Command> RaftReplica::CommittedCommands() const {
+  return executed_commands_;
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+RaftClient::RaftClient(int n, int ops, std::string key, sim::Duration retry)
+    : n_(n), ops_(ops), key_(std::move(key)), retry_(retry) {}
+
+void RaftClient::OnStart() {
+  seq_ = 1;
+  SendCurrent();
+}
+
+void RaftClient::SendCurrent() {
+  if (done()) return;
+  smr::Command cmd{id(), seq_, "INC " + key_};
+  Send(target_, std::make_shared<RaftReplica::RequestMsg>(cmd));
+  CancelTimer(retry_timer_);
+  retry_timer_ = SetTimer(retry_, [this] {
+    target_ = (target_ + 1) % n_;
+    SendCurrent();
+  });
+}
+
+void RaftClient::OnMessage(sim::NodeId from, const sim::Message& msg) {
+  const auto* m = dynamic_cast<const RaftReplica::ReplyMsg*>(&msg);
+  if (m == nullptr || m->client_seq != seq_ || done()) return;
+  if (m->result == kRedirect) {
+    if (m->leader_hint >= 0 && m->leader_hint < n_ && m->leader_hint != from) {
+      target_ = m->leader_hint;
+      SendCurrent();
+    }
+    return;
+  }
+  target_ = from;
+  results_.push_back(m->result);
+  ++completed_;
+  ++seq_;
+  if (done()) {
+    CancelTimer(retry_timer_);
+  } else {
+    SendCurrent();
+  }
+}
+
+}  // namespace consensus40::raft

@@ -1,0 +1,223 @@
+#ifndef CONSENSUS40_RAFT_RAFT_H_
+#define CONSENSUS40_RAFT_RAFT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+#include "sim/simulation.h"
+#include "smr/command.h"
+#include "smr/state_machine.h"
+
+namespace consensus40::smr {
+class KvStore;
+}
+
+namespace consensus40::raft {
+
+/// Configuration for a Raft replica.
+struct RaftOptions {
+  /// Cluster size; replicas must be processes 0..n-1.
+  int n = 0;
+
+  /// Heartbeat (empty AppendEntries) period.
+  sim::Duration heartbeat_interval = 20 * sim::kMillisecond;
+
+  /// Election timeout base; actual timeout uniform in [base, 2*base] —
+  /// Raft's randomized timeouts are what keep split votes rare.
+  sim::Duration election_timeout = 150 * sim::kMillisecond;
+
+  /// Log compaction: once this many entries are applied beyond the last
+  /// snapshot, fold them into a state snapshot and truncate the log.
+  /// Followers too far behind receive InstallSnapshot. 0 disables.
+  uint64_t snapshot_threshold = 0;
+
+  /// Initial voting configuration; empty = processes 0..n-1.
+  std::vector<sim::NodeId> initial_config;
+
+  /// A server being added to an existing cluster starts passive: it does
+  /// not campaign until it has heard from a leader (prevents a fresh,
+  /// empty server from disrupting the incumbents with election storms).
+  bool join_passive = false;
+};
+
+/// A Raft replica (Ongaro & Ousterhout 2014): the deck presents Raft as the
+/// understandability-first equivalent of Multi-Paxos — terms instead of
+/// ballots, leader-integrated log management, randomized elections.
+class RaftReplica : public sim::Process {
+ public:
+  enum class Role { kFollower, kCandidate, kLeader };
+
+  explicit RaftReplica(RaftOptions options);
+
+  struct LogEntry {
+    int64_t term = 0;
+    smr::Command cmd;
+  };
+
+  // --- Client-facing messages ---
+  struct RequestMsg : sim::Message {
+    explicit RequestMsg(smr::Command c) : cmd(std::move(c)) {}
+    const char* TypeName() const override { return "request"; }
+    int ByteSize() const override { return 8 + cmd.ByteSize(); }
+    smr::Command cmd;
+  };
+  struct ReplyMsg : sim::Message {
+    ReplyMsg(uint64_t s, std::string r, sim::NodeId hint)
+        : client_seq(s), result(std::move(r)), leader_hint(hint) {}
+    const char* TypeName() const override { return "reply"; }
+    int ByteSize() const override {
+      return 16 + static_cast<int>(result.size());
+    }
+    uint64_t client_seq;
+    std::string result;
+    sim::NodeId leader_hint;
+  };
+
+  Role role() const { return role_; }
+  bool IsLeader() const { return role_ == Role::kLeader; }
+  int64_t current_term() const { return current_term_; }
+  sim::NodeId LeaderHint() const { return leader_hint_; }
+  uint64_t commit_index() const { return commit_index_; }
+  const std::vector<LogEntry>& raft_log() const { return log_; }
+  const smr::KvStore& kv() const { return kv_; }
+  int elections_started() const { return elections_started_; }
+  const std::vector<std::string>& violations() const { return violations_; }
+  /// First global index still held in the log (compaction frontier).
+  uint64_t log_start() const { return log_start_; }
+  /// Entries currently held in memory (compaction shrinks this).
+  size_t LogEntriesHeld() const { return log_.size(); }
+  int snapshots_taken() const { return snapshots_taken_; }
+  int snapshots_installed() const { return snapshots_installed_; }
+
+  /// Commands this replica applied, in order (for shared checkers; a
+  /// replica that bootstrapped from a snapshot only knows its suffix).
+  std::vector<smr::Command> CommittedCommands() const;
+
+  // --- Membership reconfiguration (single-server-change rule) ---
+
+  /// The voting configuration currently in effect (config entries take
+  /// effect as soon as they are APPENDED, per the Raft dissertation).
+  const std::vector<sim::NodeId>& config() const { return config_; }
+
+  /// Leader-only: appends a configuration-change entry. Fails if this
+  /// replica is not the leader or a config change is still uncommitted
+  /// (changes must be applied one at a time).
+  Status ChangeConfig(std::vector<sim::NodeId> new_config);
+
+  /// Encodes/decodes configuration log entries.
+  static smr::Command MakeConfigCommand(
+      const std::vector<sim::NodeId>& config);
+  static std::optional<std::vector<sim::NodeId>> ParseConfig(
+      const smr::Command& cmd);
+
+  void OnStart() override;
+  void OnMessage(sim::NodeId from, const sim::Message& msg) override;
+  void OnRestart() override;
+
+ private:
+  struct RequestVoteMsg;
+  struct VoteReplyMsg;
+  struct AppendEntriesMsg;
+  struct AppendReplyMsg;
+  struct InstallSnapshotMsg;
+
+  void BecomeFollower(int64_t term);
+  void StartElection();
+  void BecomeLeader();
+  void ResetElectionTimer();
+  /// Re-derives config_ from the snapshot config + latest log entry;
+  /// called after any log mutation (append, truncate, snapshot install).
+  void RecomputeConfig();
+  int Majority() const { return static_cast<int>(config_.size()) / 2 + 1; }
+  bool IsVoter(sim::NodeId node) const;
+  void SendAppendEntries(sim::NodeId peer);
+  void BroadcastAppendEntries();
+  void AdvanceCommitIndex();
+  void ApplyCommitted();
+  void MaybeTakeSnapshot();
+  int64_t LastLogTerm() const;
+  /// Global end of the log (== number of entries ever appended).
+  uint64_t LogEnd() const { return log_start_ + log_.size(); }
+  /// Term of the 1-based global entry index (0 -> 0; the snapshot
+  /// boundary -> the snapshot's term).
+  int64_t TermOfEntry(uint64_t index) const;
+  /// Entry at a 1-based global index (must be > log_start_).
+  const LogEntry& EntryAt(uint64_t index) const {
+    return log_[index - 1 - log_start_];
+  }
+  std::vector<sim::NodeId> Peers() const;
+
+  RaftOptions options_;
+
+  // Persistent state (survives crash/restart).
+  int64_t current_term_ = 0;
+  sim::NodeId voted_for_ = sim::kInvalidNode;
+  std::vector<LogEntry> log_;  ///< Suffix after log_start_ global entries.
+  uint64_t log_start_ = 0;     ///< Global entries folded into the snapshot.
+  int64_t snapshot_term_ = 0;  ///< Term of the last compacted entry.
+  std::vector<sim::NodeId> config_;           ///< Effective configuration.
+  std::vector<sim::NodeId> snapshot_config_;  ///< Config at log_start_.
+  bool heard_from_leader_ = false;  ///< For join_passive servers.
+
+  // Volatile state.
+  Role role_ = Role::kFollower;
+  sim::NodeId leader_hint_ = sim::kInvalidNode;
+  uint64_t commit_index_ = 0;  ///< Count of committed entries.
+  uint64_t last_applied_ = 0;
+  std::set<sim::NodeId> votes_;
+
+  // Leader volatile state.
+  std::map<sim::NodeId, uint64_t> next_index_;
+  std::map<sim::NodeId, uint64_t> match_index_;
+  /// (client, client_seq) -> client node awaiting a reply.
+  std::map<std::pair<int32_t, uint64_t>, sim::NodeId> awaiting_client_;
+
+  smr::KvStore kv_;
+  smr::DedupingExecutor dedup_;
+  std::vector<smr::Command> executed_commands_;
+
+  uint64_t election_timer_ = 0;
+  uint64_t heartbeat_timer_ = 0;
+  int elections_started_ = 0;
+  int snapshots_taken_ = 0;
+  int snapshots_installed_ = 0;
+  std::vector<std::string> violations_;
+};
+
+/// Closed-loop Raft client, mirroring MultiPaxosClient.
+class RaftClient : public sim::Process {
+ public:
+  RaftClient(int n, int ops, std::string key = "x",
+             sim::Duration retry = 300 * sim::kMillisecond);
+
+  int completed() const { return completed_; }
+  bool done() const { return completed_ >= ops_; }
+  const std::vector<std::string>& results() const { return results_; }
+
+  void OnStart() override;
+  void OnMessage(sim::NodeId from, const sim::Message& msg) override;
+
+ private:
+  void SendCurrent();
+
+  int n_;
+  int ops_;
+  std::string key_;
+  sim::Duration retry_;
+  int completed_ = 0;
+  uint64_t seq_ = 0;
+  sim::NodeId target_ = 0;
+  uint64_t retry_timer_ = 0;
+  std::vector<std::string> results_;
+};
+
+}  // namespace consensus40::raft
+
+#endif  // CONSENSUS40_RAFT_RAFT_H_

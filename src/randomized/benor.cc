@@ -1,0 +1,114 @@
+#include "randomized/benor.h"
+
+#include <cassert>
+
+namespace consensus40::randomized {
+
+BenOrNode::BenOrNode(BenOrOptions options, int initial_value)
+    : options_(options), value_(initial_value) {
+  assert(options_.n > 0);
+  assert(initial_value == 0 || initial_value == 1);
+  f_ = (options_.n - 1) / 2;
+}
+
+std::vector<sim::NodeId> BenOrNode::Everyone() const {
+  std::vector<sim::NodeId> all;
+  for (int i = 0; i < options_.n; ++i) all.push_back(i);
+  return all;
+}
+
+void BenOrNode::OnStart() { StartRound(); }
+
+void BenOrNode::StartRound() {
+  phase_ = 1;
+  auto report = std::make_shared<ReportMsg>();
+  report->round = round_;
+  report->value = value_;
+  Multicast(Everyone(), report);
+  MaybeFinishPhase1();
+}
+
+void BenOrNode::MaybeFinishPhase1() {
+  if (phase_ != 1 || decided_) return;
+  auto& reports = reports_[round_];
+  if (static_cast<int>(reports.size()) < options_.n - f_) return;
+  int zeros = 0, ones = 0;
+  for (const auto& [node, value] : reports) {
+    (value == 0 ? zeros : ones)++;
+  }
+  int proposal = -1;
+  if (2 * zeros > options_.n) proposal = 0;
+  if (2 * ones > options_.n) proposal = 1;
+
+  phase_ = 2;
+  auto propose = std::make_shared<ProposeMsg>();
+  propose->round = round_;
+  propose->proposal = proposal;
+  Multicast(Everyone(), propose);
+  MaybeFinishPhase2();
+}
+
+void BenOrNode::MaybeFinishPhase2() {
+  if (phase_ != 2 || decided_) return;
+  auto& proposals = proposals_[round_];
+  if (static_cast<int>(proposals.size()) < options_.n - f_) return;
+  int count[2] = {0, 0};
+  for (const auto& [node, proposal] : proposals) {
+    if (proposal == 0 || proposal == 1) count[proposal]++;
+  }
+  for (int v = 0; v < 2; ++v) {
+    if (count[v] >= f_ + 1) {
+      Decide(v);
+      return;
+    }
+  }
+  if (count[0] > 0) {
+    value_ = 0;
+  } else if (count[1] > 0) {
+    value_ = 1;
+  } else {
+    value_ = static_cast<int>(rng().NextBounded(2));  // The coin.
+  }
+  ++round_;
+  StartRound();
+}
+
+void BenOrNode::Decide(int value) {
+  if (decided_) return;
+  decided_ = value;
+  if (!decide_broadcast_) {
+    decide_broadcast_ = true;
+    auto decide = std::make_shared<DecideMsg>();
+    decide->value = value;
+    Multicast(Everyone(), decide);
+  }
+}
+
+void BenOrNode::OnMessage(sim::NodeId from, const sim::Message& msg) {
+  if (decided_) {
+    // Help laggards: answer any message with the decision.
+    if (dynamic_cast<const DecideMsg*>(&msg) == nullptr) {
+      auto decide = std::make_shared<DecideMsg>();
+      decide->value = *decided_;
+      Send(from, decide);
+    }
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const ReportMsg*>(&msg)) {
+    reports_[m->round][from] = m->value;
+    if (m->round == round_) MaybeFinishPhase1();
+    return;
+  }
+  if (const auto* m = dynamic_cast<const ProposeMsg*>(&msg)) {
+    proposals_[m->round][from] = m->proposal;
+    if (m->round == round_) MaybeFinishPhase2();
+    return;
+  }
+  if (const auto* m = dynamic_cast<const DecideMsg*>(&msg)) {
+    Decide(m->value);
+    return;
+  }
+}
+
+}  // namespace consensus40::randomized

@@ -1,0 +1,79 @@
+#ifndef CONSENSUS40_RANDOMIZED_BENOR_H_
+#define CONSENSUS40_RANDOMIZED_BENOR_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace consensus40::randomized {
+
+/// Configuration for a Ben-Or node.
+struct BenOrOptions {
+  /// Cluster size; tolerates f < n/2 crash faults under full asynchrony.
+  int n = 0;
+};
+
+/// Ben-Or's randomized binary consensus (1983): the classic answer to FLP.
+/// The FLP theorem rules out *deterministic* asynchronous consensus with
+/// one crash fault; Ben-Or sacrifices determinism (the deck's first
+/// circumvention) and terminates with probability 1:
+///
+///   round r, phase 1 (report):  broadcast R(r, value); await n-f reports;
+///       propose v if > n/2 reports carry v, else propose ⊥;
+///   round r, phase 2 (propose): broadcast P(r, proposal); await n-f;
+///       - >= f+1 non-⊥ agreeing proposals: DECIDE that value;
+///       - >= 1 non-⊥ proposal: adopt it for round r+1;
+///       - none: flip a coin for round r+1.
+class BenOrNode : public sim::Process {
+ public:
+  BenOrNode(BenOrOptions options, int initial_value);
+
+  struct ReportMsg : sim::Message {
+    const char* TypeName() const override { return "benor-report"; }
+    int ByteSize() const override { return 20; }
+    int round = 0;
+    int value = 0;
+  };
+  struct ProposeMsg : sim::Message {
+    const char* TypeName() const override { return "benor-propose"; }
+    int ByteSize() const override { return 20; }
+    int round = 0;
+    int proposal = -1;  ///< -1 encodes ⊥.
+  };
+  struct DecideMsg : sim::Message {
+    const char* TypeName() const override { return "benor-decide"; }
+    int ByteSize() const override { return 16; }
+    int value = 0;
+  };
+
+  const std::optional<int>& decided() const { return decided_; }
+  int round() const { return round_; }
+
+  void OnStart() override;
+  void OnMessage(sim::NodeId from, const sim::Message& msg) override;
+
+ private:
+  void StartRound();
+  void MaybeFinishPhase1();
+  void MaybeFinishPhase2();
+  void Decide(int value);
+  std::vector<sim::NodeId> Everyone() const;
+
+  BenOrOptions options_;
+  int f_;
+  int value_;
+  int round_ = 1;
+  int phase_ = 1;
+  /// Buffered per-round messages (asynchrony delivers across rounds).
+  std::map<int, std::map<sim::NodeId, int>> reports_;
+  std::map<int, std::map<sim::NodeId, int>> proposals_;
+  std::optional<int> decided_;
+  bool decide_broadcast_ = false;
+};
+
+}  // namespace consensus40::randomized
+
+#endif  // CONSENSUS40_RANDOMIZED_BENOR_H_

@@ -1,0 +1,335 @@
+#include "seemore/seemore.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "pbft/pbft.h"
+
+namespace consensus40::seemore {
+
+namespace {
+
+bool ValidRequest(const smr::Command& cmd, const crypto::Signature& sig,
+                  const crypto::KeyRegistry& registry) {
+  return pbft::PbftReplica::ValidRequest(cmd, sig, registry);
+}
+
+crypto::Digest SlotDigest(uint64_t seq, const smr::Command& cmd) {
+  crypto::Sha256 h;
+  h.Update(&seq, sizeof(seq));
+  crypto::Digest d = cmd.Hash();
+  h.Update(d.data(), d.size());
+  return h.Finish();
+}
+
+}  // namespace
+
+const char* ToString(SeeMoReMode mode) {
+  switch (mode) {
+    case SeeMoReMode::kMode1:
+      return "mode1(trusted primary, centralized)";
+    case SeeMoReMode::kMode2:
+      return "mode2(trusted primary, decentralized)";
+    case SeeMoReMode::kMode3:
+      return "mode3(untrusted primary, decentralized)";
+  }
+  return "?";
+}
+
+SeeMoReReplica::SeeMoReReplica(SeeMoReOptions options) : options_(options) {
+  assert(options_.m >= 1 && options_.c >= 0);
+  assert(options_.registry != nullptr);
+  // Modes 1/2 place the trusted primary in the private cloud.
+  assert(options_.mode == SeeMoReMode::kMode3 || options_.private_n() >= 1);
+}
+
+sim::NodeId SeeMoReReplica::Primary() const {
+  // Modes 1/2: a trusted (private-cloud) primary; mode 3: the first
+  // public-cloud node.
+  return options_.mode == SeeMoReMode::kMode3 ? options_.private_n() : 0;
+}
+
+bool SeeMoReReplica::IsProxy() const {
+  if (options_.mode == SeeMoReMode::kMode1) return true;  // All decide.
+  int first = options_.private_n();
+  return id() >= first && id() < first + options_.proxy_count();
+}
+
+int SeeMoReReplica::DecisionQuorum() const {
+  return options_.mode == SeeMoReMode::kMode1
+             ? 2 * options_.m + options_.c + 1
+             : 2 * options_.m + 1;
+}
+
+std::vector<sim::NodeId> SeeMoReReplica::Proxies() const {
+  std::vector<sim::NodeId> proxies;
+  if (options_.mode == SeeMoReMode::kMode1) {
+    for (int i = 0; i < options_.n(); ++i) proxies.push_back(i);
+  } else {
+    int first = options_.private_n();
+    for (int i = 0; i < options_.proxy_count(); ++i) {
+      proxies.push_back(first + i);
+    }
+  }
+  return proxies;
+}
+
+std::vector<sim::NodeId> SeeMoReReplica::Everyone() const {
+  std::vector<sim::NodeId> all;
+  for (int i = 0; i < options_.n(); ++i) all.push_back(i);
+  return all;
+}
+
+bool SeeMoReReplica::MaybeActMaliciouslyOnRequest(const smr::Command&,
+                                                  const crypto::Signature&) {
+  return false;
+}
+
+void SeeMoReReplica::CountedSend(sim::NodeId to, sim::MessagePtr msg) {
+  ++messages_sent_;
+  Send(to, std::move(msg));
+}
+
+void SeeMoReReplica::CountedMulticast(const std::vector<sim::NodeId>& targets,
+                                      const sim::MessagePtr& msg) {
+  messages_sent_ += targets.size();
+  Multicast(targets, msg);
+}
+
+void SeeMoReReplica::Decide(uint64_t seq, const smr::Command& cmd) {
+  Slot& slot = slots_[seq];
+  if (slot.decided) return;
+  slot.decided = true;
+  slot.cmd = cmd;
+  slot.proposed = true;
+  MaybeExecute();
+}
+
+void SeeMoReReplica::MaybeExecute() {
+  while (true) {
+    auto it = slots_.find(exec_cursor_);
+    if (it == slots_.end() || !it->second.decided) break;
+    Slot& slot = it->second;
+    if (!slot.executed) {
+      slot.executed = true;
+      auto key = std::make_pair(slot.cmd.client, slot.cmd.client_seq);
+      std::string result;
+      if (results_.count(key) > 0) {
+        result = results_[key];
+      } else {
+        result = dedup_.Apply(&kv_, slot.cmd);
+        results_[key] = result;
+        executed_commands_.push_back(slot.cmd);
+      }
+      auto reply = std::make_shared<ReplyMsg>();
+      reply->client_seq = slot.cmd.client_seq;
+      reply->replica = id();
+      reply->result = result;
+      CountedSend(slot.cmd.client, reply);
+    }
+    ++exec_cursor_;
+  }
+}
+
+void SeeMoReReplica::SendAccept(uint64_t seq, Slot& slot) {
+  if (slot.sent_accept) return;
+  slot.sent_accept = true;
+  auto accept = std::make_shared<AcceptMsg>();
+  accept->seq = seq;
+  accept->digest = slot.digest;
+  accept->replica = id();
+  accept->sig = options_.registry->Sign(id(), slot.digest);
+  if (options_.mode == SeeMoReMode::kMode1) {
+    // Centralized decision making: accepts flow back to the primary.
+    CountedSend(Primary(), accept);
+  } else {
+    // Decentralized: proxies gossip accepts among themselves.
+    CountedMulticast(Proxies(), accept);
+  }
+  slot.accepts.insert(id());
+}
+
+void SeeMoReReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
+  if (const auto* m = dynamic_cast<const RequestMsg*>(&msg)) {
+    if (!ValidRequest(m->cmd, m->client_sig, *options_.registry)) return;
+    auto key = std::make_pair(m->cmd.client, m->cmd.client_seq);
+    auto done = results_.find(key);
+    if (done != results_.end()) {
+      auto reply = std::make_shared<ReplyMsg>();
+      reply->client_seq = m->cmd.client_seq;
+      reply->replica = id();
+      reply->result = done->second;
+      CountedSend(m->cmd.client, reply);
+      return;
+    }
+    if (!IsPrimary()) {
+      CountedSend(Primary(),
+                  std::make_shared<RequestMsg>(m->cmd, m->client_sig));
+      return;
+    }
+    if (MaybeActMaliciouslyOnRequest(m->cmd, m->client_sig)) return;
+    for (const auto& [seq, slot] : slots_) {
+      if (slot.cmd.client == m->cmd.client &&
+          slot.cmd.client_seq == m->cmd.client_seq) {
+        return;  // In flight.
+      }
+    }
+    auto propose = std::make_shared<ProposeMsg>();
+    propose->seq = next_seq_++;
+    propose->cmd = m->cmd;
+    propose->client_sig = m->client_sig;
+    propose->primary_sig = options_.registry->Sign(
+        id(), SlotDigest(propose->seq, m->cmd));
+    // The proposal reaches every node (so the private cloud stays in sync)
+    // in all modes.
+    CountedMulticast(Everyone(), propose);
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const ProposeMsg*>(&msg)) {
+    if (from != Primary()) return;
+    if (!ValidRequest(m->cmd, m->client_sig, *options_.registry)) return;
+    crypto::Digest digest = SlotDigest(m->seq, m->cmd);
+    if (m->primary_sig.signer != Primary() ||
+        !options_.registry->Verify(m->primary_sig, digest)) {
+      return;
+    }
+    Slot& slot = slots_[m->seq];
+    if (slot.proposed && !(slot.digest == digest)) return;  // Equivocation.
+    slot.proposed = true;
+    slot.cmd = m->cmd;
+    slot.client_sig = m->client_sig;
+    slot.digest = digest;
+
+    switch (options_.mode) {
+      case SeeMoReMode::kMode1:
+        // Every node accepts straight back to the trusted primary.
+        SendAccept(m->seq, slot);
+        break;
+      case SeeMoReMode::kMode2:
+        // The primary is trusted: proxies accept without validation.
+        if (IsProxy()) SendAccept(m->seq, slot);
+        break;
+      case SeeMoReMode::kMode3: {
+        // Untrusted primary: proxies first cross-validate the proposal.
+        if (!IsProxy()) break;
+        auto validate = std::make_shared<ValidateMsg>();
+        validate->seq = m->seq;
+        validate->digest = digest;
+        validate->replica = id();
+        validate->sig = options_.registry->Sign(id(), digest);
+        CountedMulticast(Proxies(), validate);
+        slot.validations.insert(id());
+        break;
+      }
+    }
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const ValidateMsg*>(&msg)) {
+    if (options_.mode != SeeMoReMode::kMode3 || !IsProxy()) return;
+    if (m->sig.signer != from ||
+        !options_.registry->Verify(m->sig, m->digest)) {
+      return;
+    }
+    Slot& slot = slots_[m->seq];
+    if (slot.proposed && !(slot.digest == m->digest)) return;
+    slot.validations.insert(from);
+    if (slot.proposed && !slot.validated &&
+        static_cast<int>(slot.validations.size()) >= DecisionQuorum()) {
+      slot.validated = true;
+      SendAccept(m->seq, slot);
+    }
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const AcceptMsg*>(&msg)) {
+    if (m->sig.signer != from ||
+        !options_.registry->Verify(m->sig, m->digest)) {
+      return;
+    }
+    Slot& slot = slots_[m->seq];
+    if (slot.proposed && !(slot.digest == m->digest)) return;
+    slot.accepts.insert(from);
+    if (slot.proposed && !slot.decided &&
+        static_cast<int>(slot.accepts.size()) >= DecisionQuorum()) {
+      // Decision reached; propagate asynchronously to everyone.
+      auto commit = std::make_shared<CommitMsg>();
+      commit->seq = m->seq;
+      commit->cmd = slot.cmd;
+      CountedMulticast(Everyone(), commit);
+      Decide(m->seq, slot.cmd);
+    }
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const CommitMsg*>(&msg)) {
+    // In modes 2/3 the private cloud learns decisions through commits from
+    // the deciding proxies; accept after m+1 agreeing senders (at least one
+    // correct). Mode 1 commits come from the trusted primary directly.
+    if (options_.mode == SeeMoReMode::kMode1) {
+      if (from == Primary()) Decide(m->seq, m->cmd);
+      return;
+    }
+    Slot& slot = slots_[m->seq];
+    (void)slot;
+    commit_votes_[m->seq][m->cmd.Hash()].insert(from);
+    commit_cmds_[m->seq] = m->cmd;
+    if (static_cast<int>(
+            commit_votes_[m->seq][m->cmd.Hash()].size()) >= options_.m + 1) {
+      Decide(m->seq, m->cmd);
+    }
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+SeeMoReClient::SeeMoReClient(SeeMoReOptions options, int ops, std::string key,
+                             sim::Duration retry)
+    : options_(options), ops_(ops), key_(std::move(key)), retry_(retry) {}
+
+sim::NodeId SeeMoReClient::Primary() const {
+  return options_.mode == SeeMoReMode::kMode3 ? options_.private_n() : 0;
+}
+
+void SeeMoReClient::OnStart() {
+  seq_ = 1;
+  SendCurrent(false);
+}
+
+void SeeMoReClient::SendCurrent(bool broadcast) {
+  if (done()) return;
+  smr::Command cmd{id(), seq_, "INC " + key_};
+  crypto::Signature sig = options_.registry->Sign(id(), cmd.Hash());
+  if (broadcast) {
+    for (int i = 0; i < options_.n(); ++i) {
+      Send(i, std::make_shared<SeeMoReReplica::RequestMsg>(cmd, sig));
+    }
+  } else {
+    Send(Primary(), std::make_shared<SeeMoReReplica::RequestMsg>(cmd, sig));
+  }
+  CancelTimer(retry_timer_);
+  retry_timer_ = SetTimer(retry_, [this] { SendCurrent(true); });
+}
+
+void SeeMoReClient::OnMessage(sim::NodeId from, const sim::Message& msg) {
+  const auto* m = dynamic_cast<const SeeMoReReplica::ReplyMsg*>(&msg);
+  if (m == nullptr || m->client_seq != seq_ || done()) return;
+  reply_votes_[m->result].insert(from);
+  if (static_cast<int>(reply_votes_[m->result].size()) >= options_.m + 1) {
+    results_.push_back(m->result);
+    reply_votes_.clear();
+    ++completed_;
+    ++seq_;
+    if (done()) {
+      CancelTimer(retry_timer_);
+    } else {
+      SendCurrent(false);
+    }
+  }
+}
+
+}  // namespace consensus40::seemore

@@ -1,0 +1,176 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+
+namespace consensus40::sim {
+
+Time Process::Now() const { return sim_->now(); }
+
+void Process::Send(NodeId to, MessagePtr msg) {
+  sim_->SendMessage(id_, to, std::move(msg));
+}
+
+void Process::Multicast(const std::vector<NodeId>& targets,
+                        const MessagePtr& msg) {
+  for (NodeId t : targets) sim_->SendMessage(id_, t, msg);
+}
+
+uint64_t Process::SetTimer(Duration delay, std::function<void()> fn) {
+  return sim_->SetProcessTimer(id_, delay, std::move(fn));
+}
+
+void Process::CancelTimer(uint64_t timer_id) {
+  sim_->CancelProcessTimer(timer_id);
+}
+
+Simulation::Simulation(uint64_t seed, NetworkOptions options)
+    : rng_(seed), options_(options) {}
+
+Simulation::~Simulation() = default;
+
+void Simulation::Register(std::unique_ptr<Process> p) {
+  p->sim_ = this;
+  p->id_ = static_cast<NodeId>(processes_.size());
+  p->rng_ = std::make_unique<Rng>(rng_.Fork());
+  processes_.push_back(std::move(p));
+}
+
+void Simulation::Start() {
+  // OnStart may spawn further processes; iterate by index.
+  for (; started_ < processes_.size(); ++started_) {
+    if (!processes_[started_]->crashed_) processes_[started_]->OnStart();
+  }
+}
+
+bool Simulation::Step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+void Simulation::RunFor(Duration d) {
+  Time end = now_ + d;
+  while (!queue_.empty() && queue_.top().time <= end) Step();
+  now_ = end;
+}
+
+bool Simulation::RunUntil(const std::function<bool()>& pred, Time deadline) {
+  if (pred()) return true;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Step();
+    if (pred()) return true;
+  }
+  return false;
+}
+
+void Simulation::Crash(NodeId id) {
+  Process* p = processes_[id].get();
+  if (p->crashed_) return;
+  p->crashed_ = true;
+  p->epoch_++;
+}
+
+void Simulation::Restart(NodeId id) {
+  Process* p = processes_[id].get();
+  if (!p->crashed_) return;
+  p->crashed_ = false;
+  p->epoch_++;
+  p->OnRestart();
+}
+
+void Simulation::Partition(const std::vector<std::vector<NodeId>>& groups) {
+  partition_group_.assign(processes_.size(), -1);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (NodeId id : groups[g]) partition_group_[id] = static_cast<int>(g);
+  }
+}
+
+void Simulation::Heal() { partition_group_.clear(); }
+
+void Simulation::BlockLink(NodeId from, NodeId to) {
+  blocked_links_.insert({from, to});
+}
+
+void Simulation::UnblockLink(NodeId from, NodeId to) {
+  blocked_links_.erase({from, to});
+}
+
+bool Simulation::LinkAllowed(NodeId from, NodeId to) const {
+  if (blocked_links_.count({from, to}) > 0) return false;
+  if (!partition_group_.empty()) {
+    int gf = partition_group_[from];
+    int gt = partition_group_[to];
+    if (gf < 0 || gt < 0 || gf != gt) return from == to;
+  }
+  return true;
+}
+
+Duration Simulation::DefaultDelay(const Envelope& e) {
+  if (e.from == e.to) return 0;  // Self-messages are immediate.
+  if (options_.drop_rate > 0 && rng_.Bernoulli(options_.drop_rate)) return -1;
+  if (options_.max_delay <= options_.min_delay) return options_.min_delay;
+  return options_.min_delay +
+         static_cast<Duration>(
+             rng_.NextBounded(options_.max_delay - options_.min_delay + 1));
+}
+
+void Simulation::ScheduleAt(Time t, std::function<void()> fn) {
+  assert(t >= now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulation::ScheduleAfter(Duration d, std::function<void()> fn) {
+  ScheduleAt(now_ + d, std::move(fn));
+}
+
+void Simulation::SendMessage(NodeId from, NodeId to, MessagePtr msg) {
+  assert(to >= 0 && to < num_processes());
+  Envelope env{from, to, std::move(msg), now_, next_envelope_id_++};
+  stats_.messages_sent++;
+  stats_.bytes_sent += env.msg->ByteSize();
+  stats_.sent_by_type[env.msg->TypeName()]++;
+
+  if (!LinkAllowed(from, to)) {
+    stats_.messages_dropped++;
+    return;
+  }
+  Duration delay = delay_fn_ ? delay_fn_(env) : DefaultDelay(env);
+  if (delay < 0) {
+    stats_.messages_dropped++;
+    return;
+  }
+  ScheduleAt(now_ + delay, [this, env = std::move(env)]() {
+    Process* dst = processes_[env.to].get();
+    if (dst->crashed_ || !LinkAllowed(env.from, env.to)) {
+      stats_.messages_dropped++;
+      return;
+    }
+    stats_.messages_delivered++;
+    if (trace_fn_) trace_fn_(env, now_);
+    dst->OnMessage(env.from, *env.msg);
+  });
+}
+
+uint64_t Simulation::SetProcessTimer(NodeId owner, Duration delay,
+                                     std::function<void()> fn) {
+  uint64_t timer_id = next_timer_id_++;
+  Process* p = processes_[owner].get();
+  uint64_t epoch = p->epoch_;
+  ScheduleAt(now_ + delay, [this, owner, epoch, timer_id, fn = std::move(fn)]() {
+    if (cancelled_timers_.erase(timer_id) > 0) return;
+    Process* p = processes_[owner].get();
+    if (p->crashed_ || p->epoch_ != epoch) return;
+    fn();
+  });
+  return timer_id;
+}
+
+void Simulation::CancelProcessTimer(uint64_t timer_id) {
+  cancelled_timers_.insert(timer_id);
+}
+
+}  // namespace consensus40::sim

@@ -1,0 +1,278 @@
+#ifndef CONSENSUS40_SIM_SIMULATION_H_
+#define CONSENSUS40_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace consensus40::sim {
+
+/// Identifier of a simulated process. Ids are dense, assigned in spawn order.
+using NodeId = int;
+constexpr NodeId kInvalidNode = -1;
+
+/// Virtual time in microseconds since simulation start.
+using Time = int64_t;
+using Duration = int64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000;
+constexpr Duration kSecond = 1000 * 1000;
+
+/// Base class of every message exchanged between simulated processes.
+/// Protocols define subclasses carrying their payloads; the simulator only
+/// needs a type name (for per-type statistics and flow traces) and a size
+/// estimate (for byte accounting).
+struct Message {
+  virtual ~Message() = default;
+
+  /// Stable name used in statistics and message-flow traces, e.g. "prepare".
+  virtual const char* TypeName() const = 0;
+
+  /// Approximate wire size in bytes, used only for accounting.
+  virtual int ByteSize() const { return 64; }
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// A message in flight: sender, receiver, payload, and send timestamp.
+struct Envelope {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  MessagePtr msg;
+  Time send_time = 0;
+  uint64_t id = 0;  ///< Unique per simulation, in send order.
+};
+
+/// Aggregate network statistics, maintained by the simulation.
+struct NetStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t bytes_sent = 0;
+  std::map<std::string, uint64_t> sent_by_type;
+
+  void Reset() { *this = NetStats(); }
+};
+
+/// Message-delay model. The default is a partially-synchronous network:
+/// uniform random delay in [min_delay, max_delay] plus an optional drop rate.
+struct NetworkOptions {
+  Duration min_delay = 1 * kMillisecond;
+  Duration max_delay = 5 * kMillisecond;
+  double drop_rate = 0.0;
+};
+
+class Simulation;
+
+/// A simulated process (replica, client, miner, ...). Protocol code derives
+/// from Process and reacts to OnStart / OnMessage / timers. All interaction
+/// with the outside world goes through the protected helpers, which keeps
+/// every protocol implementation deterministic and wall-clock-free.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// This process's id within its simulation.
+  NodeId id() const { return id_; }
+
+  /// True while the process is crashed (between Crash() and Restart()).
+  bool crashed() const { return crashed_; }
+
+  /// Called once when the simulation starts (or when the process is spawned
+  /// into an already-running simulation).
+  virtual void OnStart() {}
+
+  /// Called for every delivered message.
+  virtual void OnMessage(NodeId from, const Message& msg) = 0;
+
+  /// Called when the process restarts after a crash. Volatile state should
+  /// be reset here; state the protocol persists to "stable storage" may be
+  /// kept (each protocol documents what it persists).
+  virtual void OnRestart() {}
+
+ protected:
+  Process() = default;
+
+  /// The owning simulation. Only valid after the process has been spawned.
+  Simulation& sim() const { return *sim_; }
+
+  /// Current virtual time.
+  Time Now() const;
+
+  /// Per-process deterministic random stream.
+  Rng& rng() { return *rng_; }
+
+  /// Sends a message to another process (or to self) through the simulated
+  /// network.
+  void Send(NodeId to, MessagePtr msg);
+
+  /// Sends a copy of the message to every process in `targets`.
+  void Multicast(const std::vector<NodeId>& targets, const MessagePtr& msg);
+
+  /// Schedules `fn` to run on this process after `delay`. The timer is
+  /// silently discarded if the process crashes before it fires or if it is
+  /// cancelled. Returns a cancellation handle.
+  uint64_t SetTimer(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending timer. Cancelling an already-fired timer is a no-op.
+  void CancelTimer(uint64_t timer_id);
+
+ private:
+  friend class Simulation;
+
+  Simulation* sim_ = nullptr;
+  NodeId id_ = kInvalidNode;
+  bool crashed_ = false;
+  uint64_t epoch_ = 0;  ///< Bumped on crash; stale timers check it.
+  std::unique_ptr<Rng> rng_;
+};
+
+/// Deterministic discrete-event simulator: a virtual clock, an event queue,
+/// a set of processes, and a configurable lossy network between them.
+/// All protocol executions, fault injections, and benchmarks in this
+/// repository run inside a Simulation.
+class Simulation {
+ public:
+  /// Creates a simulation whose entire behaviour is a function of `seed`.
+  explicit Simulation(uint64_t seed, NetworkOptions options = NetworkOptions());
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Constructs a process of type T in place and registers it. Returns a
+  /// non-owning pointer valid for the lifetime of the simulation.
+  template <typename T, typename... Args>
+  T* Spawn(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = owned.get();
+    Register(std::move(owned));
+    return raw;
+  }
+
+  /// Process lookup; id must be valid.
+  Process* process(NodeId id) const { return processes_[id].get(); }
+  int num_processes() const { return static_cast<int>(processes_.size()); }
+
+  Time now() const { return now_; }
+  Rng& rng() { return rng_; }
+  NetStats& stats() { return stats_; }
+  const NetworkOptions& options() const { return options_; }
+  NetworkOptions& mutable_options() { return options_; }
+
+  /// Calls OnStart on every process that has not been started yet. Safe to
+  /// call repeatedly (e.g. after spawning more processes).
+  void Start();
+
+  /// Executes the next pending event. Returns false if the queue is empty.
+  bool Step();
+
+  /// Runs until the virtual clock reaches now()+d (events at the boundary
+  /// included).
+  void RunFor(Duration d);
+
+  /// Runs until the predicate holds (checked after every event) or the
+  /// virtual clock passes `deadline`. Returns true if the predicate held.
+  bool RunUntil(const std::function<bool()>& pred, Time deadline);
+
+  /// Crashes a process: pending and future deliveries and timers for it are
+  /// dropped until Restart.
+  void Crash(NodeId id);
+
+  /// Restarts a crashed process (calls OnRestart).
+  void Restart(NodeId id);
+
+  bool IsCrashed(NodeId id) const { return processes_[id]->crashed_; }
+
+  /// Marks a process as Byzantine for bookkeeping/assertion purposes. The
+  /// malicious behaviour itself lives in protocol-specific adversary
+  /// subclasses of Process.
+  void MarkByzantine(NodeId id) { byzantine_.insert(id); }
+  bool IsByzantine(NodeId id) const { return byzantine_.count(id) > 0; }
+
+  /// Cuts the network into groups; messages across groups are dropped (both
+  /// at send and at delivery time). Nodes absent from all groups are
+  /// isolated from everyone.
+  void Partition(const std::vector<std::vector<NodeId>>& groups);
+
+  /// Removes any partition.
+  void Heal();
+
+  /// Blocks / unblocks a directed link independent of partitions.
+  void BlockLink(NodeId from, NodeId to);
+  void UnblockLink(NodeId from, NodeId to);
+
+  /// Overrides the delay model. The function returns the delivery delay for
+  /// an envelope, or a negative value to drop it. Pass nullptr to restore
+  /// the default model. This hook is how adversarial schedulers (FLP-style)
+  /// take control of message ordering.
+  using DelayFn = std::function<Duration(const Envelope&)>;
+  void SetDelayFn(DelayFn fn) { delay_fn_ = std::move(fn); }
+
+  /// Observation hook invoked at every successful delivery, used to record
+  /// message-flow traces for the paper's figures.
+  using TraceFn = std::function<void(const Envelope&, Time deliver_time)>;
+  void SetTraceFn(TraceFn fn) { trace_fn_ = std::move(fn); }
+
+  /// Schedules a simulation-level (not process-owned) callback.
+  void ScheduleAt(Time t, std::function<void()> fn);
+  void ScheduleAfter(Duration d, std::function<void()> fn);
+
+  /// Internal: used by Process::Send.
+  void SendMessage(NodeId from, NodeId to, MessagePtr msg);
+
+  /// Internal: used by Process::SetTimer / CancelTimer.
+  uint64_t SetProcessTimer(NodeId owner, Duration delay,
+                           std::function<void()> fn);
+  void CancelProcessTimer(uint64_t timer_id);
+
+ private:
+  struct Event {
+    Time time;
+    uint64_t seq;  ///< Tie-breaker: FIFO among same-time events.
+    std::function<void()> fn;
+  };
+  struct EventCmp {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void Register(std::unique_ptr<Process> p);
+  bool LinkAllowed(NodeId from, NodeId to) const;
+  Duration DefaultDelay(const Envelope& e);
+
+  Rng rng_;
+  NetworkOptions options_;
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_envelope_id_ = 0;
+  uint64_t next_timer_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, EventCmp> queue_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  size_t started_ = 0;
+  std::set<NodeId> byzantine_;
+  std::set<uint64_t> cancelled_timers_;
+  std::vector<int> partition_group_;  ///< -1 = isolated; empty = no partition.
+  std::set<std::pair<NodeId, NodeId>> blocked_links_;
+  NetStats stats_;
+  DelayFn delay_fn_;
+  TraceFn trace_fn_;
+};
+
+}  // namespace consensus40::sim
+
+#endif  // CONSENSUS40_SIM_SIMULATION_H_

@@ -1,0 +1,23 @@
+#include "smr/command.h"
+
+namespace consensus40::smr {
+
+crypto::Digest Command::Hash() const {
+  crypto::Sha256 h;
+  h.Update(&client, sizeof(client));
+  h.Update(&client_seq, sizeof(client_seq));
+  h.Update(op);
+  return h.Finish();
+}
+
+std::string Command::ToString() const {
+  std::string out = "c";
+  out += std::to_string(client);
+  out += "#";
+  out += std::to_string(client_seq);
+  out += ":";
+  out += op;
+  return out;
+}
+
+}  // namespace consensus40::smr

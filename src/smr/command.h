@@ -1,0 +1,43 @@
+#ifndef CONSENSUS40_SMR_COMMAND_H_
+#define CONSENSUS40_SMR_COMMAND_H_
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/sha256.h"
+
+namespace consensus40::smr {
+
+/// A deterministic client command, the unit all consensus protocols in this
+/// library agree on. `op` is an opaque operation string interpreted by the
+/// state machine (the KvStore understands "PUT k v", "GET k", "DEL k",
+/// "CAS k old new"). (client, client_seq) uniquely identifies a command and
+/// is used for duplicate suppression / reply matching.
+struct Command {
+  int32_t client = -1;
+  uint64_t client_seq = 0;
+  std::string op;
+
+  bool operator==(const Command& other) const {
+    return client == other.client && client_seq == other.client_seq &&
+           op == other.op;
+  }
+  bool operator<(const Command& other) const {
+    if (client != other.client) return client < other.client;
+    if (client_seq != other.client_seq) return client_seq < other.client_seq;
+    return op < other.op;
+  }
+
+  /// Canonical digest used wherever a protocol signs or hashes a request.
+  crypto::Digest Hash() const;
+
+  /// Compact rendering for traces, e.g. "c1#3:PUT x 7".
+  std::string ToString() const;
+
+  /// Approximate wire size.
+  int ByteSize() const { return 16 + static_cast<int>(op.size()); }
+};
+
+}  // namespace consensus40::smr
+
+#endif  // CONSENSUS40_SMR_COMMAND_H_

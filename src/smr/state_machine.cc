@@ -1,0 +1,141 @@
+#include "smr/state_machine.h"
+
+#include <sstream>
+
+namespace consensus40::smr {
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& op) {
+  std::vector<std::string> tokens;
+  std::istringstream in(op);
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+}  // namespace
+
+std::string KvStore::Apply(const Command& cmd) {
+  std::vector<std::string> t = Tokenize(cmd.op);
+  if (t.empty()) return "ERR";
+  const std::string& verb = t[0];
+  if (verb == "PUT" && t.size() >= 3) {
+    data_[t[1]] = t[2];
+    return "OK";
+  }
+  if (verb == "GET" && t.size() >= 2) {
+    auto it = data_.find(t[1]);
+    return it == data_.end() ? "NIL" : it->second;
+  }
+  if (verb == "DEL" && t.size() >= 2) {
+    return data_.erase(t[1]) > 0 ? "OK" : "NIL";
+  }
+  if (verb == "CAS" && t.size() >= 4) {
+    auto it = data_.find(t[1]);
+    if (it != data_.end() && it->second == t[2]) {
+      it->second = t[3];
+      return "OK";
+    }
+    return "FAIL";
+  }
+  if (verb == "INC" && t.size() >= 2) {
+    auto it = data_.find(t[1]);
+    int64_t v = 0;
+    if (it != data_.end()) v = std::strtoll(it->second.c_str(), nullptr, 10);
+    ++v;
+    data_[t[1]] = std::to_string(v);
+    return data_[t[1]];
+  }
+  return "ERR";
+}
+
+crypto::Digest KvStore::StateDigest() const {
+  crypto::Sha256 h;
+  for (const auto& [key, value] : data_) {
+    h.Update(key);
+    h.Update("=", 1);
+    h.Update(value);
+    h.Update(";", 1);
+  }
+  return h.Finish();
+}
+
+std::optional<std::string> KvStore::Get(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ReplicatedLog::Set(uint64_t index, Command cmd) {
+  slots_[index] = std::move(cmd);
+}
+
+const Command* ReplicatedLog::Get(uint64_t index) const {
+  auto it = slots_.find(index);
+  return it == slots_.end() ? nullptr : &it->second;
+}
+
+void ReplicatedLog::CommitThrough(uint64_t index) {
+  if (index + 1 > commit_frontier_) commit_frontier_ = index + 1;
+}
+
+uint64_t ReplicatedLog::Size() const {
+  return slots_.empty() ? 0 : slots_.rbegin()->first + 1;
+}
+
+std::string DedupingExecutor::Apply(StateMachine* sm, const Command& cmd) {
+  auto it = sessions_.find(cmd.client);
+  if (it != sessions_.end() && cmd.client_seq <= it->second.first) {
+    return it->second.second;  // Duplicate: cached result.
+  }
+  std::string result = sm->Apply(cmd);
+  sessions_[cmd.client] = {cmd.client_seq, result};
+  return result;
+}
+
+std::vector<std::string> ReplicatedLog::ApplyCommitted(
+    StateMachine* sm, DedupingExecutor* dedup) {
+  std::vector<std::string> outputs;
+  while (applied_frontier_ < commit_frontier_) {
+    const Command* cmd = Get(applied_frontier_);
+    if (cmd == nullptr) break;  // Gap: cannot apply past it yet.
+    outputs.push_back(dedup != nullptr ? dedup->Apply(sm, *cmd)
+                                       : sm->Apply(*cmd));
+    ++applied_frontier_;
+  }
+  return outputs;
+}
+
+std::vector<Command> ReplicatedLog::CommittedPrefix() const {
+  std::vector<Command> out;
+  for (uint64_t i = 0; i < commit_frontier_; ++i) {
+    const Command* cmd = Get(i);
+    if (cmd == nullptr) break;
+    out.push_back(*cmd);
+  }
+  return out;
+}
+
+std::string CheckPrefixConsistency(
+    const std::vector<const ReplicatedLog*>& logs) {
+  for (size_t a = 0; a < logs.size(); ++a) {
+    for (size_t b = a + 1; b < logs.size(); ++b) {
+      uint64_t overlap =
+          std::min(logs[a]->commit_frontier(), logs[b]->commit_frontier());
+      for (uint64_t i = 0; i < overlap; ++i) {
+        const Command* ca = logs[a]->Get(i);
+        const Command* cb = logs[b]->Get(i);
+        if (ca == nullptr || cb == nullptr) continue;  // Sparse slot.
+        if (!(*ca == *cb)) {
+          return "logs " + std::to_string(a) + " and " + std::to_string(b) +
+                 " diverge at index " + std::to_string(i) + ": '" +
+                 ca->ToString() + "' vs '" + cb->ToString() + "'";
+        }
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace consensus40::smr

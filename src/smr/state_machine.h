@@ -1,0 +1,129 @@
+#ifndef CONSENSUS40_SMR_STATE_MACHINE_H_
+#define CONSENSUS40_SMR_STATE_MACHINE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "smr/command.h"
+
+namespace consensus40::smr {
+
+/// Deterministic state machine interface: the paper's "add jmp mov shl"
+/// boxes. Replicas apply the same commands in the same order and must
+/// produce identical states and outputs.
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  /// Applies one command and returns its output.
+  virtual std::string Apply(const Command& cmd) = 0;
+
+  /// Digest of the full current state, used by checkpointing (PBFT) and by
+  /// the test suite's replica-equivalence checks.
+  virtual crypto::Digest StateDigest() const = 0;
+};
+
+/// An in-memory key-value store understanding:
+///   "PUT <key> <value>"          -> "OK"
+///   "GET <key>"                  -> value or "NIL"
+///   "DEL <key>"                  -> "OK" or "NIL"
+///   "CAS <key> <old> <new>"      -> "OK" or "FAIL"
+///   "INC <key>"                  -> new integer value (missing key = 0)
+///   anything else                -> "ERR"
+class KvStore : public StateMachine {
+ public:
+  std::string Apply(const Command& cmd) override;
+  crypto::Digest StateDigest() const override;
+
+  /// Direct read access for tests.
+  std::optional<std::string> Get(const std::string& key) const;
+  size_t size() const { return data_.size(); }
+
+  /// Snapshot support (Raft log compaction, state transfer).
+  std::map<std::string, std::string> Snapshot() const { return data_; }
+  void Restore(std::map<std::string, std::string> data) {
+    data_ = std::move(data);
+  }
+
+ private:
+  std::map<std::string, std::string> data_;
+};
+
+/// At-most-once execution filter: a client command that reaches the log
+/// twice (e.g. retried across a leader change) must only be applied once.
+/// All replicas run the same deterministic filter, so replicated state stays
+/// identical. Assumes each client issues sequence numbers in order (closed
+/// loop), the standard RSM session assumption.
+class DedupingExecutor {
+ public:
+  /// Applies `cmd` to `sm` unless this (client, client_seq) was already
+  /// executed, in which case the cached result is returned.
+  std::string Apply(StateMachine* sm, const Command& cmd);
+
+  /// Session table snapshot/restore, shipped alongside state-machine
+  /// snapshots so duplicate suppression survives log compaction.
+  using Sessions = std::map<int32_t, std::pair<uint64_t, std::string>>;
+  const Sessions& sessions() const { return sessions_; }
+  void Restore(Sessions sessions) { sessions_ = std::move(sessions); }
+
+ private:
+  /// client -> (last executed seq, its result).
+  Sessions sessions_;
+};
+
+/// A replicated log: the sequence of commands a replica has accepted, with
+/// an explicit commit frontier. Slots may be filled out of order (Paxos);
+/// Apply only consumes the committed prefix.
+class ReplicatedLog {
+ public:
+  /// Stores `cmd` at `index` (0-based). Overwriting an existing slot with a
+  /// different command is recorded as a safety violation (protocols must
+  /// never do it once committed).
+  void Set(uint64_t index, Command cmd);
+
+  /// The command at `index`, if any.
+  const Command* Get(uint64_t index) const;
+
+  bool Has(uint64_t index) const { return Get(index) != nullptr; }
+
+  /// Marks everything up to and including `index` as committed.
+  void CommitThrough(uint64_t index);
+
+  /// First index not yet committed (== number of committed slots when the
+  /// committed prefix is dense).
+  uint64_t commit_frontier() const { return commit_frontier_; }
+
+  /// Largest occupied index + 1, or 0 when empty.
+  uint64_t Size() const;
+
+  /// Applies newly committed, contiguous commands to `sm` starting at the
+  /// apply cursor; returns outputs in order. With a non-null `dedup`,
+  /// duplicate client commands are skipped (their cached result is
+  /// returned in place of re-execution).
+  std::vector<std::string> ApplyCommitted(StateMachine* sm,
+                                          DedupingExecutor* dedup = nullptr);
+
+  /// Index the apply cursor has reached.
+  uint64_t applied_frontier() const { return applied_frontier_; }
+
+  /// All committed commands in order (dense prefix only).
+  std::vector<Command> CommittedPrefix() const;
+
+ private:
+  std::map<uint64_t, Command> slots_;
+  uint64_t commit_frontier_ = 0;  ///< Committed slots are [0, commit_frontier_).
+  uint64_t applied_frontier_ = 0;
+};
+
+/// Checks that every log agrees with every other on the overlap of their
+/// committed prefixes (the SMR safety property). Returns an empty string on
+/// success or a description of the first divergence.
+std::string CheckPrefixConsistency(const std::vector<const ReplicatedLog*>& logs);
+
+}  // namespace consensus40::smr
+
+#endif  // CONSENSUS40_SMR_STATE_MACHINE_H_

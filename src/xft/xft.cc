@@ -1,0 +1,387 @@
+#include "xft/xft.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "pbft/pbft.h"
+
+namespace consensus40::xft {
+
+namespace {
+
+bool ValidRequest(const smr::Command& cmd, const crypto::Signature& sig,
+                  const crypto::KeyRegistry& registry) {
+  return pbft::PbftReplica::ValidRequest(cmd, sig, registry);
+}
+
+crypto::Digest SlotDigest(int64_t view, uint64_t seq,
+                          const smr::Command& cmd) {
+  crypto::Sha256 h;
+  h.Update(&view, sizeof(view));
+  h.Update(&seq, sizeof(seq));
+  crypto::Digest d = cmd.Hash();
+  h.Update(d.data(), d.size());
+  return h.Finish();
+}
+
+}  // namespace
+
+bool InAnarchy(int n, int c, int m, int p) {
+  return m > 0 && (c + m + p) > (n - 1) / 2;
+}
+
+XftReplica::XftReplica(XftOptions options) : options_(options) {
+  assert(options_.n >= 3 && options_.n % 2 == 1);
+  assert(options_.registry != nullptr);
+}
+
+std::vector<sim::NodeId> XftReplica::Everyone() const {
+  std::vector<sim::NodeId> all;
+  for (int i = 0; i < options_.n; ++i) all.push_back(i);
+  return all;
+}
+
+std::vector<sim::NodeId> XftReplica::SyncGroup(int64_t view) const {
+  std::vector<sim::NodeId> group;
+  for (int k = 0; k <= f(); ++k) {
+    group.push_back((view + k) % options_.n);
+  }
+  return group;
+}
+
+bool XftReplica::InSyncGroup() const {
+  for (sim::NodeId member : SyncGroup(view_)) {
+    if (member == id()) return true;
+  }
+  return false;
+}
+
+void XftReplica::ArmRequestTimer(const smr::Command& cmd) {
+  auto key = std::make_pair(cmd.client, cmd.client_seq);
+  if (request_timers_.count(key) > 0 || results_.count(key) > 0) return;
+  request_timers_[key] = SetTimer(options_.request_timeout, [this, key] {
+    request_timers_.erase(key);
+    StartViewChange(view_ + 1);
+  });
+}
+
+void XftReplica::DisarmRequestTimer(int32_t client, uint64_t client_seq) {
+  auto key = std::make_pair(client, client_seq);
+  auto it = request_timers_.find(key);
+  if (it != request_timers_.end()) {
+    CancelTimer(it->second);
+    request_timers_.erase(it);
+  }
+}
+
+void XftReplica::MaybeExecute() {
+  while (true) {
+    auto it = slots_.find(exec_cursor_);
+    if (it == slots_.end() || !it->second.prepared) break;
+    Slot& slot = it->second;
+    // XPaxos common case: the WHOLE synchronous group must have
+    // replicated (f+1 commits including the leader's implicit one).
+    if (static_cast<int>(slot.commits.size()) < f() + 1) break;
+    if (!slot.executed) {
+      slot.executed = true;
+      auto key = std::make_pair(slot.cmd.client, slot.cmd.client_seq);
+      std::string result;
+      if (results_.count(key) > 0) {
+        result = results_[key];
+      } else {
+        result = dedup_.Apply(&kv_, slot.cmd);
+        results_[key] = result;
+        executed_commands_.push_back(slot.cmd);
+      }
+      DisarmRequestTimer(slot.cmd.client, slot.cmd.client_seq);
+      auto reply = std::make_shared<ReplyMsg>();
+      reply->view = view_;
+      reply->client_seq = slot.cmd.client_seq;
+      reply->replica = id();
+      reply->result = result;
+      Send(slot.cmd.client, reply);
+      // Lazy replication outside the group.
+      auto update = std::make_shared<UpdateMsg>();
+      update->seq = exec_cursor_;
+      update->cmd = slot.cmd;
+      for (sim::NodeId r : Everyone()) {
+        bool in_group = false;
+        for (sim::NodeId g : SyncGroup(view_)) in_group |= (g == r);
+        if (!in_group) Send(r, update);
+      }
+    }
+    ++exec_cursor_;
+  }
+}
+
+void XftReplica::StartViewChange(int64_t new_view) {
+  if (new_view <= view_ || (in_view_change_ && new_view <= pending_view_)) {
+    return;
+  }
+  in_view_change_ = true;
+  pending_view_ = new_view;
+
+  auto vc = std::make_shared<ViewChangeMsg>();
+  vc->new_view = new_view;
+  vc->replica = id();
+  for (const auto& [seq, slot] : slots_) {
+    if (slot.prepared) vc->entries.push_back({seq, slot.cmd, slot.client_sig});
+  }
+  crypto::Sha256 h;
+  h.Update(&new_view, sizeof(new_view));
+  vc->sig = options_.registry->Sign(id(), h.Finish());
+  Multicast(Everyone(), vc);
+
+  SetTimer(options_.request_timeout * 2, [this, new_view] {
+    if (in_view_change_ && pending_view_ == new_view) {
+      StartViewChange(new_view + 1);
+    }
+  });
+}
+
+void XftReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
+  if (const auto* m = dynamic_cast<const RequestMsg*>(&msg)) {
+    if (!ValidRequest(m->cmd, m->client_sig, *options_.registry)) return;
+    auto key = std::make_pair(m->cmd.client, m->cmd.client_seq);
+    auto done = results_.find(key);
+    if (done != results_.end()) {
+      auto reply = std::make_shared<ReplyMsg>();
+      reply->view = view_;
+      reply->client_seq = m->cmd.client_seq;
+      reply->replica = id();
+      reply->result = done->second;
+      Send(m->cmd.client, reply);
+      return;
+    }
+    if (id() == Leader(view_) && !in_view_change_) {
+      for (const auto& [seq, slot] : slots_) {
+        if (slot.cmd.client == m->cmd.client &&
+            slot.cmd.client_seq == m->cmd.client_seq) {
+          if (slot.prepare_msg != nullptr) {
+            Multicast(SyncGroup(view_), slot.prepare_msg);
+          }
+          return;
+        }
+      }
+      auto prepare = std::make_shared<PrepareMsg>();
+      prepare->view = view_;
+      prepare->seq = next_seq_++;
+      prepare->cmd = m->cmd;
+      prepare->client_sig = m->client_sig;
+      prepare->leader_sig = options_.registry->Sign(
+          id(), SlotDigest(view_, prepare->seq, m->cmd));
+      slots_[prepare->seq].prepare_msg = prepare;
+      Multicast(SyncGroup(view_), prepare);
+    } else if (id() != Leader(view_)) {
+      Send(Leader(view_), std::make_shared<RequestMsg>(m->cmd, m->client_sig));
+      // Every replica (inside or outside the group) watches the request:
+      // a faulty synchronous group must be replaced by the whole cluster.
+      ArmRequestTimer(m->cmd);
+    }
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const PrepareMsg*>(&msg)) {
+    // Note: a prepare for the CURRENT view is accepted even while this
+    // replica campaigns for the next one — if the present leader is alive
+    // after all, letting it finish is both safe (view-tagged) and the
+    // fastest way back to a stable view.
+    if (m->view != view_) return;
+    if (from != Leader(view_) || !InSyncGroup()) return;
+    if (!ValidRequest(m->cmd, m->client_sig, *options_.registry)) return;
+    if (m->leader_sig.signer != Leader(view_) ||
+        !options_.registry->Verify(m->leader_sig,
+                                   SlotDigest(m->view, m->seq, m->cmd))) {
+      return;
+    }
+    Slot& slot = slots_[m->seq];
+    if (slot.prepared) return;
+    slot.prepared = true;
+    slot.cmd = m->cmd;
+    slot.client_sig = m->client_sig;
+    slot.commits.insert(from);  // The leader's prepare is its commit.
+    DisarmRequestTimer(m->cmd.client, m->cmd.client_seq);
+    ArmRequestTimer(m->cmd);  // Must commit within the timeout now.
+    if (!slot.sent_commit && id() != from) {
+      slot.sent_commit = true;
+      auto commit = std::make_shared<CommitMsg>();
+      commit->view = view_;
+      commit->seq = m->seq;
+      commit->digest = SlotDigest(m->view, m->seq, m->cmd);
+      commit->replica = id();
+      commit->sig = options_.registry->Sign(id(), commit->digest);
+      Multicast(SyncGroup(view_), commit);
+      slot.commits.insert(id());
+    }
+    MaybeExecute();
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const CommitMsg*>(&msg)) {
+    if (m->view != view_ || !InSyncGroup()) return;
+    if (m->sig.signer != from ||
+        !options_.registry->Verify(m->sig, m->digest)) {
+      return;
+    }
+    Slot& slot = slots_[m->seq];
+    if (slot.prepared &&
+        SlotDigest(m->view, m->seq, slot.cmd) != m->digest) {
+      return;  // Mismatched commit.
+    }
+    slot.commits.insert(from);
+    MaybeExecute();
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const UpdateMsg*>(&msg)) {
+    update_votes_[m->seq][m->cmd.Hash()].insert(from);
+    update_cmds_[m->seq] = m->cmd;
+    // Adopt once the full group (f+1 members) confirms, in order.
+    while (true) {
+      auto votes = update_votes_.find(exec_cursor_);
+      if (votes == update_votes_.end()) break;
+      const smr::Command& cmd = update_cmds_[exec_cursor_];
+      auto per_digest = votes->second.find(cmd.Hash());
+      if (per_digest == votes->second.end() ||
+          static_cast<int>(per_digest->second.size()) < f() + 1) {
+        break;
+      }
+      auto key = std::make_pair(cmd.client, cmd.client_seq);
+      if (results_.count(key) == 0) {
+        results_[key] = dedup_.Apply(&kv_, cmd);
+        executed_commands_.push_back(cmd);
+      }
+      ++exec_cursor_;
+    }
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const ViewChangeMsg*>(&msg)) {
+    crypto::Sha256 h;
+    h.Update(&m->new_view, sizeof(m->new_view));
+    if (m->sig.signer != m->replica || m->replica != from ||
+        !options_.registry->Verify(m->sig, h.Finish())) {
+      return;
+    }
+    if (m->new_view <= view_) return;
+    view_changes_[m->new_view][from] = m->entries;
+
+    // Join once a majority-crossing set demands change.
+    if (static_cast<int>(view_changes_[m->new_view].size()) >= f() + 1 &&
+        (!in_view_change_ || pending_view_ < m->new_view)) {
+      StartViewChange(m->new_view);
+    }
+
+    if (Leader(m->new_view) == id() &&
+        static_cast<int>(view_changes_[m->new_view].size()) >= f() + 1 &&
+        built_new_views_.insert(m->new_view).second) {
+      std::map<uint64_t, ViewChangeMsg::Entry> merged;
+      for (const auto& [r, entries] : view_changes_[m->new_view]) {
+        for (const auto& entry : entries) {
+          if (!ValidRequest(entry.cmd, entry.client_sig, *options_.registry)) {
+            continue;
+          }
+          merged[entry.seq] = entry;
+        }
+      }
+      auto nv = std::make_shared<NewViewMsg>();
+      nv->view = m->new_view;
+      for (const auto& [seq, entry] : merged) nv->reissue.push_back(entry);
+      crypto::Sha256 nh;
+      nh.Update(&nv->view, sizeof(nv->view));
+      nv->sig = options_.registry->Sign(id(), nh.Finish());
+      Multicast(Everyone(), nv);
+    }
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const NewViewMsg*>(&msg)) {
+    crypto::Sha256 h;
+    h.Update(&m->view, sizeof(m->view));
+    if (m->sig.signer != Leader(m->view) || from != m->sig.signer ||
+        !options_.registry->Verify(m->sig, h.Finish())) {
+      return;
+    }
+    if (m->view < view_ || (m->view == view_ && !in_view_change_)) return;
+    view_ = m->view;
+    in_view_change_ = false;
+    pending_view_ = view_;
+    slots_.clear();
+    exec_cursor_ = executed_commands_.size() + 1;
+    view_changes_.erase(view_);
+    // The new view gets fresh patience: stale per-request watchdogs from
+    // the old view would immediately re-depose it.
+    for (auto& [key, timer] : request_timers_) CancelTimer(timer);
+    request_timers_.clear();
+
+    if (id() == Leader(view_)) {
+      next_seq_ = executed_commands_.size() + 1;
+      for (const auto& entry : m->reissue) {
+        auto prepare = std::make_shared<PrepareMsg>();
+        prepare->view = view_;
+        prepare->seq = next_seq_++;
+        prepare->cmd = entry.cmd;
+        prepare->client_sig = entry.client_sig;
+        prepare->leader_sig = options_.registry->Sign(
+            id(), SlotDigest(view_, prepare->seq, entry.cmd));
+        slots_[prepare->seq].prepare_msg = prepare;
+        Multicast(SyncGroup(view_), prepare);
+      }
+    }
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+XftClient::XftClient(int n, const crypto::KeyRegistry* registry, int ops,
+                     std::string key, sim::Duration retry)
+    : n_(n),
+      registry_(registry),
+      f_((n - 1) / 2),
+      ops_(ops),
+      key_(std::move(key)),
+      retry_(retry) {}
+
+void XftClient::OnStart() {
+  seq_ = 1;
+  SendCurrent(false);
+}
+
+void XftClient::SendCurrent(bool broadcast) {
+  if (done()) return;
+  smr::Command cmd{id(), seq_, "INC " + key_};
+  crypto::Signature sig = registry_->Sign(id(), cmd.Hash());
+  if (broadcast) {
+    for (int i = 0; i < n_; ++i) {
+      Send(i, std::make_shared<XftReplica::RequestMsg>(cmd, sig));
+    }
+  } else {
+    Send(leader_hint_, std::make_shared<XftReplica::RequestMsg>(cmd, sig));
+  }
+  CancelTimer(retry_timer_);
+  retry_timer_ = SetTimer(retry_, [this] { SendCurrent(true); });
+}
+
+void XftClient::OnMessage(sim::NodeId from, const sim::Message& msg) {
+  const auto* m = dynamic_cast<const XftReplica::ReplyMsg*>(&msg);
+  if (m == nullptr || m->client_seq != seq_ || done()) return;
+  reply_votes_[m->result].insert(from);
+  leader_hint_ = m->view % n_;
+  // f+1 matching replies = the whole synchronous group agrees.
+  if (static_cast<int>(reply_votes_[m->result].size()) >= f_ + 1) {
+    results_.push_back(m->result);
+    reply_votes_.clear();
+    ++completed_;
+    ++seq_;
+    if (done()) {
+      CancelTimer(retry_timer_);
+    } else {
+      SendCurrent(false);
+    }
+  }
+}
+
+}  // namespace consensus40::xft

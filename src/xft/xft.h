@@ -1,0 +1,203 @@
+#ifndef CONSENSUS40_XFT_XFT_H_
+#define CONSENSUS40_XFT_XFT_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "crypto/signatures.h"
+#include "sim/simulation.h"
+#include "smr/command.h"
+#include "smr/state_machine.h"
+
+namespace consensus40::xft {
+
+/// The XFT anarchy predicate: with c crash-faulty, m Byzantine, and p
+/// correct-but-partitioned replicas out of n, the system is "in anarchy"
+/// iff  m > 0  AND  c + m + p > floor((n-1)/2).  XPaxos guarantees safety
+/// in every execution that never enters anarchy.
+bool InAnarchy(int n, int c, int m, int p);
+
+/// Configuration shared by all replicas of an XFT (XPaxos) cluster.
+struct XftOptions {
+  /// Cluster size; must be 2f+1 where f bounds the SUM of crash and
+  /// non-crash faults (plus partitioned nodes) tolerated outside anarchy.
+  int n = 5;
+  const crypto::KeyRegistry* registry = nullptr;
+
+  /// Patience before suspecting the synchronous group.
+  sim::Duration request_timeout = 300 * sim::kMillisecond;
+};
+
+/// An XPaxos replica: view v is served by the *synchronous group*
+/// sg(v) = { v%n, v%n+1, ..., v%n+f } (f+1 replicas, first is the leader).
+/// The common case touches only the group: prepare + commit among f+1
+/// replicas, Paxos-grade cost against crash faults, Byzantine-grade
+/// accountability via signatures. A fault inside the group triggers a view
+/// change that installs the next group.
+class XftReplica : public sim::Process {
+ public:
+  explicit XftReplica(XftOptions options);
+
+  struct RequestMsg : sim::Message {
+    RequestMsg(smr::Command c, crypto::Signature s)
+        : cmd(std::move(c)), client_sig(s) {}
+    const char* TypeName() const override { return "xft-request"; }
+    int ByteSize() const override { return 48 + cmd.ByteSize(); }
+    smr::Command cmd;
+    crypto::Signature client_sig;
+  };
+  struct ReplyMsg : sim::Message {
+    const char* TypeName() const override { return "xft-reply"; }
+    int ByteSize() const override {
+      return 24 + static_cast<int>(result.size());
+    }
+    int64_t view = 0;
+    uint64_t client_seq = 0;
+    int32_t replica = -1;
+    std::string result;
+  };
+  struct PrepareMsg : sim::Message {
+    const char* TypeName() const override { return "xft-prepare"; }
+    int ByteSize() const override { return 96 + cmd.ByteSize(); }
+    int64_t view = 0;
+    uint64_t seq = 0;
+    smr::Command cmd;
+    crypto::Signature client_sig;
+    crypto::Signature leader_sig;
+  };
+  struct CommitMsg : sim::Message {
+    const char* TypeName() const override { return "xft-commit"; }
+    int ByteSize() const override { return 88; }
+    int64_t view = 0;
+    uint64_t seq = 0;
+    crypto::Digest digest{};
+    int32_t replica = -1;
+    crypto::Signature sig;
+  };
+  /// Lazy replication to replicas outside the synchronous group.
+  struct UpdateMsg : sim::Message {
+    const char* TypeName() const override { return "xft-update"; }
+    int ByteSize() const override { return 56 + cmd.ByteSize(); }
+    uint64_t seq = 0;
+    smr::Command cmd;
+  };
+  struct ViewChangeMsg : sim::Message {
+    const char* TypeName() const override { return "xft-view-change"; }
+    int ByteSize() const override {
+      return 48 + static_cast<int>(entries.size()) * 96;
+    }
+    int64_t new_view = 0;
+    int32_t replica = -1;
+    struct Entry {
+      uint64_t seq;
+      smr::Command cmd;
+      crypto::Signature client_sig;
+    };
+    std::vector<Entry> entries;  ///< Prepared log suffix.
+    crypto::Signature sig;
+  };
+  struct NewViewMsg : sim::Message {
+    const char* TypeName() const override { return "xft-new-view"; }
+    int ByteSize() const override {
+      return 48 + static_cast<int>(reissue.size()) * 96;
+    }
+    int64_t view = 0;
+    std::vector<ViewChangeMsg::Entry> reissue;
+    crypto::Signature sig;
+  };
+
+  int64_t view() const { return view_; }
+  std::vector<sim::NodeId> SyncGroup(int64_t view) const;
+  bool InSyncGroup() const;
+  sim::NodeId Leader(int64_t view) const { return view % options_.n; }
+  uint64_t executed() const {
+    return static_cast<uint64_t>(executed_commands_.size());
+  }
+  const smr::KvStore& kv() const { return kv_; }
+  const std::vector<smr::Command>& executed_commands() const {
+    return executed_commands_;
+  }
+
+  void OnMessage(sim::NodeId from, const sim::Message& msg) override;
+
+ private:
+  struct Slot {
+    bool prepared = false;
+    smr::Command cmd;
+    crypto::Signature client_sig;
+    std::set<sim::NodeId> commits;
+    bool sent_commit = false;
+    bool executed = false;
+    std::shared_ptr<const PrepareMsg> prepare_msg;
+  };
+
+  int f() const { return (options_.n - 1) / 2; }
+  void MaybeExecute();
+  void ArmRequestTimer(const smr::Command& cmd);
+  void DisarmRequestTimer(int32_t client, uint64_t client_seq);
+  void StartViewChange(int64_t new_view);
+  std::vector<sim::NodeId> Everyone() const;
+
+  XftOptions options_;
+  int64_t view_ = 0;
+  bool in_view_change_ = false;
+  int64_t pending_view_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t exec_cursor_ = 1;
+  std::map<uint64_t, Slot> slots_;
+
+  smr::KvStore kv_;
+  smr::DedupingExecutor dedup_;
+  std::vector<smr::Command> executed_commands_;
+  std::map<std::pair<int32_t, uint64_t>, std::string> results_;
+  std::map<std::pair<int32_t, uint64_t>, uint64_t> request_timers_;
+
+  // Passive-side update application.
+  std::map<uint64_t, std::map<crypto::Digest, std::set<sim::NodeId>>>
+      update_votes_;
+  std::map<uint64_t, smr::Command> update_cmds_;
+
+  std::map<int64_t, std::map<sim::NodeId, std::vector<ViewChangeMsg::Entry>>>
+      view_changes_;
+  std::set<int64_t> built_new_views_;
+};
+
+/// XFT client: f+1 matching replies (all synchronous-group members).
+class XftClient : public sim::Process {
+ public:
+  XftClient(int n, const crypto::KeyRegistry* registry, int ops,
+            std::string key = "x",
+            sim::Duration retry = 500 * sim::kMillisecond);
+
+  int completed() const { return completed_; }
+  bool done() const { return completed_ >= ops_; }
+  const std::vector<std::string>& results() const { return results_; }
+
+  void OnStart() override;
+  void OnMessage(sim::NodeId from, const sim::Message& msg) override;
+
+ private:
+  void SendCurrent(bool broadcast);
+
+  int n_;
+  const crypto::KeyRegistry* registry_;
+  int f_;
+  int ops_;
+  std::string key_;
+  sim::Duration retry_;
+  int completed_ = 0;
+  uint64_t seq_ = 0;
+  sim::NodeId leader_hint_ = 0;
+  uint64_t retry_timer_ = 0;
+  std::map<std::string, std::set<sim::NodeId>> reply_votes_;
+  std::vector<std::string> results_;
+};
+
+}  // namespace consensus40::xft
+
+#endif  // CONSENSUS40_XFT_XFT_H_

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "agreement/interactive_consistency.h"
+
+namespace consensus40::agreement {
+namespace {
+
+std::vector<std::string> Values(int n) {
+  std::vector<std::string> values;
+  for (int i = 0; i < n; ++i) values.push_back("v" + std::to_string(i));
+  return values;
+}
+
+// The deck's Case I: N = 4, f = 1 — agreement is reached.
+TEST(InteractiveConsistencyTest, FourNodesOneFaultySucceeds) {
+  auto results = RunInteractiveConsistency(4, Values(4), {3}, DefaultLiar());
+  EXPECT_TRUE(VectorsAgree(results, {3}));
+  EXPECT_TRUE(CorrectValuesRecovered(results, Values(4), {3}));
+  // The faulty slot is consistently UNKNOWN at every correct process
+  // (the liar sent a different value to everyone).
+  for (int p = 0; p < 4; ++p) {
+    if (p == 3) continue;
+    EXPECT_EQ(results[p][3], kUnknown) << p;
+  }
+}
+
+// The deck's Case II: N = 3, f = 1 — 3f+1 is necessary; everything
+// degrades to UNKNOWN.
+TEST(InteractiveConsistencyTest, ThreeNodesOneFaultyFails) {
+  auto results = RunInteractiveConsistency(3, Values(3), {2}, DefaultLiar());
+  EXPECT_FALSE(CorrectValuesRecovered(results, Values(3), {2}));
+  // Correct processes cannot even recover each other's values.
+  EXPECT_EQ(results[0][1], kUnknown);
+  EXPECT_EQ(results[1][0], kUnknown);
+}
+
+TEST(InteractiveConsistencyTest, NoFaultsPerfectRecovery) {
+  for (int n = 2; n <= 7; ++n) {
+    auto results = RunInteractiveConsistency(n, Values(n), {}, DefaultLiar());
+    EXPECT_TRUE(VectorsAgree(results, {})) << n;
+    EXPECT_TRUE(CorrectValuesRecovered(results, Values(n), {})) << n;
+  }
+}
+
+// Parameterized sweep over n for a single Byzantine process: the 3f+1
+// boundary (f=1 => n>=4).
+class PslBoundaryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PslBoundaryTest, BoundaryAtThreeFPlusOne) {
+  int n = GetParam();
+  std::set<int> faulty = {n - 1};
+  auto results = RunInteractiveConsistency(n, Values(n), faulty,
+                                           DefaultLiar());
+  bool ok = VectorsAgree(results, faulty) &&
+            CorrectValuesRecovered(results, Values(n), faulty);
+  if (n >= 4) {
+    EXPECT_TRUE(ok) << "n=" << n << " should reach agreement";
+  } else {
+    EXPECT_FALSE(ok) << "n=" << n << " should fail (below 3f+1)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PslBoundaryTest,
+                         ::testing::Values(3, 4, 5, 6, 7, 10));
+
+// A consistent liar (same lie to everyone) is indistinguishable from a
+// correct process with that value: correct processes agree on the lie —
+// consistency is preserved even though the value is bogus.
+TEST(InteractiveConsistencyTest, ConsistentLiarYieldsConsistentVectors) {
+  auto consistent = [](int, int, int, int) { return std::string("lie"); };
+  auto results = RunInteractiveConsistency(4, Values(4), {2}, consistent);
+  EXPECT_TRUE(VectorsAgree(results, {2}));
+  for (int p = 0; p < 4; ++p) {
+    if (p == 2) continue;
+    EXPECT_EQ(results[p][2], "lie");
+  }
+}
+
+// A silent (crash-like) faulty process: everyone agrees its slot is the
+// empty value; correct values still recovered.
+TEST(InteractiveConsistencyTest, SilentFaultStillConsistent) {
+  auto results = RunInteractiveConsistency(4, Values(4), {1}, Silent());
+  EXPECT_TRUE(VectorsAgree(results, {1}));
+  EXPECT_TRUE(CorrectValuesRecovered(results, Values(4), {1}));
+}
+
+// n = 7, f = 2 is beyond what ONE round of relay can fix: the deck's
+// 2-round construction is the f=1 instance of the recursive PSL algorithm.
+// With two COLLUDING liars targeting the same honest relay patterns,
+// honest values still survive at n = 7 because 4 honest relays outvote 2
+// liars for every honest element.
+TEST(InteractiveConsistencyTest, SevenNodesTwoLiarsHonestValuesSurvive) {
+  auto results =
+      RunInteractiveConsistency(7, Values(7), {5, 6}, DefaultLiar());
+  EXPECT_TRUE(CorrectValuesRecovered(results, Values(7), {5, 6}));
+}
+
+}  // namespace
+}  // namespace consensus40::agreement

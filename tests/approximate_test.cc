@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "agreement/approximate.h"
+#include "sim/simulation.h"
+
+namespace consensus40::agreement {
+namespace {
+
+using sim::kSecond;
+
+struct ApproxWorld {
+  ApproxWorld(const std::vector<double>& initial, double epsilon, int rounds,
+              uint64_t seed = 1)
+      : sim(seed) {
+    ApproxOptions opts;
+    opts.n = static_cast<int>(initial.size());
+    opts.epsilon = epsilon;
+    for (double v : initial) {
+      nodes.push_back(sim.Spawn<ApproxAgreementNode>(opts, v, rounds));
+    }
+  }
+
+  bool AllHalted() const {
+    for (const auto* node : nodes) {
+      if (!sim.IsCrashed(node->id()) && !node->halted()) return false;
+    }
+    return true;
+  }
+
+  double Spread() const {
+    double lo = 1e300, hi = -1e300;
+    for (const auto* node : nodes) {
+      if (sim.IsCrashed(node->id())) continue;
+      lo = std::min(lo, node->value());
+      hi = std::max(hi, node->value());
+    }
+    return hi - lo;
+  }
+
+  sim::Simulation sim;
+  std::vector<ApproxAgreementNode*> nodes;
+};
+
+TEST(RoundsForSpreadTest, LogarithmicBound) {
+  EXPECT_EQ(RoundsForSpread(1.0, 1.0), 0);
+  EXPECT_EQ(RoundsForSpread(1.0, 0.5), 1);
+  EXPECT_EQ(RoundsForSpread(1.0, 0.01), 7);  // 2^-7 < 0.01.
+  EXPECT_EQ(RoundsForSpread(100.0, 0.01), 14);
+}
+
+TEST(ApproxAgreementTest, ConvergesWithinEpsilon) {
+  std::vector<double> initial = {0.0, 10.0, 3.0, 7.0};
+  int rounds = RoundsForSpread(10.0, 0.01) + 2;
+  ApproxWorld w(initial, 0.01, rounds);
+  w.sim.Start();
+  ASSERT_TRUE(w.sim.RunUntil([&] { return w.AllHalted(); }, 120 * kSecond));
+  EXPECT_LT(w.Spread(), 0.01);
+  // Validity: final values lie within the initial range.
+  for (const auto* node : w.nodes) {
+    EXPECT_GE(node->value(), 0.0);
+    EXPECT_LE(node->value(), 10.0);
+  }
+}
+
+TEST(ApproxAgreementTest, ToleratesCrashFault) {
+  std::vector<double> initial = {0.0, 10.0, 5.0, 2.0};  // n=4, f=1.
+  int rounds = RoundsForSpread(10.0, 0.05) + 3;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    ApproxWorld w(initial, 0.05, rounds, seed);
+    w.sim.Start();
+    w.sim.ScheduleAfter(3 * sim::kMillisecond, [&] { w.sim.Crash(1); });
+    ASSERT_TRUE(w.sim.RunUntil([&] { return w.AllHalted(); }, 120 * kSecond))
+        << seed;
+    EXPECT_LT(w.Spread(), 0.05) << "seed " << seed;
+  }
+}
+
+TEST(ApproxAgreementTest, SpreadShrinksMonotonicallyAcrossRounds) {
+  // Run round counts 1..8 and verify the spread keeps shrinking —
+  // exponential convergence, the signature of the averaging rule.
+  std::vector<double> initial = {0.0, 16.0, 4.0, 12.0, 8.0};
+  double previous = 16.0;
+  for (int rounds = 1; rounds <= 8; ++rounds) {
+    ApproxWorld w(initial, 1e-9, rounds, 7);
+    w.sim.Start();
+    ASSERT_TRUE(w.sim.RunUntil([&] { return w.AllHalted(); }, 120 * kSecond));
+    EXPECT_LE(w.Spread(), previous + 1e-12) << "rounds=" << rounds;
+    previous = w.Spread();
+  }
+  EXPECT_LT(previous, 0.5);
+}
+
+TEST(ApproxAgreementTest, AsynchronousDelaysDoNotBreakConvergence) {
+  std::vector<double> initial = {1.0, 9.0, 5.0, 3.0, 7.0, 2.0, 8.0};
+  int rounds = RoundsForSpread(8.0, 0.01) + 4;
+  ApproxWorld w(initial, 0.01, rounds, 11);
+  // Heavy adversarial jitter.
+  w.sim.SetDelayFn([&w](const sim::Envelope& e) -> sim::Duration {
+    if (e.from == e.to) return 0;
+    return 1 + static_cast<sim::Duration>(
+                   w.sim.rng().NextBounded(40 * sim::kMillisecond));
+  });
+  w.sim.Start();
+  ASSERT_TRUE(w.sim.RunUntil([&] { return w.AllHalted(); }, 240 * kSecond));
+  EXPECT_LT(w.Spread(), 0.01);
+}
+
+}  // namespace
+}  // namespace consensus40::agreement

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "randomized/benor.h"
+#include "sim/simulation.h"
+
+namespace consensus40::randomized {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+struct BenOrCluster {
+  BenOrCluster(const std::vector<int>& initial, uint64_t seed = 1)
+      : sim(seed) {
+    BenOrOptions opts;
+    opts.n = static_cast<int>(initial.size());
+    for (int v : initial) nodes.push_back(sim.Spawn<BenOrNode>(opts, v));
+  }
+
+  bool AllDecided() const {
+    for (const BenOrNode* node : nodes) {
+      if (!sim.IsCrashed(node->id()) && !node->decided()) return false;
+    }
+    return true;
+  }
+
+  int DecidedValue() const {
+    int value = -1;
+    for (const BenOrNode* node : nodes) {
+      if (!node->decided()) continue;
+      if (value == -1) {
+        value = *node->decided();
+      } else {
+        EXPECT_EQ(value, *node->decided()) << "agreement violated";
+      }
+    }
+    EXPECT_NE(value, -1);
+    return value;
+  }
+
+  sim::Simulation sim;
+  std::vector<BenOrNode*> nodes;
+};
+
+TEST(BenOrTest, UnanimousInputDecidesThatValueInOneRound) {
+  BenOrCluster cluster({1, 1, 1, 1, 1});
+  cluster.sim.Start();
+  ASSERT_TRUE(
+      cluster.sim.RunUntil([&] { return cluster.AllDecided(); }, 30 * kSecond));
+  EXPECT_EQ(cluster.DecidedValue(), 1);
+  for (const BenOrNode* node : cluster.nodes) {
+    EXPECT_EQ(node->round(), 1) << "unanimity should decide in round 1";
+  }
+}
+
+TEST(BenOrTest, ValidityZero) {
+  BenOrCluster cluster({0, 0, 0, 0, 0});
+  cluster.sim.Start();
+  ASSERT_TRUE(
+      cluster.sim.RunUntil([&] { return cluster.AllDecided(); }, 30 * kSecond));
+  EXPECT_EQ(cluster.DecidedValue(), 0);
+}
+
+TEST(BenOrTest, SplitInputsEventuallyDecide) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    BenOrCluster cluster({0, 1, 0, 1, 0}, seed);
+    cluster.sim.Start();
+    ASSERT_TRUE(cluster.sim.RunUntil([&] { return cluster.AllDecided(); },
+                                     60 * kSecond))
+        << "seed " << seed;
+    cluster.DecidedValue();
+  }
+}
+
+TEST(BenOrTest, ToleratesMinorityCrashes) {
+  BenOrCluster cluster({0, 1, 1, 0, 1});
+  cluster.sim.Crash(0);
+  cluster.sim.Crash(3);  // f = 2 = (n-1)/2 tolerated.
+  cluster.sim.Start();
+  ASSERT_TRUE(
+      cluster.sim.RunUntil([&] { return cluster.AllDecided(); }, 60 * kSecond));
+  cluster.DecidedValue();
+}
+
+TEST(BenOrTest, CrashDuringExecutionStillTerminates) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    BenOrCluster cluster({0, 1, 0, 1, 1}, seed);
+    cluster.sim.Start();
+    cluster.sim.ScheduleAfter(3 * kMillisecond,
+                              [&] { cluster.sim.Crash(2); });
+    ASSERT_TRUE(cluster.sim.RunUntil([&] { return cluster.AllDecided(); },
+                                     60 * kSecond))
+        << "seed " << seed;
+    cluster.DecidedValue();
+  }
+}
+
+// The FLP circumvention: an adversarial delay schedule that livelocks
+// deterministic proposers (see PaxosLivenessTest.DuelingProposersLivelock)
+// cannot stop Ben-Or — randomization breaks every adversarial schedule
+// with probability 1.
+TEST(BenOrTest, AdversarialDelaysCannotPreventTermination) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    BenOrCluster cluster({0, 1, 0, 1, 0}, seed);
+    // Adversary: deliver proposals slowly and reports fast, trying to keep
+    // the cluster split.
+    cluster.sim.SetDelayFn([&](const sim::Envelope& e) -> sim::Duration {
+      if (e.from == e.to) return 0;
+      std::string type = e.msg->TypeName();
+      if (type == "benor-propose") {
+        return (3 + (e.from + e.to) % 3) * kMillisecond;
+      }
+      return 1 * kMillisecond;
+    });
+    cluster.sim.Start();
+    ASSERT_TRUE(cluster.sim.RunUntil([&] { return cluster.AllDecided(); },
+                                     120 * kSecond))
+        << "seed " << seed;
+    cluster.DecidedValue();
+  }
+}
+
+TEST(BenOrTest, AgreementHoldsAcrossManySeedsAndSizes) {
+  for (int n : {3, 5, 7, 9}) {
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      std::vector<int> initial(n);
+      Rng rng(seed * 100 + n);
+      for (int i = 0; i < n; ++i) initial[i] = rng.NextBounded(2);
+      BenOrCluster cluster(initial, seed);
+      cluster.sim.Start();
+      ASSERT_TRUE(cluster.sim.RunUntil([&] { return cluster.AllDecided(); },
+                                       120 * kSecond))
+          << "n=" << n << " seed=" << seed;
+      int decided = cluster.DecidedValue();
+      // Validity: the decided value was someone's input.
+      bool present = false;
+      for (int v : initial) present |= (v == decided);
+      EXPECT_TRUE(present);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace consensus40::randomized

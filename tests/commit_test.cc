@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "commit/three_phase_commit.h"
+#include "commit/two_phase_commit.h"
+#include "sim/simulation.h"
+
+namespace consensus40::commit {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+Transaction MakeTx(uint64_t id, const std::vector<TxOp>& ops) {
+  Transaction tx;
+  tx.tx_id = id;
+  tx.ops = ops;
+  return tx;
+}
+
+// ----------------------------------------------------------------------
+// 2PC
+// ----------------------------------------------------------------------
+
+struct TwoPcWorld {
+  explicit TwoPcWorld(int participants, uint64_t seed = 1) : sim(seed) {
+    for (int i = 0; i < participants; ++i) {
+      cohorts.push_back(sim.Spawn<TwoPcParticipant>());
+    }
+    coordinator = sim.Spawn<TwoPcCoordinator>();
+    sim.Start();
+  }
+
+  sim::Simulation sim;
+  std::vector<TwoPcParticipant*> cohorts;
+  TwoPcCoordinator* coordinator;
+};
+
+TEST(TwoPcTest, AllYesCommits) {
+  TwoPcWorld w(3);
+  w.coordinator->Begin(MakeTx(1, {{0, "PUT a 1"}, {1, "PUT b 2"}, {2, "PUT c 3"}}));
+  ASSERT_TRUE(w.sim.RunUntil([&] { return w.coordinator->Finished(1); },
+                             5 * kSecond));
+  EXPECT_EQ(*w.coordinator->outcome(1), true);
+  EXPECT_EQ(w.cohorts[0]->state(1), TxState::kCommitted);
+  EXPECT_EQ(*w.cohorts[0]->kv().Get("a"), "1");
+  EXPECT_EQ(*w.cohorts[1]->kv().Get("b"), "2");
+  EXPECT_EQ(*w.cohorts[2]->kv().Get("c"), "3");
+}
+
+TEST(TwoPcTest, OneNoAbortsEverywhere) {
+  TwoPcWorld w(3);
+  w.coordinator->Begin(MakeTx(1, {{0, "PUT a 1"}, {1, "FAIL"}, {2, "PUT c 3"}}));
+  ASSERT_TRUE(w.sim.RunUntil(
+      [&] { return w.coordinator->outcome(1).has_value(); }, 5 * kSecond));
+  EXPECT_EQ(*w.coordinator->outcome(1), false);
+  w.sim.RunFor(1 * kSecond);
+  // Atomicity: nobody applied anything.
+  EXPECT_EQ(w.cohorts[0]->state(1), TxState::kAborted);
+  EXPECT_EQ(w.cohorts[1]->state(1), TxState::kAborted);
+  EXPECT_EQ(w.cohorts[2]->state(1), TxState::kAborted);
+  EXPECT_FALSE(w.cohorts[0]->kv().Get("a").has_value());
+  EXPECT_FALSE(w.cohorts[2]->kv().Get("c").has_value());
+}
+
+TEST(TwoPcTest, ParticipantCrashBeforeVoteAborts) {
+  TwoPcWorld w(3);
+  w.sim.Crash(1);
+  w.coordinator->Begin(MakeTx(1, {{0, "PUT a 1"}, {1, "PUT b 2"}, {2, "PUT c 3"}}));
+  ASSERT_TRUE(w.sim.RunUntil(
+      [&] { return w.coordinator->outcome(1).has_value(); }, 5 * kSecond));
+  EXPECT_EQ(*w.coordinator->outcome(1), false);  // Vote timeout => abort.
+}
+
+// The deck's 2PC blocking property: coordinator crashes after collecting
+// Yes votes but before broadcasting the decision; participants stay in the
+// uncertainty window forever.
+TEST(TwoPcTest, CoordinatorCrashBlocksParticipants) {
+  TwoPcWorld w(3);
+  w.coordinator->Begin(MakeTx(1, {{0, "PUT a 1"}, {1, "PUT b 2"}, {2, "PUT c 3"}}));
+  // Let prepares reach the cohorts (they vote Yes), then kill the
+  // coordinator before its decision can be computed/broadcast.
+  ASSERT_TRUE(w.sim.RunUntil(
+      [&] {
+        return w.cohorts[0]->state(1) == TxState::kPrepared &&
+               w.cohorts[1]->state(1) == TxState::kPrepared &&
+               w.cohorts[2]->state(1) == TxState::kPrepared;
+      },
+      5 * kSecond));
+  w.sim.Crash(w.coordinator->id());
+  w.sim.RunFor(10 * kSecond);
+  // Blocked: still prepared, cannot commit or abort unilaterally.
+  EXPECT_EQ(w.cohorts[0]->state(1), TxState::kPrepared);
+  EXPECT_EQ(w.cohorts[1]->state(1), TxState::kPrepared);
+  EXPECT_EQ(w.cohorts[2]->state(1), TxState::kPrepared);
+}
+
+TEST(TwoPcTest, SequentialTransactionsIndependent) {
+  TwoPcWorld w(2);
+  w.coordinator->Begin(MakeTx(1, {{0, "PUT a 1"}, {1, "PUT b 1"}}));
+  ASSERT_TRUE(w.sim.RunUntil([&] { return w.coordinator->Finished(1); },
+                             5 * kSecond));
+  w.coordinator->Begin(MakeTx(2, {{0, "FAIL"}, {1, "PUT b 2"}}));
+  ASSERT_TRUE(w.sim.RunUntil(
+      [&] { return w.coordinator->outcome(2).has_value(); }, 5 * kSecond));
+  EXPECT_TRUE(*w.coordinator->outcome(1));
+  EXPECT_FALSE(*w.coordinator->outcome(2));
+  w.sim.RunFor(1 * kSecond);
+  EXPECT_EQ(*w.cohorts[1]->kv().Get("b"), "1");  // Second PUT never applied.
+}
+
+// ----------------------------------------------------------------------
+// 3PC
+// ----------------------------------------------------------------------
+
+struct ThreePcWorld {
+  explicit ThreePcWorld(int participants, uint64_t seed = 1,
+                        ThreePcParticipant::Options opts =
+                            ThreePcParticipant::Options())
+      : sim(seed) {
+    for (int i = 0; i < participants; ++i) {
+      cohorts.push_back(sim.Spawn<ThreePcParticipant>(opts));
+    }
+    coordinator = sim.Spawn<ThreePcCoordinator>();
+    sim.Start();
+  }
+
+  sim::Simulation sim;
+  std::vector<ThreePcParticipant*> cohorts;
+  ThreePcCoordinator* coordinator;
+};
+
+TEST(ThreePcTest, AllYesCommitsThroughThreePhases) {
+  ThreePcWorld w(3);
+  w.coordinator->Begin(MakeTx(1, {{0, "PUT a 1"}, {1, "PUT b 2"}, {2, "PUT c 3"}}));
+  ASSERT_TRUE(w.sim.RunUntil(
+      [&] {
+        return w.cohorts[0]->state(1) == TxState::kCommitted &&
+               w.cohorts[1]->state(1) == TxState::kCommitted &&
+               w.cohorts[2]->state(1) == TxState::kCommitted;
+      },
+      5 * kSecond));
+  EXPECT_EQ(*w.coordinator->outcome(1), true);
+  EXPECT_EQ(*w.cohorts[0]->kv().Get("a"), "1");
+}
+
+TEST(ThreePcTest, NoVoteAborts) {
+  ThreePcWorld w(3);
+  w.coordinator->Begin(MakeTx(1, {{0, "PUT a 1"}, {1, "FAIL"}, {2, "PUT c 3"}}));
+  ASSERT_TRUE(w.sim.RunUntil(
+      [&] { return w.coordinator->outcome(1).has_value(); }, 5 * kSecond));
+  EXPECT_FALSE(*w.coordinator->outcome(1));
+  w.sim.RunFor(2 * kSecond);
+  EXPECT_EQ(w.cohorts[0]->state(1), TxState::kAborted);
+  EXPECT_EQ(w.cohorts[2]->state(1), TxState::kAborted);
+}
+
+// The headline: coordinator crashes in the same window that blocks 2PC —
+// 3PC's termination protocol unblocks the cohorts (abort, since nobody
+// pre-committed).
+TEST(ThreePcTest, CoordinatorCrashBeforePreCommitTerminatesWithAbort) {
+  ThreePcWorld w(3);
+  w.coordinator->Begin(MakeTx(1, {{0, "PUT a 1"}, {1, "PUT b 2"}, {2, "PUT c 3"}}));
+  ASSERT_TRUE(w.sim.RunUntil(
+      [&] {
+        return w.cohorts[0]->state(1) == TxState::kPrepared &&
+               w.cohorts[1]->state(1) == TxState::kPrepared &&
+               w.cohorts[2]->state(1) == TxState::kPrepared;
+      },
+      5 * kSecond));
+  w.sim.Crash(w.coordinator->id());
+  ASSERT_TRUE(w.sim.RunUntil(
+      [&] {
+        for (const ThreePcParticipant* p : w.cohorts) {
+          if (p->state(1) != TxState::kAborted) return false;
+        }
+        return true;
+      },
+      30 * kSecond))
+      << "termination protocol did not unblock the cohorts";
+  // No partial commit.
+  EXPECT_FALSE(w.cohorts[0]->kv().Get("a").has_value());
+}
+
+// Coordinator crashes after pre-commit reached the cohorts: the decision
+// was commit, and termination must finish the commit.
+TEST(ThreePcTest, CoordinatorCrashAfterPreCommitTerminatesWithCommit) {
+  ThreePcWorld w(3);
+  w.coordinator->Begin(MakeTx(1, {{0, "PUT a 1"}, {1, "PUT b 2"}, {2, "PUT c 3"}}));
+  ASSERT_TRUE(w.sim.RunUntil(
+      [&] {
+        return w.cohorts[0]->state(1) == TxState::kPreCommitted &&
+               w.cohorts[1]->state(1) == TxState::kPreCommitted &&
+               w.cohorts[2]->state(1) == TxState::kPreCommitted;
+      },
+      5 * kSecond));
+  w.sim.Crash(w.coordinator->id());
+  ASSERT_TRUE(w.sim.RunUntil(
+      [&] {
+        for (const ThreePcParticipant* p : w.cohorts) {
+          if (p->state(1) != TxState::kCommitted) return false;
+        }
+        return true;
+      },
+      30 * kSecond));
+  EXPECT_EQ(*w.cohorts[0]->kv().Get("a"), "1");
+  EXPECT_EQ(*w.cohorts[1]->kv().Get("b"), "2");
+  EXPECT_EQ(*w.cohorts[2]->kv().Get("c"), "3");
+}
+
+// Mixed window: some cohorts pre-committed, others only prepared, then the
+// coordinator dies. Termination must drive everyone to COMMIT (a
+// pre-committed survivor proves the decision was commit).
+TEST(ThreePcTest, MixedStatesConvergeToCommit) {
+  ThreePcWorld w(3);
+  // Delay pre-commit delivery to cohort 2 so it lags in kPrepared.
+  w.sim.SetDelayFn([&](const sim::Envelope& e) -> sim::Duration {
+    if (std::string(e.msg->TypeName()) == "3pc-pre-commit" && e.to == 2) {
+      return 80 * kMillisecond;
+    }
+    return 2 * kMillisecond;
+  });
+  w.coordinator->Begin(MakeTx(1, {{0, "PUT a 1"}, {1, "PUT b 2"}, {2, "PUT c 3"}}));
+  ASSERT_TRUE(w.sim.RunUntil(
+      [&] {
+        return w.cohorts[0]->state(1) == TxState::kPreCommitted &&
+               w.cohorts[1]->state(1) == TxState::kPreCommitted &&
+               w.cohorts[2]->state(1) == TxState::kPrepared;
+      },
+      5 * kSecond));
+  w.sim.Crash(w.coordinator->id());
+  w.sim.BlockLink(w.coordinator->id(), 2);  // The lagging pre-commit dies too.
+  ASSERT_TRUE(w.sim.RunUntil(
+      [&] {
+        for (const ThreePcParticipant* p : w.cohorts) {
+          if (p->state(1) != TxState::kCommitted) return false;
+        }
+        return true;
+      },
+      30 * kSecond));
+}
+
+// Ablation: with the termination protocol disabled, 3PC blocks exactly like
+// 2PC.
+TEST(ThreePcTest, WithoutTerminationItBlocksLike2Pc) {
+  ThreePcParticipant::Options opts;
+  opts.enable_termination = false;
+  ThreePcWorld w(3, 1, opts);
+  w.coordinator->Begin(MakeTx(1, {{0, "PUT a 1"}, {1, "PUT b 2"}, {2, "PUT c 3"}}));
+  ASSERT_TRUE(w.sim.RunUntil(
+      [&] { return w.cohorts[0]->state(1) == TxState::kPrepared; },
+      5 * kSecond));
+  w.sim.Crash(w.coordinator->id());
+  w.sim.RunFor(10 * kSecond);
+  EXPECT_EQ(w.cohorts[0]->state(1), TxState::kPrepared);
+}
+
+// The new coordinator is the lowest-id survivor (staggered timers).
+TEST(ThreePcTest, LowestSurvivorLeadsTermination) {
+  ThreePcWorld w(3);
+  w.coordinator->Begin(MakeTx(1, {{0, "PUT a 1"}, {1, "PUT b 2"}, {2, "PUT c 3"}}));
+  ASSERT_TRUE(w.sim.RunUntil(
+      [&] { return w.cohorts[2]->state(1) == TxState::kPrepared; },
+      5 * kSecond));
+  w.sim.Crash(w.coordinator->id());
+  ASSERT_TRUE(w.sim.RunUntil(
+      [&] { return w.cohorts[0]->state(1) == TxState::kAborted; },
+      30 * kSecond));
+  EXPECT_GE(w.cohorts[0]->terminations_led(), 1);
+}
+
+}  // namespace
+}  // namespace consensus40::commit

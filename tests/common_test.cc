@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table.h"
+
+namespace consensus40 {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("f must be >= 0");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "f must be >= 0");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: f must be >= 0");
+}
+
+TEST(StatusTest, AllFactoryCodesRoundTrip) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+
+  Result<int> bad = Status::NotFound("missing");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNotFound());
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    int64_t v = rng.UniformInt(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.Bernoulli(0.3);
+  double freq = static_cast<double>(hits) / kTrials;
+  EXPECT_NEAR(freq, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) sum += rng.Exponential(10.0);
+  EXPECT_NEAR(sum / kTrials, 10.0, 0.5);
+}
+
+TEST(RngTest, WeightedIndexProportional) {
+  Rng rng(19);
+  std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::map<size_t, int> counts;
+  const int kTrials = 30000;
+  for (int i = 0; i < kTrials; ++i) counts[rng.WeightedIndex(weights)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(kTrials), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kTrials), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kTrials), 0.6, 0.02);
+}
+
+TEST(RngTest, ForkIndependentButDeterministic) {
+  Rng a(23);
+  Rng fork1 = a.Fork();
+  Rng b(23);
+  Rng fork2 = b.Fork();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(fork1.Next(), fork2.Next());
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "n"});
+  t.AddRow({"paxos", "5"});
+  t.AddRow({"pbft", "10"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| name  | n  |"), std::string::npos);
+  EXPECT_NE(s.find("| paxos | 5  |"), std::string::npos);
+  EXPECT_NE(s.find("| pbft  | 10 |"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"x"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| x | "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace consensus40

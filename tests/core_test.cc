@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "core/cnc.h"
+#include "core/quorum.h"
+#include "core/traits.h"
+
+namespace consensus40::core {
+namespace {
+
+TEST(TraitsTest, RegistryHasAllDeckProtocols) {
+  const auto& all = AllProtocolTraits();
+  EXPECT_EQ(all.size(), 13u);
+  for (const char* name :
+       {"Paxos", "Raft", "Fast Paxos", "Flexible Paxos", "PBFT", "Zyzzyva",
+        "HotStuff", "MinBFT", "CheapBFT", "UpRight", "SeeMoRe", "XFT",
+        "PoW (Bitcoin)"}) {
+    EXPECT_NE(FindProtocolTraits(name), nullptr) << name;
+  }
+  EXPECT_EQ(FindProtocolTraits("NotAProtocol"), nullptr);
+}
+
+TEST(TraitsTest, DeckTaxonomyCards) {
+  // Spot-check the cards against the slides.
+  const ProtocolTraits* paxos = FindProtocolTraits("Paxos");
+  EXPECT_EQ(paxos->synchrony, Synchrony::kPartiallySynchronous);
+  EXPECT_EQ(paxos->failure_model, FailureModel::kCrash);
+  EXPECT_EQ(paxos->nodes_required(1, 0), 3);
+  EXPECT_EQ(paxos->nodes_required(2, 0), 5);
+  EXPECT_EQ(paxos->complexity, "O(N)");
+
+  const ProtocolTraits* pbft = FindProtocolTraits("PBFT");
+  EXPECT_EQ(pbft->failure_model, FailureModel::kByzantine);
+  EXPECT_EQ(pbft->nodes_required(1, 0), 4);
+  EXPECT_EQ(pbft->phases, "3");
+  EXPECT_EQ(pbft->complexity, "O(N^2)");
+
+  const ProtocolTraits* hotstuff = FindProtocolTraits("HotStuff");
+  EXPECT_EQ(hotstuff->phases, "7");
+  EXPECT_EQ(hotstuff->complexity, "O(N)");
+
+  const ProtocolTraits* minbft = FindProtocolTraits("MinBFT");
+  EXPECT_EQ(minbft->nodes_required(1, 0), 3);  // 2f+1 despite Byzantine.
+
+  const ProtocolTraits* upright = FindProtocolTraits("UpRight");
+  EXPECT_EQ(upright->failure_model, FailureModel::kHybrid);
+  EXPECT_EQ(upright->nodes_required(2, 3), 3 * 2 + 2 * 3 + 1);
+
+  const ProtocolTraits* pow = FindProtocolTraits("PoW (Bitcoin)");
+  EXPECT_EQ(pow->awareness, Awareness::kUnknown);
+}
+
+TEST(TraitsTest, ToStringCoversAllEnums) {
+  EXPECT_STREQ(ToString(Synchrony::kSynchronous), "synchronous");
+  EXPECT_STREQ(ToString(Synchrony::kAsynchronous), "asynchronous");
+  EXPECT_STREQ(ToString(Synchrony::kPartiallySynchronous),
+               "partially-synchronous");
+  EXPECT_STREQ(ToString(FailureModel::kCrash), "crash");
+  EXPECT_STREQ(ToString(FailureModel::kByzantine), "Byzantine");
+  EXPECT_STREQ(ToString(FailureModel::kHybrid), "hybrid");
+  EXPECT_STREQ(ToString(Strategy::kPessimistic), "pessimistic");
+  EXPECT_STREQ(ToString(Strategy::kOptimistic), "optimistic");
+  EXPECT_STREQ(ToString(Awareness::kKnown), "known");
+  EXPECT_STREQ(ToString(Awareness::kUnknown), "unknown");
+}
+
+TEST(QuorumTest, MajoritySizes) {
+  MajorityQuorum q5(5);
+  EXPECT_EQ(q5.ElectionQuorumSize(), 3);
+  EXPECT_EQ(q5.MaxFaults(), 2);
+  MajorityQuorum q4(4);
+  EXPECT_EQ(q4.ElectionQuorumSize(), 3);
+  EXPECT_EQ(q4.MaxFaults(), 1);
+}
+
+TEST(QuorumTest, MajoritySetPredicate) {
+  MajorityQuorum q(5);
+  EXPECT_TRUE(q.IsReplicationQuorum({0, 1, 2}));
+  EXPECT_FALSE(q.IsReplicationQuorum({0, 1}));
+  // Out-of-range ids don't count.
+  EXPECT_FALSE(q.IsReplicationQuorum({0, 1, 7}));
+}
+
+TEST(QuorumTest, ByzantineArithmetic) {
+  // The deck: 3f+1 replicas, quorums of 2f+1, intersection >= f+1.
+  for (int f = 1; f <= 4; ++f) {
+    ByzantineQuorum q(3 * f + 1);
+    EXPECT_EQ(q.MaxFaults(), f);
+    EXPECT_EQ(q.QuorumSize(), 2 * f + 1);
+    EXPECT_EQ(q.Intersection(), f + 1);
+  }
+}
+
+TEST(QuorumTest, FlexibleRejectsNonIntersecting) {
+  EXPECT_FALSE(FlexibleQuorum::Make(10, 5, 5).ok());
+  EXPECT_TRUE(FlexibleQuorum::Make(10, 5, 6).ok());
+  EXPECT_FALSE(FlexibleQuorum::Make(10, 0, 11).ok());
+  EXPECT_FALSE(FlexibleQuorum::Make(10, 11, 5).ok());
+}
+
+TEST(QuorumTest, FlexibleAsymmetricSizes) {
+  auto q = FlexibleQuorum::Make(10, 9, 2);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->ElectionQuorumSize(), 9);
+  EXPECT_EQ((*q)->ReplicationQuorumSize(), 2);
+  EXPECT_TRUE((*q)->IsReplicationQuorum({3, 7}));
+  EXPECT_FALSE((*q)->IsElectionQuorum({0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(QuorumTest, GridRowsAndColumns) {
+  GridQuorum g(3, 4);  // ids: r*4+c
+  EXPECT_EQ(g.n(), 12);
+  // Row 1 = {4,5,6,7} is a replication quorum.
+  EXPECT_TRUE(g.IsReplicationQuorum({4, 5, 6, 7}));
+  EXPECT_FALSE(g.IsReplicationQuorum({4, 5, 6}));
+  // Column 2 = {2,6,10} is an election quorum.
+  EXPECT_TRUE(g.IsElectionQuorum({2, 6, 10}));
+  EXPECT_FALSE(g.IsElectionQuorum({2, 6}));
+  // A row is not an election quorum (unless cols==1).
+  EXPECT_FALSE(g.IsElectionQuorum({4, 5, 6, 7}));
+}
+
+TEST(QuorumTest, HybridUpRightArithmetic) {
+  // UpRight: network 3m+2c+1, quorum 2m+c+1, intersection m+1.
+  for (int m = 0; m <= 3; ++m) {
+    for (int c = 0; c <= 3; ++c) {
+      if (m + c == 0) continue;
+      HybridQuorum q(m, c);
+      EXPECT_EQ(q.n(), 3 * m + 2 * c + 1);
+      EXPECT_EQ(q.QuorumSize(), 2 * m + c + 1);
+      EXPECT_EQ(q.Intersection(), m + 1);
+    }
+  }
+}
+
+// Property sweep: the intersection guarantees hold for every pair of
+// (minimal) quorums, exhaustively.
+TEST(QuorumPropertyTest, MajorityIntersectsInOne) {
+  for (int n = 3; n <= 9; ++n) {
+    EXPECT_TRUE(CheckQuorumIntersection(MajorityQuorum(n), 1)) << "n=" << n;
+  }
+}
+
+TEST(QuorumPropertyTest, ByzantineIntersectsInFPlusOne) {
+  for (int f = 1; f <= 3; ++f) {
+    ByzantineQuorum q(3 * f + 1);
+    EXPECT_TRUE(CheckQuorumIntersection(q, f + 1)) << "f=" << f;
+    // And f+2 must NOT always hold (tightness).
+    EXPECT_FALSE(CheckQuorumIntersection(q, f + 2)) << "f=" << f;
+  }
+}
+
+TEST(QuorumPropertyTest, FlexibleIntersectsInQ1PlusQ2MinusN) {
+  int n = 8;
+  for (int q1 = 1; q1 <= n; ++q1) {
+    for (int q2 = n - q1 + 1; q2 <= n; ++q2) {
+      auto q = FlexibleQuorum::Make(n, q1, q2);
+      ASSERT_TRUE(q.ok());
+      int overlap = q1 + q2 - n;
+      EXPECT_TRUE(CheckQuorumIntersection(**q, overlap))
+          << "q1=" << q1 << " q2=" << q2;
+      EXPECT_FALSE(CheckQuorumIntersection(**q, overlap + 1))
+          << "q1=" << q1 << " q2=" << q2;
+    }
+  }
+}
+
+TEST(QuorumPropertyTest, GridRowMeetsEveryColumnExactlyOnce) {
+  GridQuorum g(3, 4);
+  EXPECT_TRUE(CheckQuorumIntersection(g, 1));
+  EXPECT_FALSE(CheckQuorumIntersection(g, 2));
+}
+
+TEST(QuorumPropertyTest, HybridIntersectsInMPlusOne) {
+  for (int m = 0; m <= 2; ++m) {
+    for (int c = 0; c <= 2; ++c) {
+      if (m + c == 0 || 3 * m + 2 * c + 1 > 12) continue;
+      HybridQuorum q(m, c);
+      EXPECT_TRUE(CheckQuorumIntersection(q, m + 1))
+          << "m=" << m << " c=" << c;
+    }
+  }
+}
+
+TEST(CncTest, PhaseMapTagsAndDefaults) {
+  CncPhaseMap map;
+  map.Tag("prepare", CncPhase::kLeaderElection);
+  map.Tag("accept", CncPhase::kFaultTolerantAgreement);
+  EXPECT_EQ(map.PhaseOf("prepare"), CncPhase::kLeaderElection);
+  EXPECT_EQ(map.PhaseOf("unknown"), CncPhase::kOther);
+}
+
+TEST(CncTest, ToStringNames) {
+  EXPECT_STREQ(ToString(CncPhase::kLeaderElection), "LeaderElection");
+  EXPECT_STREQ(ToString(CncPhase::kValueDiscovery), "ValueDiscovery");
+  EXPECT_STREQ(ToString(CncPhase::kFaultTolerantAgreement),
+               "FaultTolerantAgreement");
+  EXPECT_STREQ(ToString(CncPhase::kDecision), "Decision");
+}
+
+}  // namespace
+}  // namespace consensus40::core

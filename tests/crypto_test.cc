@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "crypto/signatures.h"
+
+namespace consensus40::crypto {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(DigestToHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    Sha256 h;
+    h.Update(data.substr(0, split));
+    h.Update(data.substr(split));
+    EXPECT_EQ(h.Finish(), Sha256::Hash(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, DoubleHashIsHashOfHash) {
+  std::string data = "block header";
+  Digest once = Sha256::Hash(data);
+  Digest twice = Sha256::Hash(once.data(), once.size());
+  EXPECT_EQ(Sha256::DoubleHash(data.data(), data.size()), twice);
+}
+
+TEST(Sha256Test, LeadingZeroBits) {
+  Digest d{};
+  EXPECT_EQ(LeadingZeroBits(d), 256);
+  d[0] = 0x80;
+  EXPECT_EQ(LeadingZeroBits(d), 0);
+  d[0] = 0x01;
+  EXPECT_EQ(LeadingZeroBits(d), 7);
+  d[0] = 0x00;
+  d[1] = 0x10;
+  EXPECT_EQ(LeadingZeroBits(d), 11);
+}
+
+TEST(Sha256Test, DigestLessIsLexicographic) {
+  Digest a{}, b{};
+  b[31] = 1;
+  EXPECT_TRUE(DigestLess(a, b));
+  EXPECT_FALSE(DigestLess(b, a));
+  EXPECT_FALSE(DigestLess(a, a));
+}
+
+TEST(MerkleTest, EmptyTreeIsZero) {
+  EXPECT_EQ(MerkleRoot({}), Digest{});
+}
+
+TEST(MerkleTest, SingleLeafIsItself) {
+  Digest leaf = Sha256::Hash("tx");
+  EXPECT_EQ(MerkleRoot({leaf}), leaf);
+}
+
+TEST(MerkleTest, RootChangesWithAnyLeaf) {
+  std::vector<Digest> leaves;
+  for (int i = 0; i < 5; ++i) {
+    leaves.push_back(Sha256::Hash("tx" + std::to_string(i)));
+  }
+  Digest root = MerkleRoot(leaves);
+  for (int i = 0; i < 5; ++i) {
+    auto tampered = leaves;
+    tampered[i] = Sha256::Hash("evil");
+    EXPECT_NE(MerkleRoot(tampered), root) << "leaf " << i;
+  }
+}
+
+TEST(MerkleTest, ProofVerifiesForEveryLeafAndSize) {
+  for (int n = 1; n <= 12; ++n) {
+    std::vector<Digest> leaves;
+    for (int i = 0; i < n; ++i) {
+      leaves.push_back(Sha256::Hash("tx" + std::to_string(i)));
+    }
+    Digest root = MerkleRoot(leaves);
+    for (int i = 0; i < n; ++i) {
+      MerkleProof proof = BuildMerkleProof(leaves, i);
+      EXPECT_TRUE(VerifyMerkleProof(leaves[i], proof, root))
+          << "n=" << n << " i=" << i;
+      // A different leaf must not verify with this proof.
+      EXPECT_FALSE(VerifyMerkleProof(Sha256::Hash("evil"), proof, root));
+    }
+  }
+}
+
+TEST(SignatureTest, SignVerifyRoundTrip) {
+  KeyRegistry registry(42, 4);
+  Digest d = Sha256::Hash("value");
+  Signature sig = registry.Sign(2, d);
+  EXPECT_EQ(sig.signer, 2);
+  EXPECT_TRUE(registry.Verify(sig, d));
+}
+
+TEST(SignatureTest, WrongDigestFails) {
+  KeyRegistry registry(42, 4);
+  Signature sig = registry.Sign(1, Sha256::Hash("value"));
+  EXPECT_FALSE(registry.Verify(sig, Sha256::Hash("other")));
+}
+
+TEST(SignatureTest, ForgeryImpossible) {
+  KeyRegistry registry(42, 4);
+  Digest d = Sha256::Hash("value");
+  // A Byzantine node relabeling its own signature as node 0's must fail.
+  Signature sig = registry.Sign(3, d);
+  sig.signer = 0;
+  EXPECT_FALSE(registry.Verify(sig, d));
+}
+
+TEST(SignatureTest, OutOfRangeSignerRejected) {
+  KeyRegistry registry(42, 4);
+  Signature sig;
+  sig.signer = 17;
+  EXPECT_FALSE(registry.Verify(sig, Sha256::Hash("x")));
+}
+
+TEST(SignatureTest, MacBoundToBothEndpoints) {
+  KeyRegistry registry(7, 4);
+  Digest d = Sha256::Hash("req");
+  Digest mac = registry.Mac(0, 1, d);
+  EXPECT_TRUE(registry.VerifyMac(0, 1, d, mac));
+  EXPECT_FALSE(registry.VerifyMac(0, 2, d, mac));
+  EXPECT_FALSE(registry.VerifyMac(1, 0, d, mac));
+}
+
+TEST(AggregateCertTest, ThresholdEnforced) {
+  KeyRegistry registry(9, 7);
+  Digest value = Sha256::Hash("block");
+  AggregateCertificate cert;
+  cert.value = value;
+  for (int i = 0; i < 5; ++i) cert.shares.push_back(registry.Sign(i, value));
+  EXPECT_TRUE(cert.Verify(registry, 5));
+  EXPECT_FALSE(cert.Verify(registry, 6));
+}
+
+TEST(AggregateCertTest, DuplicateSignersDontCount) {
+  KeyRegistry registry(9, 7);
+  Digest value = Sha256::Hash("block");
+  AggregateCertificate cert;
+  cert.value = value;
+  Signature s = registry.Sign(0, value);
+  for (int i = 0; i < 5; ++i) cert.shares.push_back(s);
+  EXPECT_FALSE(cert.Verify(registry, 2));
+}
+
+TEST(AggregateCertTest, BadShareInvalidatesCert) {
+  KeyRegistry registry(9, 7);
+  Digest value = Sha256::Hash("block");
+  AggregateCertificate cert;
+  cert.value = value;
+  for (int i = 0; i < 5; ++i) cert.shares.push_back(registry.Sign(i, value));
+  cert.shares[2].tag[0] ^= 1;
+  EXPECT_FALSE(cert.Verify(registry, 3));
+}
+
+TEST(UsigTest, CountersAreSequentialPerSigner) {
+  KeyRegistry registry(5, 3);
+  Usig usig(&registry);
+  Digest d = Sha256::Hash("m");
+  Usig::UI u1 = usig.CreateUi(0, d);
+  Usig::UI u2 = usig.CreateUi(0, d);
+  Usig::UI other = usig.CreateUi(1, d);
+  EXPECT_EQ(u1.counter, 1u);
+  EXPECT_EQ(u2.counter, 2u);
+  EXPECT_EQ(other.counter, 1u);
+  EXPECT_EQ(usig.LastCounter(0), 2u);
+}
+
+TEST(UsigTest, VerifyBindsCounterAndDigest) {
+  KeyRegistry registry(5, 3);
+  Usig usig(&registry);
+  Digest d = Sha256::Hash("m");
+  Usig::UI ui = usig.CreateUi(0, d);
+  EXPECT_TRUE(usig.VerifyUi(ui, d));
+  EXPECT_FALSE(usig.VerifyUi(ui, Sha256::Hash("other")));
+
+  // Equivocation attempt: replaying the counter with another digest fails
+  // because the tag binds counter and digest.
+  Usig::UI forged = ui;
+  forged.counter = 99;
+  EXPECT_FALSE(usig.VerifyUi(forged, d));
+}
+
+TEST(UsigTest, CannotObtainDuplicateCounters) {
+  // The USIG object itself is the trusted hardware: two CreateUi calls can
+  // never return the same counter, so a Byzantine replica cannot send two
+  // different messages with one counter value.
+  KeyRegistry registry(5, 3);
+  Usig usig(&registry);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    Usig::UI ui = usig.CreateUi(2, Sha256::Hash("m" + std::to_string(i)));
+    EXPECT_TRUE(seen.insert(ui.counter).second);
+  }
+}
+
+}  // namespace
+}  // namespace consensus40::crypto

@@ -1,0 +1,188 @@
+// Assorted edge-case coverage across the substrate and the commit layer:
+// behaviours that only show at boundaries (empty inputs, simultaneous
+// events, interleaved transactions, degenerate cluster sizes).
+
+#include <gtest/gtest.h>
+
+#include "commit/two_phase_commit.h"
+#include "common/table.h"
+#include "core/quorum.h"
+#include "paxos/paxos.h"
+#include "sim/simulation.h"
+
+namespace consensus40 {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+// ---------------------------------------------------------------------------
+// TextTable boundaries
+// ---------------------------------------------------------------------------
+
+TEST(TableEdgeTest, EmptyTableRendersHeaderOnly) {
+  TextTable t({"a", "bb"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| a | bb |"), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);  // Header + rule.
+}
+
+TEST(TableEdgeTest, NumPrecisionAndNegative) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(-1.5, 0), "-2");  // printf rounding.
+  EXPECT_EQ(TextTable::Int(-42), "-42");
+}
+
+// ---------------------------------------------------------------------------
+// Quorum degenerate sizes
+// ---------------------------------------------------------------------------
+
+TEST(QuorumEdgeTest, SingleNodeMajority) {
+  core::MajorityQuorum q(1);
+  EXPECT_EQ(q.ElectionQuorumSize(), 1);
+  EXPECT_EQ(q.MaxFaults(), 0);
+  EXPECT_TRUE(q.IsElectionQuorum({0}));
+  EXPECT_FALSE(q.IsElectionQuorum({}));
+}
+
+TEST(QuorumEdgeTest, GridOneByN) {
+  // A 1xN grid: the single row is the replication quorum; every column is
+  // a single node — election quorums of size 1.
+  core::GridQuorum g(1, 4);
+  EXPECT_TRUE(g.IsElectionQuorum({2}));
+  EXPECT_TRUE(g.IsReplicationQuorum({0, 1, 2, 3}));
+  EXPECT_FALSE(g.IsReplicationQuorum({0, 1, 2}));
+  EXPECT_TRUE(core::CheckQuorumIntersection(g, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Single-node Paxos (n = 1): trivially decides its own proposal
+// ---------------------------------------------------------------------------
+
+TEST(PaxosEdgeTest, SingleNodeClusterDecidesInstantly) {
+  sim::Simulation sim(1);
+  paxos::PaxosOptions opts;
+  opts.n = 1;
+  auto* node = sim.Spawn<paxos::PaxosNode>(opts);
+  sim.Start();
+  node->Propose("solo");
+  ASSERT_TRUE(sim.RunUntil([&] { return node->decided().has_value(); },
+                           1 * kSecond));
+  EXPECT_EQ(*node->decided(), "solo");
+}
+
+TEST(PaxosEdgeTest, ProposeAfterDecisionIsIgnored) {
+  sim::Simulation sim(1);
+  paxos::PaxosOptions opts;
+  opts.n = 3;
+  std::vector<paxos::PaxosNode*> nodes;
+  for (int i = 0; i < 3; ++i) nodes.push_back(sim.Spawn<paxos::PaxosNode>(opts));
+  sim.Start();
+  nodes[0]->Propose("first");
+  ASSERT_TRUE(sim.RunUntil(
+      [&] { return nodes[0]->decided().has_value(); }, 5 * kSecond));
+  int attempts_before = nodes[0]->prepare_attempts();
+  nodes[0]->Propose("second");  // Already decided: no new ballot.
+  sim.RunFor(1 * kSecond);
+  EXPECT_EQ(nodes[0]->prepare_attempts(), attempts_before);
+  EXPECT_EQ(*nodes[0]->decided(), "first");
+}
+
+// ---------------------------------------------------------------------------
+// 2PC: concurrent transactions with overlapping participants
+// ---------------------------------------------------------------------------
+
+TEST(TwoPcEdgeTest, InterleavedTransactionsStayIndependent) {
+  sim::Simulation sim(5);
+  std::vector<commit::TwoPcParticipant*> cohorts;
+  for (int i = 0; i < 3; ++i) {
+    cohorts.push_back(sim.Spawn<commit::TwoPcParticipant>());
+  }
+  auto* coord = sim.Spawn<commit::TwoPcCoordinator>();
+  sim.Start();
+
+  // Launch three transactions at once: one commits, one aborts (local
+  // failure), one commits.
+  commit::Transaction t1;
+  t1.tx_id = 1;
+  t1.ops = {{0, "PUT a 1"}, {1, "PUT b 1"}};
+  commit::Transaction t2;
+  t2.tx_id = 2;
+  t2.ops = {{1, "FAIL"}, {2, "PUT c 2"}};
+  commit::Transaction t3;
+  t3.tx_id = 3;
+  t3.ops = {{0, "PUT d 3"}, {2, "PUT e 3"}};
+  coord->Begin(t1);
+  coord->Begin(t2);
+  coord->Begin(t3);
+  ASSERT_TRUE(sim.RunUntil(
+      [&] {
+        return coord->outcome(1).has_value() &&
+               coord->outcome(2).has_value() &&
+               coord->outcome(3).has_value();
+      },
+      10 * kSecond));
+  sim.RunFor(1 * kSecond);
+  EXPECT_TRUE(*coord->outcome(1));
+  EXPECT_FALSE(*coord->outcome(2));
+  EXPECT_TRUE(*coord->outcome(3));
+  // The aborted transaction left no residue; the others applied fully.
+  EXPECT_EQ(*cohorts[0]->kv().Get("a"), "1");
+  EXPECT_EQ(*cohorts[1]->kv().Get("b"), "1");
+  EXPECT_FALSE(cohorts[2]->kv().Get("c").has_value());
+  EXPECT_EQ(*cohorts[0]->kv().Get("d"), "3");
+  EXPECT_EQ(*cohorts[2]->kv().Get("e"), "3");
+}
+
+// ---------------------------------------------------------------------------
+// Simulator: zero-delay self-messages preserve causal order
+// ---------------------------------------------------------------------------
+
+struct SeqMsg : sim::Message {
+  explicit SeqMsg(int v) : value(v) {}
+  const char* TypeName() const override { return "seq"; }
+  int value;
+};
+
+class SelfSender : public sim::Process {
+ public:
+  void OnStart() override {
+    for (int i = 0; i < 5; ++i) Send(id(), std::make_shared<SeqMsg>(i));
+  }
+  void OnMessage(sim::NodeId, const sim::Message& msg) override {
+    received.push_back(static_cast<const SeqMsg&>(msg).value);
+  }
+  std::vector<int> received;
+};
+
+TEST(SimEdgeTest, SelfMessagesArriveInSendOrder) {
+  sim::Simulation sim(1);
+  auto* node = sim.Spawn<SelfSender>();
+  sim.Start();
+  sim.RunFor(1 * kMillisecond);
+  EXPECT_EQ(node->received, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimEdgeTest, RunUntilRespectsDeadlineExactly) {
+  sim::Simulation sim(1);
+  bool fired = false;
+  sim.ScheduleAt(100, [&] { fired = true; });
+  // Deadline at exactly the event time: the event is included.
+  EXPECT_TRUE(sim.RunUntil([&] { return fired; }, 100));
+}
+
+TEST(SimEdgeTest, PartitionedSelfDeliveryStillWorks) {
+  // A node isolated from everyone can still message itself (local timers
+  // and self-sends must not be casualties of a network partition).
+  sim::Simulation sim(1);
+  auto* a = sim.Spawn<SelfSender>();
+  auto* b = sim.Spawn<SelfSender>();
+  sim.Partition({{a->id()}, {b->id()}});
+  sim.Start();
+  sim.RunFor(1 * kMillisecond);
+  EXPECT_EQ(a->received.size(), 5u);
+  EXPECT_EQ(b->received.size(), 5u);
+}
+
+}  // namespace
+}  // namespace consensus40

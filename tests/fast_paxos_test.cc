@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "paxos/fast_paxos.h"
+#include "sim/simulation.h"
+
+namespace consensus40::paxos {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+struct FpCluster {
+  explicit FpCluster(int n = 4, uint64_t seed = 1) : sim(seed) {
+    // Fixed 1ms delay makes message-delay counting exact.
+    sim.mutable_options().min_delay = 1 * kMillisecond;
+    sim.mutable_options().max_delay = 1 * kMillisecond;
+    FastPaxosOptions opts;
+    opts.n = n;
+    for (int i = 0; i < n; ++i) {
+      acceptors.push_back(sim.Spawn<FastPaxosAcceptor>(opts));
+    }
+  }
+
+  FastPaxosClient* AddClient(const std::string& value,
+                             sim::Duration send_at) {
+    clients.push_back(sim.Spawn<FastPaxosClient>(
+        static_cast<int>(acceptors.size()), value, send_at));
+    return clients.back();
+  }
+
+  FastPaxosAcceptor* coordinator() { return acceptors[0]; }
+
+  sim::Simulation sim;
+  std::vector<FastPaxosAcceptor*> acceptors;
+  std::vector<FastPaxosClient*> clients;
+};
+
+// The deck's fast round: a single client reaches decision in 2 message
+// delays (client->acceptors, acceptors->leader), vs Basic Paxos' 3.
+TEST(FastPaxosTest, FastRoundTakesTwoMessageDelays) {
+  FpCluster cluster;
+  cluster.AddClient("v", 10 * kMillisecond);
+  cluster.sim.Start();
+  ASSERT_TRUE(cluster.sim.RunUntil(
+      [&] { return cluster.coordinator()->chosen().has_value(); },
+      5 * kSecond));
+  EXPECT_EQ(*cluster.coordinator()->chosen(), "v");
+  // Client sent at t=10ms; with 1ms per hop the coordinator learns at 12ms.
+  EXPECT_EQ(cluster.coordinator()->chosen_at(), 12 * kMillisecond);
+  EXPECT_EQ(cluster.coordinator()->classic_rounds(), 0);
+}
+
+TEST(FastPaxosTest, AllAcceptorsLearn) {
+  FpCluster cluster;
+  cluster.AddClient("v", 10 * kMillisecond);
+  cluster.sim.Start();
+  ASSERT_TRUE(cluster.sim.RunUntil(
+      [&] {
+        for (const FastPaxosAcceptor* a : cluster.acceptors) {
+          if (!a->chosen()) return false;
+        }
+        return true;
+      },
+      5 * kSecond));
+  for (const FastPaxosAcceptor* a : cluster.acceptors) {
+    EXPECT_EQ(*a->chosen(), "v");
+  }
+}
+
+TEST(FastPaxosTest, ClientLearnsCommit) {
+  FpCluster cluster;
+  FastPaxosClient* client = cluster.AddClient("v", 10 * kMillisecond);
+  cluster.sim.Start();
+  ASSERT_TRUE(
+      cluster.sim.RunUntil([&] { return client->done(); }, 5 * kSecond));
+  // Commit reaches the client one hop after the coordinator chose (13ms).
+  EXPECT_EQ(client->done_at(), 13 * kMillisecond);
+}
+
+// Collision: two clients racing; acceptors split; the coordinator falls
+// back to a classic round and still decides exactly one of the two values.
+TEST(FastPaxosTest, CollisionRecoversViaClassicRound) {
+  bool saw_collision = false;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    FpCluster cluster(4, seed);
+    // Randomize per-acceptor arrival order by using a small delay spread.
+    cluster.sim.mutable_options().min_delay = 1 * kMillisecond;
+    cluster.sim.mutable_options().max_delay = 3 * kMillisecond;
+    cluster.AddClient("A", 10 * kMillisecond);
+    cluster.AddClient("B", 10 * kMillisecond);
+    cluster.sim.Start();
+    ASSERT_TRUE(cluster.sim.RunUntil(
+        [&] { return cluster.coordinator()->chosen().has_value(); },
+        10 * kSecond))
+        << "seed " << seed;
+    std::string v = *cluster.coordinator()->chosen();
+    EXPECT_TRUE(v == "A" || v == "B");
+    // Agreement across acceptors.
+    cluster.sim.RunFor(1 * kSecond);
+    for (const FastPaxosAcceptor* a : cluster.acceptors) {
+      ASSERT_TRUE(a->chosen().has_value());
+      EXPECT_EQ(*a->chosen(), v) << "seed " << seed;
+    }
+    if (cluster.coordinator()->classic_rounds() > 0) saw_collision = true;
+  }
+  EXPECT_TRUE(saw_collision) << "no seed produced a collision";
+}
+
+TEST(FastPaxosTest, NoCollisionWhenClientsSeparatedInTime) {
+  FpCluster cluster;
+  cluster.AddClient("first", 10 * kMillisecond);
+  cluster.AddClient("second", 200 * kMillisecond);
+  cluster.sim.Start();
+  cluster.sim.RunFor(1 * kSecond);
+  ASSERT_TRUE(cluster.coordinator()->chosen().has_value());
+  EXPECT_EQ(*cluster.coordinator()->chosen(), "first");
+  EXPECT_EQ(cluster.coordinator()->classic_rounds(), 0);
+}
+
+TEST(FastPaxosTest, ToleratesFCrashedAcceptors) {
+  FpCluster cluster(7);  // f = 2.
+  cluster.sim.Crash(5);
+  cluster.sim.Crash(6);
+  cluster.AddClient("v", 10 * kMillisecond);
+  cluster.sim.Start();
+  ASSERT_TRUE(cluster.sim.RunUntil(
+      [&] { return cluster.coordinator()->chosen().has_value(); },
+      5 * kSecond));
+  EXPECT_EQ(*cluster.coordinator()->chosen(), "v");
+}
+
+TEST(FastPaxosTest, LargerClusterStillTwoDelays) {
+  FpCluster cluster(10);  // f = 3, fast quorum = 7.
+  cluster.AddClient("v", 10 * kMillisecond);
+  cluster.sim.Start();
+  ASSERT_TRUE(cluster.sim.RunUntil(
+      [&] { return cluster.coordinator()->chosen().has_value(); },
+      5 * kSecond));
+  EXPECT_EQ(cluster.coordinator()->chosen_at(), 12 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace consensus40::paxos

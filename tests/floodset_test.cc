@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "agreement/floodset.h"
+
+namespace consensus40::agreement {
+namespace {
+
+CrashPlan NoCrashes(int n) {
+  CrashPlan plan;
+  plan.crash_round.assign(n, 1 << 20);
+  plan.reach.assign(n, n);
+  return plan;
+}
+
+std::vector<std::string> Values(int n) {
+  std::vector<std::string> values;
+  for (int i = 0; i < n; ++i) values.push_back("v" + std::to_string(i));
+  return values;
+}
+
+TEST(FloodSetTest, FaultFreeOneRoundSuffices) {
+  auto result = RunFloodSet(Values(5), NoCrashes(5), 1);
+  EXPECT_TRUE(FloodSetAgreement(result, NoCrashes(5), 1));
+  for (const auto& decision : result.decisions) EXPECT_EQ(decision, "v0");
+}
+
+TEST(FloodSetTest, FPlusOneRoundsBeatAdversarialCrashes) {
+  // f = 2 crashers, each disrupting one round with partial delivery.
+  int n = 6;
+  CrashPlan plan = NoCrashes(n);
+  plan.crash_round[0] = 1;  // v0's owner dies mid-broadcast in round 1...
+  plan.reach[0] = 2;        // ...reaching only process 1.
+  plan.crash_round[1] = 2;  // The only holder of v0 dies in round 2...
+  plan.reach[1] = 3;        // ...reaching only process 2.
+  auto result = RunFloodSet(Values(n), plan, /*rounds=*/3);  // f+1 = 3.
+  EXPECT_TRUE(FloodSetAgreement(result, plan, 3));
+  // Process 2 relayed v0 in the clean third round: everyone decides v0.
+  for (int i = 2; i < n; ++i) EXPECT_EQ(result.decisions[i], "v0");
+}
+
+TEST(FloodSetTest, TooFewRoundsCanDisagree) {
+  // The same adversary with only f = 2 rounds: process 2 knows v0 but
+  // others do not -> disagreement. This is WHY the bound is f+1.
+  int n = 6;
+  CrashPlan plan = NoCrashes(n);
+  plan.crash_round[0] = 1;
+  plan.reach[0] = 2;
+  plan.crash_round[1] = 2;
+  plan.reach[1] = 3;
+  auto result = RunFloodSet(Values(n), plan, /*rounds=*/2);
+  EXPECT_FALSE(FloodSetAgreement(result, plan, 2));
+}
+
+class FloodSetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FloodSetSweep, ChainedCrashersNeedExactlyFPlusOneRounds) {
+  // f crashers hand the minimum value down a chain, one per round.
+  int f = GetParam();
+  int n = f + 4;
+  CrashPlan plan = NoCrashes(n);
+  for (int i = 0; i < f; ++i) {
+    plan.crash_round[i] = i + 1;
+    plan.reach[i] = i + 2;  // Deliver only to the next crasher.
+  }
+  auto good = RunFloodSet(Values(n), plan, f + 1);
+  EXPECT_TRUE(FloodSetAgreement(good, plan, f + 1)) << "f=" << f;
+  if (f >= 1) {
+    auto bad = RunFloodSet(Values(n), plan, f);
+    EXPECT_FALSE(FloodSetAgreement(bad, plan, f)) << "f=" << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, FloodSetSweep, ::testing::Values(1, 2, 3, 4));
+
+TEST(FloodSetTest, ValidityDecisionWasSomeonesInput) {
+  int n = 5;
+  CrashPlan plan = NoCrashes(n);
+  plan.crash_round[3] = 1;
+  plan.reach[3] = 0;
+  auto result = RunFloodSet(Values(n), plan, 2);
+  for (int i = 0; i < n; ++i) {
+    if (plan.crash_round[i] <= 2) continue;
+    bool found = false;
+    for (const std::string& v : Values(n)) found |= (v == result.decisions[i]);
+    EXPECT_TRUE(found);
+  }
+}
+
+}  // namespace
+}  // namespace consensus40::agreement

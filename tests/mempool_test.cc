@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "blockchain/chain.h"
+#include "blockchain/mempool.h"
+#include "blockchain/miner.h"
+#include "sim/simulation.h"
+
+namespace consensus40::blockchain {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+Transaction Tx(const std::string& payload, int64_t fee = 1) {
+  Transaction tx;
+  tx.payload = payload;
+  tx.amount = 1;
+  tx.fee = fee;
+  return tx;
+}
+
+ChainOptions TestChain() {
+  ChainOptions opts;
+  opts.verify_pow = false;
+  opts.block_interval_secs = 10;
+  opts.retarget_interval = 1000;
+  opts.initial_reward = 50;
+  opts.halving_interval = 1u << 20;
+  return opts;
+}
+
+Block MakeBlock(const BlockTree& tree, const crypto::Digest& parent,
+                int32_t miner, uint32_t timestamp,
+                std::vector<Transaction> txs = {}) {
+  Block block;
+  block.header.prev_hash = parent;
+  block.header.timestamp = timestamp;
+  block.header.target = tree.NextTarget(parent);
+  block.miner = miner;
+  block.reward = tree.RewardAt(tree.HeightOf(parent) + 1);
+  block.txs = std::move(txs);
+  block.header.merkle_root = block.ComputeMerkleRoot();
+  return block;
+}
+
+TEST(MempoolTest, AddAndSelectByFee) {
+  Mempool pool;
+  EXPECT_TRUE(pool.Add(Tx("a", 1)));
+  EXPECT_TRUE(pool.Add(Tx("b", 5)));
+  EXPECT_TRUE(pool.Add(Tx("c", 3)));
+  EXPECT_FALSE(pool.Add(Tx("a", 1)));  // Duplicate.
+  auto picked = pool.Select(2);
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked[0].payload, "b");
+  EXPECT_EQ(picked[1].payload, "c");
+}
+
+TEST(MempoolTest, ConfirmationRemovesFromPending) {
+  Mempool pool;
+  Transaction tx = Tx("pay");
+  pool.Add(tx);
+  BlockTree tree(TestChain());
+  Block block = MakeBlock(tree, crypto::Digest{}, 0, 10, {tx});
+  ASSERT_TRUE(tree.AddBlock(block).ok());
+  pool.SyncWithChain(tree);
+  EXPECT_TRUE(pool.IsConfirmed(tx.Hash()));
+  EXPECT_FALSE(pool.IsPending(tx.Hash()));
+  EXPECT_EQ(pool.pending_count(), 0u);
+}
+
+// The deck's fork figure: "transactions in this block are aborted /
+// resubmitted" — a reorg returns the orphaned block's transactions to the
+// pool.
+TEST(MempoolTest, ReorgResubmitsAbandonedTransactions) {
+  Mempool pool;
+  Transaction tx = Tx("reorged-out");
+  pool.Add(tx);
+  BlockTree tree(TestChain());
+
+  // Branch A includes the transaction.
+  Block a1 = MakeBlock(tree, crypto::Digest{}, 1, 10, {tx});
+  ASSERT_TRUE(tree.AddBlock(a1).ok());
+  pool.SyncWithChain(tree);
+  EXPECT_TRUE(pool.IsConfirmed(tx.Hash()));
+
+  // Branch B (without the transaction) overtakes.
+  Block b1 = MakeBlock(tree, crypto::Digest{}, 2, 10);
+  ASSERT_TRUE(tree.AddBlock(b1).ok());
+  Block b2 = MakeBlock(tree, b1.Hash(), 2, 20);
+  ASSERT_TRUE(tree.AddBlock(b2).ok());
+  pool.SyncWithChain(tree);
+
+  EXPECT_FALSE(pool.IsConfirmed(tx.Hash()));
+  EXPECT_TRUE(pool.IsPending(tx.Hash()));  // Aborted, awaiting re-mining.
+  EXPECT_EQ(pool.resubmissions(), 1);
+}
+
+TEST(MempoolTest, ReconfirmationAfterResubmission) {
+  Mempool pool;
+  Transaction tx = Tx("eventually-confirmed");
+  pool.Add(tx);
+  BlockTree tree(TestChain());
+  Block a1 = MakeBlock(tree, crypto::Digest{}, 1, 10, {tx});
+  ASSERT_TRUE(tree.AddBlock(a1).ok());
+  pool.SyncWithChain(tree);
+  Block b1 = MakeBlock(tree, crypto::Digest{}, 2, 10);
+  Block b2 = MakeBlock(tree, b1.Hash(), 2, 20);
+  ASSERT_TRUE(tree.AddBlock(b1).ok());
+  ASSERT_TRUE(tree.AddBlock(b2).ok());
+  pool.SyncWithChain(tree);
+  ASSERT_TRUE(pool.IsPending(tx.Hash()));
+  // A later block on the B-branch re-mines it.
+  Block b3 = MakeBlock(tree, b2.Hash(), 2, 30, {tx});
+  ASSERT_TRUE(tree.AddBlock(b3).ok());
+  pool.SyncWithChain(tree);
+  EXPECT_TRUE(pool.IsConfirmed(tx.Hash()));
+  EXPECT_FALSE(pool.IsPending(tx.Hash()));
+}
+
+// End-to-end: transactions submitted at one miner get gossiped, mined,
+// and confirmed at every miner.
+TEST(MempoolTest, TransactionsFlowThroughMiningNetwork) {
+  sim::NetworkOptions net;
+  net.min_delay = 100 * kMillisecond;
+  net.max_delay = 500 * kMillisecond;
+  sim::Simulation sim(3, net);
+  MinerNetworkParams params;
+  params.chain = TestChain();
+  params.chain.block_interval_secs = 30;
+  params.initial_hash_total = 3;
+  std::vector<Miner*> miners;
+  for (int i = 0; i < 3; ++i) {
+    miners.push_back(sim.Spawn<Miner>(&params, 3, 1.0));
+  }
+  sim.Start();
+
+  std::vector<Transaction> txs;
+  for (int i = 0; i < 5; ++i) txs.push_back(Tx("tx" + std::to_string(i), i));
+  for (const Transaction& tx : txs) miners[0]->SubmitTransaction(tx);
+
+  sim.RunFor(1800 * kSecond);  // ~60 blocks.
+  for (Miner* m : miners) {
+    for (const Transaction& tx : txs) {
+      EXPECT_TRUE(m->mempool().IsConfirmed(tx.Hash()))
+          << "miner " << m->id() << " tx " << tx.payload;
+    }
+  }
+}
+
+TEST(SelfishMinerTest, MinorityAttackerGainsNothing) {
+  // At ~20% hash power (gamma ~ 0) selfish mining LOSES revenue.
+  sim::NetworkOptions net;
+  net.min_delay = 50 * kMillisecond;
+  net.max_delay = 200 * kMillisecond;
+  sim::Simulation sim(11, net);
+  MinerNetworkParams params;
+  params.chain = TestChain();
+  params.chain.block_interval_secs = 60;
+  params.initial_hash_total = 10;
+  auto* attacker = sim.Spawn<SelfishMiner>(&params, 4, 2.0);  // 20%.
+  std::vector<Miner*> honest;
+  for (int i = 0; i < 3; ++i) {
+    honest.push_back(sim.Spawn<Miner>(&params, 4, 8.0 / 3));
+  }
+  sim.Start();
+  sim.RunFor(200000 * kSecond);
+  auto rewards = honest[0]->tree().RewardsByMiner();
+  int64_t total = 0;
+  for (const auto& [m, r] : rewards) total += r;
+  ASSERT_GT(total, 0);
+  double share = static_cast<double>(rewards[attacker->id()]) / total;
+  EXPECT_LT(share, 0.20) << "a 20% selfish miner should earn LESS than 20%";
+  EXPECT_GT(attacker->blocks_withheld_total(), 0);
+}
+
+TEST(SelfishMinerTest, LargeAttackerProfitsAboveFairShare) {
+  // At 45% hash power selfish mining beats honest mining decisively.
+  sim::NetworkOptions net;
+  net.min_delay = 50 * kMillisecond;
+  net.max_delay = 200 * kMillisecond;
+  sim::Simulation sim(13, net);
+  MinerNetworkParams params;
+  params.chain = TestChain();
+  params.chain.block_interval_secs = 60;
+  params.initial_hash_total = 20;
+  auto* attacker = sim.Spawn<SelfishMiner>(&params, 4, 9.0);  // 45%.
+  std::vector<Miner*> honest;
+  for (int i = 0; i < 3; ++i) {
+    honest.push_back(sim.Spawn<Miner>(&params, 4, 11.0 / 3));
+  }
+  sim.Start();
+  sim.RunFor(200000 * kSecond);
+  auto rewards = honest[0]->tree().RewardsByMiner();
+  int64_t total = 0;
+  for (const auto& [m, r] : rewards) total += r;
+  ASSERT_GT(total, 0);
+  double share = static_cast<double>(rewards[attacker->id()]) / total;
+  EXPECT_GT(share, 0.48) << "a 45% selfish miner should beat its fair share";
+}
+
+TEST(SelfishMinerTest, HonestChainPrefixStillConverges) {
+  sim::NetworkOptions net;
+  net.min_delay = 50 * kMillisecond;
+  net.max_delay = 200 * kMillisecond;
+  sim::Simulation sim(17, net);
+  MinerNetworkParams params;
+  params.chain = TestChain();
+  params.chain.block_interval_secs = 60;
+  params.initial_hash_total = 10;
+  sim.Spawn<SelfishMiner>(&params, 4, 3.0);
+  std::vector<Miner*> honest;
+  for (int i = 0; i < 3; ++i) {
+    honest.push_back(sim.Spawn<Miner>(&params, 4, 7.0 / 3));
+  }
+  sim.Start();
+  sim.RunFor(30000 * kSecond);
+  // The honest miners share a common prefix (the attack shifts revenue
+  // but cannot split the honest view beyond the propagating tail).
+  auto chain0 = honest[0]->tree().BestChain();
+  for (Miner* m : honest) {
+    auto chain = m->tree().BestChain();
+    size_t overlap = std::min(chain.size(), chain0.size());
+    for (size_t i = 0; i + 3 < overlap; ++i) {
+      ASSERT_EQ(chain[i], chain0[i]) << "prefix diverges at " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace consensus40::blockchain

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "oracle/ct_consensus.h"
+#include "oracle/failure_detector.h"
+#include "sim/simulation.h"
+
+namespace consensus40::oracle {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+TEST(HeartbeatDetectorTest, SuspectsAfterTimeout) {
+  HeartbeatDetector fd;
+  fd.Touch(1, 0);
+  EXPECT_FALSE(fd.Suspects(1, 40 * kMillisecond));
+  EXPECT_TRUE(fd.Suspects(1, 60 * kMillisecond));
+}
+
+TEST(HeartbeatDetectorTest, NeverHeardIsNotSuspected) {
+  HeartbeatDetector fd;
+  EXPECT_FALSE(fd.Suspects(7, 10 * kSecond));
+}
+
+TEST(HeartbeatDetectorTest, FalseSuspicionRaisesTimeoutPermanently) {
+  HeartbeatDetector fd;
+  fd.Touch(1, 0);
+  EXPECT_TRUE(fd.Suspects(1, 60 * kMillisecond));
+  fd.OnFalseSuspicion(1);
+  EXPECT_FALSE(fd.Suspects(1, 60 * kMillisecond));  // Now 75ms of patience.
+  EXPECT_TRUE(fd.Suspects(1, 100 * kMillisecond));
+  EXPECT_EQ(fd.false_suspicions(), 1);
+}
+
+struct CtCluster {
+  CtCluster(const std::vector<std::string>& inputs, uint64_t seed = 1) {
+    sim = std::make_unique<sim::Simulation>(seed);
+    CtOptions opts;
+    opts.n = static_cast<int>(inputs.size());
+    for (const std::string& v : inputs) {
+      nodes.push_back(sim->Spawn<CtNode>(opts, v));
+    }
+  }
+
+  bool AllDecided() const {
+    for (const CtNode* node : nodes) {
+      if (!sim->IsCrashed(node->id()) && !node->decided()) return false;
+    }
+    return true;
+  }
+
+  std::string DecidedValue() const {
+    std::string value;
+    for (const CtNode* node : nodes) {
+      if (!node->decided()) continue;
+      if (value.empty()) {
+        value = *node->decided();
+      } else {
+        EXPECT_EQ(value, *node->decided());
+      }
+    }
+    EXPECT_FALSE(value.empty());
+    return value;
+  }
+
+  std::unique_ptr<sim::Simulation> sim;
+  std::vector<CtNode*> nodes;
+};
+
+TEST(CtConsensusTest, FaultFreeDecidesQuickly) {
+  CtCluster cluster({"a", "b", "c", "d", "e"});
+  cluster.sim->Start();
+  ASSERT_TRUE(cluster.sim->RunUntil([&] { return cluster.AllDecided(); },
+                                    30 * kSecond));
+  std::string v = cluster.DecidedValue();
+  EXPECT_TRUE(v == "a" || v == "b" || v == "c" || v == "d" || v == "e");
+}
+
+TEST(CtConsensusTest, CoordinatorCrashRotatesOn) {
+  CtCluster cluster({"a", "b", "c", "d", "e"});
+  cluster.sim->Crash(0);  // The round-0 coordinator is dead from the start.
+  cluster.sim->Start();
+  ASSERT_TRUE(cluster.sim->RunUntil([&] { return cluster.AllDecided(); },
+                                    60 * kSecond));
+  cluster.DecidedValue();
+  // The detector did the unblocking: everyone moved past round 0.
+  for (const CtNode* node : cluster.nodes) {
+    if (cluster.sim->IsCrashed(node->id())) continue;
+    EXPECT_GE(node->round(), 1);
+  }
+}
+
+TEST(CtConsensusTest, ToleratesMinorityCrashesAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    CtCluster cluster({"a", "b", "c", "d", "e"}, seed);
+    cluster.sim->Crash(1);
+    cluster.sim->Crash(3);  // f = 2 < n/2.
+    cluster.sim->Start();
+    ASSERT_TRUE(cluster.sim->RunUntil([&] { return cluster.AllDecided(); },
+                                      120 * kSecond))
+        << "seed " << seed;
+    cluster.DecidedValue();
+  }
+}
+
+TEST(CtConsensusTest, MidRunCrashStillTerminates) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    CtCluster cluster({"x", "y", "z"}, seed);
+    cluster.sim->Start();
+    cluster.sim->ScheduleAfter(5 * kMillisecond,
+                               [&] { cluster.sim->Crash(0); });
+    ASSERT_TRUE(cluster.sim->RunUntil([&] { return cluster.AllDecided(); },
+                                      120 * kSecond))
+        << "seed " << seed;
+    cluster.DecidedValue();
+  }
+}
+
+// Safety does not depend on the detector: with a hyper-aggressive timeout
+// every suspicion is false, rounds churn, but the decided value stays
+// unique (and the adaptive timeouts eventually calm down => termination).
+TEST(CtConsensusTest, LousyDetectorHurtsOnlyLiveness) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    sim::NetworkOptions net;
+    net.min_delay = 5 * kMillisecond;
+    net.max_delay = 15 * kMillisecond;
+    sim::Simulation sim(seed, net);
+    CtOptions opts;
+    opts.n = 5;
+    opts.detector.initial_timeout = 6 * kMillisecond;  // Far too jumpy.
+    opts.detector.timeout_increment = 5 * kMillisecond;
+    std::vector<CtNode*> nodes;
+    for (int i = 0; i < 5; ++i) {
+      nodes.push_back(sim.Spawn<CtNode>(opts, "v" + std::to_string(i)));
+    }
+    sim.Start();
+    ASSERT_TRUE(sim.RunUntil(
+        [&] {
+          for (auto* n : nodes) {
+            if (!n->decided()) return false;
+          }
+          return true;
+        },
+        240 * kSecond))
+        << "seed " << seed;
+    std::string v = *nodes[0]->decided();
+    int false_suspicions = 0;
+    for (auto* n : nodes) {
+      EXPECT_EQ(*n->decided(), v);
+      false_suspicions += n->false_suspicions();
+    }
+    // The jumpy detector did mis-fire, yet agreement held.
+    EXPECT_GT(false_suspicions, 0) << "seed " << seed;
+  }
+}
+
+TEST(CtConsensusTest, ValidityDecidedValueWasProposed) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    CtCluster cluster({"p", "q", "r"}, seed);
+    cluster.sim->Start();
+    ASSERT_TRUE(cluster.sim->RunUntil([&] { return cluster.AllDecided(); },
+                                      60 * kSecond));
+    std::string v = cluster.DecidedValue();
+    EXPECT_TRUE(v == "p" || v == "q" || v == "r") << v;
+  }
+}
+
+}  // namespace
+}  // namespace consensus40::oracle

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "paxos/ballot.h"
+#include "paxos/paxos.h"
+#include "sim/simulation.h"
+
+namespace consensus40::paxos {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+TEST(BallotTest, TotalOrder) {
+  Ballot a{1, 1}, b{1, 2}, c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a, (Ballot{1, 1}));
+  EXPECT_TRUE(Ballot{}.IsZero());
+  EXPECT_EQ(Ballot::Successor({3, 7}, 2), (Ballot{4, 2}));
+}
+
+struct PaxosCluster {
+  explicit PaxosCluster(int n, uint64_t seed = 1,
+                        PaxosOptions base = PaxosOptions())
+      : sim(seed) {
+    base.n = n;
+    for (int i = 0; i < n; ++i) nodes.push_back(sim.Spawn<PaxosNode>(base));
+    sim.Start();
+  }
+
+  bool AllDecided() const {
+    for (const PaxosNode* node : nodes) {
+      if (!sim.IsCrashed(node->id()) && !node->decided()) return false;
+    }
+    return true;
+  }
+
+  /// Returns the unique decided value; fails the test on disagreement.
+  std::string DecidedValue() const {
+    std::string value;
+    for (const PaxosNode* node : nodes) {
+      if (!node->decided()) continue;
+      if (value.empty()) {
+        value = *node->decided();
+      } else {
+        EXPECT_EQ(value, *node->decided()) << "agreement violated";
+      }
+    }
+    EXPECT_FALSE(value.empty()) << "nothing decided";
+    return value;
+  }
+
+  void ExpectNoViolations() const {
+    for (const PaxosNode* node : nodes) {
+      EXPECT_TRUE(node->violations().empty())
+          << "node " << node->id() << ": " << node->violations()[0];
+    }
+  }
+
+  sim::Simulation sim;
+  std::vector<PaxosNode*> nodes;
+};
+
+TEST(PaxosTest, SingleProposerDecides) {
+  PaxosCluster cluster(5);
+  cluster.nodes[0]->Propose("v");
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return cluster.AllDecided(); },
+                                   5 * kSecond));
+  EXPECT_EQ(cluster.DecidedValue(), "v");
+  cluster.ExpectNoViolations();
+}
+
+TEST(PaxosTest, OnlyProposedValuesChosen) {
+  PaxosCluster cluster(5);
+  cluster.nodes[1]->Propose("a");
+  cluster.nodes[3]->Propose("b");
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return cluster.AllDecided(); },
+                                   10 * kSecond));
+  std::string v = cluster.DecidedValue();
+  EXPECT_TRUE(v == "a" || v == "b") << v;
+  cluster.ExpectNoViolations();
+}
+
+TEST(PaxosTest, ConcurrentProposersAgree) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    PaxosCluster cluster(5, seed);
+    for (int i = 0; i < 5; ++i) {
+      cluster.nodes[i]->Propose("v" + std::to_string(i));
+    }
+    ASSERT_TRUE(cluster.sim.RunUntil([&] { return cluster.AllDecided(); },
+                                     30 * kSecond))
+        << "seed " << seed;
+    cluster.DecidedValue();
+    cluster.ExpectNoViolations();
+  }
+}
+
+TEST(PaxosTest, ToleratesMinorityCrash) {
+  PaxosCluster cluster(5);
+  cluster.sim.Crash(3);
+  cluster.sim.Crash(4);
+  cluster.nodes[0]->Propose("survivor");
+  ASSERT_TRUE(cluster.sim.RunUntil(
+      [&] {
+        return cluster.nodes[0]->decided() && cluster.nodes[1]->decided() &&
+               cluster.nodes[2]->decided();
+      },
+      10 * kSecond));
+  EXPECT_EQ(cluster.DecidedValue(), "survivor");
+}
+
+TEST(PaxosTest, NoProgressWithoutQuorum) {
+  PaxosCluster cluster(5);
+  cluster.sim.Crash(2);
+  cluster.sim.Crash(3);
+  cluster.sim.Crash(4);
+  cluster.nodes[0]->Propose("stuck");
+  EXPECT_FALSE(cluster.sim.RunUntil([&] { return cluster.AllDecided(); },
+                                    3 * kSecond));
+  EXPECT_FALSE(cluster.nodes[0]->decided());
+}
+
+// The deck's leader-crash figure: leader gets a value accepted by a majority
+// then crashes; the new leader must recover v via AcceptNum/AcceptVal.
+TEST(PaxosTest, NewLeaderRecoversChosenValue) {
+  PaxosCluster cluster(5);
+  cluster.nodes[0]->Propose("chosen-before-crash");
+  // Run until a majority accepted the value (observe acceptor state).
+  ASSERT_TRUE(cluster.sim.RunUntil(
+      [&] {
+        int accepted = 0;
+        for (const PaxosNode* node : cluster.nodes) {
+          if (node->accept_val() &&
+              *node->accept_val() == "chosen-before-crash") {
+            ++accepted;
+          }
+        }
+        return accepted >= 3;
+      },
+      5 * kSecond));
+  cluster.sim.Crash(0);
+
+  // A different proposer with a different value must still decide the
+  // already-chosen value.
+  cluster.nodes[1]->Propose("usurper");
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return cluster.AllDecided(); },
+                                   10 * kSecond));
+  EXPECT_EQ(cluster.DecidedValue(), "chosen-before-crash");
+  cluster.ExpectNoViolations();
+}
+
+// Stability: once decided, later proposals cannot change the value.
+TEST(PaxosTest, DecisionIsStable) {
+  PaxosCluster cluster(5);
+  cluster.nodes[0]->Propose("first");
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return cluster.AllDecided(); },
+                                   5 * kSecond));
+  cluster.nodes[4]->Propose("late");
+  cluster.sim.RunFor(2 * kSecond);
+  EXPECT_EQ(cluster.DecidedValue(), "first");
+  cluster.ExpectNoViolations();
+}
+
+// Acceptor state survives crash+restart (stable storage); decision safety
+// holds across restarts.
+TEST(PaxosTest, AcceptorStateSurvivesRestart) {
+  PaxosCluster cluster(5);
+  cluster.nodes[0]->Propose("durable");
+  ASSERT_TRUE(cluster.sim.RunUntil(
+      [&] {
+        return cluster.nodes[1]->accept_val() &&
+               cluster.nodes[2]->accept_val();
+      },
+      5 * kSecond));
+  cluster.sim.Crash(1);
+  cluster.sim.Crash(2);
+  cluster.sim.RunFor(100 * kMillisecond);
+  cluster.sim.Restart(1);
+  cluster.sim.Restart(2);
+  EXPECT_TRUE(cluster.nodes[1]->accept_val() ||
+              cluster.nodes[2]->accept_val());
+  cluster.nodes[3]->Propose("challenger");
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return cluster.AllDecided(); },
+                                   10 * kSecond));
+  EXPECT_EQ(cluster.DecidedValue(), "durable");
+}
+
+// The deck's livelock figure: with deterministic zero backoff and slow
+// accept messages, two dueling proposers preempt each other forever.
+TEST(PaxosLivenessTest, DuelingProposersLivelock) {
+  PaxosOptions opts;
+  opts.randomized_backoff = false;
+  opts.retry_delay = 0;
+  PaxosCluster cluster(5, 1, opts);
+  // Control-plane messages fast (1ms), accepts slow (3ms): each proposer's
+  // re-prepare always lands between the other's promise and accept.
+  cluster.sim.SetDelayFn([](const sim::Envelope& e) -> sim::Duration {
+    if (std::string(e.msg->TypeName()) == "accept") return 3 * kMillisecond;
+    if (e.from == e.to) return 0;
+    return 1 * kMillisecond;
+  });
+  cluster.nodes[0]->Propose("x");
+  cluster.sim.ScheduleAfter(2500, [&] { cluster.nodes[4]->Propose("y"); });
+  EXPECT_FALSE(
+      cluster.sim.RunUntil([&] { return cluster.AllDecided(); }, 2 * kSecond));
+  // Both proposers kept re-preparing.
+  EXPECT_GT(cluster.nodes[0]->prepare_attempts(), 50);
+  EXPECT_GT(cluster.nodes[4]->prepare_attempts(), 50);
+  cluster.ExpectNoViolations();  // Livelock is a liveness, not safety, issue.
+}
+
+// The deck's fix: "randomized delay before restarting" restores progress
+// under the exact same adversarial delays.
+TEST(PaxosLivenessTest, RandomizedBackoffBreaksLivelock) {
+  PaxosOptions opts;
+  opts.randomized_backoff = true;
+  opts.retry_delay = 5 * kMillisecond;
+  PaxosCluster cluster(5, 1, opts);
+  cluster.sim.SetDelayFn([](const sim::Envelope& e) -> sim::Duration {
+    if (std::string(e.msg->TypeName()) == "accept") return 3 * kMillisecond;
+    if (e.from == e.to) return 0;
+    return 1 * kMillisecond;
+  });
+  cluster.nodes[0]->Propose("x");
+  cluster.sim.ScheduleAfter(2500, [&] { cluster.nodes[4]->Propose("y"); });
+  EXPECT_TRUE(
+      cluster.sim.RunUntil([&] { return cluster.AllDecided(); }, 30 * kSecond));
+  cluster.DecidedValue();
+  cluster.ExpectNoViolations();
+}
+
+// Flexible Paxos via unequal quorums: q1=4, q2=2 on n=5 (q1+q2>n) is safe.
+TEST(FlexiblePaxosTest, SmallReplicationQuorumStaysSafe) {
+  PaxosOptions opts;
+  opts.q1 = 4;
+  opts.q2 = 2;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    PaxosCluster cluster(5, seed, opts);
+    cluster.nodes[0]->Propose("a");
+    cluster.nodes[1]->Propose("b");
+    ASSERT_TRUE(cluster.sim.RunUntil([&] { return cluster.AllDecided(); },
+                                     30 * kSecond))
+        << seed;
+    cluster.DecidedValue();
+    cluster.ExpectNoViolations();
+  }
+}
+
+// Live grid quorums (Flexible Paxos's set-structured example): on a 2x3
+// grid, phase 1 needs one full COLUMN (2 nodes) and phase 2 one full ROW
+// (3 nodes) — neither is a majority of 6, yet every column meets every row.
+TEST(FlexiblePaxosTest, GridQuorumsDecideAndStaySafe) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    core::GridQuorum grid(2, 3);  // ids: r*3+c.
+    PaxosOptions opts;
+    opts.quorum_system = &grid;
+    PaxosCluster cluster(6, seed, opts);
+    cluster.nodes[0]->Propose("grid-a");
+    cluster.nodes[5]->Propose("grid-b");
+    ASSERT_TRUE(cluster.sim.RunUntil([&] { return cluster.AllDecided(); },
+                                     60 * kSecond))
+        << "seed " << seed;
+    cluster.DecidedValue();
+    cluster.ExpectNoViolations();
+  }
+}
+
+// Grid liveness boundary: a replication quorum needs one complete row, so
+// one crash per row stalls phase 2 (while a threshold system with q2=3
+// would have survived). Fault tolerance is shaped, not just sized.
+TEST(FlexiblePaxosTest, GridStallsWithoutACompleteRow) {
+  core::GridQuorum grid(2, 3);
+  PaxosOptions opts;
+  opts.quorum_system = &grid;
+  PaxosCluster cluster(6, 1, opts);
+  cluster.sim.Crash(1);  // Row 0 = {0,1,2} broken.
+  cluster.sim.Crash(4);  // Row 1 = {3,4,5} broken.
+  cluster.nodes[0]->Propose("stuck");
+  EXPECT_FALSE(cluster.sim.RunUntil([&] { return cluster.AllDecided(); },
+                                    5 * kSecond));
+}
+
+// Demonstration (negative control): non-intersecting quorums (q1+q2<=n) can
+// decide two different values — exactly why Flexible Paxos requires
+// Q1 x Q2 intersection.
+TEST(FlexiblePaxosTest, NonIntersectingQuorumsViolateSafety) {
+  PaxosOptions opts;
+  opts.q1 = 2;
+  opts.q2 = 2;  // q1+q2 = 4 <= n = 5: unsafe configuration.
+  bool saw_divergence = false;
+  for (uint64_t seed = 1; seed <= 40 && !saw_divergence; ++seed) {
+    PaxosCluster cluster(5, seed, opts);
+    // Partition so each proposer reaches a disjoint pair of acceptors.
+    cluster.sim.Partition({{0, 1}, {3, 4}, {2}});
+    cluster.nodes[0]->Propose("left");
+    cluster.nodes[4]->Propose("right");
+    cluster.sim.RunFor(3 * kSecond);
+    std::set<std::string> decided;
+    for (const PaxosNode* node : cluster.nodes) {
+      if (node->decided()) decided.insert(*node->decided());
+    }
+    if (decided.size() > 1) saw_divergence = true;
+  }
+  EXPECT_TRUE(saw_divergence)
+      << "expected at least one run to decide two values";
+}
+
+}  // namespace
+}  // namespace consensus40::paxos

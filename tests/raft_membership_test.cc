@@ -1,0 +1,199 @@
+// Raft membership reconfiguration — the deck's "Group Membership" entry in
+// the equivalent-problems slide: configuration changes flow through the
+// same replicated log as ordinary commands (single-server-change rule,
+// effective when appended).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "raft/raft.h"
+#include "sim/simulation.h"
+
+namespace consensus40::raft {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+struct World {
+  explicit World(uint64_t seed = 1) : sim(seed) {}
+
+  RaftReplica* SpawnReplica(const std::vector<sim::NodeId>& config,
+                            bool passive) {
+    RaftOptions opts;
+    opts.n = static_cast<int>(config.size());
+    opts.initial_config = config;
+    opts.join_passive = passive;
+    replicas.push_back(sim.Spawn<RaftReplica>(opts));
+    return replicas.back();
+  }
+
+  RaftReplica* Leader() {
+    for (RaftReplica* r : replicas) {
+      if (r->IsLeader() && !sim.IsCrashed(r->id())) return r;
+    }
+    return nullptr;
+  }
+
+  bool WaitForLeader() {
+    return sim.RunUntil([&] { return Leader() != nullptr; }, 30 * kSecond);
+  }
+
+  sim::Simulation sim;
+  std::vector<RaftReplica*> replicas;
+};
+
+TEST(RaftMembershipTest, ConfigCommandRoundTrips) {
+  smr::Command cmd = RaftReplica::MakeConfigCommand({0, 2, 5});
+  auto parsed = RaftReplica::ParseConfig(cmd);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, (std::vector<sim::NodeId>{0, 2, 5}));
+  // Ordinary commands don't parse as configs.
+  EXPECT_FALSE(RaftReplica::ParseConfig(smr::Command{1, 1, "PUT x 1"}));
+}
+
+TEST(RaftMembershipTest, GrowThreeToFive) {
+  World w;
+  std::vector<sim::NodeId> initial = {0, 1, 2};
+  for (int i = 0; i < 3; ++i) w.SpawnReplica(initial, false);
+  // The two future members exist from the start but stay passive.
+  std::vector<sim::NodeId> full = {0, 1, 2, 3, 4};
+  w.SpawnReplica(initial, true);  // id 3: passive until contacted.
+  w.SpawnReplica(initial, true);  // id 4.
+  auto* client = w.sim.Spawn<RaftClient>(3, 20);
+  w.sim.Start();
+
+  ASSERT_TRUE(w.sim.RunUntil([&] { return client->completed() >= 5; },
+                             60 * kSecond));
+  // Add servers one at a time (the single-server-change rule).
+  ASSERT_TRUE(w.WaitForLeader());
+  ASSERT_TRUE(w.Leader()->ChangeConfig({0, 1, 2, 3}).ok());
+  ASSERT_TRUE(w.sim.RunUntil(
+      [&] {
+        RaftReplica* leader = w.Leader();
+        return leader != nullptr && leader->config().size() == 4 &&
+               leader->commit_index() > 0 &&
+               leader->ChangeConfig({0, 1, 2, 3, 4}).ok();
+      },
+      60 * kSecond));
+
+  ASSERT_TRUE(w.sim.RunUntil([&] { return client->done(); }, 120 * kSecond));
+  w.sim.RunFor(2 * kSecond);
+  // All five replicas converged on the config and the data.
+  for (RaftReplica* r : w.replicas) {
+    EXPECT_EQ(r->config().size(), 5u) << r->id();
+    EXPECT_EQ(*r->kv().Get("x"), "20") << r->id();
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(client->results()[i], std::to_string(i + 1));
+  }
+}
+
+TEST(RaftMembershipTest, GrownClusterUsesNewMajority) {
+  // After growing 3 -> 5, two crashes must still be tolerated (the old
+  // 3-node cluster would have stalled).
+  World w(3);
+  std::vector<sim::NodeId> initial = {0, 1, 2};
+  for (int i = 0; i < 3; ++i) w.SpawnReplica(initial, false);
+  w.SpawnReplica(initial, true);
+  w.SpawnReplica(initial, true);
+  auto* client = w.sim.Spawn<RaftClient>(5, 25);
+  w.sim.Start();
+  ASSERT_TRUE(w.sim.RunUntil([&] { return client->completed() >= 3; },
+                             60 * kSecond));
+  ASSERT_TRUE(w.WaitForLeader());
+  ASSERT_TRUE(w.Leader()->ChangeConfig({0, 1, 2, 3}).ok());
+  ASSERT_TRUE(w.sim.RunUntil(
+      [&] {
+        RaftReplica* leader = w.Leader();
+        return leader != nullptr &&
+               leader->ChangeConfig({0, 1, 2, 3, 4}).ok();
+      },
+      60 * kSecond));
+  ASSERT_TRUE(w.sim.RunUntil([&] { return client->completed() >= 10; },
+                             120 * kSecond));
+  // Kill two of the ORIGINAL members.
+  sim::NodeId leader_id = w.Leader()->id();
+  int killed = 0;
+  for (sim::NodeId victim : {0, 1, 2}) {
+    if (victim != leader_id && killed < 2) {
+      w.sim.Crash(victim);
+      ++killed;
+    }
+  }
+  if (killed < 2) w.sim.Crash(leader_id);
+  ASSERT_TRUE(w.sim.RunUntil([&] { return client->done(); }, 240 * kSecond));
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_EQ(client->results()[i], std::to_string(i + 1)) << i;
+  }
+}
+
+TEST(RaftMembershipTest, RemoveServerShrinksQuorum) {
+  World w(5);
+  std::vector<sim::NodeId> initial = {0, 1, 2, 3, 4};
+  for (int i = 0; i < 5; ++i) w.SpawnReplica(initial, false);
+  auto* client = w.sim.Spawn<RaftClient>(5, 20);
+  w.sim.Start();
+  ASSERT_TRUE(w.sim.RunUntil([&] { return client->completed() >= 3; },
+                             60 * kSecond));
+  // Remove two followers, one at a time.
+  ASSERT_TRUE(w.WaitForLeader());
+  sim::NodeId leader_id = w.Leader()->id();
+  std::vector<sim::NodeId> still = initial;
+  std::vector<sim::NodeId> removed;
+  for (sim::NodeId candidate : initial) {
+    if (candidate != leader_id && removed.size() < 2) {
+      removed.push_back(candidate);
+    }
+  }
+  std::vector<sim::NodeId> after_first;
+  for (sim::NodeId m : initial) {
+    if (m != removed[0]) after_first.push_back(m);
+  }
+  std::vector<sim::NodeId> after_second;
+  for (sim::NodeId m : after_first) {
+    if (m != removed[1]) after_second.push_back(m);
+  }
+  ASSERT_TRUE(w.Leader()->ChangeConfig(after_first).ok());
+  ASSERT_TRUE(w.sim.RunUntil(
+      [&] {
+        RaftReplica* leader = w.Leader();
+        return leader != nullptr && leader->ChangeConfig(after_second).ok();
+      },
+      60 * kSecond));
+  // The removed servers can even be shut off entirely.
+  w.sim.Crash(removed[0]);
+  w.sim.Crash(removed[1]);
+  ASSERT_TRUE(w.sim.RunUntil([&] { return client->done(); }, 240 * kSecond));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(client->results()[i], std::to_string(i + 1)) << i;
+  }
+  // The survivors agree on the 3-member config.
+  for (sim::NodeId m : after_second) {
+    EXPECT_EQ(w.replicas[m]->config().size(), 3u) << m;
+  }
+}
+
+TEST(RaftMembershipTest, OnlyOneChangeInFlight) {
+  World w(7);
+  std::vector<sim::NodeId> initial = {0, 1, 2};
+  for (int i = 0; i < 3; ++i) w.SpawnReplica(initial, false);
+  w.SpawnReplica(initial, true);
+  w.sim.Start();
+  ASSERT_TRUE(w.WaitForLeader());
+  RaftReplica* leader = w.Leader();
+  ASSERT_TRUE(leader->ChangeConfig({0, 1, 2, 3}).ok());
+  // Immediately trying another change must fail until the first commits.
+  EXPECT_TRUE(leader->ChangeConfig({0, 1, 2}).IsFailedPrecondition());
+  // Non-leaders cannot reconfigure.
+  for (RaftReplica* r : w.replicas) {
+    if (r != leader) {
+      EXPECT_TRUE(r->ChangeConfig({0, 1}).IsFailedPrecondition());
+    }
+  }
+  EXPECT_TRUE(leader->ChangeConfig({}).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace consensus40::raft

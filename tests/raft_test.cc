@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "raft/raft.h"
+#include "sim/simulation.h"
+#include "smr/state_machine.h"
+
+namespace consensus40::raft {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+struct RaftCluster {
+  explicit RaftCluster(int n, uint64_t seed = 1,
+                       RaftOptions base = RaftOptions())
+      : sim(seed) {
+    base.n = n;
+    for (int i = 0; i < n; ++i) {
+      replicas.push_back(sim.Spawn<RaftReplica>(base));
+    }
+  }
+
+  RaftClient* AddClient(int ops, const std::string& key = "x") {
+    clients.push_back(sim.Spawn<RaftClient>(
+        static_cast<int>(replicas.size()), ops, key));
+    return clients.back();
+  }
+
+  sim::NodeId CurrentLeader() const {
+    for (const RaftReplica* r : replicas) {
+      if (r->IsLeader() && !sim.IsCrashed(r->id())) return r->id();
+    }
+    return sim::kInvalidNode;
+  }
+
+  int CountLeadersInTerm(int64_t term) const {
+    int leaders = 0;
+    for (const RaftReplica* r : replicas) {
+      if (r->IsLeader() && r->current_term() == term) ++leaders;
+    }
+    return leaders;
+  }
+
+  void CheckSafety() const {
+    // Committed prefixes must agree pairwise (State Machine Safety).
+    for (size_t a = 0; a < replicas.size(); ++a) {
+      for (size_t b = a + 1; b < replicas.size(); ++b) {
+        auto ca = replicas[a]->CommittedCommands();
+        auto cb = replicas[b]->CommittedCommands();
+        size_t overlap = std::min(ca.size(), cb.size());
+        for (size_t i = 0; i < overlap; ++i) {
+          ASSERT_TRUE(ca[i] == cb[i])
+              << "replicas " << a << "," << b << " diverge at " << i;
+        }
+      }
+    }
+    for (const RaftReplica* r : replicas) {
+      EXPECT_TRUE(r->violations().empty())
+          << "replica " << r->id() << ": " << r->violations()[0];
+    }
+  }
+
+  sim::Simulation sim;
+  std::vector<RaftReplica*> replicas;
+  std::vector<RaftClient*> clients;
+};
+
+TEST(RaftTest, ElectsExactlyOneLeaderPerTerm) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    RaftCluster cluster(5, seed);
+    cluster.sim.Start();
+    ASSERT_TRUE(cluster.sim.RunUntil(
+        [&] { return cluster.CurrentLeader() != sim::kInvalidNode; },
+        10 * kSecond))
+        << "seed " << seed;
+    // Never two leaders in the same term.
+    for (const RaftReplica* r : cluster.replicas) {
+      if (r->IsLeader()) {
+        EXPECT_EQ(cluster.CountLeadersInTerm(r->current_term()), 1);
+      }
+    }
+  }
+}
+
+TEST(RaftTest, ClientCommandsCommitInOrder) {
+  RaftCluster cluster(5);
+  RaftClient* client = cluster.AddClient(25);
+  cluster.sim.Start();
+  ASSERT_TRUE(
+      cluster.sim.RunUntil([&] { return client->done(); }, 60 * kSecond));
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_EQ(client->results()[i], std::to_string(i + 1));
+  }
+  cluster.CheckSafety();
+}
+
+TEST(RaftTest, ReplicasConverge) {
+  RaftCluster cluster(5);
+  cluster.AddClient(10, "a");
+  cluster.AddClient(10, "b");
+  cluster.sim.Start();
+  ASSERT_TRUE(cluster.sim.RunUntil(
+      [&] {
+        for (const RaftClient* c : cluster.clients) {
+          if (!c->done()) return false;
+        }
+        return true;
+      },
+      60 * kSecond));
+  cluster.sim.RunFor(2 * kSecond);  // Heartbeats propagate commit index.
+  cluster.CheckSafety();
+  for (const RaftReplica* r : cluster.replicas) {
+    EXPECT_EQ(r->commit_index(), 20u) << "replica " << r->id();
+    EXPECT_EQ(*r->kv().Get("a"), "10");
+    EXPECT_EQ(*r->kv().Get("b"), "10");
+  }
+}
+
+// The deck's headline Raft scenario: leader crashes mid-stream; a new
+// leader with the most up-to-date log takes over; no committed entry is
+// lost or duplicated.
+TEST(RaftTest, LeaderCrashFailover) {
+  RaftCluster cluster(5);
+  RaftClient* client = cluster.AddClient(30);
+  cluster.sim.Start();
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return client->completed() >= 8; },
+                                   30 * kSecond));
+  sim::NodeId leader = cluster.CurrentLeader();
+  ASSERT_NE(leader, sim::kInvalidNode);
+  cluster.sim.Crash(leader);
+  ASSERT_TRUE(
+      cluster.sim.RunUntil([&] { return client->done(); }, 120 * kSecond));
+  cluster.CheckSafety();
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(client->results()[i], std::to_string(i + 1)) << i;
+  }
+  // A different leader leads now, in a higher term.
+  sim::NodeId new_leader = cluster.CurrentLeader();
+  EXPECT_NE(new_leader, leader);
+}
+
+TEST(RaftTest, CrashedNodeRejoinsAndCatchesUp) {
+  RaftCluster cluster(5);
+  RaftClient* client = cluster.AddClient(20);
+  cluster.sim.Start();
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return client->completed() >= 4; },
+                                   30 * kSecond));
+  // Crash a follower.
+  sim::NodeId leader = cluster.CurrentLeader();
+  sim::NodeId follower = (leader + 1) % 5;
+  cluster.sim.Crash(follower);
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return client->completed() >= 15; },
+                                   60 * kSecond));
+  cluster.sim.Restart(follower);
+  ASSERT_TRUE(
+      cluster.sim.RunUntil([&] { return client->done(); }, 60 * kSecond));
+  cluster.sim.RunFor(2 * kSecond);
+  cluster.CheckSafety();
+  EXPECT_EQ(cluster.replicas[follower]->commit_index(), 20u);
+}
+
+TEST(RaftTest, MinorityPartitionStalls) {
+  RaftCluster cluster(5);
+  RaftClient* client = cluster.AddClient(40);
+  cluster.sim.Start();
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return client->completed() >= 5; },
+                                   30 * kSecond));
+  sim::NodeId leader = cluster.CurrentLeader();
+  // Old leader + one follower on the minority side; client with majority.
+  std::vector<sim::NodeId> minority = {leader, (leader + 1) % 5};
+  std::vector<sim::NodeId> majority;
+  for (int i = 0; i < 5; ++i) {
+    if (i != minority[0] && i != minority[1]) majority.push_back(i);
+  }
+  majority.push_back(client->id());
+  cluster.sim.Partition({minority, majority});
+  ASSERT_TRUE(
+      cluster.sim.RunUntil([&] { return client->done(); }, 240 * kSecond));
+  // The isolated old leader never committed anything new.
+  uint64_t minority_commit = cluster.replicas[leader]->commit_index();
+  cluster.sim.Heal();
+  cluster.sim.RunFor(3 * kSecond);
+  cluster.CheckSafety();
+  EXPECT_GE(cluster.replicas[leader]->commit_index(), minority_commit);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(client->results()[i], std::to_string(i + 1)) << i;
+  }
+}
+
+// Log-matching/up-to-date restriction: a rejoining stale node must not be
+// able to win an election against nodes holding committed entries.
+TEST(RaftTest, StaleNodeCannotWinElection) {
+  RaftCluster cluster(3);
+  RaftClient* client = cluster.AddClient(10);
+  cluster.sim.Start();
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return client->completed() >= 2; },
+                                   30 * kSecond));
+  sim::NodeId leader = cluster.CurrentLeader();
+  sim::NodeId stale = (leader + 1) % 3;
+  cluster.sim.Crash(stale);
+  ASSERT_TRUE(
+      cluster.sim.RunUntil([&] { return client->done(); }, 60 * kSecond));
+  cluster.sim.Restart(stale);
+  cluster.sim.RunFor(5 * kSecond);
+  cluster.CheckSafety();
+  // The stale node either follows or caught up before leading; committed
+  // results are intact either way.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(client->results()[i], std::to_string(i + 1));
+  }
+}
+
+// ---- Log compaction / InstallSnapshot ----
+
+TEST(RaftSnapshotTest, LogShrinksAtThreshold) {
+  RaftOptions opts;
+  opts.snapshot_threshold = 8;
+  RaftCluster cluster(3, 1, opts);
+  RaftClient* client = cluster.AddClient(30);
+  cluster.sim.Start();
+  ASSERT_TRUE(
+      cluster.sim.RunUntil([&] { return client->done(); }, 120 * kSecond));
+  cluster.sim.RunFor(2 * kSecond);
+  for (const RaftReplica* r : cluster.replicas) {
+    EXPECT_GT(r->snapshots_taken(), 0) << r->id();
+    EXPECT_LT(r->LogEntriesHeld(), 12u) << r->id();  // Bounded by threshold.
+    EXPECT_EQ(*r->kv().Get("x"), "30") << r->id();
+  }
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(client->results()[i], std::to_string(i + 1));
+  }
+}
+
+TEST(RaftSnapshotTest, LaggingFollowerInstallsSnapshot) {
+  RaftOptions opts;
+  opts.snapshot_threshold = 8;
+  RaftCluster cluster(3, 2, opts);
+  RaftClient* client = cluster.AddClient(40);
+  cluster.sim.Start();
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return client->completed() >= 4; },
+                                   60 * kSecond));
+  // A follower sleeps through several snapshots' worth of traffic.
+  sim::NodeId leader = cluster.CurrentLeader();
+  sim::NodeId sleeper = (leader + 1) % 3;
+  cluster.sim.Crash(sleeper);
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return client->completed() >= 35; },
+                                   240 * kSecond));
+  cluster.sim.Restart(sleeper);
+  ASSERT_TRUE(
+      cluster.sim.RunUntil([&] { return client->done(); }, 240 * kSecond));
+  ASSERT_TRUE(cluster.sim.RunUntil(
+      [&] {
+        return cluster.replicas[sleeper]->kv().Get("x").has_value() &&
+               *cluster.replicas[sleeper]->kv().Get("x") == "40";
+      },
+      240 * kSecond))
+      << "sleeper never caught up";
+  EXPECT_GT(cluster.replicas[sleeper]->snapshots_installed(), 0);
+  // All state machines agree.
+  for (const RaftReplica* r : cluster.replicas) {
+    EXPECT_EQ(r->kv().StateDigest(),
+              cluster.replicas[leader]->kv().StateDigest())
+        << r->id();
+  }
+}
+
+TEST(RaftSnapshotTest, SnapshotPreservesSessionDedup) {
+  // A client retry that crosses a compaction boundary must not re-execute.
+  RaftOptions opts;
+  opts.snapshot_threshold = 4;
+  RaftCluster cluster(3, 3, opts);
+  RaftClient* client = cluster.AddClient(25);
+  cluster.sim.Start();
+  ASSERT_TRUE(
+      cluster.sim.RunUntil([&] { return client->done(); }, 240 * kSecond));
+  cluster.sim.RunFor(2 * kSecond);
+  for (const RaftReplica* r : cluster.replicas) {
+    EXPECT_EQ(*r->kv().Get("x"), "25") << r->id();
+  }
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_EQ(client->results()[i], std::to_string(i + 1)) << i;
+  }
+}
+
+TEST(RaftTest, SplitVotesResolveViaRandomizedTimeouts) {
+  // With an adversarial seed sweep, elections may split, but randomized
+  // timeouts must always converge to a leader.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    RaftCluster cluster(4, seed);  // Even cluster: splits more likely.
+    cluster.sim.Start();
+    ASSERT_TRUE(cluster.sim.RunUntil(
+        [&] { return cluster.CurrentLeader() != sim::kInvalidNode; },
+        20 * kSecond))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace consensus40::raft

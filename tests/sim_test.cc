@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace consensus40::sim {
+namespace {
+
+struct Ping : Message {
+  explicit Ping(int v) : value(v) {}
+  const char* TypeName() const override { return "ping"; }
+  int value;
+};
+
+struct Pong : Message {
+  const char* TypeName() const override { return "pong"; }
+};
+
+/// Echo server: replies pong to every ping.
+class Echo : public Process {
+ public:
+  void OnMessage(NodeId from, const Message& msg) override {
+    if (dynamic_cast<const Ping*>(&msg) != nullptr) {
+      Send(from, std::make_shared<Pong>());
+    }
+    ++received;
+  }
+  int received = 0;
+};
+
+/// Pinger: sends one ping to a target on start, counts pongs.
+class Pinger : public Process {
+ public:
+  explicit Pinger(NodeId target) : target_(target) {}
+  void OnStart() override { Send(target_, std::make_shared<Ping>(1)); }
+  void OnMessage(NodeId, const Message& msg) override {
+    if (dynamic_cast<const Pong*>(&msg) != nullptr) ++pongs;
+  }
+  int pongs = 0;
+
+ private:
+  NodeId target_;
+};
+
+TEST(SimulationTest, PingPongDelivers) {
+  Simulation sim(1);
+  Echo* echo = sim.Spawn<Echo>();
+  Pinger* pinger = sim.Spawn<Pinger>(echo->id());
+  sim.Start();
+  sim.RunFor(1 * kSecond);
+  EXPECT_EQ(echo->received, 1);
+  EXPECT_EQ(pinger->pongs, 1);
+  EXPECT_EQ(sim.stats().messages_sent, 2u);
+  EXPECT_EQ(sim.stats().messages_delivered, 2u);
+}
+
+TEST(SimulationTest, DeterministicGivenSeed) {
+  auto run = [](uint64_t seed) {
+    Simulation sim(seed);
+    Echo* echo = sim.Spawn<Echo>();
+    std::vector<Pinger*> pingers;
+    for (int i = 0; i < 10; ++i) pingers.push_back(sim.Spawn<Pinger>(echo->id()));
+    sim.Start();
+    sim.RunFor(1 * kSecond);
+    return sim.now();
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+TEST(SimulationTest, VirtualTimeAdvancesWithDelays) {
+  NetworkOptions opts;
+  opts.min_delay = 10 * kMillisecond;
+  opts.max_delay = 10 * kMillisecond;
+  Simulation sim(1, opts);
+  Echo* echo = sim.Spawn<Echo>();
+  Pinger* pinger = sim.Spawn<Pinger>(echo->id());
+  sim.Start();
+  bool done = sim.RunUntil([&] { return pinger->pongs == 1; }, 1 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(sim.now(), 20 * kMillisecond);  // Two hops at exactly 10ms each.
+}
+
+TEST(SimulationTest, CrashedProcessReceivesNothing) {
+  Simulation sim(1);
+  Echo* echo = sim.Spawn<Echo>();
+  Pinger* pinger = sim.Spawn<Pinger>(echo->id());
+  sim.Crash(echo->id());
+  sim.Start();
+  sim.RunFor(1 * kSecond);
+  EXPECT_EQ(echo->received, 0);
+  EXPECT_EQ(pinger->pongs, 0);
+  EXPECT_GE(sim.stats().messages_dropped, 1u);
+}
+
+class TimerUser : public Process {
+ public:
+  void OnStart() override {
+    timer_id_ = SetTimer(100 * kMillisecond, [this] { fired = true; });
+    SetTimer(10 * kMillisecond, [this] { early_fired = true; });
+  }
+  void OnMessage(NodeId, const Message&) override {}
+  void CancelMain() { CancelTimer(timer_id_); }
+  bool fired = false;
+  bool early_fired = false;
+
+ private:
+  uint64_t timer_id_ = 0;
+};
+
+TEST(SimulationTest, TimersFireAndCancel) {
+  Simulation sim(1);
+  TimerUser* t = sim.Spawn<TimerUser>();
+  sim.Start();
+  sim.RunFor(50 * kMillisecond);
+  EXPECT_TRUE(t->early_fired);
+  EXPECT_FALSE(t->fired);
+  t->CancelMain();
+  sim.RunFor(200 * kMillisecond);
+  EXPECT_FALSE(t->fired);
+}
+
+TEST(SimulationTest, CrashInvalidatesPendingTimers) {
+  Simulation sim(1);
+  TimerUser* t = sim.Spawn<TimerUser>();
+  sim.Start();
+  sim.Crash(t->id());
+  sim.RunFor(1 * kSecond);
+  EXPECT_FALSE(t->fired);
+  EXPECT_FALSE(t->early_fired);
+}
+
+TEST(SimulationTest, RestartDeliversAgain) {
+  Simulation sim(1);
+  Echo* echo = sim.Spawn<Echo>();
+  Pinger* p1 = sim.Spawn<Pinger>(echo->id());
+  sim.Crash(echo->id());
+  sim.Start();
+  sim.RunFor(100 * kMillisecond);
+  EXPECT_EQ(p1->pongs, 0);
+  sim.Restart(echo->id());
+  Pinger* p2 = sim.Spawn<Pinger>(echo->id());
+  sim.Start();  // Starts only the newly spawned process.
+  sim.RunFor(1 * kSecond);
+  EXPECT_EQ(p2->pongs, 1);
+}
+
+TEST(SimulationTest, PartitionBlocksCrossGroupTraffic) {
+  Simulation sim(1);
+  Echo* echo = sim.Spawn<Echo>();
+  Pinger* pinger = sim.Spawn<Pinger>(echo->id());
+  sim.Partition({{echo->id()}, {pinger->id()}});
+  sim.Start();
+  sim.RunFor(500 * kMillisecond);
+  EXPECT_EQ(pinger->pongs, 0);
+
+  sim.Heal();
+  Pinger* p2 = sim.Spawn<Pinger>(echo->id());
+  sim.Start();
+  sim.RunFor(1 * kSecond);
+  EXPECT_EQ(p2->pongs, 1);
+}
+
+TEST(SimulationTest, BlockedLinkIsDirected) {
+  Simulation sim(1);
+  Echo* echo = sim.Spawn<Echo>();
+  Pinger* pinger = sim.Spawn<Pinger>(echo->id());
+  // Block only the reply direction.
+  sim.BlockLink(echo->id(), pinger->id());
+  sim.Start();
+  sim.RunFor(500 * kMillisecond);
+  EXPECT_EQ(echo->received, 1);
+  EXPECT_EQ(pinger->pongs, 0);
+}
+
+TEST(SimulationTest, DropRateLosesMessages) {
+  NetworkOptions opts;
+  opts.drop_rate = 1.0;
+  Simulation sim(1, opts);
+  Echo* echo = sim.Spawn<Echo>();
+  sim.Spawn<Pinger>(echo->id());
+  sim.Start();
+  sim.RunFor(1 * kSecond);
+  EXPECT_EQ(echo->received, 0);
+}
+
+TEST(SimulationTest, DelayFnOverridesModel) {
+  Simulation sim(1);
+  Echo* echo = sim.Spawn<Echo>();
+  Pinger* pinger = sim.Spawn<Pinger>(echo->id());
+  sim.SetDelayFn([](const Envelope&) -> Duration { return 42 * kMillisecond; });
+  sim.Start();
+  sim.RunUntil([&] { return pinger->pongs == 1; }, 1 * kSecond);
+  EXPECT_EQ(sim.now(), 84 * kMillisecond);
+}
+
+TEST(SimulationTest, DelayFnCanDrop) {
+  Simulation sim(1);
+  Echo* echo = sim.Spawn<Echo>();
+  sim.Spawn<Pinger>(echo->id());
+  sim.SetDelayFn([](const Envelope&) -> Duration { return -1; });
+  sim.Start();
+  sim.RunFor(1 * kSecond);
+  EXPECT_EQ(echo->received, 0);
+}
+
+TEST(SimulationTest, TraceHookSeesDeliveries) {
+  Simulation sim(1);
+  Echo* echo = sim.Spawn<Echo>();
+  sim.Spawn<Pinger>(echo->id());
+  std::vector<std::string> types;
+  sim.SetTraceFn([&](const Envelope& e, Time) {
+    types.push_back(e.msg->TypeName());
+  });
+  sim.Start();
+  sim.RunFor(1 * kSecond);
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0], "ping");
+  EXPECT_EQ(types[1], "pong");
+}
+
+TEST(SimulationTest, StatsPerTypeCounting) {
+  Simulation sim(1);
+  Echo* echo = sim.Spawn<Echo>();
+  sim.Spawn<Pinger>(echo->id());
+  sim.Spawn<Pinger>(echo->id());
+  sim.Start();
+  sim.RunFor(1 * kSecond);
+  EXPECT_EQ(sim.stats().sent_by_type.at("ping"), 2u);
+  EXPECT_EQ(sim.stats().sent_by_type.at("pong"), 2u);
+}
+
+TEST(SimulationTest, SameTimeEventsFifo) {
+  Simulation sim(1);
+  std::vector<int> order;
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(10, [&] { order.push_back(2); });
+  sim.ScheduleAt(5, [&] { order.push_back(0); });
+  sim.RunFor(100);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace consensus40::sim

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "smr/command.h"
+#include "smr/state_machine.h"
+
+namespace consensus40::smr {
+namespace {
+
+Command Cmd(int client, uint64_t seq, const std::string& op) {
+  return Command{client, seq, op};
+}
+
+TEST(CommandTest, HashDistinguishesFields) {
+  Command a = Cmd(1, 1, "PUT x 1");
+  EXPECT_EQ(a.Hash(), Cmd(1, 1, "PUT x 1").Hash());
+  EXPECT_NE(a.Hash(), Cmd(2, 1, "PUT x 1").Hash());
+  EXPECT_NE(a.Hash(), Cmd(1, 2, "PUT x 1").Hash());
+  EXPECT_NE(a.Hash(), Cmd(1, 1, "PUT x 2").Hash());
+}
+
+TEST(CommandTest, ToStringFormat) {
+  EXPECT_EQ(Cmd(3, 7, "GET k").ToString(), "c3#7:GET k");
+}
+
+TEST(KvStoreTest, PutGetDel) {
+  KvStore kv;
+  EXPECT_EQ(kv.Apply(Cmd(0, 1, "PUT a 1")), "OK");
+  EXPECT_EQ(kv.Apply(Cmd(0, 2, "GET a")), "1");
+  EXPECT_EQ(kv.Apply(Cmd(0, 3, "DEL a")), "OK");
+  EXPECT_EQ(kv.Apply(Cmd(0, 4, "GET a")), "NIL");
+  EXPECT_EQ(kv.Apply(Cmd(0, 5, "DEL a")), "NIL");
+}
+
+TEST(KvStoreTest, CasSemantics) {
+  KvStore kv;
+  kv.Apply(Cmd(0, 1, "PUT a 1"));
+  EXPECT_EQ(kv.Apply(Cmd(0, 2, "CAS a 2 3")), "FAIL");
+  EXPECT_EQ(kv.Apply(Cmd(0, 3, "CAS a 1 3")), "OK");
+  EXPECT_EQ(*kv.Get("a"), "3");
+}
+
+TEST(KvStoreTest, IncCountsFromZero) {
+  KvStore kv;
+  EXPECT_EQ(kv.Apply(Cmd(0, 1, "INC ctr")), "1");
+  EXPECT_EQ(kv.Apply(Cmd(0, 2, "INC ctr")), "2");
+}
+
+TEST(KvStoreTest, MalformedOpsError) {
+  KvStore kv;
+  EXPECT_EQ(kv.Apply(Cmd(0, 1, "")), "ERR");
+  EXPECT_EQ(kv.Apply(Cmd(0, 2, "FROB x")), "ERR");
+  EXPECT_EQ(kv.Apply(Cmd(0, 3, "PUT onlykey")), "ERR");
+}
+
+TEST(KvStoreTest, StateDigestReflectsContents) {
+  KvStore a, b;
+  EXPECT_EQ(a.StateDigest(), b.StateDigest());
+  a.Apply(Cmd(0, 1, "PUT x 1"));
+  EXPECT_NE(a.StateDigest(), b.StateDigest());
+  b.Apply(Cmd(0, 1, "PUT x 1"));
+  EXPECT_EQ(a.StateDigest(), b.StateDigest());
+}
+
+TEST(KvStoreTest, SameCommandsSameOrderSameState) {
+  // The SMR property from the deck: identical logs => identical replicas.
+  KvStore a, b;
+  std::vector<Command> cmds = {
+      Cmd(0, 1, "PUT x 1"), Cmd(1, 1, "INC y"),  Cmd(0, 2, "CAS x 1 2"),
+      Cmd(2, 1, "DEL z"),   Cmd(1, 2, "PUT z 9"),
+  };
+  for (const Command& c : cmds) a.Apply(c);
+  for (const Command& c : cmds) b.Apply(c);
+  EXPECT_EQ(a.StateDigest(), b.StateDigest());
+}
+
+TEST(ReplicatedLogTest, OutOfOrderFillThenApply) {
+  ReplicatedLog log;
+  KvStore kv;
+  log.Set(1, Cmd(0, 2, "PUT b 2"));
+  log.CommitThrough(1);
+  // Gap at index 0 blocks application.
+  EXPECT_TRUE(log.ApplyCommitted(&kv).empty());
+  EXPECT_EQ(log.applied_frontier(), 0u);
+
+  log.Set(0, Cmd(0, 1, "PUT a 1"));
+  std::vector<std::string> out = log.ApplyCommitted(&kv);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(log.applied_frontier(), 2u);
+  EXPECT_EQ(*kv.Get("a"), "1");
+  EXPECT_EQ(*kv.Get("b"), "2");
+}
+
+TEST(ReplicatedLogTest, CommitFrontierMonotone) {
+  ReplicatedLog log;
+  log.CommitThrough(5);
+  log.CommitThrough(2);
+  EXPECT_EQ(log.commit_frontier(), 6u);
+}
+
+TEST(ReplicatedLogTest, CommittedPrefixStopsAtGap) {
+  ReplicatedLog log;
+  log.Set(0, Cmd(0, 1, "a"));
+  log.Set(2, Cmd(0, 3, "c"));
+  log.CommitThrough(2);
+  std::vector<Command> prefix = log.CommittedPrefix();
+  ASSERT_EQ(prefix.size(), 1u);
+  EXPECT_EQ(prefix[0].op, "a");
+}
+
+TEST(PrefixConsistencyTest, DetectsDivergence) {
+  ReplicatedLog a, b;
+  a.Set(0, Cmd(0, 1, "PUT x 1"));
+  b.Set(0, Cmd(0, 1, "PUT x 1"));
+  a.Set(1, Cmd(0, 2, "PUT y 1"));
+  b.Set(1, Cmd(9, 9, "PUT y 666"));
+  a.CommitThrough(1);
+  b.CommitThrough(1);
+  std::string err = CheckPrefixConsistency({&a, &b});
+  EXPECT_NE(err.find("diverge at index 1"), std::string::npos) << err;
+}
+
+TEST(PrefixConsistencyTest, AcceptsLaggingReplica) {
+  ReplicatedLog a, b;
+  a.Set(0, Cmd(0, 1, "PUT x 1"));
+  a.Set(1, Cmd(0, 2, "PUT y 1"));
+  a.CommitThrough(1);
+  b.Set(0, Cmd(0, 1, "PUT x 1"));
+  b.CommitThrough(0);
+  EXPECT_EQ(CheckPrefixConsistency({&a, &b}), "");
+}
+
+}  // namespace
+}  // namespace consensus40::smr

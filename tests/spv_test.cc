@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "blockchain/chain.h"
+#include "blockchain/spv.h"
+
+namespace consensus40::blockchain {
+namespace {
+
+struct SpvWorld {
+  SpvWorld() : tree(Opts()) {
+    SpvClient::Options spv_opts;
+    spv_opts.verify_pow = false;
+    spv_opts.min_confirmations = 3;
+    spv = SpvClient(spv_opts);
+  }
+
+  static ChainOptions Opts() {
+    ChainOptions opts;
+    opts.verify_pow = false;
+    opts.block_interval_secs = 10;
+    opts.retarget_interval = 1 << 20;
+    opts.halving_interval = 1 << 20;
+    return opts;
+  }
+
+  Block Mine(const crypto::Digest& parent, std::vector<Transaction> txs,
+             uint32_t stamp) {
+    Block block;
+    block.header.prev_hash = parent;
+    block.header.timestamp = stamp;
+    block.header.target = tree.NextTarget(parent);
+    block.miner = 0;
+    block.reward = tree.RewardAt(tree.HeightOf(parent) + 1);
+    block.txs = std::move(txs);
+    block.header.merkle_root = block.ComputeMerkleRoot();
+    EXPECT_TRUE(tree.AddBlock(block).ok());
+    EXPECT_TRUE(spv.AddHeader(block.header).ok() ||
+                true /* duplicates in fork tests are fine */);
+    return block;
+  }
+
+  BlockTree tree;
+  SpvClient spv;
+};
+
+Transaction Tx(const std::string& payload) {
+  Transaction tx;
+  tx.payload = payload;
+  tx.amount = 1;
+  tx.fee = 1;
+  return tx;
+}
+
+TEST(SpvTest, HeaderChainTracksFullChain) {
+  SpvWorld w;
+  crypto::Digest tip{};
+  for (int i = 1; i <= 5; ++i) {
+    tip = w.Mine(tip, {}, i * 10).Hash();
+  }
+  EXPECT_EQ(w.spv.BestHeight(), 5u);
+  EXPECT_EQ(w.spv.BestTip(), w.tree.BestTip());
+  EXPECT_EQ(w.spv.HeaderCount(), 5u);  // Headers only: 80 bytes a piece.
+}
+
+TEST(SpvTest, PaymentVerifiesWithProofAndConfirmations) {
+  SpvWorld w;
+  Transaction pay = Tx("pay carol 5");
+  Block holder = w.Mine(crypto::Digest{}, {pay, Tx("noise")}, 10);
+  crypto::Digest tip = holder.Hash();
+  // Not yet confirmed deeply enough.
+  auto proof = w.tree.ProveInclusion(holder.Hash(), pay.Hash());
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(w.spv.VerifyPayment(pay.Hash(), *proof, holder.Hash())
+                  .IsFailedPrecondition());
+  // Bury it under 2 more blocks: 3 confirmations = threshold.
+  tip = w.Mine(tip, {}, 20).Hash();
+  tip = w.Mine(tip, {}, 30).Hash();
+  EXPECT_TRUE(w.spv.VerifyPayment(pay.Hash(), *proof, holder.Hash()).ok());
+}
+
+TEST(SpvTest, WrongProofRejected) {
+  SpvWorld w;
+  Transaction pay = Tx("pay carol 5");
+  Transaction other = Tx("unrelated");
+  Block holder = w.Mine(crypto::Digest{}, {pay, other}, 10);
+  crypto::Digest tip = holder.Hash();
+  tip = w.Mine(tip, {}, 20).Hash();
+  tip = w.Mine(tip, {}, 30).Hash();
+  // Proof for a DIFFERENT transaction cannot authenticate this one.
+  auto proof = w.tree.ProveInclusion(holder.Hash(), other.Hash());
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(w.spv.VerifyPayment(pay.Hash(), *proof, holder.Hash())
+                  .IsInvalidArgument());
+}
+
+TEST(SpvTest, ReorgedOutPaymentStopsVerifying) {
+  SpvWorld w;
+  Transaction pay = Tx("pay carol 5");
+  Block a1 = w.Mine(crypto::Digest{}, {pay}, 10);
+  crypto::Digest a_tip = a1.Hash();
+  a_tip = w.Mine(a_tip, {}, 20).Hash();
+  a_tip = w.Mine(a_tip, {}, 30).Hash();
+  auto proof = w.tree.ProveInclusion(a1.Hash(), pay.Hash());
+  ASSERT_TRUE(proof.ok());
+  ASSERT_TRUE(w.spv.VerifyPayment(pay.Hash(), *proof, a1.Hash()).ok());
+
+  // A longer fork without the payment takes over.
+  Block b1 = w.Mine(crypto::Digest{}, {Tx("fork")}, 10);
+  crypto::Digest b_tip = b1.Hash();
+  for (int i = 0; i < 4; ++i) {
+    b_tip = w.Mine(b_tip, {}, 40 + i * 10).Hash();
+  }
+  EXPECT_EQ(w.spv.BestTip(), w.tree.BestTip());
+  EXPECT_TRUE(w.spv.VerifyPayment(pay.Hash(), *proof, a1.Hash())
+                  .IsFailedPrecondition())
+      << "the paying block fell off the best chain: the SPV client must "
+         "revoke its acceptance";
+}
+
+TEST(SpvTest, RealPowHeadersVerify) {
+  // End-to-end with genuine SHA-256d mining at 12 zero bits.
+  ChainOptions chain_opts;
+  chain_opts.verify_pow = true;
+  chain_opts.initial_target = Target::FromLeadingZeroBits(12);
+  chain_opts.retarget_interval = 1 << 20;
+  BlockTree tree(chain_opts);
+  SpvClient::Options spv_opts;
+  spv_opts.verify_pow = true;
+  spv_opts.min_confirmations = 1;
+  SpvClient spv(spv_opts);
+
+  Transaction pay = Tx("real pow payment");
+  crypto::Digest tip{};
+  Block holder;
+  for (int i = 1; i <= 2; ++i) {
+    Block block;
+    block.header.prev_hash = tip;
+    block.header.timestamp = i * 600;
+    block.header.target = tree.NextTarget(tip);
+    block.miner = 0;
+    block.reward = tree.RewardAt(i);
+    if (i == 1) block.txs = {pay};
+    block.header.merkle_root = block.ComputeMerkleRoot();
+    ASSERT_TRUE(MineNonce(&block.header, 1ull << 26).has_value());
+    ASSERT_TRUE(tree.AddBlock(block).ok());
+    ASSERT_TRUE(spv.AddHeader(block.header).ok());
+    if (i == 1) holder = block;
+    tip = block.Hash();
+  }
+  // A fake header without valid PoW is rejected by the light client.
+  BlockHeader fake = holder.header;
+  fake.timestamp += 999;  // Invalidate the mined nonce.
+  EXPECT_TRUE(spv.AddHeader(fake).IsInvalidArgument());
+
+  auto proof = tree.ProveInclusion(holder.Hash(), pay.Hash());
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(spv.VerifyPayment(pay.Hash(), *proof, holder.Hash()).ok());
+}
+
+}  // namespace
+}  // namespace consensus40::blockchain

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/signatures.h"
+#include "sim/simulation.h"
+#include "zyzzyva/zyzzyva.h"
+
+namespace consensus40::zyzzyva {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+struct ZyzCluster {
+  explicit ZyzCluster(int n, uint64_t seed = 1)
+      : sim(seed), registry(seed, n + 8) {
+    // Fixed delay so message-delay counting is exact.
+    sim.mutable_options().min_delay = 1 * kMillisecond;
+    sim.mutable_options().max_delay = 1 * kMillisecond;
+    ZyzzyvaOptions opts;
+    opts.n = n;
+    opts.registry = &registry;
+    for (int i = 0; i < n; ++i) {
+      replicas.push_back(sim.Spawn<ZyzzyvaReplica>(opts));
+    }
+  }
+
+  ZyzzyvaClient* AddClient(int ops, const std::string& key = "x") {
+    clients.push_back(sim.Spawn<ZyzzyvaClient>(
+        static_cast<int>(replicas.size()), &registry, ops, key));
+    return clients.back();
+  }
+
+  void CheckSafety() const {
+    for (size_t a = 0; a < replicas.size(); ++a) {
+      for (size_t b = a + 1; b < replicas.size(); ++b) {
+        const auto& ca = replicas[a]->executed_commands();
+        const auto& cb = replicas[b]->executed_commands();
+        size_t overlap = std::min(ca.size(), cb.size());
+        for (size_t i = 0; i < overlap; ++i) {
+          ASSERT_TRUE(ca[i] == cb[i])
+              << "replicas " << a << "," << b << " diverge at " << i;
+        }
+      }
+    }
+  }
+
+  sim::Simulation sim;
+  crypto::KeyRegistry registry;
+  std::vector<ZyzzyvaReplica*> replicas;
+  std::vector<ZyzzyvaClient*> clients;
+};
+
+// Case 1: fault-free, all 3f+1 speculative replies match; the request
+// completes in 3 one-way delays.
+TEST(ZyzzyvaTest, FaultFreeCase1ThreeDelays) {
+  ZyzCluster cluster(4);
+  ZyzzyvaClient* client = cluster.AddClient(1);
+  cluster.sim.Start();
+  ASSERT_TRUE(
+      cluster.sim.RunUntil([&] { return client->done(); }, 10 * kSecond));
+  EXPECT_EQ(client->case1_completions(), 1);
+  EXPECT_EQ(client->case2_completions(), 0);
+  // t=0 send; +1ms primary orders; +2ms replicas respond; +3ms client done.
+  EXPECT_EQ(cluster.sim.now(), 3 * kMillisecond);
+  cluster.CheckSafety();
+}
+
+TEST(ZyzzyvaTest, StreamOfRequestsAllCase1) {
+  ZyzCluster cluster(4);
+  ZyzzyvaClient* client = cluster.AddClient(20);
+  cluster.sim.Start();
+  ASSERT_TRUE(
+      cluster.sim.RunUntil([&] { return client->done(); }, 60 * kSecond));
+  EXPECT_EQ(client->case1_completions(), 20);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(client->results()[i], std::to_string(i + 1));
+  }
+  cluster.CheckSafety();
+}
+
+// Case 2: one crashed backup leaves only 3f matching replies; the client
+// commits via certificate.
+TEST(ZyzzyvaTest, CrashedBackupFallsBackToCase2) {
+  ZyzCluster cluster(4);
+  ZyzzyvaClient* client = cluster.AddClient(5);
+  cluster.sim.Crash(3);
+  cluster.sim.Start();
+  ASSERT_TRUE(
+      cluster.sim.RunUntil([&] { return client->done(); }, 60 * kSecond));
+  EXPECT_EQ(client->case1_completions(), 0);
+  EXPECT_EQ(client->case2_completions(), 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(client->results()[i], std::to_string(i + 1));
+  }
+  // Replicas recorded the commit certificates.
+  for (const ZyzzyvaReplica* r : cluster.replicas) {
+    if (cluster.sim.IsCrashed(r->id())) continue;
+    EXPECT_GE(r->max_committed_certificate(), 5u);
+  }
+  cluster.CheckSafety();
+}
+
+TEST(ZyzzyvaTest, Case2IsSlowerThanCase1) {
+  ZyzCluster fast(4);
+  ZyzzyvaClient* fast_client = fast.AddClient(1);
+  fast.sim.Start();
+  ASSERT_TRUE(
+      fast.sim.RunUntil([&] { return fast_client->done(); }, 10 * kSecond));
+  sim::Time case1_time = fast.sim.now();
+
+  ZyzCluster slow(4);
+  ZyzzyvaClient* slow_client = slow.AddClient(1);
+  slow.sim.Crash(3);
+  slow.sim.Start();
+  ASSERT_TRUE(
+      slow.sim.RunUntil([&] { return slow_client->done(); }, 10 * kSecond));
+  EXPECT_GT(slow.sim.now(), case1_time);
+}
+
+TEST(ZyzzyvaTest, MessageComplexityIsLinear) {
+  // Per request: 1 request + (n-1) order-reqs + n spec-responses ~ 2n.
+  auto messages_per_request = [](int n) {
+    ZyzCluster cluster(n);
+    ZyzzyvaClient* client = cluster.AddClient(10);
+    cluster.sim.Start();
+    cluster.sim.RunUntil([&] { return client->done(); }, 60 * kSecond);
+    EXPECT_TRUE(client->done());
+    return cluster.sim.stats().messages_sent / 10.0;
+  };
+  double at4 = messages_per_request(4);
+  double at10 = messages_per_request(10);
+  // Linear: 10/4 = 2.5x, far below the quadratic 6.25x.
+  EXPECT_LT(at10 / at4, 3.5);
+}
+
+TEST(ZyzzyvaTest, HistoryChainsPinOrder) {
+  ZyzCluster cluster(4);
+  cluster.AddClient(10, "a");
+  cluster.AddClient(10, "b");
+  cluster.sim.Start();
+  ASSERT_TRUE(cluster.sim.RunUntil(
+      [&] {
+        for (const ZyzzyvaClient* c : cluster.clients) {
+          if (!c->done()) return false;
+        }
+        return true;
+      },
+      60 * kSecond));
+  cluster.sim.RunFor(1 * kSecond);
+  cluster.CheckSafety();
+  // All replicas end with the identical history hash.
+  for (const ZyzzyvaReplica* r : cluster.replicas) {
+    EXPECT_EQ(r->history(), cluster.replicas[0]->history()) << r->id();
+    EXPECT_EQ(r->executed_commands().size(), 20u);
+  }
+}
+
+TEST(ZyzzyvaTest, TwoCrashesExceedFNoProgress) {
+  ZyzCluster cluster(4);
+  ZyzzyvaClient* client = cluster.AddClient(3);
+  cluster.sim.Crash(2);
+  cluster.sim.Crash(3);
+  cluster.sim.Start();
+  EXPECT_FALSE(
+      cluster.sim.RunUntil([&] { return client->done(); }, 10 * kSecond));
+  EXPECT_EQ(client->completed(), 0);
+  cluster.CheckSafety();
+}
+
+}  // namespace
+}  // namespace consensus40::zyzzyva

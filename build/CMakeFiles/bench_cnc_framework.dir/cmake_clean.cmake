@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cnc_framework.dir/bench/bench_cnc_framework.cc.o"
+  "CMakeFiles/bench_cnc_framework.dir/bench/bench_cnc_framework.cc.o.d"
+  "bench/bench_cnc_framework"
+  "bench/bench_cnc_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cnc_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fastpaxos.dir/bench/bench_fastpaxos.cc.o"
+  "CMakeFiles/bench_fastpaxos.dir/bench/bench_fastpaxos.cc.o.d"
+  "bench/bench_fastpaxos"
+  "bench/bench_fastpaxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fastpaxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

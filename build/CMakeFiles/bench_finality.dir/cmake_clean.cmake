@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_finality.dir/bench/bench_finality.cc.o"
+  "CMakeFiles/bench_finality.dir/bench/bench_finality.cc.o.d"
+  "bench/bench_finality"
+  "bench/bench_finality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_finality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flexible_paxos.dir/bench/bench_flexible_paxos.cc.o"
+  "CMakeFiles/bench_flexible_paxos.dir/bench/bench_flexible_paxos.cc.o.d"
+  "bench/bench_flexible_paxos"
+  "bench/bench_flexible_paxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flexible_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flp_benor.dir/bench/bench_flp_benor.cc.o"
+  "CMakeFiles/bench_flp_benor.dir/bench/bench_flp_benor.cc.o.d"
+  "bench/bench_flp_benor"
+  "bench/bench_flp_benor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flp_benor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hotstuff.dir/bench/bench_hotstuff.cc.o"
+  "CMakeFiles/bench_hotstuff.dir/bench/bench_hotstuff.cc.o.d"
+  "bench/bench_hotstuff"
+  "bench/bench_hotstuff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hotstuff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minbft_cheapbft.dir/bench/bench_minbft_cheapbft.cc.o"
+  "CMakeFiles/bench_minbft_cheapbft.dir/bench/bench_minbft_cheapbft.cc.o.d"
+  "bench/bench_minbft_cheapbft"
+  "bench/bench_minbft_cheapbft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minbft_cheapbft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

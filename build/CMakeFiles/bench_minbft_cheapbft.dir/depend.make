@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_minbft_cheapbft.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multipaxos.dir/bench/bench_multipaxos.cc.o"
+  "CMakeFiles/bench_multipaxos.dir/bench/bench_multipaxos.cc.o.d"
+  "bench/bench_multipaxos"
+  "bench/bench_multipaxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multipaxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

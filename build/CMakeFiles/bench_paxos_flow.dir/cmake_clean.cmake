@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paxos_flow.dir/bench/bench_paxos_flow.cc.o"
+  "CMakeFiles/bench_paxos_flow.dir/bench/bench_paxos_flow.cc.o.d"
+  "bench/bench_paxos_flow"
+  "bench/bench_paxos_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paxos_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

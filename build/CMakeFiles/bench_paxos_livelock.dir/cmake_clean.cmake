@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paxos_livelock.dir/bench/bench_paxos_livelock.cc.o"
+  "CMakeFiles/bench_paxos_livelock.dir/bench/bench_paxos_livelock.cc.o.d"
+  "bench/bench_paxos_livelock"
+  "bench/bench_paxos_livelock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paxos_livelock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

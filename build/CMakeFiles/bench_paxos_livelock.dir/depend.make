@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_paxos_livelock.
+# This may be replaced when dependencies are built.

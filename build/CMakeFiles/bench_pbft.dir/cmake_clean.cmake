@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pbft.dir/bench/bench_pbft.cc.o"
+  "CMakeFiles/bench_pbft.dir/bench/bench_pbft.cc.o.d"
+  "bench/bench_pbft"
+  "bench/bench_pbft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pbft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

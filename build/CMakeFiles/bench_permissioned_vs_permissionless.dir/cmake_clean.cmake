@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_permissioned_vs_permissionless.dir/bench/bench_permissioned_vs_permissionless.cc.o"
+  "CMakeFiles/bench_permissioned_vs_permissionless.dir/bench/bench_permissioned_vs_permissionless.cc.o.d"
+  "bench/bench_permissioned_vs_permissionless"
+  "bench/bench_permissioned_vs_permissionless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_permissioned_vs_permissionless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_permissioned_vs_permissionless.
+# This may be replaced when dependencies are built.

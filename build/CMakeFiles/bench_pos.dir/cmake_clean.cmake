@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pos.dir/bench/bench_pos.cc.o"
+  "CMakeFiles/bench_pos.dir/bench/bench_pos.cc.o.d"
+  "bench/bench_pos"
+  "bench/bench_pos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

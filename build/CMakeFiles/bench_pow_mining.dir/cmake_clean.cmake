@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pow_mining.dir/bench/bench_pow_mining.cc.o"
+  "CMakeFiles/bench_pow_mining.dir/bench/bench_pow_mining.cc.o.d"
+  "bench/bench_pow_mining"
+  "bench/bench_pow_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pow_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_psl_agreement.dir/bench/bench_psl_agreement.cc.o"
+  "CMakeFiles/bench_psl_agreement.dir/bench/bench_psl_agreement.cc.o.d"
+  "bench/bench_psl_agreement"
+  "bench/bench_psl_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_psl_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

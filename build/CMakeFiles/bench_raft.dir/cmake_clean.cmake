@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_raft.dir/bench/bench_raft.cc.o"
+  "CMakeFiles/bench_raft.dir/bench/bench_raft.cc.o.d"
+  "bench/bench_raft"
+  "bench/bench_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seemore.dir/bench/bench_seemore.cc.o"
+  "CMakeFiles/bench_seemore.dir/bench/bench_seemore.cc.o.d"
+  "bench/bench_seemore"
+  "bench/bench_seemore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seemore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

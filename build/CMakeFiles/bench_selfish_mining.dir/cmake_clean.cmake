@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selfish_mining.dir/bench/bench_selfish_mining.cc.o"
+  "CMakeFiles/bench_selfish_mining.dir/bench/bench_selfish_mining.cc.o.d"
+  "bench/bench_selfish_mining"
+  "bench/bench_selfish_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selfish_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

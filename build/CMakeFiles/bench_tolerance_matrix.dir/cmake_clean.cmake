@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tolerance_matrix.dir/bench/bench_tolerance_matrix.cc.o"
+  "CMakeFiles/bench_tolerance_matrix.dir/bench/bench_tolerance_matrix.cc.o.d"
+  "bench/bench_tolerance_matrix"
+  "bench/bench_tolerance_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tolerance_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xft.dir/bench/bench_xft.cc.o"
+  "CMakeFiles/bench_xft.dir/bench/bench_xft.cc.o.d"
+  "bench/bench_xft"
+  "bench/bench_xft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zyzzyva.dir/bench/bench_zyzzyva.cc.o"
+  "CMakeFiles/bench_zyzzyva.dir/bench/bench_zyzzyva.cc.o.d"
+  "bench/bench_zyzzyva"
+  "bench/bench_zyzzyva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zyzzyva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

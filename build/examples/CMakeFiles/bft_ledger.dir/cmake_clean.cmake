@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bft_ledger.dir/bft_ledger.cc.o"
+  "CMakeFiles/bft_ledger.dir/bft_ledger.cc.o.d"
+  "bft_ledger"
+  "bft_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bft_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

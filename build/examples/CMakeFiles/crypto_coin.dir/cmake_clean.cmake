@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_coin.dir/crypto_coin.cc.o"
+  "CMakeFiles/crypto_coin.dir/crypto_coin.cc.o.d"
+  "crypto_coin"
+  "crypto_coin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_coin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mini_spanner.dir/mini_spanner.cc.o"
+  "CMakeFiles/mini_spanner.dir/mini_spanner.cc.o.d"
+  "mini_spanner"
+  "mini_spanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mini_spanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agreement/approximate.cc" "src/CMakeFiles/consensus40.dir/agreement/approximate.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/agreement/approximate.cc.o.d"
+  "/root/repo/src/agreement/floodset.cc" "src/CMakeFiles/consensus40.dir/agreement/floodset.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/agreement/floodset.cc.o.d"
+  "/root/repo/src/agreement/interactive_consistency.cc" "src/CMakeFiles/consensus40.dir/agreement/interactive_consistency.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/agreement/interactive_consistency.cc.o.d"
+  "/root/repo/src/blockchain/block.cc" "src/CMakeFiles/consensus40.dir/blockchain/block.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/blockchain/block.cc.o.d"
+  "/root/repo/src/blockchain/chain.cc" "src/CMakeFiles/consensus40.dir/blockchain/chain.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/blockchain/chain.cc.o.d"
+  "/root/repo/src/blockchain/mempool.cc" "src/CMakeFiles/consensus40.dir/blockchain/mempool.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/blockchain/mempool.cc.o.d"
+  "/root/repo/src/blockchain/miner.cc" "src/CMakeFiles/consensus40.dir/blockchain/miner.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/blockchain/miner.cc.o.d"
+  "/root/repo/src/blockchain/pos.cc" "src/CMakeFiles/consensus40.dir/blockchain/pos.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/blockchain/pos.cc.o.d"
+  "/root/repo/src/blockchain/spv.cc" "src/CMakeFiles/consensus40.dir/blockchain/spv.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/blockchain/spv.cc.o.d"
+  "/root/repo/src/cheapbft/cheapbft.cc" "src/CMakeFiles/consensus40.dir/cheapbft/cheapbft.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/cheapbft/cheapbft.cc.o.d"
+  "/root/repo/src/commit/three_phase_commit.cc" "src/CMakeFiles/consensus40.dir/commit/three_phase_commit.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/commit/three_phase_commit.cc.o.d"
+  "/root/repo/src/commit/two_phase_commit.cc" "src/CMakeFiles/consensus40.dir/commit/two_phase_commit.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/commit/two_phase_commit.cc.o.d"
+  "/root/repo/src/commit/types.cc" "src/CMakeFiles/consensus40.dir/commit/types.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/commit/types.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/consensus40.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/consensus40.dir/common/status.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/common/status.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/consensus40.dir/common/table.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/common/table.cc.o.d"
+  "/root/repo/src/core/cnc.cc" "src/CMakeFiles/consensus40.dir/core/cnc.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/core/cnc.cc.o.d"
+  "/root/repo/src/core/quorum.cc" "src/CMakeFiles/consensus40.dir/core/quorum.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/core/quorum.cc.o.d"
+  "/root/repo/src/core/reductions.cc" "src/CMakeFiles/consensus40.dir/core/reductions.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/core/reductions.cc.o.d"
+  "/root/repo/src/core/traits.cc" "src/CMakeFiles/consensus40.dir/core/traits.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/core/traits.cc.o.d"
+  "/root/repo/src/crypto/merkle.cc" "src/CMakeFiles/consensus40.dir/crypto/merkle.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/crypto/merkle.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/consensus40.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/crypto/sha256.cc.o.d"
+  "/root/repo/src/crypto/signatures.cc" "src/CMakeFiles/consensus40.dir/crypto/signatures.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/crypto/signatures.cc.o.d"
+  "/root/repo/src/hotstuff/hotstuff.cc" "src/CMakeFiles/consensus40.dir/hotstuff/hotstuff.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/hotstuff/hotstuff.cc.o.d"
+  "/root/repo/src/minbft/minbft.cc" "src/CMakeFiles/consensus40.dir/minbft/minbft.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/minbft/minbft.cc.o.d"
+  "/root/repo/src/oracle/ct_consensus.cc" "src/CMakeFiles/consensus40.dir/oracle/ct_consensus.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/oracle/ct_consensus.cc.o.d"
+  "/root/repo/src/paxos/fast_paxos.cc" "src/CMakeFiles/consensus40.dir/paxos/fast_paxos.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/paxos/fast_paxos.cc.o.d"
+  "/root/repo/src/paxos/multi_paxos.cc" "src/CMakeFiles/consensus40.dir/paxos/multi_paxos.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/paxos/multi_paxos.cc.o.d"
+  "/root/repo/src/paxos/paxos.cc" "src/CMakeFiles/consensus40.dir/paxos/paxos.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/paxos/paxos.cc.o.d"
+  "/root/repo/src/pbft/pbft.cc" "src/CMakeFiles/consensus40.dir/pbft/pbft.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/pbft/pbft.cc.o.d"
+  "/root/repo/src/raft/raft.cc" "src/CMakeFiles/consensus40.dir/raft/raft.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/raft/raft.cc.o.d"
+  "/root/repo/src/randomized/benor.cc" "src/CMakeFiles/consensus40.dir/randomized/benor.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/randomized/benor.cc.o.d"
+  "/root/repo/src/seemore/seemore.cc" "src/CMakeFiles/consensus40.dir/seemore/seemore.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/seemore/seemore.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/CMakeFiles/consensus40.dir/sim/simulation.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/sim/simulation.cc.o.d"
+  "/root/repo/src/smr/command.cc" "src/CMakeFiles/consensus40.dir/smr/command.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/smr/command.cc.o.d"
+  "/root/repo/src/smr/state_machine.cc" "src/CMakeFiles/consensus40.dir/smr/state_machine.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/smr/state_machine.cc.o.d"
+  "/root/repo/src/xft/xft.cc" "src/CMakeFiles/consensus40.dir/xft/xft.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/xft/xft.cc.o.d"
+  "/root/repo/src/zyzzyva/zyzzyva.cc" "src/CMakeFiles/consensus40.dir/zyzzyva/zyzzyva.cc.o" "gcc" "src/CMakeFiles/consensus40.dir/zyzzyva/zyzzyva.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libconsensus40.a"
+)

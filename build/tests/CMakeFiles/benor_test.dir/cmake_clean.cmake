@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benor_test.dir/benor_test.cc.o"
+  "CMakeFiles/benor_test.dir/benor_test.cc.o.d"
+  "benor_test"
+  "benor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockchain_test.dir/blockchain_test.cc.o"
+  "CMakeFiles/blockchain_test.dir/blockchain_test.cc.o.d"
+  "blockchain_test"
+  "blockchain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockchain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheapbft_test.dir/cheapbft_test.cc.o"
+  "CMakeFiles/cheapbft_test.dir/cheapbft_test.cc.o.d"
+  "cheapbft_test"
+  "cheapbft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheapbft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

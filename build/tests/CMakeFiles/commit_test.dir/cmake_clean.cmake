@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commit_test.dir/commit_test.cc.o"
+  "CMakeFiles/commit_test.dir/commit_test.cc.o.d"
+  "commit_test"
+  "commit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_paxos_test.dir/fast_paxos_test.cc.o"
+  "CMakeFiles/fast_paxos_test.dir/fast_paxos_test.cc.o.d"
+  "fast_paxos_test"
+  "fast_paxos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_paxos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

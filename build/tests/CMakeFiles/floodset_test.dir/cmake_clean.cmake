@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floodset_test.dir/floodset_test.cc.o"
+  "CMakeFiles/floodset_test.dir/floodset_test.cc.o.d"
+  "floodset_test"
+  "floodset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floodset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

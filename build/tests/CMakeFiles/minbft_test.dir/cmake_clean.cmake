@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minbft_test.dir/minbft_test.cc.o"
+  "CMakeFiles/minbft_test.dir/minbft_test.cc.o.d"
+  "minbft_test"
+  "minbft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minbft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

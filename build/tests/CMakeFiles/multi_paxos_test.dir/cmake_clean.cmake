@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_paxos_test.dir/multi_paxos_test.cc.o"
+  "CMakeFiles/multi_paxos_test.dir/multi_paxos_test.cc.o.d"
+  "multi_paxos_test"
+  "multi_paxos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_paxos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raft_membership_test.dir/raft_membership_test.cc.o"
+  "CMakeFiles/raft_membership_test.dir/raft_membership_test.cc.o.d"
+  "raft_membership_test"
+  "raft_membership_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raft_membership_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seemore_test.dir/seemore_test.cc.o"
+  "CMakeFiles/seemore_test.dir/seemore_test.cc.o.d"
+  "seemore_test"
+  "seemore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seemore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spv_test.dir/spv_test.cc.o"
+  "CMakeFiles/spv_test.dir/spv_test.cc.o.d"
+  "spv_test"
+  "spv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

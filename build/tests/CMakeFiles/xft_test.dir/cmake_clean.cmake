@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xft_test.dir/xft_test.cc.o"
+  "CMakeFiles/xft_test.dir/xft_test.cc.o.d"
+  "xft_test"
+  "xft_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zyzzyva_test.dir/zyzzyva_test.cc.o"
+  "CMakeFiles/zyzzyva_test.dir/zyzzyva_test.cc.o.d"
+  "zyzzyva_test"
+  "zyzzyva_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zyzzyva_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+#include "common/interner.h"
+
+namespace consensus40 {
+
+TypeId StringInterner::Intern(const char* s) {
+  auto fast = by_pointer_.find(s);
+  if (fast != by_pointer_.end()) return fast->second;
+
+  auto [it, inserted] =
+      by_content_.try_emplace(std::string(s), static_cast<TypeId>(names_.size()));
+  if (inserted) names_.emplace_back(it->first);
+  by_pointer_.emplace(s, it->second);
+  return it->second;
+}
+
+}  // namespace consensus40

@@ -1,0 +1,46 @@
+#ifndef CONSENSUS40_COMMON_INTERNER_H_
+#define CONSENSUS40_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+namespace consensus40 {
+
+/// Dense id assigned to an interned string, starting at 0 in first-use order.
+using TypeId = int32_t;
+
+/// Interns C strings into dense TypeIds so per-string bookkeeping (e.g. the
+/// simulator's per-message-type statistics) becomes a vector index instead of
+/// a string-keyed map lookup on every use.
+///
+/// The fast path is keyed on the *pointer*: callers that pass the same string
+/// literal every time (the common case — Message::TypeName returns a literal)
+/// pay one pointer-hash lookup after the first call. Distinct pointers with
+/// equal contents map to the same id via a content-keyed fallback, so
+/// interning is always by value, never by identity.
+///
+/// Passed pointers must stay valid and their contents constant for the
+/// lifetime of the interner (trivially true for string literals).
+class StringInterner {
+ public:
+  /// Returns the dense id for `s`, assigning the next free id on first use.
+  TypeId Intern(const char* s);
+
+  /// The canonical string for an interned id. The reference is stable for
+  /// the lifetime of the interner. `id` must have come from Intern().
+  const std::string& NameOf(TypeId id) const { return names_[id]; }
+
+  /// Number of distinct strings interned so far. Ids are 0..size()-1.
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<const void*, TypeId> by_pointer_;
+  std::unordered_map<std::string, TypeId> by_content_;
+  std::deque<std::string> names_;  ///< deque: NameOf references stay stable.
+};
+
+}  // namespace consensus40
+
+#endif  // CONSENSUS40_COMMON_INTERNER_H_

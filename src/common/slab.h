@@ -1,0 +1,94 @@
+#ifndef CONSENSUS40_COMMON_SLAB_H_
+#define CONSENSUS40_COMMON_SLAB_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace consensus40 {
+
+/// Fixed-type slab allocator with a free list and generation-checked handles.
+///
+/// Allocate() hands out dense uint32 slot indices; Free() recycles them LIFO,
+/// so a steady-state churn of N live objects touches the same N (cache-hot)
+/// slots and never allocates after the high-water mark is reached. Slot
+/// values are default-constructed once and *reused* — Free() does not destroy
+/// the value, so callers must clear any resource-owning fields (shared_ptr,
+/// std::function, ...) before freeing a slot.
+///
+/// HandleFor() packs (generation, index) into a uint64 that Resolve() checks:
+/// a handle goes stale the moment its slot is freed, which makes dangling
+/// references (e.g. cancelling an already-fired timer) detectable in O(1)
+/// with no side tables. Generations are odd while a slot is live and even
+/// while it is free, so a handle is never valid for a freed slot and no
+/// handle is ever 0.
+template <typename T>
+class Slab {
+ public:
+  using Handle = uint64_t;
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+
+  /// Returns the index of a live slot, reusing a freed one when possible.
+  uint32_t Allocate() {
+    uint32_t index;
+    if (free_head_ != kNil) {
+      index = free_head_;
+      free_head_ = entries_[index].next_free;
+    } else {
+      index = static_cast<uint32_t>(entries_.size());
+      entries_.emplace_back();
+    }
+    ++entries_[index].generation;  // Even -> odd: live.
+    ++live_;
+    return index;
+  }
+
+  /// Recycles a live slot. The caller has already cleared owning fields.
+  void Free(uint32_t index) {
+    Entry& e = entries_[index];
+    assert((e.generation & 1) != 0 && "double free");
+    ++e.generation;  // Odd -> even: free.
+    e.next_free = free_head_;
+    free_head_ = index;
+    --live_;
+  }
+
+  T& operator[](uint32_t index) { return entries_[index].value; }
+  const T& operator[](uint32_t index) const { return entries_[index].value; }
+
+  /// A stable reference to a currently-live slot. Never 0.
+  Handle HandleFor(uint32_t index) const {
+    return (static_cast<Handle>(entries_[index].generation) << 32) | index;
+  }
+
+  /// The slot a handle refers to, or nullptr if that slot has been freed
+  /// (or the handle is garbage) since the handle was minted.
+  T* Resolve(Handle h) {
+    const uint32_t index = static_cast<uint32_t>(h);
+    const uint32_t generation = static_cast<uint32_t>(h >> 32);
+    if ((generation & 1) == 0 || index >= entries_.size() ||
+        entries_[index].generation != generation) {
+      return nullptr;
+    }
+    return &entries_[index].value;
+  }
+
+  /// Live-slot count and total slots ever created (the high-water mark).
+  size_t live() const { return live_; }
+  size_t capacity() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    T value{};
+    uint32_t generation = 0;  ///< Odd = live, even = free.
+    uint32_t next_free = kNil;
+  };
+
+  std::vector<Entry> entries_;
+  uint32_t free_head_ = kNil;
+  size_t live_ = 0;
+};
+
+}  // namespace consensus40
+
+#endif  // CONSENSUS40_COMMON_SLAB_H_

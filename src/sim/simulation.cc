@@ -1,5 +1,6 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace consensus40::sim {
@@ -12,7 +13,7 @@ void Process::Send(NodeId to, MessagePtr msg) {
 
 void Process::Multicast(const std::vector<NodeId>& targets,
                         const MessagePtr& msg) {
-  for (NodeId t : targets) sim_->SendMessage(id_, t, msg);
+  sim_->MulticastMessage(id_, targets, msg);
 }
 
 uint64_t Process::SetTimer(Duration delay, std::function<void()> fn) {
@@ -24,7 +25,7 @@ void Process::CancelTimer(uint64_t timer_id) {
 }
 
 Simulation::Simulation(uint64_t seed, NetworkOptions options)
-    : rng_(seed), options_(options) {}
+    : rng_(seed), options_(options), fixed_delay_(FixedDelayFor(options)) {}
 
 Simulation::~Simulation() = default;
 
@@ -33,6 +34,10 @@ void Simulation::Register(std::unique_ptr<Process> p) {
   p->id_ = static_cast<NodeId>(processes_.size());
   p->rng_ = std::make_unique<Rng>(rng_.Fork());
   processes_.push_back(std::move(p));
+  epochs_.push_back(0);
+  // Keep the partition map covering every process: a node spawned while a
+  // partition is in effect starts isolated rather than reading past the end.
+  if (!partition_group_.empty()) partition_group_.push_back(-1);
 }
 
 void Simulation::Start() {
@@ -43,27 +48,153 @@ void Simulation::Start() {
 }
 
 bool Simulation::Step() {
-  if (queue_.empty()) return false;
-  Event ev = queue_.top();
-  queue_.pop();
-  assert(ev.time >= now_);
-  now_ = ev.time;
-  ev.fn();
+  if (bucket_heap_.empty()) return false;
+  const BucketRef top = bucket_heap_.top();
+  TimeBucket& bucket = buckets_[top.bucket];
+  const uint32_t index = bucket.head;
+  bucket.head = events_[index].next;
+  assert(top.time >= now_);
+  now_ = top.time;
+  if (bucket.head == kNilIndex) {
+    bucket_heap_.pop();
+    TimeCacheEntry& cached = time_cache_[TimeCacheIndex(top.time)];
+    if (cached.time == top.time && cached.bucket == top.bucket) {
+      cached.time = kNoCachedTime;
+    }
+    buckets_.Free(top.bucket);
+  }
+  Dispatch(index);
   return true;
 }
 
+void Simulation::Dispatch(uint32_t index) {
+  // Copy everything out of the slot and free it before running any handler:
+  // handlers re-enter the scheduler and may reuse (or grow) the slab.
+  EventSlot& slot = events_[index];
+  const EventKind kind = slot.kind;
+
+  if (kind == EventKind::kMessage) {
+    const NodeId from = slot.from;
+    const NodeId to = slot.to;
+    const uint32_t payload = slot.payload;
+    const uint32_t trace = slot.trace;
+    const uint64_t epoch = slot.epoch;
+    TraceInfo trace_info;
+    if (trace != kNilIndex) {
+      trace_info = traces_[trace];
+      traces_.Free(trace);
+    }
+    // Unicast carries its payload inline (moved out here, so Free leaves no
+    // owning fields behind); multicast deliveries share a payload slot and
+    // the inline field stays empty.
+    MessagePtr unicast_msg;
+    if (payload == kNilIndex) unicast_msg = std::move(slot.msg);
+    events_.Free(index);
+
+    Process* dst = processes_[to].get();
+    if (dst->crashed_ || dst->epoch_ != epoch || !LinkAllowed(from, to)) {
+      stats_.messages_dropped++;
+      if (payload != kNilIndex) ReleasePayload(payload);
+      return;
+    }
+    stats_.messages_delivered++;
+    const Message* msg = payload == kNilIndex ? unicast_msg.get()
+                                              : payloads_[payload].msg.get();
+    if (trace_fn_) {
+      Envelope env{from, to,
+                   payload == kNilIndex ? unicast_msg : payloads_[payload].msg,
+                   trace_info.send_time, trace_info.envelope_id};
+      trace_fn_(env, now_);
+    }
+    dst->OnMessage(from, *msg);
+    if (payload != kNilIndex) ReleasePayload(payload);
+    return;
+  }
+
+  const bool cancelled = slot.cancelled;
+  const NodeId owner = slot.to;
+  const uint64_t epoch = slot.epoch;
+  const uint32_t cb = slot.payload;
+  events_.Free(index);
+  std::function<void()> fn = std::move(callbacks_[cb]);
+  callbacks_[cb] = nullptr;
+  callbacks_.Free(cb);
+
+  if (kind == EventKind::kTimer) {
+    if (cancelled) return;
+    Process* p = processes_[owner].get();
+    if (p->crashed_ || p->epoch_ != epoch) return;
+  }
+  fn();
+}
+
+void Simulation::ReleasePayload(uint32_t payload) {
+  MessagePayload& entry = payloads_[payload];
+  if (--entry.refs == 0) {
+    entry.msg.reset();
+    payloads_.Free(payload);
+  }
+}
+
+void Simulation::ScheduleSlot(Time t, uint32_t index) {
+  assert(t >= now_);
+  events_[index].next = kNilIndex;
+  TimeCacheEntry& cached = time_cache_[TimeCacheIndex(t)];
+  if (cached.time == t) {
+    TimeBucket& bucket = buckets_[cached.bucket];
+    events_[bucket.tail].next = index;
+    bucket.tail = index;
+    return;
+  }
+  const uint32_t b = buckets_.Allocate();
+  TimeBucket& bucket = buckets_[b];
+  bucket.time = t;
+  bucket.head = bucket.tail = index;
+  bucket.seq = next_bucket_seq_++;
+  bucket_heap_.push(BucketRef{t, bucket.seq, b});
+  cached.time = t;
+  cached.bucket = b;
+}
+
 void Simulation::RunFor(Duration d) {
-  Time end = now_ + d;
-  while (!queue_.empty() && queue_.top().time <= end) Step();
+  const Time end = now_ + d;
+  // Same semantics as repeated Step(), but the inner loop drains a whole
+  // bucket without re-consulting the heap: one top()/pop() per *timestamp*
+  // rather than per event.
+  while (!bucket_heap_.empty()) {
+    const BucketRef top = bucket_heap_.top();
+    if (top.time > end) break;
+    now_ = top.time;
+    for (;;) {
+      // Re-index the bucket each iteration: handlers may append to its tail
+      // and may grow the slab under us.
+      TimeBucket& bucket = buckets_[top.bucket];
+      const uint32_t index = bucket.head;
+      bucket.head = events_[index].next;
+      if (bucket.head == kNilIndex) {
+        bucket_heap_.pop();
+        TimeCacheEntry& cached = time_cache_[TimeCacheIndex(top.time)];
+        if (cached.time == top.time && cached.bucket == top.bucket) {
+          cached.time = kNoCachedTime;
+        }
+        buckets_.Free(top.bucket);
+        Dispatch(index);
+        break;
+      }
+      Dispatch(index);
+    }
+  }
   now_ = end;
 }
 
 bool Simulation::RunUntil(const std::function<bool()>& pred, Time deadline) {
   if (pred()) return true;
-  while (!queue_.empty() && queue_.top().time <= deadline) {
+  while (!bucket_heap_.empty() && bucket_heap_.top().time <= deadline) {
     Step();
     if (pred()) return true;
   }
+  // Mirror RunFor: a timed-out wait still consumes the waited-for interval.
+  if (now_ < deadline) now_ = deadline;
   return false;
 }
 
@@ -71,46 +202,61 @@ void Simulation::Crash(NodeId id) {
   Process* p = processes_[id].get();
   if (p->crashed_) return;
   p->crashed_ = true;
-  p->epoch_++;
+  p->epoch_ = ++epochs_[id];
 }
 
 void Simulation::Restart(NodeId id) {
   Process* p = processes_[id].get();
   if (!p->crashed_) return;
   p->crashed_ = false;
-  p->epoch_++;
+  p->epoch_ = ++epochs_[id];
   p->OnRestart();
 }
 
 void Simulation::Partition(const std::vector<std::vector<NodeId>>& groups) {
+  topology_restricted_ = true;
   partition_group_.assign(processes_.size(), -1);
   for (size_t g = 0; g < groups.size(); ++g) {
     for (NodeId id : groups[g]) partition_group_[id] = static_cast<int>(g);
   }
 }
 
-void Simulation::Heal() { partition_group_.clear(); }
+void Simulation::Heal() {
+  partition_group_.clear();
+  topology_restricted_ = !blocked_links_.empty();
+}
 
 void Simulation::BlockLink(NodeId from, NodeId to) {
-  blocked_links_.insert({from, to});
+  const auto link = std::make_pair(from, to);
+  auto it = std::lower_bound(blocked_links_.begin(), blocked_links_.end(), link);
+  if (it == blocked_links_.end() || *it != link) blocked_links_.insert(it, link);
+  topology_restricted_ = true;
 }
 
 void Simulation::UnblockLink(NodeId from, NodeId to) {
-  blocked_links_.erase({from, to});
+  const auto link = std::make_pair(from, to);
+  auto it = std::lower_bound(blocked_links_.begin(), blocked_links_.end(), link);
+  if (it != blocked_links_.end() && *it == link) blocked_links_.erase(it);
+  topology_restricted_ = !blocked_links_.empty() || !partition_group_.empty();
 }
 
 bool Simulation::LinkAllowed(NodeId from, NodeId to) const {
-  if (blocked_links_.count({from, to}) > 0) return false;
+  if (!topology_restricted_) return true;
+  if (!blocked_links_.empty() &&
+      std::binary_search(blocked_links_.begin(), blocked_links_.end(),
+                         std::make_pair(from, to))) {
+    return false;
+  }
   if (!partition_group_.empty()) {
-    int gf = partition_group_[from];
-    int gt = partition_group_[to];
+    const int gf = partition_group_[from];
+    const int gt = partition_group_[to];
     if (gf < 0 || gt < 0 || gf != gt) return from == to;
   }
   return true;
 }
 
-Duration Simulation::DefaultDelay(const Envelope& e) {
-  if (e.from == e.to) return 0;  // Self-messages are immediate.
+Duration Simulation::DefaultDelay(NodeId from, NodeId to) {
+  if (from == to) return 0;  // Self-messages are immediate.
   if (options_.drop_rate > 0 && rng_.Bernoulli(options_.drop_rate)) return -1;
   if (options_.max_delay <= options_.min_delay) return options_.min_delay;
   return options_.min_delay +
@@ -118,59 +264,158 @@ Duration Simulation::DefaultDelay(const Envelope& e) {
              rng_.NextBounded(options_.max_delay - options_.min_delay + 1));
 }
 
+Duration Simulation::DelayFor(NodeId from, NodeId to, const MessagePtr& msg,
+                              uint64_t envelope_id) {
+  if (delay_fn_) {
+    const Envelope env{from, to, msg, now_, envelope_id};
+    return delay_fn_(env);
+  }
+  return DefaultDelay(from, to);
+}
+
+void Simulation::CountSentBatch(TypeId type, int bytes, uint64_t n) {
+  stats_.messages_sent += n;
+  stats_.bytes_sent += n * static_cast<uint64_t>(bytes);
+  if (counters_reset_count_ != stats_.reset_count()) {
+    type_counters_.assign(type_counters_.size(), nullptr);
+    counters_reset_count_ = stats_.reset_count();
+  }
+  if (static_cast<size_t>(type) >= type_counters_.size()) {
+    type_counters_.resize(type_names_.size(), nullptr);
+  }
+  uint64_t*& counter = type_counters_[type];
+  // Map nodes are reference-stable, so resolving the per-type cursor once
+  // per type (per Reset generation) is safe.
+  if (counter == nullptr) {
+    counter = &stats_.sent_by_type[type_names_.NameOf(type)];
+  }
+  *counter += n;
+}
+
+uint32_t Simulation::AllocateTrace(uint64_t envelope_id) {
+  if (!trace_fn_) return kNilIndex;
+  const uint32_t t = traces_.Allocate();
+  traces_[t] = TraceInfo{envelope_id, now_};
+  return t;
+}
+
+void Simulation::QueueMessageEvent(NodeId from, NodeId to, uint32_t payload,
+                                   uint64_t envelope_id, Duration delay) {
+  const uint32_t index = events_.Allocate();
+  EventSlot& slot = events_[index];
+  slot.kind = EventKind::kMessage;
+  slot.from = from;
+  slot.to = to;
+  slot.payload = payload;
+  slot.trace = AllocateTrace(envelope_id);
+  slot.epoch = epochs_[to];  // Drop on crash/restart in flight.
+  ScheduleSlot(now_ + delay, index);
+}
+
+void Simulation::SendMessage(NodeId from, NodeId to, MessagePtr msg) {
+  assert(to >= 0 && to < num_processes());
+  const uint64_t envelope_id = next_envelope_id_++;
+  if (!LinkAllowed(from, to)) {
+    stats_.messages_dropped++;  // Rejected by the topology: never sent.
+    return;
+  }
+  const TypeId type = InternType(msg->TypeName());
+  const int bytes = msg->ByteSize();
+  const Duration fd = fixed_delay_;
+  const Duration delay =
+      fd >= 0 ? (to == from ? 0 : fd) : DelayFor(from, to, msg, envelope_id);
+  if (delay < 0) {
+    CountSentBatch(type, bytes, 1);
+    stats_.messages_dropped++;  // Admitted, then lost in the network.
+    return;
+  }
+  CountSentBatch(type, bytes, 1);
+  const uint32_t index = events_.Allocate();
+  EventSlot& slot = events_[index];
+  slot.kind = EventKind::kMessage;
+  slot.from = from;
+  slot.to = to;
+  slot.payload = kNilIndex;  // Unicast: payload travels inline in the slot.
+  slot.trace = AllocateTrace(envelope_id);
+  slot.epoch = epochs_[to];
+  slot.msg = std::move(msg);
+  ScheduleSlot(now_ + delay, index);
+}
+
+void Simulation::MulticastMessage(NodeId from,
+                                  const std::vector<NodeId>& targets,
+                                  const MessagePtr& msg) {
+  if (targets.empty()) return;
+  const TypeId type = InternType(msg->TypeName());
+  const int bytes = msg->ByteSize();
+  // With no delay hook, no loss, and a fixed delay, the per-target delay is
+  // a constant and the rng is never consulted; fixed_delay_ caches that.
+  const Duration fd = fixed_delay_;
+  uint32_t payload = kNilIndex;
+  uint64_t admitted = 0;
+  for (NodeId to : targets) {
+    assert(to >= 0 && to < num_processes());
+    const uint64_t envelope_id = next_envelope_id_++;
+    if (!LinkAllowed(from, to)) {
+      stats_.messages_dropped++;
+      continue;
+    }
+    const Duration delay =
+        fd >= 0 ? (to == from ? 0 : fd) : DelayFor(from, to, msg, envelope_id);
+    ++admitted;  // Sent even if the network then loses it.
+    if (delay < 0) {
+      stats_.messages_dropped++;
+      continue;
+    }
+    if (payload == kNilIndex) {
+      payload = payloads_.Allocate();
+      payloads_[payload] = MessagePayload{msg, 0};  // One shared_ptr copy.
+    }
+    payloads_[payload].refs++;
+    QueueMessageEvent(from, to, payload, envelope_id, delay);
+  }
+  // One stats update for the whole fan-out: the per-type cursor is resolved
+  // once, not re-hashed per target.
+  if (admitted > 0) CountSentBatch(type, bytes, admitted);
+}
+
 void Simulation::ScheduleAt(Time t, std::function<void()> fn) {
   assert(t >= now_);
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  const uint32_t cb = callbacks_.Allocate();
+  callbacks_[cb] = std::move(fn);
+  const uint32_t index = events_.Allocate();
+  EventSlot& slot = events_[index];
+  slot.kind = EventKind::kCallback;
+  slot.payload = cb;
+  ScheduleSlot(t, index);
 }
 
 void Simulation::ScheduleAfter(Duration d, std::function<void()> fn) {
   ScheduleAt(now_ + d, std::move(fn));
 }
 
-void Simulation::SendMessage(NodeId from, NodeId to, MessagePtr msg) {
-  assert(to >= 0 && to < num_processes());
-  Envelope env{from, to, std::move(msg), now_, next_envelope_id_++};
-  stats_.messages_sent++;
-  stats_.bytes_sent += env.msg->ByteSize();
-  stats_.sent_by_type[env.msg->TypeName()]++;
-
-  if (!LinkAllowed(from, to)) {
-    stats_.messages_dropped++;
-    return;
-  }
-  Duration delay = delay_fn_ ? delay_fn_(env) : DefaultDelay(env);
-  if (delay < 0) {
-    stats_.messages_dropped++;
-    return;
-  }
-  ScheduleAt(now_ + delay, [this, env = std::move(env)]() {
-    Process* dst = processes_[env.to].get();
-    if (dst->crashed_ || !LinkAllowed(env.from, env.to)) {
-      stats_.messages_dropped++;
-      return;
-    }
-    stats_.messages_delivered++;
-    if (trace_fn_) trace_fn_(env, now_);
-    dst->OnMessage(env.from, *env.msg);
-  });
-}
-
 uint64_t Simulation::SetProcessTimer(NodeId owner, Duration delay,
                                      std::function<void()> fn) {
-  uint64_t timer_id = next_timer_id_++;
-  Process* p = processes_[owner].get();
-  uint64_t epoch = p->epoch_;
-  ScheduleAt(now_ + delay, [this, owner, epoch, timer_id, fn = std::move(fn)]() {
-    if (cancelled_timers_.erase(timer_id) > 0) return;
-    Process* p = processes_[owner].get();
-    if (p->crashed_ || p->epoch_ != epoch) return;
-    fn();
-  });
-  return timer_id;
+  const uint32_t cb = callbacks_.Allocate();
+  callbacks_[cb] = std::move(fn);
+  const uint32_t index = events_.Allocate();
+  EventSlot& slot = events_[index];
+  slot.kind = EventKind::kTimer;
+  slot.cancelled = false;
+  slot.to = owner;
+  slot.payload = cb;
+  slot.epoch = epochs_[owner];
+  ScheduleSlot(now_ + delay, index);
+  return events_.HandleFor(index);
 }
 
 void Simulation::CancelProcessTimer(uint64_t timer_id) {
-  cancelled_timers_.insert(timer_id);
+  // The handle goes stale the moment the timer fires (its slot is freed and
+  // the generation bumps), so cancel-after-fire is a no-op with no residue.
+  EventSlot* slot = events_.Resolve(timer_id);
+  if (slot != nullptr && slot->kind == EventKind::kTimer) {
+    slot->cancelled = true;
+  }
 }
 
 }  // namespace consensus40::sim

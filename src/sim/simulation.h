@@ -1,6 +1,7 @@
 #ifndef CONSENSUS40_SIM_SIMULATION_H_
 #define CONSENSUS40_SIM_SIMULATION_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -11,7 +12,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/rng.h"
+#include "common/slab.h"
 
 namespace consensus40::sim {
 
@@ -35,6 +38,9 @@ struct Message {
   virtual ~Message() = default;
 
   /// Stable name used in statistics and message-flow traces, e.g. "prepare".
+  /// The returned pointer must stay valid (and its contents constant) for
+  /// the lifetime of the simulation; returning a string literal, as every
+  /// protocol here does, satisfies that for free.
   virtual const char* TypeName() const = 0;
 
   /// Approximate wire size in bytes, used only for accounting.
@@ -53,6 +59,20 @@ struct Envelope {
 };
 
 /// Aggregate network statistics, maintained by the simulation.
+///
+/// Accounting rules:
+///   - `messages_sent` / `bytes_sent` / `sent_by_type` count only *admitted*
+///     sends: those the link rules (partitions, blocked links) let onto the
+///     network at send time. A send rejected outright by the topology counts
+///     one `messages_dropped` and nothing else.
+///   - A message the delay model discards (drop_rate or a negative DelayFn
+///     return) or that is dropped at delivery time (destination crashed or
+///     restarted, topology changed while in flight) counts as sent *and*
+///     dropped.
+///
+/// Zero the counters mid-run with Reset(), not by assigning a fresh struct:
+/// the simulation keeps fast-path cursors into `sent_by_type` that only
+/// Reset() invalidates.
 struct NetStats {
   uint64_t messages_sent = 0;
   uint64_t messages_delivered = 0;
@@ -60,7 +80,17 @@ struct NetStats {
   uint64_t bytes_sent = 0;
   std::map<std::string, uint64_t> sent_by_type;
 
-  void Reset() { *this = NetStats(); }
+  void Reset() {
+    messages_sent = messages_delivered = messages_dropped = bytes_sent = 0;
+    sent_by_type.clear();
+    ++reset_count_;
+  }
+
+  /// Internal: bumped by Reset() so the simulation can detect stale cursors.
+  uint64_t reset_count() const { return reset_count_; }
+
+ private:
+  uint64_t reset_count_ = 0;
 };
 
 /// Message-delay model. The default is a partially-synchronous network:
@@ -118,7 +148,10 @@ class Process {
   /// network.
   void Send(NodeId to, MessagePtr msg);
 
-  /// Sends a copy of the message to every process in `targets`.
+  /// Sends a copy of the message to every process in `targets`. The
+  /// simulator builds the envelope once and shares the payload across the
+  /// fan-out; per-target work is limited to the delay draw and one queued
+  /// event.
   void Multicast(const std::vector<NodeId>& targets, const MessagePtr& msg);
 
   /// Schedules `fn` to run on this process after `delay`. The timer is
@@ -126,7 +159,8 @@ class Process {
   /// cancelled. Returns a cancellation handle.
   uint64_t SetTimer(Duration delay, std::function<void()> fn);
 
-  /// Cancels a pending timer. Cancelling an already-fired timer is a no-op.
+  /// Cancels a pending timer. Cancelling an already-fired (or already
+  /// cancelled) timer is a no-op and leaves no bookkeeping residue.
   void CancelTimer(uint64_t timer_id);
 
  private:
@@ -135,7 +169,8 @@ class Process {
   Simulation* sim_ = nullptr;
   NodeId id_ = kInvalidNode;
   bool crashed_ = false;
-  uint64_t epoch_ = 0;  ///< Bumped on crash; stale timers check it.
+  uint64_t epoch_ = 0;  ///< Bumped on crash *and* restart; in-flight
+                        ///< deliveries and timers check it.
   std::unique_ptr<Rng> rng_;
 };
 
@@ -143,6 +178,14 @@ class Process {
 /// a set of processes, and a configurable lossy network between them.
 /// All protocol executions, fault injections, and benchmarks in this
 /// repository run inside a Simulation.
+///
+/// The event queue is built for throughput: events live in a slab (tagged
+/// variant of message-delivery / process-timer / sim-callback, recycled
+/// through a free list) and are ordered by a calendar of per-timestamp FIFO
+/// buckets, so the steady state allocates nothing per event and same-time
+/// events cost O(1) each instead of a binary-heap reshuffle. Per-type
+/// statistics go through interned TypeIds (common/interner.h) — a vector
+/// index per send, not a string-keyed map lookup.
 class Simulation {
  public:
   /// Creates a simulation whose entire behaviour is a function of `seed`.
@@ -153,7 +196,9 @@ class Simulation {
   Simulation& operator=(const Simulation&) = delete;
 
   /// Constructs a process of type T in place and registers it. Returns a
-  /// non-owning pointer valid for the lifetime of the simulation.
+  /// non-owning pointer valid for the lifetime of the simulation. Spawning
+  /// while a partition is in effect is allowed: the new node starts isolated
+  /// (group -1) until the next Partition()/Heal() call.
   template <typename T, typename... Args>
   T* Spawn(Args&&... args) {
     auto owned = std::make_unique<T>(std::forward<Args>(args)...);
@@ -180,15 +225,22 @@ class Simulation {
   bool Step();
 
   /// Runs until the virtual clock reaches now()+d (events at the boundary
-  /// included).
+  /// included). The clock always ends at exactly now()+d.
   void RunFor(Duration d);
 
   /// Runs until the predicate holds (checked after every event) or the
   /// virtual clock passes `deadline`. Returns true if the predicate held.
+  /// On failure the clock advances to `deadline` (mirroring RunFor), so a
+  /// timed-out wait leaves now() at the deadline rather than at the last
+  /// executed event.
   bool RunUntil(const std::function<bool()>& pred, Time deadline);
 
-  /// Crashes a process: pending and future deliveries and timers for it are
-  /// dropped until Restart.
+  /// Crashes a process: pending deliveries and timers for it are dropped —
+  /// including messages already in flight, even if the process restarts
+  /// before their delivery time — and future deliveries are dropped until
+  /// Restart. (Each delivery carries the destination's epoch from send
+  /// time; crash and restart both bump the epoch, so nothing sent to an
+  /// earlier incarnation is ever delivered to a later one.)
   void Crash(NodeId id);
 
   /// Restarts a crashed process (calls OnRestart).
@@ -219,11 +271,16 @@ class Simulation {
   /// the default model. This hook is how adversarial schedulers (FLP-style)
   /// take control of message ordering.
   using DelayFn = std::function<Duration(const Envelope&)>;
-  void SetDelayFn(DelayFn fn) { delay_fn_ = std::move(fn); }
+  void SetDelayFn(DelayFn fn) {
+    delay_fn_ = std::move(fn);
+    fixed_delay_ = delay_fn_ ? -1 : FixedDelayFor(options_);
+  }
 
   /// Observation hook invoked at every successful delivery, used to record
   /// message-flow traces for the paper's figures.
   using TraceFn = std::function<void(const Envelope&, Time deliver_time)>;
+  /// Install before running: messages already in flight when the hook is
+  /// set are reported with envelope id / send_time 0.
   void SetTraceFn(TraceFn fn) { trace_fn_ = std::move(fn); }
 
   /// Schedules a simulation-level (not process-owned) callback.
@@ -233,41 +290,161 @@ class Simulation {
   /// Internal: used by Process::Send.
   void SendMessage(NodeId from, NodeId to, MessagePtr msg);
 
+  /// Internal: used by Process::Multicast. Interns the type and sizes the
+  /// payload once, then fans out one event per admitted target sharing a
+  /// single payload slot.
+  void MulticastMessage(NodeId from, const std::vector<NodeId>& targets,
+                        const MessagePtr& msg);
+
   /// Internal: used by Process::SetTimer / CancelTimer.
   uint64_t SetProcessTimer(NodeId owner, Duration delay,
                            std::function<void()> fn);
   void CancelProcessTimer(uint64_t timer_id);
 
  private:
-  struct Event {
-    Time time;
-    uint64_t seq;  ///< Tie-breaker: FIFO among same-time events.
-    std::function<void()> fn;
+  static constexpr uint32_t kNilIndex = 0xFFFFFFFFu;
+
+  enum class EventKind : uint8_t { kMessage, kTimer, kCallback };
+
+  /// One pending event, as a tagged variant living in a slab slot. Message
+  /// deliveries reference a shared MessagePayload; timers and callbacks point
+  /// into the callback slab. Keeping the closure out of line keeps the slot
+  /// a single cache line, and slots are recycled through the slab free
+  /// list, so the steady state allocates nothing per event.
+  struct EventSlot {
+    NodeId from = kInvalidNode;      ///< Message sender.
+    NodeId to = kInvalidNode;        ///< Message destination / timer owner.
+    uint32_t payload = kNilIndex;    ///< Multicast payload slot for
+                                     ///< messages, callback slot for timers
+                                     ///< and callbacks; kNil for unicast.
+    uint32_t next = kNilIndex;       ///< FIFO chain within a time bucket.
+    uint32_t trace = kNilIndex;      ///< TraceInfo slot; messages only, and
+                                     ///< only while a trace hook is set.
+    EventKind kind = EventKind::kCallback;
+    bool cancelled = false;          ///< Timers only; set by CancelTimer.
+    uint64_t epoch = 0;              ///< Destination/owner epoch at schedule.
+    MessagePtr msg;                  ///< Unicast payload (payload == kNil).
+    uint64_t pad_ = 0;               ///< Rounds the slab entry (slot + its
+                                     ///< generation bookkeeping) to exactly
+                                     ///< one 64-byte cache line.
   };
-  struct EventCmp {
-    bool operator()(const Event& a, const Event& b) const {
+
+  /// Envelope metadata a delivery only needs when a trace hook is watching:
+  /// kept out of EventSlot so the common case stays one cache line per slot.
+  struct TraceInfo {
+    uint64_t envelope_id = 0;
+    Time send_time = 0;
+  };
+
+  /// A message payload shared by every delivery event of one Send/Multicast:
+  /// the fan-out copies the shared_ptr once, not once per target.
+  struct MessagePayload {
+    MessagePtr msg;
+    uint32_t refs = 0;
+  };
+
+  /// FIFO bucket of events scheduled for the same timestamp. The queue is a
+  /// min-heap over *buckets* (ordered by time, then creation order), so a
+  /// burst of same-time events — a multicast fan-out, a synchronous round —
+  /// costs one heap operation total instead of one per event.
+  struct TimeBucket {
+    Time time = 0;
+    uint32_t head = kNilIndex;
+    uint32_t tail = kNilIndex;
+    uint64_t seq = 0;  ///< Creation order; ties broken FIFO by this.
+  };
+  struct BucketRef {
+    Time time;
+    uint64_t seq;
+    uint32_t bucket;
+  };
+  struct BucketAfter {
+    bool operator()(const BucketRef& a, const BucketRef& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
+  /// Direct-mapped cache of recently-used (time -> live bucket) entries so
+  /// clustered schedules append in O(1) without touching the heap. An entry
+  /// always points at the *newest* bucket for its time, which preserves
+  /// global FIFO order among same-time events.
+  static constexpr size_t kTimeCacheSize = 64;
+  static constexpr Time kNoCachedTime = INT64_MIN;
+  struct TimeCacheEntry {
+    Time time = kNoCachedTime;
+    uint32_t bucket = 0;
+  };
+  static size_t TimeCacheIndex(Time t) {
+    return static_cast<size_t>(
+        (static_cast<uint64_t>(t) * 0x9E3779B97F4A7C15ull) >> 58);
+  }
+
   void Register(std::unique_ptr<Process> p);
   bool LinkAllowed(NodeId from, NodeId to) const;
-  Duration DefaultDelay(const Envelope& e);
+  Duration DefaultDelay(NodeId from, NodeId to);
+  Duration DelayFor(NodeId from, NodeId to, const MessagePtr& msg,
+                    uint64_t envelope_id);
+  void CountSentBatch(TypeId type, int bytes, uint64_t n);
+  uint32_t AllocateTrace(uint64_t envelope_id);
+  void QueueMessageEvent(NodeId from, NodeId to, uint32_t payload,
+                         uint64_t envelope_id, Duration delay);
+  void ScheduleSlot(Time t, uint32_t index);
+  void ReleasePayload(uint32_t payload);
+  void Dispatch(uint32_t index);
 
   Rng rng_;
   NetworkOptions options_;
+  /// min_delay when every send's delay is that constant (no delay hook, no
+  /// loss, min == max) so the hot path skips the per-send delay logic;
+  /// -1 when delays must be computed per send.
+  Duration fixed_delay_ = -1;
+
+  static Duration FixedDelayFor(const NetworkOptions& o) {
+    return (o.drop_rate <= 0 && o.max_delay <= o.min_delay) ? o.min_delay : -1;
+  }
   Time now_ = 0;
-  uint64_t next_seq_ = 0;
   uint64_t next_envelope_id_ = 0;
-  uint64_t next_timer_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, EventCmp> queue_;
+  uint64_t next_bucket_seq_ = 0;
+
+  Slab<EventSlot> events_;
+  Slab<TraceInfo> traces_;
+  Slab<MessagePayload> payloads_;
+  Slab<std::function<void()>> callbacks_;  ///< Timer / callback bodies.
+  Slab<TimeBucket> buckets_;
+  std::priority_queue<BucketRef, std::vector<BucketRef>, BucketAfter>
+      bucket_heap_;
+  std::array<TimeCacheEntry, kTimeCacheSize> time_cache_;
+
+  StringInterner type_names_;
+  std::vector<uint64_t*> type_counters_;  ///< TypeId -> &sent_by_type[name].
+  uint64_t counters_reset_count_ = 0;
+
+  /// Direct-mapped cache in front of the interner: TypeName() returns the
+  /// same literal pointer on every call, so a send usually resolves its
+  /// TypeId with one pointer compare instead of a hash lookup.
+  struct TypeCacheEntry {
+    const void* ptr = nullptr;
+    TypeId id = 0;
+  };
+  std::array<TypeCacheEntry, 8> type_cache_;
+  TypeId InternType(const char* name) {
+    TypeCacheEntry& e =
+        type_cache_[(reinterpret_cast<uintptr_t>(name) >> 4) & 7];
+    if (e.ptr == name) return e.id;
+    const TypeId id = type_names_.Intern(name);
+    e = TypeCacheEntry{name, id};
+    return id;
+  }
+
   std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<uint64_t> epochs_;  ///< Flat mirror of Process::epoch_, so the
+                                  ///< send path avoids a pointer chase.
   size_t started_ = 0;
   std::set<NodeId> byzantine_;
-  std::set<uint64_t> cancelled_timers_;
   std::vector<int> partition_group_;  ///< -1 = isolated; empty = no partition.
-  std::set<std::pair<NodeId, NodeId>> blocked_links_;
+  std::vector<std::pair<NodeId, NodeId>> blocked_links_;  ///< Sorted, unique.
+  bool topology_restricted_ = false;  ///< Any partition or blocked link live.
   NetStats stats_;
   DelayFn delay_fn_;
   TraceFn trace_fn_;

@@ -3,7 +3,9 @@
 #include <map>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/rng.h"
+#include "common/slab.h"
 #include "common/status.h"
 #include "common/table.h"
 
@@ -138,6 +140,75 @@ TEST(TextTableTest, ShortRowsPadded) {
   t.AddRow({"x"});
   std::string s = t.ToString();
   EXPECT_NE(s.find("| x | "), std::string::npos);
+}
+
+TEST(SlabTest, ReusesFreedSlotsLifoWithoutGrowing) {
+  Slab<int> slab;
+  const uint32_t a = slab.Allocate();
+  const uint32_t b = slab.Allocate();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(slab.live(), 2u);
+  slab.Free(b);
+  slab.Free(a);
+  EXPECT_EQ(slab.live(), 0u);
+  // LIFO recycling: the most recently freed slot comes back first, and the
+  // high-water mark does not move.
+  EXPECT_EQ(slab.Allocate(), a);
+  EXPECT_EQ(slab.Allocate(), b);
+  EXPECT_EQ(slab.capacity(), 2u);
+}
+
+TEST(SlabTest, HandleGoesStaleWhenSlotIsFreed) {
+  Slab<int> slab;
+  const uint32_t index = slab.Allocate();
+  slab[index] = 41;
+  const Slab<int>::Handle h = slab.HandleFor(index);
+  ASSERT_NE(h, 0u);
+  ASSERT_NE(slab.Resolve(h), nullptr);
+  *slab.Resolve(h) = 42;
+  EXPECT_EQ(slab[index], 42);
+
+  slab.Free(index);
+  EXPECT_EQ(slab.Resolve(h), nullptr);
+
+  // Reusing the slot mints a new generation: the old handle stays dead and
+  // the new one resolves.
+  const uint32_t again = slab.Allocate();
+  EXPECT_EQ(again, index);
+  EXPECT_EQ(slab.Resolve(h), nullptr);
+  EXPECT_NE(slab.HandleFor(again), h);
+  EXPECT_NE(slab.Resolve(slab.HandleFor(again)), nullptr);
+}
+
+TEST(SlabTest, ResolveRejectsGarbageHandles) {
+  Slab<int> slab;
+  EXPECT_EQ(slab.Resolve(0), nullptr);
+  EXPECT_EQ(slab.Resolve(~0ull), nullptr);
+  const uint32_t index = slab.Allocate();
+  const Slab<int>::Handle h = slab.HandleFor(index);
+  EXPECT_EQ(slab.Resolve(h + (1ull << 32)), nullptr);  // Wrong generation.
+  EXPECT_EQ(slab.Resolve(h + 1), nullptr);             // Wrong index.
+}
+
+TEST(InternerTest, SameContentSameId) {
+  StringInterner interner;
+  const char a[] = "prepare";
+  const std::string b = "prepare";  // Distinct pointer, same content.
+  const TypeId id = interner.Intern(a);
+  EXPECT_EQ(interner.Intern(a), id);        // Pointer fast path.
+  EXPECT_EQ(interner.Intern(b.c_str()), id);  // Content path.
+  EXPECT_EQ(interner.NameOf(id), "prepare");
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(InternerTest, IdsAreDenseInFirstInternOrder) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Intern("a"), 0);
+  EXPECT_EQ(interner.Intern("b"), 1);
+  EXPECT_EQ(interner.Intern("a"), 0);
+  EXPECT_EQ(interner.Intern("c"), 2);
+  EXPECT_EQ(interner.size(), 3u);
+  EXPECT_EQ(interner.NameOf(1), "b");
 }
 
 }  // namespace

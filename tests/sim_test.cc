@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "sim/simulation.h"
@@ -239,6 +242,222 @@ TEST(SimulationTest, SameTimeEventsFifo) {
   sim.ScheduleAt(5, [&] { order.push_back(0); });
   sim.RunFor(100);
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+/// Exposes the protected timer interface so tests can drive it directly.
+class TimerHost : public Process {
+ public:
+  void OnMessage(NodeId, const Message&) override {}
+  uint64_t Arm(Duration d, std::function<void()> fn) {
+    return SetTimer(d, std::move(fn));
+  }
+  void Cancel(uint64_t id) { CancelTimer(id); }
+};
+
+// Regression: cancelling a timer after it fired must be a no-op that leaves
+// no bookkeeping residue. The fired timer's slot is recycled (the next timer
+// reuses the same slab index) and the stale handle, whose generation no
+// longer matches, must not touch the slot's new occupant.
+TEST(SimulationTest, CancelAfterFireIsNoopAndLeavesNoResidue) {
+  Simulation sim(1);
+  TimerHost* host = sim.Spawn<TimerHost>();
+  sim.Start();
+
+  int first = 0;
+  int second = 0;
+  const uint64_t a = host->Arm(10, [&] { ++first; });
+  sim.RunFor(100);
+  EXPECT_EQ(first, 1);
+
+  // Only timer traffic in this simulation, so the freed slot is reused
+  // immediately: same slab index, fresh generation.
+  const uint64_t b = host->Arm(10, [&] { ++second; });
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a & 0xFFFFFFFFu, b & 0xFFFFFFFFu);
+
+  host->Cancel(a);  // Stale: must not cancel the slot's new occupant.
+  sim.RunFor(100);
+  EXPECT_EQ(second, 1);
+
+  host->Cancel(b);  // Cancel-after-fire, twice: still a no-op.
+  host->Cancel(b);
+  sim.RunFor(100);
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+// Regression: spawning while a partition is in effect used to read past the
+// end of the partition map. The new node must start isolated and join the
+// topology only on the next Partition()/Heal().
+TEST(SimulationTest, SpawnDuringPartitionStartsIsolated) {
+  NetworkOptions net;
+  net.min_delay = net.max_delay = 1 * kMillisecond;
+  Simulation sim(1, net);
+  Echo* a = sim.Spawn<Echo>();
+  Echo* b = sim.Spawn<Echo>();
+  sim.Start();
+  sim.Partition({{a->id()}, {b->id()}});
+
+  Pinger* late = sim.Spawn<Pinger>(a->id());
+  sim.Start();  // Runs OnStart for the newly spawned pinger.
+  sim.RunFor(10 * kMillisecond);
+  EXPECT_EQ(a->received, 0);  // Isolated: nothing crosses.
+  EXPECT_EQ(late->pongs, 0);
+
+  sim.Heal();
+  sim.Spawn<Pinger>(a->id());
+  sim.Start();
+  sim.RunFor(10 * kMillisecond);
+  EXPECT_EQ(a->received, 1);  // Healed topology covers the late spawns.
+}
+
+// Regression: a message in flight to a process that crashes *and restarts*
+// before the delivery time must be dropped. Delivery is for the incarnation
+// the message was addressed to, not whoever occupies the id later.
+TEST(SimulationTest, CrashAndRestartInsideDelayWindowDropsDelivery) {
+  NetworkOptions net;
+  net.min_delay = net.max_delay = 10 * kMillisecond;
+  Simulation sim(1, net);
+  Echo* echo = sim.Spawn<Echo>();
+  sim.Spawn<Pinger>(echo->id());
+  sim.Start();  // Ping sent at t=0, due at t=10ms.
+
+  sim.RunFor(2 * kMillisecond);
+  sim.Crash(echo->id());
+  sim.RunFor(2 * kMillisecond);
+  sim.Restart(echo->id());  // Alive again well before the delivery time.
+  sim.RunFor(20 * kMillisecond);
+  EXPECT_EQ(echo->received, 0);
+  EXPECT_EQ(sim.stats().messages_dropped, 1u);
+
+  // The restarted incarnation is reachable by fresh sends.
+  sim.Spawn<Pinger>(echo->id());
+  sim.Start();
+  sim.RunFor(20 * kMillisecond);
+  EXPECT_EQ(echo->received, 1);
+}
+
+// Regression: a send the topology rejects outright never reaches the
+// network, so it must count as dropped and nothing else — no messages_sent,
+// no bytes_sent, no per-type row.
+TEST(SimulationTest, TopologyRejectedSendIsNotCountedAsSent) {
+  Simulation sim(1);
+  Echo* echo = sim.Spawn<Echo>();
+  Pinger* pinger = sim.Spawn<Pinger>(echo->id());
+  sim.BlockLink(pinger->id(), echo->id());
+  sim.Start();
+  sim.RunFor(1 * kSecond);
+  EXPECT_EQ(echo->received, 0);
+  EXPECT_EQ(sim.stats().messages_sent, 0u);
+  EXPECT_EQ(sim.stats().bytes_sent, 0u);
+  EXPECT_EQ(sim.stats().messages_dropped, 1u);
+  EXPECT_EQ(sim.stats().sent_by_type.count("ping"), 0u);
+}
+
+// Regression: a failed RunUntil still consumes the waited-for interval, like
+// RunFor does; the clock must land on the deadline, not on the last event.
+TEST(SimulationTest, RunUntilAdvancesClockToDeadlineOnFailure) {
+  Simulation sim(1);
+  bool ran = false;
+  sim.ScheduleAt(10 * kMillisecond, [&] { ran = true; });
+  EXPECT_FALSE(sim.RunUntil([] { return false; }, 50 * kMillisecond));
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), 50 * kMillisecond);
+}
+
+// FIFO among same-time events must survive bucket recycling and handlers
+// that append to the current timestamp while it is being drained.
+TEST(SimulationTest, SameTimeFifoSurvivesBucketRecycling) {
+  Simulation sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    sim.ScheduleAt(10, [&order, i] { order.push_back(i); });
+  }
+  sim.RunFor(10);  // Drains and frees the t=10 bucket.
+  for (int i = 8; i < 16; ++i) {
+    sim.ScheduleAt(20, [&order, i] { order.push_back(i); });
+  }
+  sim.ScheduleAt(30, [&] {
+    order.push_back(16);
+    sim.ScheduleAt(30, [&] { order.push_back(17); });  // Same-time append.
+  });
+  sim.RunFor(100);
+  std::vector<int> want;
+  for (int i = 0; i < 18; ++i) want.push_back(i);
+  EXPECT_EQ(order, want);
+}
+
+/// Gossip workload for the replay test: multicasts on a timer, reacts to
+/// traffic by cancelling and re-arming that timer, so crashes interleave
+/// with pending timers and in-flight multicasts.
+class Gossiper : public Process {
+ public:
+  explicit Gossiper(int fleet) : fleet_(fleet) {}
+  void OnStart() override { Round_(); }
+  void OnMessage(NodeId, const Message&) override {
+    ++heard_;
+    if (heard_ % 3 == 0) {
+      CancelTimer(pending_);
+      pending_ = SetTimer(3 * kMillisecond, [this] { Round_(); });
+    }
+  }
+
+ private:
+  void Round_() {
+    std::vector<NodeId> targets;
+    for (NodeId n = 0; n < fleet_; ++n) {
+      if (n != id()) targets.push_back(n);
+    }
+    Multicast(targets, std::make_shared<Pong>());
+    pending_ = SetTimer(7 * kMillisecond, [this] { Round_(); });
+  }
+
+  int fleet_;
+  int heard_ = 0;
+  uint64_t pending_ = 0;
+};
+
+// Same seed, same scenario => byte-identical delivery order and statistics,
+// across jittered delays, random drops, multicast fan-out, timer
+// cancellation, and crash/restart epochs.
+TEST(SimulationTest, DeterministicReplayOfChaoticRun) {
+  struct Observed {
+    std::vector<std::tuple<NodeId, NodeId, uint64_t, Time>> deliveries;
+    uint64_t sent = 0, delivered = 0, dropped = 0, bytes = 0;
+    std::map<std::string, uint64_t> by_type;
+    bool operator==(const Observed&) const = default;
+  };
+  auto run = [] {
+    NetworkOptions net;
+    net.min_delay = 1 * kMillisecond;
+    net.max_delay = 5 * kMillisecond;
+    net.drop_rate = 0.1;
+    Simulation sim(7, net);
+    constexpr int kFleet = 5;
+    for (int i = 0; i < kFleet; ++i) sim.Spawn<Gossiper>(kFleet);
+    Observed seen;
+    sim.SetTraceFn([&](const Envelope& e, Time t) {
+      seen.deliveries.emplace_back(e.from, e.to, e.id, t);
+    });
+    sim.Start();
+    sim.RunFor(20 * kMillisecond);
+    sim.Crash(1);  // Crash with timers pending and multicasts in flight.
+    sim.RunFor(10 * kMillisecond);
+    sim.Restart(1);
+    sim.RunFor(5 * kMillisecond);
+    sim.Crash(3);
+    sim.RunFor(50 * kMillisecond);
+    seen.sent = sim.stats().messages_sent;
+    seen.delivered = sim.stats().messages_delivered;
+    seen.dropped = sim.stats().messages_dropped;
+    seen.bytes = sim.stats().bytes_sent;
+    seen.by_type = sim.stats().sent_by_type;
+    return seen;
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_GT(first.deliveries.size(), 100u);
+  EXPECT_TRUE(first == second);
 }
 
 }  // namespace

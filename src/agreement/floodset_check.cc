@@ -1,0 +1,95 @@
+/// Checker adapter for FloodSet. FloodSet runs in lockstep rounds rather
+/// than on the event simulator, so this adapter runs "direct": it maps the
+/// fault schedule's crash actions onto a CrashPlan (crash time scales to a
+/// round; the generator's aux randomness picks how far the dying broadcast
+/// reached) and evaluates the result. The in-bounds adapter runs the
+/// algorithm's full f+1 rounds; the out-of-bounds one stops at f rounds,
+/// where a crash chain can hide a value from part of the cluster.
+
+#include <memory>
+#include <string>
+
+#include "agreement/floodset.h"
+#include "check/adapters.h"
+
+namespace consensus40::check {
+namespace {
+
+class FloodSetCheckAdapter : public ProtocolAdapter {
+ public:
+  FloodSetCheckAdapter(std::vector<std::string> values, int max_crashed,
+                       int rounds, const char* label)
+      : values_(std::move(values)),
+        max_crashed_(max_crashed),
+        rounds_(rounds),
+        label_(label) {}
+
+  const char* name() const override { return label_; }
+
+  FaultBounds bounds() const override {
+    FaultBounds b;
+    b.nodes = static_cast<int>(values_.size());
+    b.max_crashed = max_crashed_;
+    b.delay_spikes = false;  // Lockstep rounds have no delay model.
+    return b;
+  }
+
+  void Build(sim::Simulation*) override {}
+  bool Done() const override { return true; }
+
+  bool RunsDirect() const override { return true; }
+
+  Observation RunDirect(const FaultSchedule& schedule) override {
+    const int n = static_cast<int>(values_.size());
+    const FaultBounds b = bounds();
+    agreement::CrashPlan plan;
+    plan.crash_round.assign(n, rounds_ + 1);
+    plan.reach.assign(n, n);
+    for (const FaultAction& a : schedule.actions) {
+      if (a.kind != FaultKind::kCrash) continue;
+      int round = 1 + static_cast<int>((a.at * rounds_) / (b.horizon + 1));
+      if (round > rounds_) round = rounds_;
+      plan.crash_round[a.node] = round;
+      plan.reach[a.node] = static_cast<int>(a.aux % (n + 1));
+    }
+
+    agreement::FloodSetResult result =
+        agreement::RunFloodSet(values_, plan, rounds_);
+    Observation o;
+    o.allowed = values_;
+    for (int i = 0; i < n; ++i) {
+      if (plan.crash_round[i] <= rounds_) continue;  // Crashed: no decision.
+      o.decided["0"][i] = result.decisions[i];
+    }
+    return o;
+  }
+
+  Observation Observe() const override { return {}; }
+
+ private:
+  std::vector<std::string> values_;
+  int max_crashed_;
+  int rounds_;
+  const char* label_;
+};
+
+}  // namespace
+
+AdapterFactory MakeFloodSetAdapter() {
+  // n=5, f=2, the algorithm's f+1 rounds: agreement must hold.
+  return [](uint64_t) {
+    return std::make_unique<FloodSetCheckAdapter>(
+        std::vector<std::string>{"b", "a", "c", "d", "e"}, 2, 3, "floodset");
+  };
+}
+
+AdapterFactory MakeFloodSetOutOfBoundsAdapter() {
+  // n=3, f=1 but only f rounds: one mid-broadcast crash of the node
+  // holding the minimum value splits the survivors.
+  return [](uint64_t) {
+    return std::make_unique<FloodSetCheckAdapter>(
+        std::vector<std::string>{"a", "b", "c"}, 1, 1, "floodset-f-rounds");
+  };
+}
+
+}  // namespace consensus40::check

@@ -1,0 +1,72 @@
+/// Checker adapter for CheapBFT: 2f+1=3 replicas, f+1 active. A crash
+/// among the active set triggers PANIC -> CheapSwitch -> MinBFT fallback,
+/// which is exactly the transition the sweep should hammer.
+
+#include <memory>
+#include <string>
+
+#include "check/adapters.h"
+#include "crypto/signatures.h"
+#include "cheapbft/cheapbft.h"
+
+namespace consensus40::check {
+namespace {
+
+class CheapBftCheckAdapter : public ProtocolAdapter {
+ public:
+  explicit CheapBftCheckAdapter(uint64_t seed)
+      : registry_(seed, kN + 4), usig_(&registry_) {}
+
+  const char* name() const override { return "cheapbft"; }
+
+  FaultBounds bounds() const override {
+    FaultBounds b;
+    b.nodes = kN;
+    b.max_crashed = kF;
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    cheapbft::CheapBftOptions opts;
+    opts.f = kF;
+    opts.registry = &registry_;
+    opts.usig = &usig_;
+    for (int i = 0; i < kN; ++i) {
+      replicas_.push_back(sim->Spawn<cheapbft::CheapBftReplica>(opts));
+    }
+    client_ = sim->Spawn<cheapbft::CheapBftClient>(kF, &registry_, kOps);
+  }
+
+  bool Done() const override { return client_->done(); }
+
+  Observation Observe() const override {
+    Observation o;
+    for (const cheapbft::CheapBftReplica* r : replicas_) {
+      std::vector<std::string> log;
+      for (const smr::Command& cmd : r->executed_commands()) {
+        log.push_back(cmd.ToString());
+      }
+      o.logs.push_back(std::move(log));
+    }
+    return o;
+  }
+
+ private:
+  static constexpr int kF = 1;
+  static constexpr int kN = 2 * kF + 1;
+  static constexpr int kOps = 4;
+  crypto::KeyRegistry registry_;
+  crypto::Usig usig_;
+  std::vector<cheapbft::CheapBftReplica*> replicas_;
+  cheapbft::CheapBftClient* client_ = nullptr;
+};
+
+}  // namespace
+
+AdapterFactory MakeCheapBftAdapter() {
+  return [](uint64_t seed) {
+    return std::make_unique<CheapBftCheckAdapter>(seed);
+  };
+}
+
+}  // namespace consensus40::check

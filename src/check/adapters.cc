@@ -1,0 +1,24 @@
+#include "check/adapters.h"
+
+namespace consensus40::check {
+
+std::vector<std::pair<const char*, AdapterFactory>> AllInBoundsAdapters() {
+  return {
+      {"paxos", MakePaxosAdapter()},
+      {"multi_paxos", MakeMultiPaxosAdapter()},
+      {"fast_paxos", MakeFastPaxosAdapter()},
+      {"raft", MakeRaftAdapter()},
+      {"pbft", MakePbftAdapter()},
+      {"minbft", MakeMinBftAdapter()},
+      {"hotstuff", MakeHotStuffAdapter()},
+      {"xft", MakeXftAdapter()},
+      {"zyzzyva", MakeZyzzyvaAdapter()},
+      {"cheapbft", MakeCheapBftAdapter()},
+      {"2pc", MakeTwoPhaseCommitAdapter()},
+      {"3pc", MakeThreePhaseCommitAdapter()},
+      {"benor", MakeBenOrAdapter()},
+      {"floodset", MakeFloodSetAdapter()},
+  };
+}
+
+}  // namespace consensus40::check

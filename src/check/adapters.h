@@ -1,0 +1,59 @@
+/// \file
+/// Factory declarations for every protocol's checker adapter. The
+/// definitions live next to the protocols they wrap (src/raft/
+/// raft_check.cc, src/pbft/pbft_check.cc, ...), so protocol authors keep
+/// ownership of their observables; this header is the checker-side
+/// roster.
+///
+/// Factories named *OutOfBounds* configure the protocol outside its
+/// stated fault/quorum model and exist so tests can assert the checker
+/// finds the violations the paper predicts (non-intersecting Paxos
+/// quorums, FloodSet with only f rounds, PBFT at n = 3f).
+
+#ifndef CONSENSUS40_CHECK_ADAPTERS_H_
+#define CONSENSUS40_CHECK_ADAPTERS_H_
+
+#include <utility>
+#include <vector>
+
+#include "check/checker.h"
+
+namespace consensus40::check {
+
+// --- In-bounds adapters (safety must hold for every schedule) ---
+AdapterFactory MakePaxosAdapter();          ///< single-decree, n=5
+AdapterFactory MakeMultiPaxosAdapter();     ///< SMR, n=5 + client
+AdapterFactory MakeFastPaxosAdapter();      ///< n=4, coordinator shielded
+AdapterFactory MakeRaftAdapter();           ///< SMR, n=5 + client
+AdapterFactory MakePbftAdapter();           ///< n=4, f=1
+AdapterFactory MakeMinBftAdapter();         ///< n=3, f=1 (USIG)
+AdapterFactory MakeHotStuffAdapter();       ///< n=4, f=1
+AdapterFactory MakeXftAdapter();            ///< n=5, crash faults only
+AdapterFactory MakeZyzzyvaAdapter();        ///< n=4, primary shielded
+AdapterFactory MakeCheapBftAdapter();       ///< f=1, passive activation
+AdapterFactory MakeTwoPhaseCommitAdapter();   ///< blocking: no liveness claim
+AdapterFactory MakeThreePhaseCommitAdapter(); ///< crash-only, synchronous
+AdapterFactory MakeBenOrAdapter();          ///< n=5, f=2, randomized
+AdapterFactory MakeFloodSetAdapter();       ///< f+1 rounds (runs direct)
+
+// --- Out-of-bounds adapters (violations must be discoverable) ---
+
+/// Paxos with q1 = q2 = 2 at n = 4: quorums need not intersect, so a
+/// partition lets two proposers decide different values.
+AdapterFactory MakePaxosOutOfBoundsAdapter();
+
+/// FloodSet cut one round short (f rounds for f crashes): a crash chain
+/// can hide a value from part of the cluster in every round.
+AdapterFactory MakeFloodSetOutOfBoundsAdapter();
+
+/// PBFT at n = 3, f = 1 (i.e. n = 3f): the quorum math degenerates
+/// (computed f' = 0, replicas commit straight from a pre-prepare), so an
+/// equivocating primary forks the two honest backups.
+AdapterFactory MakePbftOutOfBoundsAdapter();
+
+/// The full in-bounds roster, as (name, factory) pairs, for sweeping.
+std::vector<std::pair<const char*, AdapterFactory>> AllInBoundsAdapters();
+
+}  // namespace consensus40::check
+
+#endif  // CONSENSUS40_CHECK_ADAPTERS_H_

@@ -1,0 +1,266 @@
+#include "check/fault_schedule.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace consensus40::check {
+
+namespace {
+
+std::string FormatMs(sim::Time t) {
+  // Sub-millisecond times show as fractional ms so distinct injection
+  // points never collapse to the same label in a dump.
+  std::string s = std::to_string(t / sim::kMillisecond);
+  sim::Time frac = t % sim::kMillisecond;
+  if (frac != 0) {
+    std::string f = std::to_string(frac);
+    s += "." + std::string(3 - f.size(), '0') + f;
+  }
+  return s + "ms";
+}
+
+std::string FormatGroup(const std::vector<sim::NodeId>& g) {
+  std::string s = "{";
+  for (size_t i = 0; i < g.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(g[i]);
+  }
+  return s + "}";
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRestart:
+      return "restart";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kHeal:
+      return "heal";
+    case FaultKind::kDelaySpike:
+      return "spike";
+    case FaultKind::kDelayRestore:
+      return "unspike";
+  }
+  return "?";
+}
+
+std::string FaultSchedule::ToString() const {
+  std::string s = "schedule --seed=" + std::to_string(seed) + ": [";
+  for (const FaultAction& a : actions) {
+    s += " " + std::string(FaultKindName(a.kind));
+    switch (a.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kRestart:
+        s += "(" + std::to_string(a.node) + ")";
+        break;
+      case FaultKind::kPartition:
+        s += "(" + FormatGroup(a.group_a) + "|" + FormatGroup(a.group_b) + ")";
+        break;
+      case FaultKind::kDelaySpike:
+        s += "(" + FormatMs(a.spike_min) + ".." + FormatMs(a.spike_max) + ")";
+        break;
+      case FaultKind::kHeal:
+      case FaultKind::kDelayRestore:
+        break;
+    }
+    s += "@" + FormatMs(a.at);
+  }
+  return s + " ]";
+}
+
+FaultSchedule GenerateSchedule(uint64_t seed, const FaultBounds& bounds) {
+  // Decorrelate from the simulation rng (which protocols seed the same
+  // way) so schedule shape and message delays are independent draws.
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x45c1e3a8u);
+  FaultSchedule schedule;
+  schedule.seed = seed;
+
+  const int num_events = 1 + static_cast<int>(rng.NextBounded(6));
+  std::vector<sim::Time> times;
+  times.reserve(num_events);
+  const sim::Time lo = bounds.horizon / 20;
+  const sim::Time hi = bounds.horizon * 9 / 10;
+  for (int i = 0; i < num_events; ++i) {
+    times.push_back(lo + static_cast<sim::Time>(
+                             rng.NextBounded(static_cast<uint64_t>(hi - lo))));
+  }
+  std::sort(times.begin(), times.end());
+
+  std::vector<bool> crashed(static_cast<size_t>(std::max(bounds.nodes, 1)),
+                            false);
+  int crashed_count = 0;
+  bool partitioned = false;
+  bool spiked = false;
+
+  for (sim::Time t : times) {
+    std::vector<FaultKind> feasible;
+    if (bounds.nodes > 0 && crashed_count < bounds.max_crashed) {
+      feasible.push_back(FaultKind::kCrash);
+      // Crashes are the bread and butter; double their weight relative to
+      // the single-shot topology toggles.
+      feasible.push_back(FaultKind::kCrash);
+    }
+    if (bounds.restartable && crashed_count > 0) {
+      feasible.push_back(FaultKind::kRestart);
+    }
+    if (bounds.partitionable && !partitioned) {
+      feasible.push_back(FaultKind::kPartition);
+    }
+    if (partitioned) feasible.push_back(FaultKind::kHeal);
+    if (bounds.delay_spikes && !spiked) {
+      feasible.push_back(FaultKind::kDelaySpike);
+    }
+    if (spiked) feasible.push_back(FaultKind::kDelayRestore);
+    if (feasible.empty()) continue;
+
+    FaultAction a;
+    a.at = t;
+    a.kind = feasible[rng.NextBounded(feasible.size())];
+    a.aux = rng.Next();
+    switch (a.kind) {
+      case FaultKind::kCrash: {
+        int pick = static_cast<int>(
+            rng.NextBounded(static_cast<uint64_t>(bounds.nodes - crashed_count)));
+        for (int i = 0; i < bounds.nodes; ++i) {
+          if (crashed[i]) continue;
+          if (pick-- == 0) {
+            a.node = bounds.first_node + i;
+            crashed[i] = true;
+            ++crashed_count;
+            break;
+          }
+        }
+        break;
+      }
+      case FaultKind::kRestart: {
+        int pick = static_cast<int>(
+            rng.NextBounded(static_cast<uint64_t>(crashed_count)));
+        for (int i = 0; i < bounds.nodes; ++i) {
+          if (!crashed[i]) continue;
+          if (pick-- == 0) {
+            a.node = bounds.first_node + i;
+            crashed[i] = false;
+            --crashed_count;
+            break;
+          }
+        }
+        break;
+      }
+      case FaultKind::kPartition: {
+        // Random two-group cut over the fault window; the injector folds
+        // every node outside the window into group A.
+        for (int i = 0; i < bounds.nodes; ++i) {
+          sim::NodeId id = bounds.first_node + i;
+          if (rng.Next() & 1) {
+            a.group_a.push_back(id);
+          } else {
+            a.group_b.push_back(id);
+          }
+        }
+        if (a.group_a.empty()) {
+          a.group_a.push_back(a.group_b.back());
+          a.group_b.pop_back();
+        } else if (a.group_b.empty()) {
+          a.group_b.push_back(a.group_a.back());
+          a.group_a.pop_back();
+        }
+        partitioned = true;
+        break;
+      }
+      case FaultKind::kHeal:
+        partitioned = false;
+        break;
+      case FaultKind::kDelaySpike:
+        a.spike_min =
+            (5 + static_cast<sim::Duration>(rng.NextBounded(20))) *
+            sim::kMillisecond;
+        a.spike_max = a.spike_min +
+                      (10 + static_cast<sim::Duration>(rng.NextBounded(80))) *
+                          sim::kMillisecond;
+        spiked = true;
+        break;
+      case FaultKind::kDelayRestore:
+        spiked = false;
+        break;
+    }
+    schedule.actions.push_back(std::move(a));
+  }
+
+  // Tail: put the world back together at the horizon so the quiesce phase
+  // measures the protocol, not a still-broken network. Crash-stop
+  // protocols keep their crashed nodes down — that is their fault model.
+  if (partitioned) {
+    FaultAction a;
+    a.at = bounds.horizon;
+    a.kind = FaultKind::kHeal;
+    schedule.actions.push_back(std::move(a));
+  }
+  if (spiked) {
+    FaultAction a;
+    a.at = bounds.horizon;
+    a.kind = FaultKind::kDelayRestore;
+    schedule.actions.push_back(std::move(a));
+  }
+  if (bounds.restartable) {
+    for (int i = 0; i < bounds.nodes; ++i) {
+      if (!crashed[i]) continue;
+      FaultAction a;
+      a.at = bounds.horizon;
+      a.kind = FaultKind::kRestart;
+      a.node = bounds.first_node + i;
+      schedule.actions.push_back(std::move(a));
+    }
+  }
+  return schedule;
+}
+
+void InjectSchedule(sim::Simulation* sim, const FaultSchedule& schedule) {
+  // Captured before the run starts: delay-restore always returns to the
+  // pre-fault network, even if the spike action itself was shrunk away.
+  const sim::NetworkOptions base = sim->options();
+  for (const FaultAction& a : schedule.actions) {
+    sim->ScheduleAt(a.at, [sim, a, base] {
+      switch (a.kind) {
+        case FaultKind::kCrash:
+          if (!sim->IsCrashed(a.node)) sim->Crash(a.node);
+          break;
+        case FaultKind::kRestart:
+          if (sim->IsCrashed(a.node)) sim->Restart(a.node);
+          break;
+        case FaultKind::kPartition: {
+          std::vector<sim::NodeId> group_a = a.group_a;
+          for (sim::NodeId id = 0; id < sim->num_processes(); ++id) {
+            bool in_b = std::find(a.group_b.begin(), a.group_b.end(), id) !=
+                        a.group_b.end();
+            bool in_a = std::find(group_a.begin(), group_a.end(), id) !=
+                        group_a.end();
+            if (!in_a && !in_b) group_a.push_back(id);
+          }
+          sim->Partition({group_a, a.group_b});
+          break;
+        }
+        case FaultKind::kHeal:
+          sim->Heal();
+          break;
+        case FaultKind::kDelaySpike: {
+          sim::NetworkOptions o = sim->options();
+          o.min_delay = a.spike_min;
+          o.max_delay = a.spike_max;
+          sim->SetNetworkOptions(o);
+          break;
+        }
+        case FaultKind::kDelayRestore:
+          sim->SetNetworkOptions(base);
+          break;
+      }
+    });
+  }
+}
+
+}  // namespace consensus40::check

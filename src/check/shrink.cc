@@ -1,0 +1,42 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+
+namespace consensus40::check {
+
+FaultSchedule ShrinkSchedule(FaultSchedule schedule,
+                             const ScheduleTestFn& still_violates,
+                             int max_runs, ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats* st = stats != nullptr ? stats : &local;
+  st->runs = 0;
+  st->removed = 0;
+
+  size_t chunk = std::max<size_t>(1, schedule.actions.size() / 2);
+  while (!schedule.actions.empty() && st->runs < max_runs) {
+    bool removed_any = false;
+    for (size_t start = 0;
+         start < schedule.actions.size() && st->runs < max_runs;) {
+      const size_t end = std::min(start + chunk, schedule.actions.size());
+      FaultSchedule candidate = schedule;
+      candidate.actions.erase(candidate.actions.begin() + start,
+                              candidate.actions.begin() + end);
+      ++st->runs;
+      if (still_violates(candidate)) {
+        st->removed += static_cast<int>(end - start);
+        schedule = std::move(candidate);
+        removed_any = true;
+        // Do not advance: the next chunk slid into `start`.
+      } else {
+        start = end;
+      }
+    }
+    if (!removed_any) {
+      if (chunk == 1) break;
+      chunk = std::max<size_t>(1, chunk / 2);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace consensus40::check

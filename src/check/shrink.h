@@ -1,0 +1,39 @@
+/// \file
+/// Greedy delta-debugging shrinker for fault schedules. Given a schedule
+/// that triggers a violation, finds a (locally) minimal sub-schedule that
+/// still triggers one, so the repro recipe printed to the user is a
+/// handful of actions instead of a wall of them.
+
+#ifndef CONSENSUS40_CHECK_SHRINK_H_
+#define CONSENSUS40_CHECK_SHRINK_H_
+
+#include <functional>
+
+#include "check/fault_schedule.h"
+
+namespace consensus40::check {
+
+/// Returns true if the candidate schedule still exhibits the violation.
+/// Must be deterministic (re-running the same candidate gives the same
+/// answer) — which the simulator guarantees as long as the test replays
+/// with the same seed.
+using ScheduleTestFn = std::function<bool(const FaultSchedule&)>;
+
+struct ShrinkStats {
+  int runs = 0;      ///< candidate schedules evaluated
+  int removed = 0;   ///< actions shrunk away
+};
+
+/// ddmin-style greedy minimization: repeatedly tries to delete chunks of
+/// actions (halving the chunk size down to 1) and keeps any deletion that
+/// preserves the violation, until a fixed point or `max_runs` candidate
+/// evaluations. `schedule` must already violate; the result is 1-minimal
+/// w.r.t. single-action removal when the budget was not exhausted.
+FaultSchedule ShrinkSchedule(FaultSchedule schedule,
+                             const ScheduleTestFn& still_violates,
+                             int max_runs = 400,
+                             ShrinkStats* stats = nullptr);
+
+}  // namespace consensus40::check
+
+#endif  // CONSENSUS40_CHECK_SHRINK_H_

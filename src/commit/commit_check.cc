@@ -1,0 +1,204 @@
+/// Checker adapters for atomic commitment: 2PC (blocking — safety under
+/// any faults, no liveness claim) and 3PC with the FT termination protocol
+/// (non-blocking, but only under its stated model: crash-stop faults, no
+/// partitions, bounded delays).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/adapters.h"
+#include "commit/three_phase_commit.h"
+#include "commit/two_phase_commit.h"
+#include "commit/types.h"
+
+namespace consensus40::check {
+namespace {
+
+char VerdictChar(commit::TxState s) {
+  switch (s) {
+    case commit::TxState::kCommitted:
+      return 'C';
+    case commit::TxState::kAborted:
+      return 'A';
+    case commit::TxState::kPrepared:
+    case commit::TxState::kPreCommitted:
+      return 'P';
+    case commit::TxState::kUnknown:
+      break;
+  }
+  return 'U';
+}
+
+/// Three transactions: an all-yes commit, a forced abort (one "FAIL" op),
+/// and a two-participant commit, staggered across the fault window so
+/// crashes land in every phase.
+struct TxWorkload {
+  static std::vector<commit::Transaction> Transactions() {
+    commit::Transaction tx1;
+    tx1.tx_id = 1;
+    tx1.ops = {{0, "PUT a 1"}, {1, "PUT b 1"}, {2, "PUT c 1"}};
+    commit::Transaction tx2;
+    tx2.tx_id = 2;
+    tx2.ops = {{0, "PUT a 2"}, {1, "FAIL"}, {2, "PUT c 2"}};
+    commit::Transaction tx3;
+    tx3.tx_id = 3;
+    tx3.ops = {{0, "PUT a 3"}, {2, "PUT c 3"}};
+    return {tx1, tx2, tx3};
+  }
+  static constexpr sim::Time kBeginAt[3] = {20 * sim::kMillisecond,
+                                            120 * sim::kMillisecond,
+                                            400 * sim::kMillisecond};
+};
+
+class TwoPhaseCommitCheckAdapter : public ProtocolAdapter {
+ public:
+  const char* name() const override { return "2pc"; }
+
+  FaultBounds bounds() const override {
+    FaultBounds b;
+    b.nodes = kParticipants + 1;  // Coordinator included.
+    b.max_crashed = 2;
+    b.restartable = true;  // Tx tables model stable storage.
+    b.partitionable = true;
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    sim_ = sim;
+    for (int i = 0; i < kParticipants; ++i) {
+      participants_.push_back(sim->Spawn<commit::TwoPcParticipant>());
+    }
+    coordinator_ = sim->Spawn<commit::TwoPcCoordinator>();
+    const auto txs = TxWorkload::Transactions();
+    for (size_t i = 0; i < txs.size(); ++i) {
+      const commit::Transaction tx = txs[i];
+      sim->ScheduleAt(TxWorkload::kBeginAt[i], [this, tx] {
+        if (sim_->IsCrashed(coordinator_->id())) return;
+        coordinator_->Begin(tx);
+        begun_.push_back(tx.tx_id);
+      });
+    }
+  }
+
+  bool Done() const override {
+    for (uint64_t tx : begun_) {
+      if (!coordinator_->Finished(tx)) return false;
+    }
+    return begun_.size() == 3;
+  }
+
+  /// 2PC blocks by design when the coordinator dies in the decision
+  /// window; safety is the whole claim.
+  bool ExpectTermination() const override { return false; }
+
+  Observation Observe() const override {
+    Observation o;
+    for (uint64_t tx : begun_) {
+      for (const commit::TwoPcParticipant* p : participants_) {
+        o.verdicts[tx][p->id()] = VerdictChar(p->state(tx));
+      }
+      if (coordinator_->outcome(tx).has_value()) {
+        o.verdicts[tx][coordinator_->id()] =
+            *coordinator_->outcome(tx) ? 'C' : 'A';
+      }
+    }
+    return o;
+  }
+
+ private:
+  static constexpr int kParticipants = 3;
+  sim::Simulation* sim_ = nullptr;
+  std::vector<commit::TwoPcParticipant*> participants_;
+  commit::TwoPcCoordinator* coordinator_ = nullptr;
+  std::vector<uint64_t> begun_;
+};
+
+class ThreePhaseCommitCheckAdapter : public ProtocolAdapter {
+ public:
+  const char* name() const override { return "3pc"; }
+
+  FaultBounds bounds() const override {
+    // 3PC's stated model: synchronous network, crash-stop faults. The
+    // out-of-bounds behaviours (partitions, unbounded delay) are exactly
+    // what makes 3PC famous for being unsafe in practice, and exactly
+    // what the generator must not inject here.
+    FaultBounds b;
+    b.nodes = kParticipants + 1;
+    b.max_crashed = 1;
+    b.delay_spikes = false;
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    sim_ = sim;
+    for (int i = 0; i < kParticipants; ++i) {
+      participants_.push_back(sim->Spawn<commit::ThreePcParticipant>());
+    }
+    coordinator_ = sim->Spawn<commit::ThreePcCoordinator>();
+    const auto txs = TxWorkload::Transactions();
+    for (size_t i = 0; i < txs.size(); ++i) {
+      const commit::Transaction tx = txs[i];
+      sim->ScheduleAt(TxWorkload::kBeginAt[i], [this, tx] {
+        if (sim_->IsCrashed(coordinator_->id())) return;
+        coordinator_->Begin(tx);
+        begun_.push_back(tx.tx_id);
+      });
+    }
+  }
+
+  bool Done() const override {
+    // Non-blocking claim: every live participant leaves the uncertainty
+    // window for every transaction that was started.
+    for (uint64_t tx : begun_) {
+      for (const commit::ThreePcParticipant* p : participants_) {
+        if (sim_->IsCrashed(p->id())) continue;
+        commit::TxState s = p->state(tx);
+        if (s == commit::TxState::kPrepared ||
+            s == commit::TxState::kPreCommitted) {
+          return false;
+        }
+      }
+    }
+    return sim_->now() >= TxWorkload::kBeginAt[2];
+  }
+
+  Observation Observe() const override {
+    Observation o;
+    for (uint64_t tx : begun_) {
+      // Crashed nodes' verdicts count: a participant that committed and
+      // then died still committed.
+      for (const commit::ThreePcParticipant* p : participants_) {
+        o.verdicts[tx][p->id()] = VerdictChar(p->state(tx));
+      }
+      if (coordinator_->outcome(tx).has_value()) {
+        o.verdicts[tx][coordinator_->id()] =
+            *coordinator_->outcome(tx) ? 'C' : 'A';
+      }
+    }
+    return o;
+  }
+
+ private:
+  static constexpr int kParticipants = 3;
+  sim::Simulation* sim_ = nullptr;
+  std::vector<commit::ThreePcParticipant*> participants_;
+  commit::ThreePcCoordinator* coordinator_ = nullptr;
+  std::vector<uint64_t> begun_;
+};
+
+}  // namespace
+
+AdapterFactory MakeTwoPhaseCommitAdapter() {
+  return [](uint64_t) {
+    return std::make_unique<TwoPhaseCommitCheckAdapter>();
+  };
+}
+
+AdapterFactory MakeThreePhaseCommitAdapter() {
+  return [](uint64_t) {
+    return std::make_unique<ThreePhaseCommitCheckAdapter>();
+  };
+}
+
+}  // namespace consensus40::check

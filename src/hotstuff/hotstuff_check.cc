@@ -1,0 +1,72 @@
+/// Checker adapter for HotStuff: n=3f+1=4 with rotating leaders. Crash-stop
+/// faults plus delay spikes (the pacemaker absorbs asynchrony bursts by
+/// rotating views).
+
+#include <memory>
+#include <string>
+
+#include "check/adapters.h"
+#include "crypto/signatures.h"
+#include "hotstuff/hotstuff.h"
+
+namespace consensus40::check {
+namespace {
+
+class HotStuffCheckAdapter : public ProtocolAdapter {
+ public:
+  explicit HotStuffCheckAdapter(uint64_t seed) : registry_(seed, kN + 4) {}
+
+  const char* name() const override { return "hotstuff"; }
+
+  FaultBounds bounds() const override {
+    FaultBounds b;
+    b.nodes = kN;
+    b.max_crashed = (kN - 1) / 3;
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    hotstuff::HotStuffOptions opts;
+    opts.n = kN;
+    opts.registry = &registry_;
+    for (int i = 0; i < kN; ++i) {
+      replicas_.push_back(sim->Spawn<hotstuff::HotStuffReplica>(opts));
+    }
+    client_ = sim->Spawn<hotstuff::HotStuffClient>(kN, &registry_, kOps);
+  }
+
+  bool Done() const override { return client_->done(); }
+
+  Observation Observe() const override {
+    Observation o;
+    for (const hotstuff::HotStuffReplica* r : replicas_) {
+      std::vector<std::string> log;
+      for (const smr::Command& cmd : r->executed_commands()) {
+        log.push_back(cmd.ToString());
+      }
+      o.logs.push_back(std::move(log));
+      for (const std::string& v : r->violations()) {
+        o.self_reported.push_back("hotstuff replica " +
+                                  std::to_string(r->id()) + ": " + v);
+      }
+    }
+    return o;
+  }
+
+ private:
+  static constexpr int kN = 4;
+  static constexpr int kOps = 4;
+  crypto::KeyRegistry registry_;
+  std::vector<hotstuff::HotStuffReplica*> replicas_;
+  hotstuff::HotStuffClient* client_ = nullptr;
+};
+
+}  // namespace
+
+AdapterFactory MakeHotStuffAdapter() {
+  return [](uint64_t seed) {
+    return std::make_unique<HotStuffCheckAdapter>(seed);
+  };
+}
+
+}  // namespace consensus40::check

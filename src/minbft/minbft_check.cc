@@ -1,0 +1,71 @@
+/// Checker adapter for MinBFT: n=2f+1=3 with the shared trusted USIG.
+/// Crash-stop (no restart path) — the USIG counters make a restarted
+/// replica's old incarnation indistinguishable from equivocation.
+
+#include <memory>
+#include <string>
+
+#include "check/adapters.h"
+#include "crypto/signatures.h"
+#include "minbft/minbft.h"
+
+namespace consensus40::check {
+namespace {
+
+class MinBftCheckAdapter : public ProtocolAdapter {
+ public:
+  explicit MinBftCheckAdapter(uint64_t seed)
+      : registry_(seed, kN + 4), usig_(&registry_) {}
+
+  const char* name() const override { return "minbft"; }
+
+  FaultBounds bounds() const override {
+    FaultBounds b;
+    b.nodes = kN;
+    b.max_crashed = (kN - 1) / 2;
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    minbft::MinBftOptions opts;
+    opts.n = kN;
+    opts.registry = &registry_;
+    opts.usig = &usig_;
+    for (int i = 0; i < kN; ++i) {
+      replicas_.push_back(sim->Spawn<minbft::MinBftReplica>(opts));
+    }
+    client_ = sim->Spawn<minbft::MinBftClient>(kN, &registry_, kOps);
+  }
+
+  bool Done() const override { return client_->done(); }
+
+  Observation Observe() const override {
+    Observation o;
+    for (const minbft::MinBftReplica* r : replicas_) {
+      std::vector<std::string> log;
+      for (const smr::Command& cmd : r->executed_commands()) {
+        log.push_back(cmd.ToString());
+      }
+      o.logs.push_back(std::move(log));
+    }
+    return o;
+  }
+
+ private:
+  static constexpr int kN = 3;
+  static constexpr int kOps = 4;
+  crypto::KeyRegistry registry_;
+  crypto::Usig usig_;
+  std::vector<minbft::MinBftReplica*> replicas_;
+  minbft::MinBftClient* client_ = nullptr;
+};
+
+}  // namespace
+
+AdapterFactory MakeMinBftAdapter() {
+  return [](uint64_t seed) {
+    return std::make_unique<MinBftCheckAdapter>(seed);
+  };
+}
+
+}  // namespace consensus40::check

@@ -1,0 +1,65 @@
+/// Checker adapter for Fast Paxos: n=4 acceptors (process 0 doubles as the
+/// coordinator and is shielded from faults — the module has no coordinator
+/// failover), two rival clients racing on the fast path.
+
+#include <memory>
+#include <string>
+
+#include "check/adapters.h"
+#include "paxos/fast_paxos.h"
+
+namespace consensus40::check {
+namespace {
+
+class FastPaxosCheckAdapter : public ProtocolAdapter {
+ public:
+  const char* name() const override { return "fast_paxos"; }
+
+  FaultBounds bounds() const override {
+    FaultBounds b;
+    // Only the non-coordinator acceptors are fault-injectable; crash-stop
+    // (no OnRestart), no partitions (single-shot client proposals are
+    // never retransmitted, so a cut would read as a liveness failure).
+    b.first_node = 1;
+    b.nodes = kN - 1;
+    b.max_crashed = (kN - 1) / 3;
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    paxos::FastPaxosOptions opts;
+    opts.n = kN;
+    for (int i = 0; i < kN; ++i) {
+      acceptors_.push_back(sim->Spawn<paxos::FastPaxosAcceptor>(opts));
+    }
+    sim->Spawn<paxos::FastPaxosClient>(kN, "A", 10 * sim::kMillisecond);
+    sim->Spawn<paxos::FastPaxosClient>(kN, "B", 11 * sim::kMillisecond);
+  }
+
+  bool Done() const override {
+    return acceptors_[0]->chosen().has_value();
+  }
+
+  Observation Observe() const override {
+    Observation o;
+    o.allowed = {"A", "B"};
+    for (const paxos::FastPaxosAcceptor* a : acceptors_) {
+      if (a->chosen().has_value()) {
+        o.decided["0"][a->id()] = *a->chosen();
+      }
+    }
+    return o;
+  }
+
+ private:
+  static constexpr int kN = 4;
+  std::vector<paxos::FastPaxosAcceptor*> acceptors_;
+};
+
+}  // namespace
+
+AdapterFactory MakeFastPaxosAdapter() {
+  return [](uint64_t) { return std::make_unique<FastPaxosCheckAdapter>(); };
+}
+
+}  // namespace consensus40::check

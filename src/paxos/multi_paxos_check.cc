@@ -1,0 +1,69 @@
+/// Checker adapter for Multi-Paxos: n=5 replicas plus a retrying client;
+/// safety observables are the per-replica committed log prefixes.
+
+#include <memory>
+#include <string>
+
+#include "check/adapters.h"
+#include "paxos/multi_paxos.h"
+
+namespace consensus40::check {
+namespace {
+
+class MultiPaxosCheckAdapter : public ProtocolAdapter {
+ public:
+  const char* name() const override { return "multi_paxos"; }
+
+  FaultBounds bounds() const override {
+    FaultBounds b;
+    b.nodes = kN;
+    b.max_crashed = (kN - 1) / 2;
+    b.restartable = true;
+    b.partitionable = true;
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    paxos::MultiPaxosOptions opts;
+    opts.n = kN;
+    for (int i = 0; i < kN; ++i) {
+      replicas_.push_back(sim->Spawn<paxos::MultiPaxosReplica>(opts));
+    }
+    client_ = sim->Spawn<paxos::MultiPaxosClient>(kN, kOps);
+  }
+
+  bool Done() const override { return client_->done(); }
+
+  Observation Observe() const override {
+    Observation o;
+    for (const paxos::MultiPaxosReplica* r : replicas_) {
+      std::vector<std::string> log;
+      const smr::ReplicatedLog& rlog = r->log();
+      for (uint64_t k = 0; k < rlog.commit_frontier(); ++k) {
+        const smr::Command* cmd = rlog.Get(k);
+        if (cmd == nullptr) break;
+        log.push_back(cmd->ToString());
+      }
+      o.logs.push_back(std::move(log));
+      for (const std::string& v : r->violations()) {
+        o.self_reported.push_back("multi_paxos replica " +
+                                  std::to_string(r->id()) + ": " + v);
+      }
+    }
+    return o;
+  }
+
+ private:
+  static constexpr int kN = 5;
+  static constexpr int kOps = 5;
+  std::vector<paxos::MultiPaxosReplica*> replicas_;
+  paxos::MultiPaxosClient* client_ = nullptr;
+};
+
+}  // namespace
+
+AdapterFactory MakeMultiPaxosAdapter() {
+  return [](uint64_t) { return std::make_unique<MultiPaxosCheckAdapter>(); };
+}
+
+}  // namespace consensus40::check

@@ -1,0 +1,136 @@
+/// Checker adapters for single-decree Paxos: the in-bounds majority-quorum
+/// configuration, and the out-of-bounds Flexible Paxos configuration with
+/// non-intersecting quorums (q1 + q2 <= n) whose agreement violation the
+/// checker must be able to find.
+
+#include <memory>
+#include <string>
+
+#include "check/adapters.h"
+#include "paxos/paxos.h"
+
+namespace consensus40::check {
+namespace {
+
+/// n=5 cluster, two rival proposers. The probe models clients re-submitting
+/// after a proposer crash: without it a schedule that kills both proposers
+/// before phase 2 completes would stall forever (proposer state is
+/// volatile by design) and read as a liveness failure.
+class PaxosCheckAdapter : public ProtocolAdapter {
+ public:
+  PaxosCheckAdapter(int n, int q1, int q2, bool out_of_bounds)
+      : n_(n), q1_(q1), q2_(q2), out_of_bounds_(out_of_bounds) {}
+
+  const char* name() const override {
+    return out_of_bounds_ ? "paxos-q1+q2<=n" : "paxos";
+  }
+
+  FaultBounds bounds() const override {
+    FaultBounds b;
+    b.nodes = n_;
+    if (out_of_bounds_) {
+      // No crashes: the point is that partitions alone break
+      // non-intersecting quorums.
+      b.max_crashed = 0;
+      b.partitionable = true;
+      b.restartable = false;
+    } else {
+      b.max_crashed = (n_ - 1) / 2;
+      b.partitionable = true;
+      b.restartable = true;  // Acceptor state survives OnRestart.
+    }
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    sim_ = sim;
+    paxos::PaxosOptions opts;
+    opts.n = n_;
+    opts.q1 = q1_;
+    opts.q2 = q2_;
+    for (int i = 0; i < n_; ++i) {
+      nodes_.push_back(sim->Spawn<paxos::PaxosNode>(opts));
+    }
+    // In bounds the rivals race from t=0. Out of bounds the interesting
+    // interleaving needs both proposals to land while a partition is up,
+    // and generated partitions live in the middle of the horizon — two
+    // proposers racing at t=1ms converge long before any cut appears.
+    const sim::Time first_at =
+        out_of_bounds_ ? bounds().horizon * 2 / 5 : 1 * sim::kMillisecond;
+    const sim::Time second_at = first_at + 1 * sim::kMillisecond;
+    const sim::NodeId second = out_of_bounds_ ? n_ - 1 : 1;
+    sim->ScheduleAt(first_at, [this] {
+      if (!sim_->IsCrashed(0)) nodes_[0]->Propose("red");
+    });
+    sim->ScheduleAt(second_at, [this, second] {
+      if (!sim_->IsCrashed(second)) nodes_[second]->Propose("blue");
+    });
+  }
+
+  bool Done() const override {
+    for (const paxos::PaxosNode* node : nodes_) {
+      if (!sim_->IsCrashed(node->id()) && !node->decided().has_value()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool ExpectTermination() const override { return !out_of_bounds_; }
+
+  void OnProbe(sim::Simulation* sim) override {
+    // Every ~500ms of undecided time, the lowest live node re-proposes.
+    if (++probes_ % 10 != 0) return;
+    for (const paxos::PaxosNode* node : nodes_) {
+      if (node->decided().has_value()) return;
+    }
+    for (paxos::PaxosNode* node : nodes_) {
+      if (!sim->IsCrashed(node->id())) {
+        node->Propose("red");
+        return;
+      }
+    }
+  }
+
+  Observation Observe() const override {
+    Observation o;
+    o.allowed = {"red", "blue"};
+    for (const paxos::PaxosNode* node : nodes_) {
+      if (node->decided().has_value()) {
+        o.decided["0"][node->id()] = *node->decided();
+      }
+      for (const std::string& v : node->violations()) {
+        o.self_reported.push_back("paxos node " + std::to_string(node->id()) +
+                                  ": " + v);
+      }
+    }
+    return o;
+  }
+
+ private:
+  int n_;
+  int q1_;
+  int q2_;
+  bool out_of_bounds_;
+  sim::Simulation* sim_ = nullptr;
+  std::vector<paxos::PaxosNode*> nodes_;
+  int probes_ = 0;
+};
+
+}  // namespace
+
+AdapterFactory MakePaxosAdapter() {
+  return [](uint64_t) {
+    return std::make_unique<PaxosCheckAdapter>(5, -1, -1, false);
+  };
+}
+
+AdapterFactory MakePaxosOutOfBoundsAdapter() {
+  // n=4 with q1=q2=2: phase-1 and phase-2 quorums need not intersect, so
+  // two proposers on either side of a partition can both decide.
+  return [](uint64_t) {
+    return std::make_unique<PaxosCheckAdapter>(4, 2, 2, true);
+  };
+}
+
+}  // namespace consensus40::check

@@ -5,18 +5,14 @@
 
 namespace consensus40::pbft {
 
-namespace {
-
-crypto::Digest PrePrepareDigest(int64_t view, uint64_t seq,
-                                const crypto::Digest& digest) {
+crypto::Digest PbftReplica::PrePrepareDigest(int64_t view, uint64_t seq,
+                                             const crypto::Digest& digest) {
   crypto::Sha256 h;
   h.Update(&view, sizeof(view));
   h.Update(&seq, sizeof(seq));
   h.Update(digest.data(), digest.size());
   return h.Finish();
 }
-
-}  // namespace
 
 crypto::Digest SignedVote::SigningDigest() const {
   crypto::Sha256 h;

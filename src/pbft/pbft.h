@@ -115,6 +115,12 @@ class PbftReplica : public sim::Process {
   /// Canonical digest of a request batch.
   static crypto::Digest BatchDigest(const std::vector<smr::Command>& cmds);
 
+  /// Digest the primary signs for a pre-prepare: (view, seq, batch digest).
+  /// Public for the same reason the messages are — adversaries forge
+  /// pre-prepares, honest replicas verify them.
+  static crypto::Digest PrePrepareDigest(int64_t view, uint64_t seq,
+                                         const crypto::Digest& digest);
+
   /// True iff every command in the batch is well-formed and client-signed.
   static bool ValidBatch(const std::vector<smr::Command>& cmds,
                          const std::vector<crypto::Signature>& sigs,

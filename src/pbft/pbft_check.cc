@@ -1,0 +1,185 @@
+/// Checker adapters for PBFT: the in-bounds n=3f+1 configuration, and the
+/// out-of-bounds n=3f configuration (n=3, f=1) where the implementation's
+/// quorum math degenerates to f'=0 — replicas commit straight from a valid
+/// pre-prepare — so an equivocating primary forks the two honest backups.
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/adapters.h"
+#include "crypto/signatures.h"
+#include "pbft/pbft.h"
+
+namespace consensus40::check {
+namespace {
+
+class PbftCheckAdapter : public ProtocolAdapter {
+ public:
+  explicit PbftCheckAdapter(uint64_t seed) : registry_(seed, kN + 4) {}
+
+  const char* name() const override { return "pbft"; }
+
+  FaultBounds bounds() const override {
+    FaultBounds b;
+    b.nodes = kN;
+    b.max_crashed = (kN - 1) / 3;
+    b.restartable = true;
+    b.partitionable = true;
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    pbft::PbftOptions opts;
+    opts.n = kN;
+    opts.registry = &registry_;
+    opts.checkpoint_interval = 4;  // Exercise checkpointing in-sweep.
+    for (int i = 0; i < kN; ++i) {
+      replicas_.push_back(sim->Spawn<pbft::PbftReplica>(opts));
+    }
+    client_ = sim->Spawn<pbft::PbftClient>(kN, &registry_, kOps);
+  }
+
+  bool Done() const override { return client_->done(); }
+
+  Observation Observe() const override {
+    Observation o;
+    for (const pbft::PbftReplica* r : replicas_) {
+      std::vector<std::string> log;
+      for (const smr::Command& cmd : r->executed_commands()) {
+        log.push_back(cmd.ToString());
+      }
+      o.logs.push_back(std::move(log));
+      for (const std::string& v : r->violations()) {
+        o.self_reported.push_back("pbft replica " + std::to_string(r->id()) +
+                                  ": " + v);
+      }
+    }
+    return o;
+  }
+
+ private:
+  static constexpr int kN = 4;
+  static constexpr int kOps = 4;
+  crypto::KeyRegistry registry_;
+  std::vector<pbft::PbftReplica*> replicas_;
+  pbft::PbftClient* client_ = nullptr;
+};
+
+/// Primary that assigns the same sequence numbers to different request
+/// orderings per backup. With n=3f+1 the prepare quorum forces a single
+/// order; at n=3 the degenerate quorum lets both forks commit.
+class EquivocatingPbftPrimary : public pbft::PbftReplica {
+ public:
+  explicit EquivocatingPbftPrimary(pbft::PbftOptions options)
+      : pbft::PbftReplica(options), registry_(options.registry) {}
+
+ protected:
+  bool MaybeActMaliciouslyOnRequest(const smr::Command& cmd,
+                                    const crypto::Signature& sig) override {
+    for (const auto& [seen, unused] : pending_) {
+      if (seen == cmd) return true;  // client retry of a swallowed request
+    }
+    pending_.emplace_back(cmd, sig);
+    if (pending_.size() < 2) return true;
+    for (sim::NodeId backup = 1; backup <= 2; ++backup) {
+      for (uint64_t k = 0; k < 2; ++k) {
+        // Backup 1 sees [A, B], backup 2 sees [B, A].
+        const auto& [fork_cmd, fork_sig] =
+            pending_[(k + static_cast<uint64_t>(backup) + 1) % 2];
+        auto pp = std::make_shared<PrePrepareMsg>();
+        pp->view = 0;
+        pp->seq = next_seq_ + k;
+        pp->cmds = {fork_cmd};
+        pp->client_sigs = {fork_sig};
+        pp->digest = BatchDigest(pp->cmds);
+        pp->sig = registry_->Sign(
+            id(), PrePrepareDigest(pp->view, pp->seq, pp->digest));
+        Send(backup, pp);
+      }
+    }
+    next_seq_ += 2;
+    pending_.clear();
+    return true;
+  }
+
+ private:
+  const crypto::KeyRegistry* registry_;
+  std::vector<std::pair<smr::Command, crypto::Signature>> pending_;
+  uint64_t next_seq_ = 1;
+};
+
+class PbftOutOfBoundsAdapter : public ProtocolAdapter {
+ public:
+  explicit PbftOutOfBoundsAdapter(uint64_t seed) : registry_(seed, kN + 4) {}
+
+  const char* name() const override { return "pbft-n=3f"; }
+
+  FaultBounds bounds() const override {
+    // The Byzantine primary is the whole fault budget: no injected
+    // crashes — the point is that n=3f forks even on a calm network.
+    FaultBounds b;
+    b.nodes = 0;
+    b.delay_spikes = false;
+    b.horizon = 1 * sim::kSecond;
+    b.quiesce = 2 * sim::kSecond;
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    pbft::PbftOptions opts;
+    opts.n = kN;
+    opts.registry = &registry_;
+    auto* evil = sim->Spawn<EquivocatingPbftPrimary>(opts);
+    sim->MarkByzantine(evil->id());
+    for (int i = 1; i < kN; ++i) {
+      backups_.push_back(sim->Spawn<pbft::PbftReplica>(opts));
+    }
+    // Two clients so the primary holds two distinct requests to fork.
+    sim->Spawn<pbft::PbftClient>(kN, &registry_, 1, "a");
+    sim->Spawn<pbft::PbftClient>(kN, &registry_, 1, "b");
+  }
+
+  bool Done() const override {
+    for (const pbft::PbftReplica* r : backups_) {
+      if (r->executed_commands().size() < 2) return false;
+    }
+    return true;
+  }
+
+  bool ExpectTermination() const override { return false; }
+
+  Observation Observe() const override {
+    Observation o;
+    // Only the honest backups' logs count; the Byzantine primary's state
+    // is unconstrained.
+    for (const pbft::PbftReplica* r : backups_) {
+      std::vector<std::string> log;
+      for (const smr::Command& cmd : r->executed_commands()) {
+        log.push_back(cmd.ToString());
+      }
+      o.logs.push_back(std::move(log));
+    }
+    return o;
+  }
+
+ private:
+  static constexpr int kN = 3;  // = 3f for f=1: out of bounds.
+  crypto::KeyRegistry registry_;
+  std::vector<pbft::PbftReplica*> backups_;
+};
+
+}  // namespace
+
+AdapterFactory MakePbftAdapter() {
+  return [](uint64_t seed) { return std::make_unique<PbftCheckAdapter>(seed); };
+}
+
+AdapterFactory MakePbftOutOfBoundsAdapter() {
+  return [](uint64_t seed) {
+    return std::make_unique<PbftOutOfBoundsAdapter>(seed);
+  };
+}
+
+}  // namespace consensus40::check

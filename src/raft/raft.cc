@@ -220,6 +220,16 @@ void RaftReplica::BecomeLeader() {
     next_index_[peer] = LogEnd();
     match_index_[peer] = 0;
   }
+  // AdvanceCommitIndex may only count replicas for entries of the
+  // current term, so a leader whose log ends in an uncommitted
+  // prior-term tail can never commit it without new traffic — and a
+  // retried client command already present in that tail appends
+  // nothing. Commit a no-op in our own term to pull the tail through
+  // (Raft paper §8). Every uncommitted entry here is prior-term: the
+  // candidate bumped its term before winning.
+  if (LogEnd() > commit_index_) {
+    log_.push_back(LogEntry{current_term_, smr::Command{-3, 0, "NOOP"}});
+  }
   BroadcastAppendEntries();  // Immediate heartbeat asserts leadership.
 }
 
@@ -283,6 +293,7 @@ void RaftReplica::ApplyCommitted() {
   while (last_applied_ < commit_index_) {
     const LogEntry& entry = EntryAt(last_applied_ + 1);
     ++last_applied_;
+    if (entry.cmd.client == -3) continue;  // Leader term-start no-op.
     auto config = ParseConfig(entry.cmd);
     if (config) {
       // A committed configuration that no longer contains us (leader

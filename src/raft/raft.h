@@ -83,6 +83,10 @@ class RaftReplica : public sim::Process {
   Role role() const { return role_; }
   bool IsLeader() const { return role_ == Role::kLeader; }
   int64_t current_term() const { return current_term_; }
+  /// Who this replica voted for in current_term() (kInvalidNode if nobody).
+  /// Persistent: must survive Crash()/Restart(), or a node could grant two
+  /// votes in one term and elect two leaders.
+  sim::NodeId voted_for() const { return voted_for_; }
   sim::NodeId LeaderHint() const { return leader_hint_; }
   uint64_t commit_index() const { return commit_index_; }
   const std::vector<LogEntry>& raft_log() const { return log_; }

@@ -1,0 +1,85 @@
+/// Checker adapter for Raft: n=5 replicas plus a retrying client. Beyond
+/// the shared log-prefix invariant, the probe tracks Election Safety (at
+/// most one leader per term) — the invariant that vote durability across
+/// crash/restart protects.
+
+#include <memory>
+#include <string>
+
+#include "check/adapters.h"
+#include "raft/raft.h"
+
+namespace consensus40::check {
+namespace {
+
+class RaftCheckAdapter : public ProtocolAdapter {
+ public:
+  const char* name() const override { return "raft"; }
+
+  FaultBounds bounds() const override {
+    FaultBounds b;
+    b.nodes = kN;
+    b.max_crashed = (kN - 1) / 2;
+    b.restartable = true;  // term/votedFor/log survive OnRestart.
+    b.partitionable = true;
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    raft::RaftOptions opts;
+    opts.n = kN;
+    for (int i = 0; i < kN; ++i) {
+      replicas_.push_back(sim->Spawn<raft::RaftReplica>(opts));
+    }
+    client_ = sim->Spawn<raft::RaftClient>(kN, kOps);
+  }
+
+  bool Done() const override { return client_->done(); }
+
+  void OnProbe(sim::Simulation*) override {
+    for (const raft::RaftReplica* r : replicas_) {
+      if (r->crashed() || !r->IsLeader()) continue;
+      auto [it, inserted] = term_leaders_.emplace(r->current_term(), r->id());
+      if (!inserted && it->second != r->id()) {
+        election_violations_.push_back(
+            "election safety: term " + std::to_string(r->current_term()) +
+            " has leaders " + std::to_string(it->second) + " and " +
+            std::to_string(r->id()));
+      }
+    }
+  }
+
+  Observation Observe() const override {
+    Observation o;
+    for (const raft::RaftReplica* r : replicas_) {
+      std::vector<std::string> log;
+      for (const smr::Command& cmd : r->CommittedCommands()) {
+        log.push_back(cmd.ToString());
+      }
+      o.logs.push_back(std::move(log));
+      for (const std::string& v : r->violations()) {
+        o.self_reported.push_back("raft replica " + std::to_string(r->id()) +
+                                  ": " + v);
+      }
+    }
+    o.self_reported.insert(o.self_reported.end(), election_violations_.begin(),
+                           election_violations_.end());
+    return o;
+  }
+
+ private:
+  static constexpr int kN = 5;
+  static constexpr int kOps = 5;
+  std::vector<raft::RaftReplica*> replicas_;
+  raft::RaftClient* client_ = nullptr;
+  std::map<int64_t, sim::NodeId> term_leaders_;
+  std::vector<std::string> election_violations_;
+};
+
+}  // namespace
+
+AdapterFactory MakeRaftAdapter() {
+  return [](uint64_t) { return std::make_unique<RaftCheckAdapter>(); };
+}
+
+}  // namespace consensus40::check

@@ -1,0 +1,70 @@
+/// Checker adapter for Ben-Or randomized consensus: n=5, f=2 crash faults
+/// under asynchrony. Delay spikes are fair game (the protocol is
+/// asynchronous); partitions are not injected because dropped round
+/// messages are never retransmitted, which turns any cut into a trivial
+/// liveness failure rather than an interesting schedule.
+
+#include <memory>
+#include <string>
+
+#include "check/adapters.h"
+#include "randomized/benor.h"
+
+namespace consensus40::check {
+namespace {
+
+class BenOrCheckAdapter : public ProtocolAdapter {
+ public:
+  const char* name() const override { return "benor"; }
+
+  FaultBounds bounds() const override {
+    FaultBounds b;
+    b.nodes = kN;
+    b.max_crashed = 2;  // f < n/2.
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    sim_ = sim;
+    benor_options_.n = kN;
+    const int initial[kN] = {0, 1, 0, 1, 1};
+    for (int i = 0; i < kN; ++i) {
+      nodes_.push_back(
+          sim->Spawn<randomized::BenOrNode>(benor_options_, initial[i]));
+    }
+  }
+
+  bool Done() const override {
+    for (const randomized::BenOrNode* node : nodes_) {
+      if (!sim_->IsCrashed(node->id()) && !node->decided().has_value()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Observation Observe() const override {
+    Observation o;
+    o.allowed = {"0", "1"};
+    for (const randomized::BenOrNode* node : nodes_) {
+      if (node->decided().has_value()) {
+        o.decided["0"][node->id()] = std::to_string(*node->decided());
+      }
+    }
+    return o;
+  }
+
+ private:
+  static constexpr int kN = 5;
+  sim::Simulation* sim_ = nullptr;
+  randomized::BenOrOptions benor_options_;
+  std::vector<randomized::BenOrNode*> nodes_;
+};
+
+}  // namespace
+
+AdapterFactory MakeBenOrAdapter() {
+  return [](uint64_t) { return std::make_unique<BenOrCheckAdapter>(); };
+}
+
+}  // namespace consensus40::check

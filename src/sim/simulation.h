@@ -215,7 +215,16 @@ class Simulation {
   Rng& rng() { return rng_; }
   NetStats& stats() { return stats_; }
   const NetworkOptions& options() const { return options_; }
-  NetworkOptions& mutable_options() { return options_; }
+
+  /// Replaces the network options mid-run. This is the injection hook used
+  /// by fault schedules for delay spikes: messages sent after the call use
+  /// the new delay/drop model (in-flight messages keep their old delivery
+  /// times). Always goes through here rather than mutating options()
+  /// directly so the fixed-delay fast-path cache stays coherent.
+  void SetNetworkOptions(const NetworkOptions& o) {
+    options_ = o;
+    fixed_delay_ = delay_fn_ ? -1 : FixedDelayFor(options_);
+  }
 
   /// Calls OnStart on every process that has not been started yet. Safe to
   /// call repeatedly (e.g. after spawning more processes).

@@ -1,0 +1,68 @@
+/// Checker adapter for XFT (XPaxos): n=2f+1=5. The in-bounds model is
+/// crash faults only — XFT's bet is that crash faults and partitions
+/// together stay under f, and Byzantine-plus-partition "anarchy" is
+/// outside the model — so schedules crash up to f replicas and spike
+/// delays, but never cut the network.
+
+#include <memory>
+#include <string>
+
+#include "check/adapters.h"
+#include "crypto/signatures.h"
+#include "xft/xft.h"
+
+namespace consensus40::check {
+namespace {
+
+class XftCheckAdapter : public ProtocolAdapter {
+ public:
+  explicit XftCheckAdapter(uint64_t seed) : registry_(seed, kN + 4) {}
+
+  const char* name() const override { return "xft"; }
+
+  FaultBounds bounds() const override {
+    FaultBounds b;
+    b.nodes = kN;
+    b.max_crashed = (kN - 1) / 2;
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    xft::XftOptions opts;
+    opts.n = kN;
+    opts.registry = &registry_;
+    for (int i = 0; i < kN; ++i) {
+      replicas_.push_back(sim->Spawn<xft::XftReplica>(opts));
+    }
+    client_ = sim->Spawn<xft::XftClient>(kN, &registry_, kOps);
+  }
+
+  bool Done() const override { return client_->done(); }
+
+  Observation Observe() const override {
+    Observation o;
+    for (const xft::XftReplica* r : replicas_) {
+      std::vector<std::string> log;
+      for (const smr::Command& cmd : r->executed_commands()) {
+        log.push_back(cmd.ToString());
+      }
+      o.logs.push_back(std::move(log));
+    }
+    return o;
+  }
+
+ private:
+  static constexpr int kN = 5;
+  static constexpr int kOps = 4;
+  crypto::KeyRegistry registry_;
+  std::vector<xft::XftReplica*> replicas_;
+  xft::XftClient* client_ = nullptr;
+};
+
+}  // namespace
+
+AdapterFactory MakeXftAdapter() {
+  return [](uint64_t seed) { return std::make_unique<XftCheckAdapter>(seed); };
+}
+
+}  // namespace consensus40::check

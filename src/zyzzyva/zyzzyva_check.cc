@@ -1,0 +1,70 @@
+/// Checker adapter for Zyzzyva: n=3f+1=4, speculative execution with the
+/// client as commit point. The module implements the agreement protocol
+/// only (no view changes), so the primary is shielded from faults and
+/// schedules crash at most f backups.
+
+#include <memory>
+#include <string>
+
+#include "check/adapters.h"
+#include "crypto/signatures.h"
+#include "zyzzyva/zyzzyva.h"
+
+namespace consensus40::check {
+namespace {
+
+class ZyzzyvaCheckAdapter : public ProtocolAdapter {
+ public:
+  explicit ZyzzyvaCheckAdapter(uint64_t seed) : registry_(seed, kN + 4) {}
+
+  const char* name() const override { return "zyzzyva"; }
+
+  FaultBounds bounds() const override {
+    FaultBounds b;
+    b.first_node = 1;  // No view change: the primary must stay up.
+    b.nodes = kN - 1;
+    b.max_crashed = (kN - 1) / 3;
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    zyzzyva::ZyzzyvaOptions opts;
+    opts.n = kN;
+    opts.registry = &registry_;
+    for (int i = 0; i < kN; ++i) {
+      replicas_.push_back(sim->Spawn<zyzzyva::ZyzzyvaReplica>(opts));
+    }
+    client_ = sim->Spawn<zyzzyva::ZyzzyvaClient>(kN, &registry_, kOps);
+  }
+
+  bool Done() const override { return client_->done(); }
+
+  Observation Observe() const override {
+    Observation o;
+    for (const zyzzyva::ZyzzyvaReplica* r : replicas_) {
+      std::vector<std::string> log;
+      for (const smr::Command& cmd : r->executed_commands()) {
+        log.push_back(cmd.ToString());
+      }
+      o.logs.push_back(std::move(log));
+    }
+    return o;
+  }
+
+ private:
+  static constexpr int kN = 4;
+  static constexpr int kOps = 4;
+  crypto::KeyRegistry registry_;
+  std::vector<zyzzyva::ZyzzyvaReplica*> replicas_;
+  zyzzyva::ZyzzyvaClient* client_ = nullptr;
+};
+
+}  // namespace
+
+AdapterFactory MakeZyzzyvaAdapter() {
+  return [](uint64_t seed) {
+    return std::make_unique<ZyzzyvaCheckAdapter>(seed);
+  };
+}
+
+}  // namespace consensus40::check

@@ -71,6 +71,23 @@ TEST(RngTest, BoundedStaysInRange) {
   }
 }
 
+// Modulo-bias regression: with bound = 1.5 * 2^63, a naive `Next() % bound`
+// maps the wrapped range [bound, 2^64) back onto [0, 2^62), making the low
+// quarter of the range twice as likely (~50% of draws instead of ~33%).
+// Rejection sampling must keep the distribution flat.
+TEST(RngTest, BoundedHasNoModuloBiasAtLargeBounds) {
+  constexpr uint64_t kBound = 0xC000000000000000ull;   // 1.5 * 2^63.
+  constexpr uint64_t kQuarter = 0x4000000000000000ull; // 2^62.
+  Rng rng(19);
+  const int kTrials = 20000;
+  int low = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    low += rng.NextBounded(kBound) < kQuarter;
+  }
+  double freq = static_cast<double>(low) / kTrials;
+  EXPECT_NEAR(freq, 1.0 / 3.0, 0.02);  // Biased modulo lands near 0.5.
+}
+
 TEST(RngTest, DoubleInUnitInterval) {
   Rng rng(11);
   for (int i = 0; i < 1000; ++i) {

@@ -12,8 +12,10 @@ using sim::kSecond;
 struct FpCluster {
   explicit FpCluster(int n = 4, uint64_t seed = 1) : sim(seed) {
     // Fixed 1ms delay makes message-delay counting exact.
-    sim.mutable_options().min_delay = 1 * kMillisecond;
-    sim.mutable_options().max_delay = 1 * kMillisecond;
+    sim::NetworkOptions net = sim.options();
+    net.min_delay = 1 * kMillisecond;
+    net.max_delay = 1 * kMillisecond;
+    sim.SetNetworkOptions(net);
     FastPaxosOptions opts;
     opts.n = n;
     for (int i = 0; i < n; ++i) {
@@ -84,8 +86,10 @@ TEST(FastPaxosTest, CollisionRecoversViaClassicRound) {
   for (uint64_t seed = 1; seed <= 20; ++seed) {
     FpCluster cluster(4, seed);
     // Randomize per-acceptor arrival order by using a small delay spread.
-    cluster.sim.mutable_options().min_delay = 1 * kMillisecond;
-    cluster.sim.mutable_options().max_delay = 3 * kMillisecond;
+    sim::NetworkOptions net = cluster.sim.options();
+    net.min_delay = 1 * kMillisecond;
+    net.max_delay = 3 * kMillisecond;
+    cluster.sim.SetNetworkOptions(net);
     cluster.AddClient("A", 10 * kMillisecond);
     cluster.AddClient("B", 10 * kMillisecond);
     cluster.sim.Start();

@@ -189,6 +189,28 @@ TEST(PaxosTest, AcceptorStateSurvivesRestart) {
   EXPECT_EQ(cluster.DecidedValue(), "durable");
 }
 
+// The promised ballot is stable storage too, not just the accepted pair.
+// An acceptor that forgot its promise across a restart could re-join a
+// lower ballot it had already promised away, letting a preempted proposer
+// finish phase 2 behind the new proposer's back.
+TEST(PaxosTest, PromisedBallotSurvivesRestart) {
+  PaxosCluster cluster(5);
+  cluster.nodes[0]->Propose("original");
+  ASSERT_TRUE(cluster.sim.RunUntil(
+      [&] { return !cluster.nodes[2]->promised().IsZero(); }, 5 * kSecond));
+  Ballot promised_before = cluster.nodes[2]->promised();
+  Ballot accept_before = cluster.nodes[2]->accept_num();
+  cluster.sim.Crash(2);
+  cluster.sim.RunFor(100 * kMillisecond);
+  cluster.sim.Restart(2);
+  EXPECT_FALSE(cluster.nodes[2]->promised() < promised_before);
+  EXPECT_EQ(cluster.nodes[2]->accept_num(), accept_before);
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return cluster.AllDecided(); },
+                                   10 * kSecond));
+  EXPECT_EQ(cluster.DecidedValue(), "original");
+  cluster.ExpectNoViolations();
+}
+
 // The deck's livelock figure: with deterministic zero backoff and slow
 // accept messages, two dueling proposers preempt each other forever.
 TEST(PaxosLivenessTest, DuelingProposersLivelock) {

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <map>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "raft/raft.h"
@@ -282,6 +285,95 @@ TEST(RaftSnapshotTest, SnapshotPreservesSessionDedup) {
   }
   for (int i = 0; i < 25; ++i) {
     EXPECT_EQ(client->results()[i], std::to_string(i + 1)) << i;
+  }
+}
+
+// votedFor is persistent state: a replica that forgot its vote across a
+// crash could grant a second vote in the same term and elect two leaders.
+// Direct durability check first; the storm test below hunts the
+// consequence end to end.
+TEST(RaftTest, VotedForSurvivesCrashRestart) {
+  RaftCluster cluster(5);
+  cluster.sim.Start();
+  ASSERT_TRUE(cluster.sim.RunUntil(
+      [&] { return cluster.CurrentLeader() != sim::kInvalidNode; },
+      30 * kSecond));
+  sim::NodeId leader = cluster.CurrentLeader();
+  int64_t term = cluster.replicas[leader]->current_term();
+  // Find a follower that granted its vote to this leader.
+  sim::NodeId voter = sim::kInvalidNode;
+  for (const RaftReplica* r : cluster.replicas) {
+    if (r->id() != leader && r->current_term() == term &&
+        r->voted_for() == leader) {
+      voter = r->id();
+    }
+  }
+  ASSERT_NE(voter, sim::kInvalidNode);
+  cluster.sim.Crash(voter);
+  cluster.sim.RunFor(50 * kMillisecond);
+  cluster.sim.Restart(voter);
+  EXPECT_EQ(cluster.replicas[voter]->current_term(), term);
+  EXPECT_EQ(cluster.replicas[voter]->voted_for(), leader);
+}
+
+// Forced double-vote hunt: every follower is crash/restarted moments
+// after granting a vote (once per term), the leader is bounced to keep
+// elections coming, and election safety is re-checked after every event.
+// A volatile votedFor lets a restarted voter vote again in the same term,
+// which in a 3-node cluster elects two term-sharing leaders.
+TEST(RaftTest, RestartedVotersNeverElectTwoLeadersPerTerm) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    RaftCluster cluster(3, seed);
+    cluster.AddClient(5);
+    cluster.sim.Start();
+
+    std::set<std::pair<sim::NodeId, int64_t>> bounced;
+    sim::Time last_leader_crash = 0;
+    std::function<void()> storm = [&] {
+      sim::NodeId leader = cluster.CurrentLeader();
+      if (leader != sim::kInvalidNode &&
+          cluster.sim.now() - last_leader_crash > 300 * kMillisecond) {
+        last_leader_crash = cluster.sim.now();
+        cluster.sim.Crash(leader);
+        cluster.sim.ScheduleAfter(40 * kMillisecond, [&, leader] {
+          if (cluster.sim.IsCrashed(leader)) cluster.sim.Restart(leader);
+        });
+      }
+      for (RaftReplica* r : cluster.replicas) {
+        sim::NodeId v = r->id();
+        if (cluster.sim.IsCrashed(v)) continue;
+        if (r->voted_for() == sim::kInvalidNode || r->voted_for() == v) {
+          continue;  // No vote granted, or self-vote (candidate).
+        }
+        if (!bounced.insert({v, r->current_term()}).second) continue;
+        cluster.sim.Crash(v);
+        cluster.sim.ScheduleAfter(1 * kMillisecond, [&, v] {
+          if (cluster.sim.IsCrashed(v)) cluster.sim.Restart(v);
+        });
+      }
+      cluster.sim.ScheduleAfter(2 * kMillisecond, storm);
+    };
+    cluster.sim.ScheduleAfter(2 * kMillisecond, storm);
+
+    // The predicate runs after every event: no transient double leader
+    // can slip between samples.
+    std::map<int64_t, std::set<sim::NodeId>> leaders_by_term;
+    cluster.sim.RunUntil(
+        [&] {
+          for (const RaftReplica* r : cluster.replicas) {
+            if (r->IsLeader()) {
+              leaders_by_term[r->current_term()].insert(r->id());
+            }
+          }
+          return false;
+        },
+        5 * kSecond);
+    for (const auto& [term, leaders] : leaders_by_term) {
+      EXPECT_LE(leaders.size(), 1u)
+          << "seed " << seed << ": " << leaders.size()
+          << " leaders shared term " << term;
+    }
+    cluster.CheckSafety();
   }
 }
 

@@ -234,6 +234,46 @@ TEST(SimulationTest, StatsPerTypeCounting) {
   EXPECT_EQ(sim.stats().sent_by_type.at("pong"), 2u);
 }
 
+/// Sends a ping to the target every `period`, forever.
+class RepeatPinger : public Process {
+ public:
+  RepeatPinger(NodeId target, Duration period)
+      : target_(target), period_(period) {}
+  void OnStart() override { Tick(); }
+  void OnMessage(NodeId, const Message&) override {}
+
+ private:
+  void Tick() {
+    Send(target_, std::make_shared<Ping>(1));
+    SetTimer(period_, [this] { Tick(); });
+  }
+  NodeId target_;
+  Duration period_;
+};
+
+// Reset() mid-run must restart per-type counts from zero even though the
+// send fast path holds cursors into sent_by_type that were resolved
+// before the reset. A stale cursor would write into freed map nodes and
+// the post-reset window would come up short (or corrupt the heap).
+TEST(SimulationTest, StatsResetMidRunInvalidatesLiveTypeCursors) {
+  Simulation sim(1);
+  Echo* echo = sim.Spawn<Echo>();
+  sim.Spawn<RepeatPinger>(echo->id(), 10 * kMillisecond);
+  sim.Start();
+  sim.RunFor(100 * kMillisecond);  // Cursors for ping/pong are now live.
+  ASSERT_EQ(sim.stats().sent_by_type.at("ping"), 11u);  // t=0..100 inclusive.
+  sim.stats().Reset();
+  EXPECT_TRUE(sim.stats().sent_by_type.empty());
+  EXPECT_EQ(sim.stats().messages_sent, 0u);
+  sim.RunFor(100 * kMillisecond);
+  // Exactly the post-reset traffic: pings at t=110..200 plus the pongs
+  // answering pings 100..190 (max delay 5ms keeps each reply's send
+  // inside the window; the t=200 ping's pong falls outside).
+  EXPECT_EQ(sim.stats().sent_by_type.at("ping"), 10u);
+  EXPECT_EQ(sim.stats().sent_by_type.at("pong"), 10u);
+  EXPECT_EQ(sim.stats().messages_sent, 20u);
+}
+
 TEST(SimulationTest, SameTimeEventsFifo) {
   Simulation sim(1);
   std::vector<int> order;

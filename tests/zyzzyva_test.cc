@@ -16,8 +16,10 @@ struct ZyzCluster {
   explicit ZyzCluster(int n, uint64_t seed = 1)
       : sim(seed), registry(seed, n + 8) {
     // Fixed delay so message-delay counting is exact.
-    sim.mutable_options().min_delay = 1 * kMillisecond;
-    sim.mutable_options().max_delay = 1 * kMillisecond;
+    sim::NetworkOptions net = sim.options();
+    net.min_delay = 1 * kMillisecond;
+    net.max_delay = 1 * kMillisecond;
+    sim.SetNetworkOptions(net);
     ZyzzyvaOptions opts;
     opts.n = n;
     opts.registry = &registry;

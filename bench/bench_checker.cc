@@ -1,57 +1,191 @@
-// C1 — safety-checker throughput: seeded fault-schedule exploration rate
-// per protocol adapter (schedules checked per wall-clock second), plus the
+// C1/C2 — safety-checker throughput: seeded fault-schedule exploration
+// rate per protocol adapter and its scaling across sweep workers
+// (src/check/parallel_sweep.h over common/thread_pool.h), plus the
 // shrinker's cost on a known out-of-bounds violation.
+//
+// Results go to stdout and to BENCH_checker.json in the working directory
+// (same convention as bench_simcore / BENCH_simcore.json) so the perf
+// trajectory is tracked across PRs. The parallel sweep's merged report is
+// compared byte-for-byte against the serial one at every worker count —
+// a scaling number only counts if the answer is identical.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "check/adapters.h"
 #include "check/checker.h"
+#include "check/parallel_sweep.h"
 #include "check/shrink.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 
 using namespace consensus40;
 
 namespace {
+
+constexpr uint64_t kSchedules = 100;  ///< Seeds per protocol per sweep.
 
 double Seconds(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
 }
 
+/// One worker-count column of the scaling run.
+struct ScalingResult {
+  int workers = 0;
+  std::vector<double> per_protocol_rate;  ///< schedules/s, roster order.
+  double aggregate_rate = 0;              ///< total schedules / total wall.
+  bool report_identical = true;           ///< Byte-equal to the 1-worker run.
+};
+
+struct ShrinkResult {
+  uint64_t seed = 0;
+  size_t actions_before = 0;
+  size_t actions_after = 0;
+  int replays = 0;
+  int snapped = 0;
+  double wall_ms = 0;
+  bool parallel_matches = false;
+  std::string repro;
+};
+
+std::vector<int> WorkerCounts() {
+  std::vector<int> counts = {1, 2, 4, ThreadPool::Hardware()};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+void WriteJson(const std::vector<std::pair<const char*, check::AdapterFactory>>&
+                   roster,
+               const std::vector<ScalingResult>& scaling,
+               const ShrinkResult& shrink) {
+  FILE* f = std::fopen("BENCH_checker.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_checker: cannot write BENCH_checker.json\n");
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"checker\",\n"
+               "  \"schedules_per_protocol\": %llu,\n"
+               "  \"hardware_workers\": %d,\n  \"protocols\": [\n",
+               static_cast<unsigned long long>(kSchedules),
+               ThreadPool::Hardware());
+  for (size_t p = 0; p < roster.size(); ++p) {
+    std::fprintf(f, "    {\"name\": \"%s\", \"rates\": [", roster[p].first);
+    for (size_t s = 0; s < scaling.size(); ++s) {
+      std::fprintf(f, "{\"workers\": %d, \"schedules_per_sec\": %.0f}%s",
+                   scaling[s].workers, scaling[s].per_protocol_rate[p],
+                   s + 1 < scaling.size() ? ", " : "");
+    }
+    std::fprintf(f, "]}%s\n", p + 1 < roster.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"aggregate\": [\n");
+  for (size_t s = 0; s < scaling.size(); ++s) {
+    std::fprintf(f,
+                 "    {\"workers\": %d, \"schedules_per_sec\": %.0f, "
+                 "\"speedup_vs_1\": %.2f, \"report_identical_to_serial\": "
+                 "%s}%s\n",
+                 scaling[s].workers, scaling[s].aggregate_rate,
+                 scaling[s].aggregate_rate / scaling[0].aggregate_rate,
+                 scaling[s].report_identical ? "true" : "false",
+                 s + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"shrink\": {\"seed\": %llu, \"actions_before\": %zu, "
+               "\"actions_after\": %zu, \"replays\": %d, \"snapped\": %d, "
+               "\"wall_ms\": %.1f, \"parallel_matches_serial\": %s}\n}\n",
+               static_cast<unsigned long long>(shrink.seed),
+               shrink.actions_before, shrink.actions_after, shrink.replays,
+               shrink.snapped, shrink.wall_ms,
+               shrink.parallel_matches ? "true" : "false");
+  std::fclose(f);
+}
+
 }  // namespace
 
 int main() {
-  std::printf("==== C1: safety-checker throughput ====\n\n");
+  std::printf("==== C1/C2: safety-checker throughput & sweep scaling ====\n\n");
 
-  constexpr int kSchedules = 100;
-  std::printf("-- in-bounds sweep rate (%d seeded schedules each) --\n",
-              kSchedules);
-  {
-    TextTable t({"protocol", "schedules/sec", "violations", "wall ms"});
+  const auto roster = check::AllInBoundsAdapters();
+  const std::vector<int> counts = WorkerCounts();
+
+  // -- Scaling sweep: every protocol at every worker count. The 1-worker
+  // run is the serial reference; every other count must reproduce its
+  // report byte-for-byte.
+  std::vector<ScalingResult> scaling;
+  std::vector<std::string> serial_reports(roster.size());
+  for (int workers : counts) {
+    ThreadPool pool(workers);
+    ScalingResult r;
+    r.workers = workers;
     double total_s = 0;
-    int total_runs = 0;
-    for (const auto& [name, factory] : check::AllInBoundsAdapters()) {
+    for (size_t p = 0; p < roster.size(); ++p) {
+      check::SweepOptions options;
+      options.seeds = kSchedules;
+      const std::vector<std::pair<const char*, check::AdapterFactory>> one = {
+          roster[p]};
       auto t0 = std::chrono::steady_clock::now();
-      int violations = 0;
-      for (uint64_t seed = 1; seed <= kSchedules; ++seed) {
-        check::FaultSchedule schedule;
-        violations += check::RunSeed(factory, seed, &schedule).violated();
-      }
-      double s = Seconds(t0);
+      check::SweepReport report = check::RunSweep(one, options, &pool);
+      const double s = Seconds(t0);
       total_s += s;
-      total_runs += kSchedules;
-      t.AddRow({name, TextTable::Num(kSchedules / s, 0),
-                TextTable::Int(violations), TextTable::Num(s * 1000.0, 1)});
+      r.per_protocol_rate.push_back(kSchedules / s);
+      if (workers == counts.front()) {
+        serial_reports[p] = report.ToString();
+      } else if (report.ToString() != serial_reports[p]) {
+        r.report_identical = false;
+      }
     }
-    t.AddRow({"(all)", TextTable::Num(total_runs / total_s, 0),
-              TextTable::Int(0), TextTable::Num(total_s * 1000.0, 1)});
-    std::printf("%s\n", t.ToString().c_str());
-    std::printf("Each schedule is a full simulated run: build the cluster,\n"
-                "inject the generated crash/partition/delay sequence, run to\n"
-                "quiescence, then evaluate every safety invariant.\n\n");
+    r.aggregate_rate = static_cast<double>(kSchedules * roster.size()) /
+                       total_s;
+    scaling.push_back(std::move(r));
   }
 
+  {
+    std::vector<std::string> headers = {"protocol"};
+    for (int w : counts) headers.push_back(std::to_string(w) + "w sched/s");
+    TextTable t(headers);
+    for (size_t p = 0; p < roster.size(); ++p) {
+      std::vector<std::string> row = {roster[p].first};
+      for (const ScalingResult& s : scaling) {
+        row.push_back(TextTable::Num(s.per_protocol_rate[p], 0));
+      }
+      t.AddRow(row);
+    }
+    std::vector<std::string> agg = {"(all)"};
+    std::vector<std::string> speed = {"(speedup)"};
+    for (const ScalingResult& s : scaling) {
+      agg.push_back(TextTable::Num(s.aggregate_rate, 0));
+      speed.push_back(
+          TextTable::Num(s.aggregate_rate / scaling[0].aggregate_rate, 2) +
+          "x");
+    }
+    t.AddRow(agg);
+    t.AddRow(speed);
+    std::printf("-- sweep scaling (%llu seeded schedules/protocol, workers: ",
+                static_cast<unsigned long long>(kSchedules));
+    for (size_t i = 0; i < counts.size(); ++i) {
+      std::printf("%s%d", i ? "/" : "", counts[i]);
+    }
+    std::printf("; %d hardware core%s) --\n",
+                ThreadPool::Hardware(), ThreadPool::Hardware() == 1 ? "" : "s");
+    std::printf("%s\n", t.ToString().c_str());
+    bool all_identical = true;
+    for (const ScalingResult& s : scaling) all_identical &= s.report_identical;
+    std::printf("merged reports byte-identical across worker counts: %s\n",
+                all_identical ? "yes" : "NO — DETERMINISM BROKEN");
+    std::printf(
+        "Each schedule is a full simulated run: build the cluster, inject\n"
+        "the generated crash/partition/delay sequence, run to quiescence,\n"
+        "then evaluate every safety invariant.\n\n");
+  }
+
+  // -- Shrinker cost on a real violation (Flexible Paxos, q1+q2<=n),
+  // including the canonicalization pass and the parallel-ddmin check.
+  ShrinkResult shrink;
   std::printf("-- shrinker cost on a real violation (Flexible Paxos, "
               "q1+q2<=n) --\n");
   {
@@ -60,21 +194,40 @@ int main() {
       check::FaultSchedule schedule;
       check::RunResult r = check::RunSeed(factory, seed, &schedule);
       if (!r.violated()) continue;
+      auto replay = [&](const check::FaultSchedule& candidate) {
+        return check::RunSchedule(factory, seed, candidate).violated();
+      };
       auto t0 = std::chrono::steady_clock::now();
       check::ShrinkStats stats;
-      check::FaultSchedule min = check::ShrinkSchedule(
-          schedule,
-          [&](const check::FaultSchedule& candidate) {
-            return check::RunSchedule(factory, seed, candidate).violated();
-          },
-          400, &stats);
-      std::printf("seed %llu: %zu actions -> %zu in %d replays (%.1f ms)\n"
-                  "  %s\n",
-                  static_cast<unsigned long long>(seed),
-                  schedule.actions.size(), min.actions.size(), stats.runs,
-                  Seconds(t0) * 1000.0, min.ToString().c_str());
+      check::FaultSchedule min =
+          check::ShrinkSchedule(schedule, replay, 400, &stats);
+      min = check::CanonicalizeSchedule(std::move(min), replay, &stats);
+      shrink.wall_ms = Seconds(t0) * 1000.0;
+
+      check::ShrinkStats pstats;
+      ThreadPool pool(4);
+      check::FaultSchedule pmin =
+          check::ShrinkSchedule(schedule, replay, 400, &pstats, &pool);
+      pmin = check::CanonicalizeSchedule(std::move(pmin), replay, &pstats);
+      shrink.parallel_matches = pmin.ToString() == min.ToString();
+
+      shrink.seed = seed;
+      shrink.actions_before = schedule.actions.size();
+      shrink.actions_after = min.actions.size();
+      shrink.replays = stats.runs;
+      shrink.snapped = stats.snapped;
+      shrink.repro = min.ToString();
+      std::printf(
+          "seed %llu: %zu actions -> %zu in %d replays (%.1f ms), "
+          "%d canonical snaps\n  %s\n  parallel ddmin identical: %s\n",
+          static_cast<unsigned long long>(seed), shrink.actions_before,
+          shrink.actions_after, stats.runs, shrink.wall_ms, stats.snapped,
+          min.ToString().c_str(), shrink.parallel_matches ? "yes" : "NO");
       break;
     }
   }
+
+  WriteJson(roster, scaling, shrink);
+  std::printf("\nwrote BENCH_checker.json\n");
   return 0;
 }

@@ -1,39 +1,120 @@
 #include "check/shrink.h"
 
 #include <algorithm>
+#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace consensus40::check {
 
 FaultSchedule ShrinkSchedule(FaultSchedule schedule,
                              const ScheduleTestFn& still_violates,
-                             int max_runs, ShrinkStats* stats) {
+                             int max_runs, ShrinkStats* stats,
+                             ThreadPool* pool) {
   ShrinkStats local;
   ShrinkStats* st = stats != nullptr ? stats : &local;
   st->runs = 0;
   st->removed = 0;
+  st->snapped = 0;
+  st->speculative = 0;
+
+  const size_t width =
+      pool != nullptr ? static_cast<size_t>(pool->workers()) : 1;
 
   size_t chunk = std::max<size_t>(1, schedule.actions.size() / 2);
   while (!schedule.actions.empty() && st->runs < max_runs) {
     bool removed_any = false;
     for (size_t start = 0;
          start < schedule.actions.size() && st->runs < max_runs;) {
-      const size_t end = std::min(start + chunk, schedule.actions.size());
-      FaultSchedule candidate = schedule;
-      candidate.actions.erase(candidate.actions.begin() + start,
-                              candidate.actions.begin() + end);
-      ++st->runs;
-      if (still_violates(candidate)) {
-        st->removed += static_cast<int>(end - start);
-        schedule = std::move(candidate);
-        removed_any = true;
-        // Do not advance: the next chunk slid into `start`.
+      // Speculative batch: the next `width` deletion candidates along the
+      // scan, all built against the current schedule. The serial scan
+      // would evaluate them in this exact order as long as none hits.
+      std::vector<size_t> starts;
+      for (size_t s = start; s < schedule.actions.size() &&
+                             starts.size() < width;
+           s += chunk) {
+        starts.push_back(s);
+      }
+      std::vector<FaultSchedule> candidates(starts.size());
+      std::vector<char> hits(starts.size(), 0);
+      auto evaluate = [&](int, uint64_t k) {
+        FaultSchedule c = schedule;
+        const size_t s = starts[k];
+        const size_t e = std::min(s + chunk, schedule.actions.size());
+        c.actions.erase(c.actions.begin() + s, c.actions.begin() + e);
+        hits[k] = still_violates(c) ? 1 : 0;
+        candidates[k] = std::move(c);
+      };
+      if (pool != nullptr && starts.size() > 1) {
+        pool->ParallelFor(starts.size(), evaluate);
       } else {
+        for (size_t k = 0; k < starts.size(); ++k) evaluate(0, k);
+      }
+
+      // Commit in scan order, keeping only the first hit: the committed
+      // decision sequence is byte-identical to the serial scan; whatever
+      // was evaluated past the hit (or past the budget) is discarded
+      // speculation.
+      size_t committed = 0;
+      for (size_t k = 0; k < starts.size() && st->runs < max_runs; ++k) {
+        ++st->runs;
+        ++committed;
+        const size_t end =
+            std::min(starts[k] + chunk, schedule.actions.size());
+        if (hits[k]) {
+          st->removed += static_cast<int>(end - starts[k]);
+          schedule = std::move(candidates[k]);
+          removed_any = true;
+          // Do not advance: the next chunk slid into `starts[k]`.
+          start = starts[k];
+          break;
+        }
         start = end;
       }
+      st->speculative += static_cast<int>(starts.size() - committed);
     }
     if (!removed_any) {
       if (chunk == 1) break;
       chunk = std::max<size_t>(1, chunk / 2);
+    }
+  }
+  return schedule;
+}
+
+FaultSchedule CanonicalizeSchedule(FaultSchedule schedule,
+                                   const ScheduleTestFn& still_violates,
+                                   ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats* st = stats != nullptr ? stats : &local;
+
+  // Coarsest-first time grains: a repro that survives snapping to 100 ms
+  // reads (and diffs) better than one snapped to 1 ms.
+  static constexpr sim::Duration kGrains[] = {
+      100 * sim::kMillisecond, 50 * sim::kMillisecond, 20 * sim::kMillisecond,
+      10 * sim::kMillisecond,  5 * sim::kMillisecond,  1 * sim::kMillisecond};
+
+  for (size_t i = 0; i < schedule.actions.size(); ++i) {
+    if (schedule.actions[i].aux != 0) {
+      FaultSchedule c = schedule;
+      c.actions[i].aux = 0;
+      ++st->runs;
+      if (still_violates(c)) {
+        schedule = std::move(c);
+        ++st->snapped;
+      }
+    }
+    for (sim::Duration g : kGrains) {
+      const sim::Time at = schedule.actions[i].at;
+      if (at % g == 0) break;  // Already round at this (or a coarser) grain.
+      const sim::Time snapped = (at + g / 2) / g * g;
+      FaultSchedule c = schedule;
+      c.actions[i].at = snapped;
+      ++st->runs;
+      if (still_violates(c)) {
+        schedule = std::move(c);
+        ++st->snapped;
+        break;
+      }
     }
   }
   return schedule;

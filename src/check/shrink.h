@@ -2,7 +2,10 @@
 /// Greedy delta-debugging shrinker for fault schedules. Given a schedule
 /// that triggers a violation, finds a (locally) minimal sub-schedule that
 /// still triggers one, so the repro recipe printed to the user is a
-/// handful of actions instead of a wall of them.
+/// handful of actions instead of a wall of them. A post-shrink
+/// canonicalization pass then snaps the surviving action times to round
+/// numbers and zeroes unused generator randomness, so repro lines stay
+/// byte-stable across schedule-generator refactors.
 
 #ifndef CONSENSUS40_CHECK_SHRINK_H_
 #define CONSENSUS40_CHECK_SHRINK_H_
@@ -11,17 +14,26 @@
 
 #include "check/fault_schedule.h"
 
+namespace consensus40 {
+class ThreadPool;
+}
+
 namespace consensus40::check {
 
 /// Returns true if the candidate schedule still exhibits the violation.
 /// Must be deterministic (re-running the same candidate gives the same
 /// answer) — which the simulator guarantees as long as the test replays
-/// with the same seed.
+/// with the same seed — and, when a pool is passed to ShrinkSchedule,
+/// safe to invoke from several threads at once (each invocation runs its
+/// own Simulation, so the stock RunSchedule-based closures qualify).
 using ScheduleTestFn = std::function<bool(const FaultSchedule&)>;
 
 struct ShrinkStats {
-  int runs = 0;      ///< candidate schedules evaluated
-  int removed = 0;   ///< actions shrunk away
+  int runs = 0;         ///< Candidate schedules evaluated (committed).
+  int removed = 0;      ///< Actions shrunk away.
+  int snapped = 0;      ///< Canonicalization edits accepted.
+  int speculative = 0;  ///< Parallel-only: evaluations discarded because an
+                        ///< earlier candidate in the batch already hit.
 };
 
 /// ddmin-style greedy minimization: repeatedly tries to delete chunks of
@@ -29,10 +41,27 @@ struct ShrinkStats {
 /// preserves the violation, until a fixed point or `max_runs` candidate
 /// evaluations. `schedule` must already violate; the result is 1-minimal
 /// w.r.t. single-action removal when the budget was not exhausted.
+///
+/// With a `pool`, candidate evaluation is speculative: up to workers()
+/// deletion candidates are evaluated concurrently against the current
+/// schedule, then committed in scan order, keeping only the first hit.
+/// The committed decision sequence — and therefore the result, and
+/// `stats->runs` — is byte-identical to the serial scan; discarded
+/// evaluations are tallied in `stats->speculative` instead.
 FaultSchedule ShrinkSchedule(FaultSchedule schedule,
                              const ScheduleTestFn& still_violates,
-                             int max_runs = 400,
-                             ShrinkStats* stats = nullptr);
+                             int max_runs = 400, ShrinkStats* stats = nullptr,
+                             ThreadPool* pool = nullptr);
+
+/// Canonicalization pass, run after ddmin: for each surviving action,
+/// zero its generator-drawn `aux` randomness and snap its time to the
+/// coarsest round granularity (100/50/20/10/5/1 ms, nearest multiple)
+/// that still violates. Each trial costs one `still_violates` run,
+/// accumulated into `stats` (which is NOT reset — pass the same struct
+/// as ShrinkSchedule to get a combined budget picture).
+FaultSchedule CanonicalizeSchedule(FaultSchedule schedule,
+                                   const ScheduleTestFn& still_violates,
+                                   ShrinkStats* stats = nullptr);
 
 }  // namespace consensus40::check
 

@@ -1,0 +1,169 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace consensus40 {
+
+namespace {
+
+/// Chunks per worker per call. Higher = better load balancing when task
+/// durations are skewed (a simulation that runs to its quiesce deadline
+/// costs ~100x one that finishes early); lower = less deque traffic.
+constexpr uint64_t kChunksPerWorker = 8;
+
+}  // namespace
+
+int ThreadPool::Hardware() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int workers) : workers_(std::max(workers, 1)) {
+  deques_.reserve(workers_);
+  for (int i = 0; i < workers_; ++i) {
+    deques_.push_back(std::make_unique<Deque>());
+  }
+  threads_.reserve(workers_ - 1);
+  for (int i = 1; i < workers_; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(job_mu_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::ParallelFor(uint64_t n,
+                             const std::function<void(int, uint64_t)>& fn) {
+  if (n == 0) return;
+
+  if (workers_ == 1) {
+    // Serial reference path: the same loop with no synchronization at all.
+    for (uint64_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+
+  // Deal contiguous chunks round-robin onto the per-worker deques before
+  // arming the job: workers only wake on the epoch bump below, so no chunk
+  // is popped until the job state is fully published. Chunk k covers
+  // [k*size, min((k+1)*size, n)); worker w is dealt chunks w, w+W, w+2W...
+  // so every lane starts near a low index and loads stay balanced even
+  // when chunk durations are skewed.
+  const uint64_t target_chunks =
+      std::min(n, static_cast<uint64_t>(workers_) * kChunksPerWorker);
+  const uint64_t chunk_size = (n + target_chunks - 1) / target_chunks;
+  const uint64_t num_chunks = (n + chunk_size - 1) / chunk_size;
+
+  for (int w = 0; w < workers_; ++w) {
+    Deque& d = *deques_[w];
+    std::lock_guard<std::mutex> lock(d.mu);
+    d.items.clear();
+    d.head = d.tail = 0;
+    for (uint64_t k = w; k < num_chunks; k += workers_) {
+      d.items.push_back(
+          Chunk{k * chunk_size, std::min((k + 1) * chunk_size, n)});
+    }
+    d.tail = d.items.size();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(job_mu_);
+    remaining_ = n;
+    aborted_.store(false, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    job_fn_ = &fn;
+    ++job_epoch_;
+  }
+  job_cv_.notify_all();
+
+  // The calling thread is worker 0.
+  RunChunks(0);
+
+  // Wait for remaining == 0 (every index retired) AND active == 0 (no
+  // worker still inside RunChunks). The second condition is what makes
+  // the captured `fn` pointer safe: no worker can outlive this call while
+  // still holding it, so the next ParallelFor never races a straggler.
+  std::unique_lock<std::mutex> lock(job_mu_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0 && active_ == 0; });
+  job_fn_ = nullptr;
+  if (first_error_ != nullptr) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(job_mu_);
+      job_cv_.wait(lock, [&] { return shutdown_ || job_epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = job_epoch_;
+    }
+    RunChunks(worker);
+  }
+}
+
+void ThreadPool::RunChunks(int worker) {
+  const std::function<void(int, uint64_t)>* fn;
+  {
+    std::lock_guard<std::mutex> lock(job_mu_);
+    fn = job_fn_;
+    if (fn == nullptr) return;  // Woke between jobs; nothing armed.
+    ++active_;
+  }
+
+  Chunk c;
+  while (PopOwn(worker, &c) || Steal(worker, &c)) {
+    if (!aborted_.load(std::memory_order_relaxed)) {
+      try {
+        for (uint64_t i = c.begin; i < c.end; ++i) (*fn)(worker, i);
+      } catch (...) {
+        aborted_.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(job_mu_);
+        if (first_error_ == nullptr) first_error_ = std::current_exception();
+      }
+    }
+    // After an abort, chunks are retired without running so the caller's
+    // completion wait still terminates.
+    std::lock_guard<std::mutex> lock(job_mu_);
+    remaining_ -= c.end - c.begin;
+    if (remaining_ == 0) done_cv_.notify_one();
+  }
+
+  std::lock_guard<std::mutex> lock(job_mu_);
+  if (--active_ == 0 && remaining_ == 0) done_cv_.notify_one();
+}
+
+bool ThreadPool::PopOwn(int worker, Chunk* out) {
+  Deque& d = *deques_[worker];
+  std::lock_guard<std::mutex> lock(d.mu);
+  if (d.head == d.tail) return false;
+  *out = d.items[--d.tail];
+  return true;
+}
+
+bool ThreadPool::Steal(int thief, Chunk* out) {
+  // Scan victims round-robin starting after the thief; take from the
+  // front — the chunk the owner would reach last.
+  for (int off = 1; off < workers_; ++off) {
+    const int victim = (thief + off) % workers_;
+    Deque& d = *deques_[victim];
+    std::lock_guard<std::mutex> lock(d.mu);
+    if (d.head == d.tail) continue;
+    *out = d.items[d.head++];
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace consensus40

@@ -1,0 +1,117 @@
+/// \file
+/// Work-stealing thread pool for embarrassingly-parallel index loops.
+///
+/// Built for the checker's fault-schedule sweeps: a fixed worker set is
+/// spawned once, and each ParallelFor call shards an index range into
+/// contiguous chunks dealt round-robin onto per-worker deques. A worker
+/// pops chunks from the bottom of its own deque (LIFO, cache-friendly)
+/// and, when empty, steals from the top of the most-loaded victim's deque
+/// (FIFO, so thieves take the work the owner would reach last). Chunk
+/// descriptors live in a reusable per-pool buffer, so the steady-state
+/// task hot path performs no heap allocation.
+///
+/// Determinism contract: ParallelFor guarantees `fn` is invoked exactly
+/// once per index, but in an unspecified order and from unspecified
+/// threads. Callers that need deterministic output (the sweep engine, the
+/// speculative shrinker) must write results into per-index slots and merge
+/// in index order afterwards.
+///
+/// A pool of size 1 runs every chunk inline on the calling thread — no
+/// worker threads, no synchronization — which makes `ThreadPool(1)` the
+/// serial reference implementation of the same loop.
+
+#ifndef CONSENSUS40_COMMON_THREAD_POOL_H_
+#define CONSENSUS40_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace consensus40 {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers - 1` persistent threads; the caller participates as
+  /// worker 0 during ParallelFor, so `workers` is the true parallelism.
+  /// `workers` < 1 is clamped to 1; pass Hardware() for one per core.
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return workers_; }
+
+  /// The machine's core count (>= 1), the natural default pool size.
+  static int Hardware();
+
+  /// Invokes `fn(worker, index)` exactly once for every index in [0, n),
+  /// using all workers, and blocks until every invocation returned.
+  /// `worker` is in [0, workers()) and identifies the executing lane —
+  /// callers use it to index per-worker scratch state without locking.
+  /// If any invocation throws, the first exception (in completion order)
+  /// is rethrown here after all in-flight work drains; remaining chunks
+  /// are abandoned. Not reentrant: ParallelFor must not be called from
+  /// inside `fn`.
+  void ParallelFor(uint64_t n, const std::function<void(int, uint64_t)>& fn);
+
+  /// Total chunks executed by a thread other than the one whose deque
+  /// they were dealt to, across all ParallelFor calls. Monotone; used by
+  /// tests to assert stealing actually happens under skewed loads.
+  uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  /// A contiguous sub-range of the index space: the unit of stealing.
+  struct Chunk {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+  };
+
+  /// Fixed-capacity deque of chunk handles. Guarded by `mu`: the owner
+  /// pushes/pops at the back, thieves pop at the front. A mutex per deque
+  /// is contended only when a thief hits an owner mid-pop, which is rare
+  /// with chunked ranges; the payoff is being trivially race-free (and
+  /// TSan-clean) without a Chase-Lev proof.
+  struct Deque {
+    std::mutex mu;
+    std::vector<Chunk> items;  ///< Reused across calls; no steady-state alloc.
+    size_t head = 0;           ///< First live element.
+    size_t tail = 0;           ///< One past the last live element.
+  };
+
+  void WorkerLoop(int worker);
+  void RunChunks(int worker);
+  bool PopOwn(int worker, Chunk* out);
+  bool Steal(int thief, Chunk* out);
+
+  const int workers_;
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::vector<std::thread> threads_;
+
+  // One ParallelFor at a time: the calling thread arms the job, wakes the
+  // workers, participates, then waits for the remaining count to hit zero
+  // and every worker to leave the job. All job bookkeeping below is
+  // guarded by job_mu_ — chunk retirement takes the lock, but there are at
+  // most workers * 8 chunks per call, so the traffic is negligible next to
+  // the simulations each chunk runs.
+  std::mutex job_mu_;
+  std::condition_variable job_cv_;    ///< Workers wait here for a new job.
+  std::condition_variable done_cv_;   ///< Caller waits here for completion.
+  uint64_t job_epoch_ = 0;            ///< Bumped per ParallelFor call.
+  bool shutdown_ = false;
+  const std::function<void(int, uint64_t)>* job_fn_ = nullptr;
+  uint64_t remaining_ = 0;            ///< Indices not yet retired.
+  int active_ = 0;                    ///< Workers currently inside the job.
+  std::exception_ptr first_error_;
+  std::atomic<bool> aborted_{false};  ///< Set on first exception.
+  std::atomic<uint64_t> steals_{0};
+};
+
+}  // namespace consensus40
+
+#endif  // CONSENSUS40_COMMON_THREAD_POOL_H_

@@ -1,5 +1,8 @@
-/// Checker adapter for Multi-Paxos: n=5 replicas plus a retrying client;
-/// safety observables are the per-replica committed log prefixes.
+/// Checker adapter for Multi-Paxos: n=5 replicas plus three retrying
+/// clients on distinct keys, so several consensus instances (log slots)
+/// are in flight concurrently; safety observables are the per-replica
+/// committed log prefixes, and the prefix-consistency invariant checks
+/// the interleaving of all concurrent instances across replicas.
 
 #include <memory>
 #include <string>
@@ -29,10 +32,22 @@ class MultiPaxosCheckAdapter : public ProtocolAdapter {
     for (int i = 0; i < kN; ++i) {
       replicas_.push_back(sim->Spawn<paxos::MultiPaxosReplica>(opts));
     }
-    client_ = sim->Spawn<paxos::MultiPaxosClient>(kN, kOps);
+    // Three concurrent clients on distinct keys keep >= 3 log instances
+    // open at once (the ROADMAP's multi-instance probes): slot assignment,
+    // recovery, and commit-frontier advance are exercised under real
+    // inter-instance interleaving, not one-slot-at-a-time traffic.
+    for (int c = 0; c < kClients; ++c) {
+      clients_.push_back(sim->Spawn<paxos::MultiPaxosClient>(
+          kN, kOpsPerClient, std::string(1, static_cast<char>('x' + c))));
+    }
   }
 
-  bool Done() const override { return client_->done(); }
+  bool Done() const override {
+    for (const paxos::MultiPaxosClient* c : clients_) {
+      if (!c->done()) return false;
+    }
+    return true;
+  }
 
   Observation Observe() const override {
     Observation o;
@@ -55,9 +70,10 @@ class MultiPaxosCheckAdapter : public ProtocolAdapter {
 
  private:
   static constexpr int kN = 5;
-  static constexpr int kOps = 5;
+  static constexpr int kClients = 3;
+  static constexpr int kOpsPerClient = 3;
   std::vector<paxos::MultiPaxosReplica*> replicas_;
-  paxos::MultiPaxosClient* client_ = nullptr;
+  std::vector<paxos::MultiPaxosClient*> clients_;
 };
 
 }  // namespace

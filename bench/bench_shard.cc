@@ -1,0 +1,199 @@
+// S2 — sharded-transaction throughput: the deterministic workload driver
+// (src/shard/workload.h) replayed over a ShardedStateMachine at several
+// read / cross-shard mixes, reporting virtual-time throughput, mean and
+// max latency, and abort rate per operation class. The cross-shard
+// columns price the full 2PC-over-consensus path (prepare round on every
+// participant shard + a decision-group round) against single-shard
+// one-phase commits and read-index reads.
+//
+// Results go to stdout and to BENCH_shard.json in the working directory
+// (same convention as bench_checker / BENCH_checker.json). All numbers
+// are virtual-time (simulated microseconds), so they are deterministic
+// per (seed, config) and comparable across machines and PRs; wall_s is
+// the only host-dependent field.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "shard/shard.h"
+#include "shard/workload.h"
+#include "sim/simulation.h"
+
+using namespace consensus40;
+
+namespace {
+
+constexpr uint64_t kSeed = 2020;
+
+struct Config {
+  const char* name;
+  int shards;
+  double read_fraction;
+  double cross_fraction;
+};
+
+// The mix ladder: from read-heavy single-shard to write-heavy
+// cross-shard. Every row satisfies the S2 floor (>= 4 shards, >= 20%
+// cross-shard) except the 2-shard baseline kept for scaling contrast.
+const Config kConfigs[] = {
+    {"2sh-baseline", 2, 0.50, 0.20},
+    {"4sh-read-heavy", 4, 0.70, 0.20},
+    {"4sh-mixed", 4, 0.50, 0.30},
+    {"4sh-cross-heavy", 4, 0.30, 0.60},
+    {"6sh-mixed", 6, 0.50, 0.30},
+};
+
+struct Result {
+  Config config;
+  shard::WorkloadStats stats;
+  sim::Time virtual_us = 0;  ///< Virtual time consumed by the run.
+  double wall_s = 0;
+};
+
+Result RunOne(const Config& config) {
+  shard::ShardOptions options;
+  options.shards = config.shards;
+
+  shard::WorkloadOptions wl;
+  wl.ops = 600;
+  wl.concurrency = 8;
+  wl.read_fraction = config.read_fraction;
+  wl.cross_shard_fraction = config.cross_fraction;
+  wl.key_space = 400;   // Miss-heavy: reads mostly hit keys that were
+  wl.write_space = 100;  // never written.
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto ssm = std::make_unique<shard::ShardedStateMachine>(options);
+  shard::WorkloadDriver* driver = nullptr;
+  auto sim = sim::Simulation::Builder(kSeed)
+                 .Setup([&](sim::Simulation& s) { ssm->Build(&s); })
+                 .Setup([&](sim::Simulation& s) {
+                   driver = shard::SpawnWorkload(&s, ssm.get(), wl);
+                 })
+                 .Build();
+  sim->RunFor(500 * sim::kMillisecond);  // Leader elections settle.
+  sim::Time start = sim->now();
+  sim->RunUntil([&] { return driver->done(); }, start + 600 * sim::kSecond);
+
+  Result r;
+  r.config = config;
+  r.stats = driver->stats();
+  r.virtual_us = sim->now() - start;
+  r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count();
+  return r;
+}
+
+double Throughput(const Result& r) {
+  return r.virtual_us == 0
+             ? 0.0
+             : r.stats.completed() * 1e6 / static_cast<double>(r.virtual_us);
+}
+
+double AbortRate(const shard::OpStats& s) {
+  int resolved = s.committed + s.aborted;
+  return resolved == 0 ? 0.0 : 100.0 * s.aborted / resolved;
+}
+
+void WriteJson(const std::vector<Result>& results) {
+  FILE* f = std::fopen("BENCH_shard.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_shard: cannot write BENCH_shard.json\n");
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"shard\",\n  \"seed\": %llu,\n"
+               "  \"configs\": [\n",
+               static_cast<unsigned long long>(kSeed));
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"shards\": %d, \"read_fraction\": %.2f,\n"
+        "     \"cross_fraction\": %.2f, \"ops\": %d,\n"
+        "     \"throughput_ops_per_vsec\": %.1f, \"virtual_ms\": %.1f,\n"
+        "     \"reads\": {\"completed\": %d, \"misses\": %d, "
+        "\"mean_ms\": %.2f, \"max_ms\": %.2f},\n"
+        "     \"single\": {\"committed\": %d, \"aborted\": %d, "
+        "\"abort_pct\": %.2f, \"mean_ms\": %.2f},\n"
+        "     \"cross\": {\"committed\": %d, \"aborted\": %d, "
+        "\"abort_pct\": %.2f, \"mean_ms\": %.2f},\n"
+        "     \"retries\": %d, \"wall_s\": %.2f}%s\n",
+        r.config.name, r.config.shards, r.config.read_fraction,
+        r.config.cross_fraction, r.stats.completed(), Throughput(r),
+        r.virtual_us / 1000.0, r.stats.reads.completed, r.stats.reads.misses,
+        r.stats.reads.MeanLatencyMs(), r.stats.reads.latency_max / 1000.0,
+        r.stats.single.committed, r.stats.single.aborted,
+        AbortRate(r.stats.single), r.stats.single.MeanLatencyMs(),
+        r.stats.cross.committed, r.stats.cross.aborted, AbortRate(r.stats.cross),
+        r.stats.cross.MeanLatencyMs(), r.stats.retries, r.wall_s,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_shard.json\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== consensus40: S2 sharded 2PC-over-consensus workload bench ==\n"
+      "seed=%llu, 600 ops/config, concurrency 8, virtual-time metrics\n\n",
+      static_cast<unsigned long long>(kSeed));
+
+  std::vector<Result> results;
+  for (const Config& config : kConfigs) results.push_back(RunOne(config));
+
+  TextTable table({"config", "shards", "read%", "cross%", "ops/vsec",
+                   "read ms", "miss%", "1sh ms", "2pc ms", "abort%",
+                   "retries"});
+  for (const Result& r : results) {
+    const shard::WorkloadStats& s = r.stats;
+    double miss_pct = s.reads.completed == 0
+                          ? 0.0
+                          : 100.0 * s.reads.misses / s.reads.completed;
+    table.AddRow({r.config.name, TextTable::Int(r.config.shards),
+                  TextTable::Num(100 * r.config.read_fraction, 0),
+                  TextTable::Num(100 * r.config.cross_fraction, 0),
+                  TextTable::Num(Throughput(r), 1),
+                  TextTable::Num(s.reads.MeanLatencyMs()),
+                  TextTable::Num(miss_pct, 1),
+                  TextTable::Num(s.single.MeanLatencyMs()),
+                  TextTable::Num(s.cross.MeanLatencyMs()),
+                  TextTable::Num(AbortRate(s.cross)),
+                  TextTable::Int(s.retries)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Sanity gates: every config must finish its workload, and the
+  // cross-shard path must actually be exercised and cost more than the
+  // one-phase path (it adds a prepare round plus a decision round).
+  bool ok = true;
+  for (const Result& r : results) {
+    if (r.stats.completed() < 600) {
+      std::printf("FAIL %s: only %d/600 ops completed\n", r.config.name,
+                  r.stats.completed());
+      ok = false;
+    }
+    if (r.stats.cross.committed == 0) {
+      std::printf("FAIL %s: no cross-shard transaction committed\n",
+                  r.config.name);
+      ok = false;
+    }
+    if (r.stats.cross.MeanLatencyMs() <= r.stats.single.MeanLatencyMs()) {
+      std::printf("FAIL %s: 2PC not costlier than one-phase (%.2f <= %.2f)\n",
+                  r.config.name, r.stats.cross.MeanLatencyMs(),
+                  r.stats.single.MeanLatencyMs());
+      ok = false;
+    }
+  }
+
+  WriteJson(results);
+  return ok ? 0 : 1;
+}

@@ -13,12 +13,19 @@
 #ifndef CONSENSUS40_CHECK_ADAPTERS_H_
 #define CONSENSUS40_CHECK_ADAPTERS_H_
 
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "check/checker.h"
 
 namespace consensus40::check {
+
+/// Generic SMR adapter over the consensus::ReplicaGroup registry:
+/// `protocol` is a registry key ("raft", "multi_paxos", or anything a
+/// test registered). MakeRaftAdapter / MakeMultiPaxosAdapter below are
+/// now thin wrappers around this.
+AdapterFactory MakeGroupAdapter(std::string protocol);
 
 // --- In-bounds adapters (safety must hold for every schedule) ---
 AdapterFactory MakePaxosAdapter();          ///< single-decree, n=5
@@ -36,6 +43,14 @@ AdapterFactory MakeThreePhaseCommitAdapter(); ///< crash-only, synchronous
 AdapterFactory MakeBenOrAdapter();          ///< n=5, f=2, randomized
 AdapterFactory MakeFloodSetAdapter();       ///< f+1 rounds (runs direct)
 
+/// The sharded state machine (src/shard/): 2 shards x 3 replicas plus a
+/// 3-replica decision group, cross-shard transactions committed by
+/// 2PC-over-consensus. In bounds even for coordinator crashes in the
+/// prepare/commit window and whole-shard partitions: atomicity must hold
+/// and — because the decision is a replicated record — the workload must
+/// still terminate.
+AdapterFactory MakeShardAdapter();
+
 // --- Out-of-bounds adapters (violations must be discoverable) ---
 
 /// Paxos with q1 = q2 = 2 at n = 4: quorums need not intersect, so a
@@ -50,6 +65,14 @@ AdapterFactory MakeFloodSetOutOfBoundsAdapter();
 /// (computed f' = 0, replicas commit straight from a pre-prepare), so an
 /// equivocating primary forks the two honest backups.
 AdapterFactory MakePbftOutOfBoundsAdapter();
+
+/// Plain 2PC (src/commit/) under the coordinator-crash-between-prepare-
+/// and-commit window with no restart — the blocking scenario the shard
+/// layer's replicated decision record exists to eliminate. Termination
+/// is (deliberately, wrongly) expected, so every schedule that fires the
+/// coordinator crash yields a discoverable liveness violation while
+/// safety still holds.
+AdapterFactory MakeTwoPhaseCommitBlockingAdapter();
 
 /// The full in-bounds roster, as (name, factory) pairs, for sweeping.
 std::vector<std::pair<const char*, AdapterFactory>> AllInBoundsAdapters();

@@ -95,9 +95,16 @@ RunResult RunSchedule(const AdapterFactory& factory, uint64_t seed,
   }
 
   const FaultBounds bounds = adapter->bounds();
-  sim::Simulation sim(seed);
-  adapter->Build(&sim);
-  InjectSchedule(&sim, schedule);
+  ProtocolAdapter* a = adapter.get();
+  std::unique_ptr<sim::Simulation> sim_owner =
+      sim::Simulation::Builder(seed)
+          .Setup([a](sim::Simulation& s) { a->Build(&s); })
+          .Setup([&schedule](sim::Simulation& s) {
+            InjectSchedule(&s, schedule);
+          })
+          .AutoStart(false)  // The probe cadence is armed below first.
+          .Build();
+  sim::Simulation& sim = *sim_owner;
 
   // Integrity probe: remember the first value each (instance, node) pair
   // decided; any later snapshot showing a different value is a violation

@@ -46,6 +46,10 @@ const char* FaultKindName(FaultKind k) {
       return "spike";
     case FaultKind::kDelayRestore:
       return "unspike";
+    case FaultKind::kCoordinatorCrash:
+      return "coord-crash";
+    case FaultKind::kShardPartition:
+      return "shard-partition";
   }
   return "?";
 }
@@ -57,10 +61,14 @@ std::string FaultSchedule::ToString() const {
     switch (a.kind) {
       case FaultKind::kCrash:
       case FaultKind::kRestart:
+      case FaultKind::kCoordinatorCrash:
         s += "(" + std::to_string(a.node) + ")";
         break;
       case FaultKind::kPartition:
         s += "(" + FormatGroup(a.group_a) + "|" + FormatGroup(a.group_b) + ")";
+        break;
+      case FaultKind::kShardPartition:
+        s += "(" + FormatGroup(a.group_b) + ")";
         break;
       case FaultKind::kDelaySpike:
         s += "(" + FormatMs(a.spike_min) + ".." + FormatMs(a.spike_max) + ")";
@@ -97,6 +105,7 @@ FaultSchedule GenerateSchedule(uint64_t seed, const FaultBounds& bounds) {
   int crashed_count = 0;
   bool partitioned = false;
   bool spiked = false;
+  bool coordinator_crashed = false;
 
   for (sim::Time t : times) {
     std::vector<FaultKind> feasible;
@@ -117,6 +126,16 @@ FaultSchedule GenerateSchedule(uint64_t seed, const FaultBounds& bounds) {
       feasible.push_back(FaultKind::kDelaySpike);
     }
     if (spiked) feasible.push_back(FaultKind::kDelayRestore);
+    // The commitment-layer kinds only enter the pool when their bounds
+    // fields are set, so schedules for every pre-existing bounds shape
+    // (and their pinned repro strings) are bit-for-bit unchanged.
+    if (bounds.coordinator != sim::kInvalidNode && !coordinator_crashed) {
+      feasible.push_back(FaultKind::kCoordinatorCrash);
+      feasible.push_back(FaultKind::kCoordinatorCrash);  // Weight like kCrash.
+    }
+    if (!bounds.shard_groups.empty() && !partitioned) {
+      feasible.push_back(FaultKind::kShardPartition);
+    }
     if (feasible.empty()) continue;
 
     FaultAction a;
@@ -188,6 +207,28 @@ FaultSchedule GenerateSchedule(uint64_t seed, const FaultBounds& bounds) {
       case FaultKind::kDelayRestore:
         spiked = false;
         break;
+      case FaultKind::kCoordinatorCrash: {
+        a.node = bounds.coordinator;
+        // Land inside the configured window — derived from the aux draw
+        // (already consumed for every action) so the rng stream stays
+        // identical whether or not this kind is enabled.
+        if (bounds.coordinator_window_hi > bounds.coordinator_window_lo) {
+          a.at = bounds.coordinator_window_lo +
+                 static_cast<sim::Time>(
+                     a.aux % static_cast<uint64_t>(
+                                 bounds.coordinator_window_hi -
+                                 bounds.coordinator_window_lo));
+        }
+        coordinator_crashed = true;
+        break;
+      }
+      case FaultKind::kShardPartition: {
+        // Cut one whole shard group off; the injector folds every other
+        // process into group A.
+        a.group_b = bounds.shard_groups[a.aux % bounds.shard_groups.size()];
+        partitioned = true;
+        break;
+      }
     }
     schedule.actions.push_back(std::move(a));
   }
@@ -217,6 +258,13 @@ FaultSchedule GenerateSchedule(uint64_t seed, const FaultBounds& bounds) {
       schedule.actions.push_back(std::move(a));
     }
   }
+  if (coordinator_crashed && bounds.coordinator_restartable) {
+    FaultAction a;
+    a.at = bounds.horizon;
+    a.kind = FaultKind::kRestart;
+    a.node = bounds.coordinator;
+    schedule.actions.push_back(std::move(a));
+  }
   return schedule;
 }
 
@@ -228,11 +276,13 @@ void InjectSchedule(sim::Simulation* sim, const FaultSchedule& schedule) {
     sim->ScheduleAt(a.at, [sim, a, base] {
       switch (a.kind) {
         case FaultKind::kCrash:
+        case FaultKind::kCoordinatorCrash:
           if (!sim->IsCrashed(a.node)) sim->Crash(a.node);
           break;
         case FaultKind::kRestart:
           if (sim->IsCrashed(a.node)) sim->Restart(a.node);
           break;
+        case FaultKind::kShardPartition:
         case FaultKind::kPartition: {
           std::vector<sim::NodeId> group_a = a.group_a;
           for (sim::NodeId id = 0; id < sim->num_processes(); ++id) {

@@ -51,6 +51,26 @@ struct FaultBounds {
   /// virtual time for the protocol to finish its workload.
   sim::Duration horizon = 2 * sim::kSecond;
   sim::Duration quiesce = 20 * sim::kSecond;
+
+  // --- Commitment-layer faults (sharded / 2PC systems) ---
+
+  /// A distinguished transaction-coordinator process that schedules may
+  /// crash INSIDE [coordinator_window_lo, coordinator_window_hi) — the
+  /// classic between-prepare-and-commit window that blocks plain 2PC.
+  /// kInvalidNode (the default) disables the action; the coordinator is
+  /// typically outside [first_node, nodes), so the generic crash pool
+  /// never touches it.
+  sim::NodeId coordinator = sim::kInvalidNode;
+  sim::Time coordinator_window_lo = 0;
+  sim::Time coordinator_window_hi = 0;
+  /// Whether the schedule tail restarts a crashed coordinator at the
+  /// horizon. Leave false to model a coordinator that never comes back.
+  bool coordinator_restartable = false;
+
+  /// Replica-id groups of a sharded system. Non-empty enables
+  /// shard-partition actions that isolate exactly one whole group from
+  /// the rest of the world (the "minority shard cut" scenario).
+  std::vector<std::vector<sim::NodeId>> shard_groups;
 };
 
 enum class FaultKind : uint8_t {
@@ -60,6 +80,10 @@ enum class FaultKind : uint8_t {
   kHeal,
   kDelaySpike,
   kDelayRestore,
+  /// Crash FaultBounds::coordinator inside its configured window.
+  kCoordinatorCrash,
+  /// Isolate one of FaultBounds::shard_groups from everyone else.
+  kShardPartition,
 };
 
 const char* FaultKindName(FaultKind k);

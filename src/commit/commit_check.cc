@@ -106,12 +106,41 @@ class TwoPhaseCommitCheckAdapter : public ProtocolAdapter {
     return o;
   }
 
- private:
+ protected:
   static constexpr int kParticipants = 3;
   sim::Simulation* sim_ = nullptr;
   std::vector<commit::TwoPcParticipant*> participants_;
   commit::TwoPcCoordinator* coordinator_ = nullptr;
   std::vector<uint64_t> begun_;
+};
+
+/// Out-of-bounds variant: the generator may ONLY crash the coordinator,
+/// inside the prepare/commit decision window, and never restarts it. The
+/// adapter (deliberately, wrongly) claims termination, so every schedule
+/// that fires the crash exposes plain 2PC's blocking as a liveness
+/// violation — the contrast case for the shard layer's replicated
+/// decision record, which terminates under the same fault.
+class TwoPhaseCommitBlockingAdapter : public TwoPhaseCommitCheckAdapter {
+ public:
+  const char* name() const override { return "2pc-blocking"; }
+
+  FaultBounds bounds() const override {
+    FaultBounds b;
+    b.nodes = kParticipants;  // Participants stay up: the coordinator is
+    b.max_crashed = 0;        // the only thing allowed to fail.
+    b.delay_spikes = false;
+    // Participants spawn first, so the coordinator is node kParticipants.
+    b.coordinator = kParticipants;
+    // tx1 begins at 20ms; its votes are in flight by ~25ms and the
+    // decision lands by ~35ms. Crashing in [24ms, 34ms) reliably hits
+    // the in-doubt window where participants are prepared.
+    b.coordinator_window_lo = 24 * sim::kMillisecond;
+    b.coordinator_window_hi = 34 * sim::kMillisecond;
+    b.coordinator_restartable = false;
+    return b;
+  }
+
+  bool ExpectTermination() const override { return true; }
 };
 
 class ThreePhaseCommitCheckAdapter : public ProtocolAdapter {
@@ -192,6 +221,12 @@ class ThreePhaseCommitCheckAdapter : public ProtocolAdapter {
 AdapterFactory MakeTwoPhaseCommitAdapter() {
   return [](uint64_t) {
     return std::make_unique<TwoPhaseCommitCheckAdapter>();
+  };
+}
+
+AdapterFactory MakeTwoPhaseCommitBlockingAdapter() {
+  return [](uint64_t) {
+    return std::make_unique<TwoPhaseCommitBlockingAdapter>();
   };
 }
 

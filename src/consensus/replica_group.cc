@@ -1,0 +1,159 @@
+#include "consensus/replica_group.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace consensus40::consensus {
+
+sim::MessagePtr ReplicaGroup::MakeRead(int32_t client, uint64_t seq,
+                                       const std::string& key) const {
+  return MakeRequest(smr::Command{client, seq, "GET " + key});
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The registry is shared across threads (the parallel sweep builds
+/// groups from several workers at once), so every access is mutexed.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, GroupFactory> factories;
+  bool builtins_registered = false;
+
+  void EnsureBuiltins() {
+    if (builtins_registered) return;
+    builtins_registered = true;
+    factories["raft"] = [] { return NewRaftGroup(); };
+    factories["multi_paxos"] = [] { return NewMultiPaxosGroup(); };
+  }
+
+  static Registry& Instance() {
+    static Registry* r = new Registry();  // Leaked: outlives static dtors.
+    return *r;
+  }
+};
+
+}  // namespace
+
+void RegisterGroupProtocol(const std::string& name, GroupFactory factory) {
+  Registry& r = Registry::Instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.EnsureBuiltins();
+  r.factories[name] = std::move(factory);
+}
+
+std::unique_ptr<ReplicaGroup> MakeGroup(const std::string& name) {
+  GroupFactory factory;
+  {
+    Registry& r = Registry::Instance();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.EnsureBuiltins();
+    auto it = r.factories.find(name);
+    if (it == r.factories.end()) return nullptr;
+    factory = it->second;  // Copy: invoke outside the lock.
+  }
+  return factory();
+}
+
+std::vector<std::string> RegisteredGroupProtocols() {
+  Registry& r = Registry::Instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.EnsureBuiltins();
+  std::vector<std::string> names;
+  names.reserve(r.factories.size());
+  for (const auto& [name, factory] : r.factories) names.push_back(name);
+  return names;  // std::map iteration is already sorted.
+}
+
+// ---------------------------------------------------------------------------
+// GroupClient
+// ---------------------------------------------------------------------------
+
+GroupClient::GroupClient(const ReplicaGroup* group, sim::Duration retry)
+    : group_(group), retry_(retry) {}
+
+sim::NodeId GroupClient::PickTarget() {
+  sim::NodeId hint = group_->LeaderHint();
+  const auto& members = group_->members();
+  for (sim::NodeId m : members) {
+    if (m == hint) return hint;
+  }
+  return members[rotate_ % members.size()];
+}
+
+uint64_t GroupClient::Submit(const std::string& op) {
+  uint64_t seq = ++next_seq_;
+  return Issue(group_->MakeRequest(smr::Command{id(), seq, op}), false);
+}
+
+uint64_t GroupClient::Read(const std::string& key) {
+  uint64_t seq = ++next_seq_;
+  return Issue(group_->MakeRead(id(), seq, key), true);
+}
+
+uint64_t GroupClient::Issue(sim::MessagePtr msg, bool read) {
+  uint64_t seq = next_seq_;
+  Pending& p = pending_[seq];
+  p.msg = std::move(msg);
+  p.read = read;
+  // One operation on the wire at a time, in seq order. The deduping
+  // executor's session table assumes each client's seqs reach the log in
+  // order; if seq n+1 were transmitted while n is still in flight, the
+  // network could reorder them and the executor would drop the lower seq
+  // as a "duplicate". Later submissions queue here and are transmitted
+  // as their predecessors complete.
+  if (pending_.size() == 1) SendTo(seq, PickTarget());
+  return seq;
+}
+
+void GroupClient::SendTo(uint64_t seq, sim::NodeId target) {
+  Send(target, pending_[seq].msg);
+  ArmRetry(seq);
+}
+
+void GroupClient::ArmRetry(uint64_t seq) {
+  Pending& p = pending_[seq];
+  CancelTimer(p.retry_timer);
+  p.retry_timer = SetTimer(retry_, [this, seq] {
+    auto it = pending_.find(seq);
+    if (it == pending_.end()) return;
+    ++rotate_;  // The last target was unresponsive: rotate away from it.
+    const auto& members = group_->members();
+    SendTo(seq, members[rotate_ % members.size()]);
+  });
+}
+
+void GroupClient::OnMessage(sim::NodeId from, const sim::Message& msg) {
+  std::optional<ReplicaGroup::Reply> reply = group_->ParseReply(msg);
+  if (!reply.has_value()) return;
+  auto it = pending_.find(reply->client_seq);
+  if (it == pending_.end()) return;  // Duplicate or stale reply.
+  if (reply->redirected) {
+    const auto& members = group_->members();
+    if (reply->leader_hint != sim::kInvalidNode &&
+        reply->leader_hint != from &&
+        std::find(members.begin(), members.end(), reply->leader_hint) !=
+            members.end()) {
+      SendTo(reply->client_seq, reply->leader_hint);
+    }
+    return;  // No usable hint: the retry timer rotates.
+  }
+  CancelTimer(it->second.retry_timer);
+  bool read = it->second.read;
+  pending_.erase(it);
+  // Dispatch the next queued operation before the callback runs, so a
+  // callback that submits new work queues behind what is already here.
+  if (!pending_.empty()) SendTo(pending_.begin()->first, PickTarget());
+  if (on_result_) on_result_(reply->client_seq, reply->result, read);
+}
+
+void GroupClient::OnRestart() {
+  // Timers died with the crash; re-transmit the head so queued work
+  // does not stall forever. Retried requests are idempotent end to end.
+  if (!pending_.empty()) SendTo(pending_.begin()->first, PickTarget());
+}
+
+}  // namespace consensus40::consensus

@@ -1,0 +1,177 @@
+/// \file
+/// The uniform replication-group API the shard layer is built on.
+///
+/// The paper's framing of modern systems (Spanner, DynamoDB) is a
+/// *composition*: per-group consensus below, a commitment layer above.
+/// For the layers above to stay protocol-agnostic, every SMR-capable
+/// protocol in this library exposes itself through one facade —
+/// `ReplicaGroup` — that covers exactly the four things a client of a
+/// replicated group needs:
+///
+///   1. create a roster of replicas inside a simulation,
+///   2. submit a command (build the protocol's request message),
+///   3. read the committed prefix (for invariant checks / introspection),
+///   4. a leader hint (where to send the next request).
+///
+/// Groups are obtained from a name-keyed registry ("raft",
+/// "multi_paxos", ...), so code layered on top — `src/shard/`, the
+/// generic checker adapter in `src/check/adapters.cc`,
+/// `examples/mini_spanner.cc` — never names a protocol type.
+///
+/// `GroupClient` is the matching transport helper: a simulated process
+/// that submits commands/reads to one group, follows leader hints and
+/// redirects, retries on timeout, and hands results to a callback. The
+/// shard layer's transaction managers and workload drivers are built
+/// from GroupClients, which is what keeps them protocol-free.
+
+#ifndef CONSENSUS40_CONSENSUS_REPLICA_GROUP_H_
+#define CONSENSUS40_CONSENSUS_REPLICA_GROUP_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "smr/command.h"
+
+namespace consensus40::consensus {
+
+/// A replication group of one protocol, as seen from above the consensus
+/// layer. Implementations live next to their protocol (src/raft/
+/// raft_group.cc, src/paxos/multi_paxos_group.cc) so protocol authors
+/// keep ownership of the mapping.
+class ReplicaGroup {
+ public:
+  /// A decoded client-visible reply, normalized across protocols.
+  struct Reply {
+    uint64_t client_seq = 0;
+    std::string result;
+    sim::NodeId leader_hint = sim::kInvalidNode;
+    /// True when the replica declined because it is not the leader; the
+    /// result carries no data and the request should be re-sent (to
+    /// leader_hint when valid).
+    bool redirected = false;
+  };
+
+  virtual ~ReplicaGroup() = default;
+
+  /// Registry key, e.g. "raft".
+  virtual const char* protocol() const = 0;
+
+  /// Spawns `replicas` processes into `sim`, occupying the next ids in
+  /// spawn order. Called exactly once per group.
+  virtual void Create(sim::Simulation* sim, int replicas) = 0;
+
+  /// The node ids of the group's replicas (valid after Create).
+  const std::vector<sim::NodeId>& members() const { return members_; }
+
+  /// Builds the protocol's client request message carrying `cmd`.
+  virtual sim::MessagePtr MakeRequest(const smr::Command& cmd) const = 0;
+
+  /// Builds a linearizable read of `key`. Protocols with a dedicated
+  /// read path (Raft read-index) override this; the default routes the
+  /// read through the log as a "GET" command, which is linearizable by
+  /// construction but pays a full consensus round.
+  virtual sim::MessagePtr MakeRead(int32_t client, uint64_t seq,
+                                   const std::string& key) const;
+
+  /// Decodes a reply from one of the group's replicas; nullopt when the
+  /// message is not this protocol's client reply.
+  virtual std::optional<Reply> ParseReply(const sim::Message& msg) const = 0;
+
+  /// The member currently believed to lead, or kInvalidNode.
+  virtual sim::NodeId LeaderHint() const = 0;
+
+  /// Committed command prefix of replica `i` (introspection for
+  /// checkers; excludes protocol-internal entries such as no-ops).
+  virtual std::vector<smr::Command> CommittedPrefix(int replica) const = 0;
+
+  /// Periodic invariant hook (the checker's probe cadence). Protocol
+  /// implementations track their own invariants here — e.g. Raft's
+  /// Election Safety — and report breaches through Violations().
+  virtual void Probe() {}
+
+  /// Everything the group's replicas (or Probe) self-reported.
+  virtual std::vector<std::string> Violations() const { return {}; }
+
+ protected:
+  std::vector<sim::NodeId> members_;
+};
+
+using GroupFactory = std::function<std::unique_ptr<ReplicaGroup>()>;
+
+/// Registers a protocol under `name`. Registering an existing name
+/// replaces the factory (tests use this to inject instrumented groups).
+void RegisterGroupProtocol(const std::string& name, GroupFactory factory);
+
+/// Instantiates a registered protocol; nullptr for unknown names. The
+/// built-in protocols (raft, multi_paxos) are registered on first use.
+std::unique_ptr<ReplicaGroup> MakeGroup(const std::string& name);
+
+/// Sorted names of every registered protocol.
+std::vector<std::string> RegisteredGroupProtocols();
+
+/// Built-in factories (defined next to their protocols); exposed so
+/// callers can construct a group directly without the registry.
+std::unique_ptr<ReplicaGroup> NewRaftGroup();
+std::unique_ptr<ReplicaGroup> NewMultiPaxosGroup();
+
+/// A client endpoint for one ReplicaGroup: submits commands and
+/// linearizable reads, follows redirects and leader hints, retries on
+/// timeout, and invokes the owner's callback exactly once per completed
+/// operation. Operations may be submitted while others are pending, but
+/// transmission is serialized in seq order (one op on the wire at a
+/// time) — the in-order session discipline the deduping executor's
+/// at-most-once filter is defined against.
+class GroupClient : public sim::Process {
+ public:
+  /// (seq, result, was_read) for every completed operation, in
+  /// completion order.
+  using ResultFn =
+      std::function<void(uint64_t seq, const std::string& result, bool read)>;
+
+  explicit GroupClient(const ReplicaGroup* group,
+                       sim::Duration retry = 300 * sim::kMillisecond);
+
+  /// Must be set before the first Submit/Read completes.
+  void SetCallback(ResultFn fn) { on_result_ = std::move(fn); }
+
+  /// Submits `op` as a command through the group; returns the operation
+  /// sequence number passed back to the callback.
+  uint64_t Submit(const std::string& op);
+
+  /// Issues a linearizable read of `key`.
+  uint64_t Read(const std::string& key);
+
+  /// Pending operations (in flight + queued behind the wire slot).
+  size_t inflight() const { return pending_.size(); }
+
+  void OnMessage(sim::NodeId from, const sim::Message& msg) override;
+  void OnRestart() override;
+
+ private:
+  struct Pending {
+    sim::MessagePtr msg;
+    uint64_t retry_timer = 0;
+    bool read = false;
+  };
+
+  uint64_t Issue(sim::MessagePtr msg, bool read);
+  void SendTo(uint64_t seq, sim::NodeId target);
+  void ArmRetry(uint64_t seq);
+  sim::NodeId PickTarget();
+
+  const ReplicaGroup* group_;
+  sim::Duration retry_;
+  ResultFn on_result_;
+  uint64_t next_seq_ = 0;
+  size_t rotate_ = 0;  ///< Round-robin cursor for leaderless retries.
+  std::map<uint64_t, Pending> pending_;
+};
+
+}  // namespace consensus40::consensus
+
+#endif  // CONSENSUS40_CONSENSUS_REPLICA_GROUP_H_

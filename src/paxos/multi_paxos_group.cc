@@ -1,0 +1,86 @@
+/// \file
+/// Multi-Paxos's ReplicaGroup facade (see consensus/replica_group.h).
+/// No MakeRead override: reads go through the log as GET commands, which
+/// is linearizable but pays a full consensus round — the contrast with
+/// Raft's read-index path is itself a measurement the bench surfaces.
+
+#include <string>
+
+#include "consensus/replica_group.h"
+#include "paxos/multi_paxos.h"
+
+namespace consensus40::paxos {
+namespace {
+
+/// Must match the sentinel in multi_paxos.cc (protocol wire constant).
+const char kRedirect[] = "\x01REDIRECT";
+
+class MultiPaxosGroup : public consensus::ReplicaGroup {
+ public:
+  const char* protocol() const override { return "multi_paxos"; }
+
+  void Create(sim::Simulation* sim, int replicas) override {
+    sim::NodeId base = sim->num_processes();
+    for (int i = 0; i < replicas; ++i) {
+      members_.push_back(base + i);
+    }
+    MultiPaxosOptions options;
+    options.members = members_;
+    for (int i = 0; i < replicas; ++i) {
+      replicas_.push_back(sim->Spawn<MultiPaxosReplica>(options));
+    }
+  }
+
+  sim::MessagePtr MakeRequest(const smr::Command& cmd) const override {
+    return std::make_shared<MultiPaxosReplica::RequestMsg>(cmd);
+  }
+
+  std::optional<Reply> ParseReply(const sim::Message& msg) const override {
+    const auto* m = dynamic_cast<const MultiPaxosReplica::ReplyMsg*>(&msg);
+    if (m == nullptr) return std::nullopt;
+    Reply reply;
+    reply.client_seq = m->client_seq;
+    reply.leader_hint = m->leader_hint;
+    if (m->result == kRedirect) {
+      reply.redirected = true;
+    } else {
+      reply.result = m->result;
+    }
+    return reply;
+  }
+
+  sim::NodeId LeaderHint() const override {
+    for (const MultiPaxosReplica* r : replicas_) {
+      if (r->IsLeader()) return r->id();
+    }
+    return sim::kInvalidNode;
+  }
+
+  std::vector<smr::Command> CommittedPrefix(int replica) const override {
+    return replicas_[static_cast<size_t>(replica)]->log().CommittedPrefix();
+  }
+
+  std::vector<std::string> Violations() const override {
+    std::vector<std::string> all;
+    for (const MultiPaxosReplica* r : replicas_) {
+      for (const std::string& v : r->violations()) {
+        all.push_back("replica " + std::to_string(r->id()) + ": " + v);
+      }
+    }
+    return all;
+  }
+
+ private:
+  std::vector<MultiPaxosReplica*> replicas_;
+};
+
+}  // namespace
+}  // namespace consensus40::paxos
+
+namespace consensus40::consensus {
+
+std::unique_ptr<ReplicaGroup> NewMultiPaxosGroup() {
+  return std::make_unique<paxos::MultiPaxosGroup>();
+}
+
+}  // namespace consensus40::consensus

@@ -42,14 +42,17 @@ struct RaftReplica::AppendEntriesMsg : sim::Message {
   int64_t prev_log_term = 0;
   std::vector<LogEntry> entries;
   uint64_t leader_commit = 0;
+  uint64_t round = 0;  ///< Leader broadcast round, echoed in the reply.
 };
 
 struct RaftReplica::AppendReplyMsg : sim::Message {
   const char* TypeName() const override { return "append-reply"; }
-  int ByteSize() const override { return 32; }
+  int ByteSize() const override { return 40; }
   int64_t term = 0;
   bool success = false;
   uint64_t match_index = 0;  ///< On success: entries now known replicated.
+  uint64_t round = 0;  ///< Echo of the AppendEntries round (0: snapshot
+                       ///< replies — they never confirm a read).
 };
 
 struct RaftReplica::InstallSnapshotMsg : sim::Message {
@@ -166,6 +169,9 @@ void RaftReplica::OnRestart() {
   next_index_.clear();
   match_index_.clear();
   awaiting_client_.clear();
+  pending_reads_.clear();  // Volatile: clients re-issue reads.
+  waiting_reads_.clear();
+  ae_round_ = 0;  // Safe: regaining leadership requires a higher term.
   ResetElectionTimer();
 }
 
@@ -182,7 +188,10 @@ void RaftReplica::BecomeFollower(int64_t term) {
     current_term_ = term;
     voted_for_ = sim::kInvalidNode;
   }
-  if (role_ == Role::kLeader) CancelTimer(heartbeat_timer_);
+  if (role_ == Role::kLeader) {
+    CancelTimer(heartbeat_timer_);
+    FailPendingReads();  // Leadership lost: reads must go to the new leader.
+  }
   role_ = Role::kFollower;
   votes_.clear();
   ResetElectionTimer();
@@ -258,11 +267,13 @@ void RaftReplica::SendAppendEntries(sim::NodeId peer) {
     ae->entries.push_back(EntryAt(i + 1));
   }
   ae->leader_commit = commit_index_;
+  ae->round = ae_round_;
   Send(peer, ae);
 }
 
 void RaftReplica::BroadcastAppendEntries() {
   if (role_ != Role::kLeader) return;
+  ++ae_round_;  // Replies echoing this round confirm leadership *now*.
   for (sim::NodeId peer : Peers()) SendAppendEntries(peer);
   CancelTimer(heartbeat_timer_);
   heartbeat_timer_ = SetTimer(options_.heartbeat_interval,
@@ -287,6 +298,16 @@ void RaftReplica::AdvanceCommitIndex() {
     }
   }
   ApplyCommitted();
+  MaybeServeReads();
+  // Committing the term-start entry opens the read barrier: reads that
+  // arrived too early can now be registered.
+  if (role_ == Role::kLeader && ReadBarrierPassed() && !waiting_reads_.empty()) {
+    std::vector<WaitingRead> waiting;
+    waiting.swap(waiting_reads_);
+    for (const WaitingRead& w : waiting) {
+      RegisterRead(w.client_node, w.client_seq, w.key);
+    }
+  }
 }
 
 void RaftReplica::ApplyCommitted() {
@@ -332,6 +353,82 @@ void RaftReplica::MaybeTakeSnapshot() {
   ++snapshots_taken_;
 }
 
+// ---------------------------------------------------------------------------
+// Read-index reads (Raft dissertation §6.4)
+// ---------------------------------------------------------------------------
+
+bool RaftReplica::ReadBarrierPassed() const {
+  // A fresh leader's commit_index may trail the cluster frontier until it
+  // commits an entry of its own term. BecomeLeader appends a no-op
+  // whenever an uncommitted tail exists, so either the whole log was
+  // committed at election (first disjunct) or the barrier entry commits
+  // and satisfies the second.
+  return commit_index_ == LogEnd() ||
+         TermOfEntry(commit_index_) == current_term_;
+}
+
+void RaftReplica::HandleRead(sim::NodeId from, const ReadMsg& msg) {
+  if (role_ != Role::kLeader) {
+    Send(from, std::make_shared<ReplyMsg>(msg.client_seq, kRedirect,
+                                          leader_hint_));
+    return;
+  }
+  if (!ReadBarrierPassed()) {
+    waiting_reads_.push_back(WaitingRead{from, msg.client_seq, msg.key});
+    return;
+  }
+  RegisterRead(from, msg.client_seq, msg.key);
+}
+
+void RaftReplica::RegisterRead(sim::NodeId from, uint64_t seq,
+                               const std::string& key) {
+  PendingRead read;
+  read.read_index = commit_index_;
+  // Only acks to AppendEntries sent AFTER this point prove we are still
+  // the leader; a stale in-flight ack must not count.
+  read.round = ae_round_ + 1;
+  read.client_node = from;
+  read.client_seq = seq;
+  read.key = key;
+  read.confirmed = 1 >= Majority();  // Singleton group: self-ack suffices.
+  pending_reads_.push_back(std::move(read));
+  if (pending_reads_.back().confirmed) {
+    MaybeServeReads();
+  } else {
+    BroadcastAppendEntries();  // Bumps ae_round_ to read.round and fans out.
+  }
+}
+
+void RaftReplica::MaybeServeReads() {
+  size_t i = 0;
+  while (i < pending_reads_.size()) {
+    const PendingRead& read = pending_reads_[i];
+    if (!read.confirmed || read.read_index > last_applied_) {
+      ++i;
+      continue;
+    }
+    std::optional<std::string> value = kv_.Get(read.key);
+    Send(read.client_node,
+         std::make_shared<ReplyMsg>(read.client_seq,
+                                    value.has_value() ? *value : "NIL", id()));
+    ++reads_served_;
+    pending_reads_.erase(pending_reads_.begin() + static_cast<long>(i));
+  }
+}
+
+void RaftReplica::FailPendingReads() {
+  for (const PendingRead& read : pending_reads_) {
+    Send(read.client_node,
+         std::make_shared<ReplyMsg>(read.client_seq, kRedirect, leader_hint_));
+  }
+  for (const WaitingRead& read : waiting_reads_) {
+    Send(read.client_node,
+         std::make_shared<ReplyMsg>(read.client_seq, kRedirect, leader_hint_));
+  }
+  pending_reads_.clear();
+  waiting_reads_.clear();
+}
+
 void RaftReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
   if (const auto* m = dynamic_cast<const RequestMsg*>(&msg)) {
     if (role_ != Role::kLeader) {
@@ -365,6 +462,11 @@ void RaftReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
       log_.push_back(LogEntry{current_term_, m->cmd});
       BroadcastAppendEntries();
     }
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const ReadMsg*>(&msg)) {
+    HandleRead(from, *m);
     return;
   }
 
@@ -407,6 +509,7 @@ void RaftReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
 
   if (const auto* m = dynamic_cast<const AppendEntriesMsg*>(&msg)) {
     auto reply = std::make_shared<AppendReplyMsg>();
+    reply->round = m->round;
     if (m->term < current_term_) {
       reply->term = current_term_;
       reply->success = false;
@@ -517,7 +620,16 @@ void RaftReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
     if (m->success) {
       match_index_[from] = std::max(match_index_[from], m->match_index);
       next_index_[from] = std::max(next_index_[from], m->match_index);
-      AdvanceCommitIndex();
+      if (m->round > 0) {
+        for (PendingRead& read : pending_reads_) {
+          if (read.confirmed || m->round < read.round) continue;
+          read.acks.insert(from);
+          if (static_cast<int>(read.acks.size()) + 1 >= Majority()) {
+            read.confirmed = true;
+          }
+        }
+      }
+      AdvanceCommitIndex();  // Also serves newly confirmed reads.
     } else {
       // Back up and retry immediately.
       if (next_index_[from] > 0) --next_index_[from];

@@ -79,6 +79,20 @@ class RaftReplica : public sim::Process {
     std::string result;
     sim::NodeId leader_hint;
   };
+  /// Linearizable read request (read-index, no leader lease): the leader
+  /// records commit_index as the read index, confirms it is still the
+  /// leader with one round of AppendEntries acks, waits until the read
+  /// index is applied, and answers from its state machine — no log entry,
+  /// no clock assumption (Raft dissertation §6.4).
+  struct ReadMsg : sim::Message {
+    ReadMsg(int32_t c, uint64_t s, std::string k)
+        : client(c), client_seq(s), key(std::move(k)) {}
+    const char* TypeName() const override { return "read"; }
+    int ByteSize() const override { return 16 + static_cast<int>(key.size()); }
+    int32_t client;
+    uint64_t client_seq;
+    std::string key;
+  };
 
   Role role() const { return role_; }
   bool IsLeader() const { return role_ == Role::kLeader; }
@@ -99,6 +113,8 @@ class RaftReplica : public sim::Process {
   size_t LogEntriesHeld() const { return log_.size(); }
   int snapshots_taken() const { return snapshots_taken_; }
   int snapshots_installed() const { return snapshots_installed_; }
+  /// Read-index reads answered by this replica while leader.
+  int reads_served() const { return reads_served_; }
 
   /// Commands this replica applied, in order (for shared checkers; a
   /// replica that bootstrapped from a snapshot only knows its suffix).
@@ -136,6 +152,17 @@ class RaftReplica : public sim::Process {
   void StartElection();
   void BecomeLeader();
   void ResetElectionTimer();
+  /// Read-index machinery. A read may only be *registered* once the
+  /// leader has committed an entry of its own term (or its log was fully
+  /// committed at election) — before that, commit_index may trail the
+  /// cluster-wide frontier and a read-index read could miss committed
+  /// writes. Gated reads wait in waiting_reads_ for the barrier.
+  bool ReadBarrierPassed() const;
+  void HandleRead(sim::NodeId from, const ReadMsg& msg);
+  void RegisterRead(sim::NodeId from, uint64_t seq, const std::string& key);
+  void MaybeServeReads();
+  /// Fails every pending/gated read with a redirect (leadership lost).
+  void FailPendingReads();
   /// Re-derives config_ from the snapshot config + latest log entry;
   /// called after any log mutation (append, truncate, snapshot install).
   void RecomputeConfig();
@@ -183,6 +210,28 @@ class RaftReplica : public sim::Process {
   /// (client, client_seq) -> client node awaiting a reply.
   std::map<std::pair<int32_t, uint64_t>, sim::NodeId> awaiting_client_;
 
+  /// One registered read-index read awaiting leadership confirmation.
+  struct PendingRead {
+    uint64_t read_index = 0;  ///< commit_index at registration.
+    uint64_t round = 0;       ///< AppendEntries round whose acks count.
+    sim::NodeId client_node = sim::kInvalidNode;
+    uint64_t client_seq = 0;
+    std::string key;
+    std::set<sim::NodeId> acks;
+    bool confirmed = false;
+  };
+  /// A read received before the term-start barrier committed.
+  struct WaitingRead {
+    sim::NodeId client_node = sim::kInvalidNode;
+    uint64_t client_seq = 0;
+    std::string key;
+  };
+  std::vector<PendingRead> pending_reads_;
+  std::vector<WaitingRead> waiting_reads_;
+  /// Monotone AppendEntries round counter; bumped per broadcast and
+  /// echoed in replies so a read can demand post-registration acks.
+  uint64_t ae_round_ = 0;
+
   smr::KvStore kv_;
   smr::DedupingExecutor dedup_;
   std::vector<smr::Command> executed_commands_;
@@ -192,6 +241,7 @@ class RaftReplica : public sim::Process {
   int elections_started_ = 0;
   int snapshots_taken_ = 0;
   int snapshots_installed_ = 0;
+  int reads_served_ = 0;
   std::vector<std::string> violations_;
 };
 

@@ -1,0 +1,115 @@
+/// \file
+/// Raft's ReplicaGroup facade (see consensus/replica_group.h). Lives next
+/// to the protocol so the message-type mapping stays with its owner.
+
+#include <map>
+#include <string>
+
+#include "consensus/replica_group.h"
+#include "raft/raft.h"
+
+namespace consensus40::raft {
+namespace {
+
+/// Must match the sentinel in raft.cc (protocol wire constant).
+const char kRedirect[] = "\x01REDIRECT";
+
+class RaftGroup : public consensus::ReplicaGroup {
+ public:
+  const char* protocol() const override { return "raft"; }
+
+  void Create(sim::Simulation* sim, int replicas) override {
+    sim::NodeId base = sim->num_processes();
+    for (int i = 0; i < replicas; ++i) {
+      members_.push_back(base + i);
+    }
+    RaftOptions options;
+    options.initial_config = members_;
+    for (int i = 0; i < replicas; ++i) {
+      replicas_.push_back(sim->Spawn<RaftReplica>(options));
+    }
+  }
+
+  sim::MessagePtr MakeRequest(const smr::Command& cmd) const override {
+    return std::make_shared<RaftReplica::RequestMsg>(cmd);
+  }
+
+  sim::MessagePtr MakeRead(int32_t client, uint64_t seq,
+                           const std::string& key) const override {
+    // Raft's dedicated read path: read-index, no log entry.
+    return std::make_shared<RaftReplica::ReadMsg>(client, seq, key);
+  }
+
+  std::optional<Reply> ParseReply(const sim::Message& msg) const override {
+    const auto* m = dynamic_cast<const RaftReplica::ReplyMsg*>(&msg);
+    if (m == nullptr) return std::nullopt;
+    Reply reply;
+    reply.client_seq = m->client_seq;
+    reply.leader_hint = m->leader_hint;
+    if (m->result == kRedirect) {
+      reply.redirected = true;
+    } else {
+      reply.result = m->result;
+    }
+    return reply;
+  }
+
+  sim::NodeId LeaderHint() const override {
+    // Omniscient introspection: the leader of the highest term wins (an
+    // isolated stale leader may still believe in an older term).
+    sim::NodeId hint = sim::kInvalidNode;
+    int64_t best_term = -1;
+    for (const RaftReplica* r : replicas_) {
+      if (r->IsLeader() && r->current_term() > best_term) {
+        best_term = r->current_term();
+        hint = r->id();
+      }
+    }
+    return hint;
+  }
+
+  std::vector<smr::Command> CommittedPrefix(int replica) const override {
+    return replicas_[static_cast<size_t>(replica)]->CommittedCommands();
+  }
+
+  void Probe() override {
+    // Election Safety: at most one leader per term, across the group's
+    // whole history (kept here, not in the checker, so every layer built
+    // on RaftGroup gets the invariant for free).
+    for (const RaftReplica* r : replicas_) {
+      if (!r->IsLeader()) continue;
+      auto [it, inserted] = term_leaders_.try_emplace(r->current_term(), r->id());
+      if (!inserted && it->second != r->id()) {
+        probe_violations_.push_back(
+            "two leaders in term " + std::to_string(r->current_term()) + ": " +
+            std::to_string(it->second) + " and " + std::to_string(r->id()));
+      }
+    }
+  }
+
+  std::vector<std::string> Violations() const override {
+    std::vector<std::string> all = probe_violations_;
+    for (const RaftReplica* r : replicas_) {
+      for (const std::string& v : r->violations()) {
+        all.push_back("replica " + std::to_string(r->id()) + ": " + v);
+      }
+    }
+    return all;
+  }
+
+ private:
+  std::vector<RaftReplica*> replicas_;
+  std::map<int64_t, sim::NodeId> term_leaders_;
+  std::vector<std::string> probe_violations_;
+};
+
+}  // namespace
+}  // namespace consensus40::raft
+
+namespace consensus40::consensus {
+
+std::unique_ptr<ReplicaGroup> NewRaftGroup() {
+  return std::make_unique<raft::RaftGroup>();
+}
+
+}  // namespace consensus40::consensus

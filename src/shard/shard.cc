@@ -1,0 +1,428 @@
+#include "shard/shard.h"
+
+#include <cassert>
+
+namespace consensus40::shard {
+
+std::string DecisionKey(uint64_t tx_id) {
+  return "__d." + std::to_string(tx_id);
+}
+
+std::string PrepareKey(uint64_t tx_id) {
+  return "__p." + std::to_string(tx_id);
+}
+
+// ---------------------------------------------------------------------------
+// TxManager
+// ---------------------------------------------------------------------------
+
+TxManager::TxManager(ShardedStateMachine* owner, int shard)
+    : owner_(owner), shard_(shard) {}
+
+void TxManager::Vote(uint64_t tx_id, const Tx& tx, bool yes) {
+  auto vote = std::make_shared<TmVoteMsg>();
+  vote->tx_id = tx_id;
+  vote->shard = shard_;
+  vote->yes = yes;
+  Send(tx.coordinator, vote);
+}
+
+void TxManager::OnMessage(sim::NodeId from, const sim::Message& msg) {
+  if (const auto* m = dynamic_cast<const TmPrepareMsg*>(&msg)) {
+    auto it = txs_.find(m->tx_id);
+    if (it != txs_.end()) {
+      // Duplicate prepare (coordinator restarted or the vote was slow):
+      // re-vote where a vote is already determined, otherwise let the
+      // in-flight step answer when it lands.
+      Tx& tx = it->second;
+      tx.coordinator = from;
+      if (tx.phase == Phase::kPrepared) Vote(m->tx_id, tx, true);
+      return;
+    }
+    for (const TxOp& op : m->writes) {
+      auto lock = lock_table_.find(op.key);
+      if (lock != lock_table_.end() && lock->second != m->tx_id) {
+        // Conflict: vote NO without waiting (no deadlocks, ever). The
+        // transaction is not recorded; a later re-prepare re-checks.
+        Tx doomed;
+        doomed.coordinator = from;
+        Vote(m->tx_id, doomed, false);
+        return;
+      }
+    }
+    ++prepares_;
+    Tx& tx = txs_[m->tx_id];
+    tx.writes = m->writes;
+    tx.coordinator = from;
+    tx.one_phase = m->one_phase;
+    for (const TxOp& op : tx.writes) lock_table_[op.key] = m->tx_id;
+    if (m->one_phase) {
+      // Sole participant: skip the prepare record and the decision key,
+      // apply directly (the shard group's log is the only authority).
+      tx.phase = Phase::kCommitting;
+      tx.writes_outstanding = static_cast<int>(tx.writes.size());
+      for (const TxOp& op : tx.writes) {
+        uint64_t seq =
+            owner_->shard_client(shard_)->Submit("PUT " + op.key + " " +
+                                                 op.value);
+        shard_seq_tx_[seq] = m->tx_id;
+      }
+      if (tx.writes_outstanding == 0) Finish(m->tx_id, true);
+      return;
+    }
+    // Durable prepare: the vote only goes out once the prepare record is
+    // committed in the shard's replicated log.
+    uint64_t seq =
+        owner_->shard_client(shard_)->Submit("PUT " + PrepareKey(m->tx_id) +
+                                             " P");
+    shard_seq_tx_[seq] = m->tx_id;
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const TmDecisionMsg*>(&msg)) {
+    ApplyDecision(m->tx_id, m->commit);
+    return;
+  }
+  (void)from;
+}
+
+void TxManager::OnShardResult(uint64_t seq, const std::string& result) {
+  if (crashed()) return;
+  (void)result;
+  auto seq_it = shard_seq_tx_.find(seq);
+  if (seq_it == shard_seq_tx_.end()) return;
+  uint64_t tx_id = seq_it->second;
+  shard_seq_tx_.erase(seq_it);
+  auto it = txs_.find(tx_id);
+  if (it == txs_.end()) return;  // Aborted while the op was in flight.
+  Tx& tx = it->second;
+  if (tx.phase == Phase::kPreparing) {
+    // Prepare record committed: vote YES and start the decision clock.
+    tx.phase = Phase::kPrepared;
+    Vote(tx_id, tx, true);
+    tx.recovery_timer =
+        SetTimer(owner_->options().recovery_timeout, [this, tx_id] {
+          auto rec = txs_.find(tx_id);
+          if (rec == txs_.end() || rec->second.phase != Phase::kPrepared) {
+            return;
+          }
+          // Participant-driven termination (Gray & Lamport): a prepared
+          // participant asks the decision group directly, proposing
+          // ABORT. Whatever the group already holds wins.
+          rec->second.phase = Phase::kRecovering;
+          ++recoveries_;
+          uint64_t rseq = owner_->tm_decision_client(shard_)->Submit(
+              "SETNX " + DecisionKey(tx_id) + " A");
+          decision_seq_tx_[rseq] = tx_id;
+        });
+    return;
+  }
+  if (tx.phase == Phase::kCommitting && --tx.writes_outstanding == 0) {
+    Finish(tx_id, true);
+  }
+}
+
+void TxManager::OnDecisionResult(uint64_t seq, const std::string& result) {
+  if (crashed()) return;
+  auto seq_it = decision_seq_tx_.find(seq);
+  if (seq_it == decision_seq_tx_.end()) return;
+  uint64_t tx_id = seq_it->second;
+  decision_seq_tx_.erase(seq_it);
+  auto it = txs_.find(tx_id);
+  if (it == txs_.end() || it->second.phase != Phase::kRecovering) return;
+  // "OK" = our abort proposal won; otherwise the established decision.
+  ApplyDecision(tx_id, result == "C");
+}
+
+void TxManager::ApplyDecision(uint64_t tx_id, bool commit) {
+  auto it = txs_.find(tx_id);
+  if (it == txs_.end()) {
+    // Already finished (or never prepared): ack so the coordinator can
+    // garbage-collect.
+    auto ack = std::make_shared<TmAckMsg>();
+    ack->tx_id = tx_id;
+    ack->shard = shard_;
+    Send(owner_->coordinator_id(), ack);
+    return;
+  }
+  Tx& tx = it->second;
+  if (tx.phase == Phase::kCommitting) return;  // Duplicate decision.
+  CancelTimer(tx.recovery_timer);
+  if (!commit) {
+    Finish(tx_id, false);
+    return;
+  }
+  tx.phase = Phase::kCommitting;
+  tx.writes_outstanding = static_cast<int>(tx.writes.size());
+  for (const TxOp& op : tx.writes) {
+    uint64_t seq =
+        owner_->shard_client(shard_)->Submit("PUT " + op.key + " " + op.value);
+    shard_seq_tx_[seq] = tx_id;
+  }
+  if (tx.writes_outstanding == 0) Finish(tx_id, true);
+}
+
+void TxManager::ReleaseLocks(uint64_t tx_id) {
+  for (auto it = lock_table_.begin(); it != lock_table_.end();) {
+    it = it->second == tx_id ? lock_table_.erase(it) : std::next(it);
+  }
+}
+
+void TxManager::Finish(uint64_t tx_id, bool committed) {
+  Tx& tx = txs_.at(tx_id);
+  if (tx.one_phase) {
+    // For one-phase transactions the vote doubles as the outcome.
+    Vote(tx_id, tx, committed);
+  } else {
+    auto ack = std::make_shared<TmAckMsg>();
+    ack->tx_id = tx_id;
+    ack->shard = shard_;
+    Send(tx.coordinator, ack);
+  }
+  ReleaseLocks(tx_id);
+  txs_.erase(tx_id);
+}
+
+// ---------------------------------------------------------------------------
+// TxCoordinator
+// ---------------------------------------------------------------------------
+
+TxCoordinator::TxCoordinator(ShardedStateMachine* owner) : owner_(owner) {}
+
+void TxCoordinator::OnRestart() {
+  // Everything here is volatile BY DESIGN: the decision group is the
+  // only durable commit state. Clients re-submit; every step downstream
+  // is idempotent.
+  txs_.clear();
+  decision_seq_tx_.clear();
+}
+
+void TxCoordinator::OnMessage(sim::NodeId from, const sim::Message& msg) {
+  if (const auto* m = dynamic_cast<const BeginTxMsg*>(&msg)) {
+    auto it = txs_.find(m->tx_id);
+    if (it != txs_.end()) {
+      it->second.client = from;
+      if (it->second.decided) {
+        Send(from,
+             std::make_shared<TxOutcomeMsg>(m->tx_id, it->second.commit));
+      }
+      return;  // In flight: the outcome will be sent when decided.
+    }
+    ++started_;
+    Tx& tx = txs_[m->tx_id];
+    tx.client = from;
+    for (const TxOp& op : m->ops) {
+      tx.by_shard[owner_->ShardOf(op.key)].push_back(op);
+    }
+    tx.one_phase = tx.by_shard.size() == 1;
+    for (const auto& [shard, writes] : tx.by_shard) {
+      auto prep = std::make_shared<TmPrepareMsg>();
+      prep->tx_id = m->tx_id;
+      prep->one_phase = tx.one_phase;
+      prep->writes = writes;
+      Send(owner_->tm_id(shard), prep);
+    }
+    if (!tx.one_phase) {
+      uint64_t tx_id = m->tx_id;
+      tx.vote_timer = SetTimer(owner_->options().vote_timeout, [this, tx_id] {
+        auto late = txs_.find(tx_id);
+        if (late == txs_.end() || late->second.decided ||
+            late->second.decision_pending) {
+          return;
+        }
+        Decide(tx_id, false);  // A missing vote is a NO (presumed abort).
+      });
+    }
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const TmVoteMsg*>(&msg)) {
+    auto it = txs_.find(m->tx_id);
+    if (it == txs_.end()) return;  // Forgotten (restart): client re-submits.
+    Tx& tx = it->second;
+    if (tx.decided || tx.decision_pending) return;
+    if (tx.one_phase) {
+      // The sole participant already applied (or refused) the
+      // transaction; its vote IS the outcome.
+      tx.decided = true;
+      tx.commit = m->yes;
+      (m->yes ? committed_ : aborted_)++;
+      Send(tx.client, std::make_shared<TxOutcomeMsg>(m->tx_id, m->yes));
+      txs_.erase(it);
+      return;
+    }
+    if (!m->yes) {
+      Decide(m->tx_id, false);
+      return;
+    }
+    tx.yes_votes.insert(m->shard);
+    if (tx.yes_votes.size() == tx.by_shard.size()) Decide(m->tx_id, true);
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const TmAckMsg*>(&msg)) {
+    auto it = txs_.find(m->tx_id);
+    if (it == txs_.end()) return;
+    it->second.acked.insert(m->shard);
+    FinishIfAcked(m->tx_id);
+    return;
+  }
+  (void)from;
+}
+
+void TxCoordinator::Decide(uint64_t tx_id, bool commit) {
+  Tx& tx = txs_.at(tx_id);
+  CancelTimer(tx.vote_timer);
+  tx.decision_pending = true;
+  tx.commit = commit;
+  // The decision is a write-once record in the DECISION GROUP's log —
+  // this is the "commit decision as consensus log entry" core of the
+  // design. SETNX: first proposal wins, later proposals read it back.
+  uint64_t seq = owner_->coord_decision_client()->Submit(
+      "SETNX " + DecisionKey(tx_id) + (commit ? " C" : " A"));
+  decision_seq_tx_[seq] = tx_id;
+}
+
+void TxCoordinator::OnDecisionResult(uint64_t seq, const std::string& result) {
+  if (crashed()) return;
+  auto seq_it = decision_seq_tx_.find(seq);
+  if (seq_it == decision_seq_tx_.end()) return;
+  uint64_t tx_id = seq_it->second;
+  decision_seq_tx_.erase(seq_it);
+  auto it = txs_.find(tx_id);
+  if (it == txs_.end()) return;
+  Tx& tx = it->second;
+  // "OK": our proposal was first. Anything else is the decision some
+  // earlier proposer (us pre-restart, or a recovering TM) established.
+  bool commit = result == "OK" ? tx.commit : result == "C";
+  tx.commit = commit;
+  tx.decided = true;
+  tx.decision_pending = false;
+  (commit ? committed_ : aborted_)++;
+  for (const auto& [shard, writes] : tx.by_shard) {
+    auto decision = std::make_shared<TmDecisionMsg>();
+    decision->tx_id = tx_id;
+    decision->commit = commit;
+    Send(owner_->tm_id(shard), decision);
+  }
+  Send(tx.client, std::make_shared<TxOutcomeMsg>(tx_id, commit));
+}
+
+void TxCoordinator::FinishIfAcked(uint64_t tx_id) {
+  auto it = txs_.find(tx_id);
+  if (it == txs_.end() || !it->second.decided) return;
+  if (it->second.acked.size() < it->second.by_shard.size()) return;
+  txs_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedStateMachine
+// ---------------------------------------------------------------------------
+
+ShardedStateMachine::ShardedStateMachine(ShardOptions options)
+    : options_(options) {
+  assert(options_.shards >= 1);
+}
+
+ShardedStateMachine::~ShardedStateMachine() = default;
+
+uint64_t ShardedStateMachine::HashKey(const std::string& key) {
+  // FNV-1a: deterministic across platforms/compilers (std::hash is not).
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+int ShardedStateMachine::ShardOf(const std::string& key) const {
+  return static_cast<int>(HashKey(key) %
+                          static_cast<uint64_t>(options_.shards));
+}
+
+std::string ShardedStateMachine::KeyForShard(int shard, int i) const {
+  int found = 0;
+  for (int n = 0;; ++n) {
+    std::string key = "k" + std::to_string(n);
+    if (ShardOf(key) == shard && found++ == i) return key;
+  }
+}
+
+void ShardedStateMachine::Build(sim::Simulation* sim) {
+  // Consensus nodes first, at a contiguous id range starting wherever
+  // the simulation currently ends — fault bounds target this range.
+  for (int s = 0; s < options_.shards; ++s) {
+    auto group = consensus::MakeGroup(options_.protocol);
+    assert(group != nullptr && "unknown ReplicaGroup protocol");
+    group->Create(sim, options_.replicas_per_shard);
+    shard_groups_.push_back(std::move(group));
+  }
+  decision_group_ = consensus::MakeGroup(options_.protocol);
+  assert(decision_group_ != nullptr);
+  decision_group_->Create(sim, options_.decision_replicas);
+
+  // Infrastructure processes, after every consensus node.
+  for (int s = 0; s < options_.shards; ++s) {
+    tms_.push_back(sim->Spawn<TxManager>(this, s));
+  }
+  for (int s = 0; s < options_.shards; ++s) {
+    consensus::GroupClient* client =
+        sim->Spawn<consensus::GroupClient>(shard_groups_[s].get());
+    TxManager* tm = tms_[s];
+    client->SetCallback(
+        [tm](uint64_t seq, const std::string& result, bool /*read*/) {
+          tm->OnShardResult(seq, result);
+        });
+    shard_clients_.push_back(client);
+  }
+  for (int s = 0; s < options_.shards; ++s) {
+    consensus::GroupClient* client =
+        sim->Spawn<consensus::GroupClient>(decision_group_.get());
+    TxManager* tm = tms_[s];
+    client->SetCallback(
+        [tm](uint64_t seq, const std::string& result, bool /*read*/) {
+          tm->OnDecisionResult(seq, result);
+        });
+    tm_decision_clients_.push_back(client);
+  }
+  coordinator_ = sim->Spawn<TxCoordinator>(this);
+  coord_decision_client_ =
+      sim->Spawn<consensus::GroupClient>(decision_group_.get());
+  TxCoordinator* coordinator = coordinator_;
+  coord_decision_client_->SetCallback(
+      [coordinator](uint64_t seq, const std::string& result, bool /*read*/) {
+        coordinator->OnDecisionResult(seq, result);
+      });
+}
+
+std::vector<sim::NodeId> ShardedStateMachine::ConsensusNodes() const {
+  std::vector<sim::NodeId> nodes;
+  for (const auto& group : shard_groups_) {
+    for (sim::NodeId id : group->members()) nodes.push_back(id);
+  }
+  for (sim::NodeId id : decision_group_->members()) nodes.push_back(id);
+  return nodes;
+}
+
+void ShardedStateMachine::Probe() {
+  for (const auto& group : shard_groups_) group->Probe();
+  if (decision_group_ != nullptr) decision_group_->Probe();
+}
+
+std::vector<std::string> ShardedStateMachine::Violations() const {
+  std::vector<std::string> all;
+  for (int s = 0; s < static_cast<int>(shard_groups_.size()); ++s) {
+    for (const std::string& v : shard_groups_[s]->Violations()) {
+      all.push_back("shard " + std::to_string(s) + ": " + v);
+    }
+  }
+  if (decision_group_ != nullptr) {
+    for (const std::string& v : decision_group_->Violations()) {
+      all.push_back("decision group: " + v);
+    }
+  }
+  return all;
+}
+
+}  // namespace consensus40::shard

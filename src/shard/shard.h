@@ -1,0 +1,297 @@
+/// \file
+/// Sharded state machine: a key space partitioned across N independent
+/// replication groups, with cross-shard transactions committed by 2PC
+/// whose commit decisions are THEMSELVES replicated log entries.
+///
+/// This is the composition the paper's modern-systems section describes
+/// (Spanner, DynamoDB): per-shard consensus below, a commitment protocol
+/// above. Classic 2PC blocks when the coordinator fails between prepare
+/// and commit; here the decision is a write-once record (SETNX) in a
+/// replicated coordination group, so any prepared participant can
+/// terminate the protocol on its own — Gray & Lamport's "Consensus on
+/// Transaction Commit". The coordinator front-end is a convenience, not
+/// a single point of failure: crash it at the worst moment and the
+/// participants still converge on one decision.
+///
+/// Roles:
+///   - `TxManager` (one per shard): conflict-checks a lock table, writes
+///     a durable prepare record into its shard's log, votes, applies the
+///     decision, and — on decision timeout — proposes ABORT to the
+///     decision group itself (participant-driven termination).
+///   - `TxCoordinator`: collects votes, writes the decision record,
+///     broadcasts it, answers the client. Stateless across restarts;
+///     clients re-submit and every step is idempotent.
+///   - `ShardedStateMachine`: assembles shard groups, the decision
+///     group, TMs, and the coordinator inside one simulation. Built on
+///     the protocol-agnostic consensus::ReplicaGroup registry, so the
+///     whole layer runs unchanged over Raft or Multi-Paxos.
+
+#ifndef CONSENSUS40_SHARD_SHARD_H_
+#define CONSENSUS40_SHARD_SHARD_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "consensus/replica_group.h"
+#include "sim/simulation.h"
+
+namespace consensus40::shard {
+
+/// One write of a transaction.
+struct TxOp {
+  std::string key;
+  std::string value;
+};
+
+/// Client -> coordinator: start (or re-submit) transaction `tx_id`.
+/// Re-submission with the same id is safe at any point: prepares,
+/// decision records, and writes are all idempotent.
+struct BeginTxMsg : sim::Message {
+  BeginTxMsg(uint64_t id, std::vector<TxOp> o) : tx_id(id), ops(std::move(o)) {}
+  const char* TypeName() const override { return "begin-tx"; }
+  int ByteSize() const override {
+    int size = 16;
+    for (const TxOp& op : ops) {
+      size += static_cast<int>(op.key.size() + op.value.size()) + 8;
+    }
+    return size;
+  }
+  uint64_t tx_id;
+  std::vector<TxOp> ops;
+};
+
+/// Coordinator -> client: final transaction outcome.
+struct TxOutcomeMsg : sim::Message {
+  TxOutcomeMsg(uint64_t id, bool c) : tx_id(id), committed(c) {}
+  const char* TypeName() const override { return "tx-outcome"; }
+  int ByteSize() const override { return 17; }
+  uint64_t tx_id;
+  bool committed;
+};
+
+/// Coordinator -> TM: prepare `tx_id` (or, when this shard is the only
+/// participant, commit it one-phase — no prepare record, no decision key).
+struct TmPrepareMsg : sim::Message {
+  const char* TypeName() const override { return "tm-prepare"; }
+  int ByteSize() const override {
+    int size = 17;
+    for (const TxOp& op : writes) {
+      size += static_cast<int>(op.key.size() + op.value.size()) + 8;
+    }
+    return size;
+  }
+  uint64_t tx_id = 0;
+  bool one_phase = false;
+  std::vector<TxOp> writes;  ///< This shard's slice of the transaction.
+};
+
+/// TM -> coordinator: vote. For one-phase transactions `yes` already
+/// means "applied and committed".
+struct TmVoteMsg : sim::Message {
+  const char* TypeName() const override { return "tm-vote"; }
+  int ByteSize() const override { return 21; }
+  uint64_t tx_id = 0;
+  int shard = -1;
+  bool yes = false;
+};
+
+/// Coordinator -> TM: the (replicated) decision.
+struct TmDecisionMsg : sim::Message {
+  const char* TypeName() const override { return "tm-decision"; }
+  int ByteSize() const override { return 17; }
+  uint64_t tx_id = 0;
+  bool commit = false;
+};
+
+/// TM -> coordinator: decision applied, locks released.
+struct TmAckMsg : sim::Message {
+  const char* TypeName() const override { return "tm-ack"; }
+  int ByteSize() const override { return 20; }
+  uint64_t tx_id = 0;
+  int shard = -1;
+};
+
+struct ShardOptions {
+  int shards = 2;
+  int replicas_per_shard = 3;
+  /// Replicas of the decision group (the "Paxos registrar" of Gray &
+  /// Lamport's commit protocol).
+  int decision_replicas = 3;
+  /// consensus::ReplicaGroup registry key for every group.
+  std::string protocol = "raft";
+  /// Coordinator patience for votes before it decides ABORT.
+  sim::Duration vote_timeout = 250 * sim::kMillisecond;
+  /// Prepared-TM patience for the decision before it asks the decision
+  /// group itself (participant-driven termination).
+  sim::Duration recovery_timeout = 1 * sim::kSecond;
+};
+
+class ShardedStateMachine;
+
+/// Per-shard transaction manager. Owns the shard's lock table; talks to
+/// its shard group and to the decision group through GroupClients.
+class TxManager : public sim::Process {
+ public:
+  TxManager(ShardedStateMachine* owner, int shard);
+
+  void OnMessage(sim::NodeId from, const sim::Message& msg) override;
+
+  /// Completion callback from the shard-group client.
+  void OnShardResult(uint64_t seq, const std::string& result);
+  /// Completion callback from the decision-group client (recovery path).
+  void OnDecisionResult(uint64_t seq, const std::string& result);
+
+  int prepares() const { return prepares_; }
+  int recoveries() const { return recoveries_; }
+
+ private:
+  enum class Phase {
+    kPreparing,   ///< Locks held, prepare record in flight.
+    kPrepared,    ///< Voted yes; awaiting the decision.
+    kCommitting,  ///< Commit decided; writes in flight.
+    kRecovering,  ///< Decision timed out; asking the decision group.
+  };
+  struct Tx {
+    Phase phase = Phase::kPreparing;
+    std::vector<TxOp> writes;
+    sim::NodeId coordinator = sim::kInvalidNode;
+    bool one_phase = false;
+    int writes_outstanding = 0;
+    uint64_t recovery_timer = 0;
+  };
+
+  void Vote(uint64_t tx_id, const Tx& tx, bool yes);
+  void ApplyDecision(uint64_t tx_id, bool commit);
+  void ReleaseLocks(uint64_t tx_id);
+  void Finish(uint64_t tx_id, bool committed);
+
+  ShardedStateMachine* owner_;
+  int shard_;
+  std::map<uint64_t, Tx> txs_;
+  std::map<std::string, uint64_t> lock_table_;  ///< key -> owning tx.
+  std::map<uint64_t, uint64_t> shard_seq_tx_;   ///< client seq -> tx.
+  std::map<uint64_t, uint64_t> decision_seq_tx_;
+  int prepares_ = 0;
+  int recoveries_ = 0;
+};
+
+/// 2PC front-end: drives prepare/decide/ack rounds. All state is
+/// volatile; durability lives in the decision group.
+class TxCoordinator : public sim::Process {
+ public:
+  explicit TxCoordinator(ShardedStateMachine* owner);
+
+  void OnMessage(sim::NodeId from, const sim::Message& msg) override;
+  void OnRestart() override;
+
+  /// Completion callback from the decision-group client.
+  void OnDecisionResult(uint64_t seq, const std::string& result);
+
+  int started() const { return started_; }
+  int committed() const { return committed_; }
+  int aborted() const { return aborted_; }
+
+ private:
+  struct Tx {
+    sim::NodeId client = sim::kInvalidNode;
+    std::map<int, std::vector<TxOp>> by_shard;
+    std::set<int> yes_votes;
+    bool one_phase = false;
+    bool decision_pending = false;  ///< SETNX in flight.
+    bool decided = false;
+    bool commit = false;
+    std::set<int> acked;
+    uint64_t vote_timer = 0;
+  };
+
+  void Decide(uint64_t tx_id, bool commit);
+  void FinishIfAcked(uint64_t tx_id);
+
+  ShardedStateMachine* owner_;
+  std::map<uint64_t, Tx> txs_;
+  std::map<uint64_t, uint64_t> decision_seq_tx_;  ///< client seq -> tx.
+  int started_ = 0;
+  int committed_ = 0;
+  int aborted_ = 0;
+};
+
+/// The assembled sharded system. Spawn order (and therefore node-id
+/// layout) is fixed: shard-group replicas first, then decision-group
+/// replicas, then the infrastructure processes — so fault bounds can
+/// target exactly the consensus nodes by id range.
+class ShardedStateMachine {
+ public:
+  explicit ShardedStateMachine(ShardOptions options);
+  ~ShardedStateMachine();
+
+  /// Spawns every group and process into `sim`. Call exactly once,
+  /// before Simulation::Start (or via Simulation::Builder::Setup).
+  void Build(sim::Simulation* sim);
+
+  /// Which shard owns `key` (FNV-1a hash; stable across platforms).
+  int ShardOf(const std::string& key) const;
+  static uint64_t HashKey(const std::string& key);
+
+  /// The i-th key (by probe order) that hashes to `shard` — for tests
+  /// and workloads that need keys with a known placement.
+  std::string KeyForShard(int shard, int i) const;
+
+  const ShardOptions& options() const { return options_; }
+  sim::NodeId coordinator_id() const { return coordinator_->id(); }
+  TxCoordinator* coordinator() const { return coordinator_; }
+  TxManager* tx_manager(int shard) const { return tms_[shard]; }
+  sim::NodeId tm_id(int shard) const { return tms_[shard]->id(); }
+
+  const consensus::ReplicaGroup* shard_group(int shard) const {
+    return shard_groups_[shard].get();
+  }
+  const consensus::ReplicaGroup* decision_group() const {
+    return decision_group_.get();
+  }
+  /// Every consensus node id, shard groups then decision group — the
+  /// crash/partition surface for fault injection.
+  std::vector<sim::NodeId> ConsensusNodes() const;
+  /// Replica ids of one shard group (for targeted partitions).
+  const std::vector<sim::NodeId>& ShardMembers(int shard) const {
+    return shard_groups_[shard]->members();
+  }
+
+  /// Runs every group's invariant probe (e.g. Raft Election Safety).
+  void Probe();
+  /// Group-level invariant violations, aggregated across all groups.
+  std::vector<std::string> Violations() const;
+
+  // --- internal wiring (used by TxManager / TxCoordinator) ---
+  consensus::GroupClient* shard_client(int shard) const {
+    return shard_clients_[shard];
+  }
+  consensus::GroupClient* tm_decision_client(int shard) const {
+    return tm_decision_clients_[shard];
+  }
+  consensus::GroupClient* coord_decision_client() const {
+    return coord_decision_client_;
+  }
+
+ private:
+  ShardOptions options_;
+  std::vector<std::unique_ptr<consensus::ReplicaGroup>> shard_groups_;
+  std::unique_ptr<consensus::ReplicaGroup> decision_group_;
+  std::vector<TxManager*> tms_;
+  std::vector<consensus::GroupClient*> shard_clients_;
+  std::vector<consensus::GroupClient*> tm_decision_clients_;
+  TxCoordinator* coordinator_ = nullptr;
+  consensus::GroupClient* coord_decision_client_ = nullptr;
+};
+
+/// Decision-record key for `tx_id` in the decision group's KV state.
+std::string DecisionKey(uint64_t tx_id);
+/// Durable prepare-record key for `tx_id` in a shard group's KV state.
+std::string PrepareKey(uint64_t tx_id);
+
+}  // namespace consensus40::shard
+
+#endif  // CONSENSUS40_SHARD_SHARD_H_

@@ -1,0 +1,243 @@
+/// Checker adapter for the sharded state machine: 2 shards x 3 Raft
+/// replicas plus a 3-replica decision group, driven by three cross-shard
+/// transactions on disjoint keys. The fault envelope includes the two
+/// commitment-layer faults the subsystem exists to survive — the
+/// coordinator crashing inside the prepare/commit window, and a whole
+/// shard (or the decision group) being cut off — and still expects both
+/// atomicity AND termination: because the commit decision is a
+/// replicated write-once record, prepared participants finish the
+/// protocol without the coordinator.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/adapters.h"
+#include "shard/shard.h"
+#include "smr/state_machine.h"
+
+namespace consensus40::check {
+namespace {
+
+using shard::ShardedStateMachine;
+using shard::TxOp;
+
+/// Minimal transaction client: begins each planned transaction at its
+/// scheduled time and re-submits on timeout, which is what rides out
+/// coordinator crashes. Lives outside the fault bounds.
+class ShardTxClient : public sim::Process {
+ public:
+  struct Planned {
+    uint64_t tx_id = 0;
+    std::vector<TxOp> ops;
+    sim::Time at = 0;
+  };
+
+  ShardTxClient(sim::NodeId coordinator, std::vector<Planned> plan)
+      : coordinator_(coordinator), plan_(std::move(plan)) {}
+
+  void OnStart() override {
+    for (const Planned& p : plan_) {
+      SetTimer(p.at, [this, &p] { Begin(p); });
+    }
+  }
+
+  void OnMessage(sim::NodeId, const sim::Message& msg) override {
+    const auto* m = dynamic_cast<const shard::TxOutcomeMsg*>(&msg);
+    if (m == nullptr || outcomes.count(m->tx_id) > 0) return;
+    outcomes[m->tx_id] = m->committed;
+    CancelTimer(retry_timers_[m->tx_id]);
+  }
+
+  std::map<uint64_t, bool> outcomes;
+
+ private:
+  void Begin(const Planned& p) {
+    if (outcomes.count(p.tx_id) > 0) return;
+    Send(coordinator_, std::make_shared<shard::BeginTxMsg>(p.tx_id, p.ops));
+    retry_timers_[p.tx_id] =
+        SetTimer(2 * sim::kSecond, [this, &p] { Begin(p); });
+  }
+
+  sim::NodeId coordinator_;
+  std::vector<Planned> plan_;
+  std::map<uint64_t, uint64_t> retry_timers_;
+};
+
+class ShardCheckAdapter : public ProtocolAdapter {
+ public:
+  ShardCheckAdapter() : ssm_(std::make_unique<ShardedStateMachine>(Options())) {
+    // Three cross-shard transactions on disjoint key pairs, staggered so
+    // generated faults land in every protocol phase.
+    for (uint64_t tx = 1; tx <= kTxs; ++tx) {
+      ShardTxClient::Planned p;
+      p.tx_id = tx;
+      int i = static_cast<int>(tx) - 1;
+      std::string value = "t" + std::to_string(tx);
+      p.ops = {TxOp{ssm_->KeyForShard(0, i), value},
+               TxOp{ssm_->KeyForShard(1, i), value}};
+      p.at = (300 + 200 * i) * sim::kMillisecond;
+      plan_.push_back(std::move(p));
+    }
+  }
+
+  const char* name() const override { return "shard"; }
+
+  FaultBounds bounds() const override {
+    // Node-id layout is fixed by ShardedStateMachine::Build's documented
+    // spawn order: shard replicas [0,6), decision replicas [6,9), then
+    // TMs (2), shard clients (2), TM decision clients (2), coordinator.
+    FaultBounds b;
+    b.first_node = 0;
+    b.nodes = kConsensusNodes;
+    b.max_crashed = 1;  // Any single group keeps a majority of its 3.
+    b.restartable = true;
+    b.partitionable = true;
+    b.coordinator = kCoordinatorId;
+    // The transactions run between 300ms and roughly 1.2s; a coordinator
+    // crash anywhere in this window hits prepare/vote/decide in flight.
+    b.coordinator_window_lo = 250 * sim::kMillisecond;
+    b.coordinator_window_hi = 1300 * sim::kMillisecond;
+    b.coordinator_restartable = true;  // Restarts (volatile) at the horizon.
+    b.shard_groups = {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}};
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    ssm_->Build(sim);
+    if (ssm_->coordinator_id() != kCoordinatorId) {
+      layout_error_ = "shard adapter: coordinator id " +
+                      std::to_string(ssm_->coordinator_id()) +
+                      " does not match the declared fault bounds (" +
+                      std::to_string(kCoordinatorId) + ")";
+    }
+    client_ = sim->Spawn<ShardTxClient>(ssm_->coordinator_id(), plan_);
+  }
+
+  bool Done() const override {
+    return client_ != nullptr && client_->outcomes.size() >= kTxs;
+  }
+
+  /// The whole point: unlike plain 2PC, this composition must terminate
+  /// even when the coordinator dies between prepare and commit.
+  bool ExpectTermination() const override { return true; }
+
+  void OnProbe(sim::Simulation*) override { ssm_->Probe(); }
+
+  Observation Observe() const override {
+    Observation o;
+    if (!layout_error_.empty()) o.self_reported.push_back(layout_error_);
+    if (client_ == nullptr) return o;
+
+    // Client-visible outcomes.
+    for (const auto& [tx, committed] : client_->outcomes) {
+      o.verdicts[tx][client_->id()] = committed ? 'C' : 'A';
+    }
+
+    // The replicated decision records.
+    smr::KvStore decisions = Replay(ssm_->decision_group());
+    for (uint64_t tx = 1; tx <= kTxs; ++tx) {
+      auto d = decisions.Get(shard::DecisionKey(tx));
+      if (d.has_value()) {
+        o.verdicts[tx][ssm_->decision_group()->members()[0]] =
+            *d == "C" ? 'C' : 'A';
+      }
+    }
+
+    // Applied state per shard. A key holding the transaction's value is
+    // a commit; a prepare record without the write is in-doubt ('P',
+    // conflicts with nothing — an aborted transaction's prepare record
+    // legitimately outlives the abort); anything else contributes no
+    // verdict. So atomicity violations surface as e.g. a write applied
+    // on one shard for a transaction whose decision record says abort.
+    for (int s = 0; s < 2; ++s) {
+      smr::KvStore kv = Replay(ssm_->shard_group(s));
+      sim::NodeId at = ssm_->ShardMembers(s)[0];
+      for (uint64_t tx = 1; tx <= kTxs; ++tx) {
+        const TxOp& op = plan_[tx - 1].ops[static_cast<size_t>(s)];
+        auto v = kv.Get(op.key);
+        if (v.has_value() && *v == op.value) {
+          o.verdicts[tx][at] = 'C';
+        } else if (kv.Get(shard::PrepareKey(tx)).has_value()) {
+          o.verdicts[tx][at] = 'P';
+        }
+      }
+    }
+
+    // Per-group prefix consistency (groups have unrelated logs, so they
+    // cannot share Observation::logs — that invariant compares all
+    // pairs). Report divergences through the self-reported channel.
+    for (int s = 0; s < 2; ++s) {
+      PrefixCheck(ssm_->shard_group(s), "shard " + std::to_string(s), &o);
+    }
+    PrefixCheck(ssm_->decision_group(), "decision group", &o);
+
+    for (const std::string& v : ssm_->Violations()) {
+      o.self_reported.push_back("shard system: " + v);
+    }
+    return o;
+  }
+
+ private:
+  static constexpr int kConsensusNodes = 9;  // 2 shards x 3 + 3 decision.
+  static constexpr sim::NodeId kCoordinatorId = 15;
+  static constexpr uint64_t kTxs = 3;
+
+  static shard::ShardOptions Options() {
+    shard::ShardOptions so;  // Defaults: 2 shards x 3, 3 decision, raft.
+    return so;
+  }
+
+  /// Replays the longest committed prefix across the group's replicas
+  /// into a KvStore — the group's authoritative end state even when some
+  /// replicas trail (crashed late, restarted at the horizon).
+  static smr::KvStore Replay(const consensus::ReplicaGroup* group) {
+    std::vector<smr::Command> best;
+    for (size_t i = 0; i < group->members().size(); ++i) {
+      std::vector<smr::Command> prefix =
+          group->CommittedPrefix(static_cast<int>(i));
+      if (prefix.size() > best.size()) best = std::move(prefix);
+    }
+    smr::KvStore kv;
+    smr::DedupingExecutor dedup;
+    for (const smr::Command& cmd : best) dedup.Apply(&kv, cmd);
+    return kv;
+  }
+
+  static void PrefixCheck(const consensus::ReplicaGroup* group,
+                          const std::string& label, Observation* o) {
+    std::vector<std::vector<smr::Command>> prefixes;
+    for (size_t i = 0; i < group->members().size(); ++i) {
+      prefixes.push_back(group->CommittedPrefix(static_cast<int>(i)));
+    }
+    for (size_t i = 0; i < prefixes.size(); ++i) {
+      for (size_t j = i + 1; j < prefixes.size(); ++j) {
+        size_t common = std::min(prefixes[i].size(), prefixes[j].size());
+        for (size_t k = 0; k < common; ++k) {
+          if (!(prefixes[i][k] == prefixes[j][k])) {
+            o->self_reported.push_back(
+                label + ": replicas " + std::to_string(i) + " and " +
+                std::to_string(j) + " diverge at log index " +
+                std::to_string(k));
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  std::unique_ptr<ShardedStateMachine> ssm_;
+  std::vector<ShardTxClient::Planned> plan_;
+  ShardTxClient* client_ = nullptr;
+  std::string layout_error_;
+};
+
+}  // namespace
+
+AdapterFactory MakeShardAdapter() {
+  return [](uint64_t) { return std::make_unique<ShardCheckAdapter>(); };
+}
+
+}  // namespace consensus40::check

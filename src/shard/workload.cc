@@ -1,0 +1,130 @@
+#include "shard/workload.h"
+
+namespace consensus40::shard {
+
+WorkloadDriver::WorkloadDriver(ShardedStateMachine* ssm,
+                               WorkloadOptions options,
+                               std::vector<consensus::GroupClient*> readers)
+    : ssm_(ssm), options_(options), readers_(std::move(readers)) {}
+
+void WorkloadDriver::OnStart() {
+  int initial = options_.concurrency < options_.ops ? options_.concurrency
+                                                    : options_.ops;
+  for (int i = 0; i < initial; ++i) IssueNext();
+}
+
+std::string WorkloadDriver::RandomKey(int space) {
+  return "k" + std::to_string(rng().NextBounded(
+                   static_cast<uint64_t>(space > 0 ? space : 1)));
+}
+
+void WorkloadDriver::IssueNext() {
+  if (issued_ >= options_.ops) return;
+  ++issued_;
+  if (rng().NextDouble() < options_.read_fraction) {
+    IssueRead();
+    return;
+  }
+  bool cross = ssm_->options().shards > 1 &&
+               rng().NextDouble() < options_.cross_shard_fraction;
+  IssueTx(cross);
+}
+
+void WorkloadDriver::IssueRead() {
+  std::string key = RandomKey(options_.key_space);
+  int shard = ssm_->ShardOf(key);
+  uint64_t seq = readers_[static_cast<size_t>(shard)]->Read(key);
+  pending_reads_[{shard, seq}] = PendingRead{Now()};
+  ++stats_.reads.issued;
+}
+
+void WorkloadDriver::IssueTx(bool cross) {
+  uint64_t tx_id = ++next_tx_;
+  PendingTx& tx = pending_txs_[tx_id];
+  tx.cross = cross;
+  tx.start = Now();
+  std::string value = "v" + std::to_string(tx_id);
+  std::string k1 = RandomKey(options_.write_space);
+  tx.ops.push_back(TxOp{k1, value});
+  if (cross) {
+    // A second key on a different shard; bounded probing keeps the loop
+    // deterministic even for pathological write spaces.
+    int shard1 = ssm_->ShardOf(k1);
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::string k2 = RandomKey(options_.write_space);
+      if (k2 != k1 && ssm_->ShardOf(k2) != shard1) {
+        tx.ops.push_back(TxOp{k2, value});
+        break;
+      }
+    }
+    if (tx.ops.size() == 1) tx.cross = false;  // Fallback: single-shard.
+  }
+  (tx.cross ? stats_.cross : stats_.single).issued++;
+  SendTx(tx_id);
+}
+
+void WorkloadDriver::SendTx(uint64_t tx_id) {
+  PendingTx& tx = pending_txs_.at(tx_id);
+  Send(ssm_->coordinator_id(), std::make_shared<BeginTxMsg>(tx_id, tx.ops));
+  CancelTimer(tx.retry_timer);
+  tx.retry_timer = SetTimer(options_.retry, [this, tx_id] {
+    if (pending_txs_.count(tx_id) == 0) return;
+    ++stats_.retries;  // Coordinator lost it (crash) or is slow: re-submit.
+    SendTx(tx_id);
+  });
+}
+
+void WorkloadDriver::OnMessage(sim::NodeId from, const sim::Message& msg) {
+  (void)from;
+  const auto* m = dynamic_cast<const TxOutcomeMsg*>(&msg);
+  if (m == nullptr) return;
+  auto it = pending_txs_.find(m->tx_id);
+  if (it == pending_txs_.end()) return;  // Duplicate outcome.
+  PendingTx& tx = it->second;
+  CancelTimer(tx.retry_timer);
+  OpStats& s = tx.cross ? stats_.cross : stats_.single;
+  ++s.completed;
+  (m->committed ? s.committed : s.aborted)++;
+  sim::Duration latency = Now() - tx.start;
+  s.latency_sum += latency;
+  if (latency > s.latency_max) s.latency_max = latency;
+  outcomes_[m->tx_id] = m->committed;
+  pending_txs_.erase(it);
+  IssueNext();
+}
+
+void WorkloadDriver::OnReadResult(int shard, uint64_t seq,
+                                  const std::string& result) {
+  if (crashed()) return;
+  auto it = pending_reads_.find({shard, seq});
+  if (it == pending_reads_.end()) return;
+  ++stats_.reads.completed;
+  if (result == "NIL") ++stats_.reads.misses;
+  sim::Duration latency = Now() - it->second.start;
+  stats_.reads.latency_sum += latency;
+  if (latency > stats_.reads.latency_max) stats_.reads.latency_max = latency;
+  pending_reads_.erase(it);
+  IssueNext();
+}
+
+WorkloadDriver* SpawnWorkload(sim::Simulation* sim, ShardedStateMachine* ssm,
+                              const WorkloadOptions& options) {
+  std::vector<consensus::GroupClient*> readers;
+  for (int s = 0; s < ssm->options().shards; ++s) {
+    readers.push_back(
+        sim->Spawn<consensus::GroupClient>(ssm->shard_group(s)));
+  }
+  WorkloadDriver* driver =
+      sim->Spawn<WorkloadDriver>(ssm, options, readers);
+  for (int s = 0; s < ssm->options().shards; ++s) {
+    int shard = s;
+    readers[static_cast<size_t>(s)]->SetCallback(
+        [driver, shard](uint64_t seq, const std::string& result,
+                        bool /*read*/) {
+          driver->OnReadResult(shard, seq, result);
+        });
+  }
+  return driver;
+}
+
+}  // namespace consensus40::shard

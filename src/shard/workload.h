@@ -1,0 +1,121 @@
+/// \file
+/// Deterministic workload driver for the sharded state machine: replays
+/// a configurable read / single-shard-write / cross-shard-write mix with
+/// a miss-heavy key distribution, and reports throughput, latency, and
+/// abort rate per operation class. All randomness flows from the
+/// driver's per-process Rng, so a (seed, options) pair fully determines
+/// the run — the property every checker and benchmark here relies on.
+
+#ifndef CONSENSUS40_SHARD_WORKLOAD_H_
+#define CONSENSUS40_SHARD_WORKLOAD_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "shard/shard.h"
+#include "sim/simulation.h"
+
+namespace consensus40::shard {
+
+struct WorkloadOptions {
+  /// Total operations (reads + transactions) to issue.
+  int ops = 500;
+  /// Operations kept outstanding at once (closed loop per slot).
+  int concurrency = 4;
+  /// Fraction of operations that are linearizable single-key reads
+  /// (served by the protocol's read path, e.g. Raft read-index).
+  double read_fraction = 0.5;
+  /// Fraction of WRITE transactions that span two shards (2PC).
+  double cross_shard_fraction = 0.2;
+  /// Reads draw keys from [0, key_space); writes from [0, write_space).
+  /// key_space > write_space makes the read mix miss-heavy: most reads
+  /// hit keys no transaction ever wrote.
+  int key_space = 400;
+  int write_space = 100;
+  /// Transaction re-submission timeout (covers coordinator crashes).
+  sim::Duration retry = 2 * sim::kSecond;
+};
+
+/// Counters for one operation class, in virtual time.
+struct OpStats {
+  int issued = 0;
+  int completed = 0;  ///< Reads answered / transactions resolved.
+  int committed = 0;  ///< Transactions only.
+  int aborted = 0;    ///< Transactions only.
+  int misses = 0;     ///< Reads only: result was NIL.
+  sim::Duration latency_sum = 0;
+  sim::Duration latency_max = 0;
+
+  double MeanLatencyMs() const {
+    return completed == 0
+               ? 0.0
+               : static_cast<double>(latency_sum) / completed / 1000.0;
+  }
+};
+
+struct WorkloadStats {
+  OpStats reads;
+  OpStats single;  ///< Single-shard (one-phase) transactions.
+  OpStats cross;   ///< Cross-shard (full 2PC) transactions.
+  int retries = 0;  ///< Transaction re-submissions (timeouts).
+
+  int completed() const {
+    return reads.completed + single.completed + cross.completed;
+  }
+};
+
+/// The driver process. Construct via SpawnWorkload, which wires the
+/// per-shard reader clients.
+class WorkloadDriver : public sim::Process {
+ public:
+  WorkloadDriver(ShardedStateMachine* ssm, WorkloadOptions options,
+                 std::vector<consensus::GroupClient*> readers);
+
+  void OnStart() override;
+  void OnMessage(sim::NodeId from, const sim::Message& msg) override;
+  void OnReadResult(int shard, uint64_t seq, const std::string& result);
+
+  bool done() const { return stats_.completed() >= options_.ops; }
+  const WorkloadStats& stats() const { return stats_; }
+  /// Outcome the driver observed per transaction id (for checkers).
+  const std::map<uint64_t, bool>& outcomes() const { return outcomes_; }
+
+ private:
+  struct PendingTx {
+    std::vector<TxOp> ops;
+    bool cross = false;
+    sim::Time start = 0;
+    uint64_t retry_timer = 0;
+  };
+  struct PendingRead {
+    sim::Time start = 0;
+  };
+
+  void IssueNext();
+  void IssueRead();
+  void IssueTx(bool cross);
+  void SendTx(uint64_t tx_id);
+  std::string RandomKey(int space);
+
+  ShardedStateMachine* ssm_;
+  WorkloadOptions options_;
+  std::vector<consensus::GroupClient*> readers_;
+  WorkloadStats stats_;
+  int issued_ = 0;
+  uint64_t next_tx_ = 0;
+  std::map<uint64_t, PendingTx> pending_txs_;
+  std::map<std::pair<int, uint64_t>, PendingRead> pending_reads_;
+  std::map<uint64_t, bool> outcomes_;
+};
+
+/// Spawns one reader GroupClient per shard plus the driver, and wires
+/// the read callbacks. Must run after ssm->Build (the driver's node id
+/// lands after all of the system's — fault bounds stay contiguous).
+WorkloadDriver* SpawnWorkload(sim::Simulation* sim, ShardedStateMachine* ssm,
+                              const WorkloadOptions& options);
+
+}  // namespace consensus40::shard
+
+#endif  // CONSENSUS40_SHARD_WORKLOAD_H_

@@ -189,6 +189,9 @@ class Process {
 class Simulation {
  public:
   /// Creates a simulation whose entire behaviour is a function of `seed`.
+  /// Deprecated entry point kept as a thin shim: new code should configure
+  /// and construct through Simulation::Builder (below), which also covers
+  /// delay models, trace hooks, topology setup, and scheduled faults.
   explicit Simulation(uint64_t seed, NetworkOptions options = NetworkOptions());
   ~Simulation();
 
@@ -295,6 +298,102 @@ class Simulation {
   /// Schedules a simulation-level (not process-owned) callback.
   void ScheduleAt(Time t, std::function<void()> fn);
   void ScheduleAfter(Duration d, std::function<void()> fn);
+
+  /// Fluent construction of a fully-configured simulation: network shape,
+  /// delay distribution, trace hooks, process topology (Setup), and
+  /// scheduled fault hooks (At) in one expression:
+  ///
+  ///   auto sim = sim::Simulation::Builder(seed)
+  ///                  .Delay(1 * kMillisecond, 5 * kMillisecond)
+  ///                  .Setup([&](Simulation& s) { /* spawn processes */ })
+  ///                  .At(200 * kMillisecond,
+  ///                      [](Simulation& s) { s.Crash(0); })
+  ///                  .Build();
+  ///
+  /// Build() applies everything in a fixed order — options, delay model,
+  /// trace hook, Setup hooks (registration order), At hooks, Start() —
+  /// so construction is as deterministic as the simulation itself.
+  /// Constructing a Simulation directly remains supported but is the
+  /// deprecated path; new code should come through the Builder.
+  class Builder {
+   public:
+    explicit Builder(uint64_t seed) : seed_(seed) {}
+
+    /// Uniform message delay in [min, max].
+    Builder& Delay(Duration min, Duration max) {
+      options_.min_delay = min;
+      options_.max_delay = max;
+      return *this;
+    }
+
+    /// Probability that the network drops any given message.
+    Builder& DropRate(double rate) {
+      options_.drop_rate = rate;
+      return *this;
+    }
+
+    /// Wholesale network options (overwrites Delay/DropRate).
+    Builder& Network(const NetworkOptions& options) {
+      options_ = options;
+      return *this;
+    }
+
+    /// Adversarial delay model (see SetDelayFn).
+    Builder& DelayModel(DelayFn fn) {
+      delay_fn_ = std::move(fn);
+      return *this;
+    }
+
+    /// Message-flow trace hook (see SetTraceFn).
+    Builder& Trace(TraceFn fn) {
+      trace_fn_ = std::move(fn);
+      return *this;
+    }
+
+    /// Topology hook: spawns processes / wires groups. Hooks run against
+    /// the freshly built simulation in registration order.
+    Builder& Setup(std::function<void(Simulation&)> fn) {
+      setup_.push_back(std::move(fn));
+      return *this;
+    }
+
+    /// Fault hook: `fn` runs at virtual time `t` (crash, partition, delay
+    /// spike, ...). Scheduled before Start, so t=0 hooks still precede
+    /// the first delivery.
+    Builder& At(Time t, std::function<void(Simulation&)> fn) {
+      at_.emplace_back(t, std::move(fn));
+      return *this;
+    }
+
+    /// Whether Build() calls Start() (default true). Disable when the
+    /// caller wants to spawn more processes before the clock moves.
+    Builder& AutoStart(bool start) {
+      auto_start_ = start;
+      return *this;
+    }
+
+    std::unique_ptr<Simulation> Build() {
+      auto sim = std::make_unique<Simulation>(seed_, options_);
+      if (delay_fn_) sim->SetDelayFn(delay_fn_);
+      if (trace_fn_) sim->SetTraceFn(trace_fn_);
+      for (auto& fn : setup_) fn(*sim);
+      for (auto& [t, fn] : at_) {
+        Simulation* raw = sim.get();
+        sim->ScheduleAt(t, [raw, fn = std::move(fn)] { fn(*raw); });
+      }
+      if (auto_start_) sim->Start();
+      return sim;
+    }
+
+   private:
+    uint64_t seed_;
+    NetworkOptions options_;
+    DelayFn delay_fn_;
+    TraceFn trace_fn_;
+    std::vector<std::function<void(Simulation&)>> setup_;
+    std::vector<std::pair<Time, std::function<void(Simulation&)>>> at_;
+    bool auto_start_ = true;
+  };
 
   /// Internal: used by Process::Send.
   void SendMessage(NodeId from, NodeId to, MessagePtr msg);

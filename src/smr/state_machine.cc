@@ -31,6 +31,10 @@ std::string KvStore::Apply(const Command& cmd) {
   if (verb == "DEL" && t.size() >= 2) {
     return data_.erase(t[1]) > 0 ? "OK" : "NIL";
   }
+  if (verb == "SETNX" && t.size() >= 3) {
+    auto [it, inserted] = data_.try_emplace(t[1], t[2]);
+    return inserted ? "OK" : it->second;
+  }
   if (verb == "CAS" && t.size() >= 4) {
     auto it = data_.find(t[1]);
     if (it != data_.end() && it->second == t[2]) {

@@ -31,9 +31,17 @@ class StateMachine {
 ///   "PUT <key> <value>"          -> "OK"
 ///   "GET <key>"                  -> value or "NIL"
 ///   "DEL <key>"                  -> "OK" or "NIL"
+///   "SETNX <key> <value>"        -> "OK" if absent, else existing value
 ///   "CAS <key> <old> <new>"      -> "OK" or "FAIL"
 ///   "INC <key>"                  -> new integer value (missing key = 0)
 ///   anything else                -> "ERR"
+///
+/// SETNX is the write-once primitive behind replicated transaction-commit
+/// records (Gray & Lamport's "Consensus on Transaction Commit"): the first
+/// SETNX on a decision key wins and every later proposal — a recovering
+/// participant proposing abort, a duplicate coordinator decision — gets
+/// the established decision back instead. CAS cannot express this (it
+/// fails on a missing key).
 class KvStore : public StateMachine {
  public:
   std::string Apply(const Command& cmd) override;

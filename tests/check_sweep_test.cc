@@ -80,6 +80,14 @@ TEST(CheckSweepInBounds, ThreePhaseCommit) {
 
 TEST(CheckSweepInBounds, BenOr) { SweepInBounds("benor", MakeBenOrAdapter()); }
 
+// The sharded 2PC-over-consensus composition: atomicity and prefix
+// consistency must survive replica crashes, whole-shard partitions, AND
+// the classic coordinator-crash-between-prepare-and-commit — the fault
+// plain 2PC (below, out of bounds) demonstrably blocks under.
+TEST(CheckSweepInBounds, ShardedTwoPhaseCommitOverConsensus) {
+  SweepInBounds("shard", MakeShardAdapter());
+}
+
 TEST(CheckSweepInBounds, FloodSet) {
   SweepInBounds("floodset", MakeFloodSetAdapter());
 }
@@ -150,6 +158,15 @@ TEST(CheckSweepOutOfBounds, FloodSetAtFRoundsSplitsDecisions) {
 TEST(CheckSweepOutOfBounds, PbftAtThreeFForksHonestBackups) {
   ExpectViolationFound("pbft-n=3f", MakePbftOutOfBoundsAdapter(), 50,
                        "prefix");
+}
+
+// Plain 2PC with the coordinator crashed in the decision window and never
+// restarted: participants stay prepared forever. The adapter claims
+// termination, so the checker must surface the blocking as a liveness
+// violation — the exact contrast to the in-bounds shard sweep above.
+TEST(CheckSweepOutOfBounds, PlainTwoPhaseCommitBlocksOnCoordinatorCrash) {
+  ExpectViolationFound("2pc-blocking", MakeTwoPhaseCommitBlockingAdapter(), 50,
+                       "liveness");
 }
 
 // ---------------------------------------------------------------------------

@@ -39,6 +39,19 @@ TEST(KvStoreTest, CasSemantics) {
   EXPECT_EQ(*kv.Get("a"), "3");
 }
 
+TEST(KvStoreTest, SetnxIsWriteOnce) {
+  KvStore kv;
+  // First proposal wins; every later proposal reads the established
+  // value back — the write-once primitive behind replicated transaction
+  // commit records (a recovering participant proposing "A" against an
+  // already-decided "C" must learn "C", not overwrite it).
+  EXPECT_EQ(kv.Apply(Cmd(0, 1, "SETNX d C")), "OK");
+  EXPECT_EQ(kv.Apply(Cmd(0, 2, "SETNX d A")), "C");
+  EXPECT_EQ(kv.Apply(Cmd(1, 1, "SETNX d A")), "C");
+  EXPECT_EQ(*kv.Get("d"), "C");
+  EXPECT_EQ(kv.Apply(Cmd(0, 3, "SETNX")), "ERR");
+}
+
 TEST(KvStoreTest, IncCountsFromZero) {
   KvStore kv;
   EXPECT_EQ(kv.Apply(Cmd(0, 1, "INC ctr")), "1");

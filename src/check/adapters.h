@@ -27,6 +27,12 @@ namespace consensus40::check {
 /// now thin wrappers around this.
 AdapterFactory MakeGroupAdapter(std::string protocol);
 
+/// The same group adapter with the hot-path optimisations on: leader-side
+/// batching (batch_size 4, 1ms linger) and a windowed client (4 ops in
+/// flight). The sweep proof that batched log entries and out-of-order
+/// client arrivals stay inside the safety envelope.
+AdapterFactory MakeBatchedGroupAdapter(std::string protocol);
+
 // --- In-bounds adapters (safety must hold for every schedule) ---
 AdapterFactory MakePaxosAdapter();          ///< single-decree, n=5
 AdapterFactory MakeMultiPaxosAdapter();     ///< SMR, n=5 + client
@@ -50,6 +56,10 @@ AdapterFactory MakeFloodSetAdapter();       ///< f+1 rounds (runs direct)
 /// and — because the decision is a replicated record — the workload must
 /// still terminate.
 AdapterFactory MakeShardAdapter();
+
+/// The shard composition with batching + windowed clients throughout
+/// (see MakeBatchedGroupAdapter); same fault bounds and expectations.
+AdapterFactory MakeShardBatchedAdapter();
 
 // --- Out-of-bounds adapters (violations must be discoverable) ---
 

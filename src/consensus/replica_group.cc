@@ -72,14 +72,23 @@ std::vector<std::string> RegisteredGroupProtocols() {
 // GroupClient
 // ---------------------------------------------------------------------------
 
-GroupClient::GroupClient(const ReplicaGroup* group, sim::Duration retry)
-    : group_(group), retry_(retry) {}
+GroupClient::GroupClient(const ReplicaGroup* group, sim::Duration retry,
+                         int window)
+    : group_(group), retry_(retry), window_(window > 0 ? window : 1) {}
 
 sim::NodeId GroupClient::PickTarget() {
-  sim::NodeId hint = group_->LeaderHint();
   const auto& members = group_->members();
-  for (sim::NodeId m : members) {
-    if (m == hint) return hint;
+  // Only trust the leader hint while it is earning its keep: after a
+  // retry timer fires, the hint pointed (and, for an omniscient hint over
+  // a crashed-but-not-restarted leader, may keep pointing) at a silent
+  // node; re-preferring it would stall EVERY subsequently dispatched
+  // operation for a full retry period. Distrust it until a successful
+  // reply proves the group is answering again.
+  if (trust_hint_) {
+    sim::NodeId hint = group_->LeaderHint();
+    for (sim::NodeId m : members) {
+      if (m == hint) return hint;
+    }
   }
   return members[rotate_ % members.size()];
 }
@@ -99,18 +108,29 @@ uint64_t GroupClient::Issue(sim::MessagePtr msg, bool read) {
   Pending& p = pending_[seq];
   p.msg = std::move(msg);
   p.read = read;
-  // One operation on the wire at a time, in seq order. The deduping
-  // executor's session table assumes each client's seqs reach the log in
-  // order; if seq n+1 were transmitted while n is still in flight, the
-  // network could reorder them and the executor would drop the lower seq
-  // as a "duplicate". Later submissions queue here and are transmitted
-  // as their predecessors complete.
-  if (pending_.size() == 1) SendTo(seq, PickTarget());
+  // Up to window_ operations ride the wire at once, transmitted in seq
+  // order; the rest queue here. The deduping executor's session table
+  // tolerates reordering within the window (it tracks executed seqs
+  // above its contiguous floor), so none of the in-flight seqs can be
+  // mistaken for a duplicate however the network interleaves them.
+  PumpWindow();
   return seq;
 }
 
+void GroupClient::PumpWindow() {
+  for (auto& [seq, p] : pending_) {
+    if (sent_count_ >= static_cast<size_t>(window_)) break;
+    if (p.sent) continue;
+    p.sent = true;
+    ++sent_count_;
+    SendTo(seq, PickTarget());
+  }
+}
+
 void GroupClient::SendTo(uint64_t seq, sim::NodeId target) {
-  Send(target, pending_[seq].msg);
+  Pending& p = pending_[seq];
+  p.last_target = target;
+  Send(target, p.msg);
   ArmRetry(seq);
 }
 
@@ -120,9 +140,16 @@ void GroupClient::ArmRetry(uint64_t seq) {
   p.retry_timer = SetTimer(retry_, [this, seq] {
     auto it = pending_.find(seq);
     if (it == pending_.end()) return;
-    ++rotate_;  // The last target was unresponsive: rotate away from it.
+    trust_hint_ = false;  // The hint led here; stop preferring it.
+    ++rotate_;            // The last target was unresponsive: rotate away.
     const auto& members = group_->members();
-    SendTo(seq, members[rotate_ % members.size()]);
+    sim::NodeId next = members[rotate_ % members.size()];
+    if (next == it->second.last_target && members.size() > 1) {
+      // The cursor wrapped straight back onto the silent node; skip it.
+      ++rotate_;
+      next = members[rotate_ % members.size()];
+    }
+    SendTo(seq, next);
   });
 }
 
@@ -143,17 +170,22 @@ void GroupClient::OnMessage(sim::NodeId from, const sim::Message& msg) {
   }
   CancelTimer(it->second.retry_timer);
   bool read = it->second.read;
+  if (it->second.sent) --sent_count_;
   pending_.erase(it);
-  // Dispatch the next queued operation before the callback runs, so a
-  // callback that submits new work queues behind what is already here.
-  if (!pending_.empty()) SendTo(pending_.begin()->first, PickTarget());
+  trust_hint_ = true;  // A real reply: the group is answering again.
+  // Dispatch queued operations before the callback runs, so a callback
+  // that submits new work queues behind what is already here.
+  PumpWindow();
   if (on_result_) on_result_(reply->client_seq, reply->result, read);
 }
 
 void GroupClient::OnRestart() {
-  // Timers died with the crash; re-transmit the head so queued work
-  // does not stall forever. Retried requests are idempotent end to end.
-  if (!pending_.empty()) SendTo(pending_.begin()->first, PickTarget());
+  // Timers died with the crash; every formerly in-flight operation needs
+  // re-transmission or queued work stalls forever. Retried requests are
+  // idempotent end to end.
+  sent_count_ = 0;
+  for (auto& [seq, p] : pending_) p.sent = false;
+  PumpWindow();
 }
 
 }  // namespace consensus40::consensus

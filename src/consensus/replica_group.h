@@ -39,6 +39,22 @@
 
 namespace consensus40::consensus {
 
+/// Protocol-agnostic hot-path tuning, mapped by each group onto its
+/// protocol's native options before Create. The defaults reproduce the
+/// untuned behaviour exactly: one command per log entry, no linger, no
+/// checkpointing.
+struct GroupTuning {
+  /// Max client commands the leader folds into one log entry.
+  int batch_size = 1;
+  /// How long the leader lingers for a batch to fill (0 = cut
+  /// immediately; mirrors PBFT's batch_delay).
+  sim::Duration batch_delay = 0;
+  /// Applied entries per state checkpoint + log prefix truncation
+  /// (Raft snapshot_threshold / Multi-Paxos checkpoint_interval).
+  /// 0 disables.
+  uint64_t snapshot_threshold = 0;
+};
+
 /// A replication group of one protocol, as seen from above the consensus
 /// layer. Implementations live next to their protocol (src/raft/
 /// raft_group.cc, src/paxos/multi_paxos_group.cc) so protocol authors
@@ -60,6 +76,11 @@ class ReplicaGroup {
 
   /// Registry key, e.g. "raft".
   virtual const char* protocol() const = 0;
+
+  /// Applies hot-path tuning. Must be called before Create; protocols
+  /// without a matching knob ignore the fields they cannot map.
+  virtual void Configure(const GroupTuning& tuning) { tuning_ = tuning; }
+  const GroupTuning& tuning() const { return tuning_; }
 
   /// Spawns `replicas` processes into `sim`, occupying the next ids in
   /// spawn order. Called exactly once per group.
@@ -99,6 +120,7 @@ class ReplicaGroup {
 
  protected:
   std::vector<sim::NodeId> members_;
+  GroupTuning tuning_;
 };
 
 using GroupFactory = std::function<std::unique_ptr<ReplicaGroup>()>;
@@ -122,10 +144,17 @@ std::unique_ptr<ReplicaGroup> NewMultiPaxosGroup();
 /// A client endpoint for one ReplicaGroup: submits commands and
 /// linearizable reads, follows redirects and leader hints, retries on
 /// timeout, and invokes the owner's callback exactly once per completed
-/// operation. Operations may be submitted while others are pending, but
-/// transmission is serialized in seq order (one op on the wire at a
-/// time) — the in-order session discipline the deduping executor's
-/// at-most-once filter is defined against.
+/// operation.
+///
+/// Transmission keeps up to `window` operations on the wire at once, in
+/// seq order; further submissions queue behind the window. The deduping
+/// executor's session table tolerates reordering within that bounded
+/// window (see DedupingExecutor), so window > 1 stays exactly-once end
+/// to end. THE WINDOWING CONTRACT: operations inside the window may
+/// commit — and therefore apply — in any order, so a caller must only
+/// submit an operation that depends on another's effects after that
+/// predecessor's callback has fired. The default window of 1 restores
+/// strict serialization.
 class GroupClient : public sim::Process {
  public:
   /// (seq, result, was_read) for every completed operation, in
@@ -134,7 +163,8 @@ class GroupClient : public sim::Process {
       std::function<void(uint64_t seq, const std::string& result, bool read)>;
 
   explicit GroupClient(const ReplicaGroup* group,
-                       sim::Duration retry = 300 * sim::kMillisecond);
+                       sim::Duration retry = 300 * sim::kMillisecond,
+                       int window = 1);
 
   /// Must be set before the first Submit/Read completes.
   void SetCallback(ResultFn fn) { on_result_ = std::move(fn); }
@@ -146,8 +176,9 @@ class GroupClient : public sim::Process {
   /// Issues a linearizable read of `key`.
   uint64_t Read(const std::string& key);
 
-  /// Pending operations (in flight + queued behind the wire slot).
+  /// Pending operations (in flight + queued behind the window).
   size_t inflight() const { return pending_.size(); }
+  int window() const { return window_; }
 
   void OnMessage(sim::NodeId from, const sim::Message& msg) override;
   void OnRestart() override;
@@ -157,18 +188,30 @@ class GroupClient : public sim::Process {
     sim::MessagePtr msg;
     uint64_t retry_timer = 0;
     bool read = false;
+    bool sent = false;  ///< Occupies a window slot (transmitted at least once).
+    sim::NodeId last_target = sim::kInvalidNode;
   };
 
   uint64_t Issue(sim::MessagePtr msg, bool read);
   void SendTo(uint64_t seq, sim::NodeId target);
   void ArmRetry(uint64_t seq);
+  /// Transmits queued operations (in seq order) until `window_` are on
+  /// the wire.
+  void PumpWindow();
   sim::NodeId PickTarget();
 
   const ReplicaGroup* group_;
   sim::Duration retry_;
+  int window_;
   ResultFn on_result_;
   uint64_t next_seq_ = 0;
   size_t rotate_ = 0;  ///< Round-robin cursor for leaderless retries.
+  /// False after a retry timer fires until a successful (non-redirect)
+  /// reply arrives: the group's leader hint led to a silent target — a
+  /// crashed or partitioned leader whose omniscient hint may not have
+  /// caught up — so new transmissions rotate instead of re-preferring it.
+  bool trust_hint_ = true;
+  size_t sent_count_ = 0;  ///< Pending operations currently on the wire.
   std::map<uint64_t, Pending> pending_;
 };
 

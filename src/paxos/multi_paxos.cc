@@ -1,5 +1,6 @@
 #include "paxos/multi_paxos.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace consensus40::paxos {
@@ -51,12 +52,44 @@ struct MultiPaxosReplica::AcceptedMsg : sim::Message {
 struct MultiPaxosReplica::CommitMsg : sim::Message {
   const char* TypeName() const override { return "commit"; }
   int ByteSize() const override {
-    return 32 + (has_entry ? cmd.ByteSize() + 8 : 0);
+    return 40 + (has_entry ? cmd.ByteSize() + 8 : 0);
   }
   Ballot ballot;
   bool has_entry = false;  ///< False = pure heartbeat.
   uint64_t index = 0;
   smr::Command cmd;
+  /// Leader's commit frontier: a follower that trails it asks to catch up.
+  uint64_t frontier = 0;
+};
+
+struct MultiPaxosReplica::CatchupRequestMsg : sim::Message {
+  explicit CatchupRequestMsg(uint64_t f) : from_index(f) {}
+  const char* TypeName() const override { return "catchup-request"; }
+  int ByteSize() const override { return 16; }
+  uint64_t from_index;  ///< Requester's commit frontier.
+};
+
+struct MultiPaxosReplica::CatchupReplyMsg : sim::Message {
+  const char* TypeName() const override { return "catchup-reply"; }
+  int ByteSize() const override {
+    int size = 16;
+    for (const auto& [index, cmd] : entries) size += 16 + cmd.ByteSize();
+    return size;
+  }
+  std::vector<std::pair<uint64_t, smr::Command>> entries;  ///< Chosen slots.
+};
+
+/// Full-state transfer for a follower whose gap was checkpoint-truncated
+/// away on the leader (the Multi-Paxos analogue of Raft's InstallSnapshot).
+struct MultiPaxosReplica::SnapshotMsg : sim::Message {
+  const char* TypeName() const override { return "snapshot"; }
+  int ByteSize() const override {
+    return 64 + static_cast<int>(data.size()) * 32 +
+           static_cast<int>(sessions.size()) * 24;
+  }
+  uint64_t end = 0;  ///< The snapshot covers slots [0, end).
+  std::map<std::string, std::string> data;  ///< KV state.
+  smr::DedupingExecutor::Sessions sessions;
 };
 
 // ---------------------------------------------------------------------------
@@ -138,6 +171,7 @@ void MultiPaxosReplica::OnLeadershipAcquired() {
     smr::Command cmd = std::move(pending_.front());
     pending_.pop_front();
     uint64_t index = next_index_++;
+    queued_.erase({cmd.client, cmd.client_seq});
     assigned_[{cmd.client, cmd.client_seq}] = index;
     AcceptSlot(index, cmd);
     return;
@@ -149,6 +183,7 @@ void MultiPaxosReplica::OnLeadershipAcquired() {
 void MultiPaxosReplica::SendHeartbeat() {
   auto hb = std::make_shared<CommitMsg>();
   hb->ballot = my_ballot_;
+  hb->frontier = log_.commit_frontier();
   Multicast(Everyone(), hb);
   if (leader_active_) {
     CancelTimer(heartbeat_timer_);
@@ -160,13 +195,35 @@ void MultiPaxosReplica::SendHeartbeat() {
 void MultiPaxosReplica::ProposeNext() {
   if (!leader_active_) return;
   if (options_.skip_phase1_when_stable) {
-    // Steady state: assign every pending command its own slot, pipelined.
+    // Steady state: cut the pending queue into slots (batch_size commands
+    // per slot), pipelined.
+    CancelTimer(batch_timer_);
+    batch_timer_ = 0;
+    size_t max_take = static_cast<size_t>(std::max(1, options_.batch_size));
     while (!pending_.empty()) {
-      smr::Command cmd = std::move(pending_.front());
-      pending_.pop_front();
+      size_t take = std::min(pending_.size(), max_take);
       uint64_t index = next_index_++;
-      assigned_[{cmd.client, cmd.client_seq}] = index;
-      AcceptSlot(index, cmd);
+      smr::Command entry;
+      if (take == 1) {
+        // A lone command ships raw, keeping the untuned log shape.
+        entry = std::move(pending_.front());
+        pending_.pop_front();
+        queued_.erase({entry.client, entry.client_seq});
+        assigned_[{entry.client, entry.client_seq}] = index;
+      } else {
+        std::vector<smr::Command> cmds(pending_.begin(),
+                                       pending_.begin() +
+                                           static_cast<long>(take));
+        pending_.erase(pending_.begin(),
+                       pending_.begin() + static_cast<long>(take));
+        for (const smr::Command& cmd : cmds) {
+          queued_.erase({cmd.client, cmd.client_seq});
+          assigned_[{cmd.client, cmd.client_seq}] = index;
+        }
+        entry = smr::EncodeBatch(cmds);
+        ++batches_cut_;
+      }
+      AcceptSlot(index, entry);
     }
   } else {
     // Ablation: full Basic Paxos per entry — re-run phase 1 first; the
@@ -182,6 +239,7 @@ void MultiPaxosReplica::AcceptSlot(uint64_t index, const smr::Command& cmd) {
 }
 
 void MultiPaxosReplica::Chosen(uint64_t index, const smr::Command& cmd) {
+  if (index < log_.start()) return;  // Already folded into a checkpoint.
   SlotState& slot = Slot(index);
   if (slot.chosen) {
     if (slot.has_value && !(slot.value == cmd)) {
@@ -207,19 +265,33 @@ void MultiPaxosReplica::Chosen(uint64_t index, const smr::Command& cmd) {
 }
 
 void MultiPaxosReplica::ApplyAndReply() {
-  uint64_t first = log_.applied_frontier();
-  std::vector<std::string> outputs = log_.ApplyCommitted(&kv_, &dedup_);
-  for (size_t k = 0; k < outputs.size(); ++k) {
-    uint64_t index = first + k;
-    results_by_index_[index] = outputs[k];
-    const smr::Command* cmd = log_.Get(index);
-    auto it = awaiting_client_.find({cmd->client, cmd->client_seq});
-    if (it != awaiting_client_.end()) {
-      Send(it->second,
-           std::make_shared<ReplyMsg>(cmd->client_seq, outputs[k], id()));
-      awaiting_client_.erase(it);
-    }
-  }
+  // Batch slots fan out: each client command is deduped, recorded, and
+  // answered individually.
+  log_.ApplyCommitted(
+      &kv_, &dedup_,
+      [this](uint64_t, const smr::Command& cmd, const std::string& result) {
+        executed_commands_.push_back(cmd);
+        auto key = std::make_pair(cmd.client, cmd.client_seq);
+        assigned_.erase(key);  // The dedup session covers it from here on.
+        auto it = awaiting_client_.find(key);
+        if (it != awaiting_client_.end()) {
+          Send(it->second,
+               std::make_shared<ReplyMsg>(cmd.client_seq, result, id()));
+          awaiting_client_.erase(it);
+        }
+      });
+  MaybeCheckpoint();
+}
+
+void MultiPaxosReplica::MaybeCheckpoint() {
+  if (options_.checkpoint_interval == 0) return;
+  uint64_t applied = log_.applied_frontier();
+  if (applied - log_.start() < options_.checkpoint_interval) return;
+  // The applied state machine (plus its dedup sessions) IS the
+  // checkpoint: truncate the log prefix and the matching acceptor slots.
+  log_.TruncatePrefix(applied);
+  slots_.erase(slots_.begin(), slots_.lower_bound(applied));
+  ++checkpoints_taken_;
 }
 
 void MultiPaxosReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
@@ -229,21 +301,28 @@ void MultiPaxosReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
                                             LeaderHint()));
       return;
     }
-    auto key = std::make_pair(m->cmd.client, m->cmd.client_seq);
-    awaiting_client_[key] = from;
-    auto it = assigned_.find(key);
-    if (it != assigned_.end()) {
-      // Duplicate: re-reply if already executed, else the apply path will.
-      auto done = results_by_index_.find(it->second);
-      if (done != results_by_index_.end()) {
-        Send(from, std::make_shared<ReplyMsg>(m->cmd.client_seq, done->second,
-                                              id()));
-        awaiting_client_.erase(key);
-      }
+    // Already executed (possibly checkpoint-truncated): answer from cache.
+    if (const std::string* cached =
+            dedup_.Lookup(m->cmd.client, m->cmd.client_seq)) {
+      Send(from,
+           std::make_shared<ReplyMsg>(m->cmd.client_seq, *cached, id()));
       return;
     }
+    auto key = std::make_pair(m->cmd.client, m->cmd.client_seq);
+    awaiting_client_[key] = from;
+    if (assigned_.count(key) > 0 || queued_.count(key) > 0) {
+      return;  // In flight: the apply path replies.
+    }
+    queued_.insert(key);
     pending_.push_back(m->cmd);
-    ProposeNext();
+    // PBFT-style cut-or-linger: cut immediately when batching is off or
+    // the batch is full; otherwise arm the linger timer on first enqueue.
+    if (!leader_active_ || options_.batch_delay == 0 ||
+        pending_.size() >= static_cast<size_t>(options_.batch_size)) {
+      ProposeNext();
+    } else if (pending_.size() == 1) {
+      batch_timer_ = SetTimer(options_.batch_delay, [this] { ProposeNext(); });
+    }
     return;
   }
 
@@ -283,6 +362,13 @@ void MultiPaxosReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
   if (const auto* m = dynamic_cast<const AcceptMsg*>(&msg)) {
     if (m->ballot >= ballot_num_) {
       ballot_num_ = m->ballot;
+      if (m->index < log_.start()) {
+        // Checkpoint-truncated slot: its value was chosen (and applied);
+        // acknowledging is truthful and lets a stale proposer progress.
+        Send(from, std::make_shared<AcceptedMsg>(m->ballot, m->index));
+        if (m->ballot.pid != id()) ResetLeaderTimer();
+        return;
+      }
       SlotState& slot = Slot(m->index);
       if (!slot.chosen) {
         slot.accept_num = m->ballot;
@@ -308,6 +394,7 @@ void MultiPaxosReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
       commit->has_entry = true;
       commit->index = m->index;
       commit->cmd = cmd;
+      commit->frontier = log_.commit_frontier();
       Multicast(Everyone(), commit);
       Chosen(m->index, cmd);
       if (!options_.skip_phase1_when_stable) {
@@ -330,7 +417,58 @@ void MultiPaxosReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
         ResetLeaderTimer();
       }
       if (m->has_entry) Chosen(m->index, m->cmd);
+      if (m->frontier > log_.commit_frontier() && from != id()) {
+        // We trail the leader's commit frontier (e.g. healed partition, or
+        // commits we missed): pull the gap. Re-requested every heartbeat
+        // until closed, so a lost reply self-heals.
+        Send(from,
+             std::make_shared<CatchupRequestMsg>(log_.commit_frontier()));
+      }
     }
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const CatchupRequestMsg*>(&msg)) {
+    if (!leader_active_) return;
+    if (m->from_index < log_.start()) {
+      // The requester's gap was checkpoint-truncated away: ship the full
+      // applied state instead.
+      auto snap = std::make_shared<SnapshotMsg>();
+      snap->end = log_.applied_frontier();
+      snap->data = kv_.Snapshot();
+      snap->sessions = dedup_.sessions();
+      Send(from, snap);
+      return;
+    }
+    auto reply = std::make_shared<CatchupReplyMsg>();
+    // Cap the transfer; the follower's next heartbeat round pulls more.
+    constexpr size_t kMaxCatchupEntries = 128;
+    for (uint64_t i = m->from_index; i < log_.commit_frontier() &&
+                                     reply->entries.size() < kMaxCatchupEntries;
+         ++i) {
+      const smr::Command* cmd = log_.Get(i);
+      if (cmd == nullptr) break;  // Gap within our own retained prefix.
+      reply->entries.emplace_back(i, *cmd);
+    }
+    if (!reply->entries.empty()) Send(from, reply);
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const CatchupReplyMsg*>(&msg)) {
+    // Every entry is a chosen (committed) value, so learning it outright
+    // is safe regardless of ballot.
+    for (const auto& [index, cmd] : m->entries) Chosen(index, cmd);
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const SnapshotMsg*>(&msg)) {
+    if (m->end <= log_.applied_frontier()) return;  // Already as fresh.
+    kv_.Restore(m->data);
+    dedup_.Restore(m->sessions);
+    log_.ResetToSnapshot(m->end);
+    slots_.erase(slots_.begin(), slots_.lower_bound(m->end));
+    ++snapshots_installed_;
+    ApplyAndReply();  // Retained chosen slots past `end` may now apply.
     return;
   }
 }
@@ -342,8 +480,10 @@ void MultiPaxosReplica::OnRestart() {
   promisers_.clear();
   recovered_.clear();
   pending_.clear();
+  queued_.clear();  // Matches pending_: clients re-transmit.
   awaiting_client_.clear();
   slot_in_flight_ = false;
+  batch_timer_ = 0;  // Timers died with the crash.
   ResetLeaderTimer();
 }
 

@@ -42,6 +42,19 @@ struct MultiPaxosOptions {
   /// When false (the ablation), the leader re-runs phase 1 before every
   /// single command, i.e. full Basic Paxos per log entry.
   bool skip_phase1_when_stable = true;
+
+  /// Leader-side batching (mirrors PBFT's and Raft's knobs): max client
+  /// commands folded into one slot, and how long the leader lingers for a
+  /// batch to fill. Defaults keep one-command-per-slot behaviour.
+  int batch_size = 1;
+  sim::Duration batch_delay = 0;
+
+  /// Checkpointing: once this many applied slots accumulate past the last
+  /// checkpoint, fold them into the state machine, truncate the log
+  /// prefix, and drop the matching acceptor slots. Laggards that fell
+  /// behind the truncation point receive a full state snapshot instead of
+  /// slot-by-slot catch-up. 0 disables.
+  uint64_t checkpoint_interval = 0;
 };
 
 /// A Multi-Paxos replica: a separate Basic Paxos instance per log entry
@@ -80,6 +93,17 @@ class MultiPaxosReplica : public sim::Process {
   const smr::KvStore& kv() const { return kv_; }
   const std::vector<std::string>& violations() const { return violations_; }
   int phase1_rounds() const { return phase1_rounds_; }
+  /// Commands this replica executed, in order, batch entries flattened (a
+  /// replica that bootstrapped from a snapshot only knows its suffix).
+  const std::vector<smr::Command>& CommittedCommands() const {
+    return executed_commands_;
+  }
+  /// In-flight duplicate-suppression entries (bounded: erased on apply).
+  size_t assigned_entries() const { return assigned_.size(); }
+  /// Multi-command slots cut by this replica while leader.
+  int batches_cut() const { return batches_cut_; }
+  int checkpoints_taken() const { return checkpoints_taken_; }
+  int snapshots_installed() const { return snapshots_installed_; }
 
   void OnStart() override;
   void OnMessage(sim::NodeId from, const sim::Message& msg) override;
@@ -91,6 +115,9 @@ class MultiPaxosReplica : public sim::Process {
   struct AcceptMsg;
   struct AcceptedMsg;
   struct CommitMsg;
+  struct CatchupRequestMsg;
+  struct CatchupReplyMsg;
+  struct SnapshotMsg;
 
   struct SlotState {
     Ballot accept_num;
@@ -106,6 +133,8 @@ class MultiPaxosReplica : public sim::Process {
   void AcceptSlot(uint64_t index, const smr::Command& cmd);
   void Chosen(uint64_t index, const smr::Command& cmd);
   void ApplyAndReply();
+  /// Truncates the applied log prefix once checkpoint_interval is hit.
+  void MaybeCheckpoint();
   void ResetLeaderTimer();
   void SendHeartbeat();
   std::vector<sim::NodeId> Everyone() const;
@@ -127,22 +156,30 @@ class MultiPaxosReplica : public sim::Process {
   Ballot my_ballot_;
   uint64_t next_index_ = 0;
   std::deque<smr::Command> pending_;
-  /// (client, client_seq) -> index, for duplicate suppression.
+  /// (client, client_seq) -> slot index for commands proposed but not yet
+  /// applied (a retry just re-registers its reply address). Erased on
+  /// apply — the dedup session covers the command from then on — so the
+  /// map is bounded by the in-flight pipeline.
   std::map<std::pair<int32_t, uint64_t>, uint64_t> assigned_;
+  /// Commands sitting in pending_ awaiting a batch cut.
+  std::set<std::pair<int32_t, uint64_t>> queued_;
   /// (client, client_seq) -> client node awaiting a reply.
   std::map<std::pair<int32_t, uint64_t>, sim::NodeId> awaiting_client_;
-  /// index -> execution result (kept for duplicate re-replies).
-  std::map<uint64_t, std::string> results_by_index_;
   bool slot_in_flight_ = false;  ///< Used when re-preparing per command.
 
   // Learner / execution state.
   smr::ReplicatedLog log_;
   smr::KvStore kv_;
   smr::DedupingExecutor dedup_;
+  std::vector<smr::Command> executed_commands_;
 
   uint64_t leader_timer_ = 0;
   uint64_t heartbeat_timer_ = 0;
+  uint64_t batch_timer_ = 0;
   int phase1_rounds_ = 0;
+  int batches_cut_ = 0;
+  int checkpoints_taken_ = 0;
+  int snapshots_installed_ = 0;
   std::vector<std::string> violations_;
 };
 

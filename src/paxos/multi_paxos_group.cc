@@ -26,6 +26,9 @@ class MultiPaxosGroup : public consensus::ReplicaGroup {
     }
     MultiPaxosOptions options;
     options.members = members_;
+    options.batch_size = tuning_.batch_size;
+    options.batch_delay = tuning_.batch_delay;
+    options.checkpoint_interval = tuning_.snapshot_threshold;
     for (int i = 0; i < replicas; ++i) {
       replicas_.push_back(sim->Spawn<MultiPaxosReplica>(options));
     }
@@ -57,7 +60,9 @@ class MultiPaxosGroup : public consensus::ReplicaGroup {
   }
 
   std::vector<smr::Command> CommittedPrefix(int replica) const override {
-    return replicas_[static_cast<size_t>(replica)]->log().CommittedPrefix();
+    // Executed commands, not the raw log: batch slots arrive flattened and
+    // a checkpoint-truncated log still reports what it applied.
+    return replicas_[static_cast<size_t>(replica)]->CommittedCommands();
   }
 
   std::vector<std::string> Violations() const override {

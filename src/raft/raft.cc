@@ -169,6 +169,9 @@ void RaftReplica::OnRestart() {
   next_index_.clear();
   match_index_.clear();
   awaiting_client_.clear();
+  proposed_.clear();
+  batch_queue_.clear();  // Volatile: clients re-transmit unlogged commands.
+  batch_timer_ = 0;
   pending_reads_.clear();  // Volatile: clients re-issue reads.
   waiting_reads_.clear();
   ae_round_ = 0;  // Safe: regaining leadership requires a higher term.
@@ -190,6 +193,9 @@ void RaftReplica::BecomeFollower(int64_t term) {
   }
   if (role_ == Role::kLeader) {
     CancelTimer(heartbeat_timer_);
+    CancelTimer(batch_timer_);
+    batch_queue_.clear();  // Unlogged commands: clients retry elsewhere.
+    proposed_.clear();
     FailPendingReads();  // Leadership lost: reads must go to the new leader.
   }
   role_ = Role::kFollower;
@@ -229,6 +235,7 @@ void RaftReplica::BecomeLeader() {
     next_index_[peer] = LogEnd();
     match_index_[peer] = 0;
   }
+  RebuildProposed();
   // AdvanceCommitIndex may only count replicas for entries of the
   // current term, so a leader whose log ends in an uncommitted
   // prior-term tail can never commit it without new traffic — and a
@@ -240,6 +247,38 @@ void RaftReplica::BecomeLeader() {
     log_.push_back(LogEntry{current_term_, smr::Command{-3, 0, "NOOP"}});
   }
   BroadcastAppendEntries();  // Immediate heartbeat asserts leadership.
+}
+
+void RaftReplica::RebuildProposed() {
+  proposed_.clear();
+  for (uint64_t i = last_applied_; i < LogEnd(); ++i) {
+    for (const smr::Command& cmd : smr::FlattenCommand(EntryAt(i + 1).cmd)) {
+      if (cmd.client >= 0) proposed_.insert({cmd.client, cmd.client_seq});
+    }
+  }
+}
+
+void RaftReplica::FlushBatch() {
+  CancelTimer(batch_timer_);
+  batch_timer_ = 0;
+  if (role_ != Role::kLeader || batch_queue_.empty()) return;
+  size_t max_take = static_cast<size_t>(std::max(1, options_.batch_size));
+  while (!batch_queue_.empty()) {
+    size_t take = std::min(batch_queue_.size(), max_take);
+    if (take == 1) {
+      // A lone command ships raw, keeping the untuned log shape.
+      log_.push_back(LogEntry{current_term_, batch_queue_.front()});
+    } else {
+      std::vector<smr::Command> cmds(batch_queue_.begin(),
+                                     batch_queue_.begin() +
+                                         static_cast<long>(take));
+      log_.push_back(LogEntry{current_term_, smr::EncodeBatch(cmds)});
+      ++batches_cut_;
+    }
+    batch_queue_.erase(batch_queue_.begin(),
+                       batch_queue_.begin() + static_cast<long>(take));
+  }
+  BroadcastAppendEntries();
 }
 
 void RaftReplica::SendAppendEntries(sim::NodeId peer) {
@@ -324,14 +363,19 @@ void RaftReplica::ApplyCommitted() {
       }
       continue;  // Config entries do not touch the state machine.
     }
-    std::string result = dedup_.Apply(&kv_, entry.cmd);
-    executed_commands_.push_back(entry.cmd);
-    auto it =
-        awaiting_client_.find({entry.cmd.client, entry.cmd.client_seq});
-    if (it != awaiting_client_.end()) {
-      Send(it->second,
-           std::make_shared<ReplyMsg>(entry.cmd.client_seq, result, id()));
-      awaiting_client_.erase(it);
+    // Batch entries fan out: each client command is deduped, recorded,
+    // and answered individually.
+    for (const smr::Command& cmd : smr::FlattenCommand(entry.cmd)) {
+      std::string result = dedup_.Apply(&kv_, cmd);
+      executed_commands_.push_back(cmd);
+      auto cmd_key = std::make_pair(cmd.client, cmd.client_seq);
+      proposed_.erase(cmd_key);
+      auto it = awaiting_client_.find(cmd_key);
+      if (it != awaiting_client_.end()) {
+        Send(it->second,
+             std::make_shared<ReplyMsg>(cmd.client_seq, result, id()));
+        awaiting_client_.erase(it);
+      }
     }
   }
   MaybeTakeSnapshot();
@@ -436,31 +480,24 @@ void RaftReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
                                             leader_hint_));
       return;
     }
-    awaiting_client_[{m->cmd.client, m->cmd.client_seq}] = from;
-    // Append unless this exact command is already in the live log or was
-    // already executed (client retry).
-    auto key = std::make_pair(m->cmd.client, m->cmd.client_seq);
-    bool present = false;
-    for (const LogEntry& e : log_) {
-      if (e.cmd.client == m->cmd.client &&
-          e.cmd.client_seq == m->cmd.client_seq) {
-        present = true;
-        break;
-      }
-    }
-    const auto& sessions = dedup_.sessions();
-    auto session = sessions.find(m->cmd.client);
-    if (session != sessions.end() &&
-        session->second.first >= m->cmd.client_seq) {
-      // Already executed (possibly compacted away): answer from cache.
-      Send(from, std::make_shared<ReplyMsg>(
-                     m->cmd.client_seq, dedup_.Apply(&kv_, m->cmd), id()));
-      awaiting_client_.erase(key);
+    // Already executed (possibly compacted away): answer from cache.
+    if (const std::string* cached =
+            dedup_.Lookup(m->cmd.client, m->cmd.client_seq)) {
+      Send(from, std::make_shared<ReplyMsg>(m->cmd.client_seq, *cached, id()));
       return;
     }
-    if (!present) {
-      log_.push_back(LogEntry{current_term_, m->cmd});
-      BroadcastAppendEntries();
+    auto key = std::make_pair(m->cmd.client, m->cmd.client_seq);
+    awaiting_client_[key] = from;
+    if (proposed_.count(key) > 0) return;  // In flight: reply lands on apply.
+    proposed_.insert(key);
+    batch_queue_.push_back(m->cmd);
+    // PBFT-style cut-or-linger: cut immediately when batching is off or
+    // the batch is full; otherwise arm the linger timer on first enqueue.
+    if (options_.batch_delay == 0 ||
+        batch_queue_.size() >= static_cast<size_t>(options_.batch_size)) {
+      FlushBatch();
+    } else if (batch_queue_.size() == 1) {
+      batch_timer_ = SetTimer(options_.batch_delay, [this] { FlushBatch(); });
     }
     return;
   }

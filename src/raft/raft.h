@@ -38,6 +38,13 @@ struct RaftOptions {
   /// Followers too far behind receive InstallSnapshot. 0 disables.
   uint64_t snapshot_threshold = 0;
 
+  /// Leader-side batching (mirrors PBFT's batch_size/batch_delay): max
+  /// client commands the leader folds into one log entry, and how long
+  /// it lingers for a batch to fill. The defaults (1, 0) keep the
+  /// one-command-per-entry behaviour bit-for-bit.
+  int batch_size = 1;
+  sim::Duration batch_delay = 0;
+
   /// Initial voting configuration; empty = processes 0..n-1.
   std::vector<sim::NodeId> initial_config;
 
@@ -106,6 +113,8 @@ class RaftReplica : public sim::Process {
   const std::vector<LogEntry>& raft_log() const { return log_; }
   const smr::KvStore& kv() const { return kv_; }
   int elections_started() const { return elections_started_; }
+  /// Multi-command log entries cut by this replica while leader.
+  int batches_cut() const { return batches_cut_; }
   const std::vector<std::string>& violations() const { return violations_; }
   /// First global index still held in the log (compaction frontier).
   uint64_t log_start() const { return log_start_; }
@@ -152,6 +161,11 @@ class RaftReplica : public sim::Process {
   void StartElection();
   void BecomeLeader();
   void ResetElectionTimer();
+  /// Cuts the queued client commands into log entries (one raw entry for
+  /// a single command, a batch entry otherwise) and replicates them.
+  void FlushBatch();
+  /// Re-derives proposed_ from the unapplied log suffix (new leader).
+  void RebuildProposed();
   /// Read-index machinery. A read may only be *registered* once the
   /// leader has committed an entry of its own term (or its log was fully
   /// committed at election) — before that, commit_index may trail the
@@ -209,6 +223,13 @@ class RaftReplica : public sim::Process {
   std::map<sim::NodeId, uint64_t> match_index_;
   /// (client, client_seq) -> client node awaiting a reply.
   std::map<std::pair<int32_t, uint64_t>, sim::NodeId> awaiting_client_;
+  /// Client commands accepted into the batch queue or the unapplied log
+  /// suffix; a retried request already here just re-registers its reply
+  /// address instead of appending again. Erased on apply, so the set is
+  /// bounded by the in-flight pipeline.
+  std::set<std::pair<int32_t, uint64_t>> proposed_;
+  /// Client commands waiting for the next batch cut.
+  std::deque<smr::Command> batch_queue_;
 
   /// One registered read-index read awaiting leadership confirmation.
   struct PendingRead {
@@ -238,7 +259,9 @@ class RaftReplica : public sim::Process {
 
   uint64_t election_timer_ = 0;
   uint64_t heartbeat_timer_ = 0;
+  uint64_t batch_timer_ = 0;
   int elections_started_ = 0;
+  int batches_cut_ = 0;
   int snapshots_taken_ = 0;
   int snapshots_installed_ = 0;
   int reads_served_ = 0;

@@ -25,6 +25,9 @@ class RaftGroup : public consensus::ReplicaGroup {
     }
     RaftOptions options;
     options.initial_config = members_;
+    options.batch_size = tuning_.batch_size;
+    options.batch_delay = tuning_.batch_delay;
+    options.snapshot_threshold = tuning_.snapshot_threshold;
     for (int i = 0; i < replicas; ++i) {
       replicas_.push_back(sim->Spawn<RaftReplica>(options));
     }

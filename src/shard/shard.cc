@@ -352,23 +352,30 @@ std::string ShardedStateMachine::KeyForShard(int shard, int i) const {
 void ShardedStateMachine::Build(sim::Simulation* sim) {
   // Consensus nodes first, at a contiguous id range starting wherever
   // the simulation currently ends — fault bounds target this range.
+  consensus::GroupTuning tuning;
+  tuning.batch_size = options_.batch_size;
+  tuning.batch_delay = options_.batch_delay;
+  tuning.snapshot_threshold = options_.snapshot_threshold;
   for (int s = 0; s < options_.shards; ++s) {
     auto group = consensus::MakeGroup(options_.protocol);
     assert(group != nullptr && "unknown ReplicaGroup protocol");
+    group->Configure(tuning);
     group->Create(sim, options_.replicas_per_shard);
     shard_groups_.push_back(std::move(group));
   }
   decision_group_ = consensus::MakeGroup(options_.protocol);
   assert(decision_group_ != nullptr);
+  decision_group_->Configure(tuning);
   decision_group_->Create(sim, options_.decision_replicas);
 
   // Infrastructure processes, after every consensus node.
   for (int s = 0; s < options_.shards; ++s) {
     tms_.push_back(sim->Spawn<TxManager>(this, s));
   }
+  const sim::Duration client_retry = 300 * sim::kMillisecond;
   for (int s = 0; s < options_.shards; ++s) {
-    consensus::GroupClient* client =
-        sim->Spawn<consensus::GroupClient>(shard_groups_[s].get());
+    consensus::GroupClient* client = sim->Spawn<consensus::GroupClient>(
+        shard_groups_[s].get(), client_retry, options_.client_window);
     TxManager* tm = tms_[s];
     client->SetCallback(
         [tm](uint64_t seq, const std::string& result, bool /*read*/) {
@@ -377,8 +384,8 @@ void ShardedStateMachine::Build(sim::Simulation* sim) {
     shard_clients_.push_back(client);
   }
   for (int s = 0; s < options_.shards; ++s) {
-    consensus::GroupClient* client =
-        sim->Spawn<consensus::GroupClient>(decision_group_.get());
+    consensus::GroupClient* client = sim->Spawn<consensus::GroupClient>(
+        decision_group_.get(), client_retry, options_.client_window);
     TxManager* tm = tms_[s];
     client->SetCallback(
         [tm](uint64_t seq, const std::string& result, bool /*read*/) {
@@ -387,8 +394,8 @@ void ShardedStateMachine::Build(sim::Simulation* sim) {
     tm_decision_clients_.push_back(client);
   }
   coordinator_ = sim->Spawn<TxCoordinator>(this);
-  coord_decision_client_ =
-      sim->Spawn<consensus::GroupClient>(decision_group_.get());
+  coord_decision_client_ = sim->Spawn<consensus::GroupClient>(
+      decision_group_.get(), client_retry, options_.client_window);
   TxCoordinator* coordinator = coordinator_;
   coord_decision_client_->SetCallback(
       [coordinator](uint64_t seq, const std::string& result, bool /*read*/) {

@@ -128,6 +128,20 @@ struct ShardOptions {
   /// Prepared-TM patience for the decision before it asks the decision
   /// group itself (participant-driven termination).
   sim::Duration recovery_timeout = 1 * sim::kSecond;
+
+  /// Hot-path tuning, applied uniformly to every group (shards and the
+  /// decision group) and to every GroupClient the layer spawns. The
+  /// defaults keep the untuned serialize-everything behaviour.
+  /// In-flight window per GroupClient (TM shard/decision clients and
+  /// workload readers). Safe here: each transaction's steps are already
+  /// serialized by its own callbacks, and distinct transactions are
+  /// independent, so only independent operations ever share the window.
+  int client_window = 1;
+  /// Leader-side batching knobs (see consensus::GroupTuning).
+  int batch_size = 1;
+  sim::Duration batch_delay = 0;
+  /// Checkpoint/snapshot threshold (see consensus::GroupTuning).
+  uint64_t snapshot_threshold = 0;
 };
 
 class ShardedStateMachine;

@@ -68,7 +68,9 @@ class ShardTxClient : public sim::Process {
 
 class ShardCheckAdapter : public ProtocolAdapter {
  public:
-  ShardCheckAdapter() : ssm_(std::make_unique<ShardedStateMachine>(Options())) {
+  explicit ShardCheckAdapter(const char* label = "shard",
+                             const shard::ShardOptions& options = Options())
+      : label_(label), ssm_(std::make_unique<ShardedStateMachine>(options)) {
     // Three cross-shard transactions on disjoint key pairs, staggered so
     // generated faults land in every protocol phase.
     for (uint64_t tx = 1; tx <= kTxs; ++tx) {
@@ -83,7 +85,7 @@ class ShardCheckAdapter : public ProtocolAdapter {
     }
   }
 
-  const char* name() const override { return "shard"; }
+  const char* name() const override { return label_; }
 
   FaultBounds bounds() const override {
     // Node-id layout is fixed by ShardedStateMachine::Build's documented
@@ -228,6 +230,7 @@ class ShardCheckAdapter : public ProtocolAdapter {
     }
   }
 
+  const char* label_;
   std::unique_ptr<ShardedStateMachine> ssm_;
   std::vector<ShardTxClient::Planned> plan_;
   ShardTxClient* client_ = nullptr;
@@ -238,6 +241,20 @@ class ShardCheckAdapter : public ProtocolAdapter {
 
 AdapterFactory MakeShardAdapter() {
   return [](uint64_t) { return std::make_unique<ShardCheckAdapter>(); };
+}
+
+AdapterFactory MakeShardBatchedAdapter() {
+  // Batching + windowing on every group and client; snapshotting stays
+  // off (see MakeBatchedGroupAdapter for why the prefix invariant needs
+  // full prefixes). Node layout is unchanged — tuning adds no processes
+  // — so the declared fault bounds still hold.
+  return [](uint64_t) {
+    shard::ShardOptions so;
+    so.client_window = 4;
+    so.batch_size = 4;
+    so.batch_delay = 1 * sim::kMillisecond;
+    return std::make_unique<ShardCheckAdapter>("shard_batched", so);
+  };
 }
 
 }  // namespace consensus40::check

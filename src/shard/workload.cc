@@ -111,8 +111,11 @@ WorkloadDriver* SpawnWorkload(sim::Simulation* sim, ShardedStateMachine* ssm,
                               const WorkloadOptions& options) {
   std::vector<consensus::GroupClient*> readers;
   for (int s = 0; s < ssm->options().shards; ++s) {
-    readers.push_back(
-        sim->Spawn<consensus::GroupClient>(ssm->shard_group(s)));
+    // Readers share the layer-wide window: concurrent reads of distinct
+    // keys are independent, so reordering within the window is harmless.
+    readers.push_back(sim->Spawn<consensus::GroupClient>(
+        ssm->shard_group(s), 300 * sim::kMillisecond,
+        ssm->options().client_window));
   }
   WorkloadDriver* driver =
       sim->Spawn<WorkloadDriver>(ssm, options, readers);

@@ -1,5 +1,7 @@
 #include "smr/command.h"
 
+#include <cstdlib>
+
 namespace consensus40::smr {
 
 crypto::Digest Command::Hash() const {
@@ -18,6 +20,51 @@ std::string Command::ToString() const {
   out += ":";
   out += op;
   return out;
+}
+
+Command EncodeBatch(const std::vector<Command>& cmds) {
+  // "<client> <seq> <oplen> <opbytes>" per sub-command; whitespace-delimited
+  // headers, byte-exact payloads.
+  std::string encoded;
+  for (const Command& cmd : cmds) {
+    encoded += std::to_string(cmd.client);
+    encoded += ' ';
+    encoded += std::to_string(cmd.client_seq);
+    encoded += ' ';
+    encoded += std::to_string(cmd.op.size());
+    encoded += ' ';
+    encoded += cmd.op;
+  }
+  return Command{kBatchClient, 0, std::move(encoded)};
+}
+
+std::vector<Command> DecodeBatch(const Command& batch) {
+  std::vector<Command> cmds;
+  if (!IsBatch(batch)) return cmds;
+  const std::string& s = batch.op;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    char* end = nullptr;
+    long client = std::strtol(s.c_str() + pos, &end, 10);
+    if (end == nullptr || *end != ' ') return {};
+    pos = static_cast<size_t>(end - s.c_str()) + 1;
+    unsigned long long seq = std::strtoull(s.c_str() + pos, &end, 10);
+    if (end == nullptr || *end != ' ') return {};
+    pos = static_cast<size_t>(end - s.c_str()) + 1;
+    unsigned long long len = std::strtoull(s.c_str() + pos, &end, 10);
+    if (end == nullptr || *end != ' ') return {};
+    pos = static_cast<size_t>(end - s.c_str()) + 1;
+    if (pos + len > s.size()) return {};
+    cmds.push_back(Command{static_cast<int32_t>(client),
+                           static_cast<uint64_t>(seq), s.substr(pos, len)});
+    pos += len;
+  }
+  return cmds;
+}
+
+std::vector<Command> FlattenCommand(const Command& cmd) {
+  if (IsBatch(cmd)) return DecodeBatch(cmd);
+  return {cmd};
 }
 
 }  // namespace consensus40::smr

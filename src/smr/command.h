@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "crypto/sha256.h"
 
@@ -37,6 +38,31 @@ struct Command {
   /// Approximate wire size.
   int ByteSize() const { return 16 + static_cast<int>(op.size()); }
 };
+
+/// Reserved client id marking a command as a leader-cut batch: its `op`
+/// is the length-prefixed encoding of several client commands (see
+/// EncodeBatch). Sits below the other reserved ids (-2 = Raft CONFIG,
+/// -3 = Raft term-start NOOP).
+constexpr int32_t kBatchClient = -4;
+
+/// True if `cmd` is a batch entry produced by EncodeBatch.
+inline bool IsBatch(const Command& cmd) { return cmd.client == kBatchClient; }
+
+/// Folds several client commands into one log-entry-sized Command — the
+/// leader-side batching primitive shared by Raft and Multi-Paxos. The
+/// encoding is length-prefixed (ops may contain spaces), so DecodeBatch
+/// inverts it exactly. A batch of batches is not supported (and never
+/// produced: leaders only batch raw client commands).
+Command EncodeBatch(const std::vector<Command>& cmds);
+
+/// Inverse of EncodeBatch. Returns an empty vector for a non-batch or
+/// malformed command.
+std::vector<Command> DecodeBatch(const Command& batch);
+
+/// The client commands `cmd` stands for: the decoded sub-commands of a
+/// batch, or `cmd` itself. The flattening used everywhere a per-command
+/// view of a log is needed (committed prefixes, apply loops, replay).
+std::vector<Command> FlattenCommand(const Command& cmd);
 
 }  // namespace consensus40::smr
 

@@ -72,6 +72,7 @@ std::optional<std::string> KvStore::Get(const std::string& key) const {
 }
 
 void ReplicatedLog::Set(uint64_t index, Command cmd) {
+  if (index < start_) return;  // Already folded into a checkpoint.
   slots_[index] = std::move(cmd);
 }
 
@@ -85,38 +86,88 @@ void ReplicatedLog::CommitThrough(uint64_t index) {
 }
 
 uint64_t ReplicatedLog::Size() const {
-  return slots_.empty() ? 0 : slots_.rbegin()->first + 1;
+  return slots_.empty() ? start_ : slots_.rbegin()->first + 1;
+}
+
+void ReplicatedLog::TruncatePrefix(uint64_t end) {
+  if (end > applied_frontier_) end = applied_frontier_;
+  slots_.erase(slots_.begin(), slots_.lower_bound(end));
+  if (end > start_) start_ = end;
+}
+
+void ReplicatedLog::ResetToSnapshot(uint64_t end) {
+  slots_.erase(slots_.begin(), slots_.lower_bound(end));
+  if (end > start_) start_ = end;
+  if (end > commit_frontier_) commit_frontier_ = end;
+  if (end > applied_frontier_) applied_frontier_ = end;
 }
 
 std::string DedupingExecutor::Apply(StateMachine* sm, const Command& cmd) {
-  auto it = sessions_.find(cmd.client);
-  if (it != sessions_.end() && cmd.client_seq <= it->second.first) {
-    return it->second.second;  // Duplicate: cached result.
+  Session& s = sessions_[cmd.client];
+  // Seq 0 is only used by protocol-internal commands; it sits outside the
+  // 1-based session numbering, so it is tracked in `above` forever rather
+  // than confused with the pristine floor == 0.
+  if (cmd.client_seq != 0 && cmd.client_seq <= s.floor) {
+    return s.floor_result;  // Duplicate at or below the floor.
   }
+  auto it = s.above.find(cmd.client_seq);
+  if (it != s.above.end()) return it->second;  // Reordered duplicate.
   std::string result = sm->Apply(cmd);
-  sessions_[cmd.client] = {cmd.client_seq, result};
+  if (cmd.client_seq != 0) {
+    s.above[cmd.client_seq] = result;
+    // Advance the floor over the now-contiguous executed prefix.
+    while (!s.above.empty() && s.above.begin()->first == s.floor + 1) {
+      s.floor = s.above.begin()->first;
+      s.floor_result = std::move(s.above.begin()->second);
+      s.above.erase(s.above.begin());
+    }
+  } else {
+    s.above[0] = result;
+  }
   return result;
+}
+
+const std::string* DedupingExecutor::Lookup(int32_t client,
+                                            uint64_t seq) const {
+  auto it = sessions_.find(client);
+  if (it == sessions_.end()) return nullptr;
+  const Session& s = it->second;
+  if (seq != 0 && seq <= s.floor) return &s.floor_result;
+  auto above = s.above.find(seq);
+  return above == s.above.end() ? nullptr : &above->second;
 }
 
 std::vector<std::string> ReplicatedLog::ApplyCommitted(
     StateMachine* sm, DedupingExecutor* dedup) {
   std::vector<std::string> outputs;
+  ApplyCommitted(sm, dedup,
+                 [&outputs](uint64_t, const Command&, const std::string& out) {
+                   outputs.push_back(out);
+                 });
+  return outputs;
+}
+
+void ReplicatedLog::ApplyCommitted(StateMachine* sm, DedupingExecutor* dedup,
+                                   const ApplyFn& fn) {
   while (applied_frontier_ < commit_frontier_) {
     const Command* cmd = Get(applied_frontier_);
     if (cmd == nullptr) break;  // Gap: cannot apply past it yet.
-    outputs.push_back(dedup != nullptr ? dedup->Apply(sm, *cmd)
-                                       : sm->Apply(*cmd));
+    uint64_t index = applied_frontier_;
+    for (const Command& sub : FlattenCommand(*cmd)) {
+      std::string result =
+          dedup != nullptr ? dedup->Apply(sm, sub) : sm->Apply(sub);
+      if (fn) fn(index, sub, result);
+    }
     ++applied_frontier_;
   }
-  return outputs;
 }
 
 std::vector<Command> ReplicatedLog::CommittedPrefix() const {
   std::vector<Command> out;
-  for (uint64_t i = 0; i < commit_frontier_; ++i) {
+  for (uint64_t i = start_; i < commit_frontier_; ++i) {
     const Command* cmd = Get(i);
     if (cmd == nullptr) break;
-    out.push_back(*cmd);
+    for (const Command& sub : FlattenCommand(*cmd)) out.push_back(sub);
   }
   return out;
 }

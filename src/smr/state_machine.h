@@ -2,6 +2,7 @@
 #define CONSENSUS40_SMR_STATE_MACHINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -64,36 +65,63 @@ class KvStore : public StateMachine {
 /// At-most-once execution filter: a client command that reaches the log
 /// twice (e.g. retried across a leader change) must only be applied once.
 /// All replicas run the same deterministic filter, so replicated state stays
-/// identical. Assumes each client issues sequence numbers in order (closed
-/// loop), the standard RSM session assumption.
+/// identical.
+///
+/// Each client issues sequence numbers 1, 2, 3, ... but — because clients
+/// keep a transmission WINDOW of operations in flight — the seqs may reach
+/// the log out of order within that window. The session tracks a
+/// contiguously-executed floor plus the executed seqs above it, so a
+/// reordered arrival is neither dropped as a "duplicate" nor re-executed;
+/// once the gap fills, the floor advances and the above-floor entries are
+/// pruned, keeping per-client memory bounded by the client's window.
 class DedupingExecutor {
  public:
+  /// One client's execution record.
+  struct Session {
+    /// Every seq in [1, floor] has been executed; floor_result caches the
+    /// result of seq == floor. A retry of any seq <= floor gets
+    /// floor_result back — possibly stale for seq < floor, the same
+    /// contract the pre-window single-entry cache had; clients only
+    /// consume replies for operations still pending.
+    uint64_t floor = 0;
+    std::string floor_result;
+    /// Executed seqs > floor (out-of-order arrivals awaiting the gap) and
+    /// any seq-0 protocol-internal commands (kept forever; at most one).
+    std::map<uint64_t, std::string> above;
+  };
+
   /// Applies `cmd` to `sm` unless this (client, client_seq) was already
   /// executed, in which case the cached result is returned.
   std::string Apply(StateMachine* sm, const Command& cmd);
 
+  /// Cached result of an already-executed (client, seq), or nullptr.
+  /// Leaders use this as the duplicate-request fast path.
+  const std::string* Lookup(int32_t client, uint64_t seq) const;
+
   /// Session table snapshot/restore, shipped alongside state-machine
   /// snapshots so duplicate suppression survives log compaction.
-  using Sessions = std::map<int32_t, std::pair<uint64_t, std::string>>;
+  using Sessions = std::map<int32_t, Session>;
   const Sessions& sessions() const { return sessions_; }
   void Restore(Sessions sessions) { sessions_ = std::move(sessions); }
 
  private:
-  /// client -> (last executed seq, its result).
   Sessions sessions_;
 };
 
 /// A replicated log: the sequence of commands a replica has accepted, with
 /// an explicit commit frontier. Slots may be filled out of order (Paxos);
-/// Apply only consumes the committed prefix.
+/// Apply only consumes the committed prefix. A checkpointed prefix may be
+/// truncated away (TruncatePrefix), after which the state machine itself
+/// stands in for the dropped slots.
 class ReplicatedLog {
  public:
   /// Stores `cmd` at `index` (0-based). Overwriting an existing slot with a
   /// different command is recorded as a safety violation (protocols must
-  /// never do it once committed).
+  /// never do it once committed). Indices below start() — already folded
+  /// into a checkpoint — are ignored.
   void Set(uint64_t index, Command cmd);
 
-  /// The command at `index`, if any.
+  /// The command at `index`, if any (nullptr below start()).
   const Command* Get(uint64_t index) const;
 
   bool Has(uint64_t index) const { return Get(index) != nullptr; }
@@ -105,24 +133,49 @@ class ReplicatedLog {
   /// committed prefix is dense).
   uint64_t commit_frontier() const { return commit_frontier_; }
 
-  /// Largest occupied index + 1, or 0 when empty.
+  /// Largest occupied index + 1, or start() when empty.
   uint64_t Size() const;
 
   /// Applies newly committed, contiguous commands to `sm` starting at the
   /// apply cursor; returns outputs in order. With a non-null `dedup`,
   /// duplicate client commands are skipped (their cached result is
-  /// returned in place of re-execution).
+  /// returned in place of re-execution). Batch entries are flattened, so
+  /// outputs align with slots only in batch-free logs; batch-cutting
+  /// protocols use the callback overload below.
   std::vector<std::string> ApplyCommitted(StateMachine* sm,
                                           DedupingExecutor* dedup = nullptr);
+
+  /// Callback form: invokes `fn(slot_index, cmd, result)` once per applied
+  /// CLIENT command, decoding batch entries into their sub-commands (each
+  /// sub-command reports its batch's slot index).
+  using ApplyFn = std::function<void(uint64_t index, const Command& cmd,
+                                     const std::string& result)>;
+  void ApplyCommitted(StateMachine* sm, DedupingExecutor* dedup,
+                      const ApplyFn& fn);
 
   /// Index the apply cursor has reached.
   uint64_t applied_frontier() const { return applied_frontier_; }
 
-  /// All committed commands in order (dense prefix only).
+  /// First index still held (everything below was checkpoint-truncated).
+  uint64_t start() const { return start_; }
+
+  /// Drops the applied slots below `end` — they are folded into the state
+  /// machine the caller snapshot/checkpoints alongside. Requires
+  /// end <= applied_frontier().
+  void TruncatePrefix(uint64_t end);
+
+  /// Re-bases a lagging log onto an installed snapshot covering [0, end):
+  /// drops retained slots below `end` and advances start, commit, and
+  /// apply frontiers to at least `end`.
+  void ResetToSnapshot(uint64_t end);
+
+  /// All committed client commands in order, batch entries flattened
+  /// (dense retained prefix only: starts at start(), stops at a gap).
   std::vector<Command> CommittedPrefix() const;
 
  private:
   std::map<uint64_t, Command> slots_;
+  uint64_t start_ = 0;            ///< Slots [0, start_) truncated away.
   uint64_t commit_frontier_ = 0;  ///< Committed slots are [0, commit_frontier_).
   uint64_t applied_frontier_ = 0;
 };

@@ -92,6 +92,21 @@ TEST(CheckSweepInBounds, FloodSet) {
   SweepInBounds("floodset", MakeFloodSetAdapter());
 }
 
+// The hot-path optimisations — leader-side batching, linger timers, and
+// windowed (out-of-order-tolerant) clients — must not move any protocol
+// outside its safety envelope.
+TEST(CheckSweepInBounds, RaftBatched) {
+  SweepInBounds("raft_batched", MakeBatchedGroupAdapter("raft"));
+}
+
+TEST(CheckSweepInBounds, MultiPaxosBatched) {
+  SweepInBounds("multi_paxos_batched", MakeBatchedGroupAdapter("multi_paxos"));
+}
+
+TEST(CheckSweepInBounds, ShardBatched) {
+  SweepInBounds("shard_batched", MakeShardBatchedAdapter());
+}
+
 TEST(CheckSweepInBounds, RosterCoversAtLeastTenProtocols) {
   EXPECT_GE(AllInBoundsAdapters().size(), 10u);
 }

@@ -249,6 +249,114 @@ TEST(MultiPaxosFlexibleTest, SmallReplicationQuorumSurvivesLeaderChange) {
   }
 }
 
+// Satellite regression: assigned-slot tracking must not leak. Every
+// (client, seq) the leader assigns to a slot is erased again when the
+// slot applies, so after a drained workload the map is empty on every
+// replica — it is bounded by commands in flight, not commands ever run.
+TEST(MultiPaxosBatchingTest, AssignedMapDrainsToEmpty) {
+  MpCluster cluster(5);
+  for (int i = 0; i < 3; ++i) cluster.AddClient(15);
+  cluster.sim.Start();
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return cluster.AllClientsDone(); },
+                                   120 * kSecond));
+  cluster.sim.RunFor(2 * kSecond);  // Drain commits and applies.
+  cluster.CheckSafety();
+  for (const MultiPaxosReplica* r : cluster.replicas) {
+    EXPECT_EQ(r->assigned_entries(), 0u) << "replica " << r->id();
+  }
+}
+
+// Leader-side batching: several closed-loop clients synchronised by the
+// linger timer produce multi-command entries, and the shared counter
+// still counts every INC exactly once.
+TEST(MultiPaxosBatchingTest, BatchedEntriesExecuteExactlyOnce) {
+  MultiPaxosOptions opts;
+  opts.batch_size = 3;
+  opts.batch_delay = 5 * kMillisecond;
+  MpCluster cluster(5, 4, opts);
+  for (int i = 0; i < 4; ++i) cluster.AddClient(10);
+  cluster.sim.Start();
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return cluster.AllClientsDone(); },
+                                   120 * kSecond));
+  cluster.sim.RunFor(2 * kSecond);
+  cluster.CheckSafety();
+  int max_counter = 0, batches = 0;
+  for (const MultiPaxosReplica* r : cluster.replicas) {
+    auto v = r->kv().Get("x");
+    if (v) max_counter = std::max(max_counter, std::stoi(*v));
+    batches += r->batches_cut();
+  }
+  EXPECT_EQ(max_counter, 40);
+  EXPECT_GT(batches, 0) << "linger never produced a multi-command entry";
+}
+
+// Checkpoint truncation: with a checkpoint interval set, replicas fold
+// their applied prefix into the state snapshot and drop the log slots,
+// so retained-log size stays bounded while results stay exact.
+TEST(MultiPaxosCheckpointTest, TruncatesAppliedPrefix) {
+  MultiPaxosOptions opts;
+  opts.checkpoint_interval = 10;
+  MpCluster cluster(5, 1, opts);
+  MultiPaxosClient* client = cluster.AddClient(40);
+  cluster.sim.Start();
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return client->done(); },
+                                   120 * kSecond));
+  cluster.sim.RunFor(2 * kSecond);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(client->results()[i], std::to_string(i + 1)) << i;
+  }
+  int checkpoints = 0;
+  uint64_t max_start = 0;
+  for (const MultiPaxosReplica* r : cluster.replicas) {
+    checkpoints += r->checkpoints_taken();
+    max_start = std::max(max_start, r->log().start());
+    EXPECT_TRUE(r->violations().empty())
+        << "replica " << r->id() << ": " << r->violations()[0];
+  }
+  EXPECT_GT(checkpoints, 0);
+  EXPECT_GT(max_start, 0u) << "no replica ever truncated its log";
+  // States converge even though the logs are now suffixes.
+  auto digest0 = cluster.replicas[0]->kv().StateDigest();
+  for (const MultiPaxosReplica* r : cluster.replicas) {
+    EXPECT_EQ(r->kv().StateDigest(), digest0) << "replica " << r->id();
+  }
+}
+
+// A follower that sleeps through a checkpoint cannot be caught up from
+// the log (the entries are gone) — the leader ships a state snapshot
+// with the dedup sessions, and the laggard rejoins at the frontier.
+TEST(MultiPaxosCheckpointTest, LaggardBeyondTruncationInstallsSnapshot) {
+  MultiPaxosOptions opts;
+  opts.checkpoint_interval = 8;
+  MpCluster cluster(5, 2, opts);
+  MultiPaxosClient* client = cluster.AddClient(60);
+  cluster.sim.Start();
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return client->completed() >= 5; },
+                                   30 * kSecond));
+  sim::NodeId follower = -1;
+  for (const MultiPaxosReplica* r : cluster.replicas) {
+    if (!r->IsLeader()) follower = r->id();
+  }
+  ASSERT_NE(follower, -1);
+  cluster.sim.Crash(follower);
+
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return client->done(); },
+                                   240 * kSecond));
+  cluster.sim.Restart(follower);
+  cluster.sim.RunFor(5 * kSecond);  // Heartbeat gap -> catch-up -> snapshot.
+
+  MultiPaxosReplica* lagger = cluster.replicas[static_cast<size_t>(follower)];
+  EXPECT_GE(lagger->snapshots_installed(), 1)
+      << "laggard caught up without a snapshot despite truncation";
+  auto v = lagger->kv().Get("x");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "60");
+  for (const MultiPaxosReplica* r : cluster.replicas) {
+    EXPECT_TRUE(r->violations().empty())
+        << "replica " << r->id() << ": " << r->violations()[0];
+  }
+}
+
 TEST(MultiPaxosTest, DeterministicAcrossRuns) {
   auto run = [](uint64_t seed) {
     MpCluster cluster(5, seed);

@@ -86,6 +86,66 @@ TEST(KvStoreTest, SameCommandsSameOrderSameState) {
   EXPECT_EQ(a.StateDigest(), b.StateDigest());
 }
 
+TEST(BatchCommandTest, EncodeDecodeRoundTrip) {
+  // Ops with spaces must survive: the framing is length-prefixed, not
+  // delimiter-based.
+  std::vector<Command> cmds = {Cmd(1, 1, "PUT k hello world"),
+                               Cmd(2, 7, "INC ctr"), Cmd(1, 2, "GET k")};
+  Command batch = EncodeBatch(cmds);
+  EXPECT_TRUE(IsBatch(batch));
+  EXPECT_EQ(batch.client, kBatchClient);
+  EXPECT_EQ(DecodeBatch(batch), cmds);
+}
+
+TEST(BatchCommandTest, FlattenExpandsBatchesAndPassesSinglesThrough) {
+  Command single = Cmd(3, 4, "INC y");
+  std::vector<Command> flat = FlattenCommand(single);
+  ASSERT_EQ(flat.size(), 1u);
+  EXPECT_EQ(flat[0], single);
+
+  std::vector<Command> cmds = {Cmd(1, 1, "INC a"), Cmd(2, 1, "INC b")};
+  EXPECT_EQ(FlattenCommand(EncodeBatch(cmds)), cmds);
+}
+
+TEST(BatchCommandTest, MalformedBatchDecodesEmpty) {
+  EXPECT_TRUE(DecodeBatch(Cmd(1, 1, "not a batch")).empty());
+  Command garbage;
+  garbage.client = kBatchClient;
+  garbage.op = "3 7 999 short";  // Length prefix overruns the payload.
+  EXPECT_TRUE(DecodeBatch(garbage).empty());
+}
+
+TEST(DedupingExecutorTest, OutOfOrderWindowArrivalsExecuteExactlyOnce) {
+  // A windowed client's seqs can reach the log out of order; the session
+  // floor/above split must neither drop nor double-apply them.
+  KvStore kv;
+  DedupingExecutor dedup;
+  EXPECT_EQ(dedup.Apply(&kv, Cmd(1, 2, "INC x")), "1");  // Ahead of seq 1.
+  EXPECT_EQ(dedup.Apply(&kv, Cmd(1, 1, "INC x")), "2");  // Fills the gap.
+  // Retries of both return cached results without re-execution.
+  EXPECT_EQ(dedup.Apply(&kv, Cmd(1, 2, "INC x")), "1");
+  EXPECT_EQ(*kv.Get("x"), "2");
+  // The gap filled, so the floor advanced and `above` was pruned: memory
+  // stays bounded by the client's window.
+  const DedupingExecutor::Session& s = dedup.sessions().at(1);
+  EXPECT_EQ(s.floor, 2u);
+  EXPECT_TRUE(s.above.empty());
+}
+
+TEST(DedupingExecutorTest, LookupIsTheDuplicateFastPath) {
+  KvStore kv;
+  DedupingExecutor dedup;
+  EXPECT_EQ(dedup.Lookup(1, 1), nullptr);
+  dedup.Apply(&kv, Cmd(1, 1, "INC x"));
+  dedup.Apply(&kv, Cmd(1, 3, "INC x"));  // Out of order: above the floor.
+  ASSERT_NE(dedup.Lookup(1, 1), nullptr);
+  EXPECT_EQ(*dedup.Lookup(1, 1), "1");
+  ASSERT_NE(dedup.Lookup(1, 3), nullptr);
+  EXPECT_EQ(*dedup.Lookup(1, 3), "2");
+  EXPECT_EQ(dedup.Lookup(1, 2), nullptr);  // The gap is not executed.
+  EXPECT_EQ(dedup.Lookup(9, 1), nullptr);  // Unknown client.
+}
+
 TEST(ReplicatedLogTest, OutOfOrderFillThenApply) {
   ReplicatedLog log;
   KvStore kv;
@@ -118,6 +178,73 @@ TEST(ReplicatedLogTest, CommittedPrefixStopsAtGap) {
   std::vector<Command> prefix = log.CommittedPrefix();
   ASSERT_EQ(prefix.size(), 1u);
   EXPECT_EQ(prefix[0].op, "a");
+}
+
+TEST(ReplicatedLogTest, BatchEntriesFlattenInPrefixAndCallbackApply) {
+  ReplicatedLog log;
+  KvStore kv;
+  DedupingExecutor dedup;
+  log.Set(0, Cmd(1, 1, "INC x"));
+  log.Set(1, EncodeBatch({Cmd(1, 2, "INC x"), Cmd(2, 1, "INC x")}));
+  log.CommitThrough(1);
+
+  // The callback fires once per CLIENT command (3, not 2), reporting the
+  // batch's slot index for its sub-commands.
+  std::vector<std::pair<uint64_t, std::string>> applied;
+  log.ApplyCommitted(&kv, &dedup,
+                     [&](uint64_t index, const Command&,
+                         const std::string& result) {
+                       applied.push_back({index, result});
+                     });
+  ASSERT_EQ(applied.size(), 3u);
+  EXPECT_EQ(applied[0], (std::pair<uint64_t, std::string>{0, "1"}));
+  EXPECT_EQ(applied[1], (std::pair<uint64_t, std::string>{1, "2"}));
+  EXPECT_EQ(applied[2], (std::pair<uint64_t, std::string>{1, "3"}));
+
+  // CommittedPrefix sees the same per-command view.
+  std::vector<Command> prefix = log.CommittedPrefix();
+  ASSERT_EQ(prefix.size(), 3u);
+  EXPECT_EQ(prefix[1], Cmd(1, 2, "INC x"));
+  EXPECT_EQ(prefix[2], Cmd(2, 1, "INC x"));
+}
+
+TEST(ReplicatedLogTest, TruncatePrefixDropsSlotsAndIgnoresStaleWrites) {
+  ReplicatedLog log;
+  KvStore kv;
+  for (uint64_t i = 0; i < 4; ++i) {
+    log.Set(i, Cmd(1, i + 1, "INC x"));
+  }
+  log.CommitThrough(3);
+  log.ApplyCommitted(&kv);
+  log.TruncatePrefix(3);
+
+  EXPECT_EQ(log.start(), 3u);
+  EXPECT_EQ(log.Get(1), nullptr);  // Folded into the checkpoint.
+  ASSERT_NE(log.Get(3), nullptr);
+  // A late write below start() (e.g. a straggler Chosen) is a no-op, not
+  // a violation.
+  log.Set(1, Cmd(9, 9, "INC y"));
+  EXPECT_EQ(log.Get(1), nullptr);
+  // The retained prefix restarts at start().
+  std::vector<Command> prefix = log.CommittedPrefix();
+  ASSERT_EQ(prefix.size(), 1u);
+  EXPECT_EQ(prefix[0].client_seq, 4u);
+}
+
+TEST(ReplicatedLogTest, ResetToSnapshotRebasesALaggingLog) {
+  ReplicatedLog log;
+  log.Set(0, Cmd(1, 1, "INC x"));
+  log.CommitThrough(0);
+  log.ResetToSnapshot(5);  // Snapshot covers [0, 5).
+  EXPECT_EQ(log.start(), 5u);
+  EXPECT_EQ(log.commit_frontier(), 5u);
+  EXPECT_EQ(log.applied_frontier(), 5u);
+  EXPECT_TRUE(log.CommittedPrefix().empty());
+  // Replication resumes above the snapshot.
+  KvStore kv;
+  log.Set(5, Cmd(1, 6, "INC x"));
+  log.CommitThrough(5);
+  EXPECT_EQ(log.ApplyCommitted(&kv).size(), 1u);
 }
 
 TEST(PrefixConsistencyTest, DetectsDivergence) {

@@ -6,8 +6,11 @@
 namespace consensus40::consensus {
 
 sim::MessagePtr ReplicaGroup::MakeRead(int32_t client, uint64_t seq,
-                                       const std::string& key) const {
-  return MakeRequest(smr::Command{client, seq, "GET " + key});
+                                       const std::string& key,
+                                       uint64_t acked) const {
+  smr::Command cmd{client, seq, "GET " + key};
+  cmd.acked = acked;
+  return MakeRequest(cmd);
 }
 
 // ---------------------------------------------------------------------------
@@ -95,12 +98,22 @@ sim::NodeId GroupClient::PickTarget() {
 
 uint64_t GroupClient::Submit(const std::string& op) {
   uint64_t seq = ++next_seq_;
-  return Issue(group_->MakeRequest(smr::Command{id(), seq, op}), false);
+  smr::Command cmd{id(), seq, op};
+  cmd.acked = AckedFrontier(seq);
+  return Issue(group_->MakeRequest(cmd), false);
 }
 
 uint64_t GroupClient::Read(const std::string& key) {
   uint64_t seq = ++next_seq_;
-  return Issue(group_->MakeRead(id(), seq, key), true);
+  return Issue(group_->MakeRead(id(), seq, key, AckedFrontier(seq)), true);
+}
+
+uint64_t GroupClient::AckedFrontier(uint64_t next) const {
+  // Every seq below the lowest still-pending operation has had its reply
+  // consumed by the callback; the session tables prune cached results up
+  // to exactly this point, so any op we could still retry keeps its own
+  // result server-side.
+  return pending_.empty() ? next - 1 : pending_.begin()->first - 1;
 }
 
 uint64_t GroupClient::Issue(sim::MessagePtr msg, bool read) {

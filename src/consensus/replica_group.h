@@ -95,9 +95,12 @@ class ReplicaGroup {
   /// Builds a linearizable read of `key`. Protocols with a dedicated
   /// read path (Raft read-index) override this; the default routes the
   /// read through the log as a "GET" command, which is linearizable by
-  /// construction but pays a full consensus round.
+  /// construction but pays a full consensus round. `acked` is the
+  /// client's cumulative reply acknowledgement (see Command::acked);
+  /// off-log read paths may ignore it.
   virtual sim::MessagePtr MakeRead(int32_t client, uint64_t seq,
-                                   const std::string& key) const;
+                                   const std::string& key,
+                                   uint64_t acked = 0) const;
 
   /// Decodes a reply from one of the group's replicas; nullopt when the
   /// message is not this protocol's client reply.
@@ -193,6 +196,9 @@ class GroupClient : public sim::Process {
   };
 
   uint64_t Issue(sim::MessagePtr msg, bool read);
+  /// Cumulative ack to piggyback on the op numbered `next`: the seq below
+  /// the lowest pending operation (all earlier replies were consumed).
+  uint64_t AckedFrontier(uint64_t next) const;
   void SendTo(uint64_t seq, sim::NodeId target);
   void ArmRetry(uint64_t seq);
   /// Transmits queued operations (in seq order) until `window_` are on

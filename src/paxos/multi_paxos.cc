@@ -156,11 +156,29 @@ void MultiPaxosReplica::OnLeadershipAcquired() {
   // been decided.
   uint64_t max_idx = next_index_;
   for (const auto& [index, entry] : recovered_) {
+    // Slots below our own truncation frontier are already applied (their
+    // chosen value is baked into the checkpoint); re-proposing there
+    // would recreate erased slot state and draw refusals.
+    if (index < log_.start()) continue;
     if (!Slot(index).chosen) AcceptSlot(index, entry.second);
     if (index + 1 > max_idx) max_idx = index + 1;
   }
   next_index_ = std::max(next_index_, max_idx);
   next_index_ = std::max(next_index_, log_.commit_frontier());
+
+  // Close every hole below the proposal cursor with a no-op (the classic
+  // new-leader obligation): without this, a leader that recovered a high
+  // accepted slot but not the slots beneath it can never advance its
+  // commit frontier — and a laggard elected after the rest of the group
+  // checkpoint-truncated would stall instead of drawing the snapshot
+  // refusals that re-base it. Acceptors answer each no-op with an ack
+  // (genuinely unchosen), the decided value (chosen elsewhere), or a
+  // snapshot (truncated away), so one round settles the whole gap.
+  for (uint64_t index = log_.commit_frontier(); index < next_index_; ++index) {
+    if (recovered_.count(index) > 0) continue;  // Re-proposed above.
+    if (Slot(index).chosen) continue;
+    AcceptSlot(index, smr::Command{smr::kNoopClient, 0, "NOOP"});
+  }
 
   SendHeartbeat();  // Also self-reschedules while leader.
 
@@ -178,6 +196,23 @@ void MultiPaxosReplica::OnLeadershipAcquired() {
   }
   slot_in_flight_ = false;
   ProposeNext();
+}
+
+void MultiPaxosReplica::Deposed() {
+  // Mirrors Raft's BecomeFollower: a higher ballot exists, so nothing we
+  // queued will be proposed by us — drop it (clients re-transmit to the
+  // new leader) instead of re-proposing stale duplicates if we ever
+  // regain leadership, and stop the linger timer that would otherwise
+  // keep firing. In-flight assignment tracking goes too: a stale entry
+  // would make a later retry look "in flight" forever and never re-enqueue.
+  leader_active_ = false;
+  CancelTimer(heartbeat_timer_);
+  CancelTimer(batch_timer_);
+  batch_timer_ = 0;
+  pending_.clear();
+  queued_.clear();
+  assigned_.clear();
+  slot_in_flight_ = false;
 }
 
 void MultiPaxosReplica::SendHeartbeat() {
@@ -330,8 +365,7 @@ void MultiPaxosReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
     if (m->ballot >= ballot_num_) {
       ballot_num_ = m->ballot;
       if (m->ballot.pid != id() && leader_active_) {
-        leader_active_ = false;  // Deposed by a higher ballot.
-        CancelTimer(heartbeat_timer_);
+        Deposed();  // A higher ballot exists.
       }
       auto promise = std::make_shared<PromiseMsg>();
       promise->ballot = m->ballot;
@@ -363,9 +397,18 @@ void MultiPaxosReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
     if (m->ballot >= ballot_num_) {
       ballot_num_ = m->ballot;
       if (m->index < log_.start()) {
-        // Checkpoint-truncated slot: its value was chosen (and applied);
-        // acknowledging is truthful and lets a stale proposer progress.
-        Send(from, std::make_shared<AcceptedMsg>(m->ballot, m->index));
+        // Checkpoint-truncated slot: a value was already chosen there and
+        // folded into our checkpoint, and we can no longer compare it
+        // against the proposal. Acking blind would let a laggard leader
+        // "choose" a conflicting command for a decided slot — silent
+        // divergence. Refuse, and ship our applied state instead so the
+        // stale proposer re-bases past the truncation frontier before
+        // proposing again.
+        auto snap = std::make_shared<SnapshotMsg>();
+        snap->end = log_.applied_frontier();
+        snap->data = kv_.Snapshot();
+        snap->sessions = dedup_.sessions();
+        Send(from, snap);
         if (m->ballot.pid != id()) ResetLeaderTimer();
         return;
       }
@@ -374,6 +417,20 @@ void MultiPaxosReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
         slot.accept_num = m->ballot;
         slot.value = m->cmd;
         slot.has_value = true;
+      } else if (smr::IsNoop(m->cmd) && !(slot.value == m->cmd)) {
+        // A hole-filling no-op aimed at a slot we know is decided with a
+        // real command: acking would help the new leader "choose" the
+        // no-op over the decided value. Teach it the decision instead —
+        // chosen values are final, so this is safe under any ballot.
+        auto teach = std::make_shared<CommitMsg>();
+        teach->ballot = m->ballot;
+        teach->has_entry = true;
+        teach->index = m->index;
+        teach->cmd = slot.value;
+        teach->frontier = log_.commit_frontier();
+        Send(from, teach);
+        if (m->ballot.pid != id()) ResetLeaderTimer();
+        return;
       }
       Send(from, std::make_shared<AcceptedMsg>(m->ballot, m->index));
       if (m->ballot.pid != id()) ResetLeaderTimer();
@@ -410,10 +467,7 @@ void MultiPaxosReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
     if (m->ballot >= ballot_num_) {
       ballot_num_ = m->ballot;
       if (m->ballot.pid != id()) {
-        if (leader_active_) {
-          leader_active_ = false;
-          CancelTimer(heartbeat_timer_);
-        }
+        if (leader_active_) Deposed();
         ResetLeaderTimer();
       }
       if (m->has_entry) Chosen(m->index, m->cmd);
@@ -468,6 +522,25 @@ void MultiPaxosReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
     log_.ResetToSnapshot(m->end);
     slots_.erase(slots_.begin(), slots_.lower_bound(m->end));
     ++snapshots_installed_;
+    if (leader_active_) {
+      // A snapshot reaching an ACTIVE leader is an acceptor's refusal of
+      // an Accept below its truncation frontier: we won an election while
+      // lagging and proposed into slots that were already decided and
+      // checkpointed elsewhere. Those proposals are abandoned — the slot
+      // bookkeeping below `end` is gone — and their commands must not be
+      // resurrected at the dead indices, so drop the in-flight tracking
+      // (client retries re-enqueue them above the frontier; retries of
+      // commands the snapshot shows as executed hit the dedup cache) and
+      // re-base the proposal cursor past the snapshot.
+      for (auto it = assigned_.begin(); it != assigned_.end();) {
+        if (it->second < m->end) {
+          it = assigned_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      next_index_ = std::max(next_index_, m->end);
+    }
     ApplyAndReply();  // Retained chosen slots past `end` may now apply.
     return;
   }
@@ -481,6 +554,7 @@ void MultiPaxosReplica::OnRestart() {
   recovered_.clear();
   pending_.clear();
   queued_.clear();  // Matches pending_: clients re-transmit.
+  assigned_.clear();
   awaiting_client_.clear();
   slot_in_flight_ = false;
   batch_timer_ = 0;  // Timers died with the crash.
@@ -512,6 +586,7 @@ void MultiPaxosClient::OnStart() {
 void MultiPaxosClient::SendCurrent() {
   if (done()) return;
   smr::Command cmd{id(), seq_, "INC " + key_};
+  cmd.acked = seq_ - 1;  // Closed loop: every earlier reply was consumed.
   Send(members_[target_idx_],
        std::make_shared<MultiPaxosReplica::RequestMsg>(cmd));
   CancelTimer(retry_timer_);

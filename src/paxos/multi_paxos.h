@@ -100,6 +100,8 @@ class MultiPaxosReplica : public sim::Process {
   }
   /// In-flight duplicate-suppression entries (bounded: erased on apply).
   size_t assigned_entries() const { return assigned_.size(); }
+  /// Commands queued awaiting a batch cut (cleared on deposition).
+  size_t pending_ops() const { return pending_.size(); }
   /// Multi-command slots cut by this replica while leader.
   int batches_cut() const { return batches_cut_; }
   int checkpoints_taken() const { return checkpoints_taken_; }
@@ -129,6 +131,9 @@ class MultiPaxosReplica : public sim::Process {
 
   void StartPhase1();
   void OnLeadershipAcquired();
+  /// Leadership lost to a higher ballot: drop queued/in-flight proposer
+  /// state and stop leader timers (clients re-transmit elsewhere).
+  void Deposed();
   void ProposeNext();
   void AcceptSlot(uint64_t index, const smr::Command& cmd);
   void Chosen(uint64_t index, const smr::Command& cmd);

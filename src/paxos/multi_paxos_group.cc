@@ -71,6 +71,9 @@ class MultiPaxosGroup : public consensus::ReplicaGroup {
       for (const std::string& v : r->violations()) {
         all.push_back("replica " + std::to_string(r->id()) + ": " + v);
       }
+      for (const std::string& v : r->log().violations()) {
+        all.push_back("replica " + std::to_string(r->id()) + " log: " + v);
+      }
     }
     return all;
   }

@@ -244,7 +244,8 @@ void RaftReplica::BecomeLeader() {
   // (Raft paper §8). Every uncommitted entry here is prior-term: the
   // candidate bumped its term before winning.
   if (LogEnd() > commit_index_) {
-    log_.push_back(LogEntry{current_term_, smr::Command{-3, 0, "NOOP"}});
+    log_.push_back(
+        LogEntry{current_term_, smr::Command{smr::kNoopClient, 0, "NOOP"}});
   }
   BroadcastAppendEntries();  // Immediate heartbeat asserts leadership.
 }
@@ -353,7 +354,7 @@ void RaftReplica::ApplyCommitted() {
   while (last_applied_ < commit_index_) {
     const LogEntry& entry = EntryAt(last_applied_ + 1);
     ++last_applied_;
-    if (entry.cmd.client == -3) continue;  // Leader term-start no-op.
+    if (smr::IsNoop(entry.cmd)) continue;  // Leader term-start no-op.
     auto config = ParseConfig(entry.cmd);
     if (config) {
       // A committed configuration that no longer contains us (leader
@@ -364,8 +365,23 @@ void RaftReplica::ApplyCommitted() {
       continue;  // Config entries do not touch the state machine.
     }
     // Batch entries fan out: each client command is deduped, recorded,
-    // and answered individually.
-    for (const smr::Command& cmd : smr::FlattenCommand(entry.cmd)) {
+    // and answered individually. A batch that fails to decode must
+    // surface, not silently apply zero commands for the entry.
+    std::vector<smr::Command> subs;
+    if (smr::IsBatch(entry.cmd)) {
+      std::optional<std::vector<smr::Command>> decoded =
+          smr::DecodeBatch(entry.cmd);
+      if (!decoded.has_value()) {
+        violations_.push_back("malformed batch entry at index " +
+                              std::to_string(last_applied_) +
+                              " dropped on apply");
+        continue;
+      }
+      subs = std::move(*decoded);
+    } else {
+      subs = {entry.cmd};
+    }
+    for (const smr::Command& cmd : subs) {
       std::string result = dedup_.Apply(&kv_, cmd);
       executed_commands_.push_back(cmd);
       auto cmd_key = std::make_pair(cmd.client, cmd.client_seq);
@@ -695,6 +711,7 @@ void RaftClient::OnStart() {
 void RaftClient::SendCurrent() {
   if (done()) return;
   smr::Command cmd{id(), seq_, "INC " + key_};
+  cmd.acked = seq_ - 1;  // Closed loop: every earlier reply was consumed.
   Send(target_, std::make_shared<RaftReplica::RequestMsg>(cmd));
   CancelTimer(retry_timer_);
   retry_timer_ = SetTimer(retry_, [this] {

@@ -38,8 +38,10 @@ class RaftGroup : public consensus::ReplicaGroup {
   }
 
   sim::MessagePtr MakeRead(int32_t client, uint64_t seq,
-                           const std::string& key) const override {
-    // Raft's dedicated read path: read-index, no log entry.
+                           const std::string& key,
+                           uint64_t /*acked*/ = 0) const override {
+    // Raft's dedicated read path: read-index, no log entry — the ack
+    // frontier rides on the next logged command instead.
     return std::make_shared<RaftReplica::ReadMsg>(client, seq, key);
   }
 

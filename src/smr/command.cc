@@ -23,13 +23,17 @@ std::string Command::ToString() const {
 }
 
 Command EncodeBatch(const std::vector<Command>& cmds) {
-  // "<client> <seq> <oplen> <opbytes>" per sub-command; whitespace-delimited
-  // headers, byte-exact payloads.
+  // "<client> <seq> <acked> <oplen> <opbytes>" per sub-command;
+  // whitespace-delimited headers, byte-exact payloads. `acked` rides
+  // along so replicas applying the decoded batch advance their session
+  // floors identically (see DedupingExecutor).
   std::string encoded;
   for (const Command& cmd : cmds) {
     encoded += std::to_string(cmd.client);
     encoded += ' ';
     encoded += std::to_string(cmd.client_seq);
+    encoded += ' ';
+    encoded += std::to_string(cmd.acked);
     encoded += ' ';
     encoded += std::to_string(cmd.op.size());
     encoded += ' ';
@@ -38,32 +42,39 @@ Command EncodeBatch(const std::vector<Command>& cmds) {
   return Command{kBatchClient, 0, std::move(encoded)};
 }
 
-std::vector<Command> DecodeBatch(const Command& batch) {
+std::optional<std::vector<Command>> DecodeBatch(const Command& batch) {
+  if (!IsBatch(batch)) return std::nullopt;
   std::vector<Command> cmds;
-  if (!IsBatch(batch)) return cmds;
   const std::string& s = batch.op;
   size_t pos = 0;
   while (pos < s.size()) {
     char* end = nullptr;
     long client = std::strtol(s.c_str() + pos, &end, 10);
-    if (end == nullptr || *end != ' ') return {};
+    if (end == nullptr || *end != ' ') return std::nullopt;
     pos = static_cast<size_t>(end - s.c_str()) + 1;
     unsigned long long seq = std::strtoull(s.c_str() + pos, &end, 10);
-    if (end == nullptr || *end != ' ') return {};
+    if (end == nullptr || *end != ' ') return std::nullopt;
+    pos = static_cast<size_t>(end - s.c_str()) + 1;
+    unsigned long long acked = std::strtoull(s.c_str() + pos, &end, 10);
+    if (end == nullptr || *end != ' ') return std::nullopt;
     pos = static_cast<size_t>(end - s.c_str()) + 1;
     unsigned long long len = std::strtoull(s.c_str() + pos, &end, 10);
-    if (end == nullptr || *end != ' ') return {};
+    if (end == nullptr || *end != ' ') return std::nullopt;
     pos = static_cast<size_t>(end - s.c_str()) + 1;
-    if (pos + len > s.size()) return {};
-    cmds.push_back(Command{static_cast<int32_t>(client),
-                           static_cast<uint64_t>(seq), s.substr(pos, len)});
+    if (pos + len > s.size()) return std::nullopt;
+    Command cmd{static_cast<int32_t>(client), static_cast<uint64_t>(seq),
+                s.substr(pos, len)};
+    cmd.acked = static_cast<uint64_t>(acked);
+    cmds.push_back(std::move(cmd));
     pos += len;
   }
   return cmds;
 }
 
 std::vector<Command> FlattenCommand(const Command& cmd) {
-  if (IsBatch(cmd)) return DecodeBatch(cmd);
+  if (IsBatch(cmd)) {
+    return DecodeBatch(cmd).value_or(std::vector<Command>{});
+  }
   return {cmd};
 }
 

@@ -2,6 +2,7 @@
 #define CONSENSUS40_SMR_COMMAND_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,13 @@ struct Command {
   int32_t client = -1;
   uint64_t client_seq = 0;
   std::string op;
+  /// Cumulative acknowledgement piggybacked by the client: every seq in
+  /// [1, acked] has had its reply consumed. The deduping executor uses it
+  /// to decide which per-seq cached results are safe to discard — a result
+  /// may only be dropped once the client can no longer retry the op (see
+  /// DedupingExecutor). Session metadata, not command identity: excluded
+  /// from Hash and the comparison operators.
+  uint64_t acked = 0;
 
   bool operator==(const Command& other) const {
     return client == other.client && client_seq == other.client_seq &&
@@ -39,10 +47,20 @@ struct Command {
   int ByteSize() const { return 16 + static_cast<int>(op.size()); }
 };
 
+/// Reserved client id marking a protocol-internal no-op entry: Raft's
+/// leader term-start entry, and the no-ops a newly elected Multi-Paxos
+/// leader proposes to fill log holes below its proposal cursor. No-ops
+/// never touch the state machine or the dedup sessions (the apply loop
+/// skips them) and never produce a client reply.
+constexpr int32_t kNoopClient = -3;
+
+/// True if `cmd` is a protocol-internal no-op.
+inline bool IsNoop(const Command& cmd) { return cmd.client == kNoopClient; }
+
 /// Reserved client id marking a command as a leader-cut batch: its `op`
 /// is the length-prefixed encoding of several client commands (see
 /// EncodeBatch). Sits below the other reserved ids (-2 = Raft CONFIG,
-/// -3 = Raft term-start NOOP).
+/// -3 = protocol no-op).
 constexpr int32_t kBatchClient = -4;
 
 /// True if `cmd` is a batch entry produced by EncodeBatch.
@@ -55,13 +73,17 @@ inline bool IsBatch(const Command& cmd) { return cmd.client == kBatchClient; }
 /// produced: leaders only batch raw client commands).
 Command EncodeBatch(const std::vector<Command>& cmds);
 
-/// Inverse of EncodeBatch. Returns an empty vector for a non-batch or
-/// malformed command.
-std::vector<Command> DecodeBatch(const Command& batch);
+/// Inverse of EncodeBatch. nullopt for a non-batch or malformed command
+/// — distinct from the (legal, never leader-cut) empty batch, so a
+/// framing bug surfaces at the apply site instead of silently dropping a
+/// whole batch.
+std::optional<std::vector<Command>> DecodeBatch(const Command& batch);
 
 /// The client commands `cmd` stands for: the decoded sub-commands of a
 /// batch, or `cmd` itself. The flattening used everywhere a per-command
 /// view of a log is needed (committed prefixes, apply loops, replay).
+/// Lenient: a malformed batch flattens to nothing; apply paths that must
+/// not drop commands silently call DecodeBatch and check for nullopt.
 std::vector<Command> FlattenCommand(const Command& cmd);
 
 }  // namespace consensus40::smr

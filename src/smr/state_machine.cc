@@ -102,28 +102,46 @@ void ReplicatedLog::ResetToSnapshot(uint64_t end) {
   if (end > applied_frontier_) applied_frontier_ = end;
 }
 
+namespace {
+
+/// Advances the session floor over the client-acked prefix, discarding
+/// the cached results it covers. An acked seq can never be retried, so
+/// dropping its exact result is safe; seqs the floor skips without an
+/// `above` entry were consumed off-log (e.g. read-index reads) or acked
+/// duplicates — nothing to discard. The floor never passes `acked`, so
+/// every executed-but-unacked seq keeps its own result.
+void AdvanceFloor(DedupingExecutor::Session* s) {
+  while (s->floor < s->acked) {
+    ++s->floor;
+    s->above.erase(s->floor);
+  }
+}
+
+/// Placeholder reply for retries of acked (result-discarded) seqs.
+const std::string kDiscardedResult;
+
+}  // namespace
+
 std::string DedupingExecutor::Apply(StateMachine* sm, const Command& cmd) {
   Session& s = sessions_[cmd.client];
+  // Piggybacked cumulative ack: the client consumed every reply up to
+  // cmd.acked, so those results are unreachable and can be discarded.
+  // Applied commands are identical on every replica, so the floors
+  // advance identically too.
+  if (cmd.acked > s.acked) {
+    s.acked = cmd.acked;
+    AdvanceFloor(&s);
+  }
   // Seq 0 is only used by protocol-internal commands; it sits outside the
   // 1-based session numbering, so it is tracked in `above` forever rather
   // than confused with the pristine floor == 0.
   if (cmd.client_seq != 0 && cmd.client_seq <= s.floor) {
-    return s.floor_result;  // Duplicate at or below the floor.
+    return kDiscardedResult;  // Duplicate of an acked operation.
   }
   auto it = s.above.find(cmd.client_seq);
-  if (it != s.above.end()) return it->second;  // Reordered duplicate.
+  if (it != s.above.end()) return it->second;  // Duplicate: exact result.
   std::string result = sm->Apply(cmd);
-  if (cmd.client_seq != 0) {
-    s.above[cmd.client_seq] = result;
-    // Advance the floor over the now-contiguous executed prefix.
-    while (!s.above.empty() && s.above.begin()->first == s.floor + 1) {
-      s.floor = s.above.begin()->first;
-      s.floor_result = std::move(s.above.begin()->second);
-      s.above.erase(s.above.begin());
-    }
-  } else {
-    s.above[0] = result;
-  }
+  s.above[cmd.client_seq] = result;
   return result;
 }
 
@@ -132,7 +150,7 @@ const std::string* DedupingExecutor::Lookup(int32_t client,
   auto it = sessions_.find(client);
   if (it == sessions_.end()) return nullptr;
   const Session& s = it->second;
-  if (seq != 0 && seq <= s.floor) return &s.floor_result;
+  if (seq != 0 && seq <= s.floor) return &kDiscardedResult;
   auto above = s.above.find(seq);
   return above == s.above.end() ? nullptr : &above->second;
 }
@@ -153,7 +171,29 @@ void ReplicatedLog::ApplyCommitted(StateMachine* sm, DedupingExecutor* dedup,
     const Command* cmd = Get(applied_frontier_);
     if (cmd == nullptr) break;  // Gap: cannot apply past it yet.
     uint64_t index = applied_frontier_;
-    for (const Command& sub : FlattenCommand(*cmd)) {
+    if (IsNoop(*cmd)) {
+      // Protocol-internal filler (e.g. a new leader closing a log hole):
+      // occupies the slot but carries no operation and gets no reply.
+      ++applied_frontier_;
+      continue;
+    }
+    std::vector<Command> subs;
+    if (IsBatch(*cmd)) {
+      // Decode explicitly: a batch whose framing fails to parse must
+      // surface as a safety violation, not silently apply zero commands
+      // for the slot.
+      std::optional<std::vector<Command>> decoded = DecodeBatch(*cmd);
+      if (!decoded.has_value()) {
+        violations_.push_back("malformed batch entry at slot " +
+                              std::to_string(index) + " dropped on apply");
+        ++applied_frontier_;  // Advance anyway: wedging here would livelock.
+        continue;
+      }
+      subs = std::move(*decoded);
+    } else {
+      subs = {*cmd};
+    }
+    for (const Command& sub : subs) {
       std::string result =
           dedup != nullptr ? dedup->Apply(sm, sub) : sm->Apply(sub);
       if (fn) fn(index, sub, result);

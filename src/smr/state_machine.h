@@ -69,24 +69,28 @@ class KvStore : public StateMachine {
 ///
 /// Each client issues sequence numbers 1, 2, 3, ... but — because clients
 /// keep a transmission WINDOW of operations in flight — the seqs may reach
-/// the log out of order within that window. The session tracks a
-/// contiguously-executed floor plus the executed seqs above it, so a
-/// reordered arrival is neither dropped as a "duplicate" nor re-executed;
-/// once the gap fills, the floor advances and the above-floor entries are
-/// pruned, keeping per-client memory bounded by the client's window.
+/// the log out of order within that window, and a reply-lost operation may
+/// be retried long after later seqs executed. The session keeps the exact
+/// per-seq result of every operation the client could still retry, and
+/// discards a result only once the client has ACKNOWLEDGED the operation
+/// (via the cumulative `Command::acked` field every command piggybacks):
+/// the floor tracks the acked prefix, so a retry of any unacked seq is
+/// answered with ITS OWN cached result, never a neighbour's. Per-client
+/// memory is bounded by the client's executed-but-unacked operations —
+/// the in-flight window in steady state.
 class DedupingExecutor {
  public:
   /// One client's execution record.
   struct Session {
-    /// Every seq in [1, floor] has been executed; floor_result caches the
-    /// result of seq == floor. A retry of any seq <= floor gets
-    /// floor_result back — possibly stale for seq < floor, the same
-    /// contract the pre-window single-entry cache had; clients only
-    /// consume replies for operations still pending.
+    /// Every seq in [1, floor] has been executed AND acked by the client
+    /// (floor never outruns `acked`), so its result can no longer be
+    /// consumed; retries of such seqs get an empty placeholder reply.
     uint64_t floor = 0;
-    std::string floor_result;
-    /// Executed seqs > floor (out-of-order arrivals awaiting the gap) and
-    /// any seq-0 protocol-internal commands (kept forever; at most one).
+    /// Highest cumulative acknowledgement seen from this client.
+    uint64_t acked = 0;
+    /// Exact results of executed seqs > floor (in-flight window arrivals,
+    /// reply-lost operations awaiting a retry) and any seq-0
+    /// protocol-internal commands (kept forever; at most one).
     std::map<uint64_t, std::string> above;
   };
 
@@ -95,7 +99,10 @@ class DedupingExecutor {
   std::string Apply(StateMachine* sm, const Command& cmd);
 
   /// Cached result of an already-executed (client, seq), or nullptr.
-  /// Leaders use this as the duplicate-request fast path.
+  /// Leaders use this as the duplicate-request fast path. Seqs at or
+  /// below the session floor return a (non-null) empty placeholder: the
+  /// client acked them, so the exact result was discarded and the reply
+  /// can never be consumed — but the leader must still not re-propose.
   const std::string* Lookup(int32_t client, uint64_t seq) const;
 
   /// Session table snapshot/restore, shipped alongside state-machine
@@ -156,6 +163,12 @@ class ReplicatedLog {
   /// Index the apply cursor has reached.
   uint64_t applied_frontier() const { return applied_frontier_; }
 
+  /// Safety problems the apply path detected — today: a committed batch
+  /// entry whose framing failed to decode (applying zero commands for the
+  /// slot would otherwise silently drop the whole batch). Protocol
+  /// Violations() reports fold these in.
+  const std::vector<std::string>& violations() const { return violations_; }
+
   /// First index still held (everything below was checkpoint-truncated).
   uint64_t start() const { return start_; }
 
@@ -178,6 +191,7 @@ class ReplicatedLog {
   uint64_t start_ = 0;            ///< Slots [0, start_) truncated away.
   uint64_t commit_frontier_ = 0;  ///< Committed slots are [0, commit_frontier_).
   uint64_t applied_frontier_ = 0;
+  std::vector<std::string> violations_;
 };
 
 /// Checks that every log agrees with every other on the overlap of their

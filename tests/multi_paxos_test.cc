@@ -357,6 +357,146 @@ TEST(MultiPaxosCheckpointTest, LaggardBeyondTruncationInstallsSnapshot) {
   }
 }
 
+// A laggard that wins an election after the rest of the group has
+// checkpoint-truncated past everything it holds must not be able to
+// "choose" fresh commands at already-decided, truncated slots. The
+// acceptors refuse its sub-frontier Accepts with a state snapshot; the
+// stale leader installs it, re-bases its proposal cursor, and the
+// workload finishes with exact (sequential) results instead of silently
+// diverging from a stale state machine.
+TEST(MultiPaxosCheckpointTest, StaleLeaderIsRefusedAtTruncatedSlots) {
+  MultiPaxosOptions opts;
+  opts.checkpoint_interval = 4;
+  MpCluster cluster(3, 7, opts);
+  MultiPaxosClient* client = cluster.AddClient(40);
+  cluster.sim.Start();
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return client->completed() >= 3; },
+                                   30 * kSecond));
+  sim::NodeId leader = -1;
+  sim::NodeId laggard = -1;
+  for (const MultiPaxosReplica* r : cluster.replicas) {
+    if (r->IsLeader()) {
+      leader = r->id();
+    } else {
+      laggard = r->id();
+    }
+  }
+  ASSERT_NE(leader, -1);
+  ASSERT_NE(laggard, -1);
+  MultiPaxosReplica* lag = cluster.replicas[static_cast<size_t>(laggard)];
+  sim::NodeId follower = 3 - leader - laggard;  // The third replica.
+
+  // Isolate the laggard while the majority keeps committing and
+  // checkpointing until both peers truncated past everything it has.
+  cluster.sim.Partition({{leader, follower, client->id()}, {laggard}});
+  ASSERT_TRUE(cluster.sim.RunUntil(
+      [&] {
+        if (client->completed() < 25) return false;
+        for (sim::NodeId id : {leader, follower}) {
+          if (cluster.replicas[static_cast<size_t>(id)]->log().start() <=
+              lag->log().commit_frontier()) {
+            return false;
+          }
+        }
+        return true;
+      },
+      120 * kSecond));
+
+  // Flip: laggard + up-to-date follower + client on one side, the old
+  // leader alone on the other. The laggard's ballot counter ratcheted
+  // through failed phase-1 retries all through its isolation, so it
+  // out-bids the follower and wins the election — a leader whose
+  // proposal cursor sits far below the group's truncation frontier.
+  cluster.sim.Partition({{laggard, follower, client->id()}, {leader}});
+  ASSERT_TRUE(
+      cluster.sim.RunUntil([&] { return lag->IsLeader(); }, 120 * kSecond));
+  ASSERT_TRUE(
+      cluster.sim.RunUntil([&] { return client->done(); }, 240 * kSecond));
+
+  EXPECT_GE(lag->snapshots_installed(), 1)
+      << "stale leader was never pushed past the truncation frontier";
+  // Exactly-once, in client order: the old blind-ACK path answers from a
+  // stale state machine here and breaks the sequence.
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(client->results()[i], std::to_string(i + 1)) << i;
+  }
+  cluster.sim.Heal();
+  cluster.sim.RunFor(5 * kSecond);
+  cluster.CheckSafety();
+  auto digest0 = cluster.replicas[0]->kv().StateDigest();
+  for (const MultiPaxosReplica* r : cluster.replicas) {
+    EXPECT_EQ(r->kv().StateDigest(), digest0) << "replica " << r->id();
+  }
+}
+
+// A deposed leader must drop its proposer queues (mirroring Raft's
+// BecomeFollower): commands it lingered or proposed without quorum are
+// the new leader's to commit via client retries, and stale assigned_
+// entries would otherwise suppress re-enqueueing forever if it ever led
+// again.
+TEST(MultiPaxosBatchingTest, DeposedLeaderDropsItsQueues) {
+  MultiPaxosOptions opts;
+  opts.batch_size = 4;
+  opts.batch_delay = 50 * kMillisecond;
+  MpCluster cluster(3, 5, opts);
+  std::vector<MultiPaxosClient*> clients;
+  for (int i = 0; i < 2; ++i) clients.push_back(cluster.AddClient(8));
+  cluster.sim.Start();
+  ASSERT_TRUE(cluster.sim.RunUntil(
+      [&] {
+        return clients[0]->completed() + clients[1]->completed() >= 2;
+      },
+      30 * kSecond));
+  sim::NodeId leader = -1;
+  for (const MultiPaxosReplica* r : cluster.replicas) {
+    if (r->IsLeader()) leader = r->id();
+  }
+  ASSERT_NE(leader, -1);
+  MultiPaxosReplica* old_leader = cluster.replicas[static_cast<size_t>(leader)];
+
+  // Cut the leader off with the clients: it keeps accepting and
+  // proposing their commands but can never reach quorum, so its
+  // pending/assigned bookkeeping fills up.
+  std::vector<sim::NodeId> rest;
+  for (const MultiPaxosReplica* r : cluster.replicas) {
+    if (r->id() != leader) rest.push_back(r->id());
+  }
+  cluster.sim.Partition(
+      {{leader, clients[0]->id(), clients[1]->id()}, rest});
+  ASSERT_TRUE(cluster.sim.RunUntil(
+      [&] {
+        return old_leader->assigned_entries() + old_leader->pending_ops() > 0;
+      },
+      60 * kSecond));
+
+  // Flip: clients join the majority, which elects a new leader and
+  // finishes the workload while the old leader sits alone.
+  std::vector<sim::NodeId> majority = rest;
+  majority.push_back(clients[0]->id());
+  majority.push_back(clients[1]->id());
+  cluster.sim.Partition({{leader}, majority});
+  ASSERT_TRUE(cluster.sim.RunUntil(
+      [&] { return clients[0]->done() && clients[1]->done(); },
+      240 * kSecond));
+
+  // Heal: the first higher-ballot heartbeat deposes the old leader, and
+  // deposition clears every proposer queue and cancels its timers.
+  cluster.sim.Heal();
+  cluster.sim.RunFor(3 * kSecond);
+  EXPECT_FALSE(old_leader->IsLeader());
+  EXPECT_EQ(old_leader->pending_ops(), 0u);
+  EXPECT_EQ(old_leader->assigned_entries(), 0u);
+  cluster.CheckSafety();
+  // Exactly-once across the failover: 16 INCs total, despite the old
+  // leader having held (and dropped) some of them mid-flight.
+  int max_counter = 0;
+  for (const MultiPaxosReplica* r : cluster.replicas) {
+    auto v = r->kv().Get("x");
+    if (v) max_counter = std::max(max_counter, std::stoi(*v));
+  }
+  EXPECT_EQ(max_counter, 16);
+}
+
 TEST(MultiPaxosTest, DeterministicAcrossRuns) {
   auto run = [](uint64_t seed) {
     MpCluster cluster(5, seed);

@@ -322,6 +322,51 @@ void BatchedRoundTrip(const std::string& name) {
   EXPECT_TRUE(group->Violations().empty());
 }
 
+// End-to-end regression for the windowed reply-loss wrong-result bug: on
+// a lossy network, a reply can vanish while later window seqs complete
+// and get acked. The retry of the reply-lost op must receive ITS OWN
+// cached result — the session floor only advances over client-acked
+// seqs, so the exact result is retained however far the window slid.
+// (The old floor_result scheme handed such a retry a neighbouring op's
+// result, which shows up here as a duplicate INC value.)
+TEST(GroupClientTest, WindowedRetriesSurviveReplyLoss) {
+  constexpr int kOps = 50;
+  std::unique_ptr<ReplicaGroup> group = NewRaftGroup();
+  GroupTuning tuning;
+  tuning.batch_size = 4;
+  tuning.batch_delay = 2 * kMillisecond;
+  group->Configure(tuning);
+  GroupClient* client = nullptr;
+  auto sim = sim::Simulation::Builder(13)
+                 .DropRate(0.10)
+                 .Setup([&](sim::Simulation& s) {
+                   group->Create(&s, 3);
+                   client = s.Spawn<GroupClient>(
+                       group.get(), 300 * kMillisecond, /*window=*/4);
+                 })
+                 .Build();
+  std::vector<std::string> results;
+  client->SetCallback([&](uint64_t, const std::string& result, bool) {
+    results.push_back(result);
+  });
+  sim->RunFor(2 * kSecond);  // Leader election under loss.
+  for (int i = 0; i < kOps; ++i) client->Submit("INC x");
+  ASSERT_TRUE(sim->RunUntil(
+      [&] { return results.size() >= static_cast<size_t>(kOps); },
+      sim->now() + 600 * kSecond));
+
+  // Exactly-once AND exactly-own-result: the INC outputs must be a
+  // permutation of 1..kOps — a duplicate value means some retry was
+  // answered with another operation's cached result.
+  std::vector<int> values;
+  for (const std::string& r : results) values.push_back(std::stoi(r));
+  std::sort(values.begin(), values.end());
+  for (int i = 0; i < kOps; ++i) {
+    ASSERT_EQ(values[static_cast<size_t>(i)], i + 1);
+  }
+  EXPECT_TRUE(group->Violations().empty());
+}
+
 TEST(GroupClientTest, BatchedRoundTripRaft) { BatchedRoundTrip("raft"); }
 
 TEST(GroupClientTest, BatchedRoundTripMultiPaxos) {

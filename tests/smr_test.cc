@@ -6,8 +6,11 @@
 namespace consensus40::smr {
 namespace {
 
-Command Cmd(int client, uint64_t seq, const std::string& op) {
-  return Command{client, seq, op};
+Command Cmd(int client, uint64_t seq, const std::string& op,
+            uint64_t acked = 0) {
+  Command cmd{client, seq, op};
+  cmd.acked = acked;
+  return cmd;
 }
 
 TEST(CommandTest, HashDistinguishesFields) {
@@ -90,11 +93,19 @@ TEST(BatchCommandTest, EncodeDecodeRoundTrip) {
   // Ops with spaces must survive: the framing is length-prefixed, not
   // delimiter-based.
   std::vector<Command> cmds = {Cmd(1, 1, "PUT k hello world"),
-                               Cmd(2, 7, "INC ctr"), Cmd(1, 2, "GET k")};
+                               Cmd(2, 7, "INC ctr", 6), Cmd(1, 2, "GET k", 1)};
   Command batch = EncodeBatch(cmds);
   EXPECT_TRUE(IsBatch(batch));
   EXPECT_EQ(batch.client, kBatchClient);
-  EXPECT_EQ(DecodeBatch(batch), cmds);
+  std::optional<std::vector<Command>> decoded = DecodeBatch(batch);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, cmds);
+  // The piggybacked ack frontier survives the framing too (it drives
+  // deterministic session pruning on apply, so it must ride in the log).
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ((*decoded)[0].acked, 0u);
+  EXPECT_EQ((*decoded)[1].acked, 6u);
+  EXPECT_EQ((*decoded)[2].acked, 1u);
 }
 
 TEST(BatchCommandTest, FlattenExpandsBatchesAndPassesSinglesThrough) {
@@ -107,29 +118,78 @@ TEST(BatchCommandTest, FlattenExpandsBatchesAndPassesSinglesThrough) {
   EXPECT_EQ(FlattenCommand(EncodeBatch(cmds)), cmds);
 }
 
-TEST(BatchCommandTest, MalformedBatchDecodesEmpty) {
-  EXPECT_TRUE(DecodeBatch(Cmd(1, 1, "not a batch")).empty());
+TEST(BatchCommandTest, MalformedBatchIsDistinctFromEmpty) {
+  // Non-batch and unparseable inputs are errors (nullopt), NOT empty
+  // batches — so a framing bug cannot masquerade as "nothing to apply".
+  EXPECT_FALSE(DecodeBatch(Cmd(1, 1, "not a batch")).has_value());
   Command garbage;
   garbage.client = kBatchClient;
-  garbage.op = "3 7 999 short";  // Length prefix overruns the payload.
-  EXPECT_TRUE(DecodeBatch(garbage).empty());
+  garbage.op = "3 7 0 999 short";  // Length prefix overruns the payload.
+  EXPECT_FALSE(DecodeBatch(garbage).has_value());
+  // The (never leader-cut) empty batch stays valid.
+  std::optional<std::vector<Command>> empty = DecodeBatch(EncodeBatch({}));
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
 }
 
 TEST(DedupingExecutorTest, OutOfOrderWindowArrivalsExecuteExactlyOnce) {
   // A windowed client's seqs can reach the log out of order; the session
-  // floor/above split must neither drop nor double-apply them.
+  // must neither drop them as "duplicates" nor double-apply them.
   KvStore kv;
   DedupingExecutor dedup;
   EXPECT_EQ(dedup.Apply(&kv, Cmd(1, 2, "INC x")), "1");  // Ahead of seq 1.
   EXPECT_EQ(dedup.Apply(&kv, Cmd(1, 1, "INC x")), "2");  // Fills the gap.
-  // Retries of both return cached results without re-execution.
+  // Retries of both return their own cached results without re-execution.
   EXPECT_EQ(dedup.Apply(&kv, Cmd(1, 2, "INC x")), "1");
+  EXPECT_EQ(dedup.Apply(&kv, Cmd(1, 1, "INC x")), "2");
   EXPECT_EQ(*kv.Get("x"), "2");
-  // The gap filled, so the floor advanced and `above` was pruned: memory
-  // stays bounded by the client's window.
+  // Results are retained until the client ACKS them (nothing is pruned
+  // on mere contiguity: any unacked seq may still be retried). A later
+  // command piggybacking acked=2 prunes both and advances the floor.
+  EXPECT_EQ(dedup.sessions().at(1).above.size(), 2u);
+  EXPECT_EQ(dedup.Apply(&kv, Cmd(1, 3, "INC x", /*acked=*/2)), "3");
   const DedupingExecutor::Session& s = dedup.sessions().at(1);
   EXPECT_EQ(s.floor, 2u);
-  EXPECT_TRUE(s.above.empty());
+  EXPECT_EQ(s.above.size(), 1u);  // Only the unacked seq 3 remains.
+}
+
+TEST(DedupingExecutorTest, ReplyLostRetryGetsItsOwnResultNotANeighbours) {
+  // THE windowed-dedup regression: client window > 1, seq 1's reply is
+  // lost while seqs 2..5 complete and are acked. The late retry of seq 1
+  // must return seq 1's own result — under the old contiguous-floor
+  // scheme it returned the highest contiguous op's cached result (seq
+  // 5's), handing the client a different operation's outcome.
+  KvStore kv;
+  DedupingExecutor dedup;
+  EXPECT_EQ(dedup.Apply(&kv, Cmd(1, 1, "INC x")), "1");
+  // Seq 1 stays unacked (its reply never arrived), so later commands
+  // piggyback acked=0 even as their own replies are consumed.
+  EXPECT_EQ(dedup.Apply(&kv, Cmd(1, 2, "INC x")), "2");
+  EXPECT_EQ(dedup.Apply(&kv, Cmd(1, 3, "SETNX d C")), "OK");
+  EXPECT_EQ(dedup.Apply(&kv, Cmd(1, 4, "INC x")), "3");
+  EXPECT_EQ(dedup.Apply(&kv, Cmd(1, 5, "INC x")), "4");
+  // Retry of the reply-lost op: exact result, both paths.
+  ASSERT_NE(dedup.Lookup(1, 1), nullptr);
+  EXPECT_EQ(*dedup.Lookup(1, 1), "1");
+  EXPECT_EQ(dedup.Apply(&kv, Cmd(1, 1, "INC x")), "1");
+  // Same for a 2PC-decision-style SETNX mid-window.
+  EXPECT_EQ(*dedup.Lookup(1, 3), "OK");
+  EXPECT_EQ(*kv.Get("x"), "4");  // Nothing re-executed.
+}
+
+TEST(DedupingExecutorTest, FloorSkipsOffLogSeqsOnceAcked) {
+  // Read-index reads consume seqs without ever reaching the log. The
+  // acked frontier still advances the floor past them, so one off-log
+  // seq cannot pin the session's memory forever.
+  KvStore kv;
+  DedupingExecutor dedup;
+  dedup.Apply(&kv, Cmd(1, 1, "INC x"));
+  // Seq 2 was a read-index read (never applied); seq 3 acks both.
+  dedup.Apply(&kv, Cmd(1, 3, "INC x", /*acked=*/2));
+  const DedupingExecutor::Session& s = dedup.sessions().at(1);
+  EXPECT_EQ(s.floor, 2u);
+  ASSERT_EQ(s.above.size(), 1u);
+  EXPECT_EQ(s.above.count(3), 1u);
 }
 
 TEST(DedupingExecutorTest, LookupIsTheDuplicateFastPath) {
@@ -137,13 +197,19 @@ TEST(DedupingExecutorTest, LookupIsTheDuplicateFastPath) {
   DedupingExecutor dedup;
   EXPECT_EQ(dedup.Lookup(1, 1), nullptr);
   dedup.Apply(&kv, Cmd(1, 1, "INC x"));
-  dedup.Apply(&kv, Cmd(1, 3, "INC x"));  // Out of order: above the floor.
+  dedup.Apply(&kv, Cmd(1, 3, "INC x"));  // Out of order: unacked window.
   ASSERT_NE(dedup.Lookup(1, 1), nullptr);
   EXPECT_EQ(*dedup.Lookup(1, 1), "1");
   ASSERT_NE(dedup.Lookup(1, 3), nullptr);
   EXPECT_EQ(*dedup.Lookup(1, 3), "2");
   EXPECT_EQ(dedup.Lookup(1, 2), nullptr);  // The gap is not executed.
   EXPECT_EQ(dedup.Lookup(9, 1), nullptr);  // Unknown client.
+  // Acked seqs keep answering non-null (the leader must not re-propose)
+  // but with a placeholder: the exact result was discarded and the
+  // client, having acked, can never consume the reply.
+  dedup.Apply(&kv, Cmd(1, 4, "INC x", /*acked=*/3));
+  ASSERT_NE(dedup.Lookup(1, 1), nullptr);
+  EXPECT_EQ(*dedup.Lookup(1, 1), "");
 }
 
 TEST(ReplicatedLogTest, OutOfOrderFillThenApply) {
@@ -206,6 +272,27 @@ TEST(ReplicatedLogTest, BatchEntriesFlattenInPrefixAndCallbackApply) {
   ASSERT_EQ(prefix.size(), 3u);
   EXPECT_EQ(prefix[1], Cmd(1, 2, "INC x"));
   EXPECT_EQ(prefix[2], Cmd(2, 1, "INC x"));
+}
+
+TEST(ReplicatedLogTest, MalformedBatchEntrySurfacesAsViolation) {
+  // A committed batch entry that fails to decode must not silently apply
+  // zero commands: the apply loop records a safety violation (and still
+  // advances, so the replica does not wedge).
+  ReplicatedLog log;
+  KvStore kv;
+  DedupingExecutor dedup;
+  Command garbage;
+  garbage.client = kBatchClient;
+  garbage.op = "1 1 0 999 short";  // Length prefix overruns the payload.
+  log.Set(0, garbage);
+  log.Set(1, Cmd(1, 1, "INC x"));
+  log.CommitThrough(1);
+  std::vector<std::string> out = log.ApplyCommitted(&kv, &dedup);
+  ASSERT_EQ(out.size(), 1u);  // Only the well-formed command applied.
+  EXPECT_EQ(log.applied_frontier(), 2u);
+  ASSERT_EQ(log.violations().size(), 1u);
+  EXPECT_NE(log.violations()[0].find("malformed batch"), std::string::npos);
+  EXPECT_NE(log.violations()[0].find("slot 0"), std::string::npos);
 }
 
 TEST(ReplicatedLogTest, TruncatePrefixDropsSlotsAndIgnoresStaleWrites) {

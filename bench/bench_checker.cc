@@ -197,18 +197,20 @@ int main() {
       auto replay = [&](const check::FaultSchedule& candidate) {
         return check::RunSchedule(factory, seed, candidate).violated();
       };
+      const check::FaultBounds bounds = factory(seed)->bounds();
       auto t0 = std::chrono::steady_clock::now();
       check::ShrinkStats stats;
       check::FaultSchedule min =
-          check::ShrinkSchedule(schedule, replay, 400, &stats);
-      min = check::CanonicalizeSchedule(std::move(min), replay, &stats);
+          check::ShrinkSchedule(schedule, bounds, replay, 400, &stats);
+      min = check::CanonicalizeSchedule(std::move(min), bounds, replay, &stats);
       shrink.wall_ms = Seconds(t0) * 1000.0;
 
       check::ShrinkStats pstats;
       ThreadPool pool(4);
       check::FaultSchedule pmin =
-          check::ShrinkSchedule(schedule, replay, 400, &pstats, &pool);
-      pmin = check::CanonicalizeSchedule(std::move(pmin), replay, &pstats);
+          check::ShrinkSchedule(schedule, bounds, replay, 400, &pstats, &pool);
+      pmin = check::CanonicalizeSchedule(std::move(pmin), bounds, replay,
+                                         &pstats);
       shrink.parallel_matches = pmin.ToString() == min.ToString();
 
       shrink.seed = seed;

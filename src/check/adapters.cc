@@ -140,6 +140,12 @@ std::vector<std::pair<const char*, AdapterFactory>> AllInBoundsAdapters() {
       {"raft_batched", MakeBatchedGroupAdapter("raft")},
       {"multi_paxos_batched", MakeBatchedGroupAdapter("multi_paxos")},
       {"shard_batched", MakeShardBatchedAdapter()},
+      {"pbft_byz", MakePbftByzantineAdapter()},
+      {"zyzzyva_byz", MakeZyzzyvaByzantineAdapter()},
+      {"minbft_byz", MakeMinBftByzantineAdapter()},
+      {"hotstuff_byz", MakeHotStuffByzantineAdapter()},
+      {"xft_byz", MakeXftByzantineAdapter()},
+      {"cheapbft_byz", MakeCheapBftByzantineAdapter()},
   };
 }
 

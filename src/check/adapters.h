@@ -61,6 +61,20 @@ AdapterFactory MakeShardAdapter();
 /// (see MakeBatchedGroupAdapter); same fault bounds and expectations.
 AdapterFactory MakeShardBatchedAdapter();
 
+// --- In-bounds Byzantine variants (sim::ByzantineInterposer-driven) ---
+//
+// Each BFT adapter's Byzantine twin keeps the protocol inside its stated
+// fault model (|crashed ∪ byzantine| <= f) but lets the schedule turn one
+// node into a liar for seed-chosen windows: equivocation (where the
+// protocol has a forge hook), withheld or corrupted outbound traffic, and
+// replayed stale captures. Safety must hold for every schedule.
+AdapterFactory MakePbftByzantineAdapter();      ///< full hooks + view storms
+AdapterFactory MakeZyzzyvaByzantineAdapter();   ///< backups only lie
+AdapterFactory MakeMinBftByzantineAdapter();    ///< USIG bounds the lying
+AdapterFactory MakeHotStuffByzantineAdapter();  ///< pacemaker absorbs it
+AdapterFactory MakeXftByzantineAdapter();       ///< non-anarchy slice
+AdapterFactory MakeCheapBftByzantineAdapter();  ///< PANIC/CheapSwitch path
+
 // --- Out-of-bounds adapters (violations must be discoverable) ---
 
 /// Paxos with q1 = q2 = 2 at n = 4: quorums need not intersect, so a
@@ -73,7 +87,9 @@ AdapterFactory MakeFloodSetOutOfBoundsAdapter();
 
 /// PBFT at n = 3, f = 1 (i.e. n = 3f): the quorum math degenerates
 /// (computed f' = 0, replicas commit straight from a pre-prepare), so an
-/// equivocating primary forks the two honest backups.
+/// equivocating primary — f'+1 liars for the quorum math in force,
+/// schedule-driven through the reusable Byzantine interposer — forks the
+/// two honest backups into a pinned, shrinkable prefix violation.
 AdapterFactory MakePbftOutOfBoundsAdapter();
 
 /// Plain 2PC (src/commit/) under the coordinator-crash-between-prepare-

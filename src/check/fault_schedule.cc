@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <set>
 
 #include "common/rng.h"
+#include "sim/byzantine.h"
 
 namespace consensus40::check {
 
@@ -50,6 +52,14 @@ const char* FaultKindName(FaultKind k) {
       return "coord-crash";
     case FaultKind::kShardPartition:
       return "shard-partition";
+    case FaultKind::kEquivocate:
+      return "equivocate";
+    case FaultKind::kWithhold:
+      return "withhold";
+    case FaultKind::kMutateDigest:
+      return "mutate";
+    case FaultKind::kReplayStale:
+      return "replay";
   }
   return "?";
 }
@@ -73,6 +83,12 @@ std::string FaultSchedule::ToString() const {
       case FaultKind::kDelaySpike:
         s += "(" + FormatMs(a.spike_min) + ".." + FormatMs(a.spike_max) + ")";
         break;
+      case FaultKind::kEquivocate:
+      case FaultKind::kWithhold:
+      case FaultKind::kMutateDigest:
+      case FaultKind::kReplayStale:
+        s += "(" + std::to_string(a.node) + "," + FormatMs(a.window) + ")";
+        break;
       case FaultKind::kHeal:
       case FaultKind::kDelayRestore:
         break;
@@ -88,6 +104,57 @@ FaultSchedule GenerateSchedule(uint64_t seed, const FaultBounds& bounds) {
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x45c1e3a8u);
   FaultSchedule schedule;
   schedule.seed = seed;
+
+  // View-change-heavy burst: repeatedly silence the round-robin primary so
+  // each silence forces a view change while the client burst is in flight.
+  // The branch (and its rng draws) only exists for bounds that opt in, so
+  // every pre-existing bounds shape keeps its schedule stream unchanged.
+  if (bounds.view_change_period > 0 && bounds.restartable &&
+      bounds.nodes > 0 && rng.NextBounded(2) == 0) {
+    const sim::Duration period = bounds.view_change_period;
+    const int kills = 2 + static_cast<int>(rng.NextBounded(3));
+    sim::Time t = bounds.horizon / 20 +
+                  static_cast<sim::Time>(rng.NextBounded(
+                      static_cast<uint64_t>(bounds.horizon / 4)));
+    for (int k = 0; k < kills && t + period <= bounds.horizon; ++k) {
+      // Views advance one primary at a time, so round-robin victims track
+      // the primary rotation: killing 0 forces view 1 (primary 1), etc.
+      const sim::NodeId victim = bounds.first_node + k % bounds.nodes;
+      const uint64_t aux = rng.Next();
+      const bool in_byz_window =
+          victim >= bounds.byz_first_node &&
+          victim < bounds.byz_first_node + bounds.byz_nodes;
+      if (bounds.byz_withhold && bounds.max_byzantine > 0 && in_byz_window &&
+          (k & 1) != 0) {
+        // Odd rounds go Byzantine-silent instead of crashing: same view
+        // change from the backups' perspective, different mechanism.
+        FaultAction a;
+        a.at = t;
+        a.kind = FaultKind::kWithhold;
+        a.node = victim;
+        a.window = period * 9 / 10;
+        a.aux = aux;
+        schedule.actions.push_back(std::move(a));
+      } else {
+        FaultAction crash;
+        crash.at = t;
+        crash.kind = FaultKind::kCrash;
+        crash.node = victim;
+        crash.aux = aux;
+        schedule.actions.push_back(std::move(crash));
+        FaultAction restart;
+        restart.at = t + period * 9 / 10;
+        restart.kind = FaultKind::kRestart;
+        restart.node = victim;
+        schedule.actions.push_back(std::move(restart));
+      }
+      t += period;
+    }
+    // Burst schedules carry nothing else: at most one node is ever faulty
+    // at a time, so the fault budget holds by construction, and the plain
+    // crash/restart/withhold actions shrink like any other schedule.
+    return schedule;
+  }
 
   const int num_events = 1 + static_cast<int>(rng.NextBounded(6));
   std::vector<sim::Time> times;
@@ -106,10 +173,38 @@ FaultSchedule GenerateSchedule(uint64_t seed, const FaultBounds& bounds) {
   bool partitioned = false;
   bool spiked = false;
   bool coordinator_crashed = false;
+  // Nodes that ever went Byzantine: they stay charged against the fault
+  // budget for the whole run (a lying replica does not "recover" when its
+  // window closes) and are never also crashed by this schedule.
+  std::set<sim::NodeId> byz_set;
+  const int fault_cap = std::max(bounds.max_crashed, bounds.max_byzantine);
+  auto is_byz = [&byz_set](sim::NodeId id) { return byz_set.count(id) > 0; };
 
   for (sim::Time t : times) {
+    const int total_faulty = crashed_count + static_cast<int>(byz_set.size());
+    int crash_eligible = 0;
+    for (int i = 0; i < bounds.nodes; ++i) {
+      if (!crashed[i] && !is_byz(bounds.first_node + i)) ++crash_eligible;
+    }
+    // Byzantine victims: a node already Byzantine can be re-targeted for
+    // free; a fresh one needs headroom in both the Byzantine count and the
+    // combined budget.
+    std::vector<sim::NodeId> byz_eligible;
+    if (bounds.max_byzantine > 0) {
+      const bool budget =
+          static_cast<int>(byz_set.size()) < bounds.max_byzantine &&
+          total_faulty < fault_cap;
+      for (int i = 0; i < bounds.byz_nodes; ++i) {
+        const sim::NodeId id = bounds.byz_first_node + i;
+        const int ci = static_cast<int>(id - bounds.first_node);
+        const bool is_crashed = ci >= 0 && ci < bounds.nodes && crashed[ci];
+        if (is_byz(id) || (budget && !is_crashed)) byz_eligible.push_back(id);
+      }
+    }
+
     std::vector<FaultKind> feasible;
-    if (bounds.nodes > 0 && crashed_count < bounds.max_crashed) {
+    if (bounds.nodes > 0 && crashed_count < bounds.max_crashed &&
+        crash_eligible > 0 && total_faulty < fault_cap) {
       feasible.push_back(FaultKind::kCrash);
       // Crashes are the bread and butter; double their weight relative to
       // the single-shot topology toggles.
@@ -136,6 +231,14 @@ FaultSchedule GenerateSchedule(uint64_t seed, const FaultBounds& bounds) {
     if (!bounds.shard_groups.empty() && !partitioned) {
       feasible.push_back(FaultKind::kShardPartition);
     }
+    // Byzantine kinds enter the pool only for bounds that set
+    // max_byzantine, under the same stream-stability contract.
+    if (!byz_eligible.empty()) {
+      if (bounds.byz_equivocate) feasible.push_back(FaultKind::kEquivocate);
+      if (bounds.byz_withhold) feasible.push_back(FaultKind::kWithhold);
+      if (bounds.byz_mutate) feasible.push_back(FaultKind::kMutateDigest);
+      if (bounds.byz_replay) feasible.push_back(FaultKind::kReplayStale);
+    }
     if (feasible.empty()) continue;
 
     FaultAction a;
@@ -145,9 +248,9 @@ FaultSchedule GenerateSchedule(uint64_t seed, const FaultBounds& bounds) {
     switch (a.kind) {
       case FaultKind::kCrash: {
         int pick = static_cast<int>(
-            rng.NextBounded(static_cast<uint64_t>(bounds.nodes - crashed_count)));
+            rng.NextBounded(static_cast<uint64_t>(crash_eligible)));
         for (int i = 0; i < bounds.nodes; ++i) {
-          if (crashed[i]) continue;
+          if (crashed[i] || is_byz(bounds.first_node + i)) continue;
           if (pick-- == 0) {
             a.node = bounds.first_node + i;
             crashed[i] = true;
@@ -229,6 +332,19 @@ FaultSchedule GenerateSchedule(uint64_t seed, const FaultBounds& bounds) {
         partitioned = true;
         break;
       }
+      case FaultKind::kEquivocate:
+      case FaultKind::kWithhold:
+      case FaultKind::kMutateDigest:
+      case FaultKind::kReplayStale: {
+        a.node = byz_eligible[rng.NextBounded(byz_eligible.size())];
+        a.window = (100 + static_cast<sim::Duration>(rng.NextBounded(500))) *
+                   sim::kMillisecond;
+        // Windows close by the horizon so the quiesce phase measures
+        // recovery, not live misbehaviour.
+        a.window = std::min(a.window, bounds.horizon - a.at);
+        byz_set.insert(a.node);
+        break;
+      }
     }
     schedule.actions.push_back(std::move(a));
   }
@@ -264,6 +380,77 @@ FaultSchedule GenerateSchedule(uint64_t seed, const FaultBounds& bounds) {
     a.kind = FaultKind::kRestart;
     a.node = bounds.coordinator;
     schedule.actions.push_back(std::move(a));
+  }
+  return schedule;
+}
+
+FaultSchedule RestoreScheduleTail(FaultSchedule schedule,
+                                  const FaultBounds& bounds) {
+  // Replay the surviving actions in time order (the vector may interleave
+  // tail restores with injected faults after partial deletion) to find the
+  // end-of-schedule world state.
+  std::vector<const FaultAction*> order;
+  order.reserve(schedule.actions.size());
+  for (const FaultAction& a : schedule.actions) order.push_back(&a);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const FaultAction* x, const FaultAction* y) {
+                     return x->at < y->at;
+                   });
+  bool partitioned = false;
+  bool spiked = false;
+  bool coordinator_crashed = false;
+  std::set<sim::NodeId> crashed;
+  for (const FaultAction* a : order) {
+    switch (a->kind) {
+      case FaultKind::kCrash:
+        crashed.insert(a->node);
+        break;
+      case FaultKind::kCoordinatorCrash:
+        crashed.insert(a->node);
+        coordinator_crashed = true;
+        break;
+      case FaultKind::kRestart:
+        crashed.erase(a->node);
+        break;
+      case FaultKind::kPartition:
+      case FaultKind::kShardPartition:
+        partitioned = true;
+        break;
+      case FaultKind::kHeal:
+        partitioned = false;
+        break;
+      case FaultKind::kDelaySpike:
+        spiked = true;
+        break;
+      case FaultKind::kDelayRestore:
+        spiked = false;
+        break;
+      case FaultKind::kEquivocate:
+      case FaultKind::kWithhold:
+      case FaultKind::kMutateDigest:
+      case FaultKind::kReplayStale:
+        break;  // Windowed: expires on its own, no tail restore needed.
+    }
+  }
+
+  // Mirror GenerateSchedule's tail exactly (same kinds, same times).
+  auto append = [&schedule](FaultKind kind, sim::Time at, sim::NodeId node) {
+    FaultAction a;
+    a.at = at;
+    a.kind = kind;
+    a.node = node;
+    schedule.actions.push_back(std::move(a));
+  };
+  if (partitioned) append(FaultKind::kHeal, bounds.horizon, sim::kInvalidNode);
+  if (spiked) {
+    append(FaultKind::kDelayRestore, bounds.horizon, sim::kInvalidNode);
+  }
+  for (sim::NodeId id : crashed) {
+    const bool is_coordinator =
+        coordinator_crashed && id == bounds.coordinator;
+    const bool restart = is_coordinator ? bounds.coordinator_restartable
+                                        : bounds.restartable;
+    if (restart) append(FaultKind::kRestart, bounds.horizon, id);
   }
   return schedule;
 }
@@ -308,6 +495,28 @@ void InjectSchedule(sim::Simulation* sim, const FaultSchedule& schedule) {
         case FaultKind::kDelayRestore:
           sim->SetNetworkOptions(base);
           break;
+        case FaultKind::kEquivocate:
+        case FaultKind::kWithhold:
+        case FaultKind::kMutateDigest:
+        case FaultKind::kReplayStale: {
+          // Armed through the adapter-attached interposer; without one the
+          // action degrades to a no-op (like restarting a live node), which
+          // keeps the shrinker's subset-removal sound.
+          sim::ByzantineInterposer* byz = sim->byzantine_interposer();
+          if (byz == nullptr) break;
+          sim->MarkByzantine(a.node);
+          const sim::Time until = a.at + a.window;
+          if (a.kind == FaultKind::kEquivocate) {
+            byz->BeginEquivocate(a.node, until, a.aux);
+          } else if (a.kind == FaultKind::kWithhold) {
+            byz->BeginWithhold(a.node, until, a.aux);
+          } else if (a.kind == FaultKind::kMutateDigest) {
+            byz->BeginMutate(a.node, until, a.aux);
+          } else {
+            byz->BeginReplay(a.node, until, a.aux);
+          }
+          break;
+        }
       }
     });
   }

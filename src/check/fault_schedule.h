@@ -71,6 +71,39 @@ struct FaultBounds {
   /// shard-partition actions that isolate exactly one whole group from
   /// the rest of the world (the "minority shard cut" scenario).
   std::vector<std::vector<sim::NodeId>> shard_groups;
+
+  // --- Byzantine faults (BFT protocols; armed via sim/byzantine.h) ---
+
+  /// Maximum number of nodes that ever turn Byzantine in one schedule.
+  /// 0 (the default) disables every Byzantine kind, which keeps schedules
+  /// for all pre-existing bounds shapes bit-for-bit unchanged. A node that
+  /// was ever Byzantine counts as faulty for the rest of the run, and the
+  /// generator caps |crashed ∪ byzantine| at max(max_crashed,
+  /// max_byzantine) — in BFT models crash and Byzantine failures draw on
+  /// the same f.
+  int max_byzantine = 0;
+
+  /// Byzantine-injectable nodes are [byz_first_node, byz_first_node +
+  /// byz_nodes). Independent of the crash window so an adapter can, e.g.,
+  /// shield its primary from crashes but still let backups lie.
+  sim::NodeId byz_first_node = 0;
+  int byz_nodes = 0;
+
+  /// Per-kind opt-in: adapters enable exactly the misbehaviours their
+  /// protocol claims to tolerate (equivocation needs a protocol forge
+  /// hook to be meaningful; withhold/replay are protocol-blind).
+  bool byz_equivocate = false;
+  bool byz_withhold = false;
+  bool byz_mutate = false;
+  bool byz_replay = false;
+
+  /// Non-zero enables view-change-heavy schedules: with probability 1/2 a
+  /// schedule becomes a burst that repeatedly silences the (round-robin)
+  /// primary — crash+restart, or a withhold window when byz_withhold is
+  /// set — spaced `view_change_period` apart, forcing consecutive view
+  /// changes mid-client-burst. Requires `restartable`; burst schedules
+  /// carry no other fault kinds so the fault budget is trivially honored.
+  sim::Duration view_change_period = 0;
 };
 
 enum class FaultKind : uint8_t {
@@ -84,6 +117,14 @@ enum class FaultKind : uint8_t {
   kCoordinatorCrash,
   /// Isolate one of FaultBounds::shard_groups from everyone else.
   kShardPartition,
+  /// Byzantine windows (node + window duration): conflicting proposals to
+  /// disjoint halves / dropped outbound messages / corrupted payloads /
+  /// re-sent stale captures. Injection arms the simulation's attached
+  /// ByzantineInterposer and is a no-op when none is attached.
+  kEquivocate,
+  kWithhold,
+  kMutateDigest,
+  kReplayStale,
 };
 
 const char* FaultKindName(FaultKind k);
@@ -103,6 +144,10 @@ struct FaultAction {
   sim::Duration spike_min = 0;
   sim::Duration spike_max = 0;
 
+  /// Duration of a Byzantine behaviour window (the misbehaviour runs in
+  /// [at, at + window)). Zero for every non-Byzantine kind.
+  sim::Duration window = 0;
+
   /// Generator-drawn auxiliary randomness. Sim-based adapters ignore it;
   /// the FloodSet adapter uses it to derive how far a crashing process
   /// gets through its round-r broadcast.
@@ -121,6 +166,18 @@ struct FaultSchedule {
 /// Deterministically expands `seed` into a schedule within `bounds`.
 /// The same (seed, bounds) pair always yields the same schedule.
 FaultSchedule GenerateSchedule(uint64_t seed, const FaultBounds& bounds);
+
+/// Re-establishes GenerateSchedule's closed-world tail guarantee on a
+/// schedule whose actions were deleted or time-shifted: if the surviving
+/// actions leave the network partitioned or delay-spiked at the end, the
+/// matching heal / unspike is re-appended at the horizon, and restartable
+/// protocols get their still-crashed nodes restarted there again.
+/// Idempotent. The shrinker routes every candidate through this before
+/// replaying: without it, a liveness violation "shrinks" to an unhealed
+/// partition — a schedule the generator can never emit, under which any
+/// quorum protocol blocks by construction, so the repro proves nothing.
+FaultSchedule RestoreScheduleTail(FaultSchedule schedule,
+                                  const FaultBounds& bounds);
 
 /// Arms every action as a sim callback. Call after the protocol's
 /// processes are spawned and before running. Crash/restart actions on

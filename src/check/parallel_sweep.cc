@@ -94,8 +94,10 @@ SweepReport RunSweep(
       auto replay = [&](const FaultSchedule& candidate) {
         return RunSchedule(factory, seed, candidate).violated();
       };
-      repro = ShrinkSchedule(std::move(repro), replay, options.shrink_max_runs);
-      repro = CanonicalizeSchedule(std::move(repro), replay);
+      const FaultBounds bounds = factory(seed)->bounds();
+      repro = ShrinkSchedule(std::move(repro), bounds, replay,
+                             options.shrink_max_runs);
+      repro = CanonicalizeSchedule(std::move(repro), bounds, replay);
     }
     o.repro = "seed " + std::to_string(seed) + ": " + r.violations[0] +
               " | " + repro.ToString();

@@ -7,7 +7,7 @@
 
 namespace consensus40::check {
 
-FaultSchedule ShrinkSchedule(FaultSchedule schedule,
+FaultSchedule ShrinkSchedule(FaultSchedule schedule, const FaultBounds& bounds,
                              const ScheduleTestFn& still_violates,
                              int max_runs, ShrinkStats* stats,
                              ThreadPool* pool) {
@@ -17,6 +17,10 @@ FaultSchedule ShrinkSchedule(FaultSchedule schedule,
   st->removed = 0;
   st->snapped = 0;
   st->speculative = 0;
+
+  // Idempotent on generator output; repairs hand-built inputs up front so
+  // the invariant "current schedule is closed-world" holds from run one.
+  schedule = RestoreScheduleTail(std::move(schedule), bounds);
 
   const size_t width =
       pool != nullptr ? static_cast<size_t>(pool->workers()) : 1;
@@ -42,7 +46,13 @@ FaultSchedule ShrinkSchedule(FaultSchedule schedule,
         const size_t s = starts[k];
         const size_t e = std::min(s + chunk, schedule.actions.size());
         c.actions.erase(c.actions.begin() + s, c.actions.begin() + e);
-        hits[k] = still_violates(c) ? 1 : 0;
+        c = RestoreScheduleTail(std::move(c), bounds);
+        // A deletion the repair fully re-appends (e.g. removing the tail
+        // heal) cannot shrink the schedule; skip the replay.
+        hits[k] = c.actions.size() < schedule.actions.size() &&
+                          still_violates(c)
+                      ? 1
+                      : 0;
         candidates[k] = std::move(c);
       };
       if (pool != nullptr && starts.size() > 1) {
@@ -62,7 +72,9 @@ FaultSchedule ShrinkSchedule(FaultSchedule schedule,
         const size_t end =
             std::min(starts[k] + chunk, schedule.actions.size());
         if (hits[k]) {
-          st->removed += static_cast<int>(end - starts[k]);
+          // Net of anything the tail repair re-appended.
+          st->removed += static_cast<int>(schedule.actions.size() -
+                                          candidates[k].actions.size());
           schedule = std::move(candidates[k]);
           removed_any = true;
           // Do not advance: the next chunk slid into `starts[k]`.
@@ -82,10 +94,17 @@ FaultSchedule ShrinkSchedule(FaultSchedule schedule,
 }
 
 FaultSchedule CanonicalizeSchedule(FaultSchedule schedule,
+                                   const FaultBounds& bounds,
                                    const ScheduleTestFn& still_violates,
                                    ShrinkStats* stats) {
   ShrinkStats local;
   ShrinkStats* st = stats != nullptr ? stats : &local;
+
+  // Rejects (without a replay) any edit that breaks the closed-world
+  // tail — snapping could otherwise move a heal ahead of its partition.
+  auto well_formed = [&bounds](const FaultSchedule& c) {
+    return RestoreScheduleTail(c, bounds).actions.size() == c.actions.size();
+  };
 
   // Coarsest-first time grains: a repro that survives snapping to 100 ms
   // reads (and diffs) better than one snapped to 1 ms.
@@ -109,6 +128,22 @@ FaultSchedule CanonicalizeSchedule(FaultSchedule schedule,
       const sim::Time snapped = (at + g / 2) / g * g;
       FaultSchedule c = schedule;
       c.actions[i].at = snapped;
+      if (!well_formed(c)) continue;  // Try the next, finer grain.
+      ++st->runs;
+      if (still_violates(c)) {
+        schedule = std::move(c);
+        ++st->snapped;
+        break;
+      }
+    }
+    // Byzantine windows snap like times: the window is a duration, so the
+    // same grains apply and a canonical repro reads e.g. "(1,300ms)".
+    for (sim::Duration g : kGrains) {
+      const sim::Duration w = schedule.actions[i].window;
+      if (w % g == 0) break;
+      const sim::Duration snapped = (w + g / 2) / g * g;
+      FaultSchedule c = schedule;
+      c.actions[i].window = snapped;
       ++st->runs;
       if (still_violates(c)) {
         schedule = std::move(c);

@@ -42,13 +42,22 @@ struct ShrinkStats {
 /// evaluations. `schedule` must already violate; the result is 1-minimal
 /// w.r.t. single-action removal when the budget was not exhausted.
 ///
+/// Every candidate is repaired with RestoreScheduleTail(bounds) before it
+/// is replayed, so the shrinker only ever proposes schedules the
+/// generator could have emitted. Deleting the tail heal of a partition
+/// would otherwise "preserve" any liveness violation trivially — the
+/// cluster can never finish behind a permanent partition — and the
+/// printed repro would mask the real bug. A deletion whose repair merely
+/// re-appends what was deleted is rejected without a replay (it cannot
+/// shrink the schedule).
+///
 /// With a `pool`, candidate evaluation is speculative: up to workers()
 /// deletion candidates are evaluated concurrently against the current
 /// schedule, then committed in scan order, keeping only the first hit.
 /// The committed decision sequence — and therefore the result, and
 /// `stats->runs` — is byte-identical to the serial scan; discarded
 /// evaluations are tallied in `stats->speculative` instead.
-FaultSchedule ShrinkSchedule(FaultSchedule schedule,
+FaultSchedule ShrinkSchedule(FaultSchedule schedule, const FaultBounds& bounds,
                              const ScheduleTestFn& still_violates,
                              int max_runs = 400, ShrinkStats* stats = nullptr,
                              ThreadPool* pool = nullptr);
@@ -58,8 +67,11 @@ FaultSchedule ShrinkSchedule(FaultSchedule schedule,
 /// coarsest round granularity (100/50/20/10/5/1 ms, nearest multiple)
 /// that still violates. Each trial costs one `still_violates` run,
 /// accumulated into `stats` (which is NOT reset — pass the same struct
-/// as ShrinkSchedule to get a combined budget picture).
+/// as ShrinkSchedule to get a combined budget picture). Candidates that
+/// break the closed-world tail (e.g. a heal snapped before its partition)
+/// are rejected outright, same rule as ShrinkSchedule.
 FaultSchedule CanonicalizeSchedule(FaultSchedule schedule,
+                                   const FaultBounds& bounds,
                                    const ScheduleTestFn& still_violates,
                                    ShrinkStats* stats = nullptr);
 

@@ -154,6 +154,17 @@ void HotStuffReplica::TryPropose() {
   Multicast(Everyone(), proposal);
 }
 
+bool HotStuffReplica::IsCommittedAncestor(const crypto::Digest& hash,
+                                          uint64_t height) const {
+  crypto::Digest cursor = last_committed_hash_;
+  while (true) {
+    if (cursor == hash) return true;
+    const Block* b = GetBlock(cursor);
+    if (b == nullptr || b->height <= height) return false;
+    cursor = b->parent;
+  }
+}
+
 void HotStuffReplica::CommitChainUpTo(const crypto::Digest& hash) {
   // Collect the uncommitted chain ending at `hash`, then execute in order.
   std::vector<const Block*> chain;
@@ -162,7 +173,13 @@ void HotStuffReplica::CommitChainUpTo(const crypto::Digest& hash) {
     const Block* b = GetBlock(cursor);
     if (b == nullptr) return;  // Missing ancestry; cannot commit yet.
     if (b->height <= last_committed_height_) {
-      // Fork below the committed height: would be a safety violation.
+      // Dropping at-or-below the committed height without having passed
+      // through the committed head. If the commit TARGET itself is an
+      // already-committed ancestor, this is just a stale decision — QCs
+      // arrive out of order under delay spikes and withhold windows — and
+      // there is nothing to do. Anything else (a chain that bypasses the
+      // head and merges below it) is a real fork of committed state.
+      if (chain.empty() && IsCommittedAncestor(cursor, b->height)) return;
       violations_.push_back("commit of block at height " +
                             std::to_string(b->height) +
                             " below committed height " +

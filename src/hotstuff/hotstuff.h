@@ -119,6 +119,11 @@ class HotStuffReplica : public sim::Process {
   void TryPropose();
   void ProcessBlock(const Block& block);
   void CommitChainUpTo(const crypto::Digest& hash);
+  /// True iff `hash` is the committed head or one of its ancestors.
+  /// `height` bounds the walk: blocks strictly descend in height, so once
+  /// the cursor is at or below `hash`'s height without matching, it never
+  /// will.
+  bool IsCommittedAncestor(const crypto::Digest& hash, uint64_t height) const;
   void AdvanceView(uint64_t view);
   void ResetViewTimer();
   const Block* GetBlock(const crypto::Digest& hash) const;

@@ -8,13 +8,15 @@
 #include "check/adapters.h"
 #include "crypto/signatures.h"
 #include "hotstuff/hotstuff.h"
+#include "sim/byzantine.h"
 
 namespace consensus40::check {
 namespace {
 
 class HotStuffCheckAdapter : public ProtocolAdapter {
  public:
-  explicit HotStuffCheckAdapter(uint64_t seed) : registry_(seed, kN + 4) {}
+  explicit HotStuffCheckAdapter(uint64_t seed, int ops = 4)
+      : registry_(seed, kN + 4), ops_(ops) {}
 
   const char* name() const override { return "hotstuff"; }
 
@@ -32,7 +34,7 @@ class HotStuffCheckAdapter : public ProtocolAdapter {
     for (int i = 0; i < kN; ++i) {
       replicas_.push_back(sim->Spawn<hotstuff::HotStuffReplica>(opts));
     }
-    client_ = sim->Spawn<hotstuff::HotStuffClient>(kN, &registry_, kOps);
+    client_ = sim->Spawn<hotstuff::HotStuffClient>(kN, &registry_, ops_);
   }
 
   bool Done() const override { return client_->done(); }
@@ -53,12 +55,45 @@ class HotStuffCheckAdapter : public ProtocolAdapter {
     return o;
   }
 
- private:
+ protected:
   static constexpr int kN = 4;
-  static constexpr int kOps = 4;
   crypto::KeyRegistry registry_;
+  int ops_;
   std::vector<hotstuff::HotStuffReplica*> replicas_;
   hotstuff::HotStuffClient* client_ = nullptr;
+};
+
+/// In-bounds Byzantine HotStuff: any one of the four replicas may
+/// withhold, corrupt (generic degradation: dropped), or replay outbound
+/// traffic. A silent or lying leader is absorbed by the pacemaker — views
+/// rotate past it — and the three-chain commit rule plus the
+/// replica-level SafeNode checks (self-reported as violations) must hold
+/// for every schedule.
+class HotStuffByzantineAdapter : public HotStuffCheckAdapter {
+ public:
+  explicit HotStuffByzantineAdapter(uint64_t seed)
+      : HotStuffCheckAdapter(seed, /*ops=*/12) {}
+
+  const char* name() const override { return "hotstuff_byz"; }
+
+  FaultBounds bounds() const override {
+    FaultBounds b = HotStuffCheckAdapter::bounds();
+    b.max_byzantine = 1;
+    b.byz_first_node = 0;
+    b.byz_nodes = kN;
+    b.byz_withhold = true;
+    b.byz_mutate = true;
+    b.byz_replay = true;
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    HotStuffCheckAdapter::Build(sim);
+    byz_.Attach(sim);
+  }
+
+ private:
+  sim::ByzantineInterposer byz_;
 };
 
 }  // namespace
@@ -66,6 +101,12 @@ class HotStuffCheckAdapter : public ProtocolAdapter {
 AdapterFactory MakeHotStuffAdapter() {
   return [](uint64_t seed) {
     return std::make_unique<HotStuffCheckAdapter>(seed);
+  };
+}
+
+AdapterFactory MakeHotStuffByzantineAdapter() {
+  return [](uint64_t seed) {
+    return std::make_unique<HotStuffByzantineAdapter>(seed);
   };
 }
 

@@ -183,9 +183,14 @@ void PbftReplica::FlushBatch() {
 void PbftReplica::MaybeSendCommit(uint64_t seq) {
   Slot& slot = slots_[seq];
   if (!slot.pre_prepared || slot.sent_commit) return;
-  // prepared(m,v,n): pre-prepare + 2f prepares from distinct backups.
+  // prepared(m,v,n): pre-prepare + 2f prepares from distinct backups,
+  // all in THIS slot's view and for this digest — a slot that survived a
+  // view change may still hold stale votes from the old view, and mixing
+  // views would both weaken the quorum and poison the prepared proof this
+  // slot contributes to the next view change.
   std::set<sim::NodeId> backups;
   for (const auto& [r, vote] : slot.prepares) {
+    if (vote.view != slot.view || !(vote.digest == slot.digest)) continue;
     if (r != PrimaryOf(slot.view)) backups.insert(r);
   }
   if (static_cast<int>(backups.size()) < 2 * f_) return;
@@ -308,8 +313,21 @@ void PbftReplica::StartViewChange(int64_t new_view) {
     p.cmds = slot.cmds;
     p.client_sigs = slot.client_sigs;
     p.primary_sig = slot.primary_sig;
-    for (const auto& [r, vote] : slot.prepares) p.prepares.push_back(vote);
-    vc->prepared.push_back(std::move(p));
+    // Only votes for this slot's (view, digest): slots that lived through
+    // a view change can hold stale votes, and one stale vote makes the
+    // whole proof fail verification downstream.
+    for (const auto& [r, vote] : slot.prepares) {
+      if (vote.view == slot.view && vote.digest == slot.digest) {
+        p.prepares.push_back(vote);
+      }
+    }
+    // Ship only proofs that verify: slots adopted as executed through a
+    // new-view (or state transfer) carry no prepare certificate — peers
+    // cover them via their own proofs or state transfer, and an invalid
+    // proof would make receivers discard our whole view-change.
+    if (p.Verify(*options_.registry, options_.n)) {
+      vc->prepared.push_back(std::move(p));
+    }
   }
   crypto::Sha256 h;
   h.Update(&vc->new_view, sizeof(vc->new_view));
@@ -317,8 +335,12 @@ void PbftReplica::StartViewChange(int64_t new_view) {
   vc->sig = options_.registry->Sign(id(), h.Finish());
   Multicast(Everyone(), vc);
 
-  // If the new view stalls (its primary is also faulty), escalate.
-  SetTimer(options_.request_timeout * 2, [this, new_view] {
+  // If the new view stalls (its primary is also faulty), escalate. Only
+  // the newest watchdog stays armed: a stale one surviving a NewView
+  // install would count its patience from the wrong (older) negotiation
+  // and depose a healthy primary early.
+  CancelTimer(view_change_timer_);
+  view_change_timer_ = SetTimer(options_.request_timeout * 2, [this, new_view] {
     if (in_view_change_ && pending_view_ == new_view) {
       StartViewChange(new_view + 1);
     }
@@ -343,11 +365,18 @@ void PbftReplica::ProcessNewView(const NewViewMsg& msg) {
   if (static_cast<int>(distinct.size()) < 2 * f_ + 1) return;
 
   // Verify the re-issued pre-prepares match the highest-view prepared
-  // proofs in the view-change set (the O computation).
+  // proofs in the view-change set (the O computation). Invalid proofs are
+  // SKIPPED, not fatal — the builder skips them when computing O, so a
+  // receiver that instead rejected the whole message would disagree with
+  // the builder about O and discard every new-view containing one bad
+  // proof: the cluster then re-campaigns forever without ever installing
+  // a view. Skipping is safe because a proof that does not verify cannot
+  // bind any (seq, digest), and the digest cross-check below still
+  // rejects a primary that reissues against a *valid* proof incorrectly.
   std::map<uint64_t, const PreparedProof*> best;
   for (const auto& vc : msg.view_changes) {
     for (const PreparedProof& p : vc->prepared) {
-      if (!p.Verify(*options_.registry, options_.n)) return;
+      if (!p.Verify(*options_.registry, options_.n)) continue;
       auto it = best.find(p.seq);
       if (it == best.end() || p.view > it->second->view) best[p.seq] = &p;
     }
@@ -368,7 +397,17 @@ void PbftReplica::ProcessNewView(const NewViewMsg& msg) {
   view_ = msg.view;
   in_view_change_ = false;
   pending_view_ = view_;
-  view_change_msgs_.erase(view_);
+  CancelTimer(view_change_timer_);
+  view_change_timer_ = 0;
+  // GC all view-change bookkeeping at or below the installed view, not
+  // just the winner's entry: skipped views (we negotiated v+1 but v+2
+  // won) and views that lost a race would otherwise accumulate forever
+  // across a view-change storm. Entries for views above the installed one
+  // stay — they may be tomorrow's quorum.
+  view_change_msgs_.erase(view_change_msgs_.begin(),
+                          view_change_msgs_.upper_bound(view_));
+  built_new_views_.erase(built_new_views_.begin(),
+                         built_new_views_.upper_bound(view_));
   last_new_view_ = std::make_shared<NewViewMsg>(msg);
   // Fresh patience: stale per-request watchdogs from the previous view
   // would depose the new primary before it can re-drive the requests.
@@ -452,6 +491,17 @@ void PbftReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
       }
       return;
     }
+    if (slot.pre_prepared && slot.view != m->view) {
+      // Leftover slot from an older view that no new-view reissued: its
+      // votes belong to the old view and must not count toward this one.
+      const bool was_executed = slot.executed;
+      slot = Slot();
+      slot.executed = was_executed;
+      if (was_executed) {
+        slot.prepared = true;
+        slot.committed = true;
+      }
+    }
     slot.view = m->view;
     slot.pre_prepared = true;
     slot.digest = m->digest;
@@ -501,8 +551,13 @@ void PbftReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
     Slot& slot = slots_[m->vote.seq];
     if (slot.pre_prepared && !(slot.digest == m->vote.digest)) return;
     slot.commits[from] = m->vote;
-    if (slot.prepared && !slot.committed &&
-        static_cast<int>(slot.commits.size()) >= 2 * f_ + 1) {
+    // Same view/digest hygiene as the prepare quorum: stale commits from
+    // a pre-view-change incarnation of this slot do not count.
+    int matching = 0;
+    for (const auto& [r, vote] : slot.commits) {
+      if (vote.view == slot.view && vote.digest == slot.digest) ++matching;
+    }
+    if (slot.prepared && !slot.committed && matching >= 2 * f_ + 1) {
       slot.committed = true;
       MaybeExecute();
     }

@@ -222,6 +222,12 @@ class PbftReplica : public sim::Process {
   const std::vector<std::string>& violations() const { return violations_; }
   int view_changes_sent() const { return view_changes_sent_; }
   size_t LogSizeForTest() const { return slots_.size(); }
+  /// Live view-change bookkeeping entries (pending view-change message
+  /// sets + built-new-view guards). Bounded-growth regression hook: after
+  /// a storm of view changes this must not scale with the storm length.
+  size_t ViewChangeBookkeepingForTest() const {
+    return view_change_msgs_.size() + built_new_views_.size();
+  }
 
   void OnStart() override {}
   void OnMessage(sim::NodeId from, const sim::Message& msg) override;
@@ -302,6 +308,11 @@ class PbftReplica : public sim::Process {
       view_change_msgs_;
 
   int view_changes_sent_ = 0;
+  /// Escalation watchdog for the pending view change. One generation at a
+  /// time: re-armed by StartViewChange, cancelled when a NewView installs,
+  /// so a watchdog from a superseded negotiation can never fire into a
+  /// healthy later view.
+  uint64_t view_change_timer_ = 0;
   std::set<int64_t> built_new_views_;  ///< Guard against duplicate NewViews.
   /// Latest installed NewView, kept to bring restarted replicas up to date.
   std::shared_ptr<const NewViewMsg> last_new_view_;

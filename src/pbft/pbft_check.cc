@@ -1,8 +1,16 @@
-/// Checker adapters for PBFT: the in-bounds n=3f+1 configuration, and the
-/// out-of-bounds n=3f configuration (n=3, f=1) where the implementation's
-/// quorum math degenerates to f'=0 — replicas commit straight from a valid
-/// pre-prepare — so an equivocating primary forks the two honest backups.
+/// Checker adapters for PBFT: the in-bounds n=3f+1 configuration, the
+/// in-bounds Byzantine variant (one interposer-driven liar inside the
+/// stated f), and the out-of-bounds n=3f configuration (n=3, f=1) where
+/// the implementation's quorum math degenerates to f'=0 — replicas commit
+/// straight from a valid pre-prepare — so one equivocating primary
+/// (f'+1 liars for the degenerate f'=0) forks the two honest backups.
+///
+/// All Byzantine behaviour rides the reusable sim::ByzantineInterposer;
+/// the protocol knowledge lives in the forge/corrupt hooks built by
+/// MakePbftByzantineHooks below, not in adversary subclasses.
 
+#include <algorithm>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -11,13 +19,148 @@
 #include "check/adapters.h"
 #include "crypto/signatures.h"
 #include "pbft/pbft.h"
+#include "sim/byzantine.h"
 
 namespace consensus40::check {
 namespace {
 
+/// Shared forgery material across all hooks of one cluster: real
+/// client-signed commands harvested from observed pre-prepares, plus the
+/// (view, seq) -> {real digest, twin digest} fork map that keeps a liar's
+/// prepare/commit votes consistent with whichever pre-prepare each half of
+/// the cluster received.
+struct PbftForkState {
+  std::map<crypto::Digest, std::pair<smr::Command, crypto::Signature>>
+      commands;
+  std::map<std::pair<int64_t, uint64_t>, std::pair<crypto::Digest,
+                                                   crypto::Digest>>
+      forks;
+};
+
+/// Re-points `vote` at the other side of the recorded fork for its
+/// (view, seq) — or at a phantom digest when no fork is on record — and
+/// re-signs it as `from`. The signature stays valid: this is a lie, not
+/// line noise.
+void FlipVote(const PbftForkState& st, const crypto::KeyRegistry* registry,
+              sim::NodeId from, pbft::SignedVote* vote) {
+  auto it = st.forks.find({vote->view, vote->seq});
+  if (it != st.forks.end()) {
+    vote->digest = vote->digest == it->second.first ? it->second.second
+                                                    : it->second.first;
+  } else {
+    vote->digest[0] ^= 0xff;
+  }
+  vote->sig = registry->Sign(from, vote->SigningDigest());
+}
+
+/// Protocol hooks that make the generic interposer speak PBFT:
+///  - forge_twin reorders a pre-prepare batch (or substitutes a different
+///    harvested client command), re-signs it as the sender, and records
+///    the fork so later votes flip consistently; checkpoints lie about the
+///    state digest; view-change traffic is withheld (a coherent forged
+///    view-change proof would need honest keys the liar does not have).
+///  - corrupt byte-flips the digest WITHOUT re-signing, so the result
+///    fails verification at honest receivers (exercises validation paths).
+/// Everything is re-signed with the sender's real key via the shared
+/// registry — a Byzantine node can lie, but never fabricate a client
+/// request or another replica's signature.
+sim::ByzantineInterposer::Hooks MakePbftByzantineHooks(
+    const crypto::KeyRegistry* registry) {
+  using Replica = pbft::PbftReplica;
+  auto st = std::make_shared<PbftForkState>();
+
+  sim::ByzantineInterposer::Hooks hooks;
+  hooks.observe = [st](sim::NodeId, const sim::MessagePtr& m) {
+    const auto* pp = dynamic_cast<const Replica::PrePrepareMsg*>(m.get());
+    if (pp == nullptr) return;
+    const size_t n = std::min(pp->cmds.size(), pp->client_sigs.size());
+    for (size_t i = 0; i < n && st->commands.size() < 8; ++i) {
+      st->commands.emplace(
+          pp->cmds[i].Hash(),
+          std::make_pair(pp->cmds[i], pp->client_sigs[i]));
+    }
+  };
+
+  hooks.forge_twin = [st, registry](
+                         sim::NodeId from,
+                         const sim::MessagePtr& m) -> sim::MessagePtr {
+    if (const auto* pp = dynamic_cast<const Replica::PrePrepareMsg*>(m.get())) {
+      auto twin = std::make_shared<Replica::PrePrepareMsg>(*pp);
+      if (twin->cmds.size() >= 2) {
+        std::reverse(twin->cmds.begin(), twin->cmds.end());
+        std::reverse(twin->client_sigs.begin(), twin->client_sigs.end());
+      } else {
+        bool swapped = false;
+        for (const auto& [hash, cmd_sig] : st->commands) {
+          if (!pp->cmds.empty() && hash == pp->cmds[0].Hash()) continue;
+          twin->cmds = {cmd_sig.first};
+          twin->client_sigs = {cmd_sig.second};
+          swapped = true;
+          break;
+        }
+        // No distinct client-signed material to equivocate with yet.
+        if (!swapped) return m;
+      }
+      twin->digest = Replica::BatchDigest(twin->cmds);
+      twin->sig = registry->Sign(
+          from, Replica::PrePrepareDigest(twin->view, twin->seq, twin->digest));
+      st->forks[{twin->view, twin->seq}] = {pp->digest, twin->digest};
+      return twin;
+    }
+    if (const auto* p = dynamic_cast<const Replica::PrepareMsg*>(m.get())) {
+      auto twin = std::make_shared<Replica::PrepareMsg>(*p);
+      FlipVote(*st, registry, from, &twin->vote);
+      return twin;
+    }
+    if (const auto* c = dynamic_cast<const Replica::CommitMsg*>(m.get())) {
+      auto twin = std::make_shared<Replica::CommitMsg>(*c);
+      FlipVote(*st, registry, from, &twin->vote);
+      return twin;
+    }
+    if (const auto* ck = dynamic_cast<const Replica::CheckpointMsg*>(m.get())) {
+      auto twin = std::make_shared<Replica::CheckpointMsg>(*ck);
+      twin->vote.digest[0] ^= 0xff;
+      twin->vote.sig = registry->Sign(from, twin->vote.SigningDigest());
+      return twin;
+    }
+    if (dynamic_cast<const Replica::ViewChangeMsg*>(m.get()) != nullptr ||
+        dynamic_cast<const Replica::NewViewMsg*>(m.get()) != nullptr) {
+      return nullptr;
+    }
+    return m;
+  };
+
+  hooks.corrupt = [](sim::NodeId, const sim::MessagePtr& m) -> sim::MessagePtr {
+    if (const auto* pp = dynamic_cast<const Replica::PrePrepareMsg*>(m.get())) {
+      auto bad = std::make_shared<Replica::PrePrepareMsg>(*pp);
+      bad->digest[0] ^= 0xff;
+      return bad;
+    }
+    if (const auto* p = dynamic_cast<const Replica::PrepareMsg*>(m.get())) {
+      auto bad = std::make_shared<Replica::PrepareMsg>(*p);
+      bad->vote.digest[0] ^= 0xff;
+      return bad;
+    }
+    if (const auto* c = dynamic_cast<const Replica::CommitMsg*>(m.get())) {
+      auto bad = std::make_shared<Replica::CommitMsg>(*c);
+      bad->vote.digest[0] ^= 0xff;
+      return bad;
+    }
+    if (const auto* ck = dynamic_cast<const Replica::CheckpointMsg*>(m.get())) {
+      auto bad = std::make_shared<Replica::CheckpointMsg>(*ck);
+      bad->vote.digest[0] ^= 0xff;
+      return bad;
+    }
+    return nullptr;
+  };
+
+  return hooks;
+}
+
 class PbftCheckAdapter : public ProtocolAdapter {
  public:
-  explicit PbftCheckAdapter(uint64_t seed) : registry_(seed, kN + 4) {}
+  explicit PbftCheckAdapter(uint64_t seed, int ops = 4)
+      : registry_(seed, kN + 4), ops_(ops) {}
 
   const char* name() const override { return "pbft"; }
 
@@ -38,7 +181,7 @@ class PbftCheckAdapter : public ProtocolAdapter {
     for (int i = 0; i < kN; ++i) {
       replicas_.push_back(sim->Spawn<pbft::PbftReplica>(opts));
     }
-    client_ = sim->Spawn<pbft::PbftClient>(kN, &registry_, kOps);
+    client_ = sim->Spawn<pbft::PbftClient>(kN, &registry_, ops_);
   }
 
   bool Done() const override { return client_->done(); }
@@ -59,69 +202,77 @@ class PbftCheckAdapter : public ProtocolAdapter {
     return o;
   }
 
- private:
+ protected:
   static constexpr int kN = 4;
-  static constexpr int kOps = 4;
   crypto::KeyRegistry registry_;
+  int ops_;
   std::vector<pbft::PbftReplica*> replicas_;
   pbft::PbftClient* client_ = nullptr;
 };
 
-/// Primary that assigns the same sequence numbers to different request
-/// orderings per backup. With n=3f+1 the prepare quorum forces a single
-/// order; at n=3 the degenerate quorum lets both forks commit.
-class EquivocatingPbftPrimary : public pbft::PbftReplica {
+/// In-bounds Byzantine PBFT: one of the four replicas may lie — forged
+/// twin pre-prepares, flipped votes, corrupted digests, withheld or
+/// replayed traffic — inside seed-chosen windows, and schedules may also
+/// be view-change-heavy bursts that repeatedly silence the primary. With
+/// at most f=1 liar the prepare/commit quorums must still force a single
+/// order, so every safety invariant must survive the sweep.
+class PbftByzantineAdapter : public PbftCheckAdapter {
  public:
-  explicit EquivocatingPbftPrimary(pbft::PbftOptions options)
-      : pbft::PbftReplica(options), registry_(options.registry) {}
+  explicit PbftByzantineAdapter(uint64_t seed)
+      : PbftCheckAdapter(seed, /*ops=*/12),
+        byz_(MakePbftByzantineHooks(&registry_)) {}
 
- protected:
-  bool MaybeActMaliciouslyOnRequest(const smr::Command& cmd,
-                                    const crypto::Signature& sig) override {
-    for (const auto& [seen, unused] : pending_) {
-      if (seen == cmd) return true;  // client retry of a swallowed request
-    }
-    pending_.emplace_back(cmd, sig);
-    if (pending_.size() < 2) return true;
-    for (sim::NodeId backup = 1; backup <= 2; ++backup) {
-      for (uint64_t k = 0; k < 2; ++k) {
-        // Backup 1 sees [A, B], backup 2 sees [B, A].
-        const auto& [fork_cmd, fork_sig] =
-            pending_[(k + static_cast<uint64_t>(backup) + 1) % 2];
-        auto pp = std::make_shared<PrePrepareMsg>();
-        pp->view = 0;
-        pp->seq = next_seq_ + k;
-        pp->cmds = {fork_cmd};
-        pp->client_sigs = {fork_sig};
-        pp->digest = BatchDigest(pp->cmds);
-        pp->sig = registry_->Sign(
-            id(), PrePrepareDigest(pp->view, pp->seq, pp->digest));
-        Send(backup, pp);
-      }
-    }
-    next_seq_ += 2;
-    pending_.clear();
-    return true;
+  const char* name() const override { return "pbft_byz"; }
+
+  FaultBounds bounds() const override {
+    FaultBounds b = PbftCheckAdapter::bounds();
+    b.max_byzantine = 1;
+    b.byz_first_node = 0;
+    b.byz_nodes = kN;
+    b.byz_equivocate = true;
+    b.byz_withhold = true;
+    b.byz_mutate = true;
+    b.byz_replay = true;
+    // Matches PbftOptions::request_timeout, so a burst of primary
+    // silencings spaced one period apart forces consecutive view changes
+    // while the client burst is still in flight.
+    b.view_change_period = 300 * sim::kMillisecond;
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    PbftCheckAdapter::Build(sim);
+    byz_.Attach(sim);
   }
 
  private:
-  const crypto::KeyRegistry* registry_;
-  std::vector<std::pair<smr::Command, crypto::Signature>> pending_;
-  uint64_t next_seq_ = 1;
+  sim::ByzantineInterposer byz_;
 };
 
+/// PBFT at n = 3, f = 1 (i.e. n = 3f): the implementation computes
+/// f' = 0, so replicas commit straight from a valid pre-prepare. One
+/// equivocating primary — f'+1 liars for the quorum math actually in
+/// force — forks the two honest backups. Equivocation is schedule-driven
+/// (kEquivocate windows on node 0) through the same interposer + hooks as
+/// the in-bounds variant; two-command batches give the forge hook a
+/// reorderable twin on every proposal.
 class PbftOutOfBoundsAdapter : public ProtocolAdapter {
  public:
-  explicit PbftOutOfBoundsAdapter(uint64_t seed) : registry_(seed, kN + 4) {}
+  explicit PbftOutOfBoundsAdapter(uint64_t seed)
+      : registry_(seed, kN + 4), byz_(MakePbftByzantineHooks(&registry_)) {}
 
   const char* name() const override { return "pbft-n=3f"; }
 
   FaultBounds bounds() const override {
-    // The Byzantine primary is the whole fault budget: no injected
-    // crashes — the point is that n=3f forks even on a calm network.
+    // The Byzantine primary is the whole fault budget: no crashes and no
+    // delay spikes — the point is that n=3f forks even on a calm network.
     FaultBounds b;
     b.nodes = 0;
     b.delay_spikes = false;
+    b.max_byzantine = 1;
+    b.byz_first_node = 0;
+    b.byz_nodes = 1;  // Only the primary lies.
+    b.byz_equivocate = true;
     b.horizon = 1 * sim::kSecond;
     b.quiesce = 2 * sim::kSecond;
     return b;
@@ -131,19 +282,24 @@ class PbftOutOfBoundsAdapter : public ProtocolAdapter {
     pbft::PbftOptions opts;
     opts.n = kN;
     opts.registry = &registry_;
-    auto* evil = sim->Spawn<EquivocatingPbftPrimary>(opts);
-    sim->MarkByzantine(evil->id());
-    for (int i = 1; i < kN; ++i) {
-      backups_.push_back(sim->Spawn<pbft::PbftReplica>(opts));
+    opts.batch_size = 2;
+    opts.batch_delay = 1 * sim::kMillisecond;
+    for (int i = 0; i < kN; ++i) {
+      replicas_.push_back(sim->Spawn<pbft::PbftReplica>(opts));
     }
-    // Two clients so the primary holds two distinct requests to fork.
-    sim->Spawn<pbft::PbftClient>(kN, &registry_, 1, "a");
-    sim->Spawn<pbft::PbftClient>(kN, &registry_, 1, "b");
+    // Two clients keep two distinct requests in flight, so batches hold
+    // reorderable pairs for most of the horizon.
+    sim->Spawn<pbft::PbftClient>(kN, &registry_, kOps, "a");
+    sim->Spawn<pbft::PbftClient>(kN, &registry_, kOps, "b");
+    byz_.Attach(sim);
   }
 
   bool Done() const override {
-    for (const pbft::PbftReplica* r : backups_) {
-      if (r->executed_commands().size() < 2) return false;
+    for (size_t i = 1; i < replicas_.size(); ++i) {
+      if (replicas_[i]->executed_commands().size() <
+          static_cast<size_t>(2 * kOps)) {
+        return false;
+      }
     }
     return true;
   }
@@ -154,9 +310,9 @@ class PbftOutOfBoundsAdapter : public ProtocolAdapter {
     Observation o;
     // Only the honest backups' logs count; the Byzantine primary's state
     // is unconstrained.
-    for (const pbft::PbftReplica* r : backups_) {
+    for (size_t i = 1; i < replicas_.size(); ++i) {
       std::vector<std::string> log;
-      for (const smr::Command& cmd : r->executed_commands()) {
+      for (const smr::Command& cmd : replicas_[i]->executed_commands()) {
         log.push_back(cmd.ToString());
       }
       o.logs.push_back(std::move(log));
@@ -166,14 +322,22 @@ class PbftOutOfBoundsAdapter : public ProtocolAdapter {
 
  private:
   static constexpr int kN = 3;  // = 3f for f=1: out of bounds.
+  static constexpr int kOps = 24;
   crypto::KeyRegistry registry_;
-  std::vector<pbft::PbftReplica*> backups_;
+  sim::ByzantineInterposer byz_;
+  std::vector<pbft::PbftReplica*> replicas_;
 };
 
 }  // namespace
 
 AdapterFactory MakePbftAdapter() {
   return [](uint64_t seed) { return std::make_unique<PbftCheckAdapter>(seed); };
+}
+
+AdapterFactory MakePbftByzantineAdapter() {
+  return [](uint64_t seed) {
+    return std::make_unique<PbftByzantineAdapter>(seed);
+  };
 }
 
 AdapterFactory MakePbftOutOfBoundsAdapter() {

@@ -1,0 +1,90 @@
+#include "sim/byzantine.h"
+
+namespace consensus40::sim {
+
+void ByzantineInterposer::Attach(Simulation* sim) {
+  sim_ = sim;
+  sim->SetByzantineInterposer(this);
+  sim->SetInterposeFn([this](NodeId from, NodeId to, const MessagePtr& msg) {
+    return Interpose(from, to, msg);
+  });
+}
+
+void ByzantineInterposer::BeginEquivocate(NodeId node, Time until,
+                                          uint64_t salt) {
+  NodeState& st = nodes_[node];
+  st.equivocate_until = until;
+  st.salt = salt;
+}
+
+void ByzantineInterposer::BeginWithhold(NodeId node, Time until,
+                                        uint64_t salt) {
+  NodeState& st = nodes_[node];
+  st.withhold_until = until;
+  st.salt = salt;
+}
+
+void ByzantineInterposer::BeginMutate(NodeId node, Time until, uint64_t salt) {
+  NodeState& st = nodes_[node];
+  st.mutate_until = until;
+  st.salt = salt;
+}
+
+void ByzantineInterposer::BeginReplay(NodeId node, Time until, uint64_t salt) {
+  NodeState& st = nodes_[node];
+  st.replay_until = until;
+  st.salt = salt;
+}
+
+uint64_t ByzantineInterposer::Draw(NodeState& st) {
+  // splitmix64 over (salt, counter): windows decide independently of the
+  // simulation rng, so schedules with and without Byzantine actions see
+  // identical network delays for the surviving messages.
+  uint64_t x = st.salt + 0x9e3779b97f4a7c15ULL * ++st.counter;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+MessagePtr ByzantineInterposer::Interpose(NodeId from, NodeId to,
+                                          const MessagePtr& msg) {
+  if (hooks_.observe) hooks_.observe(from, msg);
+  NodeState& st = nodes_[from];
+  const Time now = sim_->now();
+
+  // Replay is additive: alongside the live message, occasionally re-send a
+  // captured stale one. The injected send bypasses interposition (the
+  // simulation's reentrancy guard), so the stale copy goes out verbatim.
+  if (now < st.replay_until && !st.captured.empty() && Draw(st) % 2 == 0) {
+    const MessagePtr stale = st.captured[Draw(st) % st.captured.size()];
+    sim_->SendMessage(from, to, stale);
+  }
+
+  // Capture runs for every sender from t=0 so that a replay window armed
+  // mid-run has genuinely old material (older views, stale certificates).
+  if (st.captured.size() >= kCaptureRing) st.captured.pop_front();
+  st.captured.push_back(msg);
+
+  if (now < st.withhold_until &&
+      Draw(st) % 100 < 60 + st.salt % 41) {
+    return nullptr;
+  }
+
+  if (now < st.mutate_until && Draw(st) % 2 == 0) {
+    // No corrupt hook (or a type it cannot corrupt): drop instead —
+    // garbage that honest receivers would discard anyway.
+    return hooks_.corrupt ? hooks_.corrupt(from, msg) : nullptr;
+  }
+
+  if (now < st.equivocate_until && (to & 1) != 0) {
+    // Split the universe by node-index parity: the even half receives the
+    // real message (below), the odd half the forged twin. Parity is a
+    // property of the receiver, so each half observes an internally
+    // consistent sender.
+    return hooks_.forge_twin ? hooks_.forge_twin(from, msg) : nullptr;
+  }
+
+  return msg;
+}
+
+}  // namespace consensus40::sim

@@ -1,0 +1,99 @@
+/// \file
+/// Reusable Byzantine behaviour for simulated processes, built on
+/// Simulation::SetInterposeFn. Instead of one-off adversary subclasses per
+/// protocol, an attached ByzantineInterposer rewrites a marked node's
+/// outbound traffic inside seed-reproducible time windows:
+///
+///   - equivocate: one half of the cluster (even node index) receives the
+///     node's real messages, the other half receives a conflicting twin
+///     built by a protocol-supplied forge hook (or nothing, when no twin
+///     can be forged — silence is the generic lower bound of equivocation).
+///   - withhold: a salted fraction of outbound messages is dropped for the
+///     window (sender-side silence, indistinguishable from asynchrony).
+///   - mutate: messages are corrupted in flight by a protocol-supplied
+///     hook (e.g. a digest byte-flip that breaks the signature) or dropped.
+///   - replay: captured earlier messages are re-sent alongside live
+///     traffic (stale-certificate injection). Capture runs from t=0 for
+///     every sender, so a window armed mid-run has history to draw from.
+///
+/// All decisions come from a splitmix64 stream over (salt, counter) owned
+/// by the interposer — never the simulation rng — so arming or removing a
+/// window does not perturb message delays, and the same (schedule, seed)
+/// replays bit-for-bit.
+
+#ifndef CONSENSUS40_SIM_BYZANTINE_H_
+#define CONSENSUS40_SIM_BYZANTINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "sim/simulation.h"
+
+namespace consensus40::sim {
+
+class ByzantineInterposer {
+ public:
+  /// Protocol-specific behaviour plugs in here; every hook is optional.
+  /// With no hooks the interposer still withholds and replays (those only
+  /// need validly-signed captured traffic), and equivocate/mutate degrade
+  /// to withholding — the generic lower bound a protocol-blind adversary
+  /// can always realize.
+  struct Hooks {
+    /// Sees every outbound message of every sender (Byzantine or not),
+    /// whenever the interposer is attached. Forgery material is harvested
+    /// here (e.g. real client-signed commands from observed proposals).
+    std::function<void(NodeId from, const MessagePtr&)> observe;
+
+    /// Builds the conflicting twin of `msg` for an equivocation window.
+    /// Return a substitute to equivocate, the original to pass this
+    /// message type through untouched, or nullptr to withhold it from the
+    /// twin half instead.
+    std::function<MessagePtr(NodeId from, const MessagePtr&)> forge_twin;
+
+    /// Corrupts `msg` in flight for a mutate window (the result should
+    /// fail verification at honest receivers). Return nullptr to drop the
+    /// message instead.
+    std::function<MessagePtr(NodeId from, const MessagePtr&)> corrupt;
+  };
+
+  ByzantineInterposer() = default;
+  explicit ByzantineInterposer(Hooks hooks) : hooks_(std::move(hooks)) {}
+
+  /// Installs this interposer as `sim`'s interpose hook and registers it
+  /// for fault-schedule arming. The interposer must outlive the run.
+  void Attach(Simulation* sim);
+
+  /// Arm a behaviour window [now, until) on `node`. `salt` diversifies
+  /// the per-message decision stream between actions; 0 is a valid salt
+  /// (canonicalized schedules zero their aux draws).
+  void BeginEquivocate(NodeId node, Time until, uint64_t salt);
+  void BeginWithhold(NodeId node, Time until, uint64_t salt);
+  void BeginMutate(NodeId node, Time until, uint64_t salt);
+  void BeginReplay(NodeId node, Time until, uint64_t salt);
+
+ private:
+  struct NodeState {
+    Time equivocate_until = 0;
+    Time withhold_until = 0;
+    Time mutate_until = 0;
+    Time replay_until = 0;
+    uint64_t salt = 0;
+    uint64_t counter = 0;  ///< Per-node decision stream position.
+    std::deque<MessagePtr> captured;  ///< Ring of recent outbound messages.
+  };
+
+  static constexpr size_t kCaptureRing = 16;
+
+  MessagePtr Interpose(NodeId from, NodeId to, const MessagePtr& msg);
+  static uint64_t Draw(NodeState& st);
+
+  Hooks hooks_;
+  Simulation* sim_ = nullptr;
+  std::map<NodeId, NodeState> nodes_;
+};
+
+}  // namespace consensus40::sim
+
+#endif  // CONSENSUS40_SIM_BYZANTINE_H_

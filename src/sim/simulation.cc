@@ -314,6 +314,16 @@ void Simulation::QueueMessageEvent(NodeId from, NodeId to, uint32_t payload,
 
 void Simulation::SendMessage(NodeId from, NodeId to, MessagePtr msg) {
   assert(to >= 0 && to < num_processes());
+  if (interpose_fn_ && !in_interpose_ && from != to) {
+    in_interpose_ = true;
+    MessagePtr out = interpose_fn_(from, to, msg);
+    in_interpose_ = false;
+    if (out == nullptr) {
+      stats_.messages_dropped++;  // Withheld at the (Byzantine) sender.
+      return;
+    }
+    msg = std::move(out);
+  }
   const uint64_t envelope_id = next_envelope_id_++;
   if (!LinkAllowed(from, to)) {
     stats_.messages_dropped++;  // Rejected by the topology: never sent.
@@ -346,6 +356,12 @@ void Simulation::MulticastMessage(NodeId from,
                                   const std::vector<NodeId>& targets,
                                   const MessagePtr& msg) {
   if (targets.empty()) return;
+  if (interpose_fn_ && !in_interpose_) {
+    // The hook may substitute per target, so the fan-out cannot share a
+    // payload: degrade to unicasts (each of which runs the hook itself).
+    for (NodeId to : targets) SendMessage(from, to, msg);
+    return;
+  }
   const TypeId type = InternType(msg->TypeName());
   const int bytes = msg->ByteSize();
   // With no delay hook, no loss, and a fixed delay, the per-target delay is

@@ -102,6 +102,7 @@ struct NetworkOptions {
 };
 
 class Simulation;
+class ByzantineInterposer;
 
 /// A simulated process (replica, client, miner, ...). Protocol code derives
 /// from Process and reacts to OnStart / OnMessage / timers. All interaction
@@ -294,6 +295,26 @@ class Simulation {
   /// Install before running: messages already in flight when the hook is
   /// set are reported with envelope id / send_time 0.
   void SetTraceFn(TraceFn fn) { trace_fn_ = std::move(fn); }
+
+  /// Sender-side interposition hook, the substrate for reusable Byzantine
+  /// behaviour (sim/byzantine.h): called once per outbound unicast target
+  /// BEFORE the message enters the network. Return the original to pass it
+  /// through, a substitute to equivocate/corrupt, or nullptr to withhold it
+  /// (counted as one messages_dropped). Self-sends bypass the hook, and so
+  /// do sends issued from inside the hook itself (so an interposer can
+  /// inject extra traffic, e.g. replayed stale messages, without recursing).
+  /// While a hook is installed, Multicast degrades to per-target unicasts so
+  /// the hook can split the fan-out; the shared-payload fast path is
+  /// untouched when no hook is set.
+  using InterposeFn =
+      std::function<MessagePtr(NodeId from, NodeId to, const MessagePtr&)>;
+  void SetInterposeFn(InterposeFn fn) { interpose_fn_ = std::move(fn); }
+
+  /// The attached ByzantineInterposer, if any (set by its Attach). Lets
+  /// fault-schedule injection arm Byzantine windows without the checker
+  /// and the interposer knowing about each other's construction order.
+  void SetByzantineInterposer(ByzantineInterposer* b) { byz_interposer_ = b; }
+  ByzantineInterposer* byzantine_interposer() const { return byz_interposer_; }
 
   /// Schedules a simulation-level (not process-owned) callback.
   void ScheduleAt(Time t, std::function<void()> fn);
@@ -556,6 +577,10 @@ class Simulation {
   NetStats stats_;
   DelayFn delay_fn_;
   TraceFn trace_fn_;
+  InterposeFn interpose_fn_;
+  bool in_interpose_ = false;  ///< Reentrancy guard: hook-injected sends
+                               ///< are not themselves interposed.
+  ByzantineInterposer* byz_interposer_ = nullptr;
 };
 
 }  // namespace consensus40::sim

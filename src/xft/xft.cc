@@ -59,9 +59,13 @@ bool XftReplica::InSyncGroup() const {
 void XftReplica::ArmRequestTimer(const smr::Command& cmd) {
   auto key = std::make_pair(cmd.client, cmd.client_seq);
   if (request_timers_.count(key) > 0 || results_.count(key) > 0) return;
-  request_timers_[key] = SetTimer(options_.request_timeout, [this, key] {
+  request_timers_[key] = SetTimer(options_.request_timeout, [this, key, cmd] {
     request_timers_.erase(key);
     StartViewChange(view_ + 1);
+    // Stay armed until the request settles: an armed watchdog is the
+    // signal that keeps the view-change escalation alive (and its absence
+    // is what lets a stale campaign stand down).
+    ArmRequestTimer(cmd);
   });
 }
 
@@ -100,17 +104,40 @@ void XftReplica::MaybeExecute() {
       reply->replica = id();
       reply->result = result;
       Send(slot.cmd.client, reply);
-      // Lazy replication outside the group.
+      // Lazy replication to every peer: non-group replicas learn the log
+      // this way, and a group member that missed a commit quorum (e.g. it
+      // installed the view after the quorum formed) catches up instead of
+      // stalling behind a gap it can never fill. The attached commit
+      // certificate makes one update sufficient: after a mid-commit crash
+      // inside the group there may be fewer than f+1 live executors, so
+      // counting matching senders could never reach a quorum.
       auto update = std::make_shared<UpdateMsg>();
+      update->view = view_;
       update->seq = exec_cursor_;
       update->cmd = slot.cmd;
+      const crypto::Digest digest =
+          SlotDigest(view_, exec_cursor_, slot.cmd);
+      for (const auto& [signer, sig] : slot.commit_sigs) {
+        if (sig.signer == signer && options_.registry->Verify(sig, digest)) {
+          update->cert.push_back(sig);
+        }
+      }
       for (sim::NodeId r : Everyone()) {
-        bool in_group = false;
-        for (sim::NodeId g : SyncGroup(view_)) in_group |= (g == r);
-        if (!in_group) Send(r, update);
+        if (r != id()) Send(r, update);
       }
     }
     ++exec_cursor_;
+  }
+}
+
+void XftReplica::RetransmitLiveSlots() {
+  // Re-multicast every slot of the current view: members answer duplicate
+  // prepares by re-multicasting their commits, so both prepare gaps and
+  // commit gaps at a straggling member get refilled.
+  for (const auto& [seq, slot] : slots_) {
+    if (slot.prepare_msg != nullptr) {
+      Multicast(SyncGroup(view_), slot.prepare_msg);
+    }
   }
 }
 
@@ -132,11 +159,19 @@ void XftReplica::StartViewChange(int64_t new_view) {
   vc->sig = options_.registry->Sign(id(), h.Finish());
   Multicast(Everyone(), vc);
 
-  SetTimer(options_.request_timeout * 2, [this, new_view] {
-    if (in_view_change_ && pending_view_ == new_view) {
-      StartViewChange(new_view + 1);
-    }
-  });
+  CancelTimer(view_change_timer_);
+  view_change_timer_ =
+      SetTimer(options_.request_timeout * 2, [this, new_view] {
+        if (!in_view_change_ || pending_view_ != new_view) return;
+        if (request_timers_.empty()) {
+          // Every request that made us suspicious has since been settled:
+          // stand down instead of campaigning against a working view.
+          in_view_change_ = false;
+          pending_view_ = view_;
+          return;
+        }
+        StartViewChange(new_view + 1);
+      });
 }
 
 void XftReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
@@ -151,17 +186,25 @@ void XftReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
       reply->replica = id();
       reply->result = done->second;
       Send(m->cmd.client, reply);
+      // A retry for a request the leader already executed means some
+      // group member is stuck behind a message gap and cannot reply —
+      // the cached re-reply alone can never complete the client's f+1
+      // quorum. Retransmit so the straggler catches up.
+      if (id() == Leader(view_) && !in_view_change_) RetransmitLiveSlots();
       return;
     }
     if (id() == Leader(view_) && !in_view_change_) {
+      bool known = false;
       for (const auto& [seq, slot] : slots_) {
-        if (slot.cmd.client == m->cmd.client &&
-            slot.cmd.client_seq == m->cmd.client_seq) {
-          if (slot.prepare_msg != nullptr) {
-            Multicast(SyncGroup(view_), slot.prepare_msg);
-          }
-          return;
-        }
+        known |= (slot.cmd.client == m->cmd.client &&
+                  slot.cmd.client_seq == m->cmd.client_seq);
+      }
+      if (known) {
+        // A retry for a slot we already proposed means some group member
+        // is stuck — possibly on an earlier slot than this request's (its
+        // execution is in-order).
+        RetransmitLiveSlots();
+        return;
       }
       auto prepare = std::make_shared<PrepareMsg>();
       prepare->view = view_;
@@ -195,7 +238,23 @@ void XftReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
       return;
     }
     Slot& slot = slots_[m->seq];
-    if (slot.prepared) return;
+    slot.commit_sigs[from] = m->leader_sig;
+    if (slot.prepared) {
+      // Duplicate prepare = leader-driven retransmission (client retry).
+      // Re-multicast our commit: a member that installed the view after
+      // the original commit round dropped those commits as wrong-view and
+      // can only fill its quorum through a repeat like this.
+      if (slot.sent_commit) {
+        auto commit = std::make_shared<CommitMsg>();
+        commit->view = view_;
+        commit->seq = m->seq;
+        commit->digest = SlotDigest(view_, m->seq, slot.cmd);
+        commit->replica = id();
+        commit->sig = options_.registry->Sign(id(), commit->digest);
+        Multicast(SyncGroup(view_), commit);
+      }
+      return;
+    }
     slot.prepared = true;
     slot.cmd = m->cmd;
     slot.client_sig = m->client_sig;
@@ -212,6 +271,7 @@ void XftReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
       commit->sig = options_.registry->Sign(id(), commit->digest);
       Multicast(SyncGroup(view_), commit);
       slot.commits.insert(id());
+      slot.commit_sigs[id()] = commit->sig;
     }
     MaybeExecute();
     return;
@@ -229,28 +289,55 @@ void XftReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
       return;  // Mismatched commit.
     }
     slot.commits.insert(from);
+    slot.commit_sigs[from] = m->sig;
     MaybeExecute();
     return;
   }
 
   if (const auto* m = dynamic_cast<const UpdateMsg*>(&msg)) {
-    update_votes_[m->seq][m->cmd.Hash()].insert(from);
-    update_cmds_[m->seq] = m->cmd;
-    // Adopt once the full group (f+1 members) confirms, in order.
+    if (m->seq < exec_cursor_) return;  // Already past this position.
+    // Validate the commit certificate: f+1 distinct signers over the
+    // slot digest. A valid certificate proves the whole synchronous group
+    // of m->view replicated this command at this position.
+    const crypto::Digest digest = SlotDigest(m->view, m->seq, m->cmd);
+    std::set<sim::NodeId> signers;
+    for (const crypto::Signature& sig : m->cert) {
+      if (sig.signer >= 0 && sig.signer < options_.n &&
+          options_.registry->Verify(sig, digest)) {
+        signers.insert(sig.signer);
+      }
+    }
+    if (static_cast<int>(signers.size()) < f() + 1) return;
+    PendingUpdate& pending = pending_updates_[m->seq];
+    if (pending.view <= m->view) pending = {m->view, m->cmd};
+    // Adopt in order; certificates from an older era are discarded (their
+    // slot numbering no longer matches) and re-arrive with fresh views.
     while (true) {
-      auto votes = update_votes_.find(exec_cursor_);
-      if (votes == update_votes_.end()) break;
-      const smr::Command& cmd = update_cmds_[exec_cursor_];
-      auto per_digest = votes->second.find(cmd.Hash());
-      if (per_digest == votes->second.end() ||
-          static_cast<int>(per_digest->second.size()) < f() + 1) {
+      auto it = pending_updates_.find(exec_cursor_);
+      if (it == pending_updates_.end()) break;
+      if (it->second.view != view_) {
+        pending_updates_.erase(it);
         break;
       }
+      const smr::Command cmd = it->second.cmd;
       auto key = std::make_pair(cmd.client, cmd.client_seq);
       if (results_.count(key) == 0) {
         results_[key] = dedup_.Apply(&kv_, cmd);
         executed_commands_.push_back(cmd);
       }
+      // The request is settled for this replica: a still-armed watchdog
+      // for it would depose a view that owes us nothing.
+      DisarmRequestTimer(cmd.client, cmd.client_seq);
+      // Reply as well: adoption may preempt this replica's own commit
+      // path (the certificate proves the same commit), and the client
+      // may be waiting on this very reply for its f+1 quorum.
+      auto reply = std::make_shared<ReplyMsg>();
+      reply->view = view_;
+      reply->client_seq = cmd.client_seq;
+      reply->replica = id();
+      reply->result = results_[key];
+      Send(cmd.client, reply);
+      pending_updates_.erase(it);
       ++exec_cursor_;
     }
     return;
@@ -286,7 +373,14 @@ void XftReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
       }
       auto nv = std::make_shared<NewViewMsg>();
       nv->view = m->new_view;
-      for (const auto& [seq, entry] : merged) nv->reissue.push_back(entry);
+      // Re-number the merged suffix here, once: every group member adopts
+      // these seqs verbatim at install time, so the whole group agrees on
+      // the slot numbering even if their execution cursors drifted.
+      uint64_t seq = executed_commands_.size() + 1;
+      for (const auto& [old_seq, entry] : merged) {
+        nv->reissue.push_back(entry);
+        nv->reissue.back().seq = seq++;
+      }
       crypto::Sha256 nh;
       nh.Update(&nv->view, sizeof(nv->view));
       nv->sig = options_.registry->Sign(id(), nh.Finish());
@@ -303,30 +397,73 @@ void XftReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
       return;
     }
     if (m->view < view_ || (m->view == view_ && !in_view_change_)) return;
+    // Validate the re-issued suffix before touching any state: a malformed
+    // new-view (bad client signature, non-ascending seqs) is ignored whole
+    // so that every group member that installs agrees on the numbering.
+    uint64_t prev_seq = 0;
+    for (const auto& entry : m->reissue) {
+      if (entry.seq <= prev_seq ||
+          !ValidRequest(entry.cmd, entry.client_sig, *options_.registry)) {
+        return;
+      }
+      prev_seq = entry.seq;
+    }
     view_ = m->view;
     in_view_change_ = false;
     pending_view_ = view_;
+    CancelTimer(view_change_timer_);
+    view_change_timer_ = 0;
     slots_.clear();
     exec_cursor_ = executed_commands_.size() + 1;
-    view_changes_.erase(view_);
+    view_changes_.erase(view_changes_.begin(),
+                        view_changes_.upper_bound(view_));
+    built_new_views_.erase(built_new_views_.begin(),
+                           built_new_views_.upper_bound(view_));
     // The new view gets fresh patience: stale per-request watchdogs from
     // the old view would immediately re-depose it.
     for (auto& [key, timer] : request_timers_) CancelTimer(timer);
     request_timers_.clear();
 
-    if (id() == Leader(view_)) {
-      next_seq_ = executed_commands_.size() + 1;
+    // Adopt the re-issued suffix straight from the (signed) new-view, so
+    // the install and the re-adoption are atomic. Separate prepare
+    // messages could race ahead of the new-view in the network and be
+    // dropped as wrong-view, leaving a permanent gap below the execution
+    // cursor that nothing retransmits.
+    if (InSyncGroup()) {
+      const bool leading = (id() == Leader(view_));
+      if (leading) next_seq_ = executed_commands_.size() + 1;
       for (const auto& entry : m->reissue) {
-        auto prepare = std::make_shared<PrepareMsg>();
-        prepare->view = view_;
-        prepare->seq = next_seq_++;
-        prepare->cmd = entry.cmd;
-        prepare->client_sig = entry.client_sig;
-        prepare->leader_sig = options_.registry->Sign(
-            id(), SlotDigest(view_, prepare->seq, entry.cmd));
-        slots_[prepare->seq].prepare_msg = prepare;
-        Multicast(SyncGroup(view_), prepare);
+        Slot& slot = slots_[entry.seq];
+        slot.prepared = true;
+        slot.cmd = entry.cmd;
+        slot.client_sig = entry.client_sig;
+        slot.commits.insert(Leader(view_));
+        if (leading) {
+          // Keep a signed prepare around for the client-retry
+          // retransmission path; no need to multicast it now.
+          auto prepare = std::make_shared<PrepareMsg>();
+          prepare->view = view_;
+          prepare->seq = entry.seq;
+          prepare->cmd = entry.cmd;
+          prepare->client_sig = entry.client_sig;
+          prepare->leader_sig = options_.registry->Sign(
+              id(), SlotDigest(view_, entry.seq, entry.cmd));
+          slot.prepare_msg = prepare;
+          next_seq_ = entry.seq + 1;
+        } else {
+          slot.sent_commit = true;
+          auto commit = std::make_shared<CommitMsg>();
+          commit->view = view_;
+          commit->seq = entry.seq;
+          commit->digest = SlotDigest(view_, entry.seq, entry.cmd);
+          commit->replica = id();
+          commit->sig = options_.registry->Sign(id(), commit->digest);
+          Multicast(SyncGroup(view_), commit);
+          slot.commits.insert(id());
+        }
+        ArmRequestTimer(entry.cmd);  // Must commit within the timeout.
       }
+      MaybeExecute();
     }
     return;
   }

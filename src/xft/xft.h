@@ -79,12 +79,19 @@ class XftReplica : public sim::Process {
     int32_t replica = -1;
     crypto::Signature sig;
   };
-  /// Lazy replication to replicas outside the synchronous group.
+  /// Lazy replication to replicas outside the synchronous group. Carries
+  /// the commit certificate — f+1 signatures over SlotDigest(view, seq,
+  /// cmd) — so a single update is self-certifying: a straggler can adopt
+  /// it even when fewer than f+1 executors are still alive to vouch.
   struct UpdateMsg : sim::Message {
     const char* TypeName() const override { return "xft-update"; }
-    int ByteSize() const override { return 56 + cmd.ByteSize(); }
+    int ByteSize() const override {
+      return 56 + cmd.ByteSize() + static_cast<int>(cert.size()) * 48;
+    }
+    int64_t view = 0;
     uint64_t seq = 0;
     smr::Command cmd;
+    std::vector<crypto::Signature> cert;
   };
   struct ViewChangeMsg : sim::Message {
     const char* TypeName() const override { return "xft-view-change"; }
@@ -131,6 +138,9 @@ class XftReplica : public sim::Process {
     smr::Command cmd;
     crypto::Signature client_sig;
     std::set<sim::NodeId> commits;
+    /// Signatures over SlotDigest(view, seq, cmd), one per committer (the
+    /// leader's comes from its prepare). Source of the update certificate.
+    std::map<sim::NodeId, crypto::Signature> commit_sigs;
     bool sent_commit = false;
     bool executed = false;
     std::shared_ptr<const PrepareMsg> prepare_msg;
@@ -140,6 +150,7 @@ class XftReplica : public sim::Process {
   void MaybeExecute();
   void ArmRequestTimer(const smr::Command& cmd);
   void DisarmRequestTimer(int32_t client, uint64_t client_seq);
+  void RetransmitLiveSlots();
   void StartViewChange(int64_t new_view);
   std::vector<sim::NodeId> Everyone() const;
 
@@ -147,6 +158,10 @@ class XftReplica : public sim::Process {
   int64_t view_ = 0;
   bool in_view_change_ = false;
   int64_t pending_view_ = 0;
+  /// Escalation timer for the in-flight view change. Tracked so a new
+  /// campaign (or an install) cancels the previous generation; an
+  /// orphaned escalation could otherwise fire against a healthy view.
+  uint64_t view_change_timer_ = 0;
   uint64_t next_seq_ = 1;
   uint64_t exec_cursor_ = 1;
   std::map<uint64_t, Slot> slots_;
@@ -157,10 +172,15 @@ class XftReplica : public sim::Process {
   std::map<std::pair<int32_t, uint64_t>, std::string> results_;
   std::map<std::pair<int32_t, uint64_t>, uint64_t> request_timers_;
 
-  // Passive-side update application.
-  std::map<uint64_t, std::map<crypto::Digest, std::set<sim::NodeId>>>
-      update_votes_;
-  std::map<uint64_t, smr::Command> update_cmds_;
+  // Passive-side update application: certified commands buffered until the
+  // execution cursor reaches them. Only certificates for the current view
+  // are adopted — slot numbering is per-view, so a stale-era certificate
+  // could otherwise land at the wrong position.
+  struct PendingUpdate {
+    int64_t view = 0;
+    smr::Command cmd;
+  };
+  std::map<uint64_t, PendingUpdate> pending_updates_;
 
   std::map<int64_t, std::map<sim::NodeId, std::vector<ViewChangeMsg::Entry>>>
       view_changes_;

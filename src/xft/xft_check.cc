@@ -9,6 +9,7 @@
 
 #include "check/adapters.h"
 #include "crypto/signatures.h"
+#include "sim/byzantine.h"
 #include "xft/xft.h"
 
 namespace consensus40::check {
@@ -16,7 +17,8 @@ namespace {
 
 class XftCheckAdapter : public ProtocolAdapter {
  public:
-  explicit XftCheckAdapter(uint64_t seed) : registry_(seed, kN + 4) {}
+  explicit XftCheckAdapter(uint64_t seed, int ops = 4)
+      : registry_(seed, kN + 4), ops_(ops) {}
 
   const char* name() const override { return "xft"; }
 
@@ -34,7 +36,7 @@ class XftCheckAdapter : public ProtocolAdapter {
     for (int i = 0; i < kN; ++i) {
       replicas_.push_back(sim->Spawn<xft::XftReplica>(opts));
     }
-    client_ = sim->Spawn<xft::XftClient>(kN, &registry_, kOps);
+    client_ = sim->Spawn<xft::XftClient>(kN, &registry_, ops_);
   }
 
   bool Done() const override { return client_->done(); }
@@ -51,18 +53,56 @@ class XftCheckAdapter : public ProtocolAdapter {
     return o;
   }
 
- private:
+ protected:
   static constexpr int kN = 5;
-  static constexpr int kOps = 4;
   crypto::KeyRegistry registry_;
+  int ops_;
   std::vector<xft::XftReplica*> replicas_;
   xft::XftClient* client_ = nullptr;
+};
+
+/// In-bounds Byzantine XFT: one replica may withhold or replay outbound
+/// traffic — the non-anarchy slice of XFT's model, where a Byzantine
+/// machine exists but the network stays connected and the combined
+/// (crash + Byzantine) fault count stays under f. No mutate: a corrupted
+/// message plus a delay spike is indistinguishable from the
+/// partition-plus-Byzantine "anarchy" XFT explicitly does not claim.
+class XftByzantineAdapter : public XftCheckAdapter {
+ public:
+  explicit XftByzantineAdapter(uint64_t seed)
+      : XftCheckAdapter(seed, /*ops=*/12) {}
+
+  const char* name() const override { return "xft_byz"; }
+
+  FaultBounds bounds() const override {
+    FaultBounds b = XftCheckAdapter::bounds();
+    b.max_byzantine = 1;
+    b.byz_first_node = 0;
+    b.byz_nodes = kN;
+    b.byz_withhold = true;
+    b.byz_replay = true;
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    XftCheckAdapter::Build(sim);
+    byz_.Attach(sim);
+  }
+
+ private:
+  sim::ByzantineInterposer byz_;
 };
 
 }  // namespace
 
 AdapterFactory MakeXftAdapter() {
   return [](uint64_t seed) { return std::make_unique<XftCheckAdapter>(seed); };
+}
+
+AdapterFactory MakeXftByzantineAdapter() {
+  return [](uint64_t seed) {
+    return std::make_unique<XftByzantineAdapter>(seed);
+  };
 }
 
 }  // namespace consensus40::check

@@ -8,6 +8,7 @@
 
 #include "check/adapters.h"
 #include "crypto/signatures.h"
+#include "sim/byzantine.h"
 #include "zyzzyva/zyzzyva.h"
 
 namespace consensus40::check {
@@ -15,7 +16,8 @@ namespace {
 
 class ZyzzyvaCheckAdapter : public ProtocolAdapter {
  public:
-  explicit ZyzzyvaCheckAdapter(uint64_t seed) : registry_(seed, kN + 4) {}
+  explicit ZyzzyvaCheckAdapter(uint64_t seed, int ops = 4)
+      : registry_(seed, kN + 4), ops_(ops) {}
 
   const char* name() const override { return "zyzzyva"; }
 
@@ -34,7 +36,7 @@ class ZyzzyvaCheckAdapter : public ProtocolAdapter {
     for (int i = 0; i < kN; ++i) {
       replicas_.push_back(sim->Spawn<zyzzyva::ZyzzyvaReplica>(opts));
     }
-    client_ = sim->Spawn<zyzzyva::ZyzzyvaClient>(kN, &registry_, kOps);
+    client_ = sim->Spawn<zyzzyva::ZyzzyvaClient>(kN, &registry_, ops_);
   }
 
   bool Done() const override { return client_->done(); }
@@ -51,12 +53,47 @@ class ZyzzyvaCheckAdapter : public ProtocolAdapter {
     return o;
   }
 
- private:
+ protected:
   static constexpr int kN = 4;
-  static constexpr int kOps = 4;
   crypto::KeyRegistry registry_;
+  int ops_;
   std::vector<zyzzyva::ZyzzyvaReplica*> replicas_;
   zyzzyva::ZyzzyvaClient* client_ = nullptr;
+};
+
+/// In-bounds Byzantine Zyzzyva: one of the three BACKUPS may withhold,
+/// corrupt (generic interposer degradation: dropped), or replay its
+/// outbound traffic. The primary stays both un-crashable AND un-Byzantine
+/// — without a view-change path a lying primary is simply outside the
+/// module's model, exactly like a crashed one (see the bounds-contract
+/// test in tests/zyzzyva_test.cc). Speculative execution means a silent
+/// backup pushes clients off the 3f+1 fast path onto the 2f+1
+/// commit-certificate path, which is the transition worth hammering.
+class ZyzzyvaByzantineAdapter : public ZyzzyvaCheckAdapter {
+ public:
+  explicit ZyzzyvaByzantineAdapter(uint64_t seed)
+      : ZyzzyvaCheckAdapter(seed, /*ops=*/12) {}
+
+  const char* name() const override { return "zyzzyva_byz"; }
+
+  FaultBounds bounds() const override {
+    FaultBounds b = ZyzzyvaCheckAdapter::bounds();
+    b.max_byzantine = 1;
+    b.byz_first_node = 1;  // Backups only, same window as crashes.
+    b.byz_nodes = kN - 1;
+    b.byz_withhold = true;
+    b.byz_mutate = true;
+    b.byz_replay = true;
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    ZyzzyvaCheckAdapter::Build(sim);
+    byz_.Attach(sim);
+  }
+
+ private:
+  sim::ByzantineInterposer byz_;
 };
 
 }  // namespace
@@ -64,6 +101,12 @@ class ZyzzyvaCheckAdapter : public ProtocolAdapter {
 AdapterFactory MakeZyzzyvaAdapter() {
   return [](uint64_t seed) {
     return std::make_unique<ZyzzyvaCheckAdapter>(seed);
+  };
+}
+
+AdapterFactory MakeZyzzyvaByzantineAdapter() {
+  return [](uint64_t seed) {
+    return std::make_unique<ZyzzyvaByzantineAdapter>(seed);
   };
 }
 

@@ -30,8 +30,9 @@ void SweepInBounds(const char* label, const AdapterFactory& factory) {
     auto replay = [&](const FaultSchedule& candidate) {
       return RunSchedule(factory, seed, candidate).violated();
     };
-    FaultSchedule min =
-        CanonicalizeSchedule(ShrinkSchedule(schedule, replay), replay);
+    const FaultBounds bounds = factory(seed)->bounds();
+    FaultSchedule min = CanonicalizeSchedule(
+        ShrinkSchedule(schedule, bounds, replay), bounds, replay);
     ADD_FAILURE() << label << ": safety violation at seed " << seed << ":\n  "
                   << result.violations[0] << "\n  repro: " << min.ToString();
     return;  // One shrunk repro per protocol is enough signal.
@@ -107,6 +108,36 @@ TEST(CheckSweepInBounds, ShardBatched) {
   SweepInBounds("shard_batched", MakeShardBatchedAdapter());
 }
 
+// --- Byzantine variants: one interposer-driven liar inside the stated f.
+// Schedules may equivocate (where a forge hook exists), withhold, corrupt,
+// or replay one node's outbound traffic in seed-chosen windows — and for
+// PBFT may also be view-change-heavy bursts that silence consecutive
+// primaries mid-client-burst. Safety must hold for every schedule.
+
+TEST(CheckSweepInBounds, PbftByzantine) {
+  SweepInBounds("pbft_byz", MakePbftByzantineAdapter());
+}
+
+TEST(CheckSweepInBounds, ZyzzyvaByzantine) {
+  SweepInBounds("zyzzyva_byz", MakeZyzzyvaByzantineAdapter());
+}
+
+TEST(CheckSweepInBounds, MinBftByzantine) {
+  SweepInBounds("minbft_byz", MakeMinBftByzantineAdapter());
+}
+
+TEST(CheckSweepInBounds, HotStuffByzantine) {
+  SweepInBounds("hotstuff_byz", MakeHotStuffByzantineAdapter());
+}
+
+TEST(CheckSweepInBounds, XftByzantine) {
+  SweepInBounds("xft_byz", MakeXftByzantineAdapter());
+}
+
+TEST(CheckSweepInBounds, CheapBftByzantine) {
+  SweepInBounds("cheapbft_byz", MakeCheapBftByzantineAdapter());
+}
+
 TEST(CheckSweepInBounds, RosterCoversAtLeastTenProtocols) {
   EXPECT_GE(AllInBoundsAdapters().size(), 10u);
 }
@@ -136,8 +167,9 @@ void ExpectViolationFound(const char* label, const AdapterFactory& factory,
     auto replay = [&](const FaultSchedule& candidate) {
       return RunSchedule(factory, seed, candidate).violated();
     };
-    FaultSchedule min =
-        CanonicalizeSchedule(ShrinkSchedule(schedule, replay), replay);
+    const FaultBounds bounds = factory(seed)->bounds();
+    FaultSchedule min = CanonicalizeSchedule(
+        ShrinkSchedule(schedule, bounds, replay), bounds, replay);
     EXPECT_LE(min.actions.size(), schedule.actions.size());
 
     // The shrunk schedule is a replayable repro: deterministic violations
@@ -204,9 +236,10 @@ TEST(ShrinkCanonicalize, KnownReproHasCanonicalForm) {
     auto replay = [&](const FaultSchedule& candidate) {
       return RunSchedule(factory, seed, candidate).violated();
     };
+    const FaultBounds bounds = factory(seed)->bounds();
     ShrinkStats stats;
-    FaultSchedule min = ShrinkSchedule(schedule, replay, 400, &stats);
-    min = CanonicalizeSchedule(std::move(min), replay, &stats);
+    FaultSchedule min = ShrinkSchedule(schedule, bounds, replay, 400, &stats);
+    min = CanonicalizeSchedule(std::move(min), bounds, replay, &stats);
 
     // Canonical repros still violate, deterministically.
     EXPECT_TRUE(RunSchedule(factory, seed, min).violated());
@@ -217,11 +250,48 @@ TEST(ShrinkCanonicalize, KnownReproHasCanonicalForm) {
       EXPECT_EQ(a.at % sim::kMillisecond, 0);
     }
     EXPECT_GT(stats.snapped, 0) << "canonicalization accepted no edits";
+    // The repro keeps its heal: the shrinker may not delete the tail
+    // restore (RestoreScheduleTail re-establishes it), so every printed
+    // schedule is one the generator could actually emit.
     EXPECT_EQ(min.ToString(),
-              "schedule --seed=29: [ partition({0,2}|{1,3})@200ms ]");
+              "schedule --seed=29: [ partition({0,2}|{1,3})@200ms "
+              "heal@1700ms ]");
     return;
   }
   FAIL() << "no Flexible-Paxos violation in 400 seeds";
+}
+
+/// The f+1-equivocator repro is pinned the same way: the first violating
+/// seed of the PBFT n=3f configuration must shrink — deterministically,
+/// via ddmin + canonicalization — to a single equivocation window with
+/// round times and zeroed aux. Same re-pin rule as above: if the
+/// *generator* intentionally changed, update the string; otherwise the
+/// shrinker or the Byzantine injection path regressed.
+TEST(ShrinkCanonicalize, EquivocatorReproHasCanonicalForm) {
+  AdapterFactory factory = MakePbftOutOfBoundsAdapter();
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    FaultSchedule schedule;
+    RunResult result = RunSeed(factory, seed, &schedule);
+    if (!result.violated()) continue;
+
+    auto replay = [&](const FaultSchedule& candidate) {
+      return RunSchedule(factory, seed, candidate).violated();
+    };
+    const FaultBounds bounds = factory(seed)->bounds();
+    FaultSchedule min = CanonicalizeSchedule(
+        ShrinkSchedule(schedule, bounds, replay), bounds, replay);
+
+    EXPECT_TRUE(RunSchedule(factory, seed, min).violated());
+    ASSERT_EQ(min.actions.size(), 1u);
+    EXPECT_EQ(min.actions[0].kind, FaultKind::kEquivocate);
+    EXPECT_EQ(min.actions[0].aux, 0u);
+    EXPECT_EQ(min.actions[0].at % sim::kMillisecond, 0);
+    EXPECT_EQ(min.actions[0].window % sim::kMillisecond, 0);
+    EXPECT_EQ(min.ToString(),
+              "schedule --seed=1: [ equivocate(0,500ms)@100ms ]");
+    return;
+  }
+  FAIL() << "no PBFT n=3f violation in 50 seeds";
 }
 
 }  // namespace

@@ -90,14 +90,15 @@ TEST(ParallelShrink, SpeculativeDdminMatchesSerial) {
     auto replay = [&](const FaultSchedule& candidate) {
       return RunSchedule(factory, seed, candidate).violated();
     };
+    const FaultBounds bounds = factory(seed)->bounds();
     ShrinkStats serial_stats;
     FaultSchedule serial =
-        ShrinkSchedule(schedule, replay, 400, &serial_stats, nullptr);
+        ShrinkSchedule(schedule, bounds, replay, 400, &serial_stats, nullptr);
 
     ThreadPool pool(4);
     ShrinkStats parallel_stats;
     FaultSchedule parallel =
-        ShrinkSchedule(schedule, replay, 400, &parallel_stats, &pool);
+        ShrinkSchedule(schedule, bounds, replay, 400, &parallel_stats, &pool);
 
     // The committed decision sequence is serial-identical: same result,
     // same committed-run count; only the discarded speculation differs.
@@ -121,12 +122,14 @@ TEST(ParallelShrink, BudgetExhaustionMatchesSerial) {
     auto replay = [&](const FaultSchedule& candidate) {
       return RunSchedule(factory, seed, candidate).violated();
     };
+    const FaultBounds bounds = factory(seed)->bounds();
     for (int budget : {1, 2, 3, 5}) {
       ShrinkStats ss, ps;
-      FaultSchedule serial = ShrinkSchedule(schedule, replay, budget, &ss);
+      FaultSchedule serial =
+          ShrinkSchedule(schedule, bounds, replay, budget, &ss);
       ThreadPool pool(4);
       FaultSchedule parallel =
-          ShrinkSchedule(schedule, replay, budget, &ps, &pool);
+          ShrinkSchedule(schedule, bounds, replay, budget, &ps, &pool);
       EXPECT_EQ(serial.ToString(), parallel.ToString()) << "budget " << budget;
       EXPECT_EQ(ss.runs, ps.runs) << "budget " << budget;
     }

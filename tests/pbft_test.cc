@@ -332,5 +332,83 @@ TEST(PbftTest, MultipleClientsInterleaveSafely) {
   }
 }
 
+// Regression pin for a view-change deadlock found by the Byzantine sweep
+// (pbft_byz seed 93, shrunk): a partition that strands the cluster
+// mid-agreement, plus a crash/restart inside the minority side. Slots
+// that lived through the resulting view-change storm held prepare votes
+// from several views; one stale vote made a replica's PreparedProof fail
+// verification, and ProcessNewView rejected ENTIRE new-view messages the
+// builder considered fine — so no view ever installed again and the last
+// request could never commit. The fix is vote hygiene per (view, digest)
+// plus builder/receiver symmetry (both skip invalid proofs).
+TEST(PbftTest, RecoversFromPartitionStraddlingViewChangeStorm) {
+  PbftCluster cluster(4, /*seed=*/93);
+  PbftClient* client = cluster.AddClient(12);  // Client is process 4.
+  cluster.sim.ScheduleAt(155 * kMillisecond,
+                         [&] { cluster.sim.Partition({{0, 1, 4}, {2, 3}}); });
+  cluster.sim.ScheduleAt(300 * kMillisecond, [&] { cluster.sim.Crash(2); });
+  cluster.sim.ScheduleAt(1700 * kMillisecond, [&] { cluster.sim.Heal(); });
+  cluster.sim.ScheduleAt(2000 * kMillisecond, [&] { cluster.sim.Restart(2); });
+  cluster.sim.Start();
+  ASSERT_TRUE(
+      cluster.sim.RunUntil([&] { return client->done(); }, 22 * kSecond));
+  cluster.sim.RunFor(2 * kSecond);
+  cluster.CheckSafety();
+}
+
+// A storm of view changes must not leave per-view bookkeeping behind:
+// pending view-change message sets and built-new-view guards are GC'd up
+// to the installed view, so their footprint reflects the CURRENT
+// negotiation, not the storm's length.
+TEST(PbftTest, ViewChangeStormKeepsBookkeepingBounded) {
+  PbftCluster cluster(4);
+  PbftClient* client = cluster.AddClient(16);
+  // Strand the cluster without a quorum for a while: every replica keeps
+  // escalating its pending view, piling up view-change messages for many
+  // distinct target views.
+  cluster.sim.ScheduleAt(200 * kMillisecond,
+                         [&] { cluster.sim.Partition({{0, 1, 4}, {2, 3}}); });
+  cluster.sim.ScheduleAt(3200 * kMillisecond, [&] { cluster.sim.Heal(); });
+  cluster.sim.Start();
+  ASSERT_TRUE(
+      cluster.sim.RunUntil([&] { return client->done(); }, 60 * kSecond));
+  cluster.sim.RunFor(2 * kSecond);
+  cluster.CheckSafety();
+  for (const PbftReplica* r : cluster.replicas) {
+    // A handful of live entries (views above the installed one may still
+    // be in flight) — but nothing proportional to the storm.
+    EXPECT_LE(r->ViewChangeBookkeepingForTest(), 6u) << r->id();
+  }
+}
+
+// After a view change installs, the deposed negotiation's escalation
+// watchdog must die with it: a stale watchdog firing into the healthy new
+// view would depose a perfectly live primary and churn views forever.
+TEST(PbftTest, NoViewChurnAfterViewInstalls) {
+  PbftCluster cluster(4);
+  PbftClient* client = cluster.AddClient(12);
+  cluster.sim.Start();
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return client->completed() >= 3; },
+                                   30 * kSecond));
+  cluster.sim.Crash(0);  // Primary of view 0: one view change to view 1.
+  ASSERT_TRUE(
+      cluster.sim.RunUntil([&] { return client->done(); }, 120 * kSecond));
+  cluster.sim.RunFor(5 * kSecond);
+  std::vector<int64_t> views;
+  for (const PbftReplica* r : cluster.replicas) {
+    if (cluster.sim.IsCrashed(r->id())) continue;
+    views.push_back(r->view());
+  }
+  // Idle cluster, healthy primary: views must be frozen now.
+  cluster.sim.RunFor(10 * kSecond);
+  size_t i = 0;
+  for (const PbftReplica* r : cluster.replicas) {
+    if (cluster.sim.IsCrashed(r->id())) continue;
+    EXPECT_EQ(r->view(), views[i++]) << "view churned while idle: replica "
+                                     << r->id();
+  }
+  cluster.CheckSafety();
+}
+
 }  // namespace
 }  // namespace consensus40::pbft

@@ -171,5 +171,30 @@ TEST(ZyzzyvaTest, TwoCrashesExceedFNoProgress) {
   cluster.CheckSafety();
 }
 
+// Bounds contract for the checker adapters (see ZyzzyvaByzantineAdapter
+// in src/zyzzyva/zyzzyva_check.cc): this Zyzzyva module implements the
+// agreement sub-protocol only — there is no view change. A primary that
+// stops (or lies) can therefore never be deposed, so primary faults are
+// permanent liveness loss BY CONSTRUCTION, not a bug for the checker to
+// find. The fault bounds shield node 0 from crash and Byzantine windows;
+// this test pins the behavior that justifies the shield.
+TEST(ZyzzyvaTest, CrashedPrimaryHaltsForeverByConstruction) {
+  ZyzCluster cluster(4);
+  ZyzzyvaClient* client = cluster.AddClient(5);
+  cluster.sim.Start();
+  ASSERT_TRUE(cluster.sim.RunUntil([&] { return client->completed() >= 2; },
+                                   10 * kSecond));
+  cluster.sim.Crash(0);  // The un-deposable sequencer.
+  EXPECT_FALSE(
+      cluster.sim.RunUntil([&] { return client->done(); }, 30 * kSecond));
+  EXPECT_EQ(client->completed(), 2);
+  // Even a restart does not help: the primary's sequencing state (next
+  // sequence number, history hash) is volatile, so its fresh responses can
+  // never rejoin the backups' histories. Hence the adapter's bounds keep
+  // node 0 out of the crash AND Byzantine windows entirely. The halt was
+  // always liveness-only — completed prefixes stay consistent.
+  cluster.CheckSafety();
+}
+
 }  // namespace
 }  // namespace consensus40::zyzzyva

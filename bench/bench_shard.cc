@@ -13,7 +13,12 @@
 //      clients, leader-side batching with a 1ms linger, and periodic
 //      checkpoints — isolating what the optimisations buy per mix,
 //   3. one large run (100k ops over a 1M-key space) showing the tuned
-//      path at a scale the serialized client could not touch.
+//      path at a scale the serialized client could not touch,
+//   4. a migrate row: the same tuned mix with a live shard move (shard
+//      0's whole range to a spare group) fired mid-run — pricing what an
+//      elastic resharding costs the workload (MOVED bounces, routing
+//      refetches, retried transactions) while the bench gates that every
+//      operation still completes and the move finishes under load.
 //
 // Results go to stdout and to BENCH_shard.json in the working directory
 // (same convention as bench_checker / BENCH_checker.json). All numbers
@@ -33,6 +38,7 @@
 #include <vector>
 
 #include "common/table.h"
+#include "shard/reshard.h"
 #include "shard/shard.h"
 #include "shard/workload.h"
 #include "sim/simulation.h"
@@ -57,6 +63,10 @@ struct Config {
   int batch_size = 1;
   sim::Duration batch_delay = 0;
   uint64_t snapshot_threshold = 0;
+  /// Fire a live shard move (shard 0's whole range -> a spare group)
+  /// 200 ms into the run; the row gates on the move completing AND every
+  /// workload op still resolving.
+  bool migrate = false;
 };
 
 // The mix ladder: from read-heavy single-shard to write-heavy
@@ -92,6 +102,18 @@ Config BigConfig() {
   return c;
 }
 
+Config MigrateConfig() {
+  Config c{"2sh-mixed-migrate", 2, 0.50, 0.30};
+  c.ops = 2000;
+  c.concurrency = 16;
+  c.window = 8;
+  c.batch_size = 8;
+  c.batch_delay = 1 * sim::kMillisecond;
+  c.snapshot_threshold = 256;
+  c.migrate = true;
+  return c;
+}
+
 Config SmokeConfig() {
   Config c{"2sh-smoke", 2, 0.50, 0.30};
   c.ops = 150;
@@ -107,11 +129,13 @@ struct Result {
   shard::WorkloadStats stats;
   sim::Time virtual_us = 0;  ///< Virtual time consumed by the run.
   double wall_s = 0;
+  int moves_done = 0;  ///< Migrate rows: completed live moves.
 };
 
 Result RunOne(const Config& config) {
   shard::ShardOptions options;
   options.shards = config.shards;
+  options.spare_groups = config.migrate ? 1 : 0;
   options.client_window = config.window;
   options.batch_size = config.batch_size;
   options.batch_delay = config.batch_delay;
@@ -136,14 +160,30 @@ Result RunOne(const Config& config) {
                  .Build();
   sim->RunFor(500 * sim::kMillisecond);  // Leader elections settle.
   sim::Time start = sim->now();
+  if (config.migrate) {
+    // Let traffic build, then live-move shard 0's whole range to the
+    // spare group while the workload keeps running.
+    sim->RunFor(200 * sim::kMillisecond);
+    shard::MoveSpec spec;
+    spec.lo = 0;
+    spec.hi = ssm->InitialTable().entries()[1].lo;
+    spec.to = config.shards;  // The spare group.
+    ssm->mover()->StartMove(spec);
+  }
   // Horizon scales with the workload (the 100k-op run needs more than
   // the 600-op rows even at tuned throughput).
   sim::Time horizon = std::max<sim::Time>(600, config.ops / 50);
-  sim->RunUntil([&] { return driver->done(); }, start + horizon * sim::kSecond);
+  sim->RunUntil(
+      [&] {
+        return driver->done() &&
+               (!config.migrate || ssm->mover()->moves_done() >= 1);
+      },
+      start + horizon * sim::kSecond);
 
   Result r;
   r.config = config;
   r.stats = driver->stats();
+  r.moves_done = config.migrate ? ssm->mover()->moves_done() : 0;
   r.virtual_us = sim->now() - start;
   r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                            t0)
@@ -187,7 +227,8 @@ void WriteJson(const std::vector<Result>& results, const char* path) {
         "\"abort_pct\": %.2f, \"mean_ms\": %.2f},\n"
         "     \"cross\": {\"committed\": %d, \"aborted\": %d, "
         "\"abort_pct\": %.2f, \"mean_ms\": %.2f},\n"
-        "     \"retries\": %d, \"wall_s\": %.2f}%s\n",
+        "     \"retries\": %d, \"moved\": %d, \"table_refreshes\": %d,\n"
+        "     \"moves_done\": %d, \"wall_s\": %.2f}%s\n",
         r.config.name, r.config.shards, r.config.read_fraction,
         r.config.cross_fraction, r.stats.completed(), r.config.concurrency,
         r.config.key_space, r.config.window, r.config.batch_size,
@@ -199,7 +240,8 @@ void WriteJson(const std::vector<Result>& results, const char* path) {
         r.stats.single.aborted, AbortRate(r.stats.single),
         r.stats.single.MeanLatencyMs(), r.stats.cross.committed,
         r.stats.cross.aborted, AbortRate(r.stats.cross),
-        r.stats.cross.MeanLatencyMs(), r.stats.retries, r.wall_s,
+        r.stats.cross.MeanLatencyMs(), r.stats.retries, r.stats.moved,
+        r.stats.table_refreshes, r.moves_done, r.wall_s,
         i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -255,6 +297,18 @@ bool SanityCheck(const Result& r, bool check_latency = true) {
                 r.stats.single.MeanLatencyMs());
     ok = false;
   }
+  if (r.config.migrate) {
+    if (r.moves_done < 1) {
+      std::printf("FAIL %s: live move never completed under load\n",
+                  r.config.name);
+      ok = false;
+    }
+    if (r.stats.moved < 1) {
+      std::printf("FAIL %s: no op ever bounced off the routing fence\n",
+                  r.config.name);
+      ok = false;
+    }
+  }
   return ok;
 }
 
@@ -298,9 +352,17 @@ int main(int argc, char** argv) {
     tuned_idx.push_back(results.size());
     results.push_back(RunOne(Tuned(kBaselines[i], tuned_names[i].c_str())));
   }
+  size_t big_idx = results.size();
   results.push_back(RunOne(BigConfig()));
+  results.push_back(RunOne(MigrateConfig()));
 
   PrintTable(results);
+  const Result& mig = results.back();
+  std::printf(
+      "migrate row: %d live move(s), %d MOVED bounce(s), %d table "
+      "refresh(es), %d retried tx(s)\n\n",
+      mig.moves_done, mig.stats.moved, mig.stats.table_refreshes,
+      mig.stats.retries);
 
   bool ok = true;
   for (const Result& r : results) ok &= SanityCheck(r);
@@ -323,7 +385,7 @@ int main(int argc, char** argv) {
       best_name = results[tuned_idx[i]].config.name;
     }
   }
-  const Result& big = results.back();
+  const Result& big = results[big_idx];
   double big_ratio = Throughput(big) / mixed_baseline;
   std::printf("speedup %-16s %6.1f -> %7.1f ops/vsec (%.2fx)\n",
               big.config.name, mixed_baseline, Throughput(big), big_ratio);

@@ -140,6 +140,7 @@ std::vector<std::pair<const char*, AdapterFactory>> AllInBoundsAdapters() {
       {"raft_batched", MakeBatchedGroupAdapter("raft")},
       {"multi_paxos_batched", MakeBatchedGroupAdapter("multi_paxos")},
       {"shard_batched", MakeShardBatchedAdapter()},
+      {"shard_reshard", MakeShardReshardAdapter()},
       {"pbft_byz", MakePbftByzantineAdapter()},
       {"zyzzyva_byz", MakeZyzzyvaByzantineAdapter()},
       {"minbft_byz", MakeMinBftByzantineAdapter()},

@@ -61,6 +61,12 @@ AdapterFactory MakeShardAdapter();
 /// (see MakeBatchedGroupAdapter); same fault bounds and expectations.
 AdapterFactory MakeShardBatchedAdapter();
 
+/// Elastic resharding: 2 shards + 1 spare group with one live range move
+/// racing the transactions, under mover-crash and owner-partition faults
+/// on top of the usual envelope. Must stay atomic AND terminate: every
+/// move transition is a write-once decision-group record.
+AdapterFactory MakeShardReshardAdapter();
+
 // --- In-bounds Byzantine variants (sim::ByzantineInterposer-driven) ---
 //
 // Each BFT adapter's Byzantine twin keeps the protocol inside its stated
@@ -99,6 +105,13 @@ AdapterFactory MakePbftOutOfBoundsAdapter();
 /// coordinator crash yields a discoverable liveness violation while
 /// safety still holds.
 AdapterFactory MakeTwoPhaseCommitBlockingAdapter();
+
+/// The live-move ladder with the flip made BEFORE freeze + drain: a
+/// transaction still in flight at the old owner applies its writes
+/// behind the copy snapshot and the routing fence, so a committed write
+/// exists at no owner — the lost-write violation the safe phase order
+/// (claim -> freeze -> drain -> copy -> flip -> unfreeze) prevents.
+AdapterFactory MakeShardReshardOutOfBoundsAdapter();
 
 /// The full in-bounds roster, as (name, factory) pairs, for sweeping.
 std::vector<std::pair<const char*, AdapterFactory>> AllInBoundsAdapters();

@@ -60,6 +60,10 @@ const char* FaultKindName(FaultKind k) {
       return "mutate";
     case FaultKind::kReplayStale:
       return "replay";
+    case FaultKind::kMoverCrash:
+      return "mover-crash";
+    case FaultKind::kOwnerPartition:
+      return "owner-partition";
   }
   return "?";
 }
@@ -72,12 +76,14 @@ std::string FaultSchedule::ToString() const {
       case FaultKind::kCrash:
       case FaultKind::kRestart:
       case FaultKind::kCoordinatorCrash:
+      case FaultKind::kMoverCrash:
         s += "(" + std::to_string(a.node) + ")";
         break;
       case FaultKind::kPartition:
         s += "(" + FormatGroup(a.group_a) + "|" + FormatGroup(a.group_b) + ")";
         break;
       case FaultKind::kShardPartition:
+      case FaultKind::kOwnerPartition:
         s += "(" + FormatGroup(a.group_b) + ")";
         break;
       case FaultKind::kDelaySpike:
@@ -173,6 +179,7 @@ FaultSchedule GenerateSchedule(uint64_t seed, const FaultBounds& bounds) {
   bool partitioned = false;
   bool spiked = false;
   bool coordinator_crashed = false;
+  bool mover_crashed = false;
   // Nodes that ever went Byzantine: they stay charged against the fault
   // budget for the whole run (a lying replica does not "recover" when its
   // window closes) and are never also crashed by this schedule.
@@ -230,6 +237,18 @@ FaultSchedule GenerateSchedule(uint64_t seed, const FaultBounds& bounds) {
     }
     if (!bounds.shard_groups.empty() && !partitioned) {
       feasible.push_back(FaultKind::kShardPartition);
+    }
+    // Resharding kinds, under the same stream-stability contract: the
+    // pool only changes for bounds that set the new fields.
+    if (bounds.mover != sim::kInvalidNode && !mover_crashed) {
+      feasible.push_back(FaultKind::kMoverCrash);
+      feasible.push_back(FaultKind::kMoverCrash);  // Weight like kCrash.
+    }
+    if (bounds.move_source >= 0 && bounds.move_dest >= 0 &&
+        static_cast<size_t>(std::max(bounds.move_source, bounds.move_dest)) <
+            bounds.shard_groups.size() &&
+        !partitioned) {
+      feasible.push_back(FaultKind::kOwnerPartition);
     }
     // Byzantine kinds enter the pool only for bounds that set
     // max_byzantine, under the same stream-stability contract.
@@ -332,6 +351,29 @@ FaultSchedule GenerateSchedule(uint64_t seed, const FaultBounds& bounds) {
         partitioned = true;
         break;
       }
+      case FaultKind::kMoverCrash: {
+        a.node = bounds.mover;
+        // Land inside the move window, derived from the aux draw (already
+        // consumed for every action) so the rng stream stays identical
+        // whether or not this kind is enabled.
+        if (bounds.mover_window_hi > bounds.mover_window_lo) {
+          a.at = bounds.mover_window_lo +
+                 static_cast<sim::Time>(
+                     a.aux % static_cast<uint64_t>(bounds.mover_window_hi -
+                                                   bounds.mover_window_lo));
+        }
+        mover_crashed = true;
+        break;
+      }
+      case FaultKind::kOwnerPartition: {
+        // Cut the move's old or new owner (aux picks which) off from the
+        // rest of the world; the injector folds everyone else into A.
+        const int side =
+            (a.aux & 1) != 0 ? bounds.move_source : bounds.move_dest;
+        a.group_b = bounds.shard_groups[static_cast<size_t>(side)];
+        partitioned = true;
+        break;
+      }
       case FaultKind::kEquivocate:
       case FaultKind::kWithhold:
       case FaultKind::kMutateDigest:
@@ -381,6 +423,13 @@ FaultSchedule GenerateSchedule(uint64_t seed, const FaultBounds& bounds) {
     a.node = bounds.coordinator;
     schedule.actions.push_back(std::move(a));
   }
+  if (mover_crashed && bounds.mover_restartable) {
+    FaultAction a;
+    a.at = bounds.horizon;
+    a.kind = FaultKind::kRestart;
+    a.node = bounds.mover;
+    schedule.actions.push_back(std::move(a));
+  }
   return schedule;
 }
 
@@ -399,6 +448,7 @@ FaultSchedule RestoreScheduleTail(FaultSchedule schedule,
   bool partitioned = false;
   bool spiked = false;
   bool coordinator_crashed = false;
+  bool mover_crashed = false;
   std::set<sim::NodeId> crashed;
   for (const FaultAction* a : order) {
     switch (a->kind) {
@@ -409,11 +459,16 @@ FaultSchedule RestoreScheduleTail(FaultSchedule schedule,
         crashed.insert(a->node);
         coordinator_crashed = true;
         break;
+      case FaultKind::kMoverCrash:
+        crashed.insert(a->node);
+        mover_crashed = true;
+        break;
       case FaultKind::kRestart:
         crashed.erase(a->node);
         break;
       case FaultKind::kPartition:
       case FaultKind::kShardPartition:
+      case FaultKind::kOwnerPartition:
         partitioned = true;
         break;
       case FaultKind::kHeal:
@@ -448,8 +503,10 @@ FaultSchedule RestoreScheduleTail(FaultSchedule schedule,
   for (sim::NodeId id : crashed) {
     const bool is_coordinator =
         coordinator_crashed && id == bounds.coordinator;
+    const bool is_mover = mover_crashed && id == bounds.mover;
     const bool restart = is_coordinator ? bounds.coordinator_restartable
-                                        : bounds.restartable;
+                        : is_mover     ? bounds.mover_restartable
+                                       : bounds.restartable;
     if (restart) append(FaultKind::kRestart, bounds.horizon, id);
   }
   return schedule;
@@ -464,12 +521,14 @@ void InjectSchedule(sim::Simulation* sim, const FaultSchedule& schedule) {
       switch (a.kind) {
         case FaultKind::kCrash:
         case FaultKind::kCoordinatorCrash:
+        case FaultKind::kMoverCrash:
           if (!sim->IsCrashed(a.node)) sim->Crash(a.node);
           break;
         case FaultKind::kRestart:
           if (sim->IsCrashed(a.node)) sim->Restart(a.node);
           break;
         case FaultKind::kShardPartition:
+        case FaultKind::kOwnerPartition:
         case FaultKind::kPartition: {
           std::vector<sim::NodeId> group_a = a.group_a;
           for (sim::NodeId id = 0; id < sim->num_processes(); ++id) {

@@ -72,6 +72,28 @@ struct FaultBounds {
   /// the rest of the world (the "minority shard cut" scenario).
   std::vector<std::vector<sim::NodeId>> shard_groups;
 
+  // --- Resharding faults (live shard moves; see shard/reshard.h) ---
+
+  /// A distinguished move-coordinator process (the ShardMover) that
+  /// schedules may crash INSIDE [mover_window_lo, mover_window_hi) — a
+  /// window the adapter positions over the move's phase ladder, so crashes
+  /// land between claim, freeze, copy, flip, and unfreeze. kInvalidNode
+  /// (the default) disables the action and keeps every pre-existing
+  /// bounds shape's schedule stream bit-for-bit unchanged.
+  sim::NodeId mover = sim::kInvalidNode;
+  sim::Time mover_window_lo = 0;
+  sim::Time mover_window_hi = 0;
+  /// Whether the schedule tail restarts a crashed mover at the horizon
+  /// (exactly-once move recovery runs from its write-once records).
+  bool mover_restartable = false;
+
+  /// Indices into `shard_groups` naming the move's old and new owner.
+  /// Both >= 0 enables owner-partition actions that cut one of the two
+  /// groups off mid-migration (the copy / flip messages between them must
+  /// retry through the heal). -1 (the default) disables the action.
+  int move_source = -1;
+  int move_dest = -1;
+
   // --- Byzantine faults (BFT protocols; armed via sim/byzantine.h) ---
 
   /// Maximum number of nodes that ever turn Byzantine in one schedule.
@@ -125,6 +147,12 @@ enum class FaultKind : uint8_t {
   kWithhold,
   kMutateDigest,
   kReplayStale,
+  /// Crash FaultBounds::mover inside its configured window (the move
+  /// ladder's phase boundaries).
+  kMoverCrash,
+  /// Isolate the move's old or new owner group (FaultBounds::move_source /
+  /// move_dest) from everyone else mid-migration.
+  kOwnerPartition,
 };
 
 const char* FaultKindName(FaultKind k);

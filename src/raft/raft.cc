@@ -467,10 +467,18 @@ void RaftReplica::MaybeServeReads() {
       ++i;
       continue;
     }
-    std::optional<std::string> value = kv_.Get(read.key);
+    // Read-index reads bypass the log, so the shard layer's routing
+    // fence must be consulted explicitly: a migrated-away key bounces
+    // with "MOVED <epoch>" exactly as the logged GET would.
+    std::string result;
+    if (std::optional<uint64_t> moved = kv_.MovedEpoch(read.key)) {
+      result = "MOVED " + std::to_string(*moved);
+    } else {
+      std::optional<std::string> value = kv_.Get(read.key);
+      result = value.has_value() ? *value : "NIL";
+    }
     Send(read.client_node,
-         std::make_shared<ReplyMsg>(read.client_seq,
-                                    value.has_value() ? *value : "NIL", id()));
+         std::make_shared<ReplyMsg>(read.client_seq, result, id()));
     ++reads_served_;
     pending_reads_.erase(pending_reads_.begin() + static_cast<long>(i));
   }

@@ -1,0 +1,144 @@
+#include "shard/routing.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "smr/command.h"
+
+namespace consensus40::shard {
+
+namespace {
+
+std::string HexU64(uint64_t v) {
+  if (v == 0) return "0";
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  while (v != 0) {
+    out.insert(out.begin(), kDigits[v & 0xf]);
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+RoutingTable RoutingTable::Initial(int shards) {
+  RoutingTable t;
+  t.entries_.clear();
+  if (shards < 1) shards = 1;
+  for (int i = 0; i < shards; ++i) {
+    uint64_t lo = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(i) << 64) / shards);
+    t.entries_.push_back({lo, i});
+  }
+  return t;
+}
+
+int RoutingTable::GroupFor(uint64_t h) const {
+  // Last entry with lo <= h.
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), h,
+      [](uint64_t v, const Entry& e) { return v < e.lo; });
+  return std::prev(it)->group;
+}
+
+int RoutingTable::GroupForKey(const std::string& key) const {
+  return GroupFor(smr::KeyHash(key));
+}
+
+void RoutingTable::RangeFor(uint64_t h, uint64_t* lo, uint64_t* hi) const {
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), h,
+      [](uint64_t v, const Entry& e) { return v < e.lo; });
+  *hi = it == entries_.end() ? 0 : it->lo;
+  *lo = std::prev(it)->lo;
+}
+
+bool RoutingTable::SoleOwner(uint64_t lo, uint64_t hi, int* owner) const {
+  if (hi != 0 && hi <= lo) return false;
+  int g = GroupFor(lo);
+  for (const Entry& e : entries_) {
+    if (e.lo > lo && (hi == 0 || e.lo < hi) && e.group != g) return false;
+  }
+  *owner = g;
+  return true;
+}
+
+void RoutingTable::ApplyMove(uint64_t lo, uint64_t hi, int group) {
+  // Group resuming at hi (the old owner of the hash just past the moved
+  // range); irrelevant when the move runs to the end of the space.
+  int after = hi == 0 ? -1 : GroupFor(hi);
+  std::vector<Entry> next;
+  for (const Entry& e : entries_) {
+    if (e.lo < lo || (hi != 0 && e.lo >= hi)) next.push_back(e);
+  }
+  next.push_back({lo, group});
+  if (hi != 0) next.push_back({hi, after});
+  std::sort(next.begin(), next.end(),
+            [](const Entry& a, const Entry& b) { return a.lo < b.lo; });
+  // Normalize: collapse adjacent same-group ranges (this is what makes a
+  // move back to the neighbour's owner a merge).
+  entries_.clear();
+  for (const Entry& e : next) {
+    if (!entries_.empty() && entries_.back().group == e.group) continue;
+    entries_.push_back(e);
+  }
+  ++epoch_;
+}
+
+std::string RoutingTable::Encode() const {
+  std::string out = "e" + std::to_string(epoch_) + "|";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i != 0) out += ',';
+    out += HexU64(entries_[i].lo);
+    out += ':';
+    out += std::to_string(entries_[i].group);
+  }
+  return out;
+}
+
+std::optional<RoutingTable> RoutingTable::Decode(const std::string& encoded) {
+  if (encoded.empty() || encoded[0] != 'e') return std::nullopt;
+  size_t bar = encoded.find('|');
+  if (bar == std::string::npos) return std::nullopt;
+  RoutingTable t;
+  {
+    char* end = nullptr;
+    t.epoch_ = std::strtoull(encoded.c_str() + 1, &end, 10);
+    if (end != encoded.c_str() + bar) return std::nullopt;
+  }
+  t.entries_.clear();
+  size_t pos = bar + 1;
+  while (pos < encoded.size()) {
+    size_t colon = encoded.find(':', pos);
+    if (colon == std::string::npos) return std::nullopt;
+    size_t comma = encoded.find(',', colon);
+    if (comma == std::string::npos) comma = encoded.size();
+    Entry e;
+    char* end = nullptr;
+    e.lo = std::strtoull(encoded.c_str() + pos, &end, 16);
+    if (end != encoded.c_str() + colon) return std::nullopt;
+    e.group = static_cast<int>(
+        std::strtol(encoded.substr(colon + 1, comma - colon - 1).c_str(),
+                    nullptr, 10));
+    t.entries_.push_back(e);
+    pos = comma + 1;
+  }
+  if (t.entries_.empty() || t.entries_[0].lo != 0) return std::nullopt;
+  for (size_t i = 1; i < t.entries_.size(); ++i) {
+    if (t.entries_[i].lo <= t.entries_[i - 1].lo) return std::nullopt;
+  }
+  return t;
+}
+
+bool RoutingTable::MaybeAdopt(const RoutingTable& other) {
+  if (other.epoch_ <= epoch_) return false;
+  *this = other;
+  return true;
+}
+
+std::string RoutingTable::RtKey(uint64_t epoch) {
+  return "__rt." + std::to_string(epoch);
+}
+
+}  // namespace consensus40::shard

@@ -2,7 +2,22 @@
 
 #include <cassert>
 
+#include "shard/reshard.h"
+#include "smr/command.h"
+
 namespace consensus40::shard {
+
+namespace {
+
+/// How often a frozen TM nudges the mover (stalled-move recovery) and
+/// re-announces drain completion.
+constexpr sim::Duration kNudgePeriod = 500 * sim::kMillisecond;
+
+bool InRange(uint64_t h, uint64_t lo, uint64_t hi) {
+  return h >= lo && (hi == 0 || h < hi);
+}
+
+}  // namespace
 
 std::string DecisionKey(uint64_t tx_id) {
   return "__d." + std::to_string(tx_id);
@@ -17,7 +32,96 @@ std::string PrepareKey(uint64_t tx_id) {
 // ---------------------------------------------------------------------------
 
 TxManager::TxManager(ShardedStateMachine* owner, int shard)
-    : owner_(owner), shard_(shard) {}
+    : owner_(owner), shard_(shard), table_(owner->InitialTable()) {}
+
+bool TxManager::KeyFrozen(const std::string& key) const {
+  uint64_t h = ShardedStateMachine::HashKey(key);
+  for (const auto& [id, f] : frozen_) {
+    if (InRange(h, f.lo, f.hi)) return true;
+  }
+  return false;
+}
+
+void TxManager::NoteTxGone(uint64_t tx_id) {
+  for (auto& [id, f] : frozen_) {
+    if (f.draining.erase(tx_id) > 0 && f.draining.empty()) {
+      f.drained_sent = true;
+      auto m = std::make_shared<MoveDrainedMsg>();
+      m->move_id = id;
+      Send(f.mover, m);
+    }
+  }
+}
+
+void TxManager::OnMoveFreeze(sim::NodeId from, const MoveFreezeMsg& m) {
+  FrozenRange& f = frozen_[m.move_id];
+  f.lo = m.lo;
+  f.hi = m.hi;
+  f.mover = from;
+  // In-flight transactions that must drain at the old owner: anything
+  // still in the table with a write in the range. New arrivals are
+  // refused from now on, so this set only shrinks. Recomputed on every
+  // (re-)freeze — safe, since refusals keep new range-txs out of txs_.
+  f.draining.clear();
+  for (const auto& [tx_id, tx] : txs_) {
+    for (const TxOp& op : tx.writes) {
+      if (InRange(ShardedStateMachine::HashKey(op.key), m.lo, m.hi)) {
+        f.draining.insert(tx_id);
+        break;
+      }
+    }
+  }
+  if (f.nudge_timer == 0) ArmNudge(m.move_id);
+  auto ack = std::make_shared<MoveFreezeAckMsg>();
+  ack->move_id = m.move_id;
+  ack->drained = f.draining.empty();
+  Send(from, ack);
+}
+
+void TxManager::ArmNudge(const std::string& move_id) {
+  auto it = frozen_.find(move_id);
+  if (it == frozen_.end()) return;
+  it->second.nudge_timer = SetTimer(kNudgePeriod, [this, move_id] {
+    auto f = frozen_.find(move_id);
+    if (f == frozen_.end()) return;
+    // The nudge doubles as retransmission of the drained signal (the
+    // raw TM<->mover messages have no other retry path) and as the
+    // recovery trigger for a crashed-and-restarted mover: the mover
+    // re-reads the move's claim/flip records and resumes the ladder.
+    auto nudge = std::make_shared<MoveNudgeMsg>();
+    nudge->move_id = move_id;
+    Send(f->second.mover, nudge);
+    if (f->second.draining.empty()) {
+      auto drained = std::make_shared<MoveDrainedMsg>();
+      drained->move_id = move_id;
+      Send(f->second.mover, drained);
+    }
+    ArmNudge(move_id);
+  });
+}
+
+void TxManager::OnMoveInstall(sim::NodeId from, const MoveInstallMsg& m) {
+  if (std::optional<RoutingTable> t = RoutingTable::Decode(m.table)) {
+    table_.MaybeAdopt(*t);
+  }
+  auto ack = std::make_shared<MoveInstallAckMsg>();
+  ack->move_id = m.move_id;
+  Send(from, ack);
+}
+
+void TxManager::OnMoveUnfreeze(sim::NodeId from, const MoveUnfreezeMsg& m) {
+  if (std::optional<RoutingTable> t = RoutingTable::Decode(m.table)) {
+    table_.MaybeAdopt(*t);
+  }
+  auto it = frozen_.find(m.move_id);
+  if (it != frozen_.end()) {
+    if (it->second.nudge_timer != 0) CancelTimer(it->second.nudge_timer);
+    frozen_.erase(it);
+  }
+  auto ack = std::make_shared<MoveUnfreezeAckMsg>();
+  ack->move_id = m.move_id;
+  Send(from, ack);
+}
 
 void TxManager::Vote(uint64_t tx_id, const Tx& tx, bool yes) {
   auto vote = std::make_shared<TmVoteMsg>();
@@ -40,6 +144,30 @@ void TxManager::OnMessage(sim::NodeId from, const sim::Message& msg) {
       return;
     }
     for (const TxOp& op : m->writes) {
+      // Routing check: a key this TM's table assigns elsewhere means the
+      // coordinator routed by a stale epoch — bounce with our table so
+      // it can re-split the retry at the new owner. (A TM only ever
+      // knows MORE than the coordinator about its own ranges: moves in
+      // and out of this shard always teach this TM before unfreezing.)
+      if (table_.GroupForKey(op.key) != shard_) {
+        ++redirects_;
+        auto redirect = std::make_shared<TmRedirectMsg>();
+        redirect->tx_id = m->tx_id;
+        redirect->table = table_.Encode();
+        Send(from, redirect);
+        return;
+      }
+    }
+    for (const TxOp& op : m->writes) {
+      // Mid-migration: the range is frozen while its data moves. Vote
+      // NO — the transaction retries after the flip (it is never split
+      // across epochs).
+      if (KeyFrozen(op.key)) {
+        Tx doomed;
+        doomed.coordinator = from;
+        Vote(m->tx_id, doomed, false);
+        return;
+      }
       auto lock = lock_table_.find(op.key);
       if (lock != lock_table_.end() && lock->second != m->tx_id) {
         // Conflict: vote NO without waiting (no deadlocks, ever). The
@@ -81,6 +209,19 @@ void TxManager::OnMessage(sim::NodeId from, const sim::Message& msg) {
 
   if (const auto* m = dynamic_cast<const TmDecisionMsg*>(&msg)) {
     ApplyDecision(m->tx_id, m->commit);
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const MoveFreezeMsg*>(&msg)) {
+    OnMoveFreeze(from, *m);
+    return;
+  }
+  if (const auto* m = dynamic_cast<const MoveInstallMsg*>(&msg)) {
+    OnMoveInstall(from, *m);
+    return;
+  }
+  if (const auto* m = dynamic_cast<const MoveUnfreezeMsg*>(&msg)) {
+    OnMoveUnfreeze(from, *m);
     return;
   }
   (void)from;
@@ -181,20 +322,25 @@ void TxManager::Finish(uint64_t tx_id, bool committed) {
   }
   ReleaseLocks(tx_id);
   txs_.erase(tx_id);
+  NoteTxGone(tx_id);
 }
 
 // ---------------------------------------------------------------------------
 // TxCoordinator
 // ---------------------------------------------------------------------------
 
-TxCoordinator::TxCoordinator(ShardedStateMachine* owner) : owner_(owner) {}
+TxCoordinator::TxCoordinator(ShardedStateMachine* owner)
+    : owner_(owner), table_(owner->InitialTable()) {}
 
 void TxCoordinator::OnRestart() {
   // Everything here is volatile BY DESIGN: the decision group is the
   // only durable commit state. Clients re-submit; every step downstream
-  // is idempotent.
+  // is idempotent. The routing cache resets to epoch 1 too — post-move
+  // prepares routed by the stale table bounce off the TMs' redirects
+  // and re-teach it.
   txs_.clear();
   decision_seq_tx_.clear();
+  table_ = owner_->InitialTable();
 }
 
 void TxCoordinator::OnMessage(sim::NodeId from, const sim::Message& msg) {
@@ -212,7 +358,7 @@ void TxCoordinator::OnMessage(sim::NodeId from, const sim::Message& msg) {
     Tx& tx = txs_[m->tx_id];
     tx.client = from;
     for (const TxOp& op : m->ops) {
-      tx.by_shard[owner_->ShardOf(op.key)].push_back(op);
+      tx.by_shard[table_.GroupForKey(op.key)].push_back(op);
     }
     tx.one_phase = tx.by_shard.size() == 1;
     for (const auto& [shard, writes] : tx.by_shard) {
@@ -265,6 +411,33 @@ void TxCoordinator::OnMessage(sim::NodeId from, const sim::Message& msg) {
     if (it == txs_.end()) return;
     it->second.acked.insert(m->shard);
     FinishIfAcked(m->tx_id);
+    return;
+  }
+
+  if (const auto* m = dynamic_cast<const TmRedirectMsg*>(&msg)) {
+    // A TM refused a key we routed to it: adopt its (newer) table, then
+    // abort the transaction — never split it across routing epochs. The
+    // client's retry re-splits against the adopted table.
+    if (std::optional<RoutingTable> t = RoutingTable::Decode(m->table)) {
+      table_.MaybeAdopt(*t);
+    }
+    auto it = txs_.find(m->tx_id);
+    if (it == txs_.end()) return;
+    Tx& tx = it->second;
+    if (tx.decided || tx.decision_pending) return;
+    ++redirected_;
+    if (tx.one_phase) {
+      // The sole TM refused before recording anything: no prepare, no
+      // locks, no decision record needed. Answer abort directly.
+      if (tx.vote_timer != 0) CancelTimer(tx.vote_timer);
+      tx.decided = true;
+      tx.commit = false;
+      ++aborted_;
+      Send(tx.client, std::make_shared<TxOutcomeMsg>(m->tx_id, false));
+      txs_.erase(it);
+      return;
+    }
+    Decide(m->tx_id, false);
     return;
   }
   (void)from;
@@ -320,26 +493,24 @@ void TxCoordinator::FinishIfAcked(uint64_t tx_id) {
 // ---------------------------------------------------------------------------
 
 ShardedStateMachine::ShardedStateMachine(ShardOptions options)
-    : options_(options) {
+    : options_(options),
+      initial_table_(RoutingTable::Initial(options.shards)) {
   assert(options_.shards >= 1);
+  assert(options_.spare_groups >= 0);
 }
 
 ShardedStateMachine::~ShardedStateMachine() = default;
 
 uint64_t ShardedStateMachine::HashKey(const std::string& key) {
   // FNV-1a: deterministic across platforms/compilers (std::hash is not).
-  uint64_t h = 14695981039346656037ull;
-  for (unsigned char c : key) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return h;
+  return smr::KeyHash(key);
 }
 
 int ShardedStateMachine::ShardOf(const std::string& key) const {
-  return static_cast<int>(HashKey(key) %
-                          static_cast<uint64_t>(options_.shards));
+  return initial_table_.GroupFor(HashKey(key));
 }
+
+sim::NodeId ShardedStateMachine::mover_id() const { return mover_->id(); }
 
 std::string ShardedStateMachine::KeyForShard(int shard, int i) const {
   int found = 0;
@@ -356,7 +527,7 @@ void ShardedStateMachine::Build(sim::Simulation* sim) {
   tuning.batch_size = options_.batch_size;
   tuning.batch_delay = options_.batch_delay;
   tuning.snapshot_threshold = options_.snapshot_threshold;
-  for (int s = 0; s < options_.shards; ++s) {
+  for (int s = 0; s < total_groups(); ++s) {
     auto group = consensus::MakeGroup(options_.protocol);
     assert(group != nullptr && "unknown ReplicaGroup protocol");
     group->Configure(tuning);
@@ -368,12 +539,14 @@ void ShardedStateMachine::Build(sim::Simulation* sim) {
   decision_group_->Configure(tuning);
   decision_group_->Create(sim, options_.decision_replicas);
 
-  // Infrastructure processes, after every consensus node.
-  for (int s = 0; s < options_.shards; ++s) {
+  // Infrastructure processes, after every consensus node. Spare groups
+  // get the same TM + clients as serving groups: they own ranges as
+  // soon as a move flips to them.
+  for (int s = 0; s < total_groups(); ++s) {
     tms_.push_back(sim->Spawn<TxManager>(this, s));
   }
   const sim::Duration client_retry = 300 * sim::kMillisecond;
-  for (int s = 0; s < options_.shards; ++s) {
+  for (int s = 0; s < total_groups(); ++s) {
     consensus::GroupClient* client = sim->Spawn<consensus::GroupClient>(
         shard_groups_[s].get(), client_retry, options_.client_window);
     TxManager* tm = tms_[s];
@@ -383,7 +556,7 @@ void ShardedStateMachine::Build(sim::Simulation* sim) {
         });
     shard_clients_.push_back(client);
   }
-  for (int s = 0; s < options_.shards; ++s) {
+  for (int s = 0; s < total_groups(); ++s) {
     consensus::GroupClient* client = sim->Spawn<consensus::GroupClient>(
         decision_group_.get(), client_retry, options_.client_window);
     TxManager* tm = tms_[s];
@@ -400,6 +573,29 @@ void ShardedStateMachine::Build(sim::Simulation* sim) {
   coord_decision_client_->SetCallback(
       [coordinator](uint64_t seq, const std::string& result, bool /*read*/) {
         coordinator->OnDecisionResult(seq, result);
+      });
+
+  // The move coordinator, last — after the 2PC coordinator, so the
+  // pre-resharding node-id layout (and the checker bounds pinned to it)
+  // is unchanged. Its clients use window 1: the move ladder is strictly
+  // sequential and relies on submission order.
+  mover_ = sim->Spawn<ShardMover>(this);
+  ShardMover* mover = mover_;
+  for (int s = 0; s < total_groups(); ++s) {
+    consensus::GroupClient* client = sim->Spawn<consensus::GroupClient>(
+        shard_groups_[s].get(), client_retry, 1);
+    int group = s;
+    client->SetCallback(
+        [mover, group](uint64_t seq, const std::string& result, bool) {
+          mover->OnGroupResult(group, seq, result);
+        });
+    mover_group_clients_.push_back(client);
+  }
+  mover_decision_client_ = sim->Spawn<consensus::GroupClient>(
+      decision_group_.get(), client_retry, 1);
+  mover_decision_client_->SetCallback(
+      [mover](uint64_t seq, const std::string& result, bool) {
+        mover->OnDecisionResult(seq, result);
       });
 }
 

@@ -37,9 +37,15 @@
 #include <vector>
 
 #include "consensus/replica_group.h"
+#include "shard/routing.h"
 #include "sim/simulation.h"
 
 namespace consensus40::shard {
+
+class ShardMover;
+struct MoveFreezeMsg;
+struct MoveInstallMsg;
+struct MoveUnfreezeMsg;
 
 /// One write of a transaction.
 struct TxOp {
@@ -115,9 +121,31 @@ struct TmAckMsg : sim::Message {
   int shard = -1;
 };
 
+/// TM -> coordinator: "a key of this transaction is not mine — here is
+/// my (newer) routing table". The coordinator adopts the table (epoch-
+/// gated, never backwards) and aborts the transaction; the client
+/// retries and the re-split lands at the new owner. This is how routing
+/// epochs propagate after a move: nobody is told proactively, stale
+/// routes bounce.
+struct TmRedirectMsg : sim::Message {
+  const char* TypeName() const override { return "tm-redirect"; }
+  int ByteSize() const override { return 16 + static_cast<int>(table.size()); }
+  uint64_t tx_id = 0;
+  std::string table;  ///< RoutingTable::Encode of the TM's table.
+};
+
 struct ShardOptions {
   int shards = 2;
   int replicas_per_shard = 3;
+  /// Extra replica groups that own no key range at epoch 1 — migration
+  /// destinations for live splits. They get the same replicas, TM, and
+  /// clients as serving groups.
+  int spare_groups = 0;
+  /// OUT-OF-BOUNDS knob for the safety checker: the mover skips the
+  /// freeze/drain phases and flips the routing epoch while transactions
+  /// are still writing to the old owner. Violates exactly-once (lost
+  /// writes); exists so the checker can prove the drain is load-bearing.
+  bool unsafe_flip_before_drain = false;
   /// Replicas of the decision group (the "Paxos registrar" of Gray &
   /// Lamport's commit protocol).
   int decision_replicas = 3;
@@ -161,6 +189,9 @@ class TxManager : public sim::Process {
 
   int prepares() const { return prepares_; }
   int recoveries() const { return recoveries_; }
+  int redirects() const { return redirects_; }
+  const RoutingTable& table() const { return table_; }
+  bool has_frozen_range() const { return !frozen_.empty(); }
 
  private:
   enum class Phase {
@@ -177,20 +208,43 @@ class TxManager : public sim::Process {
     int writes_outstanding = 0;
     uint64_t recovery_timer = 0;
   };
+  /// A range frozen by an in-progress ShardMove: new transactions on it
+  /// are refused (vote NO), in-flight ones drain to completion, and a
+  /// repeating nudge timer keeps the mover honest (it is the recovery
+  /// trigger when the mover crashes mid-move).
+  struct FrozenRange {
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    sim::NodeId mover = sim::kInvalidNode;
+    std::set<uint64_t> draining;  ///< In-flight txs touching the range.
+    bool drained_sent = false;
+    uint64_t nudge_timer = 0;
+  };
 
   void Vote(uint64_t tx_id, const Tx& tx, bool yes);
   void ApplyDecision(uint64_t tx_id, bool commit);
   void ReleaseLocks(uint64_t tx_id);
   void Finish(uint64_t tx_id, bool committed);
+  bool KeyFrozen(const std::string& key) const;
+  /// Removes a finished tx from every drain set; announces quiescence.
+  void NoteTxGone(uint64_t tx_id);
+  /// Repeating mover nudge while a range stays frozen.
+  void ArmNudge(const std::string& move_id);
+  void OnMoveFreeze(sim::NodeId from, const MoveFreezeMsg& m);
+  void OnMoveInstall(sim::NodeId from, const MoveInstallMsg& m);
+  void OnMoveUnfreeze(sim::NodeId from, const MoveUnfreezeMsg& m);
 
   ShardedStateMachine* owner_;
   int shard_;
+  RoutingTable table_;  ///< This TM's view of the routing (epoch-gated).
   std::map<uint64_t, Tx> txs_;
+  std::map<std::string, FrozenRange> frozen_;   ///< move_id -> range.
   std::map<std::string, uint64_t> lock_table_;  ///< key -> owning tx.
   std::map<uint64_t, uint64_t> shard_seq_tx_;   ///< client seq -> tx.
   std::map<uint64_t, uint64_t> decision_seq_tx_;
   int prepares_ = 0;
   int recoveries_ = 0;
+  int redirects_ = 0;
 };
 
 /// 2PC front-end: drives prepare/decide/ack rounds. All state is
@@ -208,6 +262,8 @@ class TxCoordinator : public sim::Process {
   int started() const { return started_; }
   int committed() const { return committed_; }
   int aborted() const { return aborted_; }
+  int redirected() const { return redirected_; }
+  const RoutingTable& table() const { return table_; }
 
  private:
   struct Tx {
@@ -226,11 +282,13 @@ class TxCoordinator : public sim::Process {
   void FinishIfAcked(uint64_t tx_id);
 
   ShardedStateMachine* owner_;
+  RoutingTable table_;  ///< Routing cache; refreshed by TM redirects.
   std::map<uint64_t, Tx> txs_;
   std::map<uint64_t, uint64_t> decision_seq_tx_;  ///< client seq -> tx.
   int started_ = 0;
   int committed_ = 0;
   int aborted_ = 0;
+  int redirected_ = 0;
 };
 
 /// The assembled sharded system. Spawn order (and therefore node-id
@@ -246,12 +304,22 @@ class ShardedStateMachine {
   /// before Simulation::Start (or via Simulation::Builder::Setup).
   void Build(sim::Simulation* sim);
 
-  /// Which shard owns `key` (FNV-1a hash; stable across platforms).
+  /// Which shard owns `key` at EPOCH 1 (the static initial table, equal
+  /// FNV-1a hash ranges across the first `shards` groups). Live routing
+  /// may differ after a move; the routed components (coordinator, TMs,
+  /// workload driver) each hold an epoch-gated RoutingTable cache.
   int ShardOf(const std::string& key) const;
   static uint64_t HashKey(const std::string& key);
 
+  /// The epoch-1 routing table every cache starts from.
+  const RoutingTable& InitialTable() const { return initial_table_; }
+
+  /// Serving groups + spare groups.
+  int total_groups() const { return options_.shards + options_.spare_groups; }
+
   /// The i-th key (by probe order) that hashes to `shard` — for tests
-  /// and workloads that need keys with a known placement.
+  /// and workloads that need keys with a known placement. Only valid
+  /// for serving shards (< options().shards).
   std::string KeyForShard(int shard, int i) const;
 
   const ShardOptions& options() const { return options_; }
@@ -259,6 +327,8 @@ class ShardedStateMachine {
   TxCoordinator* coordinator() const { return coordinator_; }
   TxManager* tx_manager(int shard) const { return tms_[shard]; }
   sim::NodeId tm_id(int shard) const { return tms_[shard]->id(); }
+  ShardMover* mover() const { return mover_; }
+  sim::NodeId mover_id() const;
 
   const consensus::ReplicaGroup* shard_group(int shard) const {
     return shard_groups_[shard].get();
@@ -289,9 +359,16 @@ class ShardedStateMachine {
   consensus::GroupClient* coord_decision_client() const {
     return coord_decision_client_;
   }
+  consensus::GroupClient* mover_group_client(int group) const {
+    return mover_group_clients_[group];
+  }
+  consensus::GroupClient* mover_decision_client() const {
+    return mover_decision_client_;
+  }
 
  private:
   ShardOptions options_;
+  RoutingTable initial_table_;
   std::vector<std::unique_ptr<consensus::ReplicaGroup>> shard_groups_;
   std::unique_ptr<consensus::ReplicaGroup> decision_group_;
   std::vector<TxManager*> tms_;
@@ -299,6 +376,9 @@ class ShardedStateMachine {
   std::vector<consensus::GroupClient*> tm_decision_clients_;
   TxCoordinator* coordinator_ = nullptr;
   consensus::GroupClient* coord_decision_client_ = nullptr;
+  ShardMover* mover_ = nullptr;
+  std::vector<consensus::GroupClient*> mover_group_clients_;
+  consensus::GroupClient* mover_decision_client_ = nullptr;
 };
 
 /// Decision-record key for `tx_id` in the decision group's KV state.

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "check/adapters.h"
+#include "shard/reshard.h"
 #include "shard/shard.h"
 #include "smr/state_machine.h"
 
@@ -237,6 +238,276 @@ class ShardCheckAdapter : public ProtocolAdapter {
   std::string layout_error_;
 };
 
+/// Keeps requesting the live range move until the mover takes it.
+/// StartMove's queue is volatile, so a mover crashed before its claim
+/// record committed forgets the request entirely — the re-request is the
+/// client-side half of move recovery (the TM nudge is the server-side
+/// half, and only exists once a freeze happened).
+class MoveDriver : public sim::Process {
+ public:
+  MoveDriver(ShardedStateMachine* ssm, shard::MoveSpec spec, sim::Time at)
+      : ssm_(ssm), spec_(spec), at_(at) {}
+
+  void OnStart() override {
+    SetTimer(at_, [this] { Tick(); });
+  }
+  void OnMessage(sim::NodeId, const sim::Message&) override {}
+
+ private:
+  void Tick() {
+    shard::ShardMover* mover = ssm_->mover();
+    if (mover->moves_done() > 0) return;
+    if (!mover->crashed() && mover->idle()) mover->StartMove(spec_);
+    SetTimer(400 * sim::kMillisecond, [this] { Tick(); });
+  }
+
+  ShardedStateMachine* ssm_;
+  shard::MoveSpec spec_;
+  sim::Time at_;
+};
+
+/// The elastic-resharding composition: 2 serving shards + 1 spare group,
+/// with one live move (shard 0's whole initial range -> the spare)
+/// racing three staggered cross-shard transactions. The fault envelope
+/// adds the two migration-specific faults — the mover crashing inside
+/// the move window (every phase boundary of the ladder) and the old or
+/// new owner group partitioned mid-copy — on top of the usual replica
+/// crashes, coordinator crash, and shard cuts. Expected to terminate AND
+/// stay atomic: every transition of the move is a write-once record in
+/// the decision group, so any participant can finish a dead mover's move.
+class ReshardCheckAdapter : public ProtocolAdapter {
+ public:
+  explicit ReshardCheckAdapter(const char* label = "shard_reshard",
+                               bool unsafe_flip = false)
+      : label_(label) {
+    shard::ShardOptions so;  // 2 shards x 3 replicas, 3 decision replicas.
+    so.spare_groups = 1;
+    so.unsafe_flip_before_drain = unsafe_flip;
+    ssm_ = std::make_unique<ShardedStateMachine>(so);
+    for (uint64_t tx = 1; tx <= kTxs; ++tx) {
+      ShardTxClient::Planned p;
+      p.tx_id = tx;
+      int i = static_cast<int>(tx) - 1;
+      std::string value = "t" + std::to_string(tx);
+      p.ops = {TxOp{ssm_->KeyForShard(0, i), value},
+               TxOp{ssm_->KeyForShard(1, i), value}};
+      p.at = (300 + 200 * i) * sim::kMillisecond;
+      plan_.push_back(std::move(p));
+    }
+  }
+
+  const char* name() const override { return label_; }
+
+  FaultBounds bounds() const override {
+    // Spawn order: 3 groups x 3 replicas [0,9), decision replicas [9,12),
+    // TMs (3), shard clients (3), TM decision clients (3), coordinator
+    // (21), its decision client, mover (23), mover clients (4).
+    FaultBounds b;
+    b.first_node = 0;
+    b.nodes = kConsensusNodes;
+    b.max_crashed = 1;
+    b.restartable = true;
+    b.partitionable = true;
+    b.coordinator = kCoordinatorId;
+    b.coordinator_window_lo = 250 * sim::kMillisecond;
+    b.coordinator_window_hi = 1300 * sim::kMillisecond;
+    b.coordinator_restartable = true;
+    b.shard_groups = {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}, {9, 10, 11}};
+    // The migration-specific envelope: mover crashes landing anywhere in
+    // the move's phase ladder, and old/new-owner cuts mid-migration.
+    b.mover = kMoverId;
+    b.mover_window_lo = 300 * sim::kMillisecond;
+    b.mover_window_hi = 1500 * sim::kMillisecond;
+    b.mover_restartable = true;
+    b.move_source = 0;
+    b.move_dest = 2;
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    ssm_->Build(sim);
+    if (ssm_->coordinator_id() != kCoordinatorId ||
+        ssm_->mover_id() != kMoverId) {
+      layout_error_ = "reshard adapter: coordinator/mover ids " +
+                      std::to_string(ssm_->coordinator_id()) + "/" +
+                      std::to_string(ssm_->mover_id()) +
+                      " do not match the declared fault bounds";
+    }
+    client_ = sim->Spawn<ShardTxClient>(ssm_->coordinator_id(), plan_);
+    // The move: shard 0's whole initial range to the spare group, kicked
+    // off while the transactions are in flight.
+    shard::MoveSpec spec;
+    spec.lo = 0;
+    spec.hi = ssm_->InitialTable().entries()[1].lo;
+    spec.to = 2;
+    sim->Spawn<MoveDriver>(ssm_.get(), spec, 350 * sim::kMillisecond);
+  }
+
+  bool Done() const override {
+    return client_ != nullptr && client_->outcomes.size() >= kTxs &&
+           ssm_->mover()->moves_done() >= 1 && ssm_->mover()->idle();
+  }
+
+  /// Termination is the point: a crashed mover's move is finished by any
+  /// participant from the write-once records, and the transactions ride
+  /// the old owner or retry at the new one — nobody blocks.
+  bool ExpectTermination() const override { return true; }
+
+  void OnProbe(sim::Simulation*) override { ssm_->Probe(); }
+
+  Observation Observe() const override {
+    Observation o;
+    if (!layout_error_.empty()) o.self_reported.push_back(layout_error_);
+    if (client_ == nullptr) return o;
+
+    for (const auto& [tx, committed] : client_->outcomes) {
+      o.verdicts[tx][client_->id()] = committed ? 'C' : 'A';
+    }
+
+    smr::KvStore decisions = Replay(ssm_->decision_group());
+    std::map<uint64_t, bool> decided;
+    for (uint64_t tx = 1; tx <= kTxs; ++tx) {
+      auto d = decisions.Get(shard::DecisionKey(tx));
+      if (d.has_value()) {
+        decided[tx] = *d == "C";
+        o.verdicts[tx][ssm_->decision_group()->members()[0]] =
+            *d == "C" ? 'C' : 'A';
+      }
+    }
+
+    // The authoritative routing table at end of run: the initial
+    // placement plus every flip record the decision group holds.
+    shard::RoutingTable table = ssm_->InitialTable();
+    for (uint64_t e = 2; e <= 8; ++e) {
+      auto rt = decisions.Get(shard::RoutingTable::RtKey(e));
+      if (!rt.has_value()) break;
+      if (auto t = shard::RoutingTable::Decode(*rt)) table.MaybeAdopt(*t);
+    }
+
+    // Applied state, judged at each key's AUTHORITATIVE owner under that
+    // table: a committed transaction's write must have either been
+    // migrated with its range or landed at the new owner directly. A
+    // commit decision whose write was LOGGED at the old owner yet made it
+    // into neither owner's state is a lost write — it applied behind the
+    // routing fence and was dropped, the violation the flip-before-drain
+    // out-of-bounds variant must produce. (The log-presence condition
+    // keeps decided-but-still-in-flight writes — the run ends the moment
+    // the client hears the outcome — from being miscalled as lost.)
+    std::vector<smr::KvStore> kvs;
+    std::vector<std::vector<smr::Command>> logs;
+    for (int g = 0; g < ssm_->total_groups(); ++g) {
+      logs.push_back(BestPrefix(ssm_->shard_group(g)));
+      kvs.push_back(Replay(logs.back()));
+    }
+    for (uint64_t tx = 1; tx <= kTxs; ++tx) {
+      for (const TxOp& op : plan_[tx - 1].ops) {
+        int owner = table.GroupForKey(op.key);
+        int initial_owner = ssm_->InitialTable().GroupForKey(op.key);
+        sim::NodeId at = ssm_->ShardMembers(owner)[0];
+        auto v = kvs[static_cast<size_t>(owner)].Get(op.key);
+        bool present = v.has_value() && *v == op.value;
+        if (present) {
+          o.verdicts[tx][at] = 'C';
+        } else if (kvs[static_cast<size_t>(owner)]
+                       .Get(shard::PrepareKey(tx))
+                       .has_value() ||
+                   kvs[static_cast<size_t>(initial_owner)]
+                       .Get(shard::PrepareKey(tx))
+                       .has_value()) {
+          o.verdicts[tx][at] = 'P';
+        }
+        if (!present && decided.count(tx) > 0 && decided[tx]) {
+          auto old_v = kvs[static_cast<size_t>(initial_owner)].Get(op.key);
+          const std::string put = "PUT " + op.key + " " + op.value;
+          bool logged_old = false;
+          for (const smr::Command& cmd :
+               logs[static_cast<size_t>(initial_owner)]) {
+            for (const smr::Command& c : smr::FlattenCommand(cmd)) {
+              logged_old |= c.op == put;
+            }
+          }
+          if ((!old_v.has_value() || *old_v != op.value) && logged_old) {
+            o.self_reported.push_back(
+                "reshard: lost write: tx " + std::to_string(tx) +
+                " decided commit and logged its write at the pre-move owner "
+                "(group " +
+                std::to_string(initial_owner) + ") but key " + op.key +
+                " holds its value at neither owner (authoritative: group " +
+                std::to_string(owner) + ")");
+          }
+        }
+      }
+    }
+
+    for (int g = 0; g < ssm_->total_groups(); ++g) {
+      PrefixCheck(ssm_->shard_group(g), "group " + std::to_string(g), &o);
+    }
+    PrefixCheck(ssm_->decision_group(), "decision group", &o);
+
+    for (const std::string& v : ssm_->Violations()) {
+      o.self_reported.push_back("shard system: " + v);
+    }
+    return o;
+  }
+
+ private:
+  static constexpr int kConsensusNodes = 12;  // 3 groups x 3 + 3 decision.
+  static constexpr sim::NodeId kCoordinatorId = 21;
+  static constexpr sim::NodeId kMoverId = 23;
+  static constexpr uint64_t kTxs = 3;
+
+  /// The longest committed prefix across the group's replicas.
+  static std::vector<smr::Command> BestPrefix(
+      const consensus::ReplicaGroup* group) {
+    std::vector<smr::Command> best;
+    for (size_t i = 0; i < group->members().size(); ++i) {
+      std::vector<smr::Command> prefix =
+          group->CommittedPrefix(static_cast<int>(i));
+      if (prefix.size() > best.size()) best = std::move(prefix);
+    }
+    return best;
+  }
+
+  static smr::KvStore Replay(const std::vector<smr::Command>& prefix) {
+    smr::KvStore kv;
+    smr::DedupingExecutor dedup;
+    for (const smr::Command& cmd : prefix) dedup.Apply(&kv, cmd);
+    return kv;
+  }
+
+  static smr::KvStore Replay(const consensus::ReplicaGroup* group) {
+    return Replay(BestPrefix(group));
+  }
+
+  static void PrefixCheck(const consensus::ReplicaGroup* group,
+                          const std::string& label, Observation* o) {
+    std::vector<std::vector<smr::Command>> prefixes;
+    for (size_t i = 0; i < group->members().size(); ++i) {
+      prefixes.push_back(group->CommittedPrefix(static_cast<int>(i)));
+    }
+    for (size_t i = 0; i < prefixes.size(); ++i) {
+      for (size_t j = i + 1; j < prefixes.size(); ++j) {
+        size_t common = std::min(prefixes[i].size(), prefixes[j].size());
+        for (size_t k = 0; k < common; ++k) {
+          if (!(prefixes[i][k] == prefixes[j][k])) {
+            o->self_reported.push_back(
+                label + ": replicas " + std::to_string(i) + " and " +
+                std::to_string(j) + " diverge at log index " +
+                std::to_string(k));
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  const char* label_;
+  std::unique_ptr<ShardedStateMachine> ssm_;
+  std::vector<ShardTxClient::Planned> plan_;
+  ShardTxClient* client_ = nullptr;
+  std::string layout_error_;
+};
+
 }  // namespace
 
 AdapterFactory MakeShardAdapter() {
@@ -254,6 +525,21 @@ AdapterFactory MakeShardBatchedAdapter() {
     so.batch_size = 4;
     so.batch_delay = 1 * sim::kMillisecond;
     return std::make_unique<ShardCheckAdapter>("shard_batched", so);
+  };
+}
+
+AdapterFactory MakeShardReshardAdapter() {
+  return [](uint64_t) { return std::make_unique<ReshardCheckAdapter>(); };
+}
+
+AdapterFactory MakeShardReshardOutOfBoundsAdapter() {
+  // The mover flips the routing epoch BEFORE freezing/draining the old
+  // owner: transactions still in flight there apply their writes after
+  // the copy snapshot and behind the fence — a committed write that
+  // exists at no owner. The checker must find and shrink this.
+  return [](uint64_t) {
+    return std::make_unique<ReshardCheckAdapter>("shard_reshard_unsafe",
+                                                 /*unsafe_flip=*/true);
   };
 }
 

@@ -1,11 +1,26 @@
 #include "shard/workload.h"
 
+#include "shard/routing.h"
+
 namespace consensus40::shard {
+
+namespace {
+
+/// Backoff before re-fetching a routing table the decision group does
+/// not hold yet (fence observed before the flip record committed).
+constexpr sim::Duration kRtRetry = 100 * sim::kMillisecond;
+
+}  // namespace
 
 WorkloadDriver::WorkloadDriver(ShardedStateMachine* ssm,
                                WorkloadOptions options,
-                               std::vector<consensus::GroupClient*> readers)
-    : ssm_(ssm), options_(options), readers_(std::move(readers)) {}
+                               std::vector<consensus::GroupClient*> readers,
+                               consensus::GroupClient* rt_reader)
+    : ssm_(ssm),
+      options_(options),
+      readers_(std::move(readers)),
+      rt_reader_(rt_reader),
+      table_(ssm->InitialTable()) {}
 
 void WorkloadDriver::OnStart() {
   int initial = options_.concurrency < options_.ops ? options_.concurrency
@@ -31,11 +46,14 @@ void WorkloadDriver::IssueNext() {
 }
 
 void WorkloadDriver::IssueRead() {
-  std::string key = RandomKey(options_.key_space);
-  int shard = ssm_->ShardOf(key);
-  uint64_t seq = readers_[static_cast<size_t>(shard)]->Read(key);
-  pending_reads_[{shard, seq}] = PendingRead{Now()};
   ++stats_.reads.issued;
+  SendRead(RandomKey(options_.key_space), Now());
+}
+
+void WorkloadDriver::SendRead(const std::string& key, sim::Time start) {
+  int group = table_.GroupForKey(key);
+  uint64_t seq = readers_[static_cast<size_t>(group)]->Read(key);
+  pending_reads_[{group, seq}] = PendingRead{key, start};
 }
 
 void WorkloadDriver::IssueTx(bool cross) {
@@ -47,12 +65,13 @@ void WorkloadDriver::IssueTx(bool cross) {
   std::string k1 = RandomKey(options_.write_space);
   tx.ops.push_back(TxOp{k1, value});
   if (cross) {
-    // A second key on a different shard; bounded probing keeps the loop
-    // deterministic even for pathological write spaces.
-    int shard1 = ssm_->ShardOf(k1);
+    // A second key on a different group (per the driver's current routing
+    // view); bounded probing keeps the loop deterministic even for
+    // pathological write spaces.
+    int group1 = table_.GroupForKey(k1);
     for (int attempt = 0; attempt < 64; ++attempt) {
       std::string k2 = RandomKey(options_.write_space);
-      if (k2 != k1 && ssm_->ShardOf(k2) != shard1) {
+      if (k2 != k1 && table_.GroupForKey(k2) != group1) {
         tx.ops.push_back(TxOp{k2, value});
         break;
       }
@@ -93,40 +112,97 @@ void WorkloadDriver::OnMessage(sim::NodeId from, const sim::Message& msg) {
   IssueNext();
 }
 
-void WorkloadDriver::OnReadResult(int shard, uint64_t seq,
+void WorkloadDriver::OnReadResult(int group, uint64_t seq,
                                   const std::string& result) {
   if (crashed()) return;
-  auto it = pending_reads_.find({shard, seq});
+  auto it = pending_reads_.find({group, seq});
   if (it == pending_reads_.end()) return;
+  PendingRead read = it->second;
+  pending_reads_.erase(it);
+  if (result.compare(0, 6, "MOVED ") == 0) {
+    // The key's range was migrated away. Learn the flip epoch's table
+    // from the decision group, then re-route; the read keeps its original
+    // start time, so migration stalls show up in the latency tail.
+    ++stats_.moved;
+    uint64_t epoch = std::strtoull(result.c_str() + 6, nullptr, 10);
+    if (table_.epoch() >= epoch) {
+      SendRead(read.key, read.start);  // A newer table already arrived.
+    } else {
+      parked_reads_.push_back(std::move(read));
+      FetchTable(epoch);
+    }
+    return;
+  }
   ++stats_.reads.completed;
   if (result == "NIL") ++stats_.reads.misses;
-  sim::Duration latency = Now() - it->second.start;
+  sim::Duration latency = Now() - read.start;
   stats_.reads.latency_sum += latency;
   if (latency > stats_.reads.latency_max) stats_.reads.latency_max = latency;
-  pending_reads_.erase(it);
   IssueNext();
+}
+
+void WorkloadDriver::FetchTable(uint64_t epoch) {
+  if (rt_epoch_inflight_ >= epoch) return;
+  rt_epoch_inflight_ = epoch;
+  uint64_t seq = rt_reader_->Read(RoutingTable::RtKey(epoch));
+  rt_fetches_[seq] = epoch;
+}
+
+void WorkloadDriver::OnRtResult(uint64_t seq, const std::string& result) {
+  if (crashed()) return;
+  auto it = rt_fetches_.find(seq);
+  if (it == rt_fetches_.end()) return;
+  uint64_t epoch = it->second;
+  rt_fetches_.erase(it);
+  std::optional<RoutingTable> t;
+  if (result != "NIL") t = RoutingTable::Decode(result);
+  if (!t.has_value()) {
+    // Fence observed before the flip record landed (the fence commits one
+    // phase earlier in the move ladder), or a torn record: retry shortly.
+    SetTimer(kRtRetry, [this, epoch] {
+      if (rt_epoch_inflight_ == epoch) {
+        uint64_t retry_seq = rt_reader_->Read(RoutingTable::RtKey(epoch));
+        rt_fetches_[retry_seq] = epoch;
+      }
+    });
+    return;
+  }
+  if (table_.MaybeAdopt(*t)) ++stats_.table_refreshes;
+  if (rt_epoch_inflight_ <= epoch) rt_epoch_inflight_ = 0;
+  // Re-route everything that was parked behind the fence. A re-routed
+  // read can bounce again (chained moves); it just parks again.
+  std::vector<PendingRead> parked = std::move(parked_reads_);
+  parked_reads_.clear();
+  for (PendingRead& read : parked) SendRead(read.key, read.start);
 }
 
 WorkloadDriver* SpawnWorkload(sim::Simulation* sim, ShardedStateMachine* ssm,
                               const WorkloadOptions& options) {
   std::vector<consensus::GroupClient*> readers;
-  for (int s = 0; s < ssm->options().shards; ++s) {
+  for (int g = 0; g < ssm->total_groups(); ++g) {
     // Readers share the layer-wide window: concurrent reads of distinct
     // keys are independent, so reordering within the window is harmless.
+    // Spare groups get readers too — after a move they serve live ranges.
     readers.push_back(sim->Spawn<consensus::GroupClient>(
-        ssm->shard_group(s), 300 * sim::kMillisecond,
+        ssm->shard_group(g), 300 * sim::kMillisecond,
         ssm->options().client_window));
   }
+  consensus::GroupClient* rt_reader = sim->Spawn<consensus::GroupClient>(
+      ssm->decision_group(), 300 * sim::kMillisecond, 1);
   WorkloadDriver* driver =
-      sim->Spawn<WorkloadDriver>(ssm, options, readers);
-  for (int s = 0; s < ssm->options().shards; ++s) {
-    int shard = s;
-    readers[static_cast<size_t>(s)]->SetCallback(
-        [driver, shard](uint64_t seq, const std::string& result,
+      sim->Spawn<WorkloadDriver>(ssm, options, readers, rt_reader);
+  for (int g = 0; g < ssm->total_groups(); ++g) {
+    int group = g;
+    readers[static_cast<size_t>(g)]->SetCallback(
+        [driver, group](uint64_t seq, const std::string& result,
                         bool /*read*/) {
-          driver->OnReadResult(shard, seq, result);
+          driver->OnReadResult(group, seq, result);
         });
   }
+  rt_reader->SetCallback(
+      [driver](uint64_t seq, const std::string& result, bool /*read*/) {
+        driver->OnRtResult(seq, result);
+      });
   return driver;
 }
 

@@ -60,6 +60,8 @@ struct WorkloadStats {
   OpStats single;  ///< Single-shard (one-phase) transactions.
   OpStats cross;   ///< Cross-shard (full 2PC) transactions.
   int retries = 0;  ///< Transaction re-submissions (timeouts).
+  int moved = 0;    ///< Reads bounced by a routing fence ("MOVED <epoch>").
+  int table_refreshes = 0;  ///< Routing tables adopted from the decision group.
 
   int completed() const {
     return reads.completed + single.completed + cross.completed;
@@ -71,16 +73,20 @@ struct WorkloadStats {
 class WorkloadDriver : public sim::Process {
  public:
   WorkloadDriver(ShardedStateMachine* ssm, WorkloadOptions options,
-                 std::vector<consensus::GroupClient*> readers);
+                 std::vector<consensus::GroupClient*> readers,
+                 consensus::GroupClient* rt_reader);
 
   void OnStart() override;
   void OnMessage(sim::NodeId from, const sim::Message& msg) override;
-  void OnReadResult(int shard, uint64_t seq, const std::string& result);
+  void OnReadResult(int group, uint64_t seq, const std::string& result);
+  void OnRtResult(uint64_t seq, const std::string& result);
 
   bool done() const { return stats_.completed() >= options_.ops; }
   const WorkloadStats& stats() const { return stats_; }
   /// Outcome the driver observed per transaction id (for checkers).
   const std::map<uint64_t, bool>& outcomes() const { return outcomes_; }
+  /// The driver's current routing view (for tests).
+  const RoutingTable& table() const { return table_; }
 
  private:
   struct PendingTx {
@@ -90,23 +96,38 @@ class WorkloadDriver : public sim::Process {
     uint64_t retry_timer = 0;
   };
   struct PendingRead {
+    std::string key;
     sim::Time start = 0;
   };
 
   void IssueNext();
   void IssueRead();
+  void SendRead(const std::string& key, sim::Time start);
   void IssueTx(bool cross);
   void SendTx(uint64_t tx_id);
+  void FetchTable(uint64_t epoch);
   std::string RandomKey(int space);
 
   ShardedStateMachine* ssm_;
   WorkloadOptions options_;
   std::vector<consensus::GroupClient*> readers_;
+  consensus::GroupClient* rt_reader_;
+  /// The driver's local routing view. Starts at the initial placement and
+  /// advances only via tables fetched from the decision group after a
+  /// "MOVED <epoch>" bounce — the same adoption rule every other routing
+  /// consumer follows.
+  RoutingTable table_;
   WorkloadStats stats_;
   int issued_ = 0;
   uint64_t next_tx_ = 0;
   std::map<uint64_t, PendingTx> pending_txs_;
   std::map<std::pair<int, uint64_t>, PendingRead> pending_reads_;
+  /// Reads bounced by a fence, waiting for a newer table to re-route.
+  std::vector<PendingRead> parked_reads_;
+  /// Outstanding "__rt.<epoch>" fetches at the decision group (seq -> epoch).
+  std::map<uint64_t, uint64_t> rt_fetches_;
+  /// Highest epoch a fetch is in flight for (suppresses duplicates).
+  uint64_t rt_epoch_inflight_ = 0;
   std::map<uint64_t, bool> outcomes_;
 };
 

@@ -78,4 +78,23 @@ std::vector<Command> FlattenCommand(const Command& cmd) {
   return {cmd};
 }
 
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t KeyHash(const std::string& s) {
+  uint64_t h = Fnv1a(s);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
 }  // namespace consensus40::smr

@@ -86,6 +86,20 @@ std::optional<std::vector<Command>> DecodeBatch(const Command& batch);
 /// not drop commands silently call DecodeBatch and check for nullopt.
 std::vector<Command> FlattenCommand(const Command& cmd);
 
+/// 64-bit FNV-1a (deterministic across platforms, unlike std::hash).
+uint64_t Fnv1a(const std::string& s);
+
+/// The canonical key-routing hash of the whole stack: FNV-1a finalized
+/// with a 64-bit avalanche mixer (murmur3 fmix64). The shard layer's
+/// routing table partitions the [0, 2^64) hash space into ranges and
+/// the KvStore's routing fence (DISOWN/MIGRATE) decides key ownership
+/// with the same function — one definition so the data plane and the
+/// control plane can never disagree about where a key hashes. The
+/// finalizer matters: range routing consumes the TOP bits, and raw
+/// FNV-1a leaves them badly skewed for short sequential keys (the old
+/// modulo placement consumed the well-mixed bottom bits).
+uint64_t KeyHash(const std::string& s);
+
 }  // namespace consensus40::smr
 
 #endif  // CONSENSUS40_SMR_COMMAND_H_

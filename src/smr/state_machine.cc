@@ -14,12 +14,139 @@ std::vector<std::string> Tokenize(const std::string& op) {
   return tokens;
 }
 
+/// Reserved prefix for store-internal records (prepare/decision/fence
+/// keys). Never fenced, never migrated.
+constexpr char kInternalPrefix[] = "__";
+constexpr char kDisownPrefix[] = "__disown.";
+
+bool IsInternalKey(const std::string& key) {
+  return key.compare(0, 2, kInternalPrefix) == 0;
+}
+
+/// 16-digit fixed-width lowercase hex, so disown-record keys sort and
+/// parse trivially.
+std::string HexU64(uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::string DisownKey(uint64_t lo, uint64_t hi) {
+  return std::string(kDisownPrefix) + HexU64(lo) + "-" + HexU64(hi);
+}
+
+/// True if hash `h` falls in [lo, hi), where hi == 0 means 2^64.
+bool HashInRange(uint64_t h, uint64_t lo, uint64_t hi) {
+  return h >= lo && (hi == 0 || h < hi);
+}
+
+bool ParseU64(const std::string& s, uint64_t* out, int base = 10) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoull(s.c_str(), &end, base);
+  return end != nullptr && *end == '\0';
+}
+
 }  // namespace
 
+std::string EncodeKvPairs(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  std::string out;
+  for (const auto& [k, v] : pairs) {
+    out += std::to_string(k.size());
+    out += ':';
+    out += k;
+    out += std::to_string(v.size());
+    out += ':';
+    out += v;
+  }
+  return out;
+}
+
+std::optional<std::vector<std::pair<std::string, std::string>>> DecodeKvPairs(
+    const std::string& payload) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  size_t pos = 0;
+  auto read_one = [&payload, &pos](std::string* out) {
+    size_t colon = payload.find(':', pos);
+    if (colon == std::string::npos || colon == pos) return false;
+    uint64_t len = 0;
+    if (!ParseU64(payload.substr(pos, colon - pos), &len)) return false;
+    if (colon + 1 + len > payload.size()) return false;
+    *out = payload.substr(colon + 1, len);
+    pos = colon + 1 + len;
+    return true;
+  };
+  while (pos < payload.size()) {
+    std::string k, v;
+    if (!read_one(&k) || !read_one(&v)) return std::nullopt;
+    pairs.emplace_back(std::move(k), std::move(v));
+  }
+  return pairs;
+}
+
+std::optional<uint64_t> KvStore::MovedEpoch(const std::string& key) const {
+  if (IsInternalKey(key)) return std::nullopt;
+  uint64_t h = KeyHash(key);
+  std::optional<uint64_t> moved;
+  for (auto it = data_.lower_bound(kDisownPrefix);
+       it != data_.end() && it->first.compare(0, 9, kDisownPrefix) == 0;
+       ++it) {
+    // Key shape: "__disown.<lo_hex16>-<hi_hex16>", value: decimal epoch.
+    uint64_t lo = 0, hi = 0, epoch = 0;
+    if (it->first.size() != 9 + 16 + 1 + 16) continue;
+    if (!ParseU64(it->first.substr(9, 16), &lo, 16)) continue;
+    if (!ParseU64(it->first.substr(26, 16), &hi, 16)) continue;
+    if (!ParseU64(it->second, &epoch)) continue;
+    if (HashInRange(h, lo, hi) && (!moved || epoch > *moved)) moved = epoch;
+  }
+  return moved;
+}
+
 std::string KvStore::Apply(const Command& cmd) {
+  // INSTALL carries a length-prefixed payload that must not be
+  // whitespace-tokenized; handle it before the token dispatch.
+  if (cmd.op.compare(0, 8, "INSTALL ") == 0) {
+    auto pairs = DecodeKvPairs(cmd.op.substr(8));
+    if (!pairs.has_value()) return "ERR";
+    for (auto& [k, v] : *pairs) data_[std::move(k)] = std::move(v);
+    return "OK " + std::to_string(pairs->size());
+  }
   std::vector<std::string> t = Tokenize(cmd.op);
   if (t.empty()) return "ERR";
   const std::string& verb = t[0];
+  if ((verb == "DISOWN" || verb == "MIGRATE") && t.size() >= 4) {
+    uint64_t lo = 0, hi = 0, epoch = 0;
+    if (!ParseU64(t[1], &lo) || !ParseU64(t[2], &hi) || !ParseU64(t[3], &epoch))
+      return "ERR";
+    std::string payload;
+    if (verb == "MIGRATE") {
+      // Snapshot the range BEFORE fencing: one atomic log entry, so the
+      // copied set is exactly the set of writes that beat the fence.
+      std::vector<std::pair<std::string, std::string>> pairs;
+      for (const auto& [k, v] : data_) {
+        if (IsInternalKey(k)) continue;
+        if (HashInRange(KeyHash(k), lo, hi)) pairs.emplace_back(k, v);
+      }
+      payload = EncodeKvPairs(pairs);
+    }
+    data_[DisownKey(lo, hi)] = std::to_string(epoch);
+    return verb == "MIGRATE" ? payload : "OK";
+  }
+  // Point ops on a migrated-away key bounce with the flip epoch instead
+  // of executing (retries of ops that DID execute pre-fence are answered
+  // from the dedup cache before reaching here, so exactly-once holds
+  // across a move).
+  if (t.size() >= 2 && (verb == "PUT" || verb == "GET" || verb == "DEL" ||
+                        verb == "SETNX" || verb == "CAS" || verb == "INC")) {
+    if (std::optional<uint64_t> epoch = MovedEpoch(t[1])) {
+      return "MOVED " + std::to_string(*epoch);
+    }
+  }
   if (verb == "PUT" && t.size() >= 3) {
     data_[t[1]] = t[2];
     return "OK";

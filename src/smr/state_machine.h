@@ -6,6 +6,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "crypto/sha256.h"
@@ -35,6 +36,9 @@ class StateMachine {
 ///   "SETNX <key> <value>"        -> "OK" if absent, else existing value
 ///   "CAS <key> <old> <new>"      -> "OK" or "FAIL"
 ///   "INC <key>"                  -> new integer value (missing key = 0)
+///   "DISOWN <lo> <hi> <epoch>"   -> "OK"; fences the FNV-1a hash range
+///   "MIGRATE <lo> <hi> <epoch>"  -> DISOWN + snapshot of the range's keys
+///   "INSTALL <pairs>"            -> "OK <n>"; bulk-sets migrated pairs
 ///   anything else                -> "ERR"
 ///
 /// SETNX is the write-once primitive behind replicated transaction-commit
@@ -43,6 +47,19 @@ class StateMachine {
 /// participant proposing abort, a duplicate coordinator decision — gets
 /// the established decision back instead. CAS cannot express this (it
 /// fails on a missing key).
+///
+/// DISOWN/MIGRATE/INSTALL are the shard layer's live-migration data
+/// plane. A disowned range [lo, hi) over the 64-bit FNV-1a key-hash space
+/// (hi == 0 means 2^64) is fenced: every later point op on a key hashing
+/// into it returns "MOVED <epoch>" instead of executing, so a client or
+/// transaction manager routing by a stale table is bounced toward the
+/// new owner rather than silently mutating orphaned state. MIGRATE is
+/// the atomic stop-and-copy primitive — ONE log entry that both fences
+/// the range and returns the exact set of its key/value pairs (encoded
+/// with EncodeKvPairs), so no write can slip between the snapshot and
+/// the fence. Fence records live inside data_ under the reserved "__"
+/// prefix (ops on "__*" keys are never fenced), riding snapshots,
+/// digests, and state transfer for free.
 class KvStore : public StateMachine {
  public:
   std::string Apply(const Command& cmd) override;
@@ -51,6 +68,11 @@ class KvStore : public StateMachine {
   /// Direct read access for tests.
   std::optional<std::string> Get(const std::string& key) const;
   size_t size() const { return data_.size(); }
+
+  /// The routing epoch that fenced `key` away, if any — the same check
+  /// Apply performs, exposed for read paths that bypass the log (Raft
+  /// read-index serves reads straight from the store).
+  std::optional<uint64_t> MovedEpoch(const std::string& key) const;
 
   /// Snapshot support (Raft log compaction, state transfer).
   std::map<std::string, std::string> Snapshot() const { return data_; }
@@ -61,6 +83,15 @@ class KvStore : public StateMachine {
  private:
   std::map<std::string, std::string> data_;
 };
+
+/// Length-prefixed key/value framing for MIGRATE results and INSTALL
+/// payloads ("<klen>:<key><vlen>:<value>" repeated — keys and values may
+/// contain anything). DecodeKvPairs returns nullopt on malformed input,
+/// distinct from the legal empty payload.
+std::string EncodeKvPairs(
+    const std::vector<std::pair<std::string, std::string>>& pairs);
+std::optional<std::vector<std::pair<std::string, std::string>>> DecodeKvPairs(
+    const std::string& payload);
 
 /// At-most-once execution filter: a client command that reaches the log
 /// twice (e.g. retried across a leader change) must only be applied once.

@@ -108,6 +108,17 @@ TEST(CheckSweepInBounds, ShardBatched) {
   SweepInBounds("shard_batched", MakeShardBatchedAdapter());
 }
 
+// Elastic resharding: a live range move (shard 0's whole initial range
+// to a spare group) races the cross-shard transactions while schedules
+// crash the mover inside the move window, cut the old or new owner off
+// mid-copy, and keep the usual replica/coordinator faults. Atomicity,
+// prefix consistency, no lost writes, AND termination must all hold: the
+// move's transitions are write-once decision-group records, so any
+// participant finishes a dead mover's move.
+TEST(CheckSweepInBounds, ShardReshard) {
+  SweepInBounds("shard_reshard", MakeShardReshardAdapter());
+}
+
 // --- Byzantine variants: one interposer-driven liar inside the stated f.
 // Schedules may equivocate (where a forge hook exists), withhold, corrupt,
 // or replay one node's outbound traffic in seed-chosen windows — and for
@@ -216,6 +227,15 @@ TEST(CheckSweepOutOfBounds, PlainTwoPhaseCommitBlocksOnCoordinatorCrash) {
                        "liveness");
 }
 
+// The move ladder with the flip made before freeze + drain: in-flight
+// transactions at the old owner apply their writes behind the copy
+// snapshot and the routing fence, so a committed write exists at no
+// owner. The exact contrast to the in-bounds reshard sweep above.
+TEST(CheckSweepOutOfBounds, ReshardFlipBeforeDrainLosesWrites) {
+  ExpectViolationFound("reshard-flip-before-drain",
+                       MakeShardReshardOutOfBoundsAdapter(), 50, "lost write");
+}
+
 // ---------------------------------------------------------------------------
 // Canonicalization: repro lines must be minimal AND stable.
 // ---------------------------------------------------------------------------
@@ -292,6 +312,42 @@ TEST(ShrinkCanonicalize, EquivocatorReproHasCanonicalForm) {
     return;
   }
   FAIL() << "no PBFT n=3f violation in 50 seeds";
+}
+
+/// The flip-before-drain lost-write repro is pinned the same way: the
+/// first violating seed of the unsafe reshard ladder must shrink —
+/// deterministically, via ddmin + canonicalization — to the same action
+/// list with round times and zeroed aux. The shape is instructive: a
+/// dest-group replica crash slows the copy just enough, and the mover
+/// crash parks the move mid-ladder, for an in-flight transaction to
+/// apply its write behind the already-flipped routing fence. Same re-pin
+/// rule as above: if the *generator* intentionally changed, update the
+/// string; otherwise the shrinker or the reshard ladder regressed.
+TEST(ShrinkCanonicalize, ReshardLostWriteReproHasCanonicalForm) {
+  AdapterFactory factory = MakeShardReshardOutOfBoundsAdapter();
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    FaultSchedule schedule;
+    RunResult result = RunSeed(factory, seed, &schedule);
+    if (!result.violated()) continue;
+
+    auto replay = [&](const FaultSchedule& candidate) {
+      return RunSchedule(factory, seed, candidate).violated();
+    };
+    const FaultBounds bounds = factory(seed)->bounds();
+    FaultSchedule min = CanonicalizeSchedule(
+        ShrinkSchedule(schedule, bounds, replay), bounds, replay);
+
+    EXPECT_TRUE(RunSchedule(factory, seed, min).violated());
+    for (const FaultAction& a : min.actions) {
+      EXPECT_EQ(a.aux, 0u);
+      EXPECT_EQ(a.at % sim::kMillisecond, 0);
+    }
+    EXPECT_EQ(min.ToString(),
+              "schedule --seed=8: [ crash(8)@100ms mover-crash(23)@400ms "
+              "restart(23)@2000ms restart(8)@2000ms ]");
+    return;
+  }
+  FAIL() << "no flip-before-drain violation in 50 seeds";
 }
 
 }  // namespace

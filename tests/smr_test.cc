@@ -212,6 +212,42 @@ TEST(DedupingExecutorTest, LookupIsTheDuplicateFastPath) {
   EXPECT_EQ(*dedup.Lookup(1, 1), "");
 }
 
+TEST(DedupingExecutorTest, DedupCacheAnswersRetriesAcrossAMigrateFence) {
+  // The exactly-once contract a live shard move rests on: an op that
+  // executed BEFORE the range was fenced away must keep answering its
+  // retries from the dedup cache — the cache is consulted before the
+  // store, so the fence never converts an executed op's retry into a
+  // MOVED bounce (which the client would treat as "not executed" and
+  // re-issue at the new owner: a double-apply).
+  KvStore kv;
+  DedupingExecutor dedup;
+  EXPECT_EQ(dedup.Apply(&kv, Cmd(1, 1, "INC x")), "1");
+  // MIGRATE fences the whole space (lo 0, hi 0 = 2^64) at epoch 2 and
+  // returns the snapshot payload containing the counter.
+  std::string payload = dedup.Apply(&kv, Cmd(2, 1, "MIGRATE 0 0 2"));
+  auto pairs = DecodeKvPairs(payload);
+  ASSERT_TRUE(pairs.has_value());
+  ASSERT_EQ(pairs->size(), 1u);
+  EXPECT_EQ((*pairs)[0].first, "x");
+  EXPECT_EQ((*pairs)[0].second, "1");
+  // The pre-fence op's retry: cached result, not MOVED, and no
+  // re-execution behind the fence.
+  EXPECT_EQ(dedup.Apply(&kv, Cmd(1, 1, "INC x")), "1");
+  EXPECT_EQ(*kv.Get("x"), "1");
+  // A NEW op on the fenced key bounces with the flip epoch.
+  EXPECT_EQ(dedup.Apply(&kv, Cmd(1, 2, "INC x")), "MOVED 2");
+  EXPECT_EQ(dedup.Apply(&kv, Cmd(1, 3, "GET x")), "MOVED 2");
+  // Internal "__" keys (decision records, fences) are never fenced.
+  EXPECT_EQ(dedup.Apply(&kv, Cmd(1, 4, "SETNX __d.1 C")), "OK");
+  // Installing the payload at the (unfenced) destination restores the
+  // exact pre-fence state.
+  KvStore dest;
+  DedupingExecutor dest_dedup;
+  EXPECT_EQ(dest_dedup.Apply(&dest, Cmd(2, 2, "INSTALL " + payload)), "OK 1");
+  EXPECT_EQ(*dest.Get("x"), "1");
+  EXPECT_EQ(dest_dedup.Apply(&dest, Cmd(1, 5, "INC x")), "2");
+}
+
 TEST(ReplicatedLogTest, OutOfOrderFillThenApply) {
   ReplicatedLog log;
   KvStore kv;

@@ -176,6 +176,18 @@ void ShardMover::SendStepMsg() {
     m->move_id = move_id_;
     m->table = new_table_.Encode();
     Send(owner_->tm_id(from_), m);
+    if (reject_at_flip_) {
+      // Stand-down: the flip lost the SETNX race, so new_table_ is the
+      // ESTABLISHED table at our epoch — force-feed it to the
+      // destination TM, which adopted our losing table pre-flip and
+      // would otherwise keep accepting writes for a range the
+      // authoritative table assigns elsewhere.
+      auto fix = std::make_shared<MoveInstallMsg>();
+      fix->move_id = move_id_;
+      fix->table = new_table_.Encode();
+      fix->force = true;
+      Send(owner_->tm_id(spec_.to), fix);
+    }
   }
 }
 
@@ -286,7 +298,7 @@ void ShardMover::OnDecisionResult(uint64_t seq, const std::string& result) {
       if (sub_ == 1) {
         // Resume: base table for the claimed epoch.
         std::optional<RoutingTable> t = RoutingTable::Decode(result);
-        if (!t.has_value()) {
+        if (!t.has_value() || !t->WithinGroups(owner_->total_groups())) {
           Reject("resume: missing base table");
           return;
         }
@@ -320,7 +332,7 @@ void ShardMover::OnDecisionResult(uint64_t seq, const std::string& result) {
 
     case Step::kCheckFlipped: {
       std::optional<RoutingTable> t = RoutingTable::Decode(result);
-      if (t.has_value()) {
+      if (t.has_value() && t->WithinGroups(owner_->total_groups())) {
         new_table_ = *t;
         GoUnfreeze();
         return;
@@ -368,7 +380,7 @@ void ShardMover::OnDecisionResult(uint64_t seq, const std::string& result) {
         // and retry — the single-mover design makes this a stale-base
         // case (e.g. a restarted mover claiming against an old table).
         std::optional<RoutingTable> t = RoutingTable::Decode(result);
-        if (!t.has_value()) {
+        if (!t.has_value() || !t->WithinGroups(owner_->total_groups())) {
           Reject("flip: unparseable table at epoch");
           return;
         }
@@ -421,10 +433,16 @@ void ShardMover::OnGroupResult(int group, uint64_t seq,
   await_group_ = -1;
   if (step_ != Step::kCopy) return;
   if (sub_ == 0) {
-    // MIGRATE returned the range contents (possibly empty).
+    // MIGRATE returned the range contents (possibly empty). INSTALL
+    // carries the range and the same epoch the fence advertises, so the
+    // destination's ownership record outranks any stale fence it kept
+    // from an earlier move away (A->B->A).
     payload_ = result;
     sub_ = 1;
-    AwaitGroup(spec_.to, "INSTALL " + payload_);
+    AwaitGroup(spec_.to, "INSTALL " + std::to_string(spec_.lo) + " " +
+                             std::to_string(spec_.hi) + " " +
+                             std::to_string(base_.epoch() + 1) + " " +
+                             payload_);
     return;
   }
   // INSTALL done at the destination.

@@ -84,10 +84,15 @@ struct MoveDrainedMsg : sim::Message {
 struct MoveInstallMsg : sim::Message {
   const char* TypeName() const override { return "move-install"; }
   int ByteSize() const override {
-    return 24 + static_cast<int>(table.size());
+    return 25 + static_cast<int>(table.size());
   }
   std::string move_id;
   std::string table;  ///< RoutingTable::Encode of the post-move table.
+  /// Set when a mover stands down at the flip: `table` is then the
+  /// ESTABLISHED table for its epoch and replaces a same-epoch table the
+  /// TM adopted from the losing pre-flip install (plain adoption is
+  /// strictly epoch-gated and would keep the loser forever).
+  bool force = false;
 };
 
 struct MoveInstallAckMsg : sim::Message {

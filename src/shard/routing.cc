@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 
 #include "smr/command.h"
 
@@ -118,9 +119,16 @@ std::optional<RoutingTable> RoutingTable::Decode(const std::string& encoded) {
     char* end = nullptr;
     e.lo = std::strtoull(encoded.c_str() + pos, &end, 16);
     if (end != encoded.c_str() + colon) return std::nullopt;
-    e.group = static_cast<int>(
-        std::strtol(encoded.substr(colon + 1, comma - colon - 1).c_str(),
-                    nullptr, 10));
+    // The group token must parse in full and be a non-negative int:
+    // adopters index per-group arrays with it, so a torn or corrupt
+    // record must fail decoding, not become an out-of-bounds access.
+    const char* gbegin = encoded.c_str() + colon + 1;
+    long group = std::strtol(gbegin, &end, 10);
+    if (end == gbegin || end != encoded.c_str() + comma || group < 0 ||
+        group > std::numeric_limits<int>::max()) {
+      return std::nullopt;
+    }
+    e.group = static_cast<int>(group);
     t.entries_.push_back(e);
     pos = comma + 1;
   }
@@ -134,6 +142,13 @@ std::optional<RoutingTable> RoutingTable::Decode(const std::string& encoded) {
 bool RoutingTable::MaybeAdopt(const RoutingTable& other) {
   if (other.epoch_ <= epoch_) return false;
   *this = other;
+  return true;
+}
+
+bool RoutingTable::WithinGroups(int total_groups) const {
+  for (const Entry& e : entries_) {
+    if (e.group < 0 || e.group >= total_groups) return false;
+  }
   return true;
 }
 

@@ -64,6 +64,12 @@ class RoutingTable {
   /// Adopts `other` if it is strictly newer; returns true on adoption.
   bool MaybeAdopt(const RoutingTable& other);
 
+  /// True if every entry's group is a valid index below `total_groups`.
+  /// Adoption sites check this before trusting a decoded table: entries
+  /// index per-group arrays (clients, TMs, shard groups), so a record
+  /// naming a nonexistent group must be dropped, not indexed with.
+  bool WithinGroups(int total_groups) const;
+
   uint64_t epoch() const { return epoch_; }
   const std::vector<Entry>& entries() const { return entries_; }
 

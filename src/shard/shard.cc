@@ -101,8 +101,15 @@ void TxManager::ArmNudge(const std::string& move_id) {
 }
 
 void TxManager::OnMoveInstall(sim::NodeId from, const MoveInstallMsg& m) {
-  if (std::optional<RoutingTable> t = RoutingTable::Decode(m.table)) {
-    table_.MaybeAdopt(*t);
+  std::optional<RoutingTable> t = RoutingTable::Decode(m.table);
+  if (t.has_value() && t->WithinGroups(owner_->total_groups())) {
+    if (!table_.MaybeAdopt(*t) && m.force && t->epoch() == table_.epoch()) {
+      // A mover standing down at the flip pushes the ESTABLISHED table,
+      // which replaces the same-epoch table its losing pre-flip install
+      // taught us (epoch-gated adoption alone would keep the loser and
+      // this TM would accept writes for a range it does not own).
+      table_ = *t;
+    }
   }
   auto ack = std::make_shared<MoveInstallAckMsg>();
   ack->move_id = m.move_id;
@@ -111,7 +118,7 @@ void TxManager::OnMoveInstall(sim::NodeId from, const MoveInstallMsg& m) {
 
 void TxManager::OnMoveUnfreeze(sim::NodeId from, const MoveUnfreezeMsg& m) {
   if (std::optional<RoutingTable> t = RoutingTable::Decode(m.table)) {
-    table_.MaybeAdopt(*t);
+    if (t->WithinGroups(owner_->total_groups())) table_.MaybeAdopt(*t);
   }
   auto it = frozen_.find(m.move_id);
   if (it != frozen_.end()) {
@@ -419,7 +426,7 @@ void TxCoordinator::OnMessage(sim::NodeId from, const sim::Message& msg) {
     // abort the transaction — never split it across routing epochs. The
     // client's retry re-splits against the adopted table.
     if (std::optional<RoutingTable> t = RoutingTable::Decode(m->table)) {
-      table_.MaybeAdopt(*t);
+      if (t->WithinGroups(owner_->total_groups())) table_.MaybeAdopt(*t);
     }
     auto it = txs_.find(m->tx_id);
     if (it == txs_.end()) return;

@@ -126,7 +126,17 @@ void WorkloadDriver::OnReadResult(int group, uint64_t seq,
     ++stats_.moved;
     uint64_t epoch = std::strtoull(result.c_str() + 6, nullptr, 10);
     if (table_.epoch() >= epoch) {
-      SendRead(read.key, read.start);  // A newer table already arrived.
+      if (table_.GroupForKey(read.key) != group) {
+        SendRead(read.key, read.start);  // A newer table routes elsewhere.
+      } else {
+        // Our table covers the fence's epoch yet still routes to the
+        // bouncing group (a re-flip landed at a higher epoch than the
+        // fence advertises): wait a beat for the newer flip to reach us
+        // instead of hot-looping bounce/re-send against the fence.
+        PendingRead parked = read;
+        SetTimer(kRtRetry,
+                 [this, parked] { SendRead(parked.key, parked.start); });
+      }
     } else {
       parked_reads_.push_back(std::move(read));
       FetchTable(epoch);
@@ -156,6 +166,7 @@ void WorkloadDriver::OnRtResult(uint64_t seq, const std::string& result) {
   rt_fetches_.erase(it);
   std::optional<RoutingTable> t;
   if (result != "NIL") t = RoutingTable::Decode(result);
+  if (t.has_value() && !t->WithinGroups(ssm_->total_groups())) t.reset();
   if (!t.has_value()) {
     // Fence observed before the flip record landed (the fence commits one
     // phase earlier in the move ladder), or a torn record: retry shortly.

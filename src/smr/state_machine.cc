@@ -18,6 +18,7 @@ std::vector<std::string> Tokenize(const std::string& op) {
 /// keys). Never fenced, never migrated.
 constexpr char kInternalPrefix[] = "__";
 constexpr char kDisownPrefix[] = "__disown.";
+constexpr char kOwnPrefix[] = "__own.";
 
 bool IsInternalKey(const std::string& key) {
   return key.compare(0, 2, kInternalPrefix) == 0;
@@ -37,6 +38,10 @@ std::string HexU64(uint64_t v) {
 
 std::string DisownKey(uint64_t lo, uint64_t hi) {
   return std::string(kDisownPrefix) + HexU64(lo) + "-" + HexU64(hi);
+}
+
+std::string OwnKey(uint64_t lo, uint64_t hi) {
+  return std::string(kOwnPrefix) + HexU64(lo) + "-" + HexU64(hi);
 }
 
 /// True if hash `h` falls in [lo, hi), where hi == 0 means 2^64.
@@ -89,31 +94,66 @@ std::optional<std::vector<std::pair<std::string, std::string>>> DecodeKvPairs(
   return pairs;
 }
 
+namespace {
+
+/// Highest epoch of any range record under `prefix` (length `plen`)
+/// whose [lo, hi) covers hash `h`. Record shape:
+/// "<prefix><lo_hex16>-<hi_hex16>" -> decimal epoch.
+std::optional<uint64_t> MaxCoveringEpoch(
+    const std::map<std::string, std::string>& data, const char* prefix,
+    size_t plen, uint64_t h) {
+  std::optional<uint64_t> best;
+  for (auto it = data.lower_bound(prefix);
+       it != data.end() && it->first.compare(0, plen, prefix) == 0; ++it) {
+    uint64_t lo = 0, hi = 0, epoch = 0;
+    if (it->first.size() != plen + 16 + 1 + 16) continue;
+    if (!ParseU64(it->first.substr(plen, 16), &lo, 16)) continue;
+    if (!ParseU64(it->first.substr(plen + 17, 16), &hi, 16)) continue;
+    if (!ParseU64(it->second, &epoch)) continue;
+    if (HashInRange(h, lo, hi) && (!best || epoch > *best)) best = epoch;
+  }
+  return best;
+}
+
+}  // namespace
+
 std::optional<uint64_t> KvStore::MovedEpoch(const std::string& key) const {
   if (IsInternalKey(key)) return std::nullopt;
   uint64_t h = KeyHash(key);
-  std::optional<uint64_t> moved;
-  for (auto it = data_.lower_bound(kDisownPrefix);
-       it != data_.end() && it->first.compare(0, 9, kDisownPrefix) == 0;
-       ++it) {
-    // Key shape: "__disown.<lo_hex16>-<hi_hex16>", value: decimal epoch.
-    uint64_t lo = 0, hi = 0, epoch = 0;
-    if (it->first.size() != 9 + 16 + 1 + 16) continue;
-    if (!ParseU64(it->first.substr(9, 16), &lo, 16)) continue;
-    if (!ParseU64(it->first.substr(26, 16), &hi, 16)) continue;
-    if (!ParseU64(it->second, &epoch)) continue;
-    if (HashInRange(h, lo, hi) && (!moved || epoch > *moved)) moved = epoch;
-  }
-  return moved;
+  std::optional<uint64_t> fence =
+      MaxCoveringEpoch(data_, kDisownPrefix, 9, h);
+  if (!fence.has_value()) return std::nullopt;
+  // A fence is only as fresh as its epoch stamp: an INSTALL at or above
+  // that epoch means the range moved BACK here afterwards (A->B->A), and
+  // the newer ownership record outranks the stale fence — without this,
+  // the returning owner would bounce every op on the range forever.
+  std::optional<uint64_t> own = MaxCoveringEpoch(data_, kOwnPrefix, 6, h);
+  if (own.has_value() && *own >= *fence) return std::nullopt;
+  return fence;
 }
 
 std::string KvStore::Apply(const Command& cmd) {
-  // INSTALL carries a length-prefixed payload that must not be
-  // whitespace-tokenized; handle it before the token dispatch.
+  // "INSTALL <lo> <hi> <epoch> <pairs>" carries a length-prefixed
+  // payload that must not be whitespace-tokenized; handle it before the
+  // token dispatch.
   if (cmd.op.compare(0, 8, "INSTALL ") == 0) {
-    auto pairs = DecodeKvPairs(cmd.op.substr(8));
+    size_t pos = 8;
+    uint64_t lo = 0, hi = 0, epoch = 0;
+    for (uint64_t* field : {&lo, &hi, &epoch}) {
+      size_t sp = cmd.op.find(' ', pos);
+      if (sp == std::string::npos ||
+          !ParseU64(cmd.op.substr(pos, sp - pos), field)) {
+        return "ERR";
+      }
+      pos = sp + 1;
+    }
+    auto pairs = DecodeKvPairs(cmd.op.substr(pos));
     if (!pairs.has_value()) return "ERR";
     for (auto& [k, v] : *pairs) data_[std::move(k)] = std::move(v);
+    // Ownership record: outranks any lower-epoch fence over the
+    // installed range (see MovedEpoch), so a range returning to a
+    // previous owner serves again instead of bouncing on its old fence.
+    data_[OwnKey(lo, hi)] = std::to_string(epoch);
     return "OK " + std::to_string(pairs->size());
   }
   std::vector<std::string> t = Tokenize(cmd.op);

@@ -38,7 +38,8 @@ class StateMachine {
 ///   "INC <key>"                  -> new integer value (missing key = 0)
 ///   "DISOWN <lo> <hi> <epoch>"   -> "OK"; fences the FNV-1a hash range
 ///   "MIGRATE <lo> <hi> <epoch>"  -> DISOWN + snapshot of the range's keys
-///   "INSTALL <pairs>"            -> "OK <n>"; bulk-sets migrated pairs
+///   "INSTALL <lo> <hi> <epoch> <pairs>" -> "OK <n>"; bulk-sets migrated
+///                                   pairs and records range ownership
 ///   anything else                -> "ERR"
 ///
 /// SETNX is the write-once primitive behind replicated transaction-commit
@@ -57,8 +58,12 @@ class StateMachine {
 /// the atomic stop-and-copy primitive — ONE log entry that both fences
 /// the range and returns the exact set of its key/value pairs (encoded
 /// with EncodeKvPairs), so no write can slip between the snapshot and
-/// the fence. Fence records live inside data_ under the reserved "__"
-/// prefix (ops on "__*" keys are never fenced), riding snapshots,
+/// the fence. INSTALL stamps the destination with an ownership record
+/// for the installed range; an ownership record at or above a fence's
+/// epoch outranks it, so a range moved back to a previous owner
+/// (A->B->A) serves again instead of bouncing on the stale fence.
+/// Fence and ownership records live inside data_ under the reserved
+/// "__" prefix (ops on "__*" keys are never fenced), riding snapshots,
 /// digests, and state transfer for free.
 class KvStore : public StateMachine {
  public:

@@ -93,7 +93,22 @@ TEST(RoutingTableTest, DecodeRejectsMalformed) {
   EXPECT_FALSE(RoutingTable::Decode("e2|1:0").has_value());     // lo != 0.
   EXPECT_FALSE(RoutingTable::Decode("e2|0:0,0:1").has_value()); // Not rising.
   EXPECT_FALSE(RoutingTable::Decode("ex|0:0").has_value());     // Bad epoch.
+  // Group tokens must parse in full and be non-negative — adopters index
+  // per-group arrays with them.
+  EXPECT_FALSE(RoutingTable::Decode("e2|0:junk").has_value());
+  EXPECT_FALSE(RoutingTable::Decode("e2|0:").has_value());
+  EXPECT_FALSE(RoutingTable::Decode("e2|0:-1").has_value());
+  EXPECT_FALSE(RoutingTable::Decode("e2|0:1x").has_value());
+  EXPECT_FALSE(RoutingTable::Decode("e2|0:99999999999999999999").has_value());
   EXPECT_TRUE(RoutingTable::Decode("e2|0:0,8000000000000000:1").has_value());
+}
+
+TEST(RoutingTableTest, WithinGroupsBoundsEveryEntry) {
+  std::optional<RoutingTable> t =
+      RoutingTable::Decode("e2|0:0,8000000000000000:7");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->WithinGroups(8));
+  EXPECT_FALSE(t->WithinGroups(7));  // Entry names a nonexistent group.
 }
 
 TEST(RoutingTableTest, MaybeAdoptIsEpochGated) {
@@ -307,6 +322,85 @@ TEST(ReshardTest, MergeCollapsesAdjacentRangesOfOneOwner) {
   ASSERT_EQ(t.entries().size(), 1u);
   EXPECT_EQ(t.GroupFor(0), 1);
   EXPECT_TRUE(f.ssm->Violations().empty());
+}
+
+// A -> B -> A round trip: the range must SERVE at A again. A's fence
+// from the outbound move is stamped epoch 2; the returning INSTALL's
+// ownership record (epoch 3) outranks it. Without that, every op on the
+// range bounces "MOVED 2" forever while clients' tables route them
+// straight back to A — a permanent livelock.
+TEST(ReshardTest, RoundTripMoveBackToOriginalOwnerServesAgain) {
+  ReshardFixture f(41);
+  std::string key = f.ssm->KeyForShard(0, 0);
+  ASSERT_TRUE(f.CommitSync(1, key, "v1"));
+
+  ASSERT_TRUE(f.ssm->mover()->StartMove(ReshardFixture::Shard0ToSpare()));
+  ASSERT_TRUE(f.RunUntilMovesDone(1));
+  MoveSpec back;  // The same range, straight back to group 0.
+  back.lo = 0;
+  back.hi = kHalf;
+  back.to = 0;
+  ASSERT_TRUE(f.ssm->mover()->StartMove(back));
+  ASSERT_TRUE(f.RunUntilMovesDone(2));
+  f.sim->RunFor(1 * kSecond);
+
+  EXPECT_EQ(f.ssm->mover()->table().epoch(), 3u);
+  EXPECT_EQ(f.ssm->mover()->table().GroupFor(0), 0);
+
+  // The returning owner's stale fence is outranked: the range is served,
+  // not bounced, and the data followed it both ways.
+  smr::KvStore source = ReplayGroup(f.ssm->shard_group(0));
+  EXPECT_FALSE(source.MovedEpoch(key).has_value());
+  EXPECT_EQ(source.Get(key).value_or("NIL"), "v1");
+
+  // New transactions on the range commit at A again.
+  uint64_t tx = 2;
+  while (!f.CommitSync(tx, key, "v2")) {
+    ASSERT_LT(tx, 10u);
+    ++tx;
+  }
+  f.sim->RunFor(1 * kSecond);
+  EXPECT_EQ(ReplayGroup(f.ssm->shard_group(0)).Get(key).value_or("NIL"),
+            "v2");
+  EXPECT_TRUE(f.ssm->Violations().empty());
+}
+
+// A mover that loses the flip's SETNX race to a DIFFERENT same-epoch
+// table stands down — and must force-feed the established table to the
+// destination TM, which it taught its losing table pre-flip. Plain
+// adoption is epoch-gated, so without the forced install the TM would
+// keep accepting writes for a range the authoritative table assigns
+// elsewhere.
+TEST(ReshardTest, FlipStandDownForceTeachesTheDestinationTm) {
+  ReshardFixture f(43);
+  // Plant the epoch-2 table before the mover flips, as a competing
+  // (winning) mover would have published it: everything belongs to 1.
+  RoutingTable established = f.ssm->InitialTable();
+  established.ApplyMove(0, kHalf, 1);
+  consensus::GroupClient* decider = f.sim->Spawn<consensus::GroupClient>(
+      f.ssm->decision_group(), 300 * kMillisecond, 1);
+  f.sim->Start();
+  bool planted = false;
+  decider->SetCallback([&planted](uint64_t, const std::string& result, bool) {
+    planted = result == "OK";
+  });
+  decider->Submit("SETNX " + RoutingTable::RtKey(2) + " " +
+                  established.Encode());
+  ASSERT_TRUE(f.sim->RunUntil([&planted] { return planted; },
+                              f.sim->now() + 5 * kSecond));
+
+  // The shard0 -> spare move reaches the flip, loses the race, and
+  // stands down (recorded as a rejection).
+  ASSERT_TRUE(f.ssm->mover()->StartMove(ReshardFixture::Shard0ToSpare()));
+  ASSERT_TRUE(f.sim->RunUntil(
+      [&] { return f.ssm->mover()->moves_rejected() >= 1; },
+      f.sim->now() + 10 * kSecond));
+  f.sim->RunFor(1 * kSecond);
+
+  EXPECT_EQ(f.ssm->mover()->moves_done(), 0);
+  EXPECT_EQ(f.ssm->tx_manager(2)->table().epoch(), 2u);
+  EXPECT_EQ(f.ssm->tx_manager(2)->table().GroupFor(0), 1);
+  EXPECT_EQ(f.ssm->mover()->table().GroupFor(0), 1);
 }
 
 TEST(ReshardTest, SecondMoveOfSameRangeAfterCompletionIsRejected) {

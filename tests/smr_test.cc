@@ -243,9 +243,51 @@ TEST(DedupingExecutorTest, DedupCacheAnswersRetriesAcrossAMigrateFence) {
   // exact pre-fence state.
   KvStore dest;
   DedupingExecutor dest_dedup;
-  EXPECT_EQ(dest_dedup.Apply(&dest, Cmd(2, 2, "INSTALL " + payload)), "OK 1");
+  EXPECT_EQ(dest_dedup.Apply(&dest, Cmd(2, 2, "INSTALL 0 0 2 " + payload)),
+            "OK 1");
   EXPECT_EQ(*dest.Get("x"), "1");
   EXPECT_EQ(dest_dedup.Apply(&dest, Cmd(1, 5, "INC x")), "2");
+}
+
+TEST(KvStoreTest, InstallOutranksStaleFenceOnRoundTripMove) {
+  // A -> B -> A: the range leaves A (fence stamped epoch 2) and comes
+  // back (INSTALL stamped epoch 3). The returning INSTALL's ownership
+  // record must outrank the stale fence, or A bounces every op on the
+  // range with "MOVED 2" forever — a livelock, since clients' tables
+  // route the range straight back to A.
+  KvStore a;
+  EXPECT_EQ(a.Apply(Cmd(1, 1, "PUT x 1")), "OK");
+  std::string payload = a.Apply(Cmd(2, 1, "MIGRATE 0 0 2"));
+  EXPECT_EQ(a.Apply(Cmd(1, 2, "GET x")), "MOVED 2");
+  EXPECT_EQ(a.Apply(Cmd(2, 2, "INSTALL 0 0 3 " + payload)), "OK 1");
+  EXPECT_EQ(a.Apply(Cmd(1, 3, "GET x")), "1");
+  // Moving away AGAIN re-fences at a higher epoch: newest stamp wins.
+  a.Apply(Cmd(2, 3, "MIGRATE 0 0 4"));
+  EXPECT_EQ(a.Apply(Cmd(1, 4, "GET x")), "MOVED 4");
+}
+
+TEST(KvStoreTest, InstallReownsOnlyTheInstalledSubrange) {
+  // Only the installed [lo, hi) is re-owned: hashes under the fence but
+  // outside the returning range keep bouncing.
+  std::string low, high;  // One key hashing into each half of the space.
+  for (int i = 0; low.empty() || high.empty(); ++i) {
+    std::string k = "k" + std::to_string(i);
+    std::string& slot = KeyHash(k) < (1ull << 63) ? low : high;
+    if (slot.empty()) slot = k;
+  }
+  KvStore a;
+  a.Apply(Cmd(2, 1, "DISOWN 0 0 2"));  // Whole space fenced at epoch 2.
+  // The low half returns at epoch 3 (empty payload).
+  a.Apply(Cmd(2, 2, "INSTALL 0 9223372036854775808 3 "));
+  EXPECT_EQ(a.Apply(Cmd(1, 1, "GET " + low)), "NIL");
+  EXPECT_EQ(a.Apply(Cmd(1, 2, "GET " + high)), "MOVED 2");
+}
+
+TEST(KvStoreTest, InstallRejectsMalformedHeader) {
+  KvStore a;
+  EXPECT_EQ(a.Apply(Cmd(1, 1, "INSTALL ")), "ERR");
+  EXPECT_EQ(a.Apply(Cmd(1, 2, "INSTALL 0 0")), "ERR");
+  EXPECT_EQ(a.Apply(Cmd(1, 3, "INSTALL 0 x 2 ")), "ERR");
 }
 
 TEST(ReplicatedLogTest, OutOfOrderFillThenApply) {

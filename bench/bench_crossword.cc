@@ -1,0 +1,370 @@
+// Crossword bench — adaptive erasure-coded consensus priced on the
+// payload-aware bandwidth model (sim::NetworkOptions::bytes_per_ms).
+//
+// A value-size ladder (1 B .. 1 MiB) is replayed through three variants
+// of the same replica implementation, all at n = 5 under a finite
+// per-sender egress rate:
+//
+//   full      pinned full copies — the classic Multi-Paxos wire pattern,
+//             leader egress (n-1)·P per committed payload P,
+//   rs        pinned 1 shard per acceptor (RS-Paxos-like): leader egress
+//             (n-1)·P/k, but the wider quorum q2(1) = n on every round,
+//   adaptive  the Crossword controller sliding between those extremes on
+//             EWMAs of payload size and observed egress backlog.
+//
+// The interesting physics: at large P the leader's port is the
+// bottleneck and coding divides the bytes it must serialize; at small P
+// serialization is noise and full copies win by skipping follower-side
+// reconstruction entirely. Adaptive must capture both ends — that is the
+// gate, asserted in-bench:
+//
+//   - at 1 MiB: adaptive throughput >= 2x full-copy throughput,
+//   - at <= 64 B: adaptive mean latency within 10% of full-copy,
+//   - every row: all ops complete, no self-reported violations.
+//
+// All numbers are virtual-time, deterministic per (seed, config); wall_s
+// is the only host-dependent field. Results go to stdout and
+// BENCH_crossword.json. `--smoke` runs two tiny rungs and writes
+// BENCH_crossword_smoke.json instead (CI-sized).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "consensus/replica_group.h"
+#include "paxos/crossword.h"
+#include "sim/simulation.h"
+
+using namespace consensus40;
+
+namespace {
+
+constexpr uint64_t kSeed = 2020;
+constexpr int kReplicas = 5;
+/// Finite egress rate: 5000 bytes/ms (5 MB/s). A 1 MiB full-copy round
+/// serializes ~4 * 210 ms at the leader's port; a 64 B command costs
+/// ~13 us — the two regimes the adaptive controller must straddle.
+constexpr double kBytesPerMs = 5000.0;
+
+struct Config {
+  std::string name;
+  const char* protocol;  ///< Registry key.
+  size_t value_size;
+  int ops;
+  int window = 4;  ///< Client pipeline depth (same for every row).
+};
+
+struct Result {
+  Config config;
+  int completed = 0;
+  sim::Time virtual_us = 0;
+  double mean_latency_ms = 0;
+  double max_latency_ms = 0;
+  uint64_t bytes_sent = 0;
+  int leader_shards = 0;    ///< Leader's c at the end of the run.
+  int reconstructions = 0;  ///< Follower applies via shard reassembly.
+  int escalations = 0;      ///< Stalled rounds re-sent as full copies.
+  int violations = 0;
+  double wall_s = 0;
+};
+
+const size_t kSizes[] = {1, 64, 1024, 16384, 262144, 1048576};
+
+const char* SizeLabel(size_t bytes) {
+  switch (bytes) {
+    case 1: return "1B";
+    case 64: return "64B";
+    case 1024: return "1KB";
+    case 16384: return "16KB";
+    case 65536: return "64KB";
+    case 262144: return "256KB";
+    case 1048576: return "1MB";
+  }
+  return "?";
+}
+
+int OpsFor(size_t bytes) {
+  if (bytes <= 1024) return 120;
+  if (bytes <= 16384) return 80;
+  if (bytes <= 262144) return 50;
+  return 30;
+}
+
+Result RunOne(const Config& config) {
+  auto t0 = std::chrono::steady_clock::now();
+  auto group = consensus::MakeGroup(config.protocol);
+  // Failure detection must scale with the payload: a full-copy fan-out
+  // serializes (n-1)·P/rate at the leader's egress port, and heartbeats
+  // are FIFO behind it, so a fixed 150 ms follower timeout reads a busy
+  // leader as a dead one and churns elections all run. Same story for the
+  // client's retry timer — a retry re-submits the whole payload into the
+  // congestion it is reacting to.
+  const double fanout_ms = (kReplicas - 1) *
+                           static_cast<double>(config.value_size) /
+                           kBytesPerMs;
+  consensus::GroupTuning tuning;
+  tuning.leader_timeout =
+      std::max<sim::Duration>(150 * sim::kMillisecond,
+                              static_cast<sim::Duration>(
+                                  4.0 * fanout_ms * sim::kMillisecond));
+  tuning.heartbeat_interval = tuning.leader_timeout / 7;
+  group->Configure(tuning);
+  const auto retry = std::max<sim::Duration>(
+      2 * sim::kSecond,
+      static_cast<sim::Duration>(20.0 * fanout_ms * sim::kMillisecond));
+  consensus::GroupClient* client = nullptr;
+  auto sim = sim::Simulation::Builder(kSeed)
+                 .Bandwidth(kBytesPerMs)
+                 .Setup([&](sim::Simulation& s) {
+                   group->Create(&s, kReplicas);
+                   client = s.Spawn<consensus::GroupClient>(
+                       group.get(), retry, config.window);
+                 })
+                 .Build();
+
+  // Closed loop at `window` outstanding ops: each completion records its
+  // latency and issues the next command, so per-op latency measures the
+  // request's own consensus round, not time spent queued client-side.
+  Result r;
+  r.config = config;
+  int issued = 0;
+  std::map<uint64_t, sim::Time> issue_time;
+  auto submit_next = [&] {
+    if (issued >= config.ops) return;
+    const int i = issued++;
+    std::string op = "PUT k" + std::to_string(i % 8) + " ";
+    op.append(config.value_size,
+              static_cast<char>('a' + i % 26));
+    issue_time[client->Submit(op)] = sim->now();
+  };
+  client->SetCallback([&](uint64_t seq, const std::string&, bool) {
+    auto it = issue_time.find(seq);
+    if (it != issue_time.end()) {
+      const double ms = (sim->now() - it->second) / 1000.0;
+      r.mean_latency_ms += ms;  // Sum; divided once the run completes.
+      r.max_latency_ms = std::max(r.max_latency_ms, ms);
+      issue_time.erase(it);
+    }
+    ++r.completed;
+    submit_next();
+  });
+
+  sim->RunFor(500 * sim::kMillisecond);  // Leader election settles.
+  const sim::Time start = sim->now();
+  const uint64_t bytes_before = sim->stats().bytes_sent;
+  for (int i = 0; i < config.window; ++i) submit_next();
+  // Horizon: generous multiple of the worst-case serialized cost per op.
+  const double per_op_ms =
+      4.0 * static_cast<double>(config.value_size) / kBytesPerMs + 50.0;
+  const auto horizon = static_cast<sim::Duration>(
+      10.0 * per_op_ms * config.ops * sim::kMillisecond);
+  sim->RunUntil([&] { return r.completed >= config.ops; }, start + horizon);
+  sim->RunFor(2 * sim::kSecond);  // Let straggler reconstructions finish.
+
+  r.virtual_us = sim->now() - start - 2 * sim::kSecond;
+  if (r.completed > 0) r.mean_latency_ms /= r.completed;
+  r.bytes_sent = sim->stats().bytes_sent - bytes_before;
+  for (sim::NodeId id : group->members()) {
+    auto* replica = dynamic_cast<paxos::CrosswordReplica*>(sim->process(id));
+    if (replica == nullptr) continue;
+    r.reconstructions += replica->reconstructions();
+    r.escalations += replica->escalations();
+    if (replica->IsLeader()) r.leader_shards = replica->current_shards();
+  }
+  r.violations = static_cast<int>(group->Violations().size());
+  r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count();
+  return r;
+}
+
+double Throughput(const Result& r) {
+  return r.virtual_us == 0
+             ? 0.0
+             : r.completed * 1e6 / static_cast<double>(r.virtual_us);
+}
+
+void PrintTable(const std::vector<Result>& results) {
+  TextTable table({"config", "value", "ops", "ops/vsec", "mean ms", "max ms",
+                   "KB/op", "c", "recon", "escal"});
+  for (const Result& r : results) {
+    const double kb_per_op =
+        r.completed == 0
+            ? 0.0
+            : static_cast<double>(r.bytes_sent) / r.completed / 1024.0;
+    table.AddRow({r.config.name, SizeLabel(r.config.value_size),
+                  TextTable::Int(r.completed),
+                  TextTable::Num(Throughput(r), 1),
+                  TextTable::Num(r.mean_latency_ms),
+                  TextTable::Num(r.max_latency_ms),
+                  TextTable::Num(kb_per_op, 1),
+                  TextTable::Int(r.leader_shards),
+                  TextTable::Int(r.reconstructions),
+                  TextTable::Int(r.escalations)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void WriteJson(const std::vector<Result>& results, const char* path) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_crossword: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"crossword\",\n  \"seed\": %llu,\n"
+               "  \"replicas\": %d,\n  \"bytes_per_ms\": %.0f,\n"
+               "  \"configs\": [\n",
+               static_cast<unsigned long long>(kSeed), kReplicas, kBytesPerMs);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"protocol\": \"%s\", \"value_bytes\": %llu,\n"
+        "     \"ops\": %d, \"window\": %d,\n"
+        "     \"throughput_ops_per_vsec\": %.2f, \"virtual_ms\": %.1f,\n"
+        "     \"mean_latency_ms\": %.3f, \"max_latency_ms\": %.3f,\n"
+        "     \"bytes_sent\": %llu, \"leader_shards\": %d,\n"
+        "     \"reconstructions\": %d, \"escalations\": %d,\n"
+        "     \"violations\": %d, \"wall_s\": %.2f}%s\n",
+        r.config.name.c_str(), r.config.protocol,
+        static_cast<unsigned long long>(r.config.value_size), r.completed,
+        r.config.window, Throughput(r), r.virtual_us / 1000.0,
+        r.mean_latency_ms, r.max_latency_ms,
+        static_cast<unsigned long long>(r.bytes_sent), r.leader_shards,
+        r.reconstructions, r.escalations, r.violations,
+        r.wall_s, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+bool CompletionCheck(const Result& r) {
+  bool ok = true;
+  if (r.completed < r.config.ops) {
+    std::printf("FAIL %s: only %d/%d ops completed\n", r.config.name.c_str(),
+                r.completed, r.config.ops);
+    ok = false;
+  }
+  if (r.violations != 0) {
+    std::printf("FAIL %s: %d safety violation(s) self-reported\n",
+                r.config.name.c_str(), r.violations);
+    ok = false;
+  }
+  return ok;
+}
+
+std::vector<Config> Ladder(const std::vector<size_t>& sizes, int ops_cap) {
+  const struct {
+    const char* prefix;
+    const char* protocol;
+  } kVariants[] = {
+      {"full", "crossword_full"},
+      {"rs", "crossword_rs"},
+      {"adaptive", "crossword"},
+  };
+  std::vector<Config> configs;
+  for (size_t size : sizes) {
+    for (const auto& v : kVariants) {
+      Config c;
+      c.name = std::string(v.prefix) + "-" + SizeLabel(size);
+      c.protocol = v.protocol;
+      c.value_size = size;
+      c.ops = std::min(OpsFor(size), ops_cap);
+      configs.push_back(std::move(c));
+    }
+  }
+  return configs;
+}
+
+const Result* Find(const std::vector<Result>& results, const std::string& n) {
+  for (const Result& r : results) {
+    if (r.config.name == n) return &r;
+  }
+  return nullptr;
+}
+
+int RunSmoke() {
+  std::printf(
+      "== consensus40: Crossword bench (smoke) ==\n"
+      "seed=%llu, n=%d, %.0f bytes/ms egress, two rungs\n\n",
+      static_cast<unsigned long long>(kSeed), kReplicas, kBytesPerMs);
+  std::vector<Result> results;
+  for (const Config& c : Ladder({64, 262144}, 20)) results.push_back(RunOne(c));
+  PrintTable(results);
+  bool ok = true;
+  for (const Result& r : results) ok &= CompletionCheck(r);
+  WriteJson(results, "BENCH_crossword_smoke.json");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return RunSmoke();
+  }
+
+  std::printf(
+      "== consensus40: Crossword value-size ladder ==\n"
+      "seed=%llu, n=%d replicas, finite egress %.0f bytes/ms,\n"
+      "full-copy vs 1-shard RS vs adaptive assignment\n\n",
+      static_cast<unsigned long long>(kSeed), kReplicas, kBytesPerMs);
+
+  std::vector<Result> results;
+  for (const Config& c :
+       Ladder(std::vector<size_t>(std::begin(kSizes), std::end(kSizes)),
+              1 << 20)) {
+    results.push_back(RunOne(c));
+  }
+  PrintTable(results);
+
+  bool ok = true;
+  for (const Result& r : results) ok &= CompletionCheck(r);
+
+  // Gate 1: at 1 MiB under a constrained egress port, adaptive must buy
+  // at least 2x full-copy throughput (the coded fan-out serializes
+  // ~(n-1)/k of the bytes the classic wire pattern does).
+  const Result* full_big = Find(results, "full-1MB");
+  const Result* adaptive_big = Find(results, "adaptive-1MB");
+  if (full_big != nullptr && adaptive_big != nullptr) {
+    const double ratio = Throughput(*full_big) == 0
+                             ? 0.0
+                             : Throughput(*adaptive_big) /
+                                   Throughput(*full_big);
+    std::printf("1MB: adaptive %.1f vs full-copy %.1f ops/vsec (%.2fx)\n",
+                Throughput(*adaptive_big), Throughput(*full_big), ratio);
+    if (ratio < 2.0) {
+      std::printf("FAIL: adaptive < 2x full-copy at 1MB\n");
+      ok = false;
+    }
+    if (adaptive_big->reconstructions == 0) {
+      std::printf("FAIL: adaptive never exercised reconstruction at 1MB\n");
+      ok = false;
+    }
+  }
+
+  // Gate 2: at <= 64 B the controller must hold the classic full-copy
+  // path — mean commit latency within 10% of the pinned baseline.
+  for (const char* label : {"1B", "64B"}) {
+    const Result* full = Find(results, std::string("full-") + label);
+    const Result* adaptive = Find(results, std::string("adaptive-") + label);
+    if (full == nullptr || adaptive == nullptr) continue;
+    std::printf("%s: adaptive %.3f ms vs full-copy %.3f ms mean latency\n",
+                label, adaptive->mean_latency_ms, full->mean_latency_ms);
+    if (adaptive->mean_latency_ms > 1.10 * full->mean_latency_ms) {
+      std::printf("FAIL: adaptive > 1.1x full-copy latency at %s\n", label);
+      ok = false;
+    }
+  }
+
+  WriteJson(results, "BENCH_crossword.json");
+  return ok ? 0 : 1;
+}

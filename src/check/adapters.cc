@@ -19,11 +19,13 @@ namespace {
 class GroupCheckAdapter : public ProtocolAdapter {
  public:
   GroupCheckAdapter(std::string label, std::string protocol,
-                    consensus::GroupTuning tuning, int client_window)
+                    consensus::GroupTuning tuning, int client_window,
+                    int num_ops = kOps)
       : label_(std::move(label)),
         protocol_(std::move(protocol)),
         tuning_(tuning),
-        client_window_(client_window) {}
+        client_window_(client_window),
+        num_ops_(num_ops) {}
 
   const char* name() const override { return label_.c_str(); }
 
@@ -50,7 +52,7 @@ class GroupCheckAdapter : public ProtocolAdapter {
     // window > 1 (the batched variant) is within the windowing contract.
     // The mix covers the write path and the protocol's read path (Raft
     // answers the reads via read-index, Multi-Paxos through the log).
-    for (int i = 0; i < kOps; ++i) {
+    for (int i = 0; i < num_ops_; ++i) {
       if (i % 3 == 2) {
         client_->Read("x" + std::to_string(i % 2));
       } else {
@@ -60,7 +62,7 @@ class GroupCheckAdapter : public ProtocolAdapter {
     }
   }
 
-  bool Done() const override { return completed_ >= kOps; }
+  bool Done() const override { return completed_ >= num_ops_; }
 
   void OnProbe(sim::Simulation*) override { group_->Probe(); }
 
@@ -86,6 +88,7 @@ class GroupCheckAdapter : public ProtocolAdapter {
   std::string protocol_;
   consensus::GroupTuning tuning_;
   int client_window_ = 1;
+  int num_ops_ = kOps;
   std::unique_ptr<consensus::ReplicaGroup> group_;
   consensus::GroupClient* client_ = nullptr;
   int completed_ = 0;
@@ -93,10 +96,11 @@ class GroupCheckAdapter : public ProtocolAdapter {
 
 }  // namespace
 
-AdapterFactory MakeGroupAdapter(std::string protocol) {
-  return [protocol = std::move(protocol)](uint64_t) {
-    return std::make_unique<GroupCheckAdapter>(
-        protocol, protocol, consensus::GroupTuning{}, /*client_window=*/1);
+AdapterFactory MakeGroupAdapter(std::string protocol, int num_ops) {
+  return [protocol = std::move(protocol), num_ops](uint64_t) {
+    return std::make_unique<GroupCheckAdapter>(protocol, protocol,
+                                               consensus::GroupTuning{},
+                                               /*client_window=*/1, num_ops);
   };
 }
 
@@ -115,6 +119,23 @@ AdapterFactory MakeBatchedGroupAdapter(std::string protocol) {
 }
 
 AdapterFactory MakeRaftAdapter() { return MakeGroupAdapter("raft"); }
+
+// The Crossword adapters run 40 ops instead of the default 6: coded
+// entries are only under-replicated while followers hold fragments, so
+// the dangerous state exists between a sharded commit and its
+// reconstruction — the workload must still be in flight when the
+// schedule's first fault lands (>= horizon/20) to exercise it.
+AdapterFactory MakeCrosswordAdapter() {
+  return MakeGroupAdapter("crossword", /*num_ops=*/40);
+}
+
+AdapterFactory MakeCrosswordRsAdapter() {
+  return MakeGroupAdapter("crossword_rs", /*num_ops=*/40);
+}
+
+AdapterFactory MakeCrosswordOutOfBoundsAdapter() {
+  return MakeGroupAdapter("crossword_unsafe", /*num_ops=*/40);
+}
 
 AdapterFactory MakeMultiPaxosAdapter() {
   return MakeGroupAdapter("multi_paxos");
@@ -136,6 +157,8 @@ std::vector<std::pair<const char*, AdapterFactory>> AllInBoundsAdapters() {
       {"3pc", MakeThreePhaseCommitAdapter()},
       {"benor", MakeBenOrAdapter()},
       {"floodset", MakeFloodSetAdapter()},
+      {"crossword", MakeCrosswordAdapter()},
+      {"crossword_rs", MakeCrosswordRsAdapter()},
       {"shard", MakeShardAdapter()},
       {"raft_batched", MakeBatchedGroupAdapter("raft")},
       {"multi_paxos_batched", MakeBatchedGroupAdapter("multi_paxos")},

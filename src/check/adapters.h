@@ -25,7 +25,13 @@ namespace consensus40::check {
 /// `protocol` is a registry key ("raft", "multi_paxos", or anything a
 /// test registered). MakeRaftAdapter / MakeMultiPaxosAdapter below are
 /// now thin wrappers around this.
-AdapterFactory MakeGroupAdapter(std::string protocol);
+/// `num_ops` sizes the client workload. The default 6 finishes within
+/// ~100 ms of virtual time — before the schedule generator's first fault
+/// slot — so it exercises recovery of *persisted* state. Protocols whose
+/// failure mode only shows when commits straddle a fault (e.g. Crossword's
+/// coded entries dying with the leader) pass a larger count so the
+/// workload spans the whole fault window.
+AdapterFactory MakeGroupAdapter(std::string protocol, int num_ops = 6);
 
 /// The same group adapter with the hot-path optimisations on: leader-side
 /// batching (batch_size 4, 1ms linger) and a windowed client (4 ops in
@@ -60,6 +66,16 @@ AdapterFactory MakeShardAdapter();
 /// The shard composition with batching + windowed clients throughout
 /// (see MakeBatchedGroupAdapter); same fault bounds and expectations.
 AdapterFactory MakeShardBatchedAdapter();
+
+/// Crossword: adaptive erasure-coded Multi-Paxos (n=5). The adaptive
+/// variant slides between full copies and coded shards; the _rs variant
+/// pins one shard per acceptor, which maximises the reconstruction and
+/// fragment-recovery machinery the sweep needs to stress. Both are in
+/// bounds for the usual crash/restart/partition envelope because the
+/// widened accept quorum q2(c) = max(n+1-c, majority) keeps every
+/// phase-1 majority able to reassemble any possibly-chosen value.
+AdapterFactory MakeCrosswordAdapter();
+AdapterFactory MakeCrosswordRsAdapter();
 
 /// Elastic resharding: 2 shards + 1 spare group with one live range move
 /// racing the transactions, under mover-crash and owner-partition faults
@@ -105,6 +121,15 @@ AdapterFactory MakePbftOutOfBoundsAdapter();
 /// coordinator crash yields a discoverable liveness violation while
 /// safety still holds.
 AdapterFactory MakeTwoPhaseCommitBlockingAdapter();
+
+/// Crossword with the coded-accept quorum cut to a bare majority
+/// (unsafe_majority_quorum): a 1-shard entry can be "chosen" with only
+/// majority-many distinct shards outstanding, fewer than the k needed to
+/// reconstruct. Crash the right acceptors and the value is either
+/// unrecoverable (liveness violation: the group stalls on a slot nobody
+/// can reassemble) or a new leader no-op-fills a decided slot (prefix
+/// divergence). Escalation is disabled so the schedule's crashes land.
+AdapterFactory MakeCrosswordOutOfBoundsAdapter();
 
 /// The live-move ladder with the flip made BEFORE freeze + drain: a
 /// transaction still in flight at the old owner applies its writes

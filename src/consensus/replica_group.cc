@@ -31,6 +31,10 @@ struct Registry {
     builtins_registered = true;
     factories["raft"] = [] { return NewRaftGroup(); };
     factories["multi_paxos"] = [] { return NewMultiPaxosGroup(); };
+    factories["crossword"] = [] { return NewCrosswordGroup(); };
+    factories["crossword_rs"] = [] { return NewCrosswordRsGroup(); };
+    factories["crossword_full"] = [] { return NewCrosswordFullCopyGroup(); };
+    factories["crossword_unsafe"] = [] { return NewCrosswordUnsafeGroup(); };
   }
 
   static Registry& Instance() {

@@ -53,6 +53,13 @@ struct GroupTuning {
   /// (Raft snapshot_threshold / Multi-Paxos checkpoint_interval).
   /// 0 disables.
   uint64_t snapshot_threshold = 0;
+  /// Failure-detection overrides, 0 = protocol default. Honored by
+  /// crossword: under a finite-bandwidth network a multi-hundred-ms
+  /// payload fan-out queues heartbeats behind it at the leader's egress
+  /// port, so data-heavy configs must scale the follower timeout with
+  /// the payload serialization cost or elect spurious leaders mid-round.
+  sim::Duration heartbeat_interval = 0;
+  sim::Duration leader_timeout = 0;
 };
 
 /// A replication group of one protocol, as seen from above the consensus
@@ -143,6 +150,12 @@ std::vector<std::string> RegisteredGroupProtocols();
 /// callers can construct a group directly without the registry.
 std::unique_ptr<ReplicaGroup> NewRaftGroup();
 std::unique_ptr<ReplicaGroup> NewMultiPaxosGroup();
+/// Crossword (adaptive erasure-coded Multi-Paxos) and its pinned
+/// variants; see paxos/crossword_group.cc for what each key means.
+std::unique_ptr<ReplicaGroup> NewCrosswordGroup();
+std::unique_ptr<ReplicaGroup> NewCrosswordRsGroup();
+std::unique_ptr<ReplicaGroup> NewCrosswordFullCopyGroup();
+std::unique_ptr<ReplicaGroup> NewCrosswordUnsafeGroup();
 
 /// A client endpoint for one ReplicaGroup: submits commands and
 /// linearizable reads, follows redirects and leader hints, retries on

@@ -24,7 +24,14 @@ struct MultiPaxosReplica::PrepareMsg : sim::Message {
 struct MultiPaxosReplica::PromiseMsg : sim::Message {
   const char* TypeName() const override { return "promise"; }
   int ByteSize() const override {
-    return 32 + static_cast<int>(accepted.size()) * 48;
+    // Each carried slot ships its full accepted command (index + ballot
+    // framing + payload), not a fixed stub — the bandwidth model divides
+    // latency by these bytes, so under-counting would make recovery free.
+    int size = 32;
+    for (const auto& [index, entry] : accepted) {
+      size += 32 + entry.second.ByteSize();
+    }
+    return size;
   }
   Ballot ballot;
   /// index -> (AcceptNum, AcceptVal) for every unchosen accepted slot.
@@ -84,8 +91,19 @@ struct MultiPaxosReplica::CatchupReplyMsg : sim::Message {
 struct MultiPaxosReplica::SnapshotMsg : sim::Message {
   const char* TypeName() const override { return "snapshot"; }
   int ByteSize() const override {
-    return 64 + static_cast<int>(data.size()) * 32 +
-           static_cast<int>(sessions.size()) * 24;
+    // True framed size: actual key/value bytes plus cached session
+    // results, not a per-entry constant (values can be megabytes).
+    int size = 64;
+    for (const auto& [k, v] : data) {
+      size += 16 + static_cast<int>(k.size()) + static_cast<int>(v.size());
+    }
+    for (const auto& [client, s] : sessions) {
+      size += 24;
+      for (const auto& [seq, result] : s.above) {
+        size += 16 + static_cast<int>(result.size());
+      }
+    }
+    return size;
   }
   uint64_t end = 0;  ///< The snapshot covers slots [0, end).
   std::map<std::string, std::string> data;  ///< KV state.

@@ -58,8 +58,19 @@ struct RaftReplica::AppendReplyMsg : sim::Message {
 struct RaftReplica::InstallSnapshotMsg : sim::Message {
   const char* TypeName() const override { return "install-snapshot"; }
   int ByteSize() const override {
-    return 64 + static_cast<int>(data.size()) * 32 +
-           static_cast<int>(sessions.size()) * 24;
+    // True framed size: actual key/value bytes plus cached session
+    // results, not a per-entry constant (values can be megabytes).
+    int size = 64 + static_cast<int>(config.size()) * 8;
+    for (const auto& [k, v] : data) {
+      size += 16 + static_cast<int>(k.size()) + static_cast<int>(v.size());
+    }
+    for (const auto& [client, s] : sessions) {
+      size += 24;
+      for (const auto& [seq, result] : s.above) {
+        size += 16 + static_cast<int>(result.size());
+      }
+    }
+    return size;
   }
   int64_t term = 0;
   sim::NodeId leader = sim::kInvalidNode;

@@ -56,12 +56,54 @@ void WorkloadDriver::SendRead(const std::string& key, sim::Time start) {
   pending_reads_[{group, seq}] = PendingRead{key, start};
 }
 
+std::string WorkloadDriver::MakeValue(uint64_t tx_id) {
+  std::string value = "v" + std::to_string(tx_id);
+  if (options_.value_dist == WorkloadOptions::ValueDist::kDefault) {
+    return value;  // No rng draw: pre-existing runs replay bit-identically.
+  }
+  constexpr size_t kMaxValue = 1 << 20;
+  size_t max = options_.value_size < kMaxValue ? options_.value_size
+                                               : kMaxValue;
+  size_t min = options_.value_size_min < max ? options_.value_size_min : max;
+  size_t target = max;
+  switch (options_.value_dist) {
+    case WorkloadOptions::ValueDist::kDefault:
+    case WorkloadOptions::ValueDist::kFixed:
+      break;
+    case WorkloadOptions::ValueDist::kUniform:
+      target = min + rng().NextBounded(max - min + 1);
+      break;
+    case WorkloadOptions::ValueDist::kZipf: {
+      // Bounded Pareto (alpha = 1): inverse-transform of
+      // P(X > x) ~ 1/x truncated to [min, max]. Most draws land near
+      // min; the tail reaches max — the mixed small/large regime an
+      // adaptive replication path has to get right.
+      double u = rng().NextDouble();
+      double lo = static_cast<double>(min > 0 ? min : 1);
+      double hi = static_cast<double>(max > 0 ? max : 1);
+      double x = (hi * lo) / (hi - u * (hi - lo));
+      target = static_cast<size_t>(x);
+      if (target < min) target = min;
+      if (target > max) target = max;
+      break;
+    }
+  }
+  // Keep the unique id prefix (atomicity checkers match writers by
+  // value) and pad deterministically to the drawn size.
+  value += ".";
+  if (value.size() < target) {
+    value.append(target - value.size(),
+                 static_cast<char>('a' + tx_id % 26));
+  }
+  return value;
+}
+
 void WorkloadDriver::IssueTx(bool cross) {
   uint64_t tx_id = ++next_tx_;
   PendingTx& tx = pending_txs_[tx_id];
   tx.cross = cross;
   tx.start = Now();
-  std::string value = "v" + std::to_string(tx_id);
+  std::string value = MakeValue(tx_id);
   std::string k1 = RandomKey(options_.write_space);
   tx.ops.push_back(TxOp{k1, value});
   if (cross) {

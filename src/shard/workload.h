@@ -20,6 +20,27 @@
 namespace consensus40::shard {
 
 struct WorkloadOptions {
+  /// How transaction value sizes are drawn. kDefault keeps the original
+  /// tiny "v<tx_id>" values AND draws no extra randomness, so every
+  /// pre-existing (seed, options) run replays bit-identically. The other
+  /// modes size values for data-heavy experiments (the regime where
+  /// payload-aware replication such as Crossword pays off); values keep
+  /// a unique "v<tx_id>." prefix so atomicity checkers still tell
+  /// writers apart.
+  enum class ValueDist {
+    kDefault,  ///< "v<tx_id>", no rng draw.
+    kFixed,    ///< Exactly value_size bytes.
+    kUniform,  ///< Uniform in [value_size_min, value_size].
+    kZipf,     ///< Bounded Pareto on [value_size_min, value_size]:
+               ///< mostly-small, heavy tail — the mixed regime an
+               ///< adaptive coder must handle.
+  };
+  ValueDist value_dist = ValueDist::kDefault;
+  /// Target (kFixed) or maximum (kUniform/kZipf) value size in bytes.
+  /// Capped at 1 MiB; sizes below the id prefix are padded up to it.
+  size_t value_size = 0;
+  /// Lower bound for kUniform/kZipf draws.
+  size_t value_size_min = 16;
   /// Total operations (reads + transactions) to issue.
   int ops = 500;
   /// Operations kept outstanding at once (closed loop per slot).
@@ -101,6 +122,7 @@ class WorkloadDriver : public sim::Process {
   };
 
   void IssueNext();
+  std::string MakeValue(uint64_t tx_id);
   void IssueRead();
   void SendRead(const std::string& key, sim::Time start);
   void IssueTx(bool cross);

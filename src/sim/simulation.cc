@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace consensus40::sim {
 
@@ -35,6 +36,7 @@ void Simulation::Register(std::unique_ptr<Process> p) {
   p->rng_ = std::make_unique<Rng>(rng_.Fork());
   processes_.push_back(std::move(p));
   epochs_.push_back(0);
+  egress_free_.push_back(0);
   // Keep the partition map covering every process: a node spawned while a
   // partition is in effect starts isolated rather than reading past the end.
   if (!partition_group_.empty()) partition_group_.push_back(-1);
@@ -255,6 +257,28 @@ bool Simulation::LinkAllowed(NodeId from, NodeId to) const {
   return true;
 }
 
+double Simulation::BandwidthFor(NodeId from, NodeId to) const {
+  if (!options_.link_bytes_per_ms.empty()) {
+    auto it = options_.link_bytes_per_ms.find({from, to});
+    if (it != options_.link_bytes_per_ms.end()) return it->second;
+  }
+  return options_.bytes_per_ms;
+}
+
+Duration Simulation::SerializationDelay(NodeId from, NodeId to, int bytes) {
+  const double bw = BandwidthFor(from, to);
+  if (bw <= 0) return 0;  // This link is infinite-bandwidth.
+  // The sender's egress port serializes one message at a time: this send
+  // starts when the port next idles and holds it for bytes/bw. The charge
+  // sticks even if the network then loses the message — the wire time was
+  // spent either way.
+  const Time start = egress_free_[from] > now_ ? egress_free_[from] : now_;
+  const auto ser = static_cast<Duration>(
+      std::ceil(static_cast<double>(bytes) * kMillisecond / bw));
+  egress_free_[from] = start + ser;
+  return egress_free_[from] - now_;
+}
+
 Duration Simulation::DefaultDelay(NodeId from, NodeId to) {
   if (from == to) return 0;  // Self-messages are immediate.
   if (options_.drop_rate > 0 && rng_.Bernoulli(options_.drop_rate)) return -1;
@@ -331,6 +355,11 @@ void Simulation::SendMessage(NodeId from, NodeId to, MessagePtr msg) {
   }
   const TypeId type = InternType(msg->TypeName());
   const int bytes = msg->ByteSize();
+  // Serialization is charged before the propagation draw so the egress
+  // queue advances even for messages the network then loses.
+  const Duration ser = options_.HasBandwidth() && to != from
+                           ? SerializationDelay(from, to, bytes)
+                           : 0;
   const Duration fd = fixed_delay_;
   const Duration delay =
       fd >= 0 ? (to == from ? 0 : fd) : DelayFor(from, to, msg, envelope_id);
@@ -349,7 +378,7 @@ void Simulation::SendMessage(NodeId from, NodeId to, MessagePtr msg) {
   slot.trace = AllocateTrace(envelope_id);
   slot.epoch = epochs_[to];
   slot.msg = std::move(msg);
-  ScheduleSlot(now_ + delay, index);
+  ScheduleSlot(now_ + ser + delay, index);
 }
 
 void Simulation::MulticastMessage(NodeId from,
@@ -367,6 +396,7 @@ void Simulation::MulticastMessage(NodeId from,
   // With no delay hook, no loss, and a fixed delay, the per-target delay is
   // a constant and the rng is never consulted; fixed_delay_ caches that.
   const Duration fd = fixed_delay_;
+  const bool has_bw = options_.HasBandwidth();
   uint32_t payload = kNilIndex;
   uint64_t admitted = 0;
   for (NodeId to : targets) {
@@ -376,6 +406,11 @@ void Simulation::MulticastMessage(NodeId from,
       stats_.messages_dropped++;
       continue;
     }
+    // Each copy of the fan-out serializes through the sender's one egress
+    // port in turn — a full-payload multicast pays n serializations, which
+    // is exactly the cost erasure-coded assignment shrinks.
+    const Duration ser =
+        has_bw && to != from ? SerializationDelay(from, to, bytes) : 0;
     const Duration delay =
         fd >= 0 ? (to == from ? 0 : fd) : DelayFor(from, to, msg, envelope_id);
     ++admitted;  // Sent even if the network then loses it.
@@ -388,7 +423,7 @@ void Simulation::MulticastMessage(NodeId from,
       payloads_[payload] = MessagePayload{msg, 0};  // One shared_ptr copy.
     }
     payloads_[payload].refs++;
-    QueueMessageEvent(from, to, payload, envelope_id, delay);
+    QueueMessageEvent(from, to, payload, envelope_id, ser + delay);
   }
   // One stats update for the whole fan-out: the per-type cursor is resolved
   // once, not re-hashed per target.

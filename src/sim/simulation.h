@@ -95,10 +95,27 @@ struct NetStats {
 
 /// Message-delay model. The default is a partially-synchronous network:
 /// uniform random delay in [min_delay, max_delay] plus an optional drop rate.
+///
+/// When `bytes_per_ms` is positive the network also charges a
+/// *serialization* delay on every send: each sender owns one egress port
+/// that puts `ByteSize()` bytes on the wire at `bytes_per_ms`, so a burst
+/// of large sends queues behind itself (delivery = egress-queue drain +
+/// serialization + propagation). The default (0) is an infinite-bandwidth
+/// network: no serialization charge, no egress queue, and — critically —
+/// no extra rng draws, so every pre-existing seeded run is bit-identical.
+/// `link_bytes_per_ms` overrides the rate for individual (from, to) links
+/// (0 in an override = infinite for that link).
 struct NetworkOptions {
   Duration min_delay = 1 * kMillisecond;
   Duration max_delay = 5 * kMillisecond;
   double drop_rate = 0.0;
+  double bytes_per_ms = 0.0;  ///< 0 = infinite bandwidth (default).
+  std::map<std::pair<NodeId, NodeId>, double> link_bytes_per_ms;
+
+  /// True when any serialization charge applies (the bandwidth model is on).
+  bool HasBandwidth() const {
+    return bytes_per_ms > 0 || !link_bytes_per_ms.empty();
+  }
 };
 
 class Simulation;
@@ -261,6 +278,17 @@ class Simulation {
 
   bool IsCrashed(NodeId id) const { return processes_[id]->crashed_; }
 
+  /// How far ahead of the clock `id`'s egress port is booked, i.e. how long
+  /// a zero-byte send from `id` would wait before starting to serialize.
+  /// Always 0 under infinite bandwidth. This is the observable the adaptive
+  /// Crossword controller feeds on: a growing backlog means the sender is
+  /// pushing more bytes than its links drain.
+  Duration EgressBacklog(NodeId id) const {
+    const Time free_at =
+        static_cast<size_t>(id) < egress_free_.size() ? egress_free_[id] : 0;
+    return free_at > now_ ? free_at - now_ : 0;
+  }
+
   /// Marks a process as Byzantine for bookkeeping/assertion purposes. The
   /// malicious behaviour itself lives in protocol-specific adversary
   /// subclasses of Process.
@@ -350,6 +378,13 @@ class Simulation {
     /// Probability that the network drops any given message.
     Builder& DropRate(double rate) {
       options_.drop_rate = rate;
+      return *this;
+    }
+
+    /// Finite per-sender egress bandwidth in bytes per millisecond
+    /// (0 = infinite; see NetworkOptions::bytes_per_ms).
+    Builder& Bandwidth(double bytes_per_ms) {
+      options_.bytes_per_ms = bytes_per_ms;
       return *this;
     }
 
@@ -511,6 +546,8 @@ class Simulation {
 
   void Register(std::unique_ptr<Process> p);
   bool LinkAllowed(NodeId from, NodeId to) const;
+  double BandwidthFor(NodeId from, NodeId to) const;
+  Duration SerializationDelay(NodeId from, NodeId to, int bytes);
   Duration DefaultDelay(NodeId from, NodeId to);
   Duration DelayFor(NodeId from, NodeId to, const MessagePtr& msg,
                     uint64_t envelope_id);
@@ -530,6 +567,9 @@ class Simulation {
   Duration fixed_delay_ = -1;
 
   static Duration FixedDelayFor(const NetworkOptions& o) {
+    // A finite-bandwidth network's delay depends on payload size and the
+    // sender's egress backlog, so the constant-delay fast path must stay off.
+    if (o.HasBandwidth()) return -1;
     return (o.drop_rate <= 0 && o.max_delay <= o.min_delay) ? o.min_delay : -1;
   }
   Time now_ = 0;
@@ -569,6 +609,9 @@ class Simulation {
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<uint64_t> epochs_;  ///< Flat mirror of Process::epoch_, so the
                                   ///< send path avoids a pointer chase.
+  std::vector<Time> egress_free_;  ///< Per-sender: when its egress port next
+                                   ///< idles. Only consulted under finite
+                                   ///< bandwidth; stays all-zero otherwise.
   size_t started_ = 0;
   std::set<NodeId> byzantine_;
   std::vector<int> partition_group_;  ///< -1 = isolated; empty = no partition.

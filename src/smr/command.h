@@ -66,6 +66,16 @@ constexpr int32_t kBatchClient = -4;
 /// True if `cmd` is a batch entry produced by EncodeBatch.
 inline bool IsBatch(const Command& cmd) { return cmd.client == kBatchClient; }
 
+/// Reserved client id marking a command as an erasure-coded shard set: its
+/// `op` is the frame encoding of one or more Reed–Solomon shards of some
+/// underlying command (see smr/erasure.h). Acceptors in Crossword store
+/// these in place of the full command; any k distinct shards reconstruct
+/// the original. Sits below -4 = leader-cut batch.
+constexpr int32_t kShardClient = -5;
+
+/// True if `cmd` is an erasure-coded shard set.
+inline bool IsShard(const Command& cmd) { return cmd.client == kShardClient; }
+
 /// Folds several client commands into one log-entry-sized Command — the
 /// leader-side batching primitive shared by Raft and Multi-Paxos. The
 /// encoding is length-prefixed (ops may contain spaces), so DecodeBatch

@@ -1,0 +1,345 @@
+#include "smr/erasure.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace consensus40::smr {
+
+namespace {
+
+/// GF(256) log/exp tables over the 0x11d polynomial, generator 0x02.
+/// Built once; every table access after that is branch-free.
+struct GfTables {
+  uint8_t exp[512];
+  uint8_t log[256];
+  GfTables() {
+    int x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<uint8_t>(x);
+      log[x] = static_cast<uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+    log[0] = 0;  // Undefined; callers guard zero.
+  }
+};
+
+const GfTables& Tables() {
+  static const GfTables t;
+  return t;
+}
+
+/// x^e for shard index x (0 means: 1 when e == 0, else 0).
+uint8_t GfPow(int x, int e) {
+  if (e == 0) return 1;
+  if (x == 0) return 0;
+  const GfTables& t = Tables();
+  return t.exp[(t.log[x] * e) % 255];
+}
+
+/// Solves the k x k Vandermonde system for the given shard indices:
+/// returns the inverse of A where A[r][j] = x_r^j, or empty on a
+/// singular matrix (impossible for distinct indices; kept as a guard).
+std::vector<uint8_t> InvertVandermonde(const std::vector<int>& xs, int k) {
+  // Gauss–Jordan over GF(256) on [A | I].
+  std::vector<uint8_t> a(static_cast<size_t>(k) * k);
+  std::vector<uint8_t> inv(static_cast<size_t>(k) * k, 0);
+  for (int r = 0; r < k; ++r) {
+    for (int j = 0; j < k; ++j) a[r * k + j] = GfPow(xs[r], j);
+    inv[r * k + r] = 1;
+  }
+  for (int col = 0; col < k; ++col) {
+    int pivot = -1;
+    for (int r = col; r < k; ++r) {
+      if (a[r * k + col] != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) return {};
+    if (pivot != col) {
+      for (int j = 0; j < k; ++j) {
+        std::swap(a[pivot * k + j], a[col * k + j]);
+        std::swap(inv[pivot * k + j], inv[col * k + j]);
+      }
+    }
+    const uint8_t d = GfInv(a[col * k + col]);
+    for (int j = 0; j < k; ++j) {
+      a[col * k + j] = GfMul(a[col * k + j], d);
+      inv[col * k + j] = GfMul(inv[col * k + j], d);
+    }
+    for (int r = 0; r < k; ++r) {
+      if (r == col) continue;
+      const uint8_t f = a[r * k + col];
+      if (f == 0) continue;
+      for (int j = 0; j < k; ++j) {
+        a[r * k + j] = static_cast<uint8_t>(a[r * k + j] ^
+                                            GfMul(f, a[col * k + j]));
+        inv[r * k + j] = static_cast<uint8_t>(inv[r * k + j] ^
+                                              GfMul(f, inv[col * k + j]));
+      }
+    }
+  }
+  return inv;
+}
+
+/// Reads one base-10 integer followed by a single space. Returns false on
+/// malformed input (same idiom as DecodeBatch).
+bool ReadNum(const std::string& s, size_t* pos, unsigned long long* out) {
+  if (*pos >= s.size()) return false;
+  char* end = nullptr;
+  *out = std::strtoull(s.c_str() + *pos, &end, 10);
+  if (end == nullptr || *end != ' ') return false;
+  *pos = static_cast<size_t>(end - s.c_str()) + 1;
+  return true;
+}
+
+bool ReadSigned(const std::string& s, size_t* pos, long long* out) {
+  if (*pos >= s.size()) return false;
+  char* end = nullptr;
+  *out = std::strtoll(s.c_str() + *pos, &end, 10);
+  if (end == nullptr || *end != ' ') return false;
+  *pos = static_cast<size_t>(end - s.c_str()) + 1;
+  return true;
+}
+
+/// Parsed form of a shard-set Command's op (see EncodeFrame below).
+struct Frame {
+  int32_t client;
+  uint64_t client_seq;
+  uint64_t acked;
+  int k;
+  int n;
+  uint64_t payload_len;
+  uint64_t payload_check;
+  std::vector<std::pair<int, std::string>> shards;  ///< Checksum-valid only.
+  uint64_t corrupt = 0;
+};
+
+/// "<client> <seq> <acked> <k> <n> <plen> <pcheck> <m> " then per shard
+/// "<index> <len> <check> <bytes>" — whitespace headers, byte-exact shard
+/// payloads, matching the EncodeBatch framing idiom.
+std::string EncodeFrame(int32_t client, uint64_t client_seq, uint64_t acked,
+                        int k, int n, uint64_t payload_len,
+                        uint64_t payload_check,
+                        const std::vector<std::pair<int, const std::string*>>&
+                            shards) {
+  std::string out;
+  out += std::to_string(client);
+  out += ' ';
+  out += std::to_string(client_seq);
+  out += ' ';
+  out += std::to_string(acked);
+  out += ' ';
+  out += std::to_string(k);
+  out += ' ';
+  out += std::to_string(n);
+  out += ' ';
+  out += std::to_string(payload_len);
+  out += ' ';
+  out += std::to_string(payload_check);
+  out += ' ';
+  out += std::to_string(shards.size());
+  out += ' ';
+  for (const auto& [index, data] : shards) {
+    out += std::to_string(index);
+    out += ' ';
+    out += std::to_string(data->size());
+    out += ' ';
+    out += std::to_string(Fnv1a(*data));
+    out += ' ';
+    out += *data;
+  }
+  return out;
+}
+
+std::optional<Frame> DecodeFrame(const Command& cmd) {
+  if (!IsShard(cmd)) return std::nullopt;
+  const std::string& s = cmd.op;
+  size_t pos = 0;
+  long long client;
+  unsigned long long seq, acked, k, n, plen, pcheck, m;
+  if (!ReadSigned(s, &pos, &client) || !ReadNum(s, &pos, &seq) ||
+      !ReadNum(s, &pos, &acked) || !ReadNum(s, &pos, &k) ||
+      !ReadNum(s, &pos, &n) || !ReadNum(s, &pos, &plen) ||
+      !ReadNum(s, &pos, &pcheck) || !ReadNum(s, &pos, &m)) {
+    return std::nullopt;
+  }
+  if (k < 1 || n < static_cast<unsigned long long>(k) || n > 255) {
+    return std::nullopt;
+  }
+  Frame f{static_cast<int32_t>(client), seq, acked, static_cast<int>(k),
+          static_cast<int>(n),          plen, pcheck, {}, 0};
+  for (unsigned long long i = 0; i < m; ++i) {
+    unsigned long long index, len, check;
+    if (!ReadNum(s, &pos, &index) || !ReadNum(s, &pos, &len) ||
+        !ReadNum(s, &pos, &check)) {
+      return std::nullopt;
+    }
+    if (index >= n || pos + len > s.size()) return std::nullopt;
+    std::string data = s.substr(pos, len);
+    pos += len;
+    if (Fnv1a(data) != check) {
+      ++f.corrupt;  // Detected bit-rot: drop the shard, keep the frame.
+      continue;
+    }
+    f.shards.emplace_back(static_cast<int>(index), std::move(data));
+  }
+  return f;
+}
+
+}  // namespace
+
+uint8_t GfMul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const GfTables& t = Tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+uint8_t GfInv(uint8_t a) {
+  assert(a != 0);
+  const GfTables& t = Tables();
+  return t.exp[255 - t.log[a]];
+}
+
+std::vector<std::string> ErasureEncode(const std::string& payload, int k,
+                                       int n) {
+  assert(1 <= k && k <= n && n <= 255);
+  const size_t stripe = (payload.size() + static_cast<size_t>(k) - 1) /
+                        static_cast<size_t>(k);
+  std::vector<std::string> shards(static_cast<size_t>(n),
+                                  std::string(stripe, '\0'));
+  for (int i = 0; i < n; ++i) {
+    std::string& out = shards[static_cast<size_t>(i)];
+    for (int j = 0; j < k; ++j) {
+      const uint8_t coef = GfPow(i, j);
+      if (coef == 0) continue;
+      const size_t base = static_cast<size_t>(j) * stripe;
+      const size_t end =
+          base < payload.size()
+              ? (payload.size() - base < stripe ? payload.size() - base
+                                                : stripe)
+              : 0;
+      for (size_t b = 0; b < end; ++b) {
+        out[b] = static_cast<char>(
+            static_cast<uint8_t>(out[b]) ^
+            GfMul(static_cast<uint8_t>(payload[base + b]), coef));
+      }
+    }
+  }
+  return shards;
+}
+
+std::optional<std::string> ErasureDecode(
+    const std::map<int, std::string>& shards, int k, int n,
+    uint64_t payload_len) {
+  if (k < 1 || n < k || static_cast<int>(shards.size()) < k) {
+    return std::nullopt;
+  }
+  const size_t stripe = (static_cast<size_t>(payload_len) +
+                         static_cast<size_t>(k) - 1) /
+                        static_cast<size_t>(k);
+  std::vector<int> xs;
+  std::vector<const std::string*> rows;
+  for (const auto& [index, data] : shards) {
+    if (index < 0 || index >= n || data.size() != stripe) return std::nullopt;
+    xs.push_back(index);
+    rows.push_back(&data);
+    if (static_cast<int>(xs.size()) == k) break;
+  }
+  const std::vector<uint8_t> inv = InvertVandermonde(xs, k);
+  if (inv.empty()) return std::nullopt;
+  std::string payload(static_cast<size_t>(payload_len), '\0');
+  for (int j = 0; j < k; ++j) {
+    const size_t base = static_cast<size_t>(j) * stripe;
+    if (base >= payload.size()) break;
+    const size_t end =
+        payload.size() - base < stripe ? payload.size() - base : stripe;
+    for (int r = 0; r < k; ++r) {
+      const uint8_t coef = inv[static_cast<size_t>(j) * k + r];
+      if (coef == 0) continue;
+      const std::string& row = *rows[static_cast<size_t>(r)];
+      for (size_t b = 0; b < end; ++b) {
+        payload[base + b] = static_cast<char>(
+            static_cast<uint8_t>(payload[base + b]) ^
+            GfMul(static_cast<uint8_t>(row[b]), coef));
+      }
+    }
+  }
+  return payload;
+}
+
+Command ShardedCommand::Subset(int first, int count) const {
+  std::vector<std::pair<int, const std::string*>> picked;
+  for (int i = 0; i < count && i < n; ++i) {
+    const int index = (first + i) % n;
+    picked.emplace_back(index, &shards[static_cast<size_t>(index)]);
+  }
+  Command cmd{kShardClient, client_seq,
+              EncodeFrame(client, client_seq, acked, k, n, payload_len,
+                          payload_check, picked)};
+  cmd.acked = acked;
+  return cmd;
+}
+
+ShardedCommand ShardCommand(const Command& cmd, int k, int n) {
+  ShardedCommand sc;
+  sc.client = cmd.client;
+  sc.client_seq = cmd.client_seq;
+  sc.acked = cmd.acked;
+  sc.k = k;
+  sc.n = n;
+  sc.payload_len = cmd.op.size();
+  sc.payload_check = Fnv1a(cmd.op);
+  sc.shards = ErasureEncode(cmd.op, k, n);
+  return sc;
+}
+
+bool ShardAssembler::Add(const Command& shard_set) {
+  std::optional<Frame> f = DecodeFrame(shard_set);
+  if (!f.has_value()) return false;
+  if (k_ == 0) {
+    client_ = f->client;
+    client_seq_ = f->client_seq;
+    acked_ = f->acked;
+    k_ = f->k;
+    n_ = f->n;
+    payload_len_ = f->payload_len;
+    payload_check_ = f->payload_check;
+  } else if (client_ != f->client || client_seq_ != f->client_seq ||
+             k_ != f->k || n_ != f->n || payload_len_ != f->payload_len ||
+             payload_check_ != f->payload_check) {
+    return false;  // A frame for a different command or geometry.
+  }
+  corrupt_ += f->corrupt;
+  if (f->acked > acked_) acked_ = f->acked;
+  for (auto& [index, data] : f->shards) {
+    shards_.emplace(index, std::move(data));  // First copy of an index wins.
+  }
+  return true;
+}
+
+std::optional<Command> ShardAssembler::Reconstruct() const {
+  if (!Complete()) return std::nullopt;
+  std::optional<std::string> payload =
+      ErasureDecode(shards_, k_, n_, payload_len_);
+  if (!payload.has_value() || Fnv1a(*payload) != payload_check_) {
+    return std::nullopt;
+  }
+  Command cmd{client_, client_seq_, std::move(*payload)};
+  cmd.acked = acked_;
+  return cmd;
+}
+
+Command ShardAssembler::Merged() const {
+  std::vector<std::pair<int, const std::string*>> picked;
+  for (const auto& [index, data] : shards_) picked.emplace_back(index, &data);
+  Command cmd{kShardClient, client_seq_,
+              EncodeFrame(client_, client_seq_, acked_, k_, n_, payload_len_,
+                          payload_check_, picked)};
+  cmd.acked = acked_;
+  return cmd;
+}
+
+}  // namespace consensus40::smr

@@ -1,0 +1,108 @@
+#ifndef CONSENSUS40_SMR_ERASURE_H_
+#define CONSENSUS40_SMR_ERASURE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smr/command.h"
+
+namespace consensus40::smr {
+
+/// Reed–Solomon (k, n) erasure coding over command payloads, the codec
+/// under the Crossword protocol (see paxos/crossword.h).
+///
+/// The payload is split byte-wise into k data stripes (zero-padded to a
+/// common length) and shard i is the evaluation of the stripe polynomial
+/// at x = i over GF(256): shard_i[b] = Σ_j stripe_j[b]·i^j. Any k shards
+/// with distinct indices form a Vandermonde system, which is always
+/// invertible, so ANY k of the n shards reconstruct the payload exactly
+/// — the property Crossword's quorum math leans on. Each shard carries
+/// an FNV-1a checksum (corrupt shards are detected and discarded) and
+/// the frame carries a whole-payload checksum as an end-to-end guard.
+///
+/// Limits: 1 <= k <= n <= 255. k == 1 degenerates to full replication
+/// (every shard is the payload itself).
+
+/// GF(256) helpers, exposed for tests.
+uint8_t GfMul(uint8_t a, uint8_t b);
+uint8_t GfInv(uint8_t a);  ///< a must be nonzero.
+
+/// Splits `payload` into n shards, any k of which reconstruct it.
+std::vector<std::string> ErasureEncode(const std::string& payload, int k,
+                                       int n);
+
+/// Inverse: `shards` maps shard index -> shard bytes; needs >= k entries
+/// with valid indices and equal lengths. Returns nullopt when
+/// reconstruction is impossible (too few shards, bad shapes).
+std::optional<std::string> ErasureDecode(
+    const std::map<int, std::string>& shards, int k, int n,
+    uint64_t payload_len);
+
+/// A command erasure-coded for distribution: the original identity plus
+/// all n shards, leader-side. Subset() cuts the per-acceptor shard-set
+/// Command (client = kShardClient) carrying shards [first, first+count)
+/// mod n — Crossword's rotated assignment windows.
+struct ShardedCommand {
+  int32_t client = 0;       ///< Original command identity.
+  uint64_t client_seq = 0;
+  uint64_t acked = 0;
+  int k = 0;
+  int n = 0;
+  uint64_t payload_len = 0;
+  uint64_t payload_check = 0;  ///< Fnv1a of the original op bytes.
+  std::vector<std::string> shards;
+
+  Command Subset(int first, int count) const;
+};
+
+/// Encodes `cmd`'s op into n shards. Requires 1 <= k <= n <= 255.
+ShardedCommand ShardCommand(const Command& cmd, int k, int n);
+
+/// Accumulates shard-set Commands for ONE underlying command until k
+/// distinct valid shards are on hand, then reconstructs. Followers keep
+/// one per unapplied slot; a recovering leader feeds it the shard sets
+/// carried by promises. Corrupt shards (checksum mismatch) and frames
+/// for a different command/geometry are rejected at Add.
+class ShardAssembler {
+ public:
+  /// Folds one shard-set command in. Returns false (and changes nothing)
+  /// if `shard_set` is not a shard command, fails to parse, or disagrees
+  /// with previously added frames on identity or geometry. Individual
+  /// corrupt shards inside an otherwise valid frame are skipped and
+  /// counted in corrupt().
+  bool Add(const Command& shard_set);
+
+  bool Complete() const { return k_ > 0 && static_cast<int>(shards_.size()) >= k_; }
+  int distinct() const { return static_cast<int>(shards_.size()); }
+  int needed() const { return k_; }
+  uint64_t corrupt() const { return corrupt_; }
+
+  /// The reconstructed original command, once Complete(). nullopt before
+  /// that, or if the reconstructed payload fails the end-to-end checksum
+  /// (possible only if >= k shards were corrupted consistently with
+  /// their per-shard checksums — vanishing, but checked anyway).
+  std::optional<Command> Reconstruct() const;
+
+  /// One shard-set Command carrying every valid shard gathered so far —
+  /// what a catch-up reply forwards when the replica itself holds only
+  /// fragments.
+  Command Merged() const;
+
+ private:
+  int32_t client_ = 0;
+  uint64_t client_seq_ = 0;
+  uint64_t acked_ = 0;
+  int k_ = 0;
+  int n_ = 0;
+  uint64_t payload_len_ = 0;
+  uint64_t payload_check_ = 0;
+  uint64_t corrupt_ = 0;
+  std::map<int, std::string> shards_;
+};
+
+}  // namespace consensus40::smr
+
+#endif  // CONSENSUS40_SMR_ERASURE_H_

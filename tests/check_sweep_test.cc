@@ -89,6 +89,22 @@ TEST(CheckSweepInBounds, ShardedTwoPhaseCommitOverConsensus) {
   SweepInBounds("shard", MakeShardAdapter());
 }
 
+// Crossword's adaptive assignment: command sizes in the generic workload
+// sit below min_payload_to_shard, so this sweeps the protocol's classic
+// full-copy path plus leader-change recovery of full-value slots.
+TEST(CheckSweepInBounds, Crossword) {
+  SweepInBounds("crossword", MakeCrosswordAdapter());
+}
+
+// Pinned at one shard per acceptor: every accept is a coded fragment,
+// every follower apply is a reconstruction, and every leader change
+// reassembles possibly-chosen values from promise fragments — the
+// maximum-stress configuration for the widened quorum q2(1) = n and the
+// chosen-slot promise/teach machinery.
+TEST(CheckSweepInBounds, CrosswordRs) {
+  SweepInBounds("crossword_rs", MakeCrosswordRsAdapter());
+}
+
 TEST(CheckSweepInBounds, FloodSet) {
   SweepInBounds("floodset", MakeFloodSetAdapter());
 }
@@ -227,6 +243,21 @@ TEST(CheckSweepOutOfBounds, PlainTwoPhaseCommitBlocksOnCoordinatorCrash) {
                        "liveness");
 }
 
+// Crossword with the coded-accept quorum cut to a bare majority: a
+// 1-shard entry reaches "chosen" with fewer distinct fragments in the
+// cluster than the k needed to reconstruct it. Partitioning away the
+// leader (the only full copy) leaves the surviving majority staring at
+// slots nobody can reassemble, and phase 1 cannot tell them from
+// unchosen ones — the new leader re-proposes fresh client commands over
+// decided indexes and the logs diverge (the safety face, asserted
+// here). The same under-replication also shows a liveness face — the
+// shrunk repro strands the workload on an unreconstructable slot past
+// the heal — but divergence is the sharper indictment.
+TEST(CheckSweepOutOfBounds, CrosswordMajorityQuorumUnderReplicatesShards) {
+  ExpectViolationFound("crossword-majority-q2",
+                       MakeCrosswordOutOfBoundsAdapter(), 200, "prefix");
+}
+
 // The move ladder with the flip made before freeze + drain: in-flight
 // transactions at the old owner apply their writes behind the copy
 // snapshot and the routing fence, so a committed write exists at no
@@ -348,6 +379,44 @@ TEST(ShrinkCanonicalize, ReshardLostWriteReproHasCanonicalForm) {
     return;
   }
   FAIL() << "no flip-before-drain violation in 50 seeds";
+}
+
+/// The Crossword bare-majority repro, pinned the same way. The shape
+/// reads straight off the flaw: a delay spike while the 40-op workload
+/// is in flight leaves sharded commits un-disseminated past the bare
+/// quorum, then the partition isolates the leader-side full copies —
+/// the surviving majority holds fewer than k distinct fragments of the
+/// committed slots and parks forever, heal notwithstanding (the full
+/// generated schedule additionally diverges the logs; shrinking keeps
+/// the violation but lands on the liveness face). Same re-pin rule as
+/// above: update the string only when the schedule *generator*
+/// intentionally changed; any other drift means the shrinker or the
+/// protocol's recovery path regressed.
+TEST(ShrinkCanonicalize, CrosswordUnderReplicationReproHasCanonicalForm) {
+  AdapterFactory factory = MakeCrosswordOutOfBoundsAdapter();
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    FaultSchedule schedule;
+    RunResult result = RunSeed(factory, seed, &schedule);
+    if (!result.violated()) continue;
+
+    auto replay = [&](const FaultSchedule& candidate) {
+      return RunSchedule(factory, seed, candidate).violated();
+    };
+    const FaultBounds bounds = factory(seed)->bounds();
+    FaultSchedule min = CanonicalizeSchedule(
+        ShrinkSchedule(schedule, bounds, replay), bounds, replay);
+
+    EXPECT_TRUE(RunSchedule(factory, seed, min).violated());
+    for (const FaultAction& a : min.actions) {
+      EXPECT_EQ(a.aux, 0u);
+      EXPECT_EQ(a.at % sim::kMillisecond, 0);
+    }
+    EXPECT_EQ(min.ToString(),
+              "schedule --seed=1: [ spike(13ms..33ms)@200ms "
+              "partition({0,1,4}|{2,3})@1300ms unspike@2000ms heal@2000ms ]");
+    return;
+  }
+  FAIL() << "no crossword under-replication violation in 50 seeds";
 }
 
 }  // namespace

@@ -26,7 +26,9 @@ int main() {
       int total_elections = 0, worst = 0, settled = 0;
       const int kRuns = 12;
       for (uint64_t seed = 1; seed <= kRuns; ++seed) {
-        sim::Simulation sim(seed);
+        auto sim_owner =
+            sim::Simulation::Builder(seed).AutoStart(false).Build();
+        sim::Simulation& sim = *sim_owner;
         raft::RaftOptions opts;
         opts.n = 5;
         opts.election_timeout = base;  // Window = [base, 2*base].
@@ -69,7 +71,9 @@ int main() {
     for (int batch : {1, 4, 8, 16}) {
       sim::NetworkOptions net;
       net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-      sim::Simulation sim(5, net);
+      auto sim_owner =
+          sim::Simulation::Builder(5).Network(net).AutoStart(false).Build();
+      sim::Simulation& sim = *sim_owner;
       crypto::KeyRegistry registry(5, 24);
       hotstuff::HotStuffOptions opts;
       opts.n = 4;
@@ -113,7 +117,8 @@ int main() {
     TextTable t({"checkpoint every", "checkpoint msgs", "final log slots",
                  "stable checkpoint"});
     for (uint64_t interval : {4, 16, 64}) {
-      sim::Simulation sim(3);
+      auto sim_owner = sim::Simulation::Builder(3).AutoStart(false).Build();
+      sim::Simulation& sim = *sim_owner;
       crypto::KeyRegistry registry(3, 12);
       pbft::PbftOptions opts;
       opts.n = 4;
@@ -156,7 +161,9 @@ int main() {
                     Cfg{8, 3 * sim::kMillisecond}}) {
       sim::NetworkOptions net;
       net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-      sim::Simulation sim(7, net);
+      auto sim_owner =
+          sim::Simulation::Builder(7).Network(net).AutoStart(false).Build();
+      sim::Simulation& sim = *sim_owner;
       crypto::KeyRegistry registry(7, 24);
       pbft::PbftOptions opts;
       opts.n = 4;

@@ -46,7 +46,9 @@ int main() {
 
     sim::NetworkOptions net;
     net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-    sim::Simulation sim(1, net);
+    auto sim_owner =
+        sim::Simulation::Builder(1).Network(net).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     tracer.Attach(&sim);
     paxos::PaxosOptions opts;
     opts.n = 3;
@@ -76,7 +78,9 @@ int main() {
 
     sim::NetworkOptions net;
     net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-    sim::Simulation sim(2, net);
+    auto sim_owner =
+        sim::Simulation::Builder(2).Network(net).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     tracer.Attach(&sim);
     std::vector<commit::ThreePcParticipant*> cohorts;
     for (int i = 0; i < 3; ++i) {

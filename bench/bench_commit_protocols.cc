@@ -35,7 +35,9 @@ int main() {
     {
       sim::NetworkOptions net;
       net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-      sim::Simulation sim(1, net);
+      auto sim_owner =
+          sim::Simulation::Builder(1).Network(net).AutoStart(false).Build();
+      sim::Simulation& sim = *sim_owner;
       std::vector<commit::TwoPcParticipant*> cohorts;
       for (int i = 0; i < 3; ++i) {
         cohorts.push_back(sim.Spawn<commit::TwoPcParticipant>());
@@ -59,7 +61,9 @@ int main() {
     {
       sim::NetworkOptions net;
       net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-      sim::Simulation sim(2, net);
+      auto sim_owner =
+          sim::Simulation::Builder(2).Network(net).AutoStart(false).Build();
+      sim::Simulation& sim = *sim_owner;
       std::vector<commit::ThreePcParticipant*> cohorts;
       for (int i = 0; i < 3; ++i) {
         cohorts.push_back(sim.Spawn<commit::ThreePcParticipant>());
@@ -86,7 +90,8 @@ int main() {
   {
     TextTable t({"protocol", "cohort states 30s after crash", "blocked?"});
     {
-      sim::Simulation sim(3);
+      auto sim_owner = sim::Simulation::Builder(3).AutoStart(false).Build();
+      sim::Simulation& sim = *sim_owner;
       std::vector<commit::TwoPcParticipant*> cohorts;
       for (int i = 0; i < 3; ++i) {
         cohorts.push_back(sim.Spawn<commit::TwoPcParticipant>());
@@ -106,7 +111,8 @@ int main() {
       t.AddRow({"2PC", states, "YES - uncertainty window is forever"});
     }
     {
-      sim::Simulation sim(4);
+      auto sim_owner = sim::Simulation::Builder(4).AutoStart(false).Build();
+      sim::Simulation& sim = *sim_owner;
       std::vector<commit::ThreePcParticipant*> cohorts;
       for (int i = 0; i < 3; ++i) {
         cohorts.push_back(sim.Spawn<commit::ThreePcParticipant>());
@@ -127,7 +133,8 @@ int main() {
                 "no - terminated with ABORT"});
     }
     {
-      sim::Simulation sim(5);
+      auto sim_owner = sim::Simulation::Builder(5).AutoStart(false).Build();
+      sim::Simulation& sim = *sim_owner;
       std::vector<commit::ThreePcParticipant*> cohorts;
       for (int i = 0; i < 3; ++i) {
         cohorts.push_back(sim.Spawn<commit::ThreePcParticipant>());

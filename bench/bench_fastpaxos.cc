@@ -21,7 +21,9 @@ FpRun Run(int n, int clients, sim::Duration spread, uint64_t seed) {
   sim::NetworkOptions net;
   net.min_delay = 1 * sim::kMillisecond;
   net.max_delay = 1 * sim::kMillisecond + spread;
-  sim::Simulation sim(seed, net);
+  auto sim_owner =
+      sim::Simulation::Builder(seed).Network(net).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   paxos::FastPaxosOptions opts;
   opts.n = n;
   std::vector<paxos::FastPaxosAcceptor*> acceptors;

@@ -26,7 +26,9 @@ struct FlexRun {
 FlexRun Run(int n, int q1, int q2, uint64_t seed) {
   sim::NetworkOptions net;
   net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-  sim::Simulation sim(seed, net);
+  auto sim_owner =
+      sim::Simulation::Builder(seed).Network(net).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   paxos::MultiPaxosOptions opts;
   opts.n = n;
   opts.q1 = q1;
@@ -102,7 +104,8 @@ int main() {
       paxos::PaxosOptions opts;
       opts.n = 6;
       opts.quorum_system = &grid;
-      sim::Simulation sim(4);
+      auto sim_owner = sim::Simulation::Builder(4).AutoStart(false).Build();
+      sim::Simulation& sim = *sim_owner;
       std::vector<paxos::PaxosNode*> nodes;
       for (int i = 0; i < 6; ++i) {
         nodes.push_back(sim.Spawn<paxos::PaxosNode>(opts));

@@ -44,7 +44,8 @@ int main() {
       opts.n = 5;
       opts.randomized_backoff = false;  // Deterministic retry.
       opts.retry_delay = 0;
-      sim::Simulation sim(seed);
+      auto sim_owner = sim::Simulation::Builder(seed).AutoStart(false).Build();
+      sim::Simulation& sim = *sim_owner;
       std::vector<paxos::PaxosNode*> nodes;
       for (int i = 0; i < 5; ++i) nodes.push_back(sim.Spawn<paxos::PaxosNode>(opts));
       sim.Start();
@@ -65,7 +66,8 @@ int main() {
   {
     TextTable t({"seed", "inputs", "decided?", "rounds", "virtual time"});
     for (uint64_t seed = 1; seed <= 8; ++seed) {
-      sim::Simulation sim(seed);
+      auto sim_owner = sim::Simulation::Builder(seed).AutoStart(false).Build();
+      sim::Simulation& sim = *sim_owner;
       randomized::BenOrOptions opts;
       opts.n = 5;
       std::vector<randomized::BenOrNode*> nodes;
@@ -101,7 +103,8 @@ int main() {
     std::map<int, int> histogram;
     const int kRuns = 200;
     for (uint64_t seed = 1; seed <= kRuns; ++seed) {
-      sim::Simulation sim(seed);
+      auto sim_owner = sim::Simulation::Builder(seed).AutoStart(false).Build();
+      sim::Simulation& sim = *sim_owner;
       randomized::BenOrOptions opts;
       opts.n = 5;
       std::vector<randomized::BenOrNode*> nodes;

@@ -23,7 +23,9 @@ struct HsRun {
 HsRun RunHotStuff(int n, int clients, int ops_each, uint64_t seed) {
   sim::NetworkOptions net;
   net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-  sim::Simulation sim(seed, net);
+  auto sim_owner =
+      sim::Simulation::Builder(seed).Network(net).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   crypto::KeyRegistry registry(seed, n + 16);
   hotstuff::HotStuffOptions opts;
   opts.n = n;
@@ -67,7 +69,9 @@ HsRun RunHotStuff(int n, int clients, int ops_each, uint64_t seed) {
 double RunPbftMsgs(int n, int ops, uint64_t seed) {
   sim::NetworkOptions net;
   net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-  sim::Simulation sim(seed, net);
+  auto sim_owner =
+      sim::Simulation::Builder(seed).Network(net).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   crypto::KeyRegistry registry(seed, n + 8);
   pbft::PbftOptions opts;
   opts.n = n;

@@ -21,7 +21,9 @@ int main() {
     {
       sim::NetworkOptions net;
       net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-      sim::Simulation sim(1, net);
+      auto sim_owner =
+          sim::Simulation::Builder(1).Network(net).AutoStart(false).Build();
+      sim::Simulation& sim = *sim_owner;
       crypto::KeyRegistry registry(1, 12);
       crypto::Usig usig(&registry);
       minbft::MinBftOptions opts;
@@ -41,7 +43,9 @@ int main() {
     {
       sim::NetworkOptions net;
       net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-      sim::Simulation sim(1, net);
+      auto sim_owner =
+          sim::Simulation::Builder(1).Network(net).AutoStart(false).Build();
+      sim::Simulation& sim = *sim_owner;
       crypto::KeyRegistry registry(1, 12);
       pbft::PbftOptions opts;
       opts.n = 4;
@@ -68,7 +72,9 @@ int main() {
     // Composite run: CheapTiny -> crash -> PANIC -> CheapSwitch -> MinBFT.
     sim::NetworkOptions net;
     net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-    sim::Simulation sim(2, net);
+    auto sim_owner =
+        sim::Simulation::Builder(2).Network(net).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     crypto::KeyRegistry registry(2, 12);
     crypto::Usig usig(&registry);
     cheapbft::CheapBftOptions opts;

@@ -24,7 +24,9 @@ struct RunResult {
 RunResult Run(bool skip_phase1, int n, int ops) {
   sim::NetworkOptions net;
   net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-  sim::Simulation sim(7, net);
+  auto sim_owner =
+      sim::Simulation::Builder(7).Network(net).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   paxos::MultiPaxosOptions opts;
   opts.n = n;
   opts.skip_phase1_when_stable = skip_phase1;

@@ -54,7 +54,8 @@ int main() {
     TextTable t({"scenario", "decided", "rounds", "false suspicions",
                  "virtual time"});
     auto run = [&](const char* label, int crash_at_start, bool jumpy) {
-      sim::Simulation sim(7);
+      auto sim_owner = sim::Simulation::Builder(7).AutoStart(false).Build();
+      sim::Simulation& sim = *sim_owner;
       oracle::CtOptions opts;
       opts.n = 5;
       if (jumpy) {
@@ -102,7 +103,8 @@ int main() {
     TextTable t({"rounds", "value spread (7 nodes, 1 crash, async)"});
     std::vector<double> initial = {1.0, 9.0, 5.0, 3.0, 7.0, 2.0, 8.0};
     for (int rounds : {0, 2, 4, 6, 8, 10}) {
-      sim::Simulation sim(17);
+      auto sim_owner = sim::Simulation::Builder(17).AutoStart(false).Build();
+      sim::Simulation& sim = *sim_owner;
       agreement::ApproxOptions opts;
       opts.n = 7;
       std::vector<agreement::ApproxAgreementNode*> nodes;

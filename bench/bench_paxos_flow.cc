@@ -31,7 +31,9 @@ int main() {
   {
     sim::NetworkOptions net;
     net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-    sim::Simulation sim(1, net);
+    auto sim_owner =
+        sim::Simulation::Builder(1).Network(net).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     paxos::PaxosOptions opts;
     opts.n = 3;
     std::vector<paxos::PaxosNode*> nodes;
@@ -56,7 +58,9 @@ int main() {
   {
     sim::NetworkOptions net;
     net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-    sim::Simulation sim(2, net);
+    auto sim_owner =
+        sim::Simulation::Builder(2).Network(net).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     paxos::PaxosOptions opts;
     opts.n = 5;
     std::vector<paxos::PaxosNode*> nodes;

@@ -27,7 +27,8 @@ Outcome Run(bool randomized_backoff, uint64_t seed) {
   opts.n = 5;
   opts.randomized_backoff = randomized_backoff;
   opts.retry_delay = randomized_backoff ? 5 * sim::kMillisecond : 0;
-  sim::Simulation sim(seed);
+  auto sim_owner = sim::Simulation::Builder(seed).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   std::vector<paxos::PaxosNode*> nodes;
   for (int i = 0; i < 5; ++i) nodes.push_back(sim.Spawn<paxos::PaxosNode>(opts));
   sim.Start();

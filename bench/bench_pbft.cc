@@ -22,7 +22,9 @@ struct PbftRun {
 PbftRun Measure(int n, int ops, bool crash_primary, uint64_t seed) {
   sim::NetworkOptions net;
   net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-  sim::Simulation sim(seed, net);
+  auto sim_owner =
+      sim::Simulation::Builder(seed).Network(net).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   uint64_t vc_bytes = 0;
   sim.SetTraceFn([&vc_bytes](const sim::Envelope& e, sim::Time) {
     std::string type = e.msg->TypeName();
@@ -112,7 +114,8 @@ int main() {
 
   std::printf("-- checkpoint garbage collection --\n");
   {
-    sim::Simulation sim(3);
+    auto sim_owner = sim::Simulation::Builder(3).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     crypto::KeyRegistry registry(3, 12);
     pbft::PbftOptions opts;
     opts.n = 4;

@@ -26,7 +26,9 @@ int main() {
   {
     sim::NetworkOptions net;
     net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-    sim::Simulation sim(31, net);
+    auto sim_owner =
+        sim::Simulation::Builder(31).Network(net).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     crypto::KeyRegistry registry(31, 24);
     pbft::PbftOptions opts;
     opts.n = 4;
@@ -60,7 +62,9 @@ int main() {
     sim::NetworkOptions net;
     net.min_delay = 200 * sim::kMillisecond;
     net.max_delay = 800 * sim::kMillisecond;
-    sim::Simulation sim(32, net);
+    auto sim_owner =
+        sim::Simulation::Builder(32).Network(net).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     blockchain::MinerNetworkParams params;
     params.chain.block_interval_secs = 60;
     params.chain.retarget_interval = 1 << 20;

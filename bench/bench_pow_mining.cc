@@ -25,7 +25,7 @@ struct World {
     sim::NetworkOptions net;
     net.min_delay = propagation / 2;
     net.max_delay = propagation;
-    sim = std::make_unique<sim::Simulation>(seed, net);
+    sim = sim::Simulation::Builder(seed).Network(net).AutoStart(false).Build();
     params.chain.block_interval_secs = interval_secs;
     params.chain.retarget_interval = retarget;
     params.chain.initial_reward = 50;

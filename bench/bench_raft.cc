@@ -18,7 +18,8 @@ int main() {
     TextTable t({"seed", "leader elected after", "terms used",
                  "elections started"});
     for (uint64_t seed = 1; seed <= 8; ++seed) {
-      sim::Simulation sim(seed);
+      auto sim_owner = sim::Simulation::Builder(seed).AutoStart(false).Build();
+      sim::Simulation& sim = *sim_owner;
       raft::RaftOptions opts;
       opts.n = 5;
       std::vector<raft::RaftReplica*> replicas;
@@ -52,7 +53,8 @@ int main() {
   std::printf("-- failover: leader crash mid-replication (n = 5) --\n");
   {
     TextTable t({"phase", "virtual time", "commands done", "term"});
-    sim::Simulation sim(3);
+    auto sim_owner = sim::Simulation::Builder(3).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     raft::RaftOptions opts;
     opts.n = 5;
     std::vector<raft::RaftReplica*> replicas;
@@ -105,7 +107,8 @@ int main() {
 
   std::printf("-- membership elasticity: grow 3 -> 5 -> shrink to 3 --\n");
   {
-    sim::Simulation sim(9);
+    auto sim_owner = sim::Simulation::Builder(9).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     raft::RaftOptions base;
     base.n = 3;
     base.initial_config = {0, 1, 2};
@@ -159,7 +162,9 @@ int main() {
   {
     sim::NetworkOptions net;
     net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-    sim::Simulation sim(5, net);
+    auto sim_owner =
+        sim::Simulation::Builder(5).Network(net).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     raft::RaftOptions opts;
     opts.n = 5;
     for (int i = 0; i < 5; ++i) sim.Spawn<raft::RaftReplica>(opts);

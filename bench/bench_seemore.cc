@@ -26,7 +26,8 @@ ModeRun Run(SeeMoReMode mode, sim::Duration cross_cloud_delay, uint64_t seed) {
   opts.m = 1;
   opts.c = 1;
   opts.mode = mode;
-  sim::Simulation sim(seed);
+  auto sim_owner = sim::Simulation::Builder(seed).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   crypto::KeyRegistry registry(seed, opts.n() + 8);
   opts.registry = &registry;
   std::vector<SeeMoReReplica*> replicas;

@@ -19,7 +19,9 @@ double SelfishRevenueShare(double alpha, uint64_t seed) {
   sim::NetworkOptions net;
   net.min_delay = 50 * sim::kMillisecond;
   net.max_delay = 200 * sim::kMillisecond;
-  sim::Simulation sim(seed, net);
+  auto sim_owner =
+      sim::Simulation::Builder(seed).Network(net).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   MinerNetworkParams params;
   params.chain.block_interval_secs = 60;
   params.chain.retarget_interval = 1 << 20;  // Fixed difficulty.
@@ -71,7 +73,9 @@ int main() {
     // blocks carry different transaction sets.
     net.min_delay = 15 * sim::kSecond;
     net.max_delay = 45 * sim::kSecond;
-    sim::Simulation sim(9, net);
+    auto sim_owner =
+        sim::Simulation::Builder(9).Network(net).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     // Transactions spread much more slowly than blocks (think: a tx
     // submitted at one edge of the network): competing fork branches then
     // genuinely disagree about which transactions they confirmed.

@@ -18,15 +18,20 @@
 //      0's whole range to a spare group) fired mid-run — pricing what an
 //      elastic resharding costs the workload (MOVED bounces, routing
 //      refetches, retried transactions) while the bench gates that every
-//      operation still completes and the move finishes under load.
+//      operation still completes and the move finishes under load,
+//   5. read-mix rows: the typed-transaction op classes — multi-key
+//      lock-free snapshot reads, write transactions carrying a leading
+//      GET, reason-aware abort retries — priced untuned and with the
+//      hot path on. The rows gate that snapshots commit and that the
+//      lock-free path never aborts.
 //
 // Results go to stdout and to BENCH_shard.json in the working directory
 // (same convention as bench_checker / BENCH_checker.json). All numbers
 // are virtual-time (simulated microseconds), so they are deterministic
 // per (seed, config) and comparable across machines and PRs; wall_s is
-// the only host-dependent field. `--smoke` runs a single tiny tuned
-// config and writes BENCH_shard_smoke.json instead (CI-sized; does not
-// clobber the committed ladder).
+// the only host-dependent field. `--smoke` runs two tiny tuned configs
+// (the plain mix and its read-mix twin) and writes BENCH_shard_smoke.json
+// instead (CI-sized; does not clobber the committed ladder).
 
 #include <algorithm>
 #include <chrono>
@@ -67,6 +72,14 @@ struct Config {
   /// 200 ms into the run; the row gates on the move completing AND every
   /// workload op still resolving.
   bool migrate = false;
+  // Read-mix knobs (the typed-transaction API): snapshot_fraction of the
+  // read ops go through the coordinator's lock-free multi-key snapshot
+  // path, txn_read_fraction of the write transactions carry a leading
+  // GET (shared lock + prepare-time evaluation), and reason_retry turns
+  // on the driver's reason-aware abort handling.
+  double snapshot_fraction = 0;
+  double txn_read_fraction = 0;
+  bool reason_retry = false;
 };
 
 // The mix ladder: from read-heavy single-shard to write-heavy
@@ -114,6 +127,18 @@ Config MigrateConfig() {
   return c;
 }
 
+/// Read-mix rows: the tuned 4-shard mix with 40% of reads upgraded to
+/// 2-key snapshot transactions, half the write transactions carrying a
+/// leading GET, and reason-aware retries on. The untuned twin keeps the
+/// speedup comparison honest for the new op classes.
+Config ReadMixConfig() {
+  Config c{"4sh-readmix", 4, 0.50, 0.30};
+  c.snapshot_fraction = 0.4;
+  c.txn_read_fraction = 0.5;
+  c.reason_retry = true;
+  return c;
+}
+
 Config SmokeConfig() {
   Config c{"2sh-smoke", 2, 0.50, 0.30};
   c.ops = 150;
@@ -121,6 +146,15 @@ Config SmokeConfig() {
   c.batch_size = 8;
   c.batch_delay = 1 * sim::kMillisecond;
   c.snapshot_threshold = 64;
+  return c;
+}
+
+Config SmokeReadMixConfig() {
+  Config c = SmokeConfig();
+  c.name = "2sh-readmix-smoke";
+  c.snapshot_fraction = 0.4;
+  c.txn_read_fraction = 0.5;
+  c.reason_retry = true;
   return c;
 }
 
@@ -148,6 +182,9 @@ Result RunOne(const Config& config) {
   wl.cross_shard_fraction = config.cross_fraction;
   wl.key_space = config.key_space;
   wl.write_space = config.write_space;
+  wl.snapshot_fraction = config.snapshot_fraction;
+  wl.txn_read_fraction = config.txn_read_fraction;
+  wl.reason_aware_retry = config.reason_retry;
 
   auto t0 = std::chrono::steady_clock::now();
   auto ssm = std::make_unique<shard::ShardedStateMachine>(options);
@@ -227,6 +264,10 @@ void WriteJson(const std::vector<Result>& results, const char* path) {
         "\"abort_pct\": %.2f, \"mean_ms\": %.2f},\n"
         "     \"cross\": {\"committed\": %d, \"aborted\": %d, "
         "\"abort_pct\": %.2f, \"mean_ms\": %.2f},\n"
+        "     \"snapshots\": {\"committed\": %d, \"aborted\": %d, "
+        "\"mean_ms\": %.2f},\n"
+        "     \"reason_retries\": %d, \"aborts_by_reason\": "
+        "[%d, %d, %d, %d, %d, %d],\n"
         "     \"retries\": %d, \"moved\": %d, \"table_refreshes\": %d,\n"
         "     \"moves_done\": %d, \"wall_s\": %.2f}%s\n",
         r.config.name, r.config.shards, r.config.read_fraction,
@@ -240,7 +281,12 @@ void WriteJson(const std::vector<Result>& results, const char* path) {
         r.stats.single.aborted, AbortRate(r.stats.single),
         r.stats.single.MeanLatencyMs(), r.stats.cross.committed,
         r.stats.cross.aborted, AbortRate(r.stats.cross),
-        r.stats.cross.MeanLatencyMs(), r.stats.retries, r.stats.moved,
+        r.stats.cross.MeanLatencyMs(), r.stats.snapshots.committed,
+        r.stats.snapshots.aborted, r.stats.snapshots.MeanLatencyMs(),
+        r.stats.reason_retries, r.stats.aborts_by_reason[0],
+        r.stats.aborts_by_reason[1], r.stats.aborts_by_reason[2],
+        r.stats.aborts_by_reason[3], r.stats.aborts_by_reason[4],
+        r.stats.aborts_by_reason[5], r.stats.retries, r.stats.moved,
         r.stats.table_refreshes, r.moves_done, r.wall_s,
         i + 1 < results.size() ? "," : "");
   }
@@ -251,8 +297,8 @@ void WriteJson(const std::vector<Result>& results, const char* path) {
 
 void PrintTable(const std::vector<Result>& results) {
   TextTable table({"config", "shards", "read%", "cross%", "w/b", "ops/vsec",
-                   "read ms", "miss%", "1sh ms", "2pc ms", "abort%",
-                   "retries"});
+                   "read ms", "miss%", "snap ms", "1sh ms", "2pc ms",
+                   "abort%", "retries"});
   for (const Result& r : results) {
     const shard::WorkloadStats& s = r.stats;
     double miss_pct = s.reads.completed == 0
@@ -266,6 +312,7 @@ void PrintTable(const std::vector<Result>& results) {
                   TextTable::Num(Throughput(r), 1),
                   TextTable::Num(s.reads.MeanLatencyMs()),
                   TextTable::Num(miss_pct, 1),
+                  TextTable::Num(s.snapshots.MeanLatencyMs()),
                   TextTable::Num(s.single.MeanLatencyMs()),
                   TextTable::Num(s.cross.MeanLatencyMs()),
                   TextTable::Num(AbortRate(s.cross)),
@@ -309,17 +356,34 @@ bool SanityCheck(const Result& r, bool check_latency = true) {
       ok = false;
     }
   }
+  if (r.config.snapshot_fraction > 0) {
+    if (r.stats.snapshots.committed == 0) {
+      std::printf("FAIL %s: no snapshot transaction committed\n",
+                  r.config.name);
+      ok = false;
+    }
+    // The snapshot path takes no locks and writes no decision record —
+    // nothing in-bounds can abort it.
+    if (r.stats.snapshots.aborted != 0) {
+      std::printf("FAIL %s: %d lock-free snapshot(s) aborted\n",
+                  r.config.name, r.stats.snapshots.aborted);
+      ok = false;
+    }
+  }
   return ok;
 }
 
 int RunSmoke() {
   std::printf(
       "== consensus40: S2 shard bench (smoke) ==\n"
-      "seed=%llu, one tiny tuned config, virtual-time metrics\n\n",
+      "seed=%llu, tiny tuned configs (plain + read-mix), virtual-time "
+      "metrics\n\n",
       static_cast<unsigned long long>(kSeed));
-  std::vector<Result> results{RunOne(SmokeConfig())};
+  std::vector<Result> results{RunOne(SmokeConfig()),
+                              RunOne(SmokeReadMixConfig())};
   PrintTable(results);
-  bool ok = SanityCheck(results[0], /*check_latency=*/false);
+  bool ok = true;
+  for (const Result& r : results) ok &= SanityCheck(r, /*check_latency=*/false);
   WriteJson(results, "BENCH_shard_smoke.json");
   return ok ? 0 : 1;
 }
@@ -354,15 +418,29 @@ int main(int argc, char** argv) {
   }
   size_t big_idx = results.size();
   results.push_back(RunOne(BigConfig()));
+  size_t mig_idx = results.size();
   results.push_back(RunOne(MigrateConfig()));
+  // Read-mix rows: the typed-transaction op classes, untuned and with
+  // the hot path on.
+  results.push_back(RunOne(ReadMixConfig()));
+  results.push_back(RunOne(Tuned(ReadMixConfig(), "4sh-readmix-batched")));
 
   PrintTable(results);
-  const Result& mig = results.back();
+  const Result& mig = results[mig_idx];
   std::printf(
       "migrate row: %d live move(s), %d MOVED bounce(s), %d table "
-      "refresh(es), %d retried tx(s)\n\n",
+      "refresh(es), %d retried tx(s)\n",
       mig.moves_done, mig.stats.moved, mig.stats.table_refreshes,
       mig.stats.retries);
+  const Result& rm = results.back();
+  std::printf(
+      "readmix row: %d snapshot(s) committed (mean %.2f ms), %d "
+      "reason-aware retry(ies), aborts by reason "
+      "[conflict %d, frozen %d, cas %d, moved %d, timeout %d]\n\n",
+      rm.stats.snapshots.committed, rm.stats.snapshots.MeanLatencyMs(),
+      rm.stats.reason_retries, rm.stats.aborts_by_reason[1],
+      rm.stats.aborts_by_reason[2], rm.stats.aborts_by_reason[3],
+      rm.stats.aborts_by_reason[4], rm.stats.aborts_by_reason[5]);
 
   bool ok = true;
   for (const Result& r : results) ok &= SanityCheck(r);

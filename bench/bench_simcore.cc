@@ -176,7 +176,9 @@ WorkloadResult RunWorkload(const std::string& name, sim::NetworkOptions net,
                            sim::Duration horizon, SetupFn setup) {
   WorkloadResult best;
   for (int rep = 0; rep < kRepetitions; ++rep) {
-    sim::Simulation sim(/*seed=*/42, net);
+    auto sim_owner =
+        sim::Simulation::Builder(/*seed=*/42).Network(net).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     setup(sim);
     sim.Start();
     // Warm-up: let slabs, queues, and stat tables reach steady-state size

@@ -29,15 +29,16 @@ struct Measured {
   double latency_ms;  ///< Client-observed, fixed 1ms hops.
 };
 
-sim::Simulation MakeFixedDelaySim(uint64_t seed) {
+std::unique_ptr<sim::Simulation> MakeFixedDelaySim(uint64_t seed) {
   sim::NetworkOptions net;
   net.min_delay = 1 * sim::kMillisecond;
   net.max_delay = 1 * sim::kMillisecond;
-  return sim::Simulation(seed, net);
+  return sim::Simulation::Builder(seed).Network(net).AutoStart(false).Build();
 }
 
 Measured MeasureMultiPaxos() {
-  auto sim = MakeFixedDelaySim(1);
+  auto sim_owner = MakeFixedDelaySim(1);
+  sim::Simulation& sim = *sim_owner;
   paxos::MultiPaxosOptions opts;
   opts.n = 3;
   for (int i = 0; i < opts.n; ++i) sim.Spawn<paxos::MultiPaxosReplica>(opts);
@@ -62,7 +63,8 @@ Measured MeasureMultiPaxos() {
 template <typename Replica, typename Client, typename Options>
 Measured MeasureBft(int n, int clients_extra, Options opts,
                     crypto::KeyRegistry* registry) {
-  auto sim = MakeFixedDelaySim(1);
+  auto sim_owner = MakeFixedDelaySim(1);
+  sim::Simulation& sim = *sim_owner;
   for (int i = 0; i < n; ++i) sim.Spawn<Replica>(opts);
   auto* client = sim.Spawn<Client>(n, registry, 20, "x");
   (void)clients_extra;

@@ -41,7 +41,8 @@ int main() {
   std::vector<Row> rows;
 
   rows.push_back({"Multi-Paxos", "2f+1 (n=5: f=2)", 5, [](int crashes) {
-    sim::Simulation sim(3);
+    auto sim_owner = sim::Simulation::Builder(3).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     paxos::MultiPaxosOptions opts;
     opts.n = 5;
     for (int i = 0; i < 5; ++i) sim.Spawn<paxos::MultiPaxosReplica>(opts);
@@ -52,7 +53,8 @@ int main() {
   }});
 
   rows.push_back({"Raft", "2f+1 (n=5: f=2)", 5, [](int crashes) {
-    sim::Simulation sim(3);
+    auto sim_owner = sim::Simulation::Builder(3).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     raft::RaftOptions opts;
     opts.n = 5;
     for (int i = 0; i < 5; ++i) sim.Spawn<raft::RaftReplica>(opts);
@@ -63,7 +65,8 @@ int main() {
   }});
 
   rows.push_back({"PBFT", "3f+1 (n=7: f=2)", 7, [](int crashes) {
-    sim::Simulation sim(3);
+    auto sim_owner = sim::Simulation::Builder(3).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     crypto::KeyRegistry registry(3, 16);
     pbft::PbftOptions opts;
     opts.n = 7;
@@ -76,7 +79,8 @@ int main() {
   }});
 
   rows.push_back({"MinBFT", "2f+1 (n=5: f=2)", 5, [](int crashes) {
-    sim::Simulation sim(3);
+    auto sim_owner = sim::Simulation::Builder(3).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     crypto::KeyRegistry registry(3, 16);
     crypto::Usig usig(&registry);
     minbft::MinBftOptions opts;
@@ -91,7 +95,8 @@ int main() {
   }});
 
   rows.push_back({"HotStuff", "3f+1 (n=7: f=2)", 7, [](int crashes) {
-    sim::Simulation sim(3);
+    auto sim_owner = sim::Simulation::Builder(3).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     crypto::KeyRegistry registry(3, 16);
     hotstuff::HotStuffOptions opts;
     opts.n = 7;
@@ -104,7 +109,8 @@ int main() {
   }});
 
   rows.push_back({"XFT", "2f+1 (n=5: f=2)", 5, [](int crashes) {
-    sim::Simulation sim(3);
+    auto sim_owner = sim::Simulation::Builder(3).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     crypto::KeyRegistry registry(3, 16);
     xft::XftOptions opts;
     opts.n = 5;

@@ -17,7 +17,9 @@ int main() {
   {
     sim::NetworkOptions net;
     net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-    sim::Simulation sim(1, net);
+    auto sim_owner =
+        sim::Simulation::Builder(1).Network(net).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     crypto::KeyRegistry registry(1, 12);
     xft::XftOptions opts;
     opts.n = 5;
@@ -47,7 +49,8 @@ int main() {
 
   std::printf("-- view change reconfigures the synchronous group --\n");
   {
-    sim::Simulation sim(2);
+    auto sim_owner = sim::Simulation::Builder(2).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     crypto::KeyRegistry registry(2, 12);
     xft::XftOptions opts;
     opts.n = 5;

@@ -23,7 +23,9 @@ struct ZRun {
 ZRun RunZyzzyva(int n, int ops, bool crash_backup, uint64_t seed) {
   sim::NetworkOptions net;
   net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-  sim::Simulation sim(seed, net);
+  auto sim_owner =
+      sim::Simulation::Builder(seed).Network(net).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   crypto::KeyRegistry registry(seed, n + 8);
   zyzzyva::ZyzzyvaOptions opts;
   opts.n = n;
@@ -42,7 +44,9 @@ ZRun RunZyzzyva(int n, int ops, bool crash_backup, uint64_t seed) {
 double RunPbft(int n, int ops, uint64_t seed) {
   sim::NetworkOptions net;
   net.min_delay = net.max_delay = 1 * sim::kMillisecond;
-  sim::Simulation sim(seed, net);
+  auto sim_owner =
+      sim::Simulation::Builder(seed).Network(net).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   crypto::KeyRegistry registry(seed, n + 8);
   pbft::PbftOptions opts;
   opts.n = n;

@@ -37,7 +37,8 @@ int main() {
 
   // ---- Scenario 1 & 2: 2PC commit and abort --------------------------
   {
-    sim::Simulation sim(1);
+    auto sim_owner = sim::Simulation::Builder(1).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     auto* bank_a = sim.Spawn<commit::TwoPcParticipant>();
     auto* bank_b = sim.Spawn<commit::TwoPcParticipant>();
     auto* coord = sim.Spawn<commit::TwoPcCoordinator>();
@@ -79,7 +80,8 @@ int main() {
   // ---- Scenario 3: the 2PC blocking window ---------------------------
   {
     std::printf("\n-- 2PC blocking demonstration --\n");
-    sim::Simulation sim(2);
+    auto sim_owner = sim::Simulation::Builder(2).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     auto* bank_a = sim.Spawn<commit::TwoPcParticipant>();
     auto* bank_b = sim.Spawn<commit::TwoPcParticipant>();
     auto* coord = sim.Spawn<commit::TwoPcCoordinator>();
@@ -107,7 +109,8 @@ int main() {
   // ---- Scenario 4: FT-3PC unblocks the same crash --------------------
   {
     std::printf("\n-- fault-tolerant 3PC termination --\n");
-    sim::Simulation sim(3);
+    auto sim_owner = sim::Simulation::Builder(3).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     auto* bank_a = sim.Spawn<commit::ThreePcParticipant>();
     auto* bank_b = sim.Spawn<commit::ThreePcParticipant>();
     auto* coord = sim.Spawn<commit::ThreePcCoordinator>();

@@ -25,7 +25,8 @@ int main() {
   // ---- PBFT ordering service -----------------------------------------
   uint64_t pbft_messages = 0;
   {
-    sim::Simulation sim(11);
+    auto sim_owner = sim::Simulation::Builder(11).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     crypto::KeyRegistry registry(11, kN + 4);
     pbft::PbftOptions options;
     options.n = kN;
@@ -60,7 +61,8 @@ int main() {
 
   // ---- HotStuff ordering service -------------------------------------
   {
-    sim::Simulation sim(12);
+    auto sim_owner = sim::Simulation::Builder(12).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     crypto::KeyRegistry registry(12, kN + 4);
     hotstuff::HotStuffOptions options;
     options.n = kN;

@@ -64,7 +64,9 @@ int main() {
     sim::NetworkOptions net;
     net.min_delay = 2 * sim::kSecond;  // Slow propagation => forks.
     net.max_delay = 8 * sim::kSecond;
-    sim::Simulation sim(99, net);
+    auto sim_owner =
+        sim::Simulation::Builder(99).Network(net).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
 
     MinerNetworkParams params;
     params.chain.block_interval_secs = 60;

@@ -17,7 +17,9 @@ using namespace consensus40;
 int main() {
   std::printf("== consensus40 quickstart: replicated KV over Multi-Paxos ==\n\n");
 
-  sim::Simulation sim(/*seed=*/2026);
+  auto sim_owner =
+      sim::Simulation::Builder(/*seed=*/2026).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
 
   // 1. Spawn five replicas. Replicas must be the first processes so their
   //    ids are 0..4.

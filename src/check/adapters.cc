@@ -164,6 +164,7 @@ std::vector<std::pair<const char*, AdapterFactory>> AllInBoundsAdapters() {
       {"multi_paxos_batched", MakeBatchedGroupAdapter("multi_paxos")},
       {"shard_batched", MakeShardBatchedAdapter()},
       {"shard_reshard", MakeShardReshardAdapter()},
+      {"shard_txn", MakeShardTxnAdapter()},
       {"pbft_byz", MakePbftByzantineAdapter()},
       {"zyzzyva_byz", MakeZyzzyvaByzantineAdapter()},
       {"minbft_byz", MakeMinBftByzantineAdapter()},

@@ -83,6 +83,13 @@ AdapterFactory MakeCrosswordRsAdapter();
 /// move transition is a write-once decision-group record.
 AdapterFactory MakeShardReshardAdapter();
 
+/// Typed read-write transactions (GET/PUT/DELETE/CAS with prepare-time
+/// shared/exclusive locking) plus repeated read-only snapshots, racing a
+/// live range move under the reshard fault envelope. On top of the
+/// atomicity verdicts the adapter audits serializability: every
+/// schedule's committed reads must admit a serial order.
+AdapterFactory MakeShardTxnAdapter();
+
 // --- In-bounds Byzantine variants (sim::ByzantineInterposer-driven) ---
 //
 // Each BFT adapter's Byzantine twin keeps the protocol inside its stated
@@ -130,6 +137,13 @@ AdapterFactory MakeTwoPhaseCommitBlockingAdapter();
 /// can reassemble) or a new leader no-op-fills a decided slot (prefix
 /// divergence). Escalation is disabled so the schedule's crashes land.
 AdapterFactory MakeCrosswordOutOfBoundsAdapter();
+
+/// The typed-transaction composition with GET ops' shared locks
+/// switched off (unsafe_no_read_locks) and two concurrent write-skew
+/// clients: both commit having read the initial versions of each
+/// other's write targets, so no serial order explains the history — the
+/// serializability audit must find it.
+AdapterFactory MakeShardTxnNoReadLocksAdapter();
 
 /// The live-move ladder with the flip made BEFORE freeze + drain: a
 /// transaction still in flight at the old owner applies its writes

@@ -5,14 +5,6 @@
 
 namespace consensus40::consensus {
 
-sim::MessagePtr ReplicaGroup::MakeRead(int32_t client, uint64_t seq,
-                                       const std::string& key,
-                                       uint64_t acked) const {
-  smr::Command cmd{client, seq, "GET " + key};
-  cmd.acked = acked;
-  return MakeRequest(cmd);
-}
-
 // ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
@@ -109,7 +101,10 @@ uint64_t GroupClient::Submit(const std::string& op) {
 
 uint64_t GroupClient::Read(const std::string& key) {
   uint64_t seq = ++next_seq_;
-  return Issue(group_->MakeRead(id(), seq, key, AckedFrontier(seq)), true);
+  smr::Command cmd{id(), seq, "GET " + key};
+  cmd.acked = AckedFrontier(seq);
+  cmd.kind = smr::Command::Kind::kRead;
+  return Issue(group_->MakeRequest(cmd), true);
 }
 
 uint64_t GroupClient::AckedFrontier(uint64_t next) const {

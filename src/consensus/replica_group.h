@@ -97,17 +97,14 @@ class ReplicaGroup {
   const std::vector<sim::NodeId>& members() const { return members_; }
 
   /// Builds the protocol's client request message carrying `cmd`.
+  /// Reads and writes arrive through this one entry point: a
+  /// linearizable read is a Command with `kind == Kind::kRead` and op
+  /// "GET <key>", so dedup sessions, ack floors, and batch framing see
+  /// one uniform request shape. Protocols with a dedicated read path
+  /// (Raft read-index) divert kRead commands around the log inside
+  /// their replicas; the rest log them, which is linearizable by
+  /// construction but pays a full consensus round.
   virtual sim::MessagePtr MakeRequest(const smr::Command& cmd) const = 0;
-
-  /// Builds a linearizable read of `key`. Protocols with a dedicated
-  /// read path (Raft read-index) override this; the default routes the
-  /// read through the log as a "GET" command, which is linearizable by
-  /// construction but pays a full consensus round. `acked` is the
-  /// client's cumulative reply acknowledgement (see Command::acked);
-  /// off-log read paths may ignore it.
-  virtual sim::MessagePtr MakeRead(int32_t client, uint64_t seq,
-                                   const std::string& key,
-                                   uint64_t acked = 0) const;
 
   /// Decodes a reply from one of the group's replicas; nullopt when the
   /// message is not this protocol's client reply.

@@ -1,8 +1,8 @@
 /// \file
 /// Multi-Paxos's ReplicaGroup facade (see consensus/replica_group.h).
-/// No MakeRead override: reads go through the log as GET commands, which
-/// is linearizable but pays a full consensus round — the contrast with
-/// Raft's read-index path is itself a measurement the bench surfaces.
+/// kRead commands are logged like any other GET, which is linearizable
+/// but pays a full consensus round — the contrast with Raft's
+/// read-index path is itself a measurement the bench surfaces.
 
 #include <string>
 

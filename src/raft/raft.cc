@@ -438,17 +438,13 @@ bool RaftReplica::ReadBarrierPassed() const {
          TermOfEntry(commit_index_) == current_term_;
 }
 
-void RaftReplica::HandleRead(sim::NodeId from, const ReadMsg& msg) {
-  if (role_ != Role::kLeader) {
-    Send(from, std::make_shared<ReplyMsg>(msg.client_seq, kRedirect,
-                                          leader_hint_));
-    return;
-  }
+void RaftReplica::HandleRead(sim::NodeId from, int32_t /*client*/,
+                             uint64_t seq, const std::string& key) {
   if (!ReadBarrierPassed()) {
-    waiting_reads_.push_back(WaitingRead{from, msg.client_seq, msg.key});
+    waiting_reads_.push_back(WaitingRead{from, seq, key});
     return;
   }
-  RegisterRead(from, msg.client_seq, msg.key);
+  RegisterRead(from, seq, key);
 }
 
 void RaftReplica::RegisterRead(sim::NodeId from, uint64_t seq,
@@ -515,6 +511,14 @@ void RaftReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
                                             leader_hint_));
       return;
     }
+    if (m->cmd.kind == smr::Command::Kind::kRead) {
+      // Read-index path: never logged, never touches the dedup sessions
+      // (those are replicated state, and a non-logged read mutating them
+      // would diverge the replicas). `op` is "GET <key>" by the
+      // MakeRequest contract.
+      HandleRead(from, m->cmd.client, m->cmd.client_seq, m->cmd.op.substr(4));
+      return;
+    }
     // Already executed (possibly compacted away): answer from cache.
     if (const std::string* cached =
             dedup_.Lookup(m->cmd.client, m->cmd.client_seq)) {
@@ -534,11 +538,6 @@ void RaftReplica::OnMessage(sim::NodeId from, const sim::Message& msg) {
     } else if (batch_queue_.size() == 1) {
       batch_timer_ = SetTimer(options_.batch_delay, [this] { FlushBatch(); });
     }
-    return;
-  }
-
-  if (const auto* m = dynamic_cast<const ReadMsg*>(&msg)) {
-    HandleRead(from, *m);
     return;
   }
 

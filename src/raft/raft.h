@@ -86,21 +86,6 @@ class RaftReplica : public sim::Process {
     std::string result;
     sim::NodeId leader_hint;
   };
-  /// Linearizable read request (read-index, no leader lease): the leader
-  /// records commit_index as the read index, confirms it is still the
-  /// leader with one round of AppendEntries acks, waits until the read
-  /// index is applied, and answers from its state machine — no log entry,
-  /// no clock assumption (Raft dissertation §6.4).
-  struct ReadMsg : sim::Message {
-    ReadMsg(int32_t c, uint64_t s, std::string k)
-        : client(c), client_seq(s), key(std::move(k)) {}
-    const char* TypeName() const override { return "read"; }
-    int ByteSize() const override { return 16 + static_cast<int>(key.size()); }
-    int32_t client;
-    uint64_t client_seq;
-    std::string key;
-  };
-
   Role role() const { return role_; }
   bool IsLeader() const { return role_ == Role::kLeader; }
   int64_t current_term() const { return current_term_; }
@@ -166,13 +151,20 @@ class RaftReplica : public sim::Process {
   void FlushBatch();
   /// Re-derives proposed_ from the unapplied log suffix (new leader).
   void RebuildProposed();
-  /// Read-index machinery. A read may only be *registered* once the
-  /// leader has committed an entry of its own term (or its log was fully
-  /// committed at election) — before that, commit_index may trail the
-  /// cluster-wide frontier and a read-index read could miss committed
-  /// writes. Gated reads wait in waiting_reads_ for the barrier.
+  /// Read-index machinery (read-index, no leader lease): the leader
+  /// records commit_index as the read index, confirms it is still the
+  /// leader with one round of AppendEntries acks, waits until the read
+  /// index is applied, and answers from its state machine — no log
+  /// entry, no clock assumption (Raft dissertation §6.4). Reads arrive
+  /// as kind == kRead commands inside RequestMsg. A read may only be
+  /// *registered* once the leader has committed an entry of its own
+  /// term (or its log was fully committed at election) — before that,
+  /// commit_index may trail the cluster-wide frontier and a read-index
+  /// read could miss committed writes. Gated reads wait in
+  /// waiting_reads_ for the barrier.
   bool ReadBarrierPassed() const;
-  void HandleRead(sim::NodeId from, const ReadMsg& msg);
+  void HandleRead(sim::NodeId from, int32_t client, uint64_t seq,
+                  const std::string& key);
   void RegisterRead(sim::NodeId from, uint64_t seq, const std::string& key);
   void MaybeServeReads();
   /// Fails every pending/gated read with a redirect (leadership lost).

@@ -34,15 +34,10 @@ class RaftGroup : public consensus::ReplicaGroup {
   }
 
   sim::MessagePtr MakeRequest(const smr::Command& cmd) const override {
+    // Reads and writes share RequestMsg; the replica diverts
+    // kind == kRead commands into the read-index path (no log entry —
+    // the ack frontier rides on the next logged command instead).
     return std::make_shared<RaftReplica::RequestMsg>(cmd);
-  }
-
-  sim::MessagePtr MakeRead(int32_t client, uint64_t seq,
-                           const std::string& key,
-                           uint64_t /*acked*/ = 0) const override {
-    // Raft's dedicated read path: read-index, no log entry — the ack
-    // frontier rides on the next logged command instead.
-    return std::make_shared<RaftReplica::ReadMsg>(client, seq, key);
   }
 
   std::optional<Reply> ParseReply(const sim::Message& msg) const override {

@@ -1,6 +1,8 @@
 #include "shard/shard.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 #include "shard/reshard.h"
 #include "smr/command.h"
@@ -25,6 +27,24 @@ std::string DecisionKey(uint64_t tx_id) {
 
 std::string PrepareKey(uint64_t tx_id) {
   return "__p." + std::to_string(tx_id);
+}
+
+const char* TxAbortReasonName(TxAbortReason reason) {
+  switch (reason) {
+    case TxAbortReason::kNone:
+      return "none";
+    case TxAbortReason::kLockConflict:
+      return "lock-conflict";
+    case TxAbortReason::kFrozenRange:
+      return "frozen-range";
+    case TxAbortReason::kCasMismatch:
+      return "cas-mismatch";
+    case TxAbortReason::kMoved:
+      return "moved";
+    case TxAbortReason::kDecisionTimeout:
+      return "decision-timeout";
+  }
+  return "unknown";
 }
 
 // ---------------------------------------------------------------------------
@@ -64,8 +84,8 @@ void TxManager::OnMoveFreeze(sim::NodeId from, const MoveFreezeMsg& m) {
   // (re-)freeze — safe, since refusals keep new range-txs out of txs_.
   f.draining.clear();
   for (const auto& [tx_id, tx] : txs_) {
-    for (const TxOp& op : tx.writes) {
-      if (InRange(ShardedStateMachine::HashKey(op.key), m.lo, m.hi)) {
+    for (const TxShardOp& sop : tx.ops) {
+      if (InRange(ShardedStateMachine::HashKey(sop.op.key), m.lo, m.hi)) {
         f.draining.insert(tx_id);
         break;
       }
@@ -130,11 +150,14 @@ void TxManager::OnMoveUnfreeze(sim::NodeId from, const MoveUnfreezeMsg& m) {
   Send(from, ack);
 }
 
-void TxManager::Vote(uint64_t tx_id, const Tx& tx, bool yes) {
+void TxManager::Vote(uint64_t tx_id, const Tx& tx, bool yes,
+                     TxAbortReason reason) {
   auto vote = std::make_shared<TmVoteMsg>();
   vote->tx_id = tx_id;
   vote->shard = shard_;
   vote->yes = yes;
+  vote->reason = reason;
+  if (yes) vote->reads = tx.reads;
   Send(tx.coordinator, vote);
 }
 
@@ -150,13 +173,13 @@ void TxManager::OnMessage(sim::NodeId from, const sim::Message& msg) {
       if (tx.phase == Phase::kPrepared) Vote(m->tx_id, tx, true);
       return;
     }
-    for (const TxOp& op : m->writes) {
+    for (const TxShardOp& sop : m->ops) {
       // Routing check: a key this TM's table assigns elsewhere means the
       // coordinator routed by a stale epoch — bounce with our table so
       // it can re-split the retry at the new owner. (A TM only ever
       // knows MORE than the coordinator about its own ranges: moves in
       // and out of this shard always teach this TM before unfreezing.)
-      if (table_.GroupForKey(op.key) != shard_) {
+      if (table_.GroupForKey(sop.op.key) != shard_) {
         ++redirects_;
         auto redirect = std::make_shared<TmRedirectMsg>();
         redirect->tx_id = m->tx_id;
@@ -165,52 +188,72 @@ void TxManager::OnMessage(sim::NodeId from, const sim::Message& msg) {
         return;
       }
     }
-    for (const TxOp& op : m->writes) {
+    for (const TxShardOp& sop : m->ops) {
       // Mid-migration: the range is frozen while its data moves. Vote
       // NO — the transaction retries after the flip (it is never split
       // across epochs).
-      if (KeyFrozen(op.key)) {
+      if (KeyFrozen(sop.op.key)) {
         Tx doomed;
         doomed.coordinator = from;
-        Vote(m->tx_id, doomed, false);
+        Vote(m->tx_id, doomed, false, TxAbortReason::kFrozenRange);
         return;
       }
-      auto lock = lock_table_.find(op.key);
-      if (lock != lock_table_.end() && lock->second != m->tx_id) {
-        // Conflict: vote NO without waiting (no deadlocks, ever). The
-        // transaction is not recorded; a later re-prepare re-checks.
+      // No-wait conflict check: writes need the key exclusive (no other
+      // reader or writer), reads only refuse a foreign writer. Refused
+      // transactions are not recorded; a later re-prepare re-checks.
+      auto lock = lock_table_.find(sop.op.key);
+      if (lock == lock_table_.end()) continue;
+      const LockEntry& l = lock->second;
+      bool conflict = l.exclusive != 0 && l.exclusive != m->tx_id;
+      if (sop.op.IsWrite()) {
+        for (uint64_t holder : l.shared) {
+          if (holder != m->tx_id) conflict = true;
+        }
+      } else if (owner_->options().unsafe_no_read_locks) {
+        conflict = false;  // OUT-OF-BOUNDS: reads ignore writers entirely.
+      }
+      if (conflict) {
         Tx doomed;
         doomed.coordinator = from;
-        Vote(m->tx_id, doomed, false);
+        Vote(m->tx_id, doomed, false, TxAbortReason::kLockConflict);
         return;
       }
     }
     ++prepares_;
     Tx& tx = txs_[m->tx_id];
-    tx.writes = m->writes;
+    tx.ops = m->ops;
     tx.coordinator = from;
     tx.one_phase = m->one_phase;
-    for (const TxOp& op : tx.writes) lock_table_[op.key] = m->tx_id;
-    if (m->one_phase) {
-      // Sole participant: skip the prepare record and the decision key,
-      // apply directly (the shard group's log is the only authority).
-      tx.phase = Phase::kCommitting;
-      tx.writes_outstanding = static_cast<int>(tx.writes.size());
-      for (const TxOp& op : tx.writes) {
-        uint64_t seq =
-            owner_->shard_client(shard_)->Submit("PUT " + op.key + " " +
-                                                 op.value);
-        shard_seq_tx_[seq] = m->tx_id;
+    for (const TxShardOp& sop : tx.ops) {
+      if (sop.op.IsWrite()) {
+        lock_table_[sop.op.key].exclusive = m->tx_id;
+      } else if (!owner_->options().unsafe_no_read_locks) {
+        lock_table_[sop.op.key].shared.insert(m->tx_id);
       }
-      if (tx.writes_outstanding == 0) Finish(m->tx_id, true);
+    }
+    // Ops that evaluate the stored value (GET, CAS) trigger one
+    // read-index read per distinct key; the prepare continues in
+    // EvaluateReads once they land. Locks are already held, so the
+    // values are stable until the decision is applied. Blind-write
+    // transactions skip straight ahead — no reads, no extra messages.
+    std::set<std::string> read_keys;
+    for (const TxShardOp& sop : tx.ops) {
+      if (sop.op.NeedsRead()) read_keys.insert(sop.op.key);
+    }
+    if (read_keys.empty()) {
+      for (const TxShardOp& sop : tx.ops) {
+        tx.effects.push_back(sop.op.type == TxOp::Type::kDelete
+                                 ? "DEL " + sop.op.key
+                                 : "PUT " + sop.op.key + " " + sop.op.value);
+      }
+      Proceed(m->tx_id);
       return;
     }
-    // Durable prepare: the vote only goes out once the prepare record is
-    // committed in the shard's replicated log.
-    uint64_t seq =
-        owner_->shard_client(shard_)->Submit("PUT " + PrepareKey(m->tx_id) +
-                                             " P");
-    shard_seq_tx_[seq] = m->tx_id;
+    tx.reads_outstanding = static_cast<int>(read_keys.size());
+    for (const std::string& key : read_keys) {
+      uint64_t seq = owner_->shard_client(shard_)->Read(key);
+      shard_read_seq_[seq] = {m->tx_id, key};
+    }
     return;
   }
 
@@ -234,9 +277,21 @@ void TxManager::OnMessage(sim::NodeId from, const sim::Message& msg) {
   (void)from;
 }
 
-void TxManager::OnShardResult(uint64_t seq, const std::string& result) {
+void TxManager::OnShardResult(uint64_t seq, const std::string& result,
+                              bool read) {
   if (crashed()) return;
-  (void)result;
+  if (read) {
+    // A prepare-time read landed.
+    auto read_it = shard_read_seq_.find(seq);
+    if (read_it == shard_read_seq_.end()) return;
+    auto [read_tx, key] = read_it->second;
+    shard_read_seq_.erase(read_it);
+    auto tx_it = txs_.find(read_tx);
+    if (tx_it == txs_.end()) return;  // Aborted while the read was in flight.
+    tx_it->second.read_values[key] = result;
+    if (--tx_it->second.reads_outstanding == 0) EvaluateReads(read_tx);
+    return;
+  }
   auto seq_it = shard_seq_tx_.find(seq);
   if (seq_it == shard_seq_tx_.end()) return;
   uint64_t tx_id = seq_it->second;
@@ -270,6 +325,96 @@ void TxManager::OnShardResult(uint64_t seq, const std::string& result) {
   }
 }
 
+void TxManager::EvaluateReads(uint64_t tx_id) {
+  Tx& tx = txs_.at(tx_id);
+  // A read bounced off the KV's routing fence: this TM's table was
+  // stale in a way the prepare-time check could not see (e.g. a
+  // restart dropped its adopted tables). Refuse; the retry re-routes.
+  for (const auto& [key, value] : tx.read_values) {
+    if (value.rfind("MOVED ", 0) == 0) {
+      Refuse(tx_id, TxAbortReason::kMoved);
+      return;
+    }
+  }
+  // Evaluate ops in list order against the stored values, overlaying
+  // this transaction's own earlier writes (read-your-writes). The
+  // overlay never touches the KV: effects apply only on commit.
+  std::map<std::string, std::optional<std::string>> overlay;
+  auto current = [&](const std::string& key) -> std::optional<std::string> {
+    auto ov = overlay.find(key);
+    if (ov != overlay.end()) return ov->second;
+    auto rv = tx.read_values.find(key);
+    if (rv == tx.read_values.end() || rv->second == "NIL") return std::nullopt;
+    return rv->second;
+  };
+  for (const TxShardOp& sop : tx.ops) {
+    const TxOp& op = sop.op;
+    switch (op.type) {
+      case TxOp::Type::kGet: {
+        std::optional<std::string> v = current(op.key);
+        TxReadResult r;
+        r.op_index = sop.index;
+        r.found = v.has_value();
+        if (v.has_value()) r.value = *v;
+        tx.reads.push_back(r);
+        break;
+      }
+      case TxOp::Type::kPut:
+        overlay[op.key] = op.value;
+        tx.effects.push_back("PUT " + op.key + " " + op.value);
+        break;
+      case TxOp::Type::kDelete:
+        overlay[op.key] = std::nullopt;
+        tx.effects.push_back("DEL " + op.key);
+        break;
+      case TxOp::Type::kCas: {
+        std::optional<std::string> v = current(op.key);
+        if (!v.has_value() || *v != op.expected) {
+          Refuse(tx_id, TxAbortReason::kCasMismatch);
+          return;
+        }
+        // Validated under the exclusive lock, which is held until the
+        // decision applies — nothing else can write the key in between,
+        // so the commit-time effect is a plain PUT.
+        overlay[op.key] = op.value;
+        tx.effects.push_back("PUT " + op.key + " " + op.value);
+        break;
+      }
+    }
+  }
+  Proceed(tx_id);
+}
+
+void TxManager::Proceed(uint64_t tx_id) {
+  Tx& tx = txs_.at(tx_id);
+  if (tx.one_phase) {
+    // Sole participant: skip the prepare record and the decision key,
+    // apply directly (the shard group's log is the only authority).
+    tx.phase = Phase::kCommitting;
+    tx.writes_outstanding = static_cast<int>(tx.effects.size());
+    for (const std::string& cmd : tx.effects) {
+      uint64_t seq = owner_->shard_client(shard_)->Submit(cmd);
+      shard_seq_tx_[seq] = tx_id;
+    }
+    if (tx.writes_outstanding == 0) Finish(tx_id, true);
+    return;
+  }
+  // Durable prepare: the vote only goes out once the prepare record is
+  // committed in the shard's replicated log.
+  uint64_t seq =
+      owner_->shard_client(shard_)->Submit("PUT " + PrepareKey(tx_id) + " P");
+  shard_seq_tx_[seq] = tx_id;
+}
+
+void TxManager::Refuse(uint64_t tx_id, TxAbortReason reason) {
+  auto it = txs_.find(tx_id);
+  if (it == txs_.end()) return;
+  Vote(tx_id, it->second, false, reason);
+  ReleaseLocks(tx_id);
+  txs_.erase(it);
+  NoteTxGone(tx_id);
+}
+
 void TxManager::OnDecisionResult(uint64_t seq, const std::string& result) {
   if (crashed()) return;
   auto seq_it = decision_seq_tx_.find(seq);
@@ -301,10 +446,9 @@ void TxManager::ApplyDecision(uint64_t tx_id, bool commit) {
     return;
   }
   tx.phase = Phase::kCommitting;
-  tx.writes_outstanding = static_cast<int>(tx.writes.size());
-  for (const TxOp& op : tx.writes) {
-    uint64_t seq =
-        owner_->shard_client(shard_)->Submit("PUT " + op.key + " " + op.value);
+  tx.writes_outstanding = static_cast<int>(tx.effects.size());
+  for (const std::string& cmd : tx.effects) {
+    uint64_t seq = owner_->shard_client(shard_)->Submit(cmd);
     shard_seq_tx_[seq] = tx_id;
   }
   if (tx.writes_outstanding == 0) Finish(tx_id, true);
@@ -312,7 +456,11 @@ void TxManager::ApplyDecision(uint64_t tx_id, bool commit) {
 
 void TxManager::ReleaseLocks(uint64_t tx_id) {
   for (auto it = lock_table_.begin(); it != lock_table_.end();) {
-    it = it->second == tx_id ? lock_table_.erase(it) : std::next(it);
+    LockEntry& l = it->second;
+    if (l.exclusive == tx_id) l.exclusive = 0;
+    l.shared.erase(tx_id);
+    it = (l.exclusive == 0 && l.shared.empty()) ? lock_table_.erase(it)
+                                                : std::next(it);
   }
 }
 
@@ -347,6 +495,10 @@ void TxCoordinator::OnRestart() {
   // and re-teach it.
   txs_.clear();
   decision_seq_tx_.clear();
+  snapshot_seq_.clear();
+  rt_seq_epoch_.clear();
+  rt_epochs_inflight_.clear();
+  parked_snapshots_.clear();
   table_ = owner_->InitialTable();
 }
 
@@ -356,23 +508,46 @@ void TxCoordinator::OnMessage(sim::NodeId from, const sim::Message& msg) {
     if (it != txs_.end()) {
       it->second.client = from;
       if (it->second.decided) {
-        Send(from,
-             std::make_shared<TxOutcomeMsg>(m->tx_id, it->second.commit));
+        auto out = std::make_shared<TxOutcomeMsg>(m->tx_id, it->second.commit);
+        out->reason = it->second.reason;
+        out->reads = it->second.reads;
+        Send(from, out);
       }
       return;  // In flight: the outcome will be sent when decided.
     }
     ++started_;
     Tx& tx = txs_[m->tx_id];
     tx.client = from;
+    tx.ops = m->ops;
+    // All-GET transactions take the lock-free snapshot path: no
+    // participant, no lock, no prepare or decision record.
+    bool all_reads = !m->ops.empty();
     for (const TxOp& op : m->ops) {
-      tx.by_shard[table_.GroupForKey(op.key)].push_back(op);
+      if (op.type != TxOp::Type::kGet) all_reads = false;
     }
-    tx.one_phase = tx.by_shard.size() == 1;
-    for (const auto& [shard, writes] : tx.by_shard) {
+    if (all_reads) {
+      tx.snapshot = true;
+      StartSnapshot(m->tx_id);
+      return;
+    }
+    bool has_cas = false;
+    for (int i = 0; i < static_cast<int>(m->ops.size()); ++i) {
+      has_cas = has_cas || m->ops[i].type == TxOp::Type::kCas;
+      tx.by_shard[table_.GroupForKey(m->ops[i].key)].push_back(
+          TxShardOp{i, m->ops[i]});
+    }
+    // One-phase is only sound for transactions whose re-execution cannot
+    // flip the verdict: a re-submitted, already-committed CAS re-evaluates
+    // against post-commit state (its own write included), mismatches, and
+    // would report a false ABORT for an applied transaction. CAS therefore
+    // always takes the decision-record path — the established "C" record
+    // makes any re-run converge on the committed outcome.
+    tx.one_phase = tx.by_shard.size() == 1 && !has_cas;
+    for (const auto& [shard, ops] : tx.by_shard) {
       auto prep = std::make_shared<TmPrepareMsg>();
       prep->tx_id = m->tx_id;
       prep->one_phase = tx.one_phase;
-      prep->writes = writes;
+      prep->ops = ops;
       Send(owner_->tm_id(shard), prep);
     }
     if (!tx.one_phase) {
@@ -383,7 +558,8 @@ void TxCoordinator::OnMessage(sim::NodeId from, const sim::Message& msg) {
             late->second.decision_pending) {
           return;
         }
-        Decide(tx_id, false);  // A missing vote is a NO (presumed abort).
+        // A missing vote is a NO (presumed abort).
+        Decide(tx_id, false, TxAbortReason::kDecisionTimeout);
       });
     }
     return;
@@ -399,17 +575,28 @@ void TxCoordinator::OnMessage(sim::NodeId from, const sim::Message& msg) {
       // transaction; its vote IS the outcome.
       tx.decided = true;
       tx.commit = m->yes;
+      tx.reason = m->reason;
+      tx.reads = m->reads;
       (m->yes ? committed_ : aborted_)++;
-      Send(tx.client, std::make_shared<TxOutcomeMsg>(m->tx_id, m->yes));
+      auto out = std::make_shared<TxOutcomeMsg>(m->tx_id, m->yes);
+      out->reason = m->reason;
+      out->reads = m->reads;
+      Send(tx.client, out);
       txs_.erase(it);
       return;
     }
     if (!m->yes) {
-      Decide(m->tx_id, false);
+      Decide(m->tx_id, false, m->reason);
       return;
     }
-    tx.yes_votes.insert(m->shard);
-    if (tx.yes_votes.size() == tx.by_shard.size()) Decide(m->tx_id, true);
+    if (tx.yes_votes.insert(m->shard).second) {
+      // First YES from this shard: merge its read results (a re-vote
+      // after a duplicate prepare must not double them).
+      for (const TxReadResult& r : m->reads) tx.reads.push_back(r);
+    }
+    if (tx.yes_votes.size() == tx.by_shard.size()) {
+      Decide(m->tx_id, true, TxAbortReason::kNone);
+    }
     return;
   }
 
@@ -439,22 +626,26 @@ void TxCoordinator::OnMessage(sim::NodeId from, const sim::Message& msg) {
       if (tx.vote_timer != 0) CancelTimer(tx.vote_timer);
       tx.decided = true;
       tx.commit = false;
+      tx.reason = TxAbortReason::kMoved;
       ++aborted_;
-      Send(tx.client, std::make_shared<TxOutcomeMsg>(m->tx_id, false));
+      auto out = std::make_shared<TxOutcomeMsg>(m->tx_id, false);
+      out->reason = TxAbortReason::kMoved;
+      Send(tx.client, out);
       txs_.erase(it);
       return;
     }
-    Decide(m->tx_id, false);
+    Decide(m->tx_id, false, TxAbortReason::kMoved);
     return;
   }
   (void)from;
 }
 
-void TxCoordinator::Decide(uint64_t tx_id, bool commit) {
+void TxCoordinator::Decide(uint64_t tx_id, bool commit, TxAbortReason reason) {
   Tx& tx = txs_.at(tx_id);
   CancelTimer(tx.vote_timer);
   tx.decision_pending = true;
   tx.commit = commit;
+  tx.reason = reason;
   // The decision is a write-once record in the DECISION GROUP's log —
   // this is the "commit decision as consensus log entry" core of the
   // design. SETNX: first proposal wins, later proposals read it back.
@@ -465,6 +656,32 @@ void TxCoordinator::Decide(uint64_t tx_id, bool commit) {
 
 void TxCoordinator::OnDecisionResult(uint64_t seq, const std::string& result) {
   if (crashed()) return;
+  auto rt_it = rt_seq_epoch_.find(seq);
+  if (rt_it != rt_seq_epoch_.end()) {
+    // A routing-table fetch for the snapshot path came back.
+    uint64_t epoch = rt_it->second;
+    rt_seq_epoch_.erase(rt_it);
+    rt_epochs_inflight_.erase(epoch);
+    std::optional<RoutingTable> t = RoutingTable::Decode(result);
+    if (t.has_value() && t->WithinGroups(owner_->total_groups())) {
+      table_.MaybeAdopt(*t);
+      RestartParkedSnapshots();
+      return;
+    }
+    if (parked_snapshots_.empty()) return;
+    // The record was not readable yet (e.g. a laggard served NIL):
+    // re-fetch after a beat — unless a redirect taught us a newer table
+    // in the meantime, in which case the parked snapshots can just run.
+    SetTimer(300 * sim::kMillisecond, [this, epoch] {
+      if (parked_snapshots_.empty()) return;
+      if (table_.epoch() >= epoch) {
+        RestartParkedSnapshots();
+      } else {
+        FetchTable(epoch);
+      }
+    });
+    return;
+  }
   auto seq_it = decision_seq_tx_.find(seq);
   if (seq_it == decision_seq_tx_.end()) return;
   uint64_t tx_id = seq_it->second;
@@ -475,17 +692,41 @@ void TxCoordinator::OnDecisionResult(uint64_t seq, const std::string& result) {
   // "OK": our proposal was first. Anything else is the decision some
   // earlier proposer (us pre-restart, or a recovering TM) established.
   bool commit = result == "OK" ? tx.commit : result == "C";
+  if (result != "OK" && commit != tx.commit) {
+    // An earlier proposer's decision overrode ours; our reason is
+    // fiction now. A foreign ABORT can only come from a recovering TM.
+    tx.reason = commit ? TxAbortReason::kNone : TxAbortReason::kDecisionTimeout;
+  }
   tx.commit = commit;
   tx.decided = true;
   tx.decision_pending = false;
   (commit ? committed_ : aborted_)++;
-  for (const auto& [shard, writes] : tx.by_shard) {
+  for (const auto& [shard, ops] : tx.by_shard) {
     auto decision = std::make_shared<TmDecisionMsg>();
     decision->tx_id = tx_id;
     decision->commit = commit;
     Send(owner_->tm_id(shard), decision);
   }
-  Send(tx.client, std::make_shared<TxOutcomeMsg>(tx_id, commit));
+  auto out = std::make_shared<TxOutcomeMsg>(tx_id, commit);
+  if (commit && result != "OK") {
+    // The decision record pre-existed (a re-run of a transaction some
+    // earlier incarnation already committed). This attempt's reads were
+    // re-evaluated against POST-commit state — including the
+    // transaction's own writes — so they are not the committed reads.
+    // Drop them; the outcome still reports the commit.
+    tx.reads.clear();
+  }
+  if (commit) {
+    std::sort(tx.reads.begin(), tx.reads.end(),
+              [](const TxReadResult& a, const TxReadResult& b) {
+                return a.op_index < b.op_index;
+              });
+    out->reads = tx.reads;
+  } else {
+    tx.reads.clear();  // Abort: no reads were decided.
+    out->reason = tx.reason;
+  }
+  Send(tx.client, out);
 }
 
 void TxCoordinator::FinishIfAcked(uint64_t tx_id) {
@@ -493,6 +734,94 @@ void TxCoordinator::FinishIfAcked(uint64_t tx_id) {
   if (it == txs_.end() || !it->second.decided) return;
   if (it->second.acked.size() < it->second.by_shard.size()) return;
   txs_.erase(it);
+}
+
+// --- Snapshot path -----------------------------------------------------
+
+void TxCoordinator::StartSnapshot(uint64_t tx_id) {
+  Tx& tx = txs_.at(tx_id);
+  // Invalidate any reads of a previous attempt: their results must not
+  // mix with the new epoch's (that mix is exactly a torn snapshot).
+  for (auto it = snapshot_seq_.begin(); it != snapshot_seq_.end();) {
+    it = it->second.first == tx_id ? snapshot_seq_.erase(it) : std::next(it);
+  }
+  parked_snapshots_.erase(tx_id);
+  tx.reads.clear();
+  tx.snapshot_epoch = table_.epoch();
+  tx.reads_outstanding = static_cast<int>(tx.ops.size());
+  for (int i = 0; i < static_cast<int>(tx.ops.size()); ++i) {
+    int group = table_.GroupForKey(tx.ops[i].key);
+    uint64_t seq = owner_->snapshot_client(group)->Read(tx.ops[i].key);
+    snapshot_seq_[{group, seq}] = {tx_id, i};
+  }
+}
+
+void TxCoordinator::OnSnapshotResult(int group, uint64_t seq,
+                                     const std::string& result) {
+  if (crashed()) return;
+  auto it = snapshot_seq_.find({group, seq});
+  if (it == snapshot_seq_.end()) return;  // Stale attempt or restarted tx.
+  auto [tx_id, op_index] = it->second;
+  snapshot_seq_.erase(it);
+  auto tx_it = txs_.find(tx_id);
+  if (tx_it == txs_.end()) return;
+  Tx& tx = tx_it->second;
+  if (result.rfind("MOVED ", 0) == 0) {
+    OnSnapshotMoved(tx_id, std::strtoull(result.c_str() + 6, nullptr, 10));
+    return;
+  }
+  TxReadResult r;
+  r.op_index = op_index;
+  r.found = result != "NIL";
+  if (r.found) r.value = result;
+  tx.reads.push_back(r);
+  if (--tx.reads_outstanding == 0) FinishSnapshot(tx_id);
+}
+
+void TxCoordinator::OnSnapshotMoved(uint64_t tx_id, uint64_t epoch) {
+  auto it = txs_.find(tx_id);
+  if (it == txs_.end()) return;
+  ++snapshot_restarts_;
+  if (table_.epoch() >= epoch) {
+    // A redirect (or an earlier fetch) already taught us a table at
+    // least as new as the fence: re-split and re-read immediately.
+    StartSnapshot(tx_id);
+    return;
+  }
+  parked_snapshots_.insert(tx_id);
+  FetchTable(epoch);
+}
+
+void TxCoordinator::FetchTable(uint64_t epoch) {
+  if (epoch <= table_.epoch()) return;
+  if (!rt_epochs_inflight_.insert(epoch).second) return;
+  uint64_t seq = owner_->coord_decision_client()->Read(
+      "__rt." + std::to_string(epoch));
+  rt_seq_epoch_[seq] = epoch;
+}
+
+void TxCoordinator::RestartParkedSnapshots() {
+  std::set<uint64_t> parked;
+  parked.swap(parked_snapshots_);
+  for (uint64_t tx_id : parked) {
+    if (txs_.count(tx_id) > 0) StartSnapshot(tx_id);
+  }
+}
+
+void TxCoordinator::FinishSnapshot(uint64_t tx_id) {
+  Tx& tx = txs_.at(tx_id);
+  std::sort(tx.reads.begin(), tx.reads.end(),
+            [](const TxReadResult& a, const TxReadResult& b) {
+              return a.op_index < b.op_index;
+            });
+  ++snapshots_;
+  auto out = std::make_shared<TxOutcomeMsg>(tx_id, true);
+  out->reads = tx.reads;
+  out->snapshot_epoch = tx.snapshot_epoch;
+  Send(tx.client, out);
+  // Forget the tx outright: a re-submitted snapshot simply runs again
+  // (read-only, so re-running is harmless).
+  txs_.erase(tx_id);
 }
 
 // ---------------------------------------------------------------------------
@@ -528,6 +857,7 @@ std::string ShardedStateMachine::KeyForShard(int shard, int i) const {
 }
 
 void ShardedStateMachine::Build(sim::Simulation* sim) {
+  sim_ = sim;  // Kept for the lazily spawned snapshot readers.
   // Consensus nodes first, at a contiguous id range starting wherever
   // the simulation currently ends — fault bounds target this range.
   consensus::GroupTuning tuning;
@@ -558,8 +888,8 @@ void ShardedStateMachine::Build(sim::Simulation* sim) {
         shard_groups_[s].get(), client_retry, options_.client_window);
     TxManager* tm = tms_[s];
     client->SetCallback(
-        [tm](uint64_t seq, const std::string& result, bool /*read*/) {
-          tm->OnShardResult(seq, result);
+        [tm](uint64_t seq, const std::string& result, bool read) {
+          tm->OnShardResult(seq, result, read);
         });
     shard_clients_.push_back(client);
   }
@@ -604,6 +934,29 @@ void ShardedStateMachine::Build(sim::Simulation* sim) {
       [mover](uint64_t seq, const std::string& result, bool) {
         mover->OnDecisionResult(seq, result);
       });
+}
+
+consensus::GroupClient* ShardedStateMachine::snapshot_client(int group) {
+  // Lazy spawn, first snapshot read only: Spawn forks the root rng and
+  // shifts every subsequent delay draw, so eagerly spawning readers in
+  // Build would perturb ALL runs — including ones that never issue a
+  // read-only transaction — and break pinned fault-schedule repros.
+  // GroupClient has no OnStart, so a mid-run spawn needs no start call.
+  if (snapshot_clients_.empty()) {
+    snapshot_clients_.resize(static_cast<size_t>(total_groups()), nullptr);
+  }
+  if (snapshot_clients_[group] == nullptr) {
+    consensus::GroupClient* client = sim_->Spawn<consensus::GroupClient>(
+        shard_groups_[group].get(), 300 * sim::kMillisecond,
+        options_.client_window);
+    TxCoordinator* coordinator = coordinator_;
+    client->SetCallback(
+        [coordinator, group](uint64_t seq, const std::string& result, bool) {
+          coordinator->OnSnapshotResult(group, seq, result);
+        });
+    snapshot_clients_[group] = client;
+  }
+  return snapshot_clients_[group];
 }
 
 std::vector<sim::NodeId> ShardedStateMachine::ConsensusNodes() const {

@@ -13,6 +13,14 @@
 /// a single point of failure: crash it at the worst moment and the
 /// participants still converge on one decision.
 ///
+/// Transactions are typed op lists (GET/PUT/DELETE/CAS). Read-write
+/// transactions run strict two-phase locking, no-wait flavour: each
+/// participant takes shared locks for reads and exclusive locks for
+/// writes, evaluates GETs and CAS compares against its shard's KV at
+/// prepare time (read-your-writes within the transaction), and holds
+/// the locks until the decision is applied. Read-only transactions
+/// never lock at all — see TxCoordinator's snapshot path.
+///
 /// Roles:
 ///   - `TxManager` (one per shard): conflict-checks a lock table, writes
 ///     a durable prepare record into its shard's log, votes, applies the
@@ -47,36 +55,121 @@ struct MoveFreezeMsg;
 struct MoveInstallMsg;
 struct MoveUnfreezeMsg;
 
-/// One write of a transaction.
+/// One typed operation of a transaction. A transaction is an ordered
+/// list of these; reads and CAS compares are evaluated at prepare time
+/// against the shard's KV (with read-your-writes: earlier ops of the
+/// same transaction overlay the stored state). Transaction ids must be
+/// nonzero (0 is the lock table's "no owner" sentinel).
 struct TxOp {
+  enum class Type : uint8_t {
+    kGet = 0,     ///< Read the key; result returned in the outcome.
+    kPut = 1,     ///< Blind write.
+    kDelete = 2,  ///< Blind delete.
+    kCas = 3,     ///< Write `value` iff the current value == `expected`.
+  };
+  // Field order keeps `TxOp{key, value}` aggregate-initializable as a
+  // blind PUT, the historical (write-only) shape of this struct.
   std::string key;
+  std::string value;     ///< New value (kPut / kCas).
+  std::string expected;  ///< Compare value (kCas only).
+  Type type = Type::kPut;
+
+  static TxOp Get(std::string k) {
+    return TxOp{std::move(k), "", "", Type::kGet};
+  }
+  static TxOp Put(std::string k, std::string v) {
+    return TxOp{std::move(k), std::move(v), "", Type::kPut};
+  }
+  static TxOp Del(std::string k) {
+    return TxOp{std::move(k), "", "", Type::kDelete};
+  }
+  static TxOp Cas(std::string k, std::string expect, std::string v) {
+    return TxOp{std::move(k), std::move(v), std::move(expect), Type::kCas};
+  }
+
+  /// Writes take an exclusive lock; pure reads take a shared lock.
+  bool IsWrite() const { return type != Type::kGet; }
+  /// Ops whose evaluation needs the key's current value.
+  bool NeedsRead() const { return type == Type::kGet || type == Type::kCas; }
+
+  int ByteSize() const {
+    return 9 + static_cast<int>(key.size() + value.size() + expected.size());
+  }
+};
+
+/// Why a transaction aborted. Structured so the client's retry policy
+/// can distinguish transient conflicts (retry) from semantic failures
+/// like a CAS mismatch (retrying reproduces the abort).
+enum class TxAbortReason : uint8_t {
+  kNone = 0,          ///< Committed.
+  kLockConflict = 1,  ///< No-wait conflict in a participant's lock table.
+  kFrozenRange = 2,   ///< A key's range is frozen by an in-progress move.
+  kCasMismatch = 3,   ///< A CAS op's expected value did not match.
+  kMoved = 4,         ///< Routed by a stale epoch; a retry re-splits.
+  kDecisionTimeout = 5,  ///< Votes missing at the deadline; presumed abort.
+};
+const char* TxAbortReasonName(TxAbortReason reason);
+
+/// One evaluated read of a committed transaction, keyed by the op's
+/// position in the BeginTx op list. `found == false` means the key had
+/// no value (reads of absent keys are legal and participate in
+/// conflict checking like any other read).
+struct TxReadResult {
+  int op_index = -1;
+  bool found = false;
   std::string value;
+
+  int ByteSize() const { return 13 + static_cast<int>(value.size()); }
 };
 
 /// Client -> coordinator: start (or re-submit) transaction `tx_id`.
 /// Re-submission with the same id is safe at any point: prepares,
-/// decision records, and writes are all idempotent.
+/// decision records, and writes are all idempotent. (Read results are
+/// only guaranteed on the attempt that first observes the decision; a
+/// re-submitted, already-committed transaction may report `committed`
+/// with no read results.)
+///
+/// A transaction whose ops are ALL reads takes the lock-free snapshot
+/// path: the coordinator pins its routing epoch, issues a read-index
+/// read per key straight to the owning shard groups, and restarts the
+/// whole snapshot if any read bounces MOVED — no lock-table entry, no
+/// prepare record, no decision record.
 struct BeginTxMsg : sim::Message {
   BeginTxMsg(uint64_t id, std::vector<TxOp> o) : tx_id(id), ops(std::move(o)) {}
   const char* TypeName() const override { return "begin-tx"; }
   int ByteSize() const override {
     int size = 16;
-    for (const TxOp& op : ops) {
-      size += static_cast<int>(op.key.size() + op.value.size()) + 8;
-    }
+    for (const TxOp& op : ops) size += op.ByteSize();
     return size;
   }
   uint64_t tx_id;
   std::vector<TxOp> ops;
 };
 
-/// Coordinator -> client: final transaction outcome.
+/// Coordinator -> client: final transaction outcome — the commit/abort
+/// verdict, a structured abort reason, and (on commit) the evaluated
+/// per-op read results.
 struct TxOutcomeMsg : sim::Message {
   TxOutcomeMsg(uint64_t id, bool c) : tx_id(id), committed(c) {}
   const char* TypeName() const override { return "tx-outcome"; }
-  int ByteSize() const override { return 17; }
+  int ByteSize() const override {
+    int size = 18;
+    for (const TxReadResult& r : reads) size += r.ByteSize();
+    return size;
+  }
   uint64_t tx_id;
   bool committed;
+  TxAbortReason reason = TxAbortReason::kNone;
+  std::vector<TxReadResult> reads;  ///< Sorted by op_index (commit only).
+  /// Snapshot path only: the routing epoch every read was served under.
+  uint64_t snapshot_epoch = 0;
+};
+
+/// One op of a shard's slice, tagged with its position in the client's
+/// op list so read results keep their global indices across the split.
+struct TxShardOp {
+  int index = -1;
+  TxOp op;
 };
 
 /// Coordinator -> TM: prepare `tx_id` (or, when this shard is the only
@@ -85,24 +178,29 @@ struct TmPrepareMsg : sim::Message {
   const char* TypeName() const override { return "tm-prepare"; }
   int ByteSize() const override {
     int size = 17;
-    for (const TxOp& op : writes) {
-      size += static_cast<int>(op.key.size() + op.value.size()) + 8;
-    }
+    for (const TxShardOp& sop : ops) size += 4 + sop.op.ByteSize();
     return size;
   }
   uint64_t tx_id = 0;
   bool one_phase = false;
-  std::vector<TxOp> writes;  ///< This shard's slice of the transaction.
+  std::vector<TxShardOp> ops;  ///< This shard's slice of the transaction.
 };
 
 /// TM -> coordinator: vote. For one-phase transactions `yes` already
-/// means "applied and committed".
+/// means "applied and committed". A YES vote carries the shard's
+/// evaluated read results; a NO vote carries the refusal reason.
 struct TmVoteMsg : sim::Message {
   const char* TypeName() const override { return "tm-vote"; }
-  int ByteSize() const override { return 21; }
+  int ByteSize() const override {
+    int size = 22;
+    for (const TxReadResult& r : reads) size += r.ByteSize();
+    return size;
+  }
   uint64_t tx_id = 0;
   int shard = -1;
   bool yes = false;
+  TxAbortReason reason = TxAbortReason::kNone;
+  std::vector<TxReadResult> reads;
 };
 
 /// Coordinator -> TM: the (replicated) decision.
@@ -146,6 +244,12 @@ struct ShardOptions {
   /// are still writing to the old owner. Violates exactly-once (lost
   /// writes); exists so the checker can prove the drain is load-bearing.
   bool unsafe_flip_before_drain = false;
+  /// OUT-OF-BOUNDS knob for the safety checker: TMs skip the shared
+  /// locks that GET ops normally take, so two transactions can each
+  /// read a key the other is writing and both commit — textbook write
+  /// skew. Violates the serializability audit; exists so the checker
+  /// can prove the shared locks are load-bearing.
+  bool unsafe_no_read_locks = false;
   /// Replicas of the decision group (the "Paxos registrar" of Gray &
   /// Lamport's commit protocol).
   int decision_replicas = 3;
@@ -182,31 +286,53 @@ class TxManager : public sim::Process {
 
   void OnMessage(sim::NodeId from, const sim::Message& msg) override;
 
-  /// Completion callback from the shard-group client.
-  void OnShardResult(uint64_t seq, const std::string& result);
+  /// Completion callback from the shard-group client. `read` marks
+  /// read-index results (prepare-time read evaluation).
+  void OnShardResult(uint64_t seq, const std::string& result, bool read);
   /// Completion callback from the decision-group client (recovery path).
   void OnDecisionResult(uint64_t seq, const std::string& result);
 
   int prepares() const { return prepares_; }
   int recoveries() const { return recoveries_; }
   int redirects() const { return redirects_; }
+  /// Keys currently locked (shared or exclusive) — snapshot reads must
+  /// never show up here.
+  size_t lock_table_size() const { return lock_table_.size(); }
   const RoutingTable& table() const { return table_; }
   bool has_frozen_range() const { return !frozen_.empty(); }
 
  private:
   enum class Phase {
-    kPreparing,   ///< Locks held, prepare record in flight.
+    kPreparing,   ///< Locks held; reads and/or prepare record in flight.
     kPrepared,    ///< Voted yes; awaiting the decision.
     kCommitting,  ///< Commit decided; writes in flight.
     kRecovering,  ///< Decision timed out; asking the decision group.
   };
   struct Tx {
     Phase phase = Phase::kPreparing;
-    std::vector<TxOp> writes;
+    std::vector<TxShardOp> ops;
     sim::NodeId coordinator = sim::kInvalidNode;
     bool one_phase = false;
     int writes_outstanding = 0;
+    int reads_outstanding = 0;
+    /// Raw read-index results, key -> KvStore reply ("NIL" = absent).
+    std::map<std::string, std::string> read_values;
+    /// Evaluated GET results for the vote (globally indexed).
+    std::vector<TxReadResult> reads;
+    /// KV commands to apply on commit, one per write op in op order
+    /// (a validated CAS becomes a plain PUT: its compare already
+    /// happened under the exclusive lock, and nothing else can write
+    /// the key before the lock is released).
+    std::vector<std::string> effects;
     uint64_t recovery_timer = 0;
+  };
+  /// Strict-2PL lock state of one key, no-wait flavour: conflicting
+  /// prepares are refused outright (vote NO), never queued — no
+  /// deadlocks, ever. `exclusive == 0` means no writer (tx ids are
+  /// nonzero by contract).
+  struct LockEntry {
+    uint64_t exclusive = 0;
+    std::set<uint64_t> shared;
   };
   /// A range frozen by an in-progress ShardMove: new transactions on it
   /// are refused (vote NO), in-flight ones drain to completion, and a
@@ -221,10 +347,20 @@ class TxManager : public sim::Process {
     uint64_t nudge_timer = 0;
   };
 
-  void Vote(uint64_t tx_id, const Tx& tx, bool yes);
+  void Vote(uint64_t tx_id, const Tx& tx, bool yes,
+            TxAbortReason reason = TxAbortReason::kNone);
   void ApplyDecision(uint64_t tx_id, bool commit);
   void ReleaseLocks(uint64_t tx_id);
   void Finish(uint64_t tx_id, bool committed);
+  /// Refuse a prepared-but-undecided tx: vote NO, drop locks and state.
+  /// (Safe only before the prepare record is proposed.)
+  void Refuse(uint64_t tx_id, TxAbortReason reason);
+  /// All reads arrived: evaluate ops in order with a read-your-writes
+  /// overlay, validate CAS compares, then proceed to prepare/apply.
+  void EvaluateReads(uint64_t tx_id);
+  /// Reads evaluated (or none needed): one-phase apply or durable
+  /// prepare record.
+  void Proceed(uint64_t tx_id);
   bool KeyFrozen(const std::string& key) const;
   /// Removes a finished tx from every drain set; announces quiescence.
   void NoteTxGone(uint64_t tx_id);
@@ -238,17 +374,34 @@ class TxManager : public sim::Process {
   int shard_;
   RoutingTable table_;  ///< This TM's view of the routing (epoch-gated).
   std::map<uint64_t, Tx> txs_;
-  std::map<std::string, FrozenRange> frozen_;   ///< move_id -> range.
-  std::map<std::string, uint64_t> lock_table_;  ///< key -> owning tx.
-  std::map<uint64_t, uint64_t> shard_seq_tx_;   ///< client seq -> tx.
+  std::map<std::string, FrozenRange> frozen_;    ///< move_id -> range.
+  std::map<std::string, LockEntry> lock_table_;  ///< key -> lock state.
+  std::map<uint64_t, uint64_t> shard_seq_tx_;    ///< client seq -> tx.
+  /// Prepare-time read-index reads in flight: client seq -> (tx, key).
+  std::map<uint64_t, std::pair<uint64_t, std::string>> shard_read_seq_;
   std::map<uint64_t, uint64_t> decision_seq_tx_;
   int prepares_ = 0;
   int recoveries_ = 0;
   int redirects_ = 0;
 };
 
-/// 2PC front-end: drives prepare/decide/ack rounds. All state is
-/// volatile; durability lives in the decision group.
+/// 2PC front-end: drives prepare/decide/ack rounds for read-write
+/// transactions, and serves read-only transactions off a lock-free
+/// snapshot path. All state is volatile; durability lives in the
+/// decision group.
+///
+/// SNAPSHOT PATH. A transaction whose ops are all GETs never touches a
+/// lock table, prepare record, or decision record. The coordinator
+/// pins the routing epoch of its table, issues one read-index read per
+/// key to the owning shard group (linearizable per key), and returns
+/// the batch stamped with that epoch. If any read bounces "MOVED e"
+/// the coordinator fetches the "__rt.e" record from the decision
+/// group, adopts the newer table, and restarts the WHOLE snapshot at
+/// the new epoch — partial results are discarded, which is what makes
+/// the result non-torn across a live move: every returned value was
+/// served under one routing epoch, and the mover's freeze-then-drain
+/// ladder guarantees a moved range is write-quiesced between the two
+/// epochs' serving windows.
 class TxCoordinator : public sim::Process {
  public:
   explicit TxCoordinator(ShardedStateMachine* owner);
@@ -258,19 +411,31 @@ class TxCoordinator : public sim::Process {
 
   /// Completion callback from the decision-group client.
   void OnDecisionResult(uint64_t seq, const std::string& result);
+  /// Completion callback from a (lazily spawned) snapshot reader.
+  void OnSnapshotResult(int group, uint64_t seq, const std::string& result);
 
   int started() const { return started_; }
   int committed() const { return committed_; }
   int aborted() const { return aborted_; }
   int redirected() const { return redirected_; }
+  /// Completed read-only snapshot transactions.
+  int snapshots() const { return snapshots_; }
+  /// Whole-snapshot restarts forced by MOVED bounces.
+  int snapshot_restarts() const { return snapshot_restarts_; }
   const RoutingTable& table() const { return table_; }
 
  private:
   struct Tx {
     sim::NodeId client = sim::kInvalidNode;
-    std::map<int, std::vector<TxOp>> by_shard;
+    std::vector<TxOp> ops;  ///< Full op list (snapshot restarts re-split).
+    std::map<int, std::vector<TxShardOp>> by_shard;
     std::set<int> yes_votes;
     bool one_phase = false;
+    bool snapshot = false;  ///< All-GET: lock-free epoch-consistent path.
+    uint64_t snapshot_epoch = 0;  ///< Epoch the current attempt is pinned to.
+    int reads_outstanding = 0;
+    std::vector<TxReadResult> reads;  ///< Merged results (by op_index).
+    TxAbortReason reason = TxAbortReason::kNone;
     bool decision_pending = false;  ///< SETNX in flight.
     bool decided = false;
     bool commit = false;
@@ -278,17 +443,37 @@ class TxCoordinator : public sim::Process {
     uint64_t vote_timer = 0;
   };
 
-  void Decide(uint64_t tx_id, bool commit);
+  void Decide(uint64_t tx_id, bool commit, TxAbortReason reason);
   void FinishIfAcked(uint64_t tx_id);
+  /// (Re-)issues every read of a snapshot tx, pinned to table_.epoch().
+  void StartSnapshot(uint64_t tx_id);
+  /// All snapshot reads landed: answer the client, forget the tx.
+  void FinishSnapshot(uint64_t tx_id);
+  /// A snapshot read bounced MOVED: adopt/fetch the newer table, then
+  /// restart the whole snapshot.
+  void OnSnapshotMoved(uint64_t tx_id, uint64_t epoch);
+  /// Read the "__rt.<epoch>" record from the decision group (at most
+  /// one fetch per epoch in flight).
+  void FetchTable(uint64_t epoch);
+  /// Restarts every snapshot parked on a table fetch.
+  void RestartParkedSnapshots();
 
   ShardedStateMachine* owner_;
   RoutingTable table_;  ///< Routing cache; refreshed by TM redirects.
   std::map<uint64_t, Tx> txs_;
   std::map<uint64_t, uint64_t> decision_seq_tx_;  ///< client seq -> tx.
+  /// Snapshot reads in flight: (group, reader seq) -> (tx, op_index).
+  std::map<std::pair<int, uint64_t>, std::pair<uint64_t, int>> snapshot_seq_;
+  /// Routing-table fetches in flight: decision-client seq -> epoch.
+  std::map<uint64_t, uint64_t> rt_seq_epoch_;
+  std::set<uint64_t> rt_epochs_inflight_;
+  std::set<uint64_t> parked_snapshots_;  ///< Awaiting a table fetch.
   int started_ = 0;
   int committed_ = 0;
   int aborted_ = 0;
   int redirected_ = 0;
+  int snapshots_ = 0;
+  int snapshot_restarts_ = 0;
 };
 
 /// The assembled sharded system. Spawn order (and therefore node-id
@@ -365,10 +550,16 @@ class ShardedStateMachine {
   consensus::GroupClient* mover_decision_client() const {
     return mover_decision_client_;
   }
+  /// Snapshot reader for `group`, spawned LAZILY on first use: spawning
+  /// forks the root rng and shifts every later delay draw, so runs that
+  /// never issue a read-only transaction must not pay for the readers
+  /// (keeps pre-snapshot seeds and pinned repros bit-identical).
+  consensus::GroupClient* snapshot_client(int group);
 
  private:
   ShardOptions options_;
   RoutingTable initial_table_;
+  sim::Simulation* sim_ = nullptr;  ///< For lazy snapshot-reader spawns.
   std::vector<std::unique_ptr<consensus::ReplicaGroup>> shard_groups_;
   std::unique_ptr<consensus::ReplicaGroup> decision_group_;
   std::vector<TxManager*> tms_;
@@ -379,6 +570,7 @@ class ShardedStateMachine {
   ShardMover* mover_ = nullptr;
   std::vector<consensus::GroupClient*> mover_group_clients_;
   consensus::GroupClient* mover_decision_client_ = nullptr;
+  std::vector<consensus::GroupClient*> snapshot_clients_;
 };
 
 /// Decision-record key for `tx_id` in the decision group's KV state.

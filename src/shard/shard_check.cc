@@ -11,12 +11,14 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "check/adapters.h"
 #include "shard/reshard.h"
 #include "shard/shard.h"
+#include "shard/txn_audit.h"
 #include "smr/state_machine.h"
 
 namespace consensus40::check {
@@ -49,17 +51,35 @@ class ShardTxClient : public sim::Process {
     const auto* m = dynamic_cast<const shard::TxOutcomeMsg*>(&msg);
     if (m == nullptr || outcomes.count(m->tx_id) > 0) return;
     outcomes[m->tx_id] = m->committed;
+    Outcome& d = details[m->tx_id];
+    d.committed = m->committed;
+    d.reason = m->reason;
+    d.reads = m->reads;
     CancelTimer(retry_timers_[m->tx_id]);
   }
 
+  /// Full outcome, for the serializability audit.
+  struct Outcome {
+    bool committed = false;
+    shard::TxAbortReason reason = shard::TxAbortReason::kNone;
+    std::vector<shard::TxReadResult> reads;
+  };
+
   std::map<uint64_t, bool> outcomes;
+  std::map<uint64_t, Outcome> details;
+  /// Transactions this client re-submitted at least once. Their GET
+  /// results may come from a re-run of an already-committed transaction
+  /// (post-commit state), so the audit must not trust them.
+  std::set<uint64_t> retried;
 
  private:
   void Begin(const Planned& p) {
     if (outcomes.count(p.tx_id) > 0) return;
     Send(coordinator_, std::make_shared<shard::BeginTxMsg>(p.tx_id, p.ops));
-    retry_timers_[p.tx_id] =
-        SetTimer(2 * sim::kSecond, [this, &p] { Begin(p); });
+    retry_timers_[p.tx_id] = SetTimer(2 * sim::kSecond, [this, &p] {
+      retried.insert(p.tx_id);
+      Begin(p);
+    });
   }
 
   sim::NodeId coordinator_;
@@ -508,6 +528,324 @@ class ReshardCheckAdapter : public ProtocolAdapter {
   std::string layout_error_;
 };
 
+/// Builds the audit inputs from the client's recorded outcomes: one
+/// AuditTx per committed read-write transaction (GET observations
+/// dropped for re-submitted transactions; a successful CAS contributes
+/// its expected value as a proven read), and one per completed
+/// snapshot (all-GET) transaction.
+void BuildAuditTxs(const std::vector<ShardTxClient::Planned>& plan,
+                   const ShardTxClient& client,
+                   std::vector<shard::AuditTx>* committed,
+                   std::vector<shard::AuditTx>* snapshots) {
+  for (const ShardTxClient::Planned& p : plan) {
+    auto it = client.details.find(p.tx_id);
+    if (it == client.details.end() || !it->second.committed) continue;
+    bool all_get = true;
+    for (const TxOp& op : p.ops) all_get = all_get && !op.IsWrite();
+    shard::AuditTx a;
+    a.tx_id = p.tx_id;
+    bool trust_reads = all_get || client.retried.count(p.tx_id) == 0;
+    if (trust_reads) {
+      for (const shard::TxReadResult& r : it->second.reads) {
+        if (r.op_index < 0 ||
+            r.op_index >= static_cast<int>(p.ops.size())) {
+          continue;
+        }
+        a.reads.push_back(shard::AuditRead{
+            p.ops[static_cast<size_t>(r.op_index)].key, r.found, r.value});
+      }
+    }
+    if (all_get) {
+      snapshots->push_back(std::move(a));
+      continue;
+    }
+    for (const TxOp& op : p.ops) {
+      switch (op.type) {
+        case TxOp::Type::kGet:
+          break;
+        case TxOp::Type::kPut:
+          a.writes.push_back(shard::AuditWrite{op.key, op.value});
+          break;
+        case TxOp::Type::kDelete:
+          a.writes.push_back(shard::AuditWrite{op.key, std::nullopt});
+          break;
+        case TxOp::Type::kCas:
+          // Commit proves the prepare-time match, whichever attempt
+          // decided — this read is trustworthy even after a re-submit.
+          a.reads.push_back(shard::AuditRead{op.key, true, op.expected});
+          a.writes.push_back(shard::AuditWrite{op.key, op.value});
+          break;
+      }
+    }
+    committed->push_back(std::move(a));
+  }
+}
+
+/// The read-write transaction composition under the reshard topology:
+/// typed GET/PUT/DELETE/CAS transactions — including a write-skew-prone
+/// pair that shared locks must serialize — plus repeated read-only
+/// snapshots, all racing one live range move under the mover-crash and
+/// owner-partition envelope. On top of the usual atomicity verdicts the
+/// adapter runs the serializability audit over the client-observed
+/// reads: with prepare-time shared/exclusive locking no schedule may
+/// produce a history with no serial explanation.
+class TxnCheckAdapter : public ProtocolAdapter {
+ public:
+  explicit TxnCheckAdapter(const char* label = "shard_txn") : label_(label) {
+    shard::ShardOptions so;  // 2 shards x 3 replicas, 3 decision replicas.
+    so.spare_groups = 1;
+    ssm_ = std::make_unique<ShardedStateMachine>(so);
+    const std::string a0 = ssm_->KeyForShard(0, 0);
+    const std::string a1 = ssm_->KeyForShard(0, 1);
+    const std::string a2 = ssm_->KeyForShard(0, 2);
+    const std::string b0 = ssm_->KeyForShard(1, 0);
+    const std::string b1 = ssm_->KeyForShard(1, 1);
+    auto plan = [this](uint64_t tx, sim::Time at, std::vector<TxOp> ops) {
+      ShardTxClient::Planned p;
+      p.tx_id = tx;
+      p.at = at;
+      p.ops = std::move(ops);
+      plan_.push_back(std::move(p));
+    };
+    // Blind cross-shard PUT pair (the historical workload shape).
+    plan(1, 300 * sim::kMillisecond,
+         {TxOp::Put(a0, "t1"), TxOp::Put(b0, "t1")});
+    // Concurrent write-skew-prone pair: each reads the key the other
+    // writes. Shared locks force one to abort or a serial order.
+    plan(2, 420 * sim::kMillisecond,
+         {TxOp::Get(a1), TxOp::Put(b1, "t2")});
+    plan(3, 420 * sim::kMillisecond,
+         {TxOp::Get(b1), TxOp::Put(a1, "t3")});
+    // Single-shard one-phase CAS: succeeds only over tx 1's value.
+    plan(4, 650 * sim::kMillisecond, {TxOp::Cas(a0, "t1", "t4")});
+    // Cross-shard with a delete.
+    plan(5, 700 * sim::kMillisecond,
+         {TxOp::Del(b0), TxOp::Put(a2, "t5")});
+    // Read-only snapshots: one inside the move window, one late.
+    plan(6, 500 * sim::kMillisecond, {TxOp::Get(a0), TxOp::Get(b0)});
+    plan(7, 1000 * sim::kMillisecond,
+         {TxOp::Get(a0), TxOp::Get(a1), TxOp::Get(b1)});
+  }
+
+  const char* name() const override { return label_; }
+
+  FaultBounds bounds() const override {
+    // Same layout as the reshard adapter: 3 groups x 3 replicas [0,9),
+    // decision replicas [9,12), TMs, clients, coordinator (21), mover
+    // (23).
+    FaultBounds b;
+    b.first_node = 0;
+    b.nodes = kConsensusNodes;
+    b.max_crashed = 1;
+    b.restartable = true;
+    b.partitionable = true;
+    b.coordinator = kCoordinatorId;
+    b.coordinator_window_lo = 250 * sim::kMillisecond;
+    b.coordinator_window_hi = 1300 * sim::kMillisecond;
+    b.coordinator_restartable = true;
+    b.shard_groups = {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}, {9, 10, 11}};
+    b.mover = kMoverId;
+    b.mover_window_lo = 300 * sim::kMillisecond;
+    b.mover_window_hi = 1500 * sim::kMillisecond;
+    b.mover_restartable = true;
+    b.move_source = 0;
+    b.move_dest = 2;
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    ssm_->Build(sim);
+    if (ssm_->coordinator_id() != kCoordinatorId ||
+        ssm_->mover_id() != kMoverId) {
+      layout_error_ = "txn adapter: coordinator/mover ids " +
+                      std::to_string(ssm_->coordinator_id()) + "/" +
+                      std::to_string(ssm_->mover_id()) +
+                      " do not match the declared fault bounds";
+    }
+    client_ = sim->Spawn<ShardTxClient>(ssm_->coordinator_id(), plan_);
+    shard::MoveSpec spec;
+    spec.lo = 0;
+    spec.hi = ssm_->InitialTable().entries()[1].lo;
+    spec.to = 2;
+    sim->Spawn<MoveDriver>(ssm_.get(), spec, 350 * sim::kMillisecond);
+  }
+
+  bool Done() const override {
+    return client_ != nullptr && client_->outcomes.size() >= plan_.size() &&
+           ssm_->mover()->moves_done() >= 1 && ssm_->mover()->idle();
+  }
+
+  bool ExpectTermination() const override { return true; }
+
+  void OnProbe(sim::Simulation*) override { ssm_->Probe(); }
+
+  Observation Observe() const override {
+    Observation o;
+    if (!layout_error_.empty()) o.self_reported.push_back(layout_error_);
+    if (client_ == nullptr) return o;
+
+    for (const auto& [tx, committed] : client_->outcomes) {
+      o.verdicts[tx][client_->id()] = committed ? 'C' : 'A';
+    }
+    smr::KvStore decisions = Replay(ssm_->decision_group());
+    for (const ShardTxClient::Planned& p : plan_) {
+      auto d = decisions.Get(shard::DecisionKey(p.tx_id));
+      if (d.has_value()) {
+        o.verdicts[p.tx_id][ssm_->decision_group()->members()[0]] =
+            *d == "C" ? 'C' : 'A';
+      }
+    }
+
+    std::vector<shard::AuditTx> committed, snapshots;
+    BuildAuditTxs(plan_, *client_, &committed, &snapshots);
+    for (const std::string& v : shard::AuditSerializability(committed)) {
+      o.self_reported.push_back(v);
+    }
+    for (const std::string& v :
+         shard::AuditSnapshotMembership(committed, snapshots)) {
+      o.self_reported.push_back(v);
+    }
+
+    for (int g = 0; g < ssm_->total_groups(); ++g) {
+      PrefixCheck(ssm_->shard_group(g), "group " + std::to_string(g), &o);
+    }
+    PrefixCheck(ssm_->decision_group(), "decision group", &o);
+    for (const std::string& v : ssm_->Violations()) {
+      o.self_reported.push_back("shard system: " + v);
+    }
+    return o;
+  }
+
+ private:
+  static constexpr int kConsensusNodes = 12;
+  static constexpr sim::NodeId kCoordinatorId = 21;
+  static constexpr sim::NodeId kMoverId = 23;
+
+  static smr::KvStore Replay(const consensus::ReplicaGroup* group) {
+    std::vector<smr::Command> best;
+    for (size_t i = 0; i < group->members().size(); ++i) {
+      std::vector<smr::Command> prefix =
+          group->CommittedPrefix(static_cast<int>(i));
+      if (prefix.size() > best.size()) best = std::move(prefix);
+    }
+    smr::KvStore kv;
+    smr::DedupingExecutor dedup;
+    for (const smr::Command& cmd : best) dedup.Apply(&kv, cmd);
+    return kv;
+  }
+
+  static void PrefixCheck(const consensus::ReplicaGroup* group,
+                          const std::string& label, Observation* o) {
+    std::vector<std::vector<smr::Command>> prefixes;
+    for (size_t i = 0; i < group->members().size(); ++i) {
+      prefixes.push_back(group->CommittedPrefix(static_cast<int>(i)));
+    }
+    for (size_t i = 0; i < prefixes.size(); ++i) {
+      for (size_t j = i + 1; j < prefixes.size(); ++j) {
+        size_t common = std::min(prefixes[i].size(), prefixes[j].size());
+        for (size_t k = 0; k < common; ++k) {
+          if (!(prefixes[i][k] == prefixes[j][k])) {
+            o->self_reported.push_back(
+                label + ": replicas " + std::to_string(i) + " and " +
+                std::to_string(j) + " diverge at log index " +
+                std::to_string(k));
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  const char* label_;
+  std::unique_ptr<ShardedStateMachine> ssm_;
+  std::vector<ShardTxClient::Planned> plan_;
+  ShardTxClient* client_ = nullptr;
+  std::string layout_error_;
+};
+
+/// OUT-OF-BOUNDS: the same typed-transaction machinery with the shared
+/// locks GET ops normally take switched off (unsafe_no_read_locks), and
+/// two concurrent write-skew clients — tx 1 reads x and writes y, tx 2
+/// reads y and writes x. Without read locks neither prepare conflicts,
+/// both commit having read the initial (absent) versions, and no serial
+/// order explains the history: the serializability audit must flag it
+/// on essentially every schedule, and the sweep pins a canonical
+/// shrunken repro. Plain shard topology (no mover) keeps the repro
+/// minimal.
+class TxnNoReadLocksAdapter : public ProtocolAdapter {
+ public:
+  TxnNoReadLocksAdapter() {
+    shard::ShardOptions so;
+    so.unsafe_no_read_locks = true;
+    ssm_ = std::make_unique<ShardedStateMachine>(so);
+    const std::string x = ssm_->KeyForShard(0, 0);
+    const std::string y = ssm_->KeyForShard(1, 0);
+    ShardTxClient::Planned p1;
+    p1.tx_id = 1;
+    p1.at = 300 * sim::kMillisecond;
+    p1.ops = {TxOp::Get(x), TxOp::Put(y, "t1")};
+    ShardTxClient::Planned p2;
+    p2.tx_id = 2;
+    p2.at = 300 * sim::kMillisecond;
+    p2.ops = {TxOp::Get(y), TxOp::Put(x, "t2")};
+    plan_ = {std::move(p1), std::move(p2)};
+  }
+
+  const char* name() const override { return "shard_txn_unsafe"; }
+
+  FaultBounds bounds() const override {
+    // Same layout as ShardCheckAdapter: 2 shards x 3 + 3 decision
+    // replicas, coordinator at 15.
+    FaultBounds b;
+    b.first_node = 0;
+    b.nodes = kConsensusNodes;
+    b.max_crashed = 1;
+    b.restartable = true;
+    b.partitionable = true;
+    b.coordinator = kCoordinatorId;
+    b.coordinator_window_lo = 250 * sim::kMillisecond;
+    b.coordinator_window_hi = 1300 * sim::kMillisecond;
+    b.coordinator_restartable = true;
+    b.shard_groups = {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}};
+    return b;
+  }
+
+  void Build(sim::Simulation* sim) override {
+    ssm_->Build(sim);
+    client_ = sim->Spawn<ShardTxClient>(ssm_->coordinator_id(), plan_);
+  }
+
+  bool Done() const override {
+    return client_ != nullptr && client_->outcomes.size() >= plan_.size();
+  }
+
+  bool ExpectTermination() const override { return true; }
+
+  void OnProbe(sim::Simulation*) override { ssm_->Probe(); }
+
+  Observation Observe() const override {
+    Observation o;
+    if (client_ == nullptr) return o;
+    for (const auto& [tx, committed] : client_->outcomes) {
+      o.verdicts[tx][client_->id()] = committed ? 'C' : 'A';
+    }
+    std::vector<shard::AuditTx> committed, snapshots;
+    BuildAuditTxs(plan_, *client_, &committed, &snapshots);
+    for (const std::string& v : shard::AuditSerializability(committed)) {
+      o.self_reported.push_back(v);
+    }
+    return o;
+  }
+
+ private:
+  static constexpr int kConsensusNodes = 9;
+  static constexpr sim::NodeId kCoordinatorId = 15;
+
+  std::unique_ptr<ShardedStateMachine> ssm_;
+  std::vector<ShardTxClient::Planned> plan_;
+  ShardTxClient* client_ = nullptr;
+};
+
 }  // namespace
 
 AdapterFactory MakeShardAdapter() {
@@ -530,6 +868,14 @@ AdapterFactory MakeShardBatchedAdapter() {
 
 AdapterFactory MakeShardReshardAdapter() {
   return [](uint64_t) { return std::make_unique<ReshardCheckAdapter>(); };
+}
+
+AdapterFactory MakeShardTxnAdapter() {
+  return [](uint64_t) { return std::make_unique<TxnCheckAdapter>(); };
+}
+
+AdapterFactory MakeShardTxnNoReadLocksAdapter() {
+  return [](uint64_t) { return std::make_unique<TxnNoReadLocksAdapter>(); };
 }
 
 AdapterFactory MakeShardReshardOutOfBoundsAdapter() {

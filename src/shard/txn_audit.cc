@@ -1,0 +1,117 @@
+#include "shard/txn_audit.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+namespace consensus40::shard {
+namespace {
+
+/// The KV state a prefix of the serial order has produced. A missing
+/// entry and a nullopt entry both mean "absent" (initial vs deleted is
+/// indistinguishable to a reader).
+using State = std::map<std::string, std::optional<std::string>>;
+
+bool ReadsMatch(const AuditTx& tx, const State& state) {
+  for (const AuditRead& r : tx.reads) {
+    auto it = state.find(r.key);
+    bool present = it != state.end() && it->second.has_value();
+    if (present != r.found) return false;
+    if (present && *it->second != r.value) return false;
+  }
+  return true;
+}
+
+std::string EncodeState(const State& state) {
+  std::string s;
+  for (const auto& [key, value] : state) {
+    s += key;
+    s += '=';
+    s += value.has_value() ? *value : "\x01";
+    s += '\x02';
+  }
+  return s;
+}
+
+/// DFS over serial orders. `used` is a bitmask of placed transactions;
+/// `dead` memoizes (used, state) pairs that cannot be completed, which
+/// collapses the factorial search when many orders converge to the same
+/// state (blind writes commute).
+bool Search(const std::vector<AuditTx>& txs, uint64_t used, State* state,
+            std::set<std::pair<uint64_t, std::string>>* dead) {
+  if (used + 1 == (uint64_t{1} << txs.size())) return true;
+  std::pair<uint64_t, std::string> memo{used, EncodeState(*state)};
+  if (dead->count(memo) > 0) return false;
+  for (size_t i = 0; i < txs.size(); ++i) {
+    if ((used >> i) & 1) continue;
+    if (!ReadsMatch(txs[i], *state)) continue;
+    State saved;
+    for (const AuditWrite& w : txs[i].writes) {
+      auto it = state->find(w.key);
+      if (saved.count(w.key) == 0) {
+        saved[w.key] = it != state->end() ? it->second : std::nullopt;
+      }
+      (*state)[w.key] = w.value;
+    }
+    if (Search(txs, used | (uint64_t{1} << i), state, dead)) return true;
+    for (auto& [key, value] : saved) (*state)[key] = value;
+  }
+  dead->insert(std::move(memo));
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> AuditSerializability(
+    const std::vector<AuditTx>& txs) {
+  std::vector<std::string> violations;
+  if (txs.empty()) return violations;
+  if (txs.size() > 16) {
+    // The exhaustive search is for planned checker histories; refuse
+    // loudly rather than run forever on something larger.
+    violations.push_back("txn audit: history too large for the exhaustive "
+                         "search (" +
+                         std::to_string(txs.size()) + " transactions)");
+    return violations;
+  }
+  State state;
+  std::set<std::pair<uint64_t, std::string>> dead;
+  if (!Search(txs, 0, &state, &dead)) {
+    std::string ids;
+    for (const AuditTx& tx : txs) {
+      if (!ids.empty()) ids += ",";
+      ids += std::to_string(tx.tx_id);
+    }
+    violations.push_back(
+        "txn audit: no serial order of the committed transactions {" + ids +
+        "} explains the observed reads");
+  }
+  return violations;
+}
+
+std::vector<std::string> AuditSnapshotMembership(
+    const std::vector<AuditTx>& committed,
+    const std::vector<AuditTx>& snapshots) {
+  std::map<std::string, std::set<std::string>> written;
+  for (const AuditTx& tx : committed) {
+    for (const AuditWrite& w : tx.writes) {
+      if (w.value.has_value()) written[w.key].insert(*w.value);
+    }
+  }
+  std::vector<std::string> violations;
+  for (const AuditTx& snap : snapshots) {
+    for (const AuditRead& r : snap.reads) {
+      if (!r.found) continue;  // Absent is always a member.
+      auto it = written.find(r.key);
+      if (it == written.end() || it->second.count(r.value) == 0) {
+        violations.push_back("snapshot audit: tx " +
+                             std::to_string(snap.tx_id) + " read " + r.key +
+                             " = \"" + r.value +
+                             "\" which no committed transaction wrote");
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace consensus40::shard

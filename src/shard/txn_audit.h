@@ -1,0 +1,72 @@
+/// \file
+/// Post-hoc serializability audit for the typed-transaction checker
+/// adapters. The input is the client's-eye view of a finished run: for
+/// every committed read-write transaction, the values its GETs returned
+/// (and the pre-values its successful CAS ops proved) plus the writes it
+/// installed. The audit searches for a serial order in which every read
+/// observes the latest preceding write — the definition of (view)
+/// serializability for this workload shape. Exhaustive over
+/// permutations with dead-state memoization, so it is meant for the
+/// checker's small planned histories (~10 transactions), not production
+/// traces.
+///
+/// Read-only snapshot transactions get a separate, weaker audit:
+/// snapshots are per-key linearizable reads at a pinned routing epoch,
+/// not a single serial point, so a snapshot may legally interleave with
+/// a multi-shard commit. What must still hold is membership — every
+/// value a snapshot observed was written by some committed transaction
+/// (or the key was absent).
+
+#ifndef CONSENSUS40_SHARD_TXN_AUDIT_H_
+#define CONSENSUS40_SHARD_TXN_AUDIT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace consensus40::shard {
+
+/// One observed read: the key and what the client saw. A successful CAS
+/// contributes one of these with `value` = its expected value (the
+/// prepare-time validation proved the match). Callers must OMIT the GET
+/// observations of transactions they re-submitted: a re-run of an
+/// already-committed transaction re-evaluates its reads against
+/// post-commit state, so those values are not the committed reads.
+struct AuditRead {
+  std::string key;
+  bool found = false;
+  std::string value;
+};
+
+/// One installed write; `value == nullopt` is a delete.
+struct AuditWrite {
+  std::string key;
+  std::optional<std::string> value;
+};
+
+/// One committed transaction as the client observed it.
+struct AuditTx {
+  uint64_t tx_id = 0;
+  std::vector<AuditRead> reads;
+  std::vector<AuditWrite> writes;
+};
+
+/// Searches for a serial order of `txs` in which every read observes the
+/// latest preceding write (all keys start absent). Returns violation
+/// strings; empty means an order exists. Write values should be unique
+/// per transaction (the planned workloads write "t<tx_id>"), which is
+/// what makes the observed reads pin the order down.
+std::vector<std::string> AuditSerializability(const std::vector<AuditTx>& txs);
+
+/// Membership audit for read-only snapshots: every value a snapshot
+/// observed must have been written to that key by some committed
+/// transaction. An absent read is always legal (the initial version is
+/// a member, and the snapshot may predate every writer).
+std::vector<std::string> AuditSnapshotMembership(
+    const std::vector<AuditTx>& committed,
+    const std::vector<AuditTx>& snapshots);
+
+}  // namespace consensus40::shard
+
+#endif  // CONSENSUS40_SHARD_TXN_AUDIT_H_

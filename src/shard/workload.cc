@@ -37,7 +37,14 @@ void WorkloadDriver::IssueNext() {
   if (issued_ >= options_.ops) return;
   ++issued_;
   if (rng().NextDouble() < options_.read_fraction) {
-    IssueRead();
+    // The snapshot draw only happens when the knob is on, so runs with
+    // the historical options replay bit-identically.
+    if (options_.snapshot_fraction > 0 &&
+        rng().NextDouble() < options_.snapshot_fraction) {
+      IssueSnapshot();
+    } else {
+      IssueRead();
+    }
     return;
   }
   bool cross = ssm_->options().shards > 1 &&
@@ -120,7 +127,32 @@ void WorkloadDriver::IssueTx(bool cross) {
     }
     if (tx.ops.size() == 1) tx.cross = false;  // Fallback: single-shard.
   }
+  if (options_.txn_read_fraction > 0 &&
+      rng().NextDouble() < options_.txn_read_fraction) {
+    // Read-write transaction: a leading GET that shares a lock with the
+    // writes and whose evaluated value rides back in the outcome.
+    tx.ops.insert(tx.ops.begin(),
+                  TxOp::Get(RandomKey(options_.write_space)));
+  }
   (tx.cross ? stats_.cross : stats_.single).issued++;
+  SendTx(tx_id);
+}
+
+void WorkloadDriver::IssueSnapshot() {
+  uint64_t tx_id = ++next_tx_;
+  PendingTx& tx = pending_txs_[tx_id];
+  tx.snapshot = true;
+  tx.start = Now();
+  int want = options_.snapshot_keys > 1 ? options_.snapshot_keys : 1;
+  // Bounded probing for distinct keys, as in the cross-shard writer.
+  for (int attempt = 0;
+       attempt < 64 && static_cast<int>(tx.ops.size()) < want; ++attempt) {
+    std::string key = RandomKey(options_.key_space);
+    bool dup = false;
+    for (const TxOp& op : tx.ops) dup = dup || op.key == key;
+    if (!dup) tx.ops.push_back(TxOp::Get(key));
+  }
+  ++stats_.snapshots.issued;
   SendTx(tx_id);
 }
 
@@ -143,7 +175,32 @@ void WorkloadDriver::OnMessage(sim::NodeId from, const sim::Message& msg) {
   if (it == pending_txs_.end()) return;  // Duplicate outcome.
   PendingTx& tx = it->second;
   CancelTimer(tx.retry_timer);
-  OpStats& s = tx.cross ? stats_.cross : stats_.single;
+  tx.retry_timer = 0;
+  if (!m->committed) {
+    ++stats_.aborts_by_reason[static_cast<size_t>(m->reason) < 6
+                                 ? static_cast<size_t>(m->reason)
+                                 : 0];
+    // Reason-aware retry: transient aborts get a fresh attempt (a NEW
+    // tx id — the old id's decision record is already aborted, so
+    // re-submitting it would just replay the abort). A CAS mismatch is
+    // semantic: retrying reproduces it, so it stays terminal.
+    if (options_.reason_aware_retry &&
+        m->reason != TxAbortReason::kCasMismatch &&
+        tx.attempts < options_.max_tx_attempts) {
+      uint64_t new_id = ++next_tx_;
+      PendingTx moved = std::move(tx);
+      pending_txs_.erase(it);
+      ++moved.attempts;
+      pending_txs_[new_id] = std::move(moved);
+      ++stats_.reason_retries;
+      SetTimer(options_.abort_backoff, [this, new_id] {
+        if (pending_txs_.count(new_id)) SendTx(new_id);
+      });
+      return;
+    }
+  }
+  OpStats& s = tx.snapshot ? stats_.snapshots
+                           : (tx.cross ? stats_.cross : stats_.single);
   ++s.completed;
   (m->committed ? s.committed : s.aborted)++;
   sim::Duration latency = Now() - tx.start;

@@ -57,6 +57,28 @@ struct WorkloadOptions {
   int write_space = 100;
   /// Transaction re-submission timeout (covers coordinator crashes).
   sim::Duration retry = 2 * sim::kSecond;
+
+  /// Read-mix knobs. All default OFF and draw no randomness when off,
+  /// so every pre-existing (seed, options) run replays bit-identically.
+  /// Fraction of read operations issued as multi-key read-only
+  /// transactions (the coordinator's lock-free snapshot path) instead
+  /// of single-key read-index reads.
+  double snapshot_fraction = 0.0;
+  /// Distinct keys per snapshot transaction.
+  int snapshot_keys = 2;
+  /// Fraction of write transactions that carry a leading GET op — a
+  /// read-write transaction: the GET takes a shared lock at prepare and
+  /// its evaluated result rides back in the outcome.
+  double txn_read_fraction = 0.0;
+  /// Reason-aware abort handling (off = historical behaviour, every
+  /// abort is terminal): transient aborts — lock conflict, frozen
+  /// range, stale route, decision timeout — re-submit as a fresh
+  /// attempt after `abort_backoff`; semantic aborts (CAS mismatch) stay
+  /// terminal, because retrying one reproduces the mismatch.
+  bool reason_aware_retry = false;
+  sim::Duration abort_backoff = 50 * sim::kMillisecond;
+  /// Attempts per logical transaction under reason_aware_retry.
+  int max_tx_attempts = 3;
 };
 
 /// Counters for one operation class, in virtual time.
@@ -80,12 +102,19 @@ struct WorkloadStats {
   OpStats reads;
   OpStats single;  ///< Single-shard (one-phase) transactions.
   OpStats cross;   ///< Cross-shard (full 2PC) transactions.
+  OpStats snapshots;  ///< Read-only snapshot transactions.
   int retries = 0;  ///< Transaction re-submissions (timeouts).
   int moved = 0;    ///< Reads bounced by a routing fence ("MOVED <epoch>").
   int table_refreshes = 0;  ///< Routing tables adopted from the decision group.
+  /// Aborts by TxAbortReason (indexed by the enum's numeric value).
+  /// Counted on every abort outcome, retried or not.
+  int aborts_by_reason[6] = {0, 0, 0, 0, 0, 0};
+  /// Fresh attempts issued by the reason-aware retry policy.
+  int reason_retries = 0;
 
   int completed() const {
-    return reads.completed + single.completed + cross.completed;
+    return reads.completed + single.completed + cross.completed +
+           snapshots.completed;
   }
 };
 
@@ -113,6 +142,8 @@ class WorkloadDriver : public sim::Process {
   struct PendingTx {
     std::vector<TxOp> ops;
     bool cross = false;
+    bool snapshot = false;  ///< All-GET read-only transaction.
+    int attempts = 1;       ///< Submissions under reason_aware_retry.
     sim::Time start = 0;
     uint64_t retry_timer = 0;
   };
@@ -126,6 +157,7 @@ class WorkloadDriver : public sim::Process {
   void IssueRead();
   void SendRead(const std::string& key, sim::Time start);
   void IssueTx(bool cross);
+  void IssueSnapshot();
   void SendTx(uint64_t tx_id);
   void FetchTable(uint64_t epoch);
   std::string RandomKey(int space);

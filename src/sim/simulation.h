@@ -206,11 +206,6 @@ class Process {
 /// index per send, not a string-keyed map lookup.
 class Simulation {
  public:
-  /// Creates a simulation whose entire behaviour is a function of `seed`.
-  /// Deprecated entry point kept as a thin shim: new code should configure
-  /// and construct through Simulation::Builder (below), which also covers
-  /// delay models, trace hooks, topology setup, and scheduled faults.
-  explicit Simulation(uint64_t seed, NetworkOptions options = NetworkOptions());
   ~Simulation();
 
   Simulation(const Simulation&) = delete;
@@ -362,8 +357,8 @@ class Simulation {
   /// Build() applies everything in a fixed order — options, delay model,
   /// trace hook, Setup hooks (registration order), At hooks, Start() —
   /// so construction is as deterministic as the simulation itself.
-  /// Constructing a Simulation directly remains supported but is the
-  /// deprecated path; new code should come through the Builder.
+  /// The Builder is the only way to construct a Simulation; the
+  /// constructor is private.
   class Builder {
    public:
     explicit Builder(uint64_t seed) : seed_(seed) {}
@@ -429,7 +424,8 @@ class Simulation {
     }
 
     std::unique_ptr<Simulation> Build() {
-      auto sim = std::make_unique<Simulation>(seed_, options_);
+      // make_unique can't reach the private constructor; Builder can.
+      auto sim = std::unique_ptr<Simulation>(new Simulation(seed_, options_));
       if (delay_fn_) sim->SetDelayFn(delay_fn_);
       if (trace_fn_) sim->SetTraceFn(trace_fn_);
       for (auto& fn : setup_) fn(*sim);
@@ -466,6 +462,12 @@ class Simulation {
   void CancelProcessTimer(uint64_t timer_id);
 
  private:
+  /// Creates a simulation whose entire behaviour is a function of `seed`.
+  /// Private: all construction goes through Simulation::Builder, which
+  /// also covers delay models, trace hooks, topology setup, and scheduled
+  /// faults.
+  explicit Simulation(uint64_t seed, NetworkOptions options = NetworkOptions());
+
   static constexpr uint32_t kNilIndex = 0xFFFFFFFFu;
 
   enum class EventKind : uint8_t { kMessage, kTimer, kCallback };

@@ -27,6 +27,17 @@ struct Command {
   /// from Hash and the comparison operators.
   uint64_t acked = 0;
 
+  /// How the command wants to be executed, not what it does — routing
+  /// metadata like `acked`, excluded from Hash and the comparison
+  /// operators. Protocols with a dedicated read path (Raft read-index)
+  /// divert kRead commands around the log; protocols without one log
+  /// them like any other command, which is linearizable by construction.
+  enum class Kind : uint8_t {
+    kWrite = 0,  ///< Replicate through the log (the default).
+    kRead = 1,   ///< Read-only; `op` is "GET <key>". May bypass the log.
+  };
+  Kind kind = Kind::kWrite;
+
   bool operator==(const Command& other) const {
     return client == other.client && client_seq == other.client_seq &&
            op == other.op;

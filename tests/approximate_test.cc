@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <vector>
+#include <memory>
 
 #include "agreement/approximate.h"
 #include "sim/simulation.h"
@@ -14,7 +15,9 @@ using sim::kSecond;
 struct ApproxWorld {
   ApproxWorld(const std::vector<double>& initial, double epsilon, int rounds,
               uint64_t seed = 1)
-      : sim(seed) {
+      : sim_owner(
+            sim::Simulation::Builder(seed).AutoStart(false).Build()),
+        sim(*sim_owner) {
     ApproxOptions opts;
     opts.n = static_cast<int>(initial.size());
     opts.epsilon = epsilon;
@@ -40,7 +43,8 @@ struct ApproxWorld {
     return hi - lo;
   }
 
-  sim::Simulation sim;
+  std::unique_ptr<sim::Simulation> sim_owner;
+  sim::Simulation& sim;
   std::vector<ApproxAgreementNode*> nodes;
 };
 

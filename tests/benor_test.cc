@@ -2,6 +2,7 @@
 
 #include <string>
 #include <vector>
+#include <memory>
 
 #include "randomized/benor.h"
 #include "sim/simulation.h"
@@ -14,7 +15,9 @@ using sim::kSecond;
 
 struct BenOrCluster {
   BenOrCluster(const std::vector<int>& initial, uint64_t seed = 1)
-      : sim(seed) {
+      : sim_owner(
+            sim::Simulation::Builder(seed).AutoStart(false).Build()),
+        sim(*sim_owner) {
     BenOrOptions opts;
     opts.n = static_cast<int>(initial.size());
     for (int v : initial) nodes.push_back(sim.Spawn<BenOrNode>(opts, v));
@@ -41,7 +44,8 @@ struct BenOrCluster {
     return value;
   }
 
-  sim::Simulation sim;
+  std::unique_ptr<sim::Simulation> sim_owner;
+  sim::Simulation& sim;
   std::vector<BenOrNode*> nodes;
 };
 

@@ -227,7 +227,7 @@ struct MiningWorld {
     sim::NetworkOptions net;
     net.min_delay = propagation / 2;
     net.max_delay = propagation;
-    sim = std::make_unique<sim::Simulation>(seed, net);
+    sim = sim::Simulation::Builder(seed).Network(net).AutoStart(false).Build();
     params.chain = TestChain();
     params.chain.block_interval_secs = 60;
     params.chain.retarget_interval = 20;

@@ -74,7 +74,8 @@ class EquivocatingHotStuffLeader : public hotstuff::HotStuffReplica {
 };
 
 TEST(ByzantineHotStuffTest, EquivocatingLeaderCannotForkTheChain) {
-  sim::Simulation sim(5);
+  auto sim_owner = sim::Simulation::Builder(5).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   crypto::KeyRegistry registry(5, 16);
   hotstuff::HotStuffOptions opts;
   opts.n = 4;
@@ -147,7 +148,8 @@ class LyingPbftReplica : public pbft::PbftReplica {
 };
 
 TEST(ByzantineRepliesTest, ClientRejectsMinorityLies) {
-  sim::Simulation sim(7);
+  auto sim_owner = sim::Simulation::Builder(7).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   crypto::KeyRegistry registry(7, 16);
   pbft::PbftOptions opts;
   opts.n = 4;
@@ -183,7 +185,8 @@ struct SilenceBudget {
 TEST(ByzantineSilenceTest, PbftBoundary) {
   // f silent replicas: fine. f+1: stuck. (Silence == crash for liveness.)
   for (int silent = 1; silent <= 2; ++silent) {
-    sim::Simulation sim(9);
+    auto sim_owner = sim::Simulation::Builder(9).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     crypto::KeyRegistry registry(9, 16);
     pbft::PbftOptions opts;
     opts.n = 4;
@@ -203,7 +206,8 @@ TEST(ByzantineSilenceTest, PbftBoundary) {
 
 TEST(ByzantineSilenceTest, MinBftBoundary) {
   for (int silent = 1; silent <= 2; ++silent) {
-    sim::Simulation sim(9);
+    auto sim_owner = sim::Simulation::Builder(9).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     crypto::KeyRegistry registry(9, 16);
     crypto::Usig usig(&registry);
     minbft::MinBftOptions opts;
@@ -254,7 +258,8 @@ class CorruptZyzzyvaBackup : public zyzzyva::ZyzzyvaReplica {
 };
 
 TEST(ByzantineZyzzyvaTest, CorruptSpeculationForcesCase2NotCorruption) {
-  sim::Simulation sim(13);
+  auto sim_owner = sim::Simulation::Builder(13).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   crypto::KeyRegistry registry(13, 16);
   zyzzyva::ZyzzyvaOptions opts;
   opts.n = 4;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <vector>
+#include <memory>
 
 #include "cheapbft/cheapbft.h"
 #include "crypto/signatures.h"
@@ -14,7 +15,9 @@ using sim::kSecond;
 
 struct CheapCluster {
   explicit CheapCluster(int f, uint64_t seed = 1)
-      : sim(seed), registry(seed, 2 * f + 1 + 8), usig(&registry) {
+      : sim_owner(
+            sim::Simulation::Builder(seed).AutoStart(false).Build()),
+        sim(*sim_owner), registry(seed, 2 * f + 1 + 8), usig(&registry) {
     CheapBftOptions opts;
     opts.f = f;
     opts.registry = &registry;
@@ -44,7 +47,8 @@ struct CheapCluster {
     }
   }
 
-  sim::Simulation sim;
+  std::unique_ptr<sim::Simulation> sim_owner;
+  sim::Simulation& sim;
   crypto::KeyRegistry registry;
   crypto::Usig usig;
   std::vector<CheapBftReplica*> replicas;

@@ -135,6 +135,17 @@ TEST(CheckSweepInBounds, ShardReshard) {
   SweepInBounds("shard_reshard", MakeShardReshardAdapter());
 }
 
+// Typed read-write transactions (GET/PUT/DELETE/CAS under prepare-time
+// shared/exclusive locking) plus repeated read-only snapshots, racing a
+// live range move under the reshard fault envelope. On top of atomicity
+// and prefix consistency the adapter audits serializability: for every
+// schedule the committed transactions' observed reads must admit a
+// serial order, and every snapshot value must be one a committed
+// transaction wrote.
+TEST(CheckSweepInBounds, ShardTxn) {
+  SweepInBounds("shard_txn", MakeShardTxnAdapter());
+}
+
 // --- Byzantine variants: one interposer-driven liar inside the stated f.
 // Schedules may equivocate (where a forge hook exists), withhold, corrupt,
 // or replay one node's outbound traffic in seed-chosen windows — and for
@@ -258,6 +269,18 @@ TEST(CheckSweepOutOfBounds, CrosswordMajorityQuorumUnderReplicatesShards) {
                        MakeCrosswordOutOfBoundsAdapter(), 200, "prefix");
 }
 
+// The typed-transaction composition with GET ops' shared locks switched
+// off and two concurrent write-skew clients (tx 1 reads x / writes y,
+// tx 2 reads y / writes x). Without read locks neither prepare
+// conflicts, both commit having read the initial versions, and no
+// serial order explains the history — the exact anomaly the shared
+// locks exist to prevent, caught by the serializability audit.
+TEST(CheckSweepOutOfBounds, TxnWithoutReadLocksAllowsWriteSkew) {
+  ExpectViolationFound("shard-txn-no-read-locks",
+                       MakeShardTxnNoReadLocksAdapter(), 50,
+                       "no serial order");
+}
+
 // The move ladder with the flip made before freeze + drain: in-flight
 // transactions at the old owner apply their writes behind the copy
 // snapshot and the routing fence, so a committed write exists at no
@@ -379,6 +402,42 @@ TEST(ShrinkCanonicalize, ReshardLostWriteReproHasCanonicalForm) {
     return;
   }
   FAIL() << "no flip-before-drain violation in 50 seeds";
+}
+
+/// The write-skew repro is pinned the same way — and is the starkest of
+/// the set: ddmin deletes EVERY action, because the anomaly needs no
+/// faults at all. With GET's shared locks off, the two concurrent
+/// readers-of-each-other's-writes commit on a plain fault-free run;
+/// the canonical repro is the empty schedule at the first seed whose
+/// generated schedule let both transactions commit. Same re-pin rule as
+/// above: update the string only when the schedule generator
+/// intentionally changed; otherwise the audit or the lock path
+/// regressed.
+TEST(ShrinkCanonicalize, WriteSkewReproHasCanonicalForm) {
+  AdapterFactory factory = MakeShardTxnNoReadLocksAdapter();
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    FaultSchedule schedule;
+    RunResult result = RunSeed(factory, seed, &schedule);
+    if (!result.violated()) continue;
+
+    EXPECT_NE(result.violations[0].find(
+                  "no serial order of the committed transactions {1,2}"),
+              std::string::npos)
+        << result.violations[0];
+
+    auto replay = [&](const FaultSchedule& candidate) {
+      return RunSchedule(factory, seed, candidate).violated();
+    };
+    const FaultBounds bounds = factory(seed)->bounds();
+    FaultSchedule min = CanonicalizeSchedule(
+        ShrinkSchedule(schedule, bounds, replay), bounds, replay);
+
+    EXPECT_TRUE(RunSchedule(factory, seed, min).violated());
+    EXPECT_EQ(min.actions.size(), 0u);
+    EXPECT_EQ(min.ToString(), "schedule --seed=2: [ ]");
+    return;
+  }
+  FAIL() << "no write-skew violation in 50 seeds";
 }
 
 /// The Crossword bare-majority repro, pinned the same way. The shape

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <memory>
 
 #include "commit/three_phase_commit.h"
 #include "commit/two_phase_commit.h"
@@ -22,7 +23,9 @@ Transaction MakeTx(uint64_t id, const std::vector<TxOp>& ops) {
 // ----------------------------------------------------------------------
 
 struct TwoPcWorld {
-  explicit TwoPcWorld(int participants, uint64_t seed = 1) : sim(seed) {
+  explicit TwoPcWorld(int participants, uint64_t seed = 1) : sim_owner(
+            sim::Simulation::Builder(seed).AutoStart(false).Build()),
+        sim(*sim_owner) {
     for (int i = 0; i < participants; ++i) {
       cohorts.push_back(sim.Spawn<TwoPcParticipant>());
     }
@@ -30,7 +33,8 @@ struct TwoPcWorld {
     sim.Start();
   }
 
-  sim::Simulation sim;
+  std::unique_ptr<sim::Simulation> sim_owner;
+  sim::Simulation& sim;
   std::vector<TwoPcParticipant*> cohorts;
   TwoPcCoordinator* coordinator;
 };
@@ -116,7 +120,9 @@ struct ThreePcWorld {
   explicit ThreePcWorld(int participants, uint64_t seed = 1,
                         ThreePcParticipant::Options opts =
                             ThreePcParticipant::Options())
-      : sim(seed) {
+      : sim_owner(
+            sim::Simulation::Builder(seed).AutoStart(false).Build()),
+        sim(*sim_owner) {
     for (int i = 0; i < participants; ++i) {
       cohorts.push_back(sim.Spawn<ThreePcParticipant>(opts));
     }
@@ -124,7 +130,8 @@ struct ThreePcWorld {
     sim.Start();
   }
 
-  sim::Simulation sim;
+  std::unique_ptr<sim::Simulation> sim_owner;
+  sim::Simulation& sim;
   std::vector<ThreePcParticipant*> cohorts;
   ThreePcCoordinator* coordinator;
 };

@@ -60,7 +60,8 @@ TEST(QuorumEdgeTest, GridOneByN) {
 // ---------------------------------------------------------------------------
 
 TEST(PaxosEdgeTest, SingleNodeClusterDecidesInstantly) {
-  sim::Simulation sim(1);
+  auto sim_owner = sim::Simulation::Builder(1).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   paxos::PaxosOptions opts;
   opts.n = 1;
   auto* node = sim.Spawn<paxos::PaxosNode>(opts);
@@ -72,7 +73,8 @@ TEST(PaxosEdgeTest, SingleNodeClusterDecidesInstantly) {
 }
 
 TEST(PaxosEdgeTest, ProposeAfterDecisionIsIgnored) {
-  sim::Simulation sim(1);
+  auto sim_owner = sim::Simulation::Builder(1).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   paxos::PaxosOptions opts;
   opts.n = 3;
   std::vector<paxos::PaxosNode*> nodes;
@@ -93,7 +95,8 @@ TEST(PaxosEdgeTest, ProposeAfterDecisionIsIgnored) {
 // ---------------------------------------------------------------------------
 
 TEST(TwoPcEdgeTest, InterleavedTransactionsStayIndependent) {
-  sim::Simulation sim(5);
+  auto sim_owner = sim::Simulation::Builder(5).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   std::vector<commit::TwoPcParticipant*> cohorts;
   for (int i = 0; i < 3; ++i) {
     cohorts.push_back(sim.Spawn<commit::TwoPcParticipant>());
@@ -156,7 +159,8 @@ class SelfSender : public sim::Process {
 };
 
 TEST(SimEdgeTest, SelfMessagesArriveInSendOrder) {
-  sim::Simulation sim(1);
+  auto sim_owner = sim::Simulation::Builder(1).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   auto* node = sim.Spawn<SelfSender>();
   sim.Start();
   sim.RunFor(1 * kMillisecond);
@@ -164,7 +168,8 @@ TEST(SimEdgeTest, SelfMessagesArriveInSendOrder) {
 }
 
 TEST(SimEdgeTest, RunUntilRespectsDeadlineExactly) {
-  sim::Simulation sim(1);
+  auto sim_owner = sim::Simulation::Builder(1).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   bool fired = false;
   sim.ScheduleAt(100, [&] { fired = true; });
   // Deadline at exactly the event time: the event is included.
@@ -174,7 +179,8 @@ TEST(SimEdgeTest, RunUntilRespectsDeadlineExactly) {
 TEST(SimEdgeTest, PartitionedSelfDeliveryStillWorks) {
   // A node isolated from everyone can still message itself (local timers
   // and self-sends must not be casualties of a network partition).
-  sim::Simulation sim(1);
+  auto sim_owner = sim::Simulation::Builder(1).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   auto* a = sim.Spawn<SelfSender>();
   auto* b = sim.Spawn<SelfSender>();
   sim.Partition({{a->id()}, {b->id()}});

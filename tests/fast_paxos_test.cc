@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <memory>
 
 #include "paxos/fast_paxos.h"
 #include "sim/simulation.h"
@@ -10,7 +11,9 @@ using sim::kMillisecond;
 using sim::kSecond;
 
 struct FpCluster {
-  explicit FpCluster(int n = 4, uint64_t seed = 1) : sim(seed) {
+  explicit FpCluster(int n = 4, uint64_t seed = 1) : sim_owner(
+            sim::Simulation::Builder(seed).AutoStart(false).Build()),
+        sim(*sim_owner) {
     // Fixed 1ms delay makes message-delay counting exact.
     sim::NetworkOptions net = sim.options();
     net.min_delay = 1 * kMillisecond;
@@ -32,7 +35,8 @@ struct FpCluster {
 
   FastPaxosAcceptor* coordinator() { return acceptors[0]; }
 
-  sim::Simulation sim;
+  std::unique_ptr<sim::Simulation> sim_owner;
+  sim::Simulation& sim;
   std::vector<FastPaxosAcceptor*> acceptors;
   std::vector<FastPaxosClient*> clients;
 };

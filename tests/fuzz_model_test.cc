@@ -222,7 +222,8 @@ class Chatty : public sim::Process {
 
 TEST(SimDeterminismFuzz, IdenticalTraceForIdenticalSeed) {
   auto trace_of = [](uint64_t seed) {
-    sim::Simulation sim(seed);
+    auto sim_owner = sim::Simulation::Builder(seed).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     for (int i = 0; i < 6; ++i) sim.Spawn<Chatty>(6);
     std::vector<std::tuple<sim::Time, int, int>> trace;
     sim.SetTraceFn([&trace](const sim::Envelope& e, sim::Time t) {

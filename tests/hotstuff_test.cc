@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <vector>
+#include <memory>
 
 #include "crypto/signatures.h"
 #include "hotstuff/hotstuff.h"
@@ -14,7 +15,9 @@ using sim::kSecond;
 
 struct HsCluster {
   explicit HsCluster(int n, uint64_t seed = 1)
-      : sim(seed), registry(seed, n + 8) {
+      : sim_owner(
+            sim::Simulation::Builder(seed).AutoStart(false).Build()),
+        sim(*sim_owner), registry(seed, n + 8) {
     HotStuffOptions opts;
     opts.n = n;
     opts.registry = &registry;
@@ -47,7 +50,8 @@ struct HsCluster {
     }
   }
 
-  sim::Simulation sim;
+  std::unique_ptr<sim::Simulation> sim_owner;
+  sim::Simulation& sim;
   crypto::KeyRegistry registry;
   std::vector<HotStuffReplica*> replicas;
   std::vector<HotStuffClient*> clients;

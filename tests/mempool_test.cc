@@ -125,7 +125,9 @@ TEST(MempoolTest, TransactionsFlowThroughMiningNetwork) {
   sim::NetworkOptions net;
   net.min_delay = 100 * kMillisecond;
   net.max_delay = 500 * kMillisecond;
-  sim::Simulation sim(3, net);
+  auto sim_owner =
+      sim::Simulation::Builder(3).Network(net).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   MinerNetworkParams params;
   params.chain = TestChain();
   params.chain.block_interval_secs = 30;
@@ -154,7 +156,9 @@ TEST(SelfishMinerTest, MinorityAttackerGainsNothing) {
   sim::NetworkOptions net;
   net.min_delay = 50 * kMillisecond;
   net.max_delay = 200 * kMillisecond;
-  sim::Simulation sim(11, net);
+  auto sim_owner =
+      sim::Simulation::Builder(11).Network(net).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   MinerNetworkParams params;
   params.chain = TestChain();
   params.chain.block_interval_secs = 60;
@@ -180,7 +184,9 @@ TEST(SelfishMinerTest, LargeAttackerProfitsAboveFairShare) {
   sim::NetworkOptions net;
   net.min_delay = 50 * kMillisecond;
   net.max_delay = 200 * kMillisecond;
-  sim::Simulation sim(13, net);
+  auto sim_owner =
+      sim::Simulation::Builder(13).Network(net).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   MinerNetworkParams params;
   params.chain = TestChain();
   params.chain.block_interval_secs = 60;
@@ -204,7 +210,9 @@ TEST(SelfishMinerTest, HonestChainPrefixStillConverges) {
   sim::NetworkOptions net;
   net.min_delay = 50 * kMillisecond;
   net.max_delay = 200 * kMillisecond;
-  sim::Simulation sim(17, net);
+  auto sim_owner =
+      sim::Simulation::Builder(17).Network(net).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   MinerNetworkParams params;
   params.chain = TestChain();
   params.chain.block_interval_secs = 60;

@@ -46,7 +46,9 @@ class UiReplayingPrimary : public MinBftReplica {
 
 struct MinBftCluster {
   explicit MinBftCluster(int n, uint64_t seed = 1, bool byz_primary = false)
-      : sim(seed), registry(seed, n + 8), usig(&registry) {
+      : sim_owner(
+            sim::Simulation::Builder(seed).AutoStart(false).Build()),
+        sim(*sim_owner), registry(seed, n + 8), usig(&registry) {
     MinBftOptions opts;
     opts.n = n;
     opts.registry = &registry;
@@ -83,7 +85,8 @@ struct MinBftCluster {
     }
   }
 
-  sim::Simulation sim;
+  std::unique_ptr<sim::Simulation> sim_owner;
+  sim::Simulation& sim;
   crypto::KeyRegistry registry;
   crypto::Usig usig;
   std::vector<MinBftReplica*> replicas;

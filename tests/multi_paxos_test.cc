@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <vector>
+#include <memory>
 
 #include "paxos/multi_paxos.h"
 #include "sim/simulation.h"
@@ -15,7 +16,9 @@ using sim::kSecond;
 struct MpCluster {
   explicit MpCluster(int n, uint64_t seed = 1,
                      MultiPaxosOptions base = MultiPaxosOptions())
-      : sim(seed) {
+      : sim_owner(
+            sim::Simulation::Builder(seed).AutoStart(false).Build()),
+        sim(*sim_owner) {
     base.n = n;
     for (int i = 0; i < n; ++i) {
       replicas.push_back(sim.Spawn<MultiPaxosReplica>(base));
@@ -46,7 +49,8 @@ struct MpCluster {
     }
   }
 
-  sim::Simulation sim;
+  std::unique_ptr<sim::Simulation> sim_owner;
+  sim::Simulation& sim;
   std::vector<MultiPaxosReplica*> replicas;
   std::vector<MultiPaxosClient*> clients;
 };

@@ -37,7 +37,7 @@ TEST(HeartbeatDetectorTest, FalseSuspicionRaisesTimeoutPermanently) {
 
 struct CtCluster {
   CtCluster(const std::vector<std::string>& inputs, uint64_t seed = 1) {
-    sim = std::make_unique<sim::Simulation>(seed);
+    sim = sim::Simulation::Builder(seed).AutoStart(false).Build();
     CtOptions opts;
     opts.n = static_cast<int>(inputs.size());
     for (const std::string& v : inputs) {
@@ -127,7 +127,9 @@ TEST(CtConsensusTest, LousyDetectorHurtsOnlyLiveness) {
     sim::NetworkOptions net;
     net.min_delay = 5 * kMillisecond;
     net.max_delay = 15 * kMillisecond;
-    sim::Simulation sim(seed, net);
+    auto sim_owner =
+        sim::Simulation::Builder(seed).Network(net).AutoStart(false).Build();
+    sim::Simulation& sim = *sim_owner;
     CtOptions opts;
     opts.n = 5;
     opts.detector.initial_timeout = 6 * kMillisecond;  // Far too jumpy.

@@ -2,6 +2,7 @@
 
 #include <string>
 #include <vector>
+#include <memory>
 
 #include "paxos/ballot.h"
 #include "paxos/paxos.h"
@@ -26,7 +27,9 @@ TEST(BallotTest, TotalOrder) {
 struct PaxosCluster {
   explicit PaxosCluster(int n, uint64_t seed = 1,
                         PaxosOptions base = PaxosOptions())
-      : sim(seed) {
+      : sim_owner(
+            sim::Simulation::Builder(seed).AutoStart(false).Build()),
+        sim(*sim_owner) {
     base.n = n;
     for (int i = 0; i < n; ++i) nodes.push_back(sim.Spawn<PaxosNode>(base));
     sim.Start();
@@ -61,7 +64,8 @@ struct PaxosCluster {
     }
   }
 
-  sim::Simulation sim;
+  std::unique_ptr<sim::Simulation> sim_owner;
+  sim::Simulation& sim;
   std::vector<PaxosNode*> nodes;
 };
 

@@ -58,7 +58,9 @@ class EquivocatingPrimary : public PbftReplica {
 
 struct PbftCluster {
   explicit PbftCluster(int n, uint64_t seed = 1, int byzantine_primary = -1)
-      : sim(seed), registry(seed, n + 8) {  // Replicas + up to 8 clients.
+      : sim_owner(
+            sim::Simulation::Builder(seed).AutoStart(false).Build()),
+        sim(*sim_owner), registry(seed, n + 8) {  // Replicas + up to 8 clients.
     PbftOptions opts;
     opts.n = n;
     opts.registry = &registry;
@@ -101,7 +103,8 @@ struct PbftCluster {
     }
   }
 
-  sim::Simulation sim;
+  std::unique_ptr<sim::Simulation> sim_owner;
+  sim::Simulation& sim;
   crypto::KeyRegistry registry;
   std::vector<PbftReplica*> replicas;
   std::vector<PbftClient*> clients;
@@ -270,7 +273,8 @@ TEST(PbftTest, RestartedReplicaLearnsNewView) {
 TEST(PbftTest, BatchingFoldsConcurrentRequests) {
   PbftCluster cluster(4);
   // Rebuild with batching enabled: a fresh cluster (options differ).
-  sim::Simulation sim(21);
+  auto sim_owner = sim::Simulation::Builder(21).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   crypto::KeyRegistry registry(21, 16);
   pbft::PbftOptions opts;
   opts.n = 4;

@@ -257,7 +257,7 @@ void CheckResults(const Adapter& adapter,
 TEST_P(ProtocolSweep, SingleRandomCrashMidRun) {
   auto [sweep_case, seed] = GetParam();
   Fixture fx;
-  fx.sim = std::make_unique<sim::Simulation>(seed);
+  fx.sim = sim::Simulation::Builder(seed).AutoStart(false).Build();
   fx.registry = std::make_unique<crypto::KeyRegistry>(seed, 24);
   fx.usig = std::make_unique<crypto::Usig>(fx.registry.get());
   Adapter adapter = sweep_case.factory(&fx);
@@ -286,7 +286,7 @@ TEST_P(ProtocolSweep, SingleRandomCrashMidRun) {
 TEST_P(ProtocolSweep, TransientTotalPartition) {
   auto [sweep_case, seed] = GetParam();
   Fixture fx;
-  fx.sim = std::make_unique<sim::Simulation>(seed + 1000);
+  fx.sim = sim::Simulation::Builder(seed + 1000).AutoStart(false).Build();
   fx.registry = std::make_unique<crypto::KeyRegistry>(seed + 1000, 24);
   fx.usig = std::make_unique<crypto::Usig>(fx.registry.get());
   Adapter adapter = sweep_case.factory(&fx);
@@ -320,7 +320,8 @@ TEST_P(ProtocolSweep, HeavyDelayJitter) {
   sim::NetworkOptions net;
   net.min_delay = 1 * kMillisecond;
   net.max_delay = 80 * kMillisecond;  // Heavy asynchrony vs ~100ms timers.
-  fx.sim = std::make_unique<sim::Simulation>(seed + 2000, net);
+  fx.sim =
+      sim::Simulation::Builder(seed + 2000).Network(net).AutoStart(false).Build();
   fx.registry = std::make_unique<crypto::KeyRegistry>(seed + 2000, 24);
   fx.usig = std::make_unique<crypto::Usig>(fx.registry.get());
   Adapter adapter = sweep_case.factory(&fx);
@@ -339,7 +340,7 @@ TEST_P(ProtocolSweep, HeavyDelayJitter) {
 TEST_P(ProtocolSweep, CrashRestartChurn) {
   auto [sweep_case, seed] = GetParam();
   Fixture fx;
-  fx.sim = std::make_unique<sim::Simulation>(seed + 3000);
+  fx.sim = sim::Simulation::Builder(seed + 3000).AutoStart(false).Build();
   fx.registry = std::make_unique<crypto::KeyRegistry>(seed + 3000, 24);
   fx.usig = std::make_unique<crypto::Usig>(fx.registry.get());
   Adapter adapter = sweep_case.factory(&fx);

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <vector>
+#include <memory>
 
 #include "raft/raft.h"
 #include "sim/simulation.h"
@@ -17,7 +18,9 @@ using sim::kMillisecond;
 using sim::kSecond;
 
 struct World {
-  explicit World(uint64_t seed = 1) : sim(seed) {}
+  explicit World(uint64_t seed = 1) : sim_owner(
+            sim::Simulation::Builder(seed).AutoStart(false).Build()),
+        sim(*sim_owner) {}
 
   RaftReplica* SpawnReplica(const std::vector<sim::NodeId>& config,
                             bool passive) {
@@ -40,7 +43,8 @@ struct World {
     return sim.RunUntil([&] { return Leader() != nullptr; }, 30 * kSecond);
   }
 
-  sim::Simulation sim;
+  std::unique_ptr<sim::Simulation> sim_owner;
+  sim::Simulation& sim;
   std::vector<RaftReplica*> replicas;
 };
 

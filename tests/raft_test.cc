@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 #include <vector>
+#include <memory>
 
 #include "raft/raft.h"
 #include "sim/simulation.h"
@@ -19,7 +20,9 @@ using sim::kSecond;
 struct RaftCluster {
   explicit RaftCluster(int n, uint64_t seed = 1,
                        RaftOptions base = RaftOptions())
-      : sim(seed) {
+      : sim_owner(
+            sim::Simulation::Builder(seed).AutoStart(false).Build()),
+        sim(*sim_owner) {
     base.n = n;
     for (int i = 0; i < n; ++i) {
       replicas.push_back(sim.Spawn<RaftReplica>(base));
@@ -66,7 +69,8 @@ struct RaftCluster {
     }
   }
 
-  sim::Simulation sim;
+  std::unique_ptr<sim::Simulation> sim_owner;
+  sim::Simulation& sim;
   std::vector<RaftReplica*> replicas;
   std::vector<RaftClient*> clients;
 };

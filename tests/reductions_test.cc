@@ -42,7 +42,9 @@ TEST(ReductionTest, ConsensusFromAtomicBroadcastDecidesFirstDelivery) {
 /// the same instance feed proposals to distinct proposer nodes.
 class PaxosConsensusService : public ConsensusService {
  public:
-  PaxosConsensusService() : sim_(99) {}
+  PaxosConsensusService() : sim_owner(
+            sim::Simulation::Builder(99).AutoStart(false).Build()),
+        sim_(*sim_owner) {}
 
   std::string Decide(uint64_t instance, const std::string& proposal) override {
     auto& cluster = instances_[instance];
@@ -52,7 +54,8 @@ class PaxosConsensusService : public ConsensusService {
       // hardwires the cluster to ids [0, n). To keep each instance
       // independent we give every instance its own simulation.
       opts.n = 3;
-      cluster.sim = std::make_unique<sim::Simulation>(1000 + instance);
+      cluster.sim =
+          sim::Simulation::Builder(1000 + instance).AutoStart(false).Build();
       for (int i = 0; i < 3; ++i) {
         cluster.nodes.push_back(cluster.sim->Spawn<paxos::PaxosNode>(opts));
       }
@@ -73,7 +76,8 @@ class PaxosConsensusService : public ConsensusService {
     std::vector<paxos::PaxosNode*> nodes;
     size_t calls = 0;
   };
-  sim::Simulation sim_;
+  std::unique_ptr<sim::Simulation> sim_owner;
+  sim::Simulation& sim_;
   std::map<uint64_t, Instance> instances_;
 };
 

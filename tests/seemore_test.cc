@@ -50,7 +50,9 @@ class EquivocatingPublicPrimary : public SeeMoReReplica {
 struct SeeMoReCluster {
   SeeMoReCluster(int m, int c, SeeMoReMode mode, uint64_t seed = 1,
                  bool byz_primary = false)
-      : sim(seed), registry(seed, 3 * m + 2 * c + 1 + 8) {
+      : sim_owner(
+            sim::Simulation::Builder(seed).AutoStart(false).Build()),
+        sim(*sim_owner), registry(seed, 3 * m + 2 * c + 1 + 8) {
     opts.m = m;
     opts.c = c;
     opts.mode = mode;
@@ -97,7 +99,8 @@ struct SeeMoReCluster {
   }
 
   SeeMoReOptions opts;
-  sim::Simulation sim;
+  std::unique_ptr<sim::Simulation> sim_owner;
+  sim::Simulation& sim;
   crypto::KeyRegistry registry;
   std::vector<SeeMoReReplica*> replicas;
   std::vector<SeeMoReClient*> clients;
@@ -155,7 +158,8 @@ TEST(SeeMoReTest, Mode1QuorumIsLargerThanMode2) {
   crypto::KeyRegistry registry(1, o1.n() + 2);
   o1.registry = &registry;
   o2.registry = &registry;
-  sim::Simulation sim(1);
+  auto sim_owner = sim::Simulation::Builder(1).AutoStart(false).Build();
+  sim::Simulation& sim = *sim_owner;
   auto* r1 = sim.Spawn<SeeMoReReplica>(o1);
   EXPECT_EQ(r1->DecisionQuorum(), 2 * 2 + 3 + 1);  // 2m+c+1.
   SeeMoReOptions o2b = o2;

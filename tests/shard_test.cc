@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "shard/reshard.h"
 #include "shard/shard.h"
 #include "shard/workload.h"
 #include "sim/simulation.h"
@@ -40,10 +41,16 @@ class TestClient : public sim::Process {
     if (m == nullptr || pending_.count(m->tx_id) == 0) return;
     CancelTimer(timers_[m->tx_id]);
     outcomes[m->tx_id] = m->committed;
+    reasons[m->tx_id] = m->reason;
+    reads[m->tx_id] = m->reads;
+    snapshot_epochs[m->tx_id] = m->snapshot_epoch;
     pending_.erase(m->tx_id);
   }
 
   std::map<uint64_t, bool> outcomes;
+  std::map<uint64_t, TxAbortReason> reasons;
+  std::map<uint64_t, std::vector<TxReadResult>> reads;
+  std::map<uint64_t, uint64_t> snapshot_epochs;
 
  private:
   void Submit(uint64_t tx_id) {
@@ -233,6 +240,135 @@ TEST(ShardTest, WorkloadDriverRunsMixedLoad) {
       EXPECT_EQ(d == "C", committed) << "tx " << tx_id;
     }
   }
+}
+
+TEST(ShardTest, ReadYourWritesInsideOneTransaction) {
+  ShardFixture f(29);
+  std::string key = f.ssm->KeyForShard(0, 0);
+  // GET before the write sees the initial (absent) version; GET after
+  // sees the transaction's own uncommitted write (the prepare-time
+  // overlay), not the stored state.
+  f.client->Begin(1, {TxOp::Get(key), TxOp::Put(key, "v1"), TxOp::Get(key)});
+  ASSERT_TRUE(f.sim->RunUntil([&] { return f.client->outcomes.count(1) > 0; },
+                              f.sim->now() + 5 * kSecond));
+  ASSERT_TRUE(f.client->outcomes.at(1));
+  const std::vector<TxReadResult>& reads = f.client->reads.at(1);
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_EQ(reads[0].op_index, 0);
+  EXPECT_FALSE(reads[0].found);
+  EXPECT_EQ(reads[1].op_index, 2);
+  EXPECT_TRUE(reads[1].found);
+  EXPECT_EQ(reads[1].value, "v1");
+  f.sim->RunFor(500 * kMillisecond);
+  smr::KvStore shard0 = ReplayGroup(f.ssm->shard_group(0));
+  EXPECT_EQ(shard0.Get(key).value_or("NIL"), "v1");
+  EXPECT_TRUE(f.ssm->Violations().empty());
+}
+
+TEST(ShardTest, CasValidatesAtPrepareAndMismatchAborts) {
+  ShardFixture f(31);
+  std::string key = f.ssm->KeyForShard(0, 0);
+  f.client->Begin(1, {TxOp::Put(key, "v1")});
+  ASSERT_TRUE(f.sim->RunUntil([&] { return f.client->outcomes.count(1) > 0; },
+                              f.sim->now() + 5 * kSecond));
+  ASSERT_TRUE(f.client->outcomes.at(1));
+
+  // Mismatched expectation: structured abort, nothing applied.
+  f.client->Begin(2, {TxOp::Cas(key, "wrong", "v2")});
+  ASSERT_TRUE(f.sim->RunUntil([&] { return f.client->outcomes.count(2) > 0; },
+                              f.sim->now() + 5 * kSecond));
+  EXPECT_FALSE(f.client->outcomes.at(2));
+  EXPECT_EQ(f.client->reasons.at(2), TxAbortReason::kCasMismatch);
+
+  // Matching expectation: commits, and — because a re-run of a one-phase
+  // CAS could flip its verdict — always through a decision record, even
+  // single-shard.
+  f.client->Begin(3, {TxOp::Cas(key, "v1", "v3")});
+  ASSERT_TRUE(f.sim->RunUntil([&] { return f.client->outcomes.count(3) > 0; },
+                              f.sim->now() + 5 * kSecond));
+  EXPECT_TRUE(f.client->outcomes.at(3));
+  f.sim->RunFor(1 * kSecond);
+  smr::KvStore shard0 = ReplayGroup(f.ssm->shard_group(0));
+  EXPECT_EQ(shard0.Get(key).value_or("NIL"), "v3");
+  smr::KvStore decisions = ReplayGroup(f.ssm->decision_group());
+  EXPECT_EQ(decisions.Get(DecisionKey(3)).value_or("NIL"), "C");
+  EXPECT_EQ(decisions.Get(DecisionKey(2)).value_or("NIL"), "A");
+  EXPECT_TRUE(f.ssm->Violations().empty());
+}
+
+TEST(ShardTest, SnapshotReadTakesNoLocksAndWritesNoRecords) {
+  ShardFixture f(37);
+  std::string k0 = f.ssm->KeyForShard(0, 0);
+  std::string k1 = f.ssm->KeyForShard(1, 0);
+  // An all-GET transaction takes the snapshot path: reads of the two
+  // (absent) keys come back consistent, and the TMs never hear of it —
+  // no lock-table entry, no prepare, no decision record.
+  f.client->Begin(1, {TxOp::Get(k0), TxOp::Get(k1)});
+  ASSERT_TRUE(f.sim->RunUntil([&] { return f.client->outcomes.count(1) > 0; },
+                              f.sim->now() + 5 * kSecond));
+  ASSERT_TRUE(f.client->outcomes.at(1));
+  const std::vector<TxReadResult>& reads = f.client->reads.at(1);
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_FALSE(reads[0].found);
+  EXPECT_FALSE(reads[1].found);
+  EXPECT_EQ(f.client->snapshot_epochs.at(1), 1u);
+  EXPECT_EQ(f.ssm->coordinator()->snapshots(), 1);
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(f.ssm->tx_manager(s)->lock_table_size(), 0u);
+    EXPECT_EQ(f.ssm->tx_manager(s)->prepares(), 0);
+  }
+  f.sim->RunFor(500 * kMillisecond);
+  smr::KvStore decisions = ReplayGroup(f.ssm->decision_group());
+  EXPECT_FALSE(decisions.Get(DecisionKey(1)).has_value());
+  EXPECT_TRUE(f.ssm->Violations().empty());
+}
+
+TEST(ShardTest, SnapshotRacingLiveMoveIsNeverTorn) {
+  ShardOptions so;
+  so.spare_groups = 1;
+  ShardFixture f(41, so);
+  std::string a0 = f.ssm->KeyForShard(0, 0);  // In the range that moves.
+  std::string b0 = f.ssm->KeyForShard(1, 0);
+  f.client->Begin(1, {TxOp{a0, "v1"}, TxOp{b0, "v1"}});
+  ASSERT_TRUE(f.sim->RunUntil([&] { return f.client->outcomes.count(1) > 0; },
+                              f.sim->now() + 5 * kSecond));
+  ASSERT_TRUE(f.client->outcomes.at(1));
+  f.sim->RunFor(1 * kSecond);  // Both writes applied.
+
+  // Move shard 0's whole initial range to the spare group while
+  // snapshots run back-to-back. Every snapshot must see BOTH keys with
+  // the committed value — a missing read would mean the snapshot mixed
+  // routing epochs (read a0 at an owner the move had already drained).
+  MoveSpec spec;
+  spec.lo = 0;
+  spec.hi = f.ssm->InitialTable().entries()[1].lo;
+  spec.to = 2;
+  ASSERT_TRUE(f.ssm->mover()->StartMove(spec));
+  uint64_t snap_id = 100;
+  int snaps = 0;
+  while (f.ssm->mover()->moves_done() < 1 && snaps < 200) {
+    ++snap_id;
+    ++snaps;
+    f.client->Begin(snap_id, {TxOp::Get(a0), TxOp::Get(b0)});
+    ASSERT_TRUE(f.sim->RunUntil(
+        [&] { return f.client->outcomes.count(snap_id) > 0; },
+        f.sim->now() + 10 * kSecond));
+    ASSERT_TRUE(f.client->outcomes.at(snap_id));
+    const std::vector<TxReadResult>& reads = f.client->reads.at(snap_id);
+    ASSERT_EQ(reads.size(), 2u);
+    for (const TxReadResult& r : reads) {
+      EXPECT_TRUE(r.found) << "snapshot " << snap_id << " lost a read";
+      EXPECT_EQ(r.value, "v1");
+    }
+    f.sim->RunFor(20 * kMillisecond);
+  }
+  EXPECT_GE(f.ssm->mover()->moves_done(), 1);
+  EXPECT_GT(snaps, 1);  // The race actually happened.
+  // The TMs processed tx 1's prepare but no snapshot ever locked.
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(f.ssm->tx_manager(s)->lock_table_size(), 0u);
+  }
+  EXPECT_TRUE(f.ssm->Violations().empty());
 }
 
 TEST(ShardTest, ShardOfIsStableAndBalanced) {

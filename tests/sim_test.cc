@@ -48,7 +48,8 @@ class Pinger : public Process {
 };
 
 TEST(SimulationTest, PingPongDelivers) {
-  Simulation sim(1);
+  auto sim_owner = Simulation::Builder(1).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   Echo* echo = sim.Spawn<Echo>();
   Pinger* pinger = sim.Spawn<Pinger>(echo->id());
   sim.Start();
@@ -61,7 +62,8 @@ TEST(SimulationTest, PingPongDelivers) {
 
 TEST(SimulationTest, DeterministicGivenSeed) {
   auto run = [](uint64_t seed) {
-    Simulation sim(seed);
+    auto sim_owner = Simulation::Builder(seed).AutoStart(false).Build();
+    Simulation& sim = *sim_owner;
     Echo* echo = sim.Spawn<Echo>();
     std::vector<Pinger*> pingers;
     for (int i = 0; i < 10; ++i) pingers.push_back(sim.Spawn<Pinger>(echo->id()));
@@ -76,7 +78,9 @@ TEST(SimulationTest, VirtualTimeAdvancesWithDelays) {
   NetworkOptions opts;
   opts.min_delay = 10 * kMillisecond;
   opts.max_delay = 10 * kMillisecond;
-  Simulation sim(1, opts);
+  auto sim_owner =
+      Simulation::Builder(1).Network(opts).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   Echo* echo = sim.Spawn<Echo>();
   Pinger* pinger = sim.Spawn<Pinger>(echo->id());
   sim.Start();
@@ -86,7 +90,8 @@ TEST(SimulationTest, VirtualTimeAdvancesWithDelays) {
 }
 
 TEST(SimulationTest, CrashedProcessReceivesNothing) {
-  Simulation sim(1);
+  auto sim_owner = Simulation::Builder(1).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   Echo* echo = sim.Spawn<Echo>();
   Pinger* pinger = sim.Spawn<Pinger>(echo->id());
   sim.Crash(echo->id());
@@ -113,7 +118,8 @@ class TimerUser : public Process {
 };
 
 TEST(SimulationTest, TimersFireAndCancel) {
-  Simulation sim(1);
+  auto sim_owner = Simulation::Builder(1).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   TimerUser* t = sim.Spawn<TimerUser>();
   sim.Start();
   sim.RunFor(50 * kMillisecond);
@@ -125,7 +131,8 @@ TEST(SimulationTest, TimersFireAndCancel) {
 }
 
 TEST(SimulationTest, CrashInvalidatesPendingTimers) {
-  Simulation sim(1);
+  auto sim_owner = Simulation::Builder(1).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   TimerUser* t = sim.Spawn<TimerUser>();
   sim.Start();
   sim.Crash(t->id());
@@ -135,7 +142,8 @@ TEST(SimulationTest, CrashInvalidatesPendingTimers) {
 }
 
 TEST(SimulationTest, RestartDeliversAgain) {
-  Simulation sim(1);
+  auto sim_owner = Simulation::Builder(1).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   Echo* echo = sim.Spawn<Echo>();
   Pinger* p1 = sim.Spawn<Pinger>(echo->id());
   sim.Crash(echo->id());
@@ -150,7 +158,8 @@ TEST(SimulationTest, RestartDeliversAgain) {
 }
 
 TEST(SimulationTest, PartitionBlocksCrossGroupTraffic) {
-  Simulation sim(1);
+  auto sim_owner = Simulation::Builder(1).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   Echo* echo = sim.Spawn<Echo>();
   Pinger* pinger = sim.Spawn<Pinger>(echo->id());
   sim.Partition({{echo->id()}, {pinger->id()}});
@@ -166,7 +175,8 @@ TEST(SimulationTest, PartitionBlocksCrossGroupTraffic) {
 }
 
 TEST(SimulationTest, BlockedLinkIsDirected) {
-  Simulation sim(1);
+  auto sim_owner = Simulation::Builder(1).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   Echo* echo = sim.Spawn<Echo>();
   Pinger* pinger = sim.Spawn<Pinger>(echo->id());
   // Block only the reply direction.
@@ -180,7 +190,9 @@ TEST(SimulationTest, BlockedLinkIsDirected) {
 TEST(SimulationTest, DropRateLosesMessages) {
   NetworkOptions opts;
   opts.drop_rate = 1.0;
-  Simulation sim(1, opts);
+  auto sim_owner =
+      Simulation::Builder(1).Network(opts).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   Echo* echo = sim.Spawn<Echo>();
   sim.Spawn<Pinger>(echo->id());
   sim.Start();
@@ -189,7 +201,8 @@ TEST(SimulationTest, DropRateLosesMessages) {
 }
 
 TEST(SimulationTest, DelayFnOverridesModel) {
-  Simulation sim(1);
+  auto sim_owner = Simulation::Builder(1).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   Echo* echo = sim.Spawn<Echo>();
   Pinger* pinger = sim.Spawn<Pinger>(echo->id());
   sim.SetDelayFn([](const Envelope&) -> Duration { return 42 * kMillisecond; });
@@ -199,7 +212,8 @@ TEST(SimulationTest, DelayFnOverridesModel) {
 }
 
 TEST(SimulationTest, DelayFnCanDrop) {
-  Simulation sim(1);
+  auto sim_owner = Simulation::Builder(1).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   Echo* echo = sim.Spawn<Echo>();
   sim.Spawn<Pinger>(echo->id());
   sim.SetDelayFn([](const Envelope&) -> Duration { return -1; });
@@ -209,7 +223,8 @@ TEST(SimulationTest, DelayFnCanDrop) {
 }
 
 TEST(SimulationTest, TraceHookSeesDeliveries) {
-  Simulation sim(1);
+  auto sim_owner = Simulation::Builder(1).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   Echo* echo = sim.Spawn<Echo>();
   sim.Spawn<Pinger>(echo->id());
   std::vector<std::string> types;
@@ -224,7 +239,8 @@ TEST(SimulationTest, TraceHookSeesDeliveries) {
 }
 
 TEST(SimulationTest, StatsPerTypeCounting) {
-  Simulation sim(1);
+  auto sim_owner = Simulation::Builder(1).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   Echo* echo = sim.Spawn<Echo>();
   sim.Spawn<Pinger>(echo->id());
   sim.Spawn<Pinger>(echo->id());
@@ -256,7 +272,8 @@ class RepeatPinger : public Process {
 // before the reset. A stale cursor would write into freed map nodes and
 // the post-reset window would come up short (or corrupt the heap).
 TEST(SimulationTest, StatsResetMidRunInvalidatesLiveTypeCursors) {
-  Simulation sim(1);
+  auto sim_owner = Simulation::Builder(1).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   Echo* echo = sim.Spawn<Echo>();
   sim.Spawn<RepeatPinger>(echo->id(), 10 * kMillisecond);
   sim.Start();
@@ -275,7 +292,8 @@ TEST(SimulationTest, StatsResetMidRunInvalidatesLiveTypeCursors) {
 }
 
 TEST(SimulationTest, SameTimeEventsFifo) {
-  Simulation sim(1);
+  auto sim_owner = Simulation::Builder(1).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   std::vector<int> order;
   sim.ScheduleAt(10, [&] { order.push_back(1); });
   sim.ScheduleAt(10, [&] { order.push_back(2); });
@@ -299,7 +317,8 @@ class TimerHost : public Process {
 // reuses the same slab index) and the stale handle, whose generation no
 // longer matches, must not touch the slot's new occupant.
 TEST(SimulationTest, CancelAfterFireIsNoopAndLeavesNoResidue) {
-  Simulation sim(1);
+  auto sim_owner = Simulation::Builder(1).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   TimerHost* host = sim.Spawn<TimerHost>();
   sim.Start();
 
@@ -332,7 +351,8 @@ TEST(SimulationTest, CancelAfterFireIsNoopAndLeavesNoResidue) {
 TEST(SimulationTest, SpawnDuringPartitionStartsIsolated) {
   NetworkOptions net;
   net.min_delay = net.max_delay = 1 * kMillisecond;
-  Simulation sim(1, net);
+  auto sim_owner = Simulation::Builder(1).Network(net).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   Echo* a = sim.Spawn<Echo>();
   Echo* b = sim.Spawn<Echo>();
   sim.Start();
@@ -357,7 +377,8 @@ TEST(SimulationTest, SpawnDuringPartitionStartsIsolated) {
 TEST(SimulationTest, CrashAndRestartInsideDelayWindowDropsDelivery) {
   NetworkOptions net;
   net.min_delay = net.max_delay = 10 * kMillisecond;
-  Simulation sim(1, net);
+  auto sim_owner = Simulation::Builder(1).Network(net).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   Echo* echo = sim.Spawn<Echo>();
   sim.Spawn<Pinger>(echo->id());
   sim.Start();  // Ping sent at t=0, due at t=10ms.
@@ -381,7 +402,8 @@ TEST(SimulationTest, CrashAndRestartInsideDelayWindowDropsDelivery) {
 // network, so it must count as dropped and nothing else — no messages_sent,
 // no bytes_sent, no per-type row.
 TEST(SimulationTest, TopologyRejectedSendIsNotCountedAsSent) {
-  Simulation sim(1);
+  auto sim_owner = Simulation::Builder(1).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   Echo* echo = sim.Spawn<Echo>();
   Pinger* pinger = sim.Spawn<Pinger>(echo->id());
   sim.BlockLink(pinger->id(), echo->id());
@@ -397,7 +419,8 @@ TEST(SimulationTest, TopologyRejectedSendIsNotCountedAsSent) {
 // Regression: a failed RunUntil still consumes the waited-for interval, like
 // RunFor does; the clock must land on the deadline, not on the last event.
 TEST(SimulationTest, RunUntilAdvancesClockToDeadlineOnFailure) {
-  Simulation sim(1);
+  auto sim_owner = Simulation::Builder(1).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   bool ran = false;
   sim.ScheduleAt(10 * kMillisecond, [&] { ran = true; });
   EXPECT_FALSE(sim.RunUntil([] { return false; }, 50 * kMillisecond));
@@ -408,7 +431,8 @@ TEST(SimulationTest, RunUntilAdvancesClockToDeadlineOnFailure) {
 // FIFO among same-time events must survive bucket recycling and handlers
 // that append to the current timestamp while it is being drained.
 TEST(SimulationTest, SameTimeFifoSurvivesBucketRecycling) {
-  Simulation sim(1);
+  auto sim_owner = Simulation::Builder(1).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   std::vector<int> order;
   for (int i = 0; i < 8; ++i) {
     sim.ScheduleAt(10, [&order, i] { order.push_back(i); });
@@ -472,7 +496,9 @@ TEST(SimulationTest, DeterministicReplayOfChaoticRun) {
     net.min_delay = 1 * kMillisecond;
     net.max_delay = 5 * kMillisecond;
     net.drop_rate = 0.1;
-    Simulation sim(7, net);
+    auto sim_owner =
+        Simulation::Builder(7).Network(net).AutoStart(false).Build();
+    Simulation& sim = *sim_owner;
     constexpr int kFleet = 5;
     for (int i = 0; i < kFleet; ++i) sim.Spawn<Gossiper>(kFleet);
     Observed seen;
@@ -528,7 +554,8 @@ TEST(SimulationTest, BandwidthQueuesBackToBackSendsPerEgressPort) {
   NetworkOptions net;
   net.min_delay = net.max_delay = 1 * kMillisecond;  // Fixed propagation.
   net.bytes_per_ms = 100.0;
-  Simulation sim(1, net);
+  auto sim_owner = Simulation::Builder(1).Network(net).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   BlobSink* sink = sim.Spawn<BlobSink>();
   class Burst : public Process {
    public:
@@ -563,7 +590,8 @@ TEST(SimulationTest, MulticastPaysPerTargetSerializationAndExposesBacklog) {
   NetworkOptions net;
   net.min_delay = net.max_delay = 1 * kMillisecond;
   net.bytes_per_ms = 100.0;
-  Simulation sim(1, net);
+  auto sim_owner = Simulation::Builder(1).Network(net).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   std::vector<BlobSink*> sinks;
   for (int i = 0; i < 3; ++i) sinks.push_back(sim.Spawn<BlobSink>());
   class Caster : public Process {
@@ -615,7 +643,8 @@ TEST(SimulationTest, PerLinkBandwidthOverridesGlobalRate) {
   // Spawn order below fixes ids: sink 0, sink 1, sender 2. The sender's
   // link to sink 0 runs at 500 B/ms; to sink 1 it keeps the global rate.
   net.link_bytes_per_ms[{2, 0}] = 500.0;
-  Simulation sim(1, net);
+  auto sim_owner = Simulation::Builder(1).Network(net).AutoStart(false).Build();
+  Simulation& sim = *sim_owner;
   BlobSink* fast_sink = sim.Spawn<BlobSink>();
   BlobSink* slow_sink = sim.Spawn<BlobSink>();
   class Sender : public Process {
@@ -654,7 +683,9 @@ TEST(SimulationTest, ZeroBandwidthIsIdenticalToDefault) {
     net.max_delay = 5 * kMillisecond;
     net.drop_rate = 0.1;
     if (explicit_zero) net.bytes_per_ms = 0.0;
-    Simulation sim(7, net);
+    auto sim_owner =
+        Simulation::Builder(7).Network(net).AutoStart(false).Build();
+    Simulation& sim = *sim_owner;
     constexpr int kFleet = 5;
     for (int i = 0; i < kFleet; ++i) sim.Spawn<Gossiper>(kFleet);
     std::vector<std::tuple<NodeId, NodeId, uint64_t, Time>> deliveries;

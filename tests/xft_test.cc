@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <vector>
+#include <memory>
 
 #include "crypto/signatures.h"
 #include "sim/simulation.h"
@@ -14,7 +15,9 @@ using sim::kSecond;
 
 struct XftCluster {
   explicit XftCluster(int n, uint64_t seed = 1)
-      : sim(seed), registry(seed, n + 8) {
+      : sim_owner(
+            sim::Simulation::Builder(seed).AutoStart(false).Build()),
+        sim(*sim_owner), registry(seed, n + 8) {
     XftOptions opts;
     opts.n = n;
     opts.registry = &registry;
@@ -43,7 +46,8 @@ struct XftCluster {
     }
   }
 
-  sim::Simulation sim;
+  std::unique_ptr<sim::Simulation> sim_owner;
+  sim::Simulation& sim;
   crypto::KeyRegistry registry;
   std::vector<XftReplica*> replicas;
   std::vector<XftClient*> clients;

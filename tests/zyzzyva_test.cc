@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <vector>
+#include <memory>
 
 #include "crypto/signatures.h"
 #include "sim/simulation.h"
@@ -14,7 +15,9 @@ using sim::kSecond;
 
 struct ZyzCluster {
   explicit ZyzCluster(int n, uint64_t seed = 1)
-      : sim(seed), registry(seed, n + 8) {
+      : sim_owner(
+            sim::Simulation::Builder(seed).AutoStart(false).Build()),
+        sim(*sim_owner), registry(seed, n + 8) {
     // Fixed delay so message-delay counting is exact.
     sim::NetworkOptions net = sim.options();
     net.min_delay = 1 * kMillisecond;
@@ -48,7 +51,8 @@ struct ZyzCluster {
     }
   }
 
-  sim::Simulation sim;
+  std::unique_ptr<sim::Simulation> sim_owner;
+  sim::Simulation& sim;
   crypto::KeyRegistry registry;
   std::vector<ZyzzyvaReplica*> replicas;
   std::vector<ZyzzyvaClient*> clients;
